@@ -1,0 +1,26 @@
+"""Bench E10: the §6 collaborative-filtering analogy.
+
+Spectral recommendation on a latent-taste-group interaction matrix vs
+popularity and raw-space cosine-kNN baselines, with a rank sweep around
+the true group count.
+"""
+
+from conftest import run_once
+
+from repro.experiments.cf_exp import CFConfig, run_cf_experiment
+
+
+def test_collaborative_filtering(benchmark, report):
+    """E10 at the default configuration."""
+    result = run_once(benchmark, run_cf_experiment, CFConfig())
+    report("E10: spectral collaborative filtering", result.render())
+    assert result.spectral_beats_popularity()
+
+
+def test_collaborative_filtering_sparse_interactions(benchmark, report):
+    """E10 ablation: fewer interactions per user."""
+    config = CFConfig(n_items=400, n_groups=8, n_users=250,
+                      seed=84)
+    result = run_once(benchmark, run_cf_experiment, config)
+    report("E10b: 400 items, 8 taste groups", result.render())
+    assert result.spectral_beats_popularity()

@@ -1,0 +1,90 @@
+"""Benches X1–X5: the paper's open questions, probed empirically.
+
+- X1 multi-topic documents (Theorem 2's extension question);
+- X2 authorship styles (the assumption §4 sets aside);
+- X3 polysemy ("does LSI address polysemy?");
+- X4 the spectral engine inside the Theorem 2 proof;
+- X5 folding-in drift (Lemma 1 applied to incremental indexing).
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    ConductanceConfig,
+    FoldingConfig,
+    MixtureConfig,
+    PolysemyConfig,
+    StyleRobustnessConfig,
+    run_conductance_experiment,
+    run_folding_experiment,
+    run_mixture_experiment,
+    run_polysemy,
+    run_style_robustness,
+)
+
+
+def test_mixture_documents(benchmark, report):
+    """X1: structural recovery as documents blend more topics."""
+    result = run_once(benchmark, run_mixture_experiment, MixtureConfig())
+    report("X1: multi-topic (mixture) documents", result.render())
+    assert result.pure_case_is_best()
+    assert result.alignment_stays_high()
+
+
+def test_style_robustness(benchmark, report):
+    """X2: LSI under uniform-noise authorship styles."""
+    result = run_once(benchmark, run_style_robustness,
+                      StyleRobustnessConfig())
+    report("X2: robustness to styles", result.render())
+    assert result.graceful_degradation()
+    assert result.lsi_beats_raw_under_style()
+
+
+def test_polysemy(benchmark, report):
+    """X3: polysemes superpose; context disambiguates."""
+    result = run_once(benchmark, run_polysemy, PolysemyConfig())
+    report("X3: polysemy", result.render())
+    assert result.all_superposed()
+    assert result.bare_queries_confused()
+    assert result.context_always_helps()
+
+
+def test_theorem2_spectral_engine(benchmark, report):
+    """X4: block Gram conductance and the corpus singular gap."""
+    result = run_once(benchmark, run_conductance_experiment,
+                      ConductanceConfig())
+    report("X4: Theorem 2's spectral engine", result.render())
+    assert result.eigenvalue_ratio_falls()
+    assert result.corpus_gap_positive()
+
+
+def test_folding_drift(benchmark, report):
+    """X5: folding-in stays cheap in-model, drifts out-of-model."""
+    result = run_once(benchmark, run_folding_experiment, FoldingConfig())
+    report("X5: folding-in vs refit", result.render())
+    assert result.in_model_folding_is_cheap()
+    assert result.out_of_model_hurts_more()
+
+
+def test_classification(benchmark, report):
+    """X6: clustering/classification per representation space."""
+    from repro.experiments.classification_exp import (
+        ClassificationConfig,
+        run_classification,
+    )
+
+    result = run_once(benchmark, run_classification,
+                      ClassificationConfig())
+    report("X6: document classification", result.render())
+    assert result.lsi_clusters_best_at_small_epsilon()
+    assert result.lsi_classifies_well()
+
+
+def test_prf_vs_lsi(benchmark, report):
+    """X7: query repair (Rocchio PRF) vs space repair (LSI)."""
+    from repro.experiments.prf_exp import PRFConfig, run_prf_experiment
+
+    result = run_once(benchmark, run_prf_experiment, PRFConfig())
+    report("X7: PRF vs LSI on the synonymy probe", result.render())
+    assert result.prf_helps_vsm()
+    assert result.lsi_beats_repaired_vsm()

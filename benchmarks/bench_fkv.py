@@ -1,0 +1,26 @@
+"""Bench E9: sampling-based approximations vs random projection.
+
+FKV length-squared sampling (with its additive guarantee), the folklore
+uniform document-sampling baseline, and the §5 two-step pipeline across
+matched budgets.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fkv_exp import FKVConfig, run_fkv_experiment
+
+
+def test_fkv_comparison(benchmark, report):
+    """E9 at the default configuration."""
+    result = run_once(benchmark, run_fkv_experiment, FKVConfig())
+    report("E9: FKV vs uniform sampling vs RP+LSI", result.render())
+    assert result.fkv_bounds_hold()
+    assert result.fkv_improves_with_samples()
+
+
+def test_fkv_small_budget_regime(benchmark, report):
+    """E9 ablation: tiny budgets, where the methods separate."""
+    config = FKVConfig(sample_counts=(10, 16, 24), seed=72)
+    result = run_once(benchmark, run_fkv_experiment, config)
+    report("E9b: small-budget regime", result.render())
+    assert result.fkv_bounds_hold()

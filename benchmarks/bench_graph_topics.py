@@ -1,0 +1,38 @@
+"""Bench E7: Theorem 6 — spectral discovery of high-conductance
+subgraphs.
+
+Planted-partition recovery across the cross-weight fraction ε, plus the
+paper's A·Aᵀ-derived document-similarity graph.
+"""
+
+from conftest import run_once
+
+from repro.experiments.graph_topics import (
+    GraphTopicsConfig,
+    run_graph_topics,
+)
+
+
+def test_graph_topic_discovery(benchmark, report):
+    """E7 at the default configuration."""
+    result = run_once(benchmark, run_graph_topics, GraphTopicsConfig())
+    report("E7: Theorem 6 planted-partition recovery", result.render())
+    assert result.recovery_at_small_epsilon()
+    assert result.corpus_graph_accuracy > 0.95
+
+
+def test_graph_topic_discovery_sparse_blocks(benchmark, report):
+    """E7 ablation: sparsified blocks (non-clique topics)."""
+    from repro.core.spectral_graph import discover_topics
+    from repro.graphs.random_graphs import planted_partition_graph
+
+    def run():
+        graph, labels = planted_partition_graph(
+            [40] * 5, inter_fraction=0.05, intra_density=0.4, seed=3)
+        discovery = discover_topics(graph, 5, seed=3)
+        return discovery.accuracy_against(labels)
+
+    accuracy = run_once(benchmark, run)
+    report("E7b: recovery with 0.4-density blocks",
+           f"accuracy = {accuracy:.3f}")
+    assert accuracy > 0.9

@@ -1,0 +1,33 @@
+"""Bench E4: Lemma 2 — distance preservation under random projection.
+
+Measures worst/mean pairwise-distance distortion of corpus document
+vectors across projection dimensions, next to the ε the Lemma 2 tail
+bound certifies, plus the raw concentration statement (squared projected
+length of a unit vector ≈ l/n).
+"""
+
+from conftest import run_once
+
+from repro.experiments.jl_distortion import (
+    JLDistortionConfig,
+    run_jl_distortion,
+)
+
+
+def test_jl_distortion(benchmark, report):
+    """E4 at the default configuration (orthonormal projector)."""
+    result = run_once(benchmark, run_jl_distortion, JLDistortionConfig())
+    report("E4: Johnson-Lindenstrauss distance distortion",
+           result.render())
+    assert result.distortion_shrinks_with_l()
+    assert result.concentration.within_bound
+
+
+def test_jl_distortion_sign_projector(benchmark, report):
+    """E4 ablation: Achlioptas ±1 entries give the same behaviour."""
+    config = JLDistortionConfig(projector_family="sign",
+                                projection_dims=(50, 200))
+    result = run_once(benchmark, run_jl_distortion, config)
+    report("E4b: JL distortion with the sign projector",
+           result.render())
+    assert result.distortion_shrinks_with_l()

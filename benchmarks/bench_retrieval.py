@@ -1,0 +1,35 @@
+"""Bench E8: the headline retrieval claim — LSI vs VSM vs RP+LSI.
+
+MAP / P@10 / R-precision on topic queries and single-term
+(synonymy-probe) queries.  The paper's claim: LSI improves precision and
+recall over the conventional vector-space method; the single-term
+workload is where the gap opens.
+"""
+
+from conftest import run_once
+
+from repro.experiments.retrieval_exp import (
+    RetrievalConfig,
+    run_retrieval_experiment,
+)
+
+
+def test_retrieval_comparison(benchmark, report):
+    """E8 at the default configuration."""
+    result = run_once(benchmark, run_retrieval_experiment,
+                      RetrievalConfig())
+    report("E8: retrieval quality, LSI vs VSM/BM25 vs RP+LSI",
+           result.render())
+    assert result.lsi_wins_on_single_terms()
+    assert result.lsi_beats_bm25_on_single_terms()
+    lsi = result.scores[("lsi", "single-term")].map_score
+    vsm = result.scores[("vsm", "single-term")].map_score
+    assert lsi > vsm
+
+
+def test_retrieval_tfidf_weighting(benchmark, report):
+    """E8 ablation: the claim survives tf-idf weighting."""
+    config = RetrievalConfig(weighting="tfidf", seed=62)
+    result = run_once(benchmark, run_retrieval_experiment, config)
+    report("E8b: retrieval under tf-idf weighting", result.render())
+    assert result.lsi_wins_on_single_terms()

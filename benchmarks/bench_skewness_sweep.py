@@ -1,0 +1,37 @@
+"""Bench E2: the Theorem 2/3 shape — skewness vs corpus size and ε.
+
+Theorem 2 predicts skewness falling toward 0 with corpus size on
+(near-)0-separable corpora; Theorem 3 predicts O(ε) scaling in the
+separability parameter.
+"""
+
+from conftest import run_once
+
+from repro.experiments.skewness_sweep import (
+    SkewnessSweepConfig,
+    run_skewness_sweep,
+)
+
+
+def test_skewness_sweep(benchmark, report):
+    """E2 at the default configuration."""
+    result = run_once(benchmark, run_skewness_sweep,
+                      SkewnessSweepConfig())
+    report("E2: delta-skewness vs corpus size and epsilon "
+           "(Theorems 2 and 3)", result.render())
+    assert result.epsilon_series_increasing()
+    assert result.by_epsilon[0.0] < 0.01
+
+
+def test_skewness_epsilon_linearity(benchmark, report):
+    """E2 ablation: a denser ε grid to exhibit the O(ε) shape."""
+    config = SkewnessSweepConfig(
+        n_terms=400, n_topics=8,
+        corpus_sizes=(200,),
+        epsilons=(0.0, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32),
+        fixed_corpus_size=300)
+    result = run_once(benchmark, run_skewness_sweep, config)
+    report("E2b: skewness vs epsilon, dense grid", result.render())
+    eps = sorted(result.by_epsilon)
+    # Endpoint-to-endpoint growth (O(eps) shape).
+    assert result.by_epsilon[eps[-1]] > result.by_epsilon[eps[0]]

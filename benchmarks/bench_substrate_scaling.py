@@ -1,0 +1,79 @@
+"""Bench S1: the sparse substrate's kernels across corpus scales.
+
+Documents the performance of the from-scratch CSR kernels (matvec,
+rmatmat, Gram) against dense numpy equivalents on corpus-shaped
+matrices — the substrate the §5 cost model's ``c`` nonzeros-per-column
+accounting runs on.  Correctness is asserted; timings are reported
+(machine-dependent, so not asserted).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.corpus import build_separable_model, generate_corpus
+from repro.utils.tables import Table
+from repro.utils.timing import Timer
+
+
+def _time(fn, repeats=3):
+    timer = Timer()
+    for _ in range(repeats):
+        with timer:
+            fn()
+    return timer.mean_seconds
+
+
+def test_csr_kernels_scaling(benchmark, report):
+    """S1: kernel timings and density across universe sizes."""
+
+    def run():
+        rows = []
+        rng = np.random.default_rng(3)
+        for n_terms in (1000, 4000, 16000):
+            model = build_separable_model(n_terms, 10)
+            corpus = generate_corpus(model, 300, seed=5)
+            sparse = corpus.term_document_matrix()
+            dense = sparse.to_dense()
+            x = rng.standard_normal(sparse.shape[1])
+            block = rng.standard_normal((sparse.shape[0], 16))
+
+            assert np.allclose(sparse.matvec(x), dense @ x)
+            assert np.allclose(sparse.rmatmat(block), dense.T @ block)
+
+            rows.append((
+                n_terms, sparse.density,
+                _time(lambda: sparse.matvec(x)),
+                _time(lambda: dense @ x),
+                _time(lambda: sparse.rmatmat(block)),
+                _time(lambda: dense.T @ block)))
+        return rows
+
+    rows = run_once(benchmark, run)
+    table = Table(
+        title="S1: CSR kernels vs dense numpy (m=300 documents)",
+        headers=["n", "density", "csr matvec s", "dense matvec s",
+                 "csr rmatmat s", "dense rmatmat s"])
+    for row in rows:
+        table.add_row(list(row))
+    report("S1: substrate kernel scaling", table.render())
+    # Density falls as the universe grows (fixed document lengths).
+    densities = [row[1] for row in rows]
+    assert densities[-1] < densities[0]
+
+
+def test_gram_block_structure_cost(benchmark, report):
+    """S1b: the Gram products the analysis relies on stay tractable."""
+
+    def run():
+        model = build_separable_model(2000, 20)
+        corpus = generate_corpus(model, 500, seed=7)
+        sparse = corpus.term_document_matrix()
+        dense = sparse.to_dense()
+        gram_seconds = _time(lambda: sparse.gram(), repeats=2)
+        assert np.allclose(sparse.gram(), dense.T @ dense)
+        return sparse.nnz, gram_seconds
+
+    nnz, seconds = run_once(benchmark, run)
+    report("S1b: document Gram (A^T A) on the paper-scale corpus",
+           f"nnz={nnz}, gram time {seconds:.3f}s")
+    assert seconds < 30.0

@@ -1,0 +1,28 @@
+"""Bench E6: the §4 synonymy analysis.
+
+Injects identical-co-occurrence synonym pairs and reports the spectrum
+position of each pair's difference direction, the LSI collapse of the
+pair, and cross-topic control pairs.
+"""
+
+from conftest import run_once
+
+from repro.experiments.synonymy_exp import SynonymyConfig, run_synonymy
+
+
+def test_synonymy(benchmark, report):
+    """E6 at the default configuration."""
+    result = run_once(benchmark, run_synonymy, SynonymyConfig())
+    report("E6: synonym pairs under LSI", result.render())
+    assert result.all_pairs_collapse()
+    assert result.controls_stay_apart()
+
+
+def test_synonymy_many_pairs(benchmark, report):
+    """E6 ablation: more pairs on a larger corpus."""
+    config = SynonymyConfig(n_terms=800, n_topics=10, n_documents=500,
+                            n_synonym_pairs=8)
+    result = run_once(benchmark, run_synonymy, config)
+    report("E6b: eight synonym pairs, 500-document corpus",
+           result.render())
+    assert result.all_pairs_collapse(min_lsi_cosine=0.85)

@@ -1,0 +1,57 @@
+"""Bench T1: the paper's §4 angle-statistics table.
+
+Regenerates the paper's only experimental table — intratopic/intertopic
+pairwise document angles (min/max/average/std, radians) in the original
+space and the rank-20 LSI space — at the paper's exact configuration:
+1000 documents of 50–100 terms, 2000 terms, 20 topics, 0.05-separable.
+
+Paper's values for comparison:
+
+    Intratopic  original: 0.801 / 1.39 / 1.09 / 0.079
+                LSI:      0     / 0.312 / 0.0177 / 0.0374
+    Intertopic  original: 1.49  / 1.57 / 1.57 / 0.00791
+                LSI:      0.101 / 1.57 / 1.55 / 0.153
+"""
+
+from conftest import run_once
+
+from repro.experiments.angle_table import (
+    PAPER_REPORTED,
+    AngleTableConfig,
+    run_angle_table,
+)
+
+
+def test_table1_full_scale(benchmark, report):
+    """T1 at the paper's full configuration."""
+    result = run_once(benchmark, run_angle_table, AngleTableConfig())
+    lines = [result.render(), "", "paper reported:"]
+    for (kind, space), values in PAPER_REPORTED.items():
+        lines.append(f"  {kind:>10}/{space:<8} "
+                     f"min={values[0]} max={values[1]} "
+                     f"avg={values[2]} std={values[3]}")
+    report("T1: paper section-4 angle table (full scale)",
+           "\n".join(lines))
+    # The reproduced phenomenon, asserted.
+    assert result.lsi.intratopic_mean < \
+        result.original.intratopic_mean / 10
+    assert result.lsi.intertopic_mean > 1.3
+
+
+def test_table1_half_scale(benchmark, report):
+    """T1 at half scale — the shape is scale-robust."""
+    result = run_once(benchmark, run_angle_table,
+                      AngleTableConfig().scaled(0.5))
+    report("T1: angle table (half scale)", result.render())
+    assert result.lsi.intratopic_mean < \
+        result.original.intratopic_mean / 5
+
+
+def test_table1_repeated_trials(benchmark, report):
+    """T1c: "similar results are obtained from repeated trials"."""
+    from repro.experiments.angle_table import run_angle_table_trials
+
+    trials = run_once(benchmark, run_angle_table_trials,
+                      AngleTableConfig().scaled(0.5), n_trials=5)
+    report("T1c: repeated trials", trials.summary())
+    assert trials.stable()

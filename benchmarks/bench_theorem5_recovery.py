@@ -1,0 +1,67 @@
+"""Bench E3: Theorem 5 — random projection + rank-2k LSI recovery.
+
+Sweeps the projection dimension and reports
+``‖A − B₂ₖ‖_F²`` against the direct-LSI optimum and the bound
+``‖A − Aₖ‖_F² + 2ε‖A‖_F²``.
+"""
+
+from conftest import run_once
+
+from repro.experiments.rp_recovery import (
+    RPRecoveryConfig,
+    run_rp_recovery,
+)
+
+
+def test_theorem5_recovery(benchmark, report):
+    """E3 at the default configuration."""
+    result = run_once(benchmark, run_rp_recovery, RPRecoveryConfig())
+    report("E3: Theorem 5 recovery sweep", result.render())
+    assert result.all_bounds_hold()
+    assert result.recovery_improves_with_l()
+
+
+def test_corollary4_projected_spectrum(benchmark, report):
+    """E3c: Lemma 3 / Corollary 4 — the proof's inner inequality."""
+    from repro.core.random_projection import OrthonormalProjector
+    from repro.corpus import build_separable_model, generate_corpus
+    from repro.theory.corollary4 import corollary4_check, lemma3_check
+    from repro.utils.tables import Table
+
+    def run():
+        model = build_separable_model(800, 10)
+        corpus = generate_corpus(model, 300, seed=11)
+        matrix = corpus.term_document_matrix()
+        rows = []
+        for l, epsilon in ((40, 0.5), (120, 0.3), (320, 0.18)):
+            projector = OrthonormalProjector(800, l, seed=12)
+            projected = projector.project(matrix)
+            c4 = corollary4_check(matrix, projected, 10,
+                                  epsilon=epsilon)
+            rows.append((l, c4.energy_ratio, 1.0 - epsilon, c4.holds,
+                         lemma3_check(matrix, projected, 10,
+                                      epsilon=epsilon)))
+        return rows
+
+    rows = run_once(benchmark, run)
+    table = Table(
+        title="E3c: Corollary 4 — top-2k projected energy vs (1-eps)"
+              "||A_k||^2",
+        headers=["l", "energy ratio", "floor (1-eps)", "C4 holds",
+                 "Lemma 3 holds"])
+    for row in rows:
+        table.add_row([row[0], row[1], row[2],
+                       "yes" if row[3] else "NO",
+                       "yes" if row[4] else "NO"])
+    report("E3c: Lemma 3 / Corollary 4", table.render())
+    assert all(row[3] and row[4] for row in rows)
+
+
+def test_theorem5_gaussian_projector(benchmark, report):
+    """E3 ablation: the Gaussian projector obeys the same bound."""
+    config = RPRecoveryConfig(projector_family="gaussian",
+                              projection_dims=(40, 160),
+                              epsilon_labels=(0.35, 0.18))
+    result = run_once(benchmark, run_rp_recovery, config)
+    report("E3b: Theorem 5 with a Gaussian projector", result.render())
+    assert result.all_bounds_hold()

@@ -1,0 +1,29 @@
+"""Bench E5: the §5 running-time claim.
+
+Wall-clock of direct sparse LSI (``O(m·n·c)``) against the two-step
+pipeline (``O(m·l·(l+c))``) across universe sizes, next to the
+flop-model prediction.
+"""
+
+from conftest import run_once
+
+from repro.experiments.timing import TimingConfig, run_timing
+
+
+def test_two_step_speedup(benchmark, report):
+    """E5: speedup across universe sizes."""
+    result = run_once(benchmark, run_timing, TimingConfig())
+    report("E5: direct LSI vs random-projection two-step",
+           result.render())
+    assert result.speedup_grows_with_n()
+    # At the largest n the two-step pipeline must actually win.
+    assert result.points[-1].measured_speedup > 1.0
+
+
+def test_two_step_speedup_wide_corpus(benchmark, report):
+    """E5 ablation: more documents, fixed universe."""
+    config = TimingConfig(universe_sizes=(6000,), n_documents=600,
+                          repeats=3)
+    result = run_once(benchmark, run_timing, config)
+    report("E5b: two-step timing, 6000-term universe", result.render())
+    assert result.points[0].measured_speedup > 1.0

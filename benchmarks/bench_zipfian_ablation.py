@@ -1,0 +1,66 @@
+"""Bench A4 (ablation): Zipfian vs uniform primary-term distributions.
+
+Theorem 2 requires the per-term probability cap τ to be small.  Zipfian
+topics violate that locally (the rank-1 term carries a constant fraction
+of the topic's mass), so this ablation probes how sensitive LSI's topic
+recovery actually is to the uniform-primary idealisation: skewness and
+angle statistics under Zipf exponents 0 (uniform) to 1.4.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.lsi import LSIModel
+from repro.core.skewness import angle_statistics, skewness
+from repro.corpus.sampler import generate_corpus
+from repro.corpus.separable import (
+    build_separable_model,
+    build_zipfian_separable_model,
+)
+from repro.utils.tables import Table
+
+
+def test_zipfian_topics(benchmark, report):
+    """A4: skewness under increasingly skewed term distributions."""
+
+    def run():
+        rows = []
+        for exponent in (None, 0.5, 1.0, 1.4):
+            if exponent is None:
+                model = build_separable_model(600, 10)
+                label = "uniform"
+            else:
+                model = build_zipfian_separable_model(
+                    600, 10, exponent=exponent, seed=11)
+                label = f"zipf s={exponent}"
+            corpus = generate_corpus(model, 300, seed=12)
+            labels = corpus.topic_labels()
+            matrix = corpus.term_document_matrix()
+            lsi = LSIModel.fit(matrix, 10, engine="lanczos", seed=13)
+            stats = angle_statistics(lsi.document_vectors(), labels)
+            rows.append((label,
+                         model.max_term_probability(),
+                         skewness(lsi.document_vectors(), labels),
+                         stats.intratopic_mean,
+                         stats.intertopic_mean))
+        return rows
+
+    rows = run_once(benchmark, run)
+    table = Table(
+        title="A4: Zipfian primary terms (k=10, mass 0.95)",
+        headers=["distribution", "tau", "LSI skewness",
+                 "intra mean", "inter mean"])
+    for row in rows:
+        table.add_row(list(row))
+    report("A4: Zipfian term-distribution ablation", table.render())
+
+    by_label = {row[0]: row for row in rows}
+    # Topic structure survives realistic skew: intertopic pairs stay
+    # near-orthogonal at every exponent.
+    assert all(row[4] > 1.2 for row in rows)
+    # tau grows with the exponent — Theorem 2's hypothesis weakens...
+    assert by_label["zipf s=1.4"][1] > by_label["uniform"][1]
+    # ...yet skewness barely moves: the small-tau hypothesis is
+    # sufficient, not necessary.  LSI's topic recovery is robust to
+    # realistic term-frequency skew.
+    assert by_label["zipf s=1.4"][2] <= by_label["uniform"][2] + 0.1

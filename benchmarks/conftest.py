@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one artifact from the experiment index in
+DESIGN.md: it runs the experiment once under pytest-benchmark timing
+(``rounds=1`` — these are experiment regenerations, not microbenchmarks)
+and prints the paper-style table so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the paper's evaluation on the terminal.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer; return result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment report so it survives pytest's capture."""
+
+    def _report(title: str, body: str):
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+            print(body)
+
+    return _report

@@ -1,0 +1,71 @@
+"""The §5 speedup: random projection before LSI.
+
+Demonstrates the paper's two-step method on a corpus large enough for
+the timing to be meaningful:
+
+1. choose the projection dimension ``l`` (the JL machinery);
+2. run ``B = √(n/l)·Rᵀ·A`` followed by rank-``2k`` LSI on ``B``;
+3. verify Theorem 5's recovery bound
+   ``‖A − B₂ₖ‖_F² ≤ ‖A − Aₖ‖_F² + 2ε‖A‖_F²``;
+4. compare wall-clock against direct LSI and against the asymptotic
+   cost model ``O(m·l·(l+c))`` vs ``O(m·n·c)``.
+
+Run:  python examples/fast_lsi_random_projection.py
+"""
+
+from repro import (
+    LSIModel,
+    TwoStepLSI,
+    build_separable_model,
+    generate_corpus,
+    lsi_cost_model,
+)
+from repro.utils.timing import Timer
+
+
+def main():
+    n_terms, n_topics, n_documents = 3000, 15, 400
+    model = build_separable_model(n_terms, n_topics)
+    corpus = generate_corpus(model, n_documents, seed=5)
+    matrix = corpus.term_document_matrix()
+    c = matrix.mean_nonzeros_per_column()
+    print(f"corpus: n={n_terms} terms, m={n_documents} documents, "
+          f"c={c:.1f} nonzeros/doc, k={n_topics}")
+
+    projection_dim = 80
+    epsilon = 0.35  # the accuracy regime l=80 roughly corresponds to
+
+    direct_timer = Timer()
+    with direct_timer:
+        direct = LSIModel.fit(matrix, n_topics, engine="lanczos", seed=0)
+    print(f"\ndirect LSI: {direct_timer.last_seconds:.3f}s, "
+          f"residual ||A-Ak||_F = {direct.residual_norm():.1f}")
+
+    two_step_timer = Timer()
+    with two_step_timer:
+        fast = TwoStepLSI.fit(matrix, n_topics, projection_dim, seed=0)
+    print(f"two-step (l={projection_dim}, rank {fast.inner_rank} on the "
+          f"projection): {two_step_timer.last_seconds:.3f}s")
+
+    report = fast.recovery_report(epsilon=epsilon)
+    print("\nTheorem 5 check:")
+    print(f"  ||A - B2k||_F^2 = {report.two_step_residual_sq:,.0f}")
+    print(f"  ||A - Ak ||_F^2 = {report.direct_residual_sq:,.0f}")
+    print(f"  bound (direct + 2*eps*||A||_F^2) = {report.bound:,.0f}")
+    print(f"  bound holds: {report.holds}")
+    print(f"  recovery ratio (captured energy vs direct LSI) = "
+          f"{report.recovery_ratio:.3f}")
+
+    cost = lsi_cost_model(n_terms, n_documents, c, projection_dim)
+    measured = (direct_timer.last_seconds
+                / max(two_step_timer.last_seconds, 1e-9))
+    print(f"\ncost model: direct {cost.direct:,.0f} ops vs two-step "
+          f"{cost.two_step:,.0f} ops -> predicted speedup "
+          f"{cost.speedup:.1f}x")
+    print(f"measured wall-clock speedup: {measured:.1f}x")
+    print("\n(the asymptotic win grows with n: the projection touches "
+          "each nonzero once, after which all work is l-dimensional)")
+
+
+if __name__ == "__main__":
+    main()

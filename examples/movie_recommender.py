@@ -1,0 +1,74 @@
+"""Collaborative filtering with spectral methods (§6's closing analogy).
+
+"The rows and columns of A could in general be, instead of terms and
+documents, consumers and products, viewers and movies."  This example
+builds a synthetic movie-rating world with latent taste groups, hides a
+slice of every viewer's history, and compares three recommenders on
+recovering the hidden movies:
+
+- the spectral recommender (LSI on the movie×viewer matrix),
+- raw-space cosine kNN,
+- global popularity.
+
+Run:  python examples/movie_recommender.py
+"""
+
+from repro import (
+    CosineKNNRecommender,
+    LatentPreferenceModel,
+    PopularityRecommender,
+    SpectralRecommender,
+    evaluate_recommender,
+)
+
+
+def main():
+    n_movies, n_taste_groups, n_viewers = 400, 8, 250
+    world = LatentPreferenceModel(
+        n_movies, n_taste_groups, primary_mass=0.9,
+        interactions_low=25, interactions_high=70)
+    data = world.generate(n_viewers, holdout_fraction=0.25, seed=13)
+    print(f"world: {n_movies} movies, {n_taste_groups} latent taste "
+          f"groups, {n_viewers} viewers")
+    print(f"training interactions: {data.train.nnz} "
+          f"({data.train.density:.1%} dense); one quarter of each "
+          "viewer's movies hidden for evaluation")
+
+    engines = {
+        "popularity": PopularityRecommender().fit(data.train),
+        "cosine kNN (raw space)":
+            CosineKNNRecommender(n_neighbors=15).fit(data.train),
+        f"spectral (rank {n_taste_groups})":
+            SpectralRecommender(n_taste_groups).fit(data.train),
+    }
+
+    print(f"\n{'engine':<28} {'P@10':>7} {'R@10':>7} {'hit rate':>9}")
+    for name, engine in engines.items():
+        ev = evaluate_recommender(engine, data, top_n=10)
+        print(f"{name:<28} {ev.precision_at_n:>7.3f} "
+              f"{ev.recall_at_n:>7.3f} {ev.hit_rate:>9.3f}")
+
+    # Rank sensitivity: the latent dimension matters the same way the
+    # LSI rank k matters for topics — too small merges taste groups,
+    # roughly-right recovers them.
+    print("\nrank sweep for the spectral recommender:")
+    for rank in (2, 4, 8, 16, 32):
+        engine = SpectralRecommender(rank).fit(data.train)
+        ev = evaluate_recommender(engine, data, top_n=10)
+        marker = "  <- true group count" if rank == n_taste_groups else ""
+        print(f"  rank {rank:>2}: P@10 = {ev.precision_at_n:.3f}{marker}")
+
+    # Peek at one viewer.
+    viewer = 0
+    spectral = engines[f"spectral (rank {n_taste_groups})"]
+    recs = spectral.recommend(viewer, data.train, top_n=5)
+    hidden = data.held_out[viewer]
+    print(f"\nviewer 0 (taste group {int(data.taste_labels[viewer])}): "
+          f"top-5 recommendations {list(recs)}")
+    print(f"  hidden movies recovered: "
+          f"{sorted(set(int(r) for r in recs) & hidden)} "
+          f"out of {sorted(hidden)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Reproduce the paper's §4 experimental table at full scale.
+
+The paper: 1000 documents of 50–100 terms from a 2000-term, 20-topic,
+0.05-separable model; angles between all document pairs measured in the
+original space and the rank-20 LSI space.
+
+This script runs the exact configuration and prints our numbers next to
+the paper's.  Takes a minute or two (the 1000×1000 pair angle matrices
+and a rank-20 sparse SVD).
+
+Run:  python examples/reproduce_paper_table.py [--quick]
+"""
+
+import sys
+
+from repro.experiments.angle_table import (
+    PAPER_REPORTED,
+    AngleTableConfig,
+    run_angle_table,
+)
+
+
+def main():
+    config = AngleTableConfig()
+    if "--quick" in sys.argv:
+        config = config.scaled(0.25)
+        print("(quick mode: quarter-scale corpus)\n")
+
+    result = run_angle_table(config)
+    print(result.render())
+
+    print("\npaper's reported values (radians):")
+    for (pair_kind, space), (mn, mx, avg, std) in PAPER_REPORTED.items():
+        print(f"  {pair_kind:>10} / {space:<8}: min {mn:<6} max {mx:<6} "
+              f"avg {avg:<7} std {std}")
+
+    print("\nkey comparison (full-scale run):")
+    print(f"  intratopic average angle: original "
+          f"{result.original.intratopic_mean:.3f} vs paper 1.09; "
+          f"LSI {result.lsi.intratopic_mean:.4f} vs paper 0.0177")
+    print(f"  intertopic average angle: original "
+          f"{result.original.intertopic_mean:.3f} vs paper 1.57; "
+          f"LSI {result.lsi.intertopic_mean:.3f} vs paper 1.55")
+    print("\nthe phenomenon: intratopic angles collapse by ~two orders "
+          "of magnitude in the LSI space\nwhile intertopic pairs stay "
+          "essentially orthogonal.")
+
+    # A textual figure: the full intratopic angle distributions the
+    # table's four numbers summarise.
+    from repro.experiments.angle_table import collect_angle_samples
+    from repro.utils.histogram import histogram, side_by_side
+
+    sample_config = config if "--quick" in sys.argv else \
+        config.scaled(0.4)
+    original, lsi = collect_angle_samples(sample_config)
+    print("\nintratopic angle distributions (radians):\n")
+    print(side_by_side(
+        histogram(original["intratopic"], bins=12, width=26,
+                  value_range=(0.0, 1.6), title="original space"),
+        histogram(lsi["intratopic"], bins=12, width=26,
+                  value_range=(0.0, 1.6), title="rank-k LSI space")))
+
+
+if __name__ == "__main__":
+    main()

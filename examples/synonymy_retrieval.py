@@ -1,0 +1,93 @@
+"""Synonymy: where LSI beats keyword matching.
+
+The paper's motivating failure of conventional retrieval: a query says
+"car", the relevant documents say "automobile", and cosine-in-term-space
+scores them zero.  This example manufactures that exact situation with
+the paper's synonym model (two terms with identical co-occurrences),
+then shows
+
+1. the spectral signature — the synonym *difference* direction has tiny
+   energy in ``A·Aᵀ`` and is projected out by rank-``k`` LSI;
+2. the retrieval consequence — querying with one synonym, LSI still
+   finds the documents that only use the other, while the vector-space
+   model misses most of them.
+
+Run:  python examples/synonymy_retrieval.py
+"""
+
+import numpy as np
+
+from repro import (
+    LSIModel,
+    VectorSpaceModel,
+    build_separable_model,
+    difference_direction_analysis,
+    generate_corpus,
+    synonym_collapse,
+)
+from repro.corpus.synonyms import split_term_into_synonyms
+from repro.ir.metrics import average_precision, recall_at_k
+
+
+def main():
+    model = build_separable_model(n_terms=400, n_topics=8,
+                                  primary_mass=0.95)
+    corpus = generate_corpus(model, 300, seed=11)
+    labels = corpus.topic_labels()
+    matrix = corpus.term_document_matrix()
+
+    # Pick a frequent primary term of topic 0 and split it into a
+    # synonym pair: each occurrence flips a fair coin between the
+    # original term ("car") and a brand-new term ("automobile").
+    car = 7                       # a primary term of topic 0
+    matrix = split_term_into_synonyms(matrix, car, seed=3)
+    automobile = matrix.shape[0] - 1
+    print(f"split term {car} -> synonym pair ({car}, {automobile})")
+    print(f"documents containing {car}: "
+          f"{int(np.count_nonzero(matrix.get_row(car)))}, "
+          f"containing {automobile}: "
+          f"{int(np.count_nonzero(matrix.get_row(automobile)))}")
+
+    # 1. The spectral signature (§4's synonymy argument).
+    report = difference_direction_analysis(matrix, car, automobile,
+                                           rank=model.n_topics)
+    print("\nspectral signature of the pair:")
+    print(f"  difference-direction energy / top eigenvalue = "
+          f"{report.relative_energy:.5f}  (tiny => near-null direction)")
+    print(f"  projection of the difference onto the LSI space = "
+          f"{report.alignment_with_lsi_space:.4f}  "
+          f"(near 0 => LSI projects it out)")
+    collapse = synonym_collapse(matrix, car, automobile,
+                                rank=model.n_topics)
+    print(f"  term cosine: raw space {collapse.raw_cosine:.3f} -> "
+          f"LSI space {collapse.lsi_cosine:.3f}")
+
+    # 2. The retrieval consequence.  Query = the word "automobile" alone;
+    # relevant documents = everything on topic 0 — including the many
+    # documents that only ever said "car".
+    query = np.zeros(matrix.shape[0])
+    query[automobile] = 1.0
+    relevant = {i for i, label in enumerate(labels) if label == 0}
+    # Restrict to documents that do NOT contain the query term at all:
+    # these are invisible to keyword matching.
+    hidden = {i for i in relevant if matrix.get_column(i)[automobile] == 0}
+    print(f"\nquery: single term {automobile} ('automobile')")
+    print(f"relevant documents: {len(relevant)}, of which {len(hidden)} "
+          f"never use the query term")
+
+    vsm = VectorSpaceModel.fit(matrix)
+    lsi = LSIModel.fit(matrix, rank=model.n_topics, seed=0)
+    cutoff = len(relevant)
+    for name, ranking in (("VSM", vsm.rank(query)),
+                          ("LSI", lsi.rank_documents(query))):
+        ap = average_precision(ranking, relevant)
+        recall_hidden = recall_at_k(ranking, hidden, cutoff)
+        print(f"{name}: average precision = {ap:.3f}; "
+              f"recall of term-free relevant docs in top-{cutoff} = "
+              f"{recall_hidden:.3f}")
+    print("\nLSI retrieves the 'car'-only documents because both terms "
+          "share the topic's latent direction; VSM cannot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""A miniature search engine over raw text: pipeline → three retrievers.
+
+Builds the full text stack on a small hand-written document collection:
+
+1. :class:`~repro.corpus.pipeline.TextPipeline` — tokenise, remove stop
+   words, Porter-stem, prune, weight (the preprocessing the paper says
+   makes ε-separability realistic);
+2. three retrieval paradigms over the same index:
+   - Boolean ("precise predicates" — the database paradigm of the
+     paper's introduction),
+   - the vector-space model,
+   - LSI;
+3. a vocabulary-mismatch query where the paradigms diverge.
+
+Run:  python examples/text_pipeline_search.py
+"""
+
+from repro import LSIModel, VectorSpaceModel
+from repro.corpus.pipeline import TextPipeline
+from repro.corpus.stemmer import porter_stem
+from repro.ir.boolean import BooleanRetriever
+from repro.ir.index import InvertedIndex
+
+DOCUMENTS = [
+    # autos (0-3)
+    "The automobile engine roared as the car accelerated down the road",
+    "Vintage automobiles and classic cars fill the collector's garage",
+    "Car engines require regular oil changes and engine maintenance",
+    "The automotive industry produces millions of vehicles and engines",
+    # space (4-7)
+    "The starship cruised past the galaxy toward a distant nebula",
+    "Astronomers observed galaxies colliding near the bright nebula",
+    "The spacecraft's engine fired, pushing the starship out of orbit",
+    "Galactic surveys map the stars and nebulae of our galaxy",
+    # cooking (8-11)
+    "Simmer the sauce slowly and season the vegetables with herbs",
+    "The chef seasoned the roasted vegetables with fresh garden herbs",
+    "A slow simmered sauce brings out the flavor of the herbs",
+    "Roast the vegetables until tender and finish with a herb sauce",
+]
+
+LABELS = ["autos"] * 4 + ["space"] * 4 + ["cooking"] * 4
+
+
+def show(title, ids):
+    names = [f"d{int(i)}({LABELS[int(i)]})" for i in ids]
+    print(f"  {title:<22} {' '.join(names) if names else '(nothing)'}")
+
+
+def main():
+    pipeline = TextPipeline(stem=True, min_documents=1)
+    matrix = pipeline.fit_transform(DOCUMENTS)
+    print(f"pipeline: {pipeline}")
+    print(f"matrix: {matrix.shape[0]} stems x {matrix.shape[1]} docs, "
+          f"{matrix.nnz} nonzeros\n")
+
+    boolean = BooleanRetriever(InvertedIndex.from_matrix(matrix),
+                               vocabulary=pipeline.vocabulary,
+                               process_token=porter_stem)
+    vsm = VectorSpaceModel.fit(matrix)
+    lsi = LSIModel.fit(matrix, rank=3, engine="exact")
+
+    print("query: 'galaxy AND nebula' (Boolean — precise predicate)")
+    show("boolean:", boolean.search_ranked("galaxy AND nebula"))
+
+    print("\nquery: 'seasoned vegetables' (free text)")
+    query = pipeline.query_vector("seasoned vegetables")
+    show("VSM top-4:", vsm.rank(query, top_k=4))
+    show("LSI top-4:", lsi.rank_documents(query, top_k=4))
+
+    # The synonymy probe: 'car' never co-occurs with d1 and d3's exact
+    # words? Query a term that only some relevant docs contain.
+    print("\nquery: 'automobile' — relevant docs that say only 'car' "
+          "are invisible to exact matching")
+    query = pipeline.query_vector("automobile")
+    boolean_hits = boolean.search_ranked("automobile")
+    show("boolean:", boolean_hits)
+    show("VSM top-4:", vsm.rank(query, top_k=4))
+    show("LSI top-4:", lsi.rank_documents(query, top_k=4))
+    print("\nLSI surfaces the whole autos cluster — including documents "
+          "with no\nsurface-form overlap — because 'automobile' and "
+          "'car' share a latent direction.")
+
+
+if __name__ == "__main__":
+    main()

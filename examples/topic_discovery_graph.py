@@ -1,0 +1,64 @@
+"""Theorem 6 in action: topics as high-conductance subgraphs.
+
+Builds the §6 graph-theoretic corpus model two ways and shows rank-``k``
+spectral analysis discovering the topics in both:
+
+1. a planted-partition graph (the theorem's literal hypothesis: ``k``
+   high-conductance blocks joined by an ε fraction of cross weight),
+   swept over ε to find where discovery starts degrading;
+2. the document-similarity graph ``AᵀA`` of a generated corpus — the
+   paper's "this distance matrix could be derived from, or in fact
+   coincide with, A·Aᵀ" construction.
+
+Run:  python examples/topic_discovery_graph.py
+"""
+
+from repro import (
+    build_separable_model,
+    discover_topics,
+    generate_corpus,
+    planted_partition_graph,
+)
+from repro.core.spectral_graph import theorem6_premises
+from repro.graphs import document_similarity_graph
+
+
+def main():
+    # --- 1. Planted partitions across the cross-weight fraction ε ------
+    k, block = 6, 35
+    print(f"planted partition: {k} blocks of {block} vertices")
+    print(f"{'epsilon':>8} {'accuracy':>9} {'eigengap':>9} "
+          f"{'min conductance':>16} {'premises hold':>14}")
+    for epsilon in (0.01, 0.05, 0.1, 0.2, 0.4, 0.8):
+        graph, labels = planted_partition_graph(
+            [block] * k, inter_fraction=epsilon, seed=17)
+        discovery = discover_topics(graph, k, seed=17)
+        premises = theorem6_premises(graph, labels)
+        print(f"{epsilon:>8.2f} "
+              f"{discovery.accuracy_against(labels):>9.3f} "
+              f"{discovery.eigengap:>9.3f} "
+              f"{premises.block_conductances.min():>16.3f} "
+              f"{str(premises.satisfied()):>14}")
+    print("discovery is exact while the cross fraction is small — the "
+          "Theorem 6 regime —\nand degrades gracefully as epsilon grows "
+          "past the theorem's hypothesis.")
+
+    # --- 2. A document graph derived from a real generated corpus -----
+    model = build_separable_model(n_terms=500, n_topics=k)
+    corpus = generate_corpus(model, 180, seed=19)
+    matrix = corpus.term_document_matrix()
+    graph = document_similarity_graph(matrix)
+    discovery = discover_topics(graph, k, seed=19)
+    accuracy = discovery.accuracy_against(corpus.topic_labels())
+    print(f"\ndocument-similarity graph (weights = A^T A) on a "
+          f"{corpus.size}-document corpus:")
+    print(f"  topic recovery accuracy = {accuracy:.3f}, "
+          f"eigengap = {discovery.eigengap:.3f}")
+    print(f"  top eigenvalues of the normalised adjacency: "
+          f"{[round(float(v), 3) for v in discovery.eigenvalues]}")
+    print("  (k strong eigenvalues, then a drop — the spectral "
+          "signature of k topics)")
+
+
+if __name__ == "__main__":
+    main()

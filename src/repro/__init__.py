@@ -1,0 +1,131 @@
+"""repro — a reproduction of *Latent Semantic Indexing: A Probabilistic
+Analysis* (Papadimitriou, Raghavan, Tamaki, Vempala; PODS 1998 /
+JCSS 2000).
+
+The package implements the paper end to end:
+
+- the probabilistic corpus model of §3 (:mod:`repro.corpus`),
+- rank-``k`` LSI with its δ-skewness analysis of §4 (:mod:`repro.core`),
+- the random-projection speedup and Theorem 5 of §5
+  (:mod:`repro.core.two_step`),
+- the graph corpus model and Theorem 6 plus collaborative filtering of
+  §6 (:mod:`repro.graphs`, :mod:`repro.core.spectral_graph`,
+  :mod:`repro.core.cf`),
+- every substrate from scratch: sparse matrices, truncated-SVD engines,
+  perturbation theory (:mod:`repro.linalg`), an IR stack
+  (:mod:`repro.ir`), and the paper's formulas as executable checks
+  (:mod:`repro.theory`).
+
+Quick start::
+
+    from repro import paper_experiment_model, generate_corpus, LSIModel
+
+    model = paper_experiment_model()          # the paper's §4 corpus
+    corpus = generate_corpus(model, 1000, seed=0)
+    lsi = LSIModel.fit(corpus.term_document_matrix(), rank=20)
+    ranking = lsi.rank_documents(some_query_vector)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced artifact.
+"""
+
+from repro.core.cf import (
+    CosineKNNRecommender,
+    ItemKNNRecommender,
+    LatentPreferenceModel,
+    PopularityRecommender,
+    SpectralRecommender,
+    evaluate_recommender,
+)
+from repro.core.fkv import fkv_low_rank_approximation, sampled_lsi
+from repro.core.lsi import LSIModel
+from repro.core.random_projection import (
+    GaussianProjector,
+    OrthonormalProjector,
+    SignProjector,
+    johnson_lindenstrauss_dimension,
+    make_projector,
+)
+from repro.core.skewness import angle_statistics, skewness
+from repro.core.spectral_graph import discover_topics
+from repro.core.synonymy import (
+    difference_direction_analysis,
+    synonym_collapse,
+)
+from repro.core.two_step import TwoStepLSI, lsi_cost_model, theorem5_bound
+from repro.corpus import (
+    Corpus,
+    CorpusModel,
+    Document,
+    MixtureTopicFactors,
+    PureTopicFactors,
+    Style,
+    Topic,
+    Vocabulary,
+    build_separable_model,
+    generate_corpus,
+    generate_document,
+    paper_experiment_model,
+)
+from repro.errors import (
+    ConvergenceError,
+    NotFittedError,
+    RankError,
+    ReproError,
+    ValidationError,
+)
+from repro.graphs import WeightedGraph, planted_partition_graph
+from repro.ir import VectorSpaceModel, generate_topic_queries
+from repro.linalg import CSRMatrix, SVDResult, truncated_svd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRMatrix",
+    "ConvergenceError",
+    "Corpus",
+    "CorpusModel",
+    "CosineKNNRecommender",
+    "Document",
+    "GaussianProjector",
+    "ItemKNNRecommender",
+    "LSIModel",
+    "LatentPreferenceModel",
+    "MixtureTopicFactors",
+    "NotFittedError",
+    "OrthonormalProjector",
+    "PopularityRecommender",
+    "PureTopicFactors",
+    "RankError",
+    "ReproError",
+    "SVDResult",
+    "SignProjector",
+    "SpectralRecommender",
+    "Style",
+    "Topic",
+    "TwoStepLSI",
+    "ValidationError",
+    "VectorSpaceModel",
+    "Vocabulary",
+    "WeightedGraph",
+    "angle_statistics",
+    "build_separable_model",
+    "difference_direction_analysis",
+    "discover_topics",
+    "evaluate_recommender",
+    "fkv_low_rank_approximation",
+    "generate_corpus",
+    "generate_document",
+    "generate_topic_queries",
+    "johnson_lindenstrauss_dimension",
+    "lsi_cost_model",
+    "make_projector",
+    "paper_experiment_model",
+    "planted_partition_graph",
+    "sampled_lsi",
+    "skewness",
+    "synonym_collapse",
+    "theorem5_bound",
+    "truncated_svd",
+    "__version__",
+]

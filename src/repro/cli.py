@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — show the reproducible experiments with one-line summaries;
+- ``run <experiment> [--scale f] [--seed n]`` — run one experiment and
+  print its paper-style tables;
+- ``paper-table [--scale f]`` — shorthand for the paper's §4 table (T1);
+- ``report [ids...] [--output path]`` — run experiments and write one
+  Markdown report (all of them by default);
+- ``info`` — version and experiment inventory summary.
+
+The CLI exists so a downstream user can regenerate any artifact without
+writing Python; the benchmark harness remains the canonical driver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from repro import __version__
+
+#: Experiment id → (module summary, config factory, runner import path).
+_EXPERIMENTS = {
+    "t1": ("the paper's section-4 angle-statistics table",
+           "repro.experiments.angle_table",
+           "AngleTableConfig", "run_angle_table"),
+    "e2": ("skewness vs corpus size and epsilon (Theorems 2/3)",
+           "repro.experiments.skewness_sweep",
+           "SkewnessSweepConfig", "run_skewness_sweep"),
+    "e3": ("Theorem 5 random-projection recovery",
+           "repro.experiments.rp_recovery",
+           "RPRecoveryConfig", "run_rp_recovery"),
+    "e4": ("Johnson-Lindenstrauss distance distortion (Lemma 2)",
+           "repro.experiments.jl_distortion",
+           "JLDistortionConfig", "run_jl_distortion"),
+    "e5": ("direct LSI vs two-step running time",
+           "repro.experiments.timing",
+           "TimingConfig", "run_timing"),
+    "e6": ("synonym pairs under LSI",
+           "repro.experiments.synonymy_exp",
+           "SynonymyConfig", "run_synonymy"),
+    "e7": ("Theorem 6 spectral subgraph discovery",
+           "repro.experiments.graph_topics",
+           "GraphTopicsConfig", "run_graph_topics"),
+    "e8": ("retrieval quality: LSI vs VSM vs RP+LSI",
+           "repro.experiments.retrieval_exp",
+           "RetrievalConfig", "run_retrieval_experiment"),
+    "e9": ("FKV sampling vs uniform sampling vs projection",
+           "repro.experiments.fkv_exp",
+           "FKVConfig", "run_fkv_experiment"),
+    "e10": ("spectral collaborative filtering",
+            "repro.experiments.cf_exp",
+            "CFConfig", "run_cf_experiment"),
+    "x1": ("extension: multi-topic (mixture) documents",
+           "repro.experiments.mixture_ext",
+           "MixtureConfig", "run_mixture_experiment"),
+    "x2": ("extension: robustness to authorship styles",
+           "repro.experiments.style_robustness",
+           "StyleRobustnessConfig", "run_style_robustness"),
+    "x3": ("extension: polysemous terms",
+           "repro.experiments.polysemy_exp",
+           "PolysemyConfig", "run_polysemy"),
+    "x4": ("Theorem 2's spectral engine: block conductance and gaps",
+           "repro.experiments.conductance_exp",
+           "ConductanceConfig", "run_conductance_experiment"),
+    "x5": ("folding-in drift vs refitting",
+           "repro.experiments.folding_exp",
+           "FoldingConfig", "run_folding_experiment"),
+    "x6": ("document clustering/classification per space",
+           "repro.experiments.classification_exp",
+           "ClassificationConfig", "run_classification"),
+    "x7": ("query repair (Rocchio PRF) vs space repair (LSI)",
+           "repro.experiments.prf_exp",
+           "PRFConfig", "run_prf_experiment"),
+}
+
+
+def _load_experiment(experiment_id: str):
+    import importlib
+
+    summary, module_name, config_name, runner_name = \
+        _EXPERIMENTS[experiment_id]
+    module = importlib.import_module(module_name)
+    return getattr(module, config_name), getattr(module, runner_name)
+
+
+def _apply_overrides(config, *, scale=None, seed=None):
+    """Return a config with seed replaced and (for T1) scaling applied."""
+    if scale is not None and hasattr(config, "scaled"):
+        config = config.scaled(scale)
+    if seed is not None and hasattr(config, "seed"):
+        config = dataclasses.replace(config, seed=seed)
+    return config
+
+
+def _command_list(_args) -> int:
+    width = max(len(k) for k in _EXPERIMENTS)
+    for experiment_id, (summary, *_rest) in _EXPERIMENTS.items():
+        print(f"  {experiment_id:<{width}}  {summary}")
+    return 0
+
+
+def _command_info(_args) -> int:
+    print(f"repro {__version__} — reproduction of 'Latent Semantic "
+          "Indexing: A Probabilistic Analysis' (PODS 1998)")
+    print(f"{len(_EXPERIMENTS)} reproducible experiments; "
+          "run `python -m repro list` to enumerate them")
+    return 0
+
+
+def _command_run(args) -> int:
+    experiment_id = args.experiment.lower()
+    if experiment_id not in _EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; choose from "
+              f"{', '.join(_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    config_cls, runner = _load_experiment(experiment_id)
+    config = _apply_overrides(config_cls(), scale=args.scale,
+                              seed=args.seed)
+    result = runner(config)
+    print(result.render())
+    return 0
+
+
+def _command_report(args) -> int:
+    from repro.experiments.report import write_report
+
+    experiment_ids = args.experiments or None
+    path = write_report(args.output, experiment_ids)
+    print(f"wrote {path}")
+    return 0
+
+
+def _command_paper_table(args) -> int:
+    config_cls, runner = _load_experiment("t1")
+    config = _apply_overrides(config_cls(), scale=args.scale,
+                              seed=args.seed)
+    result = runner(config)
+    print(result.render())
+    from repro.experiments.angle_table import PAPER_REPORTED
+
+    print("\npaper reported (radians):")
+    for (kind, space), values in PAPER_REPORTED.items():
+        print(f"  {kind:>10}/{space:<8} min={values[0]} max={values[1]} "
+              f"avg={values[2]} std={values[3]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Latent Semantic Indexing: A "
+                    "Probabilistic Analysis' (PODS 1998)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list reproducible experiments") \
+        .set_defaults(handler=_command_list)
+    subparsers.add_parser("info", help="version and inventory") \
+        .set_defaults(handler=_command_info)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment and print its tables")
+    run_parser.add_argument("experiment",
+                            help="experiment id (see `list`)")
+    run_parser.add_argument("--scale", type=float, default=None,
+                            help="scale factor for configs that "
+                                 "support it (e.g. t1)")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="override the experiment seed")
+    run_parser.set_defaults(handler=_command_run)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="run experiments and write one Markdown report")
+    report_parser.add_argument("--output", default="report.md",
+                               help="output path (default report.md)")
+    report_parser.add_argument("experiments", nargs="*",
+                               help="experiment ids (default: all)")
+    report_parser.set_defaults(handler=_command_report)
+
+    table_parser = subparsers.add_parser(
+        "paper-table",
+        help="reproduce the paper's angle table (alias of `run t1`)")
+    table_parser.add_argument("--scale", type=float, default=None)
+    table_parser.add_argument("--seed", type=int, default=None)
+    table_parser.set_defaults(handler=_command_paper_table)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "handler", None):
+        parser.print_help()
+        return 1
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

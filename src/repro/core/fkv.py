@@ -1,0 +1,166 @@
+"""Sampling-based LSI speedups (§5's related approaches).
+
+Two samplers the paper discusses as alternatives to random projection:
+
+- **Frieze–Kannan–Vempala** (:func:`fkv_low_rank_approximation`):
+  length-squared sampling of ``s`` columns, rescaled to keep the Gram
+  matrix unbiased, then the top-``k`` left singular vectors ``H`` of the
+  sample define the approximation ``D = H·Hᵀ·A`` of rank ≤ ``k`` with
+
+      ``‖A − D‖_F² ≤ ‖A − Aₖ‖_F² + (2√(k/s))·‖A‖_F²``
+
+  in expectation — the guarantee the paper quotes
+  (``‖A−D‖_F ≤ ‖A−Aₖ‖_F + ε‖A‖_F`` for ``s = poly(k, 1/ε)``).
+
+- **Folklore document sampling** (:func:`sampled_lsi`): "LSI is often
+  done not on the entire corpus, but on a randomly selected subcorpus"
+  — uniform document sampling with *no* rescaling and no guarantee; the
+  baseline the paper contrasts its rigorous approaches against.
+
+Both return a :class:`SampledLSIResult` whose ``term_basis`` can fold the
+full corpus (and queries) into the discovered subspace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.linalg.operator import as_operator
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int, check_rank
+
+
+@dataclass(frozen=True)
+class SampledLSIResult:
+    """Outcome of a sampling-based approximate LSI.
+
+    Attributes:
+        term_basis: ``(n, k)`` orthonormal columns spanning the recovered
+            term subspace (the approximation is ``H·Hᵀ·A``).
+        sampled_indices: which columns were drawn.
+        method: ``"fkv"`` or ``"uniform"``.
+    """
+
+    term_basis: np.ndarray
+    sampled_indices: np.ndarray
+    method: str
+
+    @property
+    def rank(self) -> int:
+        """Dimension of the recovered subspace."""
+        return int(self.term_basis.shape[1])
+
+    def project_documents(self, matrix) -> np.ndarray:
+        """Fold term–document columns into the subspace: ``Hᵀ·A``."""
+        op = as_operator(matrix)
+        if op.shape[0] != self.term_basis.shape[0]:
+            raise ValidationError(
+                f"matrix has {op.shape[0]} terms; basis expects "
+                f"{self.term_basis.shape[0]}")
+        return op.rmatmat(self.term_basis).T
+
+    def reconstruct(self, matrix) -> np.ndarray:
+        """The rank-``k`` approximation ``H·Hᵀ·A`` as a dense array."""
+        return self.term_basis @ self.project_documents(matrix)
+
+    def residual_norm(self, matrix) -> float:
+        """``‖A − H·Hᵀ·A‖_F`` against the given matrix."""
+        op = as_operator(matrix)
+        dense = op.to_dense()
+        return float(np.linalg.norm(dense - self.reconstruct(op)))
+
+
+def fkv_low_rank_approximation(matrix, rank, n_samples, *,
+                               seed=None) -> SampledLSIResult:
+    """Frieze–Kannan–Vempala Monte-Carlo low-rank approximation.
+
+    Args:
+        matrix: ``n × m`` dense or CSR matrix.
+        rank: target rank ``k``.
+        n_samples: number of columns ``s`` to draw (with replacement,
+            proportional to squared column norms).
+        seed: RNG seed.
+
+    Returns:
+        :class:`SampledLSIResult` whose basis spans the top-``k`` left
+        singular directions of the rescaled sample.
+    """
+    op = as_operator(matrix)
+    n, m = op.shape
+    rank = check_rank(rank, min(n, m), "rank")
+    n_samples = check_positive_int(n_samples, "n_samples")
+    rng = as_generator(seed)
+
+    if isinstance(matrix, np.ndarray):
+        column_norms_sq = np.sum(np.asarray(matrix, dtype=np.float64) ** 2,
+                                 axis=0)
+    else:
+        column_norms_sq = matrix.column_norms() ** 2
+    total = float(column_norms_sq.sum())
+    if total <= 0:
+        raise ValidationError("matrix is numerically zero")
+    probabilities = column_norms_sq / total
+
+    chosen = rng.choice(m, size=n_samples, p=probabilities)
+    # Rescale column j by 1/sqrt(s·p_j) so E[S·Sᵀ] = A·Aᵀ.
+    scales = 1.0 / np.sqrt(n_samples * probabilities[chosen])
+    if isinstance(matrix, np.ndarray):
+        sample = np.asarray(matrix, dtype=np.float64)[:, chosen] * scales
+    else:
+        sample = matrix.select_columns(chosen).to_dense() * scales
+
+    u, _, _ = np.linalg.svd(sample, full_matrices=False)
+    basis = u[:, :rank]
+    return SampledLSIResult(term_basis=basis,
+                            sampled_indices=np.asarray(chosen),
+                            method="fkv")
+
+
+def fkv_error_bound(matrix, rank: int, n_samples: int) -> float:
+    """The FKV additive guarantee ``‖A−Aₖ‖_F² + 2√(k/s)·‖A‖_F²``.
+
+    Returns the bound on the *squared* Frobenius residual.
+    """
+    op = as_operator(matrix)
+    rank = check_rank(rank, min(op.shape), "rank")
+    n_samples = check_positive_int(n_samples, "n_samples")
+    from repro.linalg.svd import best_rank_k_error
+
+    direct_sq = best_rank_k_error(op, rank) ** 2
+    energy = op.frobenius_norm() ** 2
+    return direct_sq + 2.0 * np.sqrt(rank / n_samples) * energy
+
+
+def sampled_lsi(matrix, rank, n_documents, *, seed=None) -> SampledLSIResult:
+    """The folklore baseline: LSI on a uniform document subsample.
+
+    Draws ``n_documents`` columns uniformly *without* replacement and
+    without rescaling, computes their top-``k`` left singular vectors,
+    and uses them as the term basis for the whole corpus.  No accuracy
+    guarantee — this is the practice the paper's random-projection result
+    is meant to replace with something provable.
+    """
+    op = as_operator(matrix)
+    n, m = op.shape
+    rank = check_rank(rank, min(n, m), "rank")
+    n_documents = check_positive_int(n_documents, "n_documents")
+    if n_documents > m:
+        raise ValidationError(
+            f"cannot sample {n_documents} documents from {m}")
+    if n_documents < rank:
+        raise ValidationError(
+            f"need at least rank={rank} sampled documents, got "
+            f"{n_documents}")
+    rng = as_generator(seed)
+    chosen = rng.choice(m, size=n_documents, replace=False)
+    if isinstance(matrix, np.ndarray):
+        sample = np.asarray(matrix, dtype=np.float64)[:, chosen]
+    else:
+        sample = matrix.select_columns(chosen).to_dense()
+    u, _, _ = np.linalg.svd(sample, full_matrices=False)
+    return SampledLSIResult(term_basis=u[:, :rank],
+                            sampled_indices=np.asarray(chosen),
+                            method="uniform")

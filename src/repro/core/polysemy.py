@@ -1,0 +1,154 @@
+"""Polysemy analysis: what LSI does (and cannot do) with ambiguous terms.
+
+The mirror of the §4 synonymy story.  A polysemous term's LSI
+representation is a *superposition* of its senses' topic directions —
+unlike a synonym pair, nothing is projected out, so a bare one-word
+query stays ambiguous.  What LSI *does* buy is context sensitivity: a
+query combining the polyseme with context terms lands near the intended
+topic's direction, because the context dominates the folded query.
+
+:func:`sense_superposition` measures the split of the merged term's LSI
+vector across topic directions; :func:`context_disambiguation` measures
+retrieval precision for bare vs contextualised queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.core.lsi import LSIModel
+from repro.linalg.dense import cosine_similarity
+from repro.utils.validation import check_positive_int
+
+
+def topic_directions(lsi: LSIModel, labels) -> np.ndarray:
+    """Unit centroid direction of each topic's documents in LSI space.
+
+    Returns ``(k_topics, rank)``; row ``t`` is the normalised mean LSI
+    vector of topic ``t``'s documents.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (lsi.n_documents,):
+        raise ValidationError(
+            f"labels must have length {lsi.n_documents}")
+    vectors = lsi.document_vectors()
+    topics = np.unique(labels)
+    directions = np.zeros((topics.size, lsi.rank))
+    for row, topic in enumerate(topics):
+        centroid = vectors[:, labels == topic].mean(axis=1)
+        norm = np.linalg.norm(centroid)
+        directions[row] = centroid / norm if norm > 0 else centroid
+    return directions
+
+
+@dataclass(frozen=True)
+class SenseSuperposition:
+    """How a polysemous term's LSI vector splits across topics.
+
+    Attributes:
+        alignments: |cosine| of the term's LSI vector with each topic
+            direction.
+        primary_senses: the two topic indices the polyseme was built
+            from.
+        sense_mass_fraction: fraction of the total squared alignment
+            carried by the two true senses (≈ 1 when the superposition
+            is clean).
+    """
+
+    alignments: np.ndarray
+    primary_senses: tuple[int, int]
+    sense_mass_fraction: float
+
+    @property
+    def is_superposed(self) -> bool:
+        """Both true senses carry non-trivial alignment."""
+        a, b = self.primary_senses
+        return bool(self.alignments[a] > 0.1 and self.alignments[b] > 0.1)
+
+
+def sense_superposition(lsi: LSIModel, labels, polyseme_term: int,
+                        senses: tuple[int, int]) -> SenseSuperposition:
+    """Measure the topic-direction split of a polysemous term.
+
+    Args:
+        lsi: a fitted LSI model on the merged-term matrix.
+        labels: document topic labels.
+        polyseme_term: the merged term's row index.
+        senses: the two topic indices whose terms were merged.
+    """
+    polyseme_term = int(polyseme_term)
+    if not 0 <= polyseme_term < lsi.n_terms:
+        raise ValidationError(
+            f"term {polyseme_term} out of range for {lsi.n_terms} terms")
+    directions = topic_directions(lsi, labels)
+    term_vector = (lsi.term_basis * lsi.singular_values)[polyseme_term]
+    alignments = np.abs(np.array([
+        cosine_similarity(term_vector, direction)
+        for direction in directions]))
+    total = float(np.sum(alignments ** 2))
+    a, b = int(senses[0]), int(senses[1])
+    sense_mass = float(alignments[a] ** 2 + alignments[b] ** 2)
+    return SenseSuperposition(
+        alignments=alignments, primary_senses=(a, b),
+        sense_mass_fraction=sense_mass / total if total > 0 else 0.0)
+
+
+@dataclass(frozen=True)
+class ContextDisambiguation:
+    """Retrieval precision for bare vs contextualised polyseme queries.
+
+    Attributes:
+        bare_precision: P@cutoff for the one-word query, judged against
+            the *intended* sense only.
+        contextual_precision: P@cutoff when context terms of the
+            intended sense accompany the polyseme.
+        intended_sense: the topic treated as relevant.
+    """
+
+    bare_precision: float
+    contextual_precision: float
+    intended_sense: int
+
+    @property
+    def context_helps(self) -> bool:
+        """Whether context raised precision (LSI's disambiguation win)."""
+        return self.contextual_precision >= self.bare_precision
+
+
+def context_disambiguation(lsi: LSIModel, labels, polyseme_term: int,
+                           intended_sense: int, context_terms, *,
+                           cutoff: int = 10) -> ContextDisambiguation:
+    """Compare bare vs contextualised retrieval of a polysemous query.
+
+    Args:
+        lsi: fitted LSI model.
+        labels: document topic labels.
+        polyseme_term: the ambiguous term id.
+        intended_sense: the topic the user means.
+        context_terms: term ids accompanying the polyseme in the
+            contextual query (typically other primary terms of the
+            intended sense).
+        cutoff: precision cutoff.
+    """
+    cutoff = check_positive_int(cutoff, "cutoff")
+    labels = np.asarray(labels, dtype=np.int64)
+    intended_sense = int(intended_sense)
+
+    bare = np.zeros(lsi.n_terms)
+    bare[int(polyseme_term)] = 1.0
+    contextual = bare.copy()
+    for term in context_terms:
+        contextual[int(term)] += 1.0
+
+    def precision(query) -> float:
+        top = lsi.rank_documents(query, top_k=cutoff)
+        hits = sum(1 for d in top if labels[d] == intended_sense)
+        return hits / cutoff
+
+    return ContextDisambiguation(
+        bare_precision=precision(bare),
+        contextual_precision=precision(contextual),
+        intended_sense=intended_sense)

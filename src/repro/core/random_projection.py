@@ -1,0 +1,213 @@
+"""Random projection (§5): the Johnson–Lindenstrauss machinery.
+
+Lemma 2 (Johnson–Lindenstrauss, as the paper states it): projecting a
+unit vector of ``Rⁿ`` onto a random ``l``-dimensional subspace yields a
+squared length concentrated around ``l/n``; after scaling by
+``√(n/l)``, all pairwise distances among ``m`` points are preserved to
+``1 ± ε`` with high probability once ``l = Ω(log m / ε²)``.
+
+Three projector families share one interface (``project`` on vectors,
+columns, or CSR matrices — always with the norm-preserving scaling baked
+in):
+
+- :class:`OrthonormalProjector` — an exactly column-orthonormal ``R``
+  scaled by ``√(n/l)``: the paper's construction, verbatim;
+- :class:`GaussianProjector` — i.i.d. ``N(0, 1/l)`` entries: the standard
+  dense JL transform (orthonormal only in expectation, indistinguishable
+  in practice and cheaper to build);
+- :class:`SignProjector` — Achlioptas ±1 entries scaled by ``1/√l``:
+  database-friendly (no floating-point randomness, integer arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.linalg.dense import orthonormalize_columns
+from repro.linalg.operator import as_operator
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+
+def johnson_lindenstrauss_dimension(n_points: int, epsilon: float, *,
+                                    failure_probability: float = 0.01
+                                    ) -> int:
+    """Smallest ``l`` the paper's Lemma 2 tail bound certifies.
+
+    Per-vector failure probability is ``2√l · exp(−(l−1)ε²/24)``; a union
+    bound over all ``n_points·(n_points−1)/2`` difference vectors must
+    stay below ``failure_probability``.  The returned ``l`` is the
+    smallest integer satisfying that inequality (found by scanning, the
+    inequality being monotone in ``l`` beyond small values).
+    """
+    n_points = check_positive_int(n_points, "n_points")
+    if not 0.0 < epsilon < 0.5:
+        raise ValidationError(
+            f"epsilon must lie in (0, 0.5) per Lemma 2, got {epsilon}")
+    if not 0.0 < failure_probability < 1.0:
+        raise ValidationError(
+            "failure_probability must lie in (0, 1), got "
+            f"{failure_probability}")
+    n_pairs = max(1, n_points * (n_points - 1) // 2)
+    log_budget = np.log(failure_probability / (2.0 * n_pairs))
+
+    l = 2
+    while True:
+        tail_log = 0.5 * np.log(l) - (l - 1) * epsilon ** 2 / 24.0
+        if tail_log <= log_budget:
+            return l
+        l += 1
+        if l > 10_000_000:  # pragma: no cover - defensive
+            raise ValidationError("no feasible JL dimension found")
+
+
+class _BaseProjector:
+    """Common plumbing: build ``R`` (n × l), project with scaling."""
+
+    #: Human-readable family name, set by subclasses.
+    family = "base"
+
+    def __init__(self, input_dim: int, output_dim: int, *, seed=None):
+        self.input_dim = check_positive_int(input_dim, "input_dim")
+        self.output_dim = check_positive_int(output_dim, "output_dim")
+        if self.output_dim > self.input_dim:
+            raise ValidationError(
+                f"output_dim={output_dim} exceeds input_dim={input_dim}")
+        rng = as_generator(seed)
+        self.matrix, self.scale = self._build(rng)
+        self.matrix.setflags(write=False)
+
+    def _build(self, rng):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def project(self, vectors) -> np.ndarray:
+        """Project vectors or column sets down to ``output_dim``.
+
+        Accepts a 1-D vector (length ``n``), a dense ``(n, p)`` array, or
+        a CSR matrix (``n × p``); returns the projected, scaled result
+        with matching arity (``(l,)`` or ``(l, p)``).
+        """
+        arr = vectors
+        if isinstance(arr, np.ndarray) and arr.ndim == 1:
+            if arr.shape[0] != self.input_dim:
+                raise ValidationError(
+                    f"vector has {arr.shape[0]} dims; projector expects "
+                    f"{self.input_dim}")
+            return self.scale * (self.matrix.T @ arr)
+        op = as_operator(arr)
+        if op.shape[0] != self.input_dim:
+            raise ValidationError(
+                f"columns have {op.shape[0]} dims; projector expects "
+                f"{self.input_dim}")
+        return self.scale * op.rmatmat(self.matrix).T
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(n={self.input_dim}, "
+                f"l={self.output_dim})")
+
+
+class OrthonormalProjector(_BaseProjector):
+    """Projection onto a uniformly random ``l``-dimensional subspace.
+
+    ``R`` has exactly orthonormal columns (QR of a Gaussian matrix, which
+    yields a Haar-distributed subspace) and the output is scaled by
+    ``√(n/l)`` — the construction in the paper's §5, giving
+    ``B = √(n/l)·Rᵀ·A``.
+    """
+
+    family = "orthonormal"
+
+    def _build(self, rng):
+        # A Gaussian matrix is full column rank almost surely, so LAPACK
+        # QR orthonormalises it directly; the (measure-zero) deficient
+        # case falls back to modified Gram-Schmidt with fresh columns.
+        gaussian = rng.standard_normal((self.input_dim, self.output_dim))
+        basis, _ = np.linalg.qr(gaussian)
+        if basis.shape[1] < self.output_dim:  # pragma: no cover - rare
+            basis = orthonormalize_columns(gaussian)
+            while basis.shape[1] < self.output_dim:
+                extra = rng.standard_normal(
+                    (self.input_dim, self.output_dim - basis.shape[1]))
+                basis = orthonormalize_columns(
+                    np.column_stack([basis, extra]))
+        scale = float(np.sqrt(self.input_dim / self.output_dim))
+        return basis, scale
+
+
+class GaussianProjector(_BaseProjector):
+    """Dense i.i.d. Gaussian JL transform: entries ``N(0, 1)``, scale
+    ``1/√l``.
+
+    Column-orthonormal only in expectation; norms are preserved in
+    expectation exactly, and the JL concentration is the classical one.
+    """
+
+    family = "gaussian"
+
+    def _build(self, rng):
+        matrix = rng.standard_normal((self.input_dim, self.output_dim))
+        return matrix, float(1.0 / np.sqrt(self.output_dim))
+
+
+class SignProjector(_BaseProjector):
+    """Achlioptas ±1 projection: entries uniform on {−1, +1}, scale
+    ``1/√l``.
+
+    Same JL guarantee with database-friendly arithmetic.
+    """
+
+    family = "sign"
+
+    def _build(self, rng):
+        matrix = rng.choice([-1.0, 1.0],
+                            size=(self.input_dim, self.output_dim))
+        return matrix, float(1.0 / np.sqrt(self.output_dim))
+
+
+#: Family name → projector class, for configuration-driven experiments.
+PROJECTOR_FAMILIES = {
+    "orthonormal": OrthonormalProjector,
+    "gaussian": GaussianProjector,
+    "sign": SignProjector,
+}
+
+
+def make_projector(family: str, input_dim: int, output_dim: int, *,
+                   seed=None) -> _BaseProjector:
+    """Instantiate a projector by family name."""
+    try:
+        cls = PROJECTOR_FAMILIES[family]
+    except KeyError:
+        raise ValidationError(
+            f"unknown projector family {family!r}; expected one of "
+            f"{sorted(PROJECTOR_FAMILIES)}") from None
+    return cls(input_dim, output_dim, seed=seed)
+
+
+def distance_distortions(original_columns, projected_columns) -> np.ndarray:
+    """Pairwise-distance distortion ratios after projection.
+
+    For every pair ``(i, j)`` with nonzero original distance returns
+    ``‖v'_i − v'_j‖ / ‖v_i − v_j‖``; a perfect JL map gives all ones.
+    Used by the Lemma 2 experiments (E4).
+    """
+    original = np.asarray(original_columns, dtype=np.float64)
+    projected = np.asarray(projected_columns, dtype=np.float64)
+    if original.ndim != 2 or projected.ndim != 2:
+        raise ValidationError("column sets must be 2-D")
+    if original.shape[1] != projected.shape[1]:
+        raise ValidationError(
+            f"column counts differ: {original.shape[1]} vs "
+            f"{projected.shape[1]}")
+
+    def pair_distances(columns):
+        sq = np.sum(columns ** 2, axis=0)
+        gram = columns.T @ columns
+        d2 = sq[:, None] + sq[None, :] - 2.0 * gram
+        return np.sqrt(np.maximum(d2, 0.0))
+
+    d_orig = pair_distances(original)
+    d_proj = pair_distances(projected)
+    mask = np.triu(np.ones_like(d_orig, dtype=bool), k=1) & (d_orig > 1e-12)
+    return d_proj[mask] / d_orig[mask]

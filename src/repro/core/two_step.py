@@ -1,0 +1,273 @@
+"""The paper's two-step method (§5): random projection, then LSI.
+
+1. Project the ``n × m`` term–document matrix ``A`` to ``l`` dimensions:
+   ``B = √(n/l)·Rᵀ·A`` for a random column-orthonormal ``R``.
+2. Run rank-``2k`` LSI on ``B`` (twice the target rank because the
+   projection smears a little energy across singular directions).
+
+Theorem 5 guarantees the combination loses almost nothing:
+
+    ``‖A − B₂ₖ‖_F² ≤ ‖A − Aₖ‖_F² + 2ε·‖A‖_F²``
+
+where ``B₂ₖ = A·Σᵢ₌₁²ᵏ bᵢbᵢᵀ`` projects the documents onto the span of
+``B``'s top right singular vectors.  The running-time win is
+``O(m·l·(l+c))`` versus ``O(m·n·c)`` for direct LSI
+(:func:`lsi_cost_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotFittedError, ValidationError
+from repro.core.lsi import LSIModel
+from repro.core.random_projection import make_projector
+from repro.linalg.operator import as_operator
+from repro.utils.validation import (
+    check_positive_int,
+    check_rank,
+    check_vector,
+)
+
+
+def theorem5_bound(direct_residual_sq: float, epsilon: float,
+                   frobenius_norm_sq: float) -> float:
+    """The right-hand side of Theorem 5:
+    ``‖A − Aₖ‖_F² + 2ε·‖A‖_F²``."""
+    if direct_residual_sq < 0 or frobenius_norm_sq < 0:
+        raise ValidationError("squared norms must be non-negative")
+    if epsilon < 0:
+        raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+    return direct_residual_sq + 2.0 * epsilon * frobenius_norm_sq
+
+
+@dataclass(frozen=True)
+class LSICost:
+    """The §5 asymptotic operation counts, instantiated.
+
+    Attributes:
+        direct: ``m·n·c`` — direct LSI on the sparse matrix.
+        projection: ``m·c·l`` — computing the random projection.
+        lsi_after_projection: ``m·l²`` — LSI on the projected matrix.
+        two_step: ``m·l·(l + c)`` — the full two-step pipeline.
+    """
+
+    direct: float
+    projection: float
+    lsi_after_projection: float
+    two_step: float
+
+    @property
+    def speedup(self) -> float:
+        """Model-predicted speedup of the two-step method."""
+        if self.two_step == 0:
+            return float("inf")
+        return self.direct / self.two_step
+
+
+def lsi_cost_model(n_terms: int, n_documents: int,
+                   nonzeros_per_document: float,
+                   projection_dim: int) -> LSICost:
+    """Instantiate the paper's cost comparison for concrete sizes.
+
+    Args:
+        n_terms: ``n``.
+        n_documents: ``m``.
+        nonzeros_per_document: ``c`` — average terms per document.
+        projection_dim: ``l``.
+    """
+    n = check_positive_int(n_terms, "n_terms")
+    m = check_positive_int(n_documents, "n_documents")
+    l = check_positive_int(projection_dim, "projection_dim")
+    c = float(nonzeros_per_document)
+    if c <= 0:
+        raise ValidationError(
+            f"nonzeros_per_document must be positive, got {c}")
+    return LSICost(direct=float(m) * n * c,
+                   projection=float(m) * c * l,
+                   lsi_after_projection=float(m) * l * l,
+                   two_step=float(m) * l * (l + c))
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Theorem 5 measured on a concrete matrix.
+
+    Attributes:
+        two_step_residual_sq: ``‖A − B₂ₖ‖_F²`` (measured).
+        direct_residual_sq: ``‖A − Aₖ‖_F²`` (Eckart–Young optimum).
+        matrix_energy: ``‖A‖_F²``.
+        epsilon: the ε the caller targeted (for the bound column).
+        bound: ``direct + 2ε·energy`` — Theorem 5's guarantee.
+    """
+
+    two_step_residual_sq: float
+    direct_residual_sq: float
+    matrix_energy: float
+    epsilon: float
+    bound: float
+
+    @property
+    def holds(self) -> bool:
+        """Whether the measured residual respects the bound."""
+        return self.two_step_residual_sq <= self.bound + 1e-9
+
+    @property
+    def recovery_ratio(self) -> float:
+        """Captured-energy ratio vs direct LSI (1.0 = no loss).
+
+        ``(‖A‖² − ‖A − B₂ₖ‖²) / (‖A‖² − ‖A − Aₖ‖²)``.
+        """
+        direct_captured = self.matrix_energy - self.direct_residual_sq
+        if direct_captured <= 0:
+            return 1.0
+        return (self.matrix_energy - self.two_step_residual_sq) \
+            / direct_captured
+
+
+class TwoStepLSI:
+    """Random projection followed by rank-``r·k`` LSI on the projection.
+
+    Shares the retrieval interface of :class:`~repro.core.lsi.LSIModel`:
+    queries are projected by the same random map and folded into the
+    projected LSI space.
+
+    Attributes:
+        projector: the fitted random projector (``n → l``).
+        inner: the LSI model fitted on the projected matrix ``B``.
+        target_rank: the original LSI target ``k``.
+    """
+
+    def __init__(self, projector, inner: LSIModel, target_rank: int):
+        self.projector = projector
+        self.inner = inner
+        self.target_rank = target_rank
+        self._source = None  # set by fit() for recovery reporting
+
+    @classmethod
+    def fit(cls, matrix, rank, projection_dim, *,
+            projector_family: str = "orthonormal",
+            rank_multiplier: int = 2, engine: str = "exact",
+            seed=None) -> "TwoStepLSI":
+        """Run the two-step pipeline on a term–document matrix.
+
+        Args:
+            matrix: ``n × m`` dense or CSR term–document matrix.
+            rank: the LSI target ``k``.
+            projection_dim: the intermediate dimension ``l`` (chose via
+                :func:`~repro.core.random_projection.
+                johnson_lindenstrauss_dimension`).
+            projector_family: ``"orthonormal"`` (the paper's),
+                ``"gaussian"``, or ``"sign"``.
+            rank_multiplier: LSI rank on ``B`` is
+                ``rank_multiplier · rank`` (the paper argues 2).
+            engine: SVD engine for the *projected* matrix — it is small
+                (``l × m`` dense), so ``"exact"`` is the right default.
+            seed: RNG seed (drives the projector and any iterative SVD).
+        """
+        op = as_operator(matrix)
+        n, m = op.shape
+        rank = check_rank(rank, min(n, m), "rank")
+        projection_dim = check_positive_int(projection_dim,
+                                            "projection_dim")
+        rank_multiplier = check_positive_int(rank_multiplier,
+                                             "rank_multiplier")
+        inner_rank = min(rank_multiplier * rank, projection_dim, m)
+        projector = make_projector(projector_family, n, projection_dim,
+                                   seed=seed)
+        projected = projector.project(op)          # (l, m) dense
+        inner = LSIModel.fit(projected, inner_rank, engine=engine,
+                             seed=seed)
+        model = cls(projector, inner, rank)
+        model._source = op
+        return model
+
+    # ------------------------------------------------------------------
+    # Retrieval interface
+    # ------------------------------------------------------------------
+
+    @property
+    def projection_dim(self) -> int:
+        """The intermediate dimension ``l``."""
+        return self.projector.output_dim
+
+    @property
+    def inner_rank(self) -> int:
+        """The LSI rank used on the projected matrix (≈ ``2k``)."""
+        return self.inner.rank
+
+    @property
+    def n_documents(self) -> int:
+        """Corpus size ``m``."""
+        return self.inner.n_documents
+
+    def document_vectors(self) -> np.ndarray:
+        """Documents in the final (projected-LSI) space, ``(2k, m)``."""
+        return self.inner.document_vectors()
+
+    def project_query(self, query_vector) -> np.ndarray:
+        """Fold a raw term-space query through both steps."""
+        query = check_vector(query_vector, "query_vector")
+        return self.inner.project_query(self.projector.project(query))
+
+    def score(self, query_vector) -> np.ndarray:
+        """Cosine scores of all documents for a term-space query."""
+        projected = self.project_query(query_vector)
+        return self.inner.score_in_lsi_space(projected)
+
+    def rank_documents(self, query_vector, *, top_k=None) -> np.ndarray:
+        """Document ids by descending score."""
+        scores = self.score(query_vector)
+        order = np.argsort(-scores, kind="stable")
+        if top_k is not None:
+            order = order[:int(top_k)]
+        return order
+
+    # ------------------------------------------------------------------
+    # Theorem 5 accounting
+    # ------------------------------------------------------------------
+
+    def document_subspace(self) -> np.ndarray:
+        """``(m, 2k)`` orthonormal right singular vectors ``bᵢ`` of ``B``."""
+        return self.inner.svd.vt.T.copy()
+
+    def reconstruct(self) -> np.ndarray:
+        """``B₂ₖ = A·Σ bᵢbᵢᵀ`` as a dense ``n × m`` array."""
+        if self._source is None:
+            raise NotFittedError(
+                "TwoStepLSI must be built through fit() to reconstruct")
+        basis = self.document_subspace()            # (m, 2k)
+        partial = self._source.matmat(basis)        # (n, 2k)
+        return partial @ basis.T
+
+    def recovery_report(self, *, epsilon: float) -> RecoveryReport:
+        """Measure Theorem 5 on the fitted matrix.
+
+        Args:
+            epsilon: the ε the projection dimension was chosen for; only
+                used for the bound column.
+        """
+        if self._source is None:
+            raise NotFittedError(
+                "TwoStepLSI must be built through fit() for recovery "
+                "reporting")
+        dense = self._source.to_dense()
+        energy = float(np.sum(dense * dense))
+        two_step_residual_sq = float(
+            np.linalg.norm(dense - self.reconstruct()) ** 2)
+        from repro.linalg.svd import best_rank_k_error
+
+        direct_residual_sq = best_rank_k_error(dense, self.target_rank) ** 2
+        return RecoveryReport(
+            two_step_residual_sq=two_step_residual_sq,
+            direct_residual_sq=direct_residual_sq,
+            matrix_energy=energy,
+            epsilon=float(epsilon),
+            bound=theorem5_bound(direct_residual_sq, epsilon, energy))
+
+    def __repr__(self) -> str:
+        return (f"TwoStepLSI(k={self.target_rank}, l={self.projection_dim}, "
+                f"inner_rank={self.inner_rank}, "
+                f"family={self.projector.family!r})")

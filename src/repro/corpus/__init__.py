@@ -1,0 +1,86 @@
+"""The paper's probabilistic corpus model (§3) and corpus machinery.
+
+The model, exactly as Definitions 1–4 state it:
+
+- the **universe** ``U`` is a set of ``n`` terms (integer ids, optionally
+  named through a :class:`~repro.corpus.vocabulary.Vocabulary`);
+- a **topic** is a probability distribution on ``U``
+  (:class:`~repro.corpus.topic.Topic`);
+- a **style** is an ``n × n`` row-stochastic matrix
+  (:class:`~repro.corpus.style.Style`);
+- a **corpus model** ``C = (U, T, S, D)`` is a distribution over convex
+  combinations of topics, convex combinations of styles, and document
+  lengths (:class:`~repro.corpus.model.CorpusModel` with a
+  :class:`~repro.corpus.model.FactorDistribution`);
+- a **document** is drawn by the paper's two-step process: sample
+  ``(T̄, S̄, ℓ)`` from ``D``, then sample ``ℓ`` terms from ``T̄·S̄``
+  (:mod:`repro.corpus.sampler`).
+
+On top of the model sit the generated :class:`~repro.corpus.corpus.Corpus`
+(with term–document matrix construction), term-weighting schemes, the
+ε-separable model builders used in §4 (including the paper's exact
+experimental configuration), and synonym-pair injection for the §4
+synonymy analysis.
+"""
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.corpus.io import (
+    load_corpus,
+    load_matrix,
+    save_corpus,
+    save_matrix,
+)
+from repro.corpus.model import (
+    CorpusModel,
+    DocumentFactors,
+    FactorDistribution,
+    MixtureTopicFactors,
+    PureTopicFactors,
+)
+from repro.corpus.pipeline import TextPipeline
+from repro.corpus.polysemy import merge_matrix_terms, merge_topic_terms
+from repro.corpus.sampler import generate_corpus, generate_document
+from repro.corpus.separable import (
+    build_separable_model,
+    build_zipfian_separable_model,
+    paper_experiment_model,
+)
+from repro.corpus.stemmer import porter_stem
+from repro.corpus.stopwords import ENGLISH_STOP_WORDS, remove_stop_words
+from repro.corpus.style import Style
+from repro.corpus.synonyms import split_term_into_synonyms
+from repro.corpus.topic import Topic
+from repro.corpus.vocabulary import Vocabulary
+from repro.corpus.weighting import WEIGHTING_SCHEMES, apply_weighting
+
+__all__ = [
+    "ENGLISH_STOP_WORDS",
+    "WEIGHTING_SCHEMES",
+    "Corpus",
+    "CorpusModel",
+    "Document",
+    "DocumentFactors",
+    "FactorDistribution",
+    "MixtureTopicFactors",
+    "PureTopicFactors",
+    "Style",
+    "TextPipeline",
+    "Topic",
+    "Vocabulary",
+    "apply_weighting",
+    "build_separable_model",
+    "build_zipfian_separable_model",
+    "generate_corpus",
+    "generate_document",
+    "load_corpus",
+    "load_matrix",
+    "merge_matrix_terms",
+    "merge_topic_terms",
+    "paper_experiment_model",
+    "porter_stem",
+    "remove_stop_words",
+    "save_corpus",
+    "save_matrix",
+    "split_term_into_synonyms",
+]

@@ -1,0 +1,136 @@
+"""A generated corpus and its term–document matrix.
+
+:class:`Corpus` holds the sampled documents plus (optionally) the model
+they came from, and produces the ``n × m`` term–document matrix ``A`` the
+paper's spectral machinery operates on — rows are terms, columns are
+documents, matching the paper's orientation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EmptyCorpusError, ValidationError
+from repro.corpus.document import Document
+from repro.corpus.weighting import apply_weighting
+from repro.linalg.sparse import CSRMatrix
+
+
+class Corpus:
+    """An ordered collection of documents over one term universe.
+
+    Args:
+        documents: the documents; ids are rewritten to positions.
+        model: the generating :class:`~repro.corpus.model.CorpusModel`,
+            when known (enables ground-truth topic labels).
+    """
+
+    def __init__(self, documents, *, model=None):
+        documents = list(documents)
+        if not documents:
+            raise EmptyCorpusError("corpus must contain at least one "
+                                   "document")
+        universe = documents[0].universe_size
+        for document in documents:
+            if document.universe_size != universe:
+                raise ValidationError(
+                    "documents live in different universes: "
+                    f"{document.universe_size} != {universe}")
+        # Normalise ids to corpus positions without mutating inputs.
+        self.documents: list[Document] = [
+            doc if doc.doc_id == i else Document(
+                term_counts=doc.term_counts, universe_size=universe,
+                factors=doc.factors, doc_id=i)
+            for i, doc in enumerate(documents)]
+        self.model = model
+        self.universe_size = universe
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self):
+        return iter(self.documents)
+
+    def __getitem__(self, index) -> Document:
+        return self.documents[index]
+
+    @property
+    def size(self) -> int:
+        """Number of documents ``m``."""
+        return len(self.documents)
+
+    def topic_labels(self) -> np.ndarray:
+        """Ground-truth topic index per document (pure corpora only).
+
+        Raises:
+            ValidationError: if any document lacks a single-topic label.
+        """
+        labels = np.empty(len(self.documents), dtype=np.int64)
+        for i, document in enumerate(self.documents):
+            label = document.topic_label
+            if label is None:
+                raise ValidationError(
+                    f"document {i} has no single-topic label (corpus is "
+                    "not pure or was built from raw text)")
+            labels[i] = label
+        return labels
+
+    def has_labels(self) -> bool:
+        """Whether every document carries a single-topic label."""
+        return all(doc.topic_label is not None for doc in self.documents)
+
+    def term_document_matrix(self, *, weighting: str = "count") -> CSRMatrix:
+        """The ``n × m`` term–document matrix under a weighting scheme.
+
+        The paper notes several candidate coordinate functions (0-1,
+        frequency, …) and that "the precise choice does not affect our
+        results"; :mod:`repro.corpus.weighting` provides the common ones.
+        """
+        columns = [doc.term_counts for doc in self.documents]
+        counts = CSRMatrix.from_columns(self.universe_size, columns)
+        return apply_weighting(counts, weighting)
+
+    def document_lengths(self) -> np.ndarray:
+        """Length ``ℓ`` of every document."""
+        return np.asarray([doc.length for doc in self.documents],
+                          dtype=np.int64)
+
+    def subcorpus(self, indices) -> "Corpus":
+        """A new corpus containing the selected documents (re-numbered).
+
+        Supports repeats, so sampling with replacement works.
+        """
+        indices = [int(i) for i in indices]
+        for index in indices:
+            if not 0 <= index < len(self.documents):
+                raise ValidationError(
+                    f"document index {index} out of range")
+        if not indices:
+            raise EmptyCorpusError("subcorpus selection is empty")
+        return Corpus([self.documents[i] for i in indices],
+                      model=self.model)
+
+    def split(self, fraction: float, seed=None):
+        """Random split into two corpora (e.g. index vs. held-out queries).
+
+        Args:
+            fraction: share of documents in the first part, in (0, 1).
+            seed: RNG seed for the shuffle.
+
+        Returns:
+            ``(first, second)`` corpora.
+        """
+        from repro.utils.rng import as_generator
+        from repro.utils.validation import check_fraction
+
+        fraction = check_fraction(fraction, "fraction",
+                                  inclusive_low=False, inclusive_high=False)
+        rng = as_generator(seed)
+        order = rng.permutation(len(self.documents))
+        cut = int(round(fraction * len(self.documents)))
+        cut = min(max(cut, 1), len(self.documents) - 1)
+        return (self.subcorpus(order[:cut]), self.subcorpus(order[cut:]))
+
+    def __repr__(self) -> str:
+        return (f"Corpus(m={len(self)}, n={self.universe_size}, "
+                f"labeled={self.has_labels()})")

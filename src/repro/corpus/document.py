@@ -1,0 +1,105 @@
+"""Documents: bags of term occurrences with their generating factors.
+
+A generated document remembers the :class:`~repro.corpus.model.DocumentFactors`
+it was drawn from, so experiments can compare what LSI recovers against
+ground truth (the topic a pure document "belongs to", in the paper's
+words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EmptyCorpusError, ValidationError
+from repro.corpus.model import DocumentFactors
+from repro.utils.validation import check_non_negative_int
+
+
+@dataclass(frozen=True)
+class Document:
+    """A bag-of-terms document.
+
+    Attributes:
+        term_counts: mapping term id → occurrence count (> 0 entries only).
+        universe_size: size of the term universe the ids index into.
+        factors: the generating factors, or ``None`` for documents built
+            from raw text rather than the model.
+        doc_id: position in its corpus (set by the corpus builder).
+    """
+
+    term_counts: dict[int, int]
+    universe_size: int
+    factors: DocumentFactors | None = None
+    doc_id: int = field(default=-1, compare=False)
+
+    def __post_init__(self):
+        check_non_negative_int(self.universe_size, "universe_size")
+        if not self.term_counts:
+            raise EmptyCorpusError("a document must contain at least one "
+                                   "term occurrence")
+        for term, count in self.term_counts.items():
+            if not 0 <= int(term) < self.universe_size:
+                raise ValidationError(
+                    f"term id {term} out of range for universe of size "
+                    f"{self.universe_size}")
+            if int(count) <= 0:
+                raise ValidationError(
+                    f"term {term} has non-positive count {count}")
+
+    @property
+    def length(self) -> int:
+        """Total number of term occurrences ``ℓ``."""
+        return int(sum(self.term_counts.values()))
+
+    @property
+    def distinct_terms(self) -> int:
+        """Number of distinct terms (the column's nonzero count)."""
+        return len(self.term_counts)
+
+    @property
+    def topic_label(self) -> int | None:
+        """The generating topic for pure documents, else ``None``.
+
+        The paper says a pure document "belongs to" its single topic;
+        mixture documents have no single label.
+        """
+        if self.factors is None or not self.factors.is_pure:
+            return None
+        return self.factors.dominant_topic()
+
+    def to_vector(self) -> np.ndarray:
+        """Dense count vector of length ``universe_size``."""
+        vector = np.zeros(self.universe_size)
+        for term, count in self.term_counts.items():
+            vector[term] = count
+        return vector
+
+    @classmethod
+    def from_samples(cls, term_ids, universe_size, *,
+                     factors: DocumentFactors | None = None,
+                     doc_id: int = -1) -> "Document":
+        """Build from a sequence of sampled term ids (with repeats)."""
+        counts: dict[int, int] = {}
+        for term in term_ids:
+            term = int(term)
+            counts[term] = counts.get(term, 0) + 1
+        return cls(term_counts=counts, universe_size=universe_size,
+                   factors=factors, doc_id=doc_id)
+
+    @classmethod
+    def from_count_vector(cls, vector, *,
+                          factors: DocumentFactors | None = None,
+                          doc_id: int = -1) -> "Document":
+        """Build from a dense count vector (zeros dropped)."""
+        vector = np.asarray(vector)
+        counts = {int(i): int(vector[i])
+                  for i in np.flatnonzero(vector > 0)}
+        return cls(term_counts=counts, universe_size=int(vector.shape[0]),
+                   factors=factors, doc_id=doc_id)
+
+    def __repr__(self) -> str:
+        return (f"Document(id={self.doc_id}, length={self.length}, "
+                f"distinct={self.distinct_terms}, "
+                f"topic={self.topic_label})")

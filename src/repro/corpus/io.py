@@ -1,0 +1,128 @@
+"""Persistence: save and load corpora and term–document matrices.
+
+Generated corpora are expensive to resample at paper scale, and the
+benchmark harness benefits from fixed on-disk inputs.  Two formats:
+
+- :func:`save_matrix` / :func:`load_matrix` — a CSR matrix in a single
+  ``.npz`` file (numpy's compressed archive);
+- :func:`save_corpus` / :func:`load_corpus` — a corpus (documents,
+  labels, lengths) as ``.npz`` arrays; the generating model is *not*
+  persisted (models are cheap to rebuild from their parameters, and
+  factor distributions may hold arbitrary code).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.corpus.model import DocumentFactors
+from repro.linalg.sparse import CSRMatrix
+
+#: Format tag written into every archive, checked on load.
+_MATRIX_FORMAT = "repro-csr-v1"
+_CORPUS_FORMAT = "repro-corpus-v1"
+
+
+def save_matrix(matrix: CSRMatrix, path) -> Path:
+    """Write a CSR matrix to ``path`` (``.npz`` appended if missing)."""
+    if not isinstance(matrix, CSRMatrix):
+        raise ValidationError("save_matrix expects a CSRMatrix")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(
+        path,
+        format=np.asarray(_MATRIX_FORMAT),
+        shape=np.asarray(matrix.shape, dtype=np.int64),
+        indptr=matrix.indptr, indices=matrix.indices, data=matrix.data)
+    return path
+
+
+def load_matrix(path) -> CSRMatrix:
+    """Read a CSR matrix written by :func:`save_matrix`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if str(archive["format"]) != _MATRIX_FORMAT:
+            raise ValidationError(
+                f"{path} is not a {_MATRIX_FORMAT} archive")
+        shape = tuple(int(x) for x in archive["shape"])
+        return CSRMatrix(shape, archive["indptr"], archive["indices"],
+                         archive["data"])
+
+
+def save_corpus(corpus: Corpus, path) -> Path:
+    """Write a corpus (documents + pure-topic labels) to ``.npz``.
+
+    Stores each document's sparse counts as flat parallel arrays plus a
+    per-document offset table.  Topic labels are stored when every
+    document has one (pure corpora); factor details beyond the label are
+    not persisted.
+    """
+    if not isinstance(corpus, Corpus):
+        raise ValidationError("save_corpus expects a Corpus")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+
+    terms, counts, offsets = [], [], [0]
+    for document in corpus:
+        for term, count in sorted(document.term_counts.items()):
+            terms.append(term)
+            counts.append(count)
+        offsets.append(len(terms))
+    labels = corpus.topic_labels() if corpus.has_labels() else \
+        np.full(len(corpus), -1, dtype=np.int64)
+
+    np.savez_compressed(
+        path,
+        format=np.asarray(_CORPUS_FORMAT),
+        universe_size=np.asarray(corpus.universe_size, dtype=np.int64),
+        terms=np.asarray(terms, dtype=np.int64),
+        counts=np.asarray(counts, dtype=np.int64),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        labels=labels)
+    return path
+
+
+def load_corpus(path) -> Corpus:
+    """Read a corpus written by :func:`save_corpus`.
+
+    Documents regain their topic labels (as single-topic factors) when
+    labels were stored.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if str(archive["format"]) != _CORPUS_FORMAT:
+            raise ValidationError(
+                f"{path} is not a {_CORPUS_FORMAT} archive")
+        universe_size = int(archive["universe_size"])
+        terms = archive["terms"]
+        counts = archive["counts"]
+        offsets = archive["offsets"]
+        labels = archive["labels"]
+
+    n_topics = int(labels.max()) + 1 if labels.size and \
+        labels.max() >= 0 else 0
+    documents = []
+    for i in range(offsets.shape[0] - 1):
+        start, stop = int(offsets[i]), int(offsets[i + 1])
+        term_counts = {int(t): int(c)
+                       for t, c in zip(terms[start:stop],
+                                       counts[start:stop])}
+        factors = None
+        if labels[i] >= 0:
+            weights = np.zeros(n_topics)
+            weights[int(labels[i])] = 1.0
+            length = int(sum(term_counts.values()))
+            factors = DocumentFactors(topic_weights=weights,
+                                      style_weights=np.zeros(0),
+                                      length=length)
+        documents.append(Document(term_counts=term_counts,
+                                  universe_size=universe_size,
+                                  factors=factors, doc_id=i))
+    return Corpus(documents)

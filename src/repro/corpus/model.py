@@ -1,0 +1,310 @@
+"""The corpus model ``C = (U, T, S, D)`` (Definition 4).
+
+``D`` is a distribution over triples (convex combination of topics,
+convex combination of styles, document length).  It is represented by a
+:class:`FactorDistribution` — an object that samples
+:class:`DocumentFactors`.  Two concrete distributions cover the paper's
+regimes:
+
+- :class:`PureTopicFactors` — each document draws a *single* topic
+  (the paper's "pure" assumption of §4) with uniform or custom topic
+  priors, no style mixing, and uniformly random integer lengths;
+- :class:`MixtureTopicFactors` — documents blend a few topics through a
+  sparse Dirichlet draw (the "future work" regime of §6, used by the
+  extension experiments).
+
+Custom regimes implement the same two-method protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.corpus.style import Style, mix_styles
+from repro.corpus.topic import Topic, mix_topics
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability_vector,
+)
+
+
+@dataclass(frozen=True)
+class DocumentFactors:
+    """One sample from ``D``: the recipe a single document is drawn by.
+
+    Attributes:
+        topic_weights: probability vector over the model's topics — the
+            convex combination ``T̄``.
+        style_weights: probability vector over the model's styles, or an
+            empty array when the model is style-free.
+        length: number of term occurrences ``ℓ`` to sample.
+    """
+
+    topic_weights: np.ndarray
+    style_weights: np.ndarray
+    length: int
+
+    def __post_init__(self):
+        check_probability_vector(self.topic_weights, "topic_weights")
+        if self.style_weights.size:
+            check_probability_vector(self.style_weights, "style_weights")
+        check_positive_int(self.length, "length")
+
+    @property
+    def is_pure(self) -> bool:
+        """True when exactly one topic carries all the weight."""
+        return bool(np.count_nonzero(self.topic_weights) == 1)
+
+    def dominant_topic(self) -> int:
+        """Index of the highest-weight topic (the label for pure docs)."""
+        return int(np.argmax(self.topic_weights))
+
+
+class FactorDistribution:
+    """Protocol for ``D``: samples (topic combo, style combo, length).
+
+    Subclasses implement :meth:`sample`; :attr:`is_pure` declares whether
+    every sample puts all topic weight on a single topic, which the
+    Theorem 2/3 machinery checks before labelling documents.
+    """
+
+    #: Whether every sampled document involves a single topic.
+    is_pure: bool = False
+
+    def sample(self, n_topics: int, n_styles: int,
+               rng: np.random.Generator) -> DocumentFactors:
+        """Draw one :class:`DocumentFactors` for a model with the given
+        numbers of topics and styles."""
+        raise NotImplementedError
+
+
+@dataclass
+class PureTopicFactors(FactorDistribution):
+    """Single-topic documents with uniform random lengths.
+
+    This is the paper's §4 regime: the corpus model is *pure* (each
+    document is generated from one topic).  The paper's table experiment
+    uses ``length_low=50, length_high=100``.
+
+    Attributes:
+        length_low: inclusive lower bound on document length.
+        length_high: inclusive upper bound on document length.
+        topic_prior: optional probability vector over topics; uniform
+            when omitted.
+        poisson_mean: when set, lengths are drawn as
+            ``1 + Poisson(poisson_mean − 1)`` instead of uniformly —
+            Definition 4 allows any distribution on Z⁺, and Poisson is
+            the natural "random document length" alternative.
+    """
+
+    length_low: int = 50
+    length_high: int = 100
+    topic_prior: np.ndarray | None = None
+    poisson_mean: float | None = None
+    is_pure: bool = field(default=True, init=False)
+
+    def __post_init__(self):
+        check_positive_int(self.length_low, "length_low")
+        check_positive_int(self.length_high, "length_high")
+        if self.length_high < self.length_low:
+            raise ValidationError(
+                f"length_high={self.length_high} < length_low="
+                f"{self.length_low}")
+        if self.topic_prior is not None:
+            self.topic_prior = check_probability_vector(
+                np.asarray(self.topic_prior, dtype=np.float64),
+                "topic_prior")
+        if self.poisson_mean is not None and self.poisson_mean < 1.0:
+            raise ValidationError(
+                f"poisson_mean must be >= 1, got {self.poisson_mean}")
+
+    def _sample_length(self, rng) -> int:
+        if self.poisson_mean is not None:
+            return 1 + int(rng.poisson(self.poisson_mean - 1.0))
+        return int(rng.integers(self.length_low, self.length_high + 1))
+
+    def sample(self, n_topics, n_styles, rng) -> DocumentFactors:
+        """Draw a single-topic recipe: one topic, no styles."""
+        if self.topic_prior is not None \
+                and self.topic_prior.shape[0] != n_topics:
+            raise ValidationError(
+                f"topic_prior has {self.topic_prior.shape[0]} entries for "
+                f"{n_topics} topics")
+        topic = rng.choice(n_topics, p=self.topic_prior) \
+            if self.topic_prior is not None else rng.integers(n_topics)
+        weights = np.zeros(n_topics)
+        weights[topic] = 1.0
+        return DocumentFactors(topic_weights=weights,
+                               style_weights=np.zeros(0),
+                               length=self._sample_length(rng))
+
+
+@dataclass
+class MixtureTopicFactors(FactorDistribution):
+    """Documents blending a few topics (sparse Dirichlet combinations).
+
+    Each document picks ``topics_per_document`` distinct topics uniformly
+    and weights them by a symmetric Dirichlet draw — "favoring
+    combinations of a few related topics", the shape Definition 4's prose
+    suggests.  Styles, when present, get an independent Dirichlet
+    combination.
+
+    Attributes:
+        topics_per_document: how many topics each document blends.
+        concentration: Dirichlet concentration; small values make one
+            topic dominate, large values blend evenly.
+        length_low / length_high: inclusive document-length bounds.
+        use_styles: whether to sample style combinations (requires the
+            model to have styles).
+    """
+
+    topics_per_document: int = 2
+    concentration: float = 1.0
+    length_low: int = 50
+    length_high: int = 100
+    use_styles: bool = False
+    is_pure: bool = field(default=False, init=False)
+
+    def __post_init__(self):
+        check_positive_int(self.topics_per_document, "topics_per_document")
+        check_positive_int(self.length_low, "length_low")
+        check_positive_int(self.length_high, "length_high")
+        if self.length_high < self.length_low:
+            raise ValidationError(
+                f"length_high={self.length_high} < length_low="
+                f"{self.length_low}")
+        if self.concentration <= 0:
+            raise ValidationError(
+                f"concentration must be positive, got {self.concentration}")
+
+    def sample(self, n_topics, n_styles, rng) -> DocumentFactors:
+        """Draw a sparse-Dirichlet blend of topics (and styles)."""
+        count = min(self.topics_per_document, n_topics)
+        chosen = rng.choice(n_topics, size=count, replace=False)
+        dirichlet = rng.dirichlet(np.full(count, self.concentration))
+        weights = np.zeros(n_topics)
+        weights[chosen] = dirichlet
+        if self.use_styles and n_styles > 0:
+            style_weights = rng.dirichlet(np.ones(n_styles))
+        else:
+            style_weights = np.zeros(0)
+        length = int(rng.integers(self.length_low, self.length_high + 1))
+        return DocumentFactors(topic_weights=weights,
+                               style_weights=style_weights, length=length)
+
+
+class CorpusModel:
+    """The quadruple ``C = (U, T, S, D)``.
+
+    Args:
+        universe_size: number of terms ``n`` (the universe ``U``).
+        topics: the topic set ``T`` (non-empty; all over ``n`` terms).
+        factors: the distribution ``D`` over
+            (topic combo, style combo, length).
+        styles: the style set ``S`` (may be empty for style-free models).
+        name: optional label used in reports.
+    """
+
+    def __init__(self, universe_size, topics, factors: FactorDistribution,
+                 *, styles=(), name: str = ""):
+        self.universe_size = check_positive_int(universe_size,
+                                                "universe_size")
+        self.topics: list[Topic] = list(topics)
+        if not self.topics:
+            raise ValidationError("a corpus model needs at least one topic")
+        for topic in self.topics:
+            if topic.universe_size != self.universe_size:
+                raise ValidationError(
+                    f"topic {topic.name!r} lives in a universe of size "
+                    f"{topic.universe_size}, expected {self.universe_size}")
+        self.styles: list[Style] = list(styles)
+        for style in self.styles:
+            if style.universe_size != self.universe_size:
+                raise ValidationError(
+                    f"style {style.name!r} lives in a universe of size "
+                    f"{style.universe_size}, expected {self.universe_size}")
+        if not isinstance(factors, FactorDistribution):
+            raise ValidationError(
+                "factors must implement FactorDistribution")
+        self.factors = factors
+        self.name = str(name)
+
+    @property
+    def n_topics(self) -> int:
+        """``|T|`` — the LSI rank the §4 theorems project to."""
+        return len(self.topics)
+
+    @property
+    def n_styles(self) -> int:
+        """``|S|``."""
+        return len(self.styles)
+
+    @property
+    def is_pure(self) -> bool:
+        """Whether ``D`` only emits single-topic documents."""
+        return bool(self.factors.is_pure)
+
+    @property
+    def is_style_free(self) -> bool:
+        """Whether the model has no styles (§4's assumption (a))."""
+        return not self.styles
+
+    def sample_factors(self, seed=None) -> DocumentFactors:
+        """Step 1 of the two-step process: draw ``(T̄, S̄, ℓ)`` from D."""
+        rng = as_generator(seed)
+        return self.factors.sample(self.n_topics, self.n_styles, rng)
+
+    def term_distribution(self, factors: DocumentFactors) -> np.ndarray:
+        """The document distribution ``T̄·S̄`` for sampled factors."""
+        if factors.topic_weights.shape[0] != self.n_topics:
+            raise ValidationError(
+                f"factors carry {factors.topic_weights.shape[0]} topic "
+                f"weights for a model with {self.n_topics} topics")
+        distribution = mix_topics(self.topics, factors.topic_weights)
+        if factors.style_weights.size:
+            if factors.style_weights.shape[0] != self.n_styles:
+                raise ValidationError(
+                    f"factors carry {factors.style_weights.shape[0]} style "
+                    f"weights for a model with {self.n_styles} styles")
+            style = mix_styles(self.styles, factors.style_weights)
+            distribution = style.apply(distribution)
+        return distribution
+
+    # ------------------------------------------------------------------
+    # Separability accounting (§4 definitions)
+    # ------------------------------------------------------------------
+
+    def primary_sets_disjoint(self) -> bool:
+        """Whether declared primary sets are mutually disjoint."""
+        seen: set[int] = set()
+        for topic in self.topics:
+            if topic.primary_terms & seen:
+                return False
+            seen |= topic.primary_terms
+        return True
+
+    def separability(self) -> float:
+        """The model's ε: max over topics of off-primary mass.
+
+        Returns 1.0 when primary sets are missing or overlap (no
+        separability guarantee holds).
+        """
+        if not self.primary_sets_disjoint():
+            return 1.0
+        if any(not topic.primary_terms for topic in self.topics):
+            return 1.0
+        return max(topic.epsilon() for topic in self.topics)
+
+    def max_term_probability(self) -> float:
+        """The model's τ: max single-term probability over topics."""
+        return max(topic.max_term_probability() for topic in self.topics)
+
+    def __repr__(self) -> str:
+        label = self.name or "unnamed"
+        return (f"CorpusModel({label!r}, n={self.universe_size}, "
+                f"topics={self.n_topics}, styles={self.n_styles}, "
+                f"pure={self.is_pure})")

@@ -1,0 +1,159 @@
+"""End-to-end text indexing pipeline: raw strings → term–document matrix.
+
+The front end a downstream user actually runs documents through:
+
+    tokenize → stop-word filter → (optional) Porter stemming →
+    vocabulary construction → count matrix → DF pruning → weighting
+
+:class:`TextPipeline` is fitted on a training collection (fixing the
+vocabulary) and then transforms further documents/queries into the same
+term space — the contract LSI query folding requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EmptyCorpusError, NotFittedError, ValidationError
+from repro.corpus.stemmer import porter_stem
+from repro.corpus.stopwords import ENGLISH_STOP_WORDS
+from repro.corpus.text import tokenize
+from repro.corpus.vocabulary import Vocabulary
+from repro.corpus.weighting import WEIGHTING_SCHEMES, apply_weighting
+from repro.linalg.sparse import CSRMatrix
+from repro.utils.validation import check_fraction
+
+
+class TextPipeline:
+    """A fit/transform text front end over a fixed vocabulary.
+
+    Args:
+        stem: apply Porter stemming after stop-word removal.
+        remove_stop_words: drop tokens on the English stop list.
+        extra_stop_words: additional stop tokens (matched post-lowercase,
+            pre-stemming).
+        min_documents: drop terms appearing in fewer training documents.
+        max_df_fraction: drop terms appearing in more than this fraction
+            of training documents.
+        weighting: scheme from
+            :data:`repro.corpus.weighting.WEIGHTING_SCHEMES` applied by
+            :meth:`fit_transform` (query vectors stay raw counts —
+            cosine scoring makes query scaling irrelevant).
+    """
+
+    def __init__(self, *, stem: bool = True,
+                 remove_stop_words: bool = True, extra_stop_words=(),
+                 min_documents: int = 1, max_df_fraction: float = 1.0,
+                 weighting: str = "count"):
+        if weighting not in WEIGHTING_SCHEMES:
+            raise ValidationError(
+                f"unknown weighting {weighting!r}; expected one of "
+                f"{sorted(WEIGHTING_SCHEMES)}")
+        if min_documents < 1:
+            raise ValidationError(
+                f"min_documents must be >= 1, got {min_documents}")
+        check_fraction(max_df_fraction, "max_df_fraction",
+                       inclusive_low=False)
+        self.stem = bool(stem)
+        self.remove_stop_words = bool(remove_stop_words)
+        self.extra_stop_words = frozenset(
+            str(t).lower() for t in extra_stop_words)
+        self.min_documents = int(min_documents)
+        self.max_df_fraction = float(max_df_fraction)
+        self.weighting = weighting
+        self.vocabulary: Vocabulary | None = None
+
+    # ------------------------------------------------------------------
+    # Token-level processing
+    # ------------------------------------------------------------------
+
+    def process_text(self, text: str) -> list[str]:
+        """Tokenise, filter, and stem one string."""
+        tokens = tokenize(text)
+        if self.remove_stop_words:
+            tokens = [t for t in tokens
+                      if t not in ENGLISH_STOP_WORDS
+                      and t not in self.extra_stop_words]
+        elif self.extra_stop_words:
+            tokens = [t for t in tokens
+                      if t not in self.extra_stop_words]
+        if self.stem:
+            tokens = [porter_stem(t) for t in tokens]
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Fit / transform
+    # ------------------------------------------------------------------
+
+    def fit_transform(self, texts) -> CSRMatrix:
+        """Fix the vocabulary on ``texts`` and return their matrix.
+
+        Document-frequency pruning happens here (against the training
+        collection); the weighting scheme is applied to the result.
+        """
+        texts = list(texts)
+        if not texts:
+            raise EmptyCorpusError("fit_transform needs at least one "
+                                   "document")
+        processed = [self.process_text(text) for text in texts]
+        term_ids: dict[str, int] = {}
+        columns: list[dict[int, float]] = []
+        for tokens in processed:
+            column: dict[int, float] = {}
+            for token in tokens:
+                term = term_ids.setdefault(token, len(term_ids))
+                column[term] = column.get(term, 0.0) + 1.0
+            columns.append(column)
+        if not term_ids:
+            raise EmptyCorpusError(
+                "no tokens survived preprocessing")
+
+        matrix = CSRMatrix.from_columns(len(term_ids), columns)
+
+        # DF pruning against the training collection.
+        df = matrix.document_frequency()
+        keep_mask = df >= self.min_documents
+        if self.max_df_fraction < 1.0:
+            keep_mask &= df <= self.max_df_fraction * matrix.shape[1]
+        kept = np.flatnonzero(keep_mask)
+        if kept.size == 0:
+            raise EmptyCorpusError("pruning removed every term")
+        matrix = matrix.select_rows(kept)
+
+        id_to_term = {i: t for t, i in term_ids.items()}
+        self.vocabulary = Vocabulary([id_to_term[int(i)] for i in kept])
+        return apply_weighting(matrix, self.weighting)
+
+    def _require_vocabulary(self) -> Vocabulary:
+        if self.vocabulary is None:
+            raise NotFittedError(
+                "fit_transform must run before transform")
+        return self.vocabulary
+
+    def transform(self, texts) -> CSRMatrix:
+        """Map new documents into the fitted term space (counts).
+
+        Out-of-vocabulary tokens are dropped; documents may come out
+        empty (all-zero columns), which cosine scoring handles.
+        """
+        vocabulary = self._require_vocabulary()
+        columns: list[dict[int, float]] = []
+        for text in texts:
+            column: dict[int, float] = {}
+            for token in self.process_text(text):
+                if token in vocabulary:
+                    term = vocabulary.term_id(token)
+                    column[term] = column.get(term, 0.0) + 1.0
+            columns.append(column)
+        return CSRMatrix.from_columns(len(vocabulary), columns)
+
+    def query_vector(self, text: str) -> np.ndarray:
+        """One query as a dense count vector over the fitted vocabulary."""
+        return self.transform([text]).get_column(0)
+
+    def __repr__(self) -> str:
+        fitted = "unfitted" if self.vocabulary is None else \
+            f"vocab={len(self.vocabulary)}"
+        return (f"TextPipeline(stem={self.stem}, "
+                f"stop_words={self.remove_stop_words}, "
+                f"weighting={self.weighting!r}, {fitted})")

@@ -1,0 +1,91 @@
+"""Polysemy construction: one surface term with several meanings.
+
+The paper's second classical IR problem ("retrieving documents about the
+Internet when querying on 'surfing'"), left open in its conclusion:
+"does LSI address polysemy?".  The reproduction models a polysemous term
+by the mirror image of the synonym construction: *merge* one primary
+term from each of two topics into a single shared term, so the same
+surface form occurs in both topics' documents with unrelated company.
+
+Both levels are provided:
+
+- :func:`merge_topic_terms` — model-level: a new corpus model over
+  ``n − 1`` terms in which both topics emit the shared term;
+- :func:`merge_matrix_terms` — corpus-level: add the two rows of an
+  existing term–document matrix and drop one of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.corpus.model import CorpusModel
+from repro.corpus.topic import Topic
+from repro.linalg.sparse import CSRMatrix
+
+
+def merge_topic_terms(model: CorpusModel, term_a: int,
+                      term_b: int) -> CorpusModel:
+    """Merge two terms of a model into one polysemous term.
+
+    Term ``term_b``'s probability is moved onto ``term_a`` in every
+    topic, and ``term_b`` is removed from the universe (all later term
+    ids shift down by one).  Topics that had ``term_b`` in their primary
+    set get ``term_a`` instead.
+
+    Styles are not supported (the analysis here is style-free).
+    """
+    term_a, term_b = int(term_a), int(term_b)
+    n = model.universe_size
+    for term in (term_a, term_b):
+        if not 0 <= term < n:
+            raise ValidationError(
+                f"term {term} out of range for universe of size {n}")
+    if term_a == term_b:
+        raise ValidationError("term_a and term_b must differ")
+    if model.styles:
+        raise ValidationError(
+            "merge_topic_terms supports style-free models only")
+
+    keep = [t for t in range(n) if t != term_b]
+    old_to_new = {old: new for new, old in enumerate(keep)}
+
+    new_topics = []
+    for topic in model.topics:
+        probs = topic.probabilities.copy()
+        probs[term_a] += probs[term_b]
+        new_probs = probs[keep]
+        primary = {old_to_new[t] for t in topic.primary_terms
+                   if t != term_b}
+        if term_b in topic.primary_terms:
+            primary.add(old_to_new[term_a])
+        new_topics.append(Topic(new_probs, name=topic.name,
+                                primary_terms=primary))
+    return CorpusModel(n - 1, new_topics, model.factors,
+                       name=f"{model.name}+polyseme({term_a},{term_b})")
+
+
+def merge_matrix_terms(matrix: CSRMatrix, term_a: int,
+                       term_b: int) -> CSRMatrix:
+    """Merge two rows of a term–document matrix into one.
+
+    Row ``term_a`` of the result carries the sum of the two original
+    rows; row ``term_b`` is removed (later rows shift up).
+    """
+    term_a, term_b = int(term_a), int(term_b)
+    n, m = matrix.shape
+    for term in (term_a, term_b):
+        if not 0 <= term < n:
+            raise ValidationError(
+                f"term {term} out of range for {n} rows")
+    if term_a == term_b:
+        raise ValidationError("term_a and term_b must differ")
+
+    row_of_entry = np.repeat(np.arange(n), np.diff(matrix.indptr))
+    new_rows = row_of_entry.copy()
+    new_rows[new_rows == term_b] = term_a
+    # Shift ids above term_b down by one.
+    new_rows = np.where(new_rows > term_b, new_rows - 1, new_rows)
+    return CSRMatrix.from_triplets(n - 1, m, new_rows, matrix.indices,
+                                   matrix.data)

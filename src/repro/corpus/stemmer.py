@@ -1,0 +1,197 @@
+"""The Porter stemming algorithm, implemented from scratch.
+
+Conflating inflected forms ("connect", "connected", "connection", …)
+onto one stem is the classical counterpart of the paper's synonymy
+story: morphological variants are near-synonyms the *indexer* can merge
+before any spectral machinery runs.  This is M. F. Porter's 1980
+algorithm ("An algorithm for suffix stripping"), steps 1a–5b, ported
+faithfully.
+
+The measure ``m`` of a word counts VC transitions in its
+consonant/vowel form ``[C](VC)^m[V]``; most rules fire only when the
+remaining stem has measure above a threshold.
+"""
+
+from __future__ import annotations
+
+_VOWELS = frozenset("aeiou")
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    """Porter's consonant test; 'y' is a consonant after a vowel."""
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """The measure m: number of VC sequences in [C](VC)^m[V]."""
+    forms = []
+    for i in range(len(stem)):
+        form = "c" if _is_consonant(stem, i) else "v"
+        if not forms or forms[-1] != form:
+            forms.append(form)
+    return "".join(forms).count("vc")
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (len(word) >= 2 and word[-1] == word[-2]
+            and _is_consonant(word, len(word) - 1))
+
+
+def _ends_cvc(word: str) -> bool:
+    """Ends consonant-vowel-consonant, final consonant not w, x, or y."""
+    if len(word) < 3:
+        return False
+    return (_is_consonant(word, len(word) - 3)
+            and not _is_consonant(word, len(word) - 2)
+            and _is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy")
+
+
+def _replace_suffix(word: str, suffix: str, replacement: str,
+                    min_measure: int) -> str | None:
+    """Replace ``suffix`` when the remaining stem has m > min_measure."""
+    if not word.endswith(suffix):
+        return None
+    stem = word[: len(word) - len(suffix)]
+    if _measure(stem) > min_measure:
+        return stem + replacement
+    return word  # rule matched but condition failed: stop this step
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _measure(stem) > 0:
+            return word[:-1]
+        return word
+    for suffix in ("ed", "ing"):
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if not _contains_vowel(stem):
+                return word
+            # Post-rules: restore an 'e' or undo doubling.
+            if stem.endswith(("at", "bl", "iz")):
+                return stem + "e"
+            if _ends_double_consonant(stem) and \
+                    stem[-1] not in "lsz":
+                return stem[:-1]
+            if _measure(stem) == 1 and _ends_cvc(stem):
+                return stem + "e"
+            return stem
+    return word
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2_RULES = (
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+    ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+    ("alli", "al"), ("entli", "ent"), ("eli", "e"), ("ousli", "ous"),
+    ("ization", "ize"), ("ation", "ate"), ("ator", "ate"),
+    ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+    ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"),
+    ("biliti", "ble"))
+
+_STEP3_RULES = (
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""))
+
+_STEP4_SUFFIXES = (
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize")
+
+
+def _step_2(word: str) -> str:
+    for suffix, replacement in _STEP2_RULES:
+        result = _replace_suffix(word, suffix, replacement, 0)
+        if result is not None:
+            return result
+    return word
+
+
+def _step_3(word: str) -> str:
+    for suffix, replacement in _STEP3_RULES:
+        result = _replace_suffix(word, suffix, replacement, 0)
+        if result is not None:
+            return result
+    return word
+
+
+def _step_4(word: str) -> str:
+    for suffix in _STEP4_SUFFIXES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 1:
+                return stem
+            return word
+    # (m>1 and (*S or *T)) ION -> drop ION.
+    if word.endswith("ion"):
+        stem = word[:-3]
+        if _measure(stem) > 1 and stem and stem[-1] in "st":
+            return stem
+    return word
+
+
+def _step_5a(word: str) -> str:
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1 or (m == 1 and not _ends_cvc(stem)):
+            return stem
+    return word
+
+
+def _step_5b(word: str) -> str:
+    if _measure(word) > 1 and _ends_double_consonant(word) and \
+            word.endswith("l"):
+        return word[:-1]
+    return word
+
+
+def porter_stem(word: str) -> str:
+    """Stem one lowercase word with the Porter algorithm.
+
+    Words of length ≤ 2 are returned unchanged (Porter's convention).
+    """
+    word = word.lower()
+    if len(word) <= 2:
+        return word
+    word = _step_1a(word)
+    word = _step_1b(word)
+    word = _step_1c(word)
+    word = _step_2(word)
+    word = _step_3(word)
+    word = _step_4(word)
+    word = _step_5a(word)
+    word = _step_5b(word)
+    return word
+
+
+def stem_tokens(tokens) -> list[str]:
+    """Stem a token sequence."""
+    return [porter_stem(token) for token in tokens]

@@ -1,0 +1,97 @@
+"""Stop words: the high-frequency function words the paper assumes away.
+
+§4: "the assumption that a corpus is ε-separable for some small value of
+ε may be reasonably realistic, since documents are usually preprocessed
+to eliminate commonly-occurring stop-words."  This module provides that
+preprocessing step: a standard English stop list, plus *corpus-driven*
+stop detection (terms whose document frequency exceeds a threshold — the
+data-dependent analogue, which also works for synthetic vocabularies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.linalg.sparse import CSRMatrix
+from repro.utils.validation import check_fraction
+
+#: A compact English stop list (the classic van Rijsbergen-style core).
+ENGLISH_STOP_WORDS = frozenset("""
+a about above after again against all am an and any are as at be because
+been before being below between both but by can did do does doing down
+during each few for from further had has have having he her here hers
+herself him himself his how i if in into is it its itself just me more
+most my myself no nor not now of off on once only or other our ours
+ourselves out over own same she should so some such than that the their
+theirs them themselves then there these they this those through to too
+under until up very was we were what when where which while who whom why
+will with you your yours yourself yourselves
+""".split())
+
+
+def is_stop_word(token: str) -> bool:
+    """Whether a token is on the built-in English stop list."""
+    return token.lower() in ENGLISH_STOP_WORDS
+
+
+def remove_stop_words(tokens, *, extra=()) -> list[str]:
+    """Filter stop words (built-in list plus any ``extra``) from tokens."""
+    extra_set = {str(t).lower() for t in extra}
+    return [token for token in tokens
+            if token.lower() not in ENGLISH_STOP_WORDS
+            and token.lower() not in extra_set]
+
+
+def high_document_frequency_terms(matrix: CSRMatrix,
+                                  max_df_fraction: float = 0.5
+                                  ) -> np.ndarray:
+    """Term ids appearing in more than ``max_df_fraction`` of documents.
+
+    The corpus-driven stop criterion: a term occurring in most documents
+    carries no topical signal and erodes ε-separability.
+    """
+    if not isinstance(matrix, CSRMatrix):
+        raise ValidationError("expected a CSRMatrix")
+    max_df_fraction = check_fraction(max_df_fraction, "max_df_fraction")
+    df = matrix.document_frequency()
+    return np.flatnonzero(df > max_df_fraction * matrix.shape[1])
+
+
+def low_document_frequency_terms(matrix: CSRMatrix,
+                                 min_documents: int = 2) -> np.ndarray:
+    """Term ids appearing in fewer than ``min_documents`` documents.
+
+    Hapax-style pruning: ultra-rare terms add dimensions without
+    co-occurrence evidence.
+    """
+    if not isinstance(matrix, CSRMatrix):
+        raise ValidationError("expected a CSRMatrix")
+    if min_documents < 1:
+        raise ValidationError(
+            f"min_documents must be >= 1, got {min_documents}")
+    df = matrix.document_frequency()
+    return np.flatnonzero(df < min_documents)
+
+
+def prune_terms(matrix: CSRMatrix, *, max_df_fraction: float = 1.0,
+                min_documents: int = 1):
+    """Drop high-DF and low-DF terms from a term–document matrix.
+
+    Returns:
+        ``(pruned_matrix, kept_term_ids)`` — the reduced matrix and the
+        original ids of the surviving rows (for mapping back to a
+        vocabulary).
+    """
+    drop = set()
+    if max_df_fraction < 1.0:
+        drop |= set(high_document_frequency_terms(
+            matrix, max_df_fraction).tolist())
+    if min_documents > 1:
+        drop |= set(low_document_frequency_terms(
+            matrix, min_documents).tolist())
+    kept = np.asarray([t for t in range(matrix.shape[0])
+                       if t not in drop], dtype=np.int64)
+    if kept.size == 0:
+        raise ValidationError("pruning removed every term")
+    return matrix.select_rows(kept), kept

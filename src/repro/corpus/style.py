@@ -1,0 +1,170 @@
+"""Styles: row-stochastic term-rewriting matrices (Definition 3).
+
+A style modifies the frequency of terms — the paper's "formal" style maps
+"car" to "automobile" and "vehicle" often, to "car" seldom, and to
+"wheels" almost never.  Mathematically a style ``S`` is an ``n × n``
+stochastic matrix, and a document's term distribution is ``T̄ · S̄`` for
+the sampled topic combination ``T̄`` and style combination ``S̄``.
+
+Dense ``n × n`` matrices are fine at the library's corpus scales
+(n ≤ a few thousand); the constructors below build the structured styles
+the experiments use without materialising anything larger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability_vector,
+    check_stochastic_matrix,
+)
+
+
+class Style:
+    """An ``n × n`` row-stochastic term-rewriting matrix.
+
+    Row ``i`` is the distribution a sampled occurrence of term ``i`` is
+    rewritten by.
+    """
+
+    def __init__(self, matrix, *, name: str = ""):
+        self.matrix = check_stochastic_matrix(matrix, "matrix")
+        self.matrix.setflags(write=False)
+        self.name = str(name)
+
+    @property
+    def universe_size(self) -> int:
+        """Number of terms ``n``."""
+        return int(self.matrix.shape[0])
+
+    def apply(self, distribution) -> np.ndarray:
+        """Transform a term distribution: returns ``distribution @ S``.
+
+        The result is again a probability vector (stochasticity of ``S``
+        guarantees it up to float drift, which is renormalised away).
+        """
+        dist = check_probability_vector(distribution, "distribution")
+        if dist.shape[0] != self.universe_size:
+            raise ValidationError(
+                f"distribution has {dist.shape[0]} terms; style expects "
+                f"{self.universe_size}")
+        out = dist @ self.matrix
+        return out / out.sum()
+
+    def is_identity(self, *, atol: float = 1e-12) -> bool:
+        """True when this style leaves every distribution unchanged."""
+        return bool(np.allclose(self.matrix, np.eye(self.universe_size),
+                                atol=atol))
+
+    def __repr__(self) -> str:
+        label = self.name or "unnamed"
+        return f"Style({label!r}, n={self.universe_size})"
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, universe_size: int) -> "Style":
+        """The style-free style: every term maps to itself."""
+        universe_size = check_positive_int(universe_size, "universe_size")
+        return cls(np.eye(universe_size), name="identity")
+
+    @classmethod
+    def synonym_preference(cls, universe_size: int, rewrites, *,
+                           name: str = "synonym") -> "Style":
+        """A style rewriting selected terms toward preferred synonyms.
+
+        Args:
+            universe_size: ``n``.
+            rewrites: mapping ``source_term -> {target_term: probability}``.
+                Unlisted residual probability stays on the source term;
+                listed probabilities must sum to at most 1 per source.
+
+        Example — a formal style that says "automobile" where the topic
+        said "car" 80% of the time::
+
+            Style.synonym_preference(n, {car: {automobile: 0.8}})
+        """
+        universe_size = check_positive_int(universe_size, "universe_size")
+        matrix = np.eye(universe_size)
+        for source, targets in rewrites.items():
+            source = int(source)
+            if not 0 <= source < universe_size:
+                raise ValidationError(
+                    f"rewrite source {source} out of range")
+            moved = 0.0
+            for target, probability in targets.items():
+                target = int(target)
+                if not 0 <= target < universe_size:
+                    raise ValidationError(
+                        f"rewrite target {target} out of range")
+                probability = check_fraction(
+                    probability, f"rewrite[{source}][{target}]")
+                matrix[source, target] += probability
+                moved += probability
+            if moved > 1.0 + 1e-12:
+                raise ValidationError(
+                    f"rewrites for term {source} sum to {moved} > 1")
+            matrix[source, source] -= moved
+            if matrix[source, source] < -1e-12:
+                raise ValidationError(
+                    f"rewrites for term {source} exceed available mass")
+            matrix[source, source] = max(matrix[source, source], 0.0)
+        return cls(matrix, name=name)
+
+    @classmethod
+    def uniform_noise(cls, universe_size: int, noise: float, *,
+                      name: str = "noise") -> "Style":
+        """A style that scatters a ``noise`` fraction uniformly.
+
+        Each occurrence keeps its term with probability ``1 − noise`` and
+        is replaced by a uniformly random term with probability ``noise``
+        — the simplest style that degrades separability smoothly, used by
+        the robustness (Theorem 3) experiments.
+        """
+        universe_size = check_positive_int(universe_size, "universe_size")
+        noise = check_fraction(noise, "noise")
+        matrix = np.full((universe_size, universe_size),
+                         noise / universe_size)
+        np.fill_diagonal(matrix, matrix.diagonal() + (1.0 - noise))
+        return cls(matrix, name=name)
+
+    @classmethod
+    def permutation(cls, permutation_of_terms, *,
+                    name: str = "permutation") -> "Style":
+        """A deterministic relabelling style (term ``i`` becomes ``π(i)``)."""
+        perm = np.asarray(list(permutation_of_terms), dtype=np.int64)
+        n = perm.shape[0]
+        if n == 0 or np.unique(perm).size != n or perm.min() < 0 \
+                or perm.max() >= n:
+            raise ValidationError(
+                "permutation_of_terms must be a permutation of 0..n-1")
+        matrix = np.zeros((n, n))
+        matrix[np.arange(n), perm] = 1.0
+        return cls(matrix, name=name)
+
+
+def mix_styles(styles, weights) -> Style:
+    """The convex combination ``Σ vⱼ Sⱼ`` — the paper's ``S̄ ∈ S̃``."""
+    styles = list(styles)
+    if not styles:
+        raise ValidationError("styles must be non-empty")
+    weights = check_probability_vector(np.asarray(weights, dtype=np.float64),
+                                       "weights")
+    if weights.shape[0] != len(styles):
+        raise ValidationError(
+            f"{len(styles)} styles but {weights.shape[0]} weights")
+    n = styles[0].universe_size
+    for style in styles:
+        if style.universe_size != n:
+            raise ValidationError("styles live in different universes")
+    combined = np.zeros((n, n))
+    for weight, style in zip(weights, styles):
+        if weight > 0:
+            combined += weight * style.matrix
+    return Style(combined, name="mixture")

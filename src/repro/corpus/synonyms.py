@@ -1,0 +1,114 @@
+"""Synonym-pair construction for the §4 synonymy analysis.
+
+The paper's model of (generalised) synonymy: *two terms with identical
+co-occurrences*, each with small occurrence probability.  In the
+term–term autocorrelation matrix ``A·Aᵀ`` the corresponding rows/columns
+are then nearly identical, producing a very small eigenvalue whose
+eigenvector is (±1) on the pair — the "difference direction" that LSI
+projects out.
+
+Two constructions are provided:
+
+- :func:`split_topic_term` — model-level: extend the universe by one term
+  and split a chosen term's probability equally between the original and
+  the new term in every topic.  Documents then use the two
+  interchangeably, giving identical co-occurrence *distributions*.
+- :func:`split_term_into_synonyms` — corpus-level: rewrite an existing
+  term–document count matrix, re-flipping a fair coin for each occurrence
+  of the chosen term.  This is the exact generative equivalent of having
+  sampled from the split model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.corpus.model import CorpusModel
+from repro.corpus.topic import Topic
+from repro.linalg.sparse import CSRMatrix
+from repro.utils.rng import as_generator
+
+
+def split_topic_term(model: CorpusModel, term: int) -> CorpusModel:
+    """Extend the model with a synonym of ``term``.
+
+    Returns a new model over ``n + 1`` terms in which every topic assigns
+    half of ``term``'s original probability to ``term`` and half to the
+    new term ``n`` (the synonym).  Styles are not supported (the §4
+    analysis is style-free).
+
+    The pair then has identical co-occurrence statistics by construction:
+    conditioned on any document, both appear with equal probability and
+    alongside the same companions.
+    """
+    term = int(term)
+    if not 0 <= term < model.universe_size:
+        raise ValidationError(
+            f"term {term} out of range for universe of size "
+            f"{model.universe_size}")
+    if model.styles:
+        raise ValidationError(
+            "split_topic_term supports style-free models only")
+
+    new_size = model.universe_size + 1
+    new_topics = []
+    for topic in model.topics:
+        probs = np.zeros(new_size)
+        probs[:model.universe_size] = topic.probabilities
+        half = probs[term] / 2.0
+        probs[term] = half
+        probs[new_size - 1] = half
+        primary = set(topic.primary_terms)
+        if term in primary:
+            primary.add(new_size - 1)
+        new_topics.append(Topic(probs, name=topic.name,
+                                primary_terms=primary))
+    return CorpusModel(new_size, new_topics, model.factors,
+                       name=f"{model.name}+synonym({term})")
+
+
+def split_term_into_synonyms(matrix: CSRMatrix, term: int,
+                             seed=None) -> CSRMatrix:
+    """Split occurrences of ``term`` between it and a new synonym row.
+
+    Each of the ``c`` occurrences of ``term`` in each document
+    independently stays on ``term`` or moves to the new last row with
+    probability 1/2 (one binomial draw per document).  Returns an
+    ``(n + 1) × m`` matrix; all other rows are unchanged.
+
+    The input must be a raw count matrix (non-negative integers); apply
+    weighting schemes *after* splitting.
+    """
+    term = int(term)
+    if not 0 <= term < matrix.shape[0]:
+        raise ValidationError(
+            f"term {term} out of range for {matrix.shape[0]} rows")
+    counts = matrix.get_row(term)
+    if np.any(counts < 0) or np.any(counts != np.round(counts)):
+        raise ValidationError(
+            "split_term_into_synonyms expects a raw count matrix")
+    rng = as_generator(seed)
+    stay = rng.binomial(counts.astype(np.int64), 0.5).astype(np.float64)
+    move = counts - stay
+
+    n, m = matrix.shape
+    row_of_entry = np.repeat(np.arange(n), np.diff(matrix.indptr))
+    keep_mask = row_of_entry != term
+    rows = [row_of_entry[keep_mask]]
+    cols = [matrix.indices[keep_mask]]
+    vals = [matrix.data[keep_mask]]
+
+    stay_cols = np.flatnonzero(stay > 0)
+    rows.append(np.full(stay_cols.size, term, dtype=np.int64))
+    cols.append(stay_cols)
+    vals.append(stay[stay_cols])
+
+    move_cols = np.flatnonzero(move > 0)
+    rows.append(np.full(move_cols.size, n, dtype=np.int64))
+    cols.append(move_cols)
+    vals.append(move[move_cols])
+
+    return CSRMatrix.from_triplets(
+        n + 1, m, np.concatenate(rows), np.concatenate(cols),
+        np.concatenate(vals))

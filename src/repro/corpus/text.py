@@ -1,0 +1,88 @@
+"""Plain-text rendering and parsing for generated corpora.
+
+The theory works on integer term ids, but the examples want documents
+that look like text.  This module renders a generated
+:class:`~repro.corpus.corpus.Corpus` through a
+:class:`~repro.corpus.vocabulary.Vocabulary` and parses token streams back
+into documents, closing the loop: text in, matrix out.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import EmptyCorpusError, ValidationError
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.corpus.vocabulary import Vocabulary
+from repro.utils.rng import as_generator
+
+_TOKEN_PATTERN = re.compile(r"[a-z]+")
+
+
+def render_document(document: Document, vocabulary: Vocabulary,
+                    seed=None) -> str:
+    """Render a document as a space-separated token string.
+
+    Token order carries no information in the bag-of-terms model, so the
+    occurrences are shuffled for a natural look.
+    """
+    if len(vocabulary) != document.universe_size:
+        raise ValidationError(
+            f"vocabulary size {len(vocabulary)} does not match universe "
+            f"size {document.universe_size}")
+    tokens: list[str] = []
+    for term, count in sorted(document.term_counts.items()):
+        tokens.extend([vocabulary.term(term)] * count)
+    rng = as_generator(seed)
+    rng.shuffle(tokens)
+    return " ".join(tokens)
+
+
+def render_corpus(corpus: Corpus, vocabulary: Vocabulary,
+                  seed=None) -> list[str]:
+    """Render every document of a corpus as text."""
+    rng = as_generator(seed)
+    return [render_document(doc, vocabulary, rng) for doc in corpus]
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase and extract alphabetic tokens."""
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+def parse_document(text: str, vocabulary: Vocabulary, *,
+                   skip_unknown: bool = True, doc_id: int = -1) -> Document:
+    """Parse a text string back into a document over ``vocabulary``.
+
+    Args:
+        text: raw text; tokenised by :func:`tokenize`.
+        vocabulary: the term universe.
+        skip_unknown: drop out-of-vocabulary tokens (True) or raise
+            (False).
+        doc_id: document id to record.
+
+    Raises:
+        EmptyCorpusError: if no in-vocabulary token survives.
+    """
+    counts: dict[int, int] = {}
+    for token in tokenize(text):
+        if token in vocabulary:
+            term = vocabulary.term_id(token)
+            counts[term] = counts.get(term, 0) + 1
+        elif not skip_unknown:
+            raise ValidationError(f"unknown token {token!r}")
+    if not counts:
+        raise EmptyCorpusError(
+            "document contains no in-vocabulary tokens")
+    return Document(term_counts=counts, universe_size=len(vocabulary),
+                    doc_id=doc_id)
+
+
+def parse_corpus(texts, vocabulary: Vocabulary, *,
+                 skip_unknown: bool = True) -> Corpus:
+    """Parse a sequence of text strings into a corpus."""
+    documents = [parse_document(text, vocabulary,
+                                skip_unknown=skip_unknown, doc_id=i)
+                 for i, text in enumerate(texts)]
+    return Corpus(documents)

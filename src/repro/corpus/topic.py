@@ -1,0 +1,193 @@
+"""Topics: probability distributions on the term universe (Definition 2).
+
+A meaningful topic concentrates its mass on its own terms — the paper's
+"space travel" topic favours "galaxy" and "starship" and rarely mentions
+"misery".  The ε-separability analysis of §4 additionally associates a
+*primary set* of terms with each topic; :class:`Topic` carries that set
+(possibly empty for unconstrained topics) and exposes the quantities the
+theorems are stated in: the per-term probability cap τ and the primary
+mass ``1 − ε``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability_vector,
+)
+
+
+class Topic:
+    """A probability distribution over term ids ``0..n-1``.
+
+    Args:
+        probabilities: length-``n`` probability vector.
+        name: optional label used in reports.
+        primary_terms: optional set of term ids designated as this topic's
+            primary set ``U_T`` (for ε-separability accounting).
+    """
+
+    def __init__(self, probabilities, *, name: str = "",
+                 primary_terms=None):
+        self.probabilities = check_probability_vector(
+            probabilities, "probabilities")
+        self.probabilities.setflags(write=False)
+        self.name = str(name)
+        if primary_terms is None:
+            self.primary_terms: frozenset[int] = frozenset()
+        else:
+            primary = frozenset(int(t) for t in primary_terms)
+            n = self.probabilities.shape[0]
+            bad = [t for t in primary if not 0 <= t < n]
+            if bad:
+                raise ValidationError(
+                    f"primary term id {bad[0]} out of range for universe "
+                    f"of size {n}")
+            self.primary_terms = primary
+
+    @property
+    def universe_size(self) -> int:
+        """Number of terms ``n`` in the universe."""
+        return int(self.probabilities.shape[0])
+
+    @property
+    def support(self) -> np.ndarray:
+        """Term ids with strictly positive probability."""
+        return np.flatnonzero(self.probabilities > 0)
+
+    def max_term_probability(self) -> float:
+        """The paper's τ: the largest single-term probability."""
+        return float(self.probabilities.max())
+
+    def primary_mass(self) -> float:
+        """Total probability on the primary set (0.0 if none declared)."""
+        if not self.primary_terms:
+            return 0.0
+        idx = np.fromiter(self.primary_terms, dtype=np.int64)
+        return float(self.probabilities[idx].sum())
+
+    def epsilon(self) -> float:
+        """This topic's ε: probability mass *outside* its primary set.
+
+        Meaningful only when a primary set is declared; returns 1.0
+        otherwise (no separability guarantee).
+        """
+        if not self.primary_terms:
+            return 1.0
+        return max(0.0, 1.0 - self.primary_mass())
+
+    def sample_terms(self, count: int, seed=None) -> np.ndarray:
+        """Draw ``count`` i.i.d. term ids from this distribution."""
+        count = check_positive_int(count, "count")
+        rng = as_generator(seed)
+        return rng.choice(self.universe_size, size=count,
+                          p=self.probabilities)
+
+    def sample_counts(self, length: int, seed=None) -> np.ndarray:
+        """Draw a length-``length`` document as a term-count vector.
+
+        Equivalent to ``length`` independent term draws (the paper's
+        sampling step) aggregated into counts — one multinomial draw.
+        """
+        length = check_positive_int(length, "length")
+        rng = as_generator(seed)
+        return rng.multinomial(length, self.probabilities).astype(np.float64)
+
+    def __repr__(self) -> str:
+        label = self.name or "unnamed"
+        return (f"Topic({label!r}, n={self.universe_size}, "
+                f"tau={self.max_term_probability():.4g}, "
+                f"primary={len(self.primary_terms)})")
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, universe_size: int, *, name: str = "uniform") -> "Topic":
+        """The maximally *unfocused* topic: uniform over all terms."""
+        universe_size = check_positive_int(universe_size, "universe_size")
+        return cls(np.full(universe_size, 1.0 / universe_size), name=name)
+
+    @classmethod
+    def primary_set(cls, universe_size: int, primary_terms, *,
+                    primary_mass: float = 0.95, name: str = "") -> "Topic":
+        """The paper's experimental topic shape (§4 Experiments).
+
+        ``primary_mass`` of the probability is spread uniformly over the
+        primary set; the remaining ``1 − primary_mass`` is spread
+        uniformly over the *whole* universe.  With ``primary_mass=0.95``
+        this is exactly the 0.05-separable configuration of the paper's
+        table experiment.
+        """
+        universe_size = check_positive_int(universe_size, "universe_size")
+        primary_mass = check_fraction(primary_mass, "primary_mass",
+                                      inclusive_low=False)
+        primary = sorted(int(t) for t in set(primary_terms))
+        if not primary:
+            raise ValidationError("primary_terms must be non-empty")
+        if primary[0] < 0 or primary[-1] >= universe_size:
+            raise ValidationError("primary term ids out of range")
+        probs = np.full(universe_size, (1.0 - primary_mass) / universe_size)
+        probs[np.asarray(primary)] += primary_mass / len(primary)
+        return cls(probs, name=name, primary_terms=primary)
+
+    @classmethod
+    def zipfian(cls, universe_size: int, term_order, *, exponent: float = 1.0,
+                name: str = "", primary_terms=None) -> "Topic":
+        """A Zipf-distributed topic over a given term preference order.
+
+        ``term_order`` ranks term ids from most to least probable; ranks
+        follow ``1/rank^exponent``, normalised.  More realistic term
+        frequency shape for the extension experiments.
+        """
+        universe_size = check_positive_int(universe_size, "universe_size")
+        order = np.asarray(list(term_order), dtype=np.int64)
+        if order.size == 0 or order.size > universe_size:
+            raise ValidationError(
+                "term_order must have between 1 and universe_size entries")
+        if np.unique(order).size != order.size:
+            raise ValidationError("term_order contains duplicates")
+        if order.min() < 0 or order.max() >= universe_size:
+            raise ValidationError("term_order ids out of range")
+        if exponent <= 0:
+            raise ValidationError(
+                f"exponent must be positive, got {exponent}")
+        weights = 1.0 / np.arange(1, order.size + 1, dtype=np.float64) \
+            ** exponent
+        probs = np.zeros(universe_size)
+        probs[order] = weights / weights.sum()
+        return cls(probs, name=name, primary_terms=primary_terms)
+
+
+def mix_topics(topics, weights) -> np.ndarray:
+    """The convex combination ``Σ wᵢ Tᵢ`` as a probability vector.
+
+    This is the paper's ``T̄ ∈ T̃`` — the first factor of the document
+    distribution.  Weights must be a probability vector over ``topics``.
+    """
+    topics = list(topics)
+    if not topics:
+        raise ValidationError("topics must be non-empty")
+    weights = check_probability_vector(np.asarray(weights, dtype=np.float64),
+                                       "weights")
+    if weights.shape[0] != len(topics):
+        raise ValidationError(
+            f"{len(topics)} topics but {weights.shape[0]} weights")
+    n = topics[0].universe_size
+    for topic in topics:
+        if topic.universe_size != n:
+            raise ValidationError(
+                "topics live in different universes: "
+                f"{topic.universe_size} != {n}")
+    combined = np.zeros(n)
+    for weight, topic in zip(weights, topics):
+        if weight > 0:
+            combined += weight * topic.probabilities
+    # Renormalise away float drift so downstream samplers accept it.
+    return combined / combined.sum()

@@ -1,0 +1,105 @@
+"""Term universe with optional human-readable names.
+
+The theory only needs integer term ids, but the examples and the
+plain-text layer want pronounceable words.  :class:`Vocabulary` maps both
+ways; :func:`synthetic_vocabulary` deterministically generates arbitrarily
+many distinct pronounceable words so examples can render generated
+documents as text.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+#: Syllable inventory for synthetic word generation (consonant + vowel).
+_ONSETS = ("b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t",
+           "v", "z", "ch", "sh", "th", "br", "cr", "st")
+_NUCLEI = ("a", "e", "i", "o", "u", "ai", "ea", "ou")
+
+
+def _syllables():
+    for onset in _ONSETS:
+        for nucleus in _NUCLEI:
+            yield onset + nucleus
+
+
+def synthetic_words(count: int) -> list[str]:
+    """Deterministically generate ``count`` distinct pronounceable words.
+
+    Words are built from 2- and 3-syllable combinations in a fixed order,
+    so the same count always yields the same list (no RNG involved).
+    """
+    count = check_positive_int(count, "count")
+    syllables = list(_syllables())
+    words: list[str] = []
+    for n_syllables in (2, 3, 4):
+        for combo in itertools.product(syllables, repeat=n_syllables):
+            words.append("".join(combo))
+            if len(words) == count:
+                return words
+    raise ValidationError(
+        f"cannot generate {count} distinct words")  # pragma: no cover
+
+
+class Vocabulary:
+    """A bijection between term ids ``0..n-1`` and term strings.
+
+    Args:
+        terms: the term strings, position = term id.  Duplicates are
+            rejected.
+    """
+
+    def __init__(self, terms):
+        self._terms = list(terms)
+        if not self._terms:
+            raise ValidationError("vocabulary must be non-empty")
+        self._ids = {term: i for i, term in enumerate(self._terms)}
+        if len(self._ids) != len(self._terms):
+            seen = set()
+            dup = next(t for t in self._terms
+                       if t in seen or seen.add(t))
+            raise ValidationError(f"duplicate term {dup!r} in vocabulary")
+
+    @classmethod
+    def synthetic(cls, size: int) -> "Vocabulary":
+        """A vocabulary of ``size`` generated pronounceable words."""
+        return cls(synthetic_words(size))
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term) -> bool:
+        return term in self._ids
+
+    def __iter__(self):
+        return iter(self._terms)
+
+    def term(self, term_id: int) -> str:
+        """The string for a term id."""
+        if not 0 <= term_id < len(self._terms):
+            raise ValidationError(
+                f"term id {term_id} out of range for vocabulary of size "
+                f"{len(self._terms)}")
+        return self._terms[term_id]
+
+    def term_id(self, term: str) -> int:
+        """The id for a term string."""
+        try:
+            return self._ids[term]
+        except KeyError:
+            raise ValidationError(f"unknown term {term!r}") from None
+
+    def terms(self, term_ids) -> list[str]:
+        """Strings for a sequence of term ids."""
+        return [self.term(int(i)) for i in term_ids]
+
+    def term_ids(self, terms) -> list[int]:
+        """Ids for a sequence of term strings."""
+        return [self.term_id(t) for t in terms]
+
+    def __repr__(self) -> str:
+        preview = ", ".join(self._terms[:3])
+        return f"Vocabulary(size={len(self)}, [{preview}, ...])"

@@ -1,0 +1,106 @@
+"""Term-weighting schemes for term–document matrices.
+
+The paper (§2): "The i-th coordinate of a vector represents some function
+of the number of times the i-th term occurs in the document … There are
+several candidates for the right function to be used here (0-1,
+frequency, etc.), and the precise choice does not affect our results."
+
+This module implements the standard candidates so the weighting ablation
+(experiment A3) can verify that claim empirically:
+
+- ``count`` — raw occurrence counts;
+- ``binary`` — 0/1 presence;
+- ``tf`` — counts normalised by document length (term frequency);
+- ``log_tf`` — ``1 + log(count)``, the sublinear damping of classic IR;
+- ``tfidf`` — log-tf times inverse document frequency;
+- ``log_entropy`` — log-tf times (1 − normalised term entropy), the
+  scheme the original LSI papers favoured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.linalg.sparse import CSRMatrix
+
+
+def _counts(matrix: CSRMatrix) -> CSRMatrix:
+    return matrix
+
+
+def _binary(matrix: CSRMatrix) -> CSRMatrix:
+    return matrix.map_data(lambda data: (data > 0).astype(np.float64))
+
+
+def _tf(matrix: CSRMatrix) -> CSRMatrix:
+    lengths = matrix.column_sums()
+    safe = np.where(lengths > 0, lengths, 1.0)
+    return matrix.scale_columns(1.0 / safe)
+
+
+def _log_tf(matrix: CSRMatrix) -> CSRMatrix:
+    return matrix.map_data(lambda data: np.where(
+        data > 0, 1.0 + np.log(np.maximum(data, 1e-300)), 0.0))
+
+
+def _idf_weights(matrix: CSRMatrix) -> np.ndarray:
+    m = matrix.shape[1]
+    df = matrix.document_frequency()
+    # Smoothed idf; terms appearing in every document get weight ~0+.
+    return np.log((1.0 + m) / (1.0 + df))
+
+
+def _tfidf(matrix: CSRMatrix) -> CSRMatrix:
+    return _log_tf(matrix).scale_rows(_idf_weights(matrix))
+
+
+def _log_entropy(matrix: CSRMatrix) -> CSRMatrix:
+    m = matrix.shape[1]
+    if m <= 1:
+        return _log_tf(matrix)
+    global_freq = matrix.row_sums()
+    safe_global = np.where(global_freq > 0, global_freq, 1.0)
+    # Per-entry p_ij = count_ij / global_i ; entropy H_i = -Σ p log p.
+    row_of_entry = np.repeat(np.arange(matrix.shape[0]),
+                             np.diff(matrix.indptr))
+    p = matrix.data / safe_global[row_of_entry]
+    contributions = np.where(p > 0, p * np.log(np.maximum(p, 1e-300)), 0.0)
+    entropy = np.zeros(matrix.shape[0])
+    np.add.at(entropy, row_of_entry, contributions)
+    # Weight 1 + H_i / log m ∈ [0, 1]; rare focused terms score high.
+    weights = 1.0 + entropy / np.log(m)
+    weights = np.clip(weights, 0.0, 1.0)
+    return _log_tf(matrix).scale_rows(weights)
+
+
+#: Scheme name → transformation on a raw count matrix.
+WEIGHTING_SCHEMES = {
+    "count": _counts,
+    "binary": _binary,
+    "tf": _tf,
+    "log_tf": _log_tf,
+    "tfidf": _tfidf,
+    "log_entropy": _log_entropy,
+}
+
+
+def apply_weighting(count_matrix: CSRMatrix, scheme: str) -> CSRMatrix:
+    """Apply a named weighting scheme to a raw count matrix.
+
+    Args:
+        count_matrix: the ``n × m`` raw term-count matrix.
+        scheme: one of :data:`WEIGHTING_SCHEMES`.
+
+    Returns:
+        The reweighted matrix (the input is never mutated).
+    """
+    if not isinstance(count_matrix, CSRMatrix):
+        raise ValidationError("count_matrix must be a CSRMatrix")
+    try:
+        transform = WEIGHTING_SCHEMES[scheme]
+    except KeyError:
+        raise ValidationError(
+            f"unknown weighting scheme {scheme!r}; expected one of "
+            f"{sorted(WEIGHTING_SCHEMES)}") from None
+    return transform(count_matrix)

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing genuine bugs (``TypeError`` from numpy, ``KeyboardInterrupt``,
+etc.)::
+
+    try:
+        model = LSIModel.fit(matrix, rank=40)
+    except ReproError as exc:
+        log.warning("LSI fit rejected: %s", exc)
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or dtype).
+
+    Subclasses :class:`ValueError` so that idiomatic ``except ValueError``
+    call sites keep working.
+    """
+
+
+class ShapeError(ValidationError):
+    """Array arguments have incompatible or unexpected shapes."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        #: Number of iterations performed before giving up, if known.
+        self.iterations = iterations
+        #: Final residual norm, if known.
+        self.residual = residual
+
+
+class RankError(ValidationError):
+    """A requested decomposition rank is infeasible for the given matrix."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted state was called before fitting."""
+
+
+class EmptyCorpusError(ValidationError):
+    """An operation required a non-empty corpus or document."""
+
+
+class DistributionError(ValidationError):
+    """A probability vector or stochastic matrix is malformed.
+
+    Raised when weights are negative, do not sum to one within tolerance,
+    or contain non-finite entries.
+    """

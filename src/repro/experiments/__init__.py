@@ -1,0 +1,116 @@
+"""Experiment harness: one module per reproduced table/experiment.
+
+Each module exposes a frozen ``*Config`` dataclass with the paper's
+defaults and a ``run_*`` function returning a result object with a
+``render()`` method producing paper-style tables.  The ``benchmarks/``
+tree calls these entry points; EXPERIMENTS.md records the outputs next
+to the paper's numbers.
+
+Index (ids match DESIGN.md):
+
+- T1  :mod:`repro.experiments.angle_table` — the paper's §4 table.
+- E2  :mod:`repro.experiments.skewness_sweep` — Theorems 2/3 shape.
+- E3  :mod:`repro.experiments.rp_recovery` — Theorem 5.
+- E4  :mod:`repro.experiments.jl_distortion` — Lemma 2.
+- E5  :mod:`repro.experiments.timing` — the §5 cost claim.
+- E6  :mod:`repro.experiments.synonymy_exp` — §4 synonymy.
+- E7  :mod:`repro.experiments.graph_topics` — Theorem 6.
+- E8  :mod:`repro.experiments.retrieval_exp` — precision/recall
+       LSI vs VSM.
+- E9  :mod:`repro.experiments.fkv_exp` — FKV vs sampling vs projection.
+- E10 :mod:`repro.experiments.cf_exp` — collaborative filtering.
+
+Extension experiments (the paper's §6 open questions, probed
+empirically):
+
+- X1 :mod:`repro.experiments.mixture_ext` — multi-topic documents.
+- X2 :mod:`repro.experiments.style_robustness` — authorship styles.
+- X3 :mod:`repro.experiments.polysemy_exp` — polysemy.
+- X4 :mod:`repro.experiments.conductance_exp` — the Theorem 2 spectral
+      engine (block Gram conductance and eigenvalue gaps).
+- X5 :mod:`repro.experiments.folding_exp` — folding-in vs refitting.
+- X6 :mod:`repro.experiments.classification_exp` — document
+      clustering/classification per representation space.
+- X7 :mod:`repro.experiments.prf_exp` — query repair (Rocchio PRF) vs
+      space repair (LSI) on the synonymy probe.
+"""
+
+from repro.experiments.angle_table import AngleTableConfig, run_angle_table
+from repro.experiments.cf_exp import CFConfig, run_cf_experiment
+from repro.experiments.classification_exp import (
+    ClassificationConfig,
+    run_classification,
+)
+from repro.experiments.conductance_exp import (
+    ConductanceConfig,
+    run_conductance_experiment,
+)
+from repro.experiments.folding_exp import FoldingConfig, \
+    run_folding_experiment
+from repro.experiments.fkv_exp import FKVConfig, run_fkv_experiment
+from repro.experiments.graph_topics import (
+    GraphTopicsConfig,
+    run_graph_topics,
+)
+from repro.experiments.jl_distortion import (
+    JLDistortionConfig,
+    run_jl_distortion,
+)
+from repro.experiments.mixture_ext import (
+    MixtureConfig,
+    run_mixture_experiment,
+)
+from repro.experiments.polysemy_exp import PolysemyConfig, run_polysemy
+from repro.experiments.prf_exp import PRFConfig, run_prf_experiment
+from repro.experiments.retrieval_exp import (
+    RetrievalConfig,
+    run_retrieval_experiment,
+)
+from repro.experiments.rp_recovery import RPRecoveryConfig, run_rp_recovery
+from repro.experiments.skewness_sweep import (
+    SkewnessSweepConfig,
+    run_skewness_sweep,
+)
+from repro.experiments.style_robustness import (
+    StyleRobustnessConfig,
+    run_style_robustness,
+)
+from repro.experiments.synonymy_exp import SynonymyConfig, run_synonymy
+from repro.experiments.timing import TimingConfig, run_timing
+
+__all__ = [
+    "AngleTableConfig",
+    "CFConfig",
+    "ClassificationConfig",
+    "ConductanceConfig",
+    "FKVConfig",
+    "FoldingConfig",
+    "GraphTopicsConfig",
+    "JLDistortionConfig",
+    "MixtureConfig",
+    "PRFConfig",
+    "PolysemyConfig",
+    "RPRecoveryConfig",
+    "RetrievalConfig",
+    "SkewnessSweepConfig",
+    "StyleRobustnessConfig",
+    "SynonymyConfig",
+    "TimingConfig",
+    "run_angle_table",
+    "run_cf_experiment",
+    "run_classification",
+    "run_conductance_experiment",
+    "run_fkv_experiment",
+    "run_folding_experiment",
+    "run_graph_topics",
+    "run_jl_distortion",
+    "run_mixture_experiment",
+    "run_polysemy",
+    "run_prf_experiment",
+    "run_retrieval_experiment",
+    "run_rp_recovery",
+    "run_skewness_sweep",
+    "run_style_robustness",
+    "run_synonymy",
+    "run_timing",
+]

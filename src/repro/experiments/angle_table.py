@@ -1,0 +1,214 @@
+"""Experiment T1: the paper's §4 angle-statistics table.
+
+    "We generated 1000 documents (each 50 to 100 terms long) from a
+    corpus model with 2000 terms and 20 topics.  Each topic is assigned a
+    disjoint set of 100 terms as its primary set.  The probability
+    distribution for each topic is such that 0.95 of its probability
+    density is equally distributed among terms from the primary set, and
+    the remaining 0.05 is equally distributed among all the 2000 terms.
+    …  We measured the angle (not some function of the angle such as the
+    cosine) between all pairs of documents in the original space and in
+    the rank 20 LSI space."
+
+The paper's reported numbers (radians):
+
+    Intratopic — original: min 0.801, max 1.39, avg 1.09,  std 0.079
+                 LSI:      min 0,     max 0.312, avg 0.0177, std 0.0374
+    Intertopic — original: min 1.49,  max 1.57, avg 1.57,  std 0.00791
+                 LSI:      min 0.101, max 1.57, avg 1.55,  std 0.153
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.lsi import LSIModel
+from repro.core.skewness import (
+    AngleStatistics,
+    angle_statistics,
+    pairwise_angle_table,
+    skewness,
+)
+from repro.corpus.sampler import generate_corpus
+from repro.corpus.separable import (
+    PAPER_LENGTH_HIGH,
+    PAPER_LENGTH_LOW,
+    PAPER_N_DOCUMENTS,
+    PAPER_N_TERMS,
+    PAPER_N_TOPICS,
+    PAPER_PRIMARY_MASS,
+    PAPER_PRIMARY_SIZE,
+    build_separable_model,
+)
+from repro.utils.tables import render_tables
+
+
+#: The paper's reported values, for EXPERIMENTS.md comparisons.
+PAPER_REPORTED = {
+    ("intratopic", "original"): (0.801, 1.39, 1.09, 0.079),
+    ("intratopic", "lsi"): (0.0, 0.312, 0.0177, 0.0374),
+    ("intertopic", "original"): (1.49, 1.57, 1.57, 0.00791),
+    ("intertopic", "lsi"): (0.101, 1.57, 1.55, 0.153),
+}
+
+
+@dataclass(frozen=True)
+class AngleTableConfig:
+    """Parameters of the T1 experiment (defaults = the paper's)."""
+
+    n_terms: int = PAPER_N_TERMS
+    n_topics: int = PAPER_N_TOPICS
+    primary_size: int = PAPER_PRIMARY_SIZE
+    primary_mass: float = PAPER_PRIMARY_MASS
+    n_documents: int = PAPER_N_DOCUMENTS
+    length_low: int = PAPER_LENGTH_LOW
+    length_high: int = PAPER_LENGTH_HIGH
+    svd_engine: str = "lanczos"
+    seed: int = 19980601  # PODS'98-flavoured default
+
+    def scaled(self, factor: float) -> "AngleTableConfig":
+        """A proportionally smaller instance (for quick benches/tests)."""
+        return AngleTableConfig(
+            n_terms=max(self.n_topics, int(self.n_terms * factor)),
+            n_topics=self.n_topics,
+            primary_size=max(1, int(self.primary_size * factor)),
+            primary_mass=self.primary_mass,
+            n_documents=max(self.n_topics * 2,
+                            int(self.n_documents * factor)),
+            length_low=self.length_low,
+            length_high=self.length_high,
+            svd_engine=self.svd_engine,
+            seed=self.seed)
+
+
+@dataclass(frozen=True)
+class AngleTableResult:
+    """Output of T1: both spaces' angle statistics plus skewness."""
+
+    config: AngleTableConfig
+    original: AngleStatistics
+    lsi: AngleStatistics
+    original_skewness: float
+    lsi_skewness: float
+    tables: list = field(default_factory=list)
+
+    def render(self) -> str:
+        """The paper-style twin tables plus a skewness footer."""
+        body = render_tables(self.tables)
+        footer = (f"\nskewness: original={self.original_skewness:.4f} "
+                  f"LSI={self.lsi_skewness:.4f}")
+        return body + footer
+
+
+@dataclass(frozen=True)
+class AngleTableTrials:
+    """T1 across repeated seeds — the paper's "repeated trials" remark.
+
+    Attributes:
+        results: one :class:`AngleTableResult` per trial.
+        intratopic_lsi_means: per-trial intratopic LSI average angles.
+        intertopic_lsi_means: per-trial intertopic LSI average angles.
+    """
+
+    results: list
+    intratopic_lsi_means: list
+    intertopic_lsi_means: list
+
+    def summary(self) -> str:
+        """Mean ± std of the headline quantities across trials."""
+        import numpy as np
+
+        intra = np.asarray(self.intratopic_lsi_means)
+        inter = np.asarray(self.intertopic_lsi_means)
+        return (f"{len(self.results)} trials — intratopic LSI mean "
+                f"angle {intra.mean():.4f} ± {intra.std():.4f}; "
+                f"intertopic LSI mean angle {inter.mean():.4f} ± "
+                f"{inter.std():.4f}")
+
+    def stable(self, *, intra_cap: float = 0.1) -> bool:
+        """Whether the collapse reproduces in every single trial."""
+        return all(value < intra_cap
+                   for value in self.intratopic_lsi_means) and \
+            all(value > 1.3 for value in self.intertopic_lsi_means)
+
+
+def run_angle_table_trials(config: AngleTableConfig = AngleTableConfig(),
+                           *, n_trials: int = 5) -> AngleTableTrials:
+    """Run T1 ``n_trials`` times with derived seeds.
+
+    The paper: "The following is a typical result; similar results are
+    obtained from repeated trials."  This makes that claim checkable.
+    """
+    from dataclasses import replace
+
+    from repro.utils.rng import spawn_generators
+
+    seeds = [int(rng.integers(0, 2**31 - 1))
+             for rng in spawn_generators(config.seed, n_trials)]
+    results = [run_angle_table(replace(config, seed=seed))
+               for seed in seeds]
+    return AngleTableTrials(
+        results=results,
+        intratopic_lsi_means=[r.lsi.intratopic_mean for r in results],
+        intertopic_lsi_means=[r.lsi.intertopic_mean for r in results])
+
+
+def collect_angle_samples(config: AngleTableConfig = AngleTableConfig()):
+    """Raw pairwise-angle samples for the T1 configuration.
+
+    Returns ``(original, lsi)`` where each is a dict with
+    ``"intratopic"`` and ``"intertopic"`` arrays of angles (radians) —
+    the full distributions the table summarises, for histogramming.
+    """
+    import numpy as np
+
+    from repro.core.skewness import _pair_masks
+    from repro.linalg.dense import pairwise_angles
+
+    model = build_separable_model(
+        config.n_terms, config.n_topics,
+        primary_size=config.primary_size,
+        primary_mass=config.primary_mass,
+        length_low=config.length_low, length_high=config.length_high)
+    corpus = generate_corpus(model, config.n_documents, seed=config.seed)
+    labels = corpus.topic_labels()
+    matrix = corpus.term_document_matrix()
+    lsi_model = LSIModel.fit(matrix, config.n_topics,
+                             engine=config.svd_engine, seed=config.seed)
+    intra_mask, inter_mask = _pair_masks(np.asarray(labels))
+
+    def split(vectors):
+        angles = pairwise_angles(vectors)
+        return {"intratopic": angles[intra_mask],
+                "intertopic": angles[inter_mask]}
+
+    return (split(matrix.to_dense()),
+            split(lsi_model.document_vectors()))
+
+
+def run_angle_table(config: AngleTableConfig = AngleTableConfig()
+                    ) -> AngleTableResult:
+    """Generate the corpus, fit rank-``k`` LSI, measure pairwise angles."""
+    model = build_separable_model(
+        config.n_terms, config.n_topics,
+        primary_size=config.primary_size,
+        primary_mass=config.primary_mass,
+        length_low=config.length_low, length_high=config.length_high)
+    corpus = generate_corpus(model, config.n_documents, seed=config.seed)
+    labels = corpus.topic_labels()
+    matrix = corpus.term_document_matrix()
+
+    lsi_model = LSIModel.fit(matrix, config.n_topics,
+                             engine=config.svd_engine, seed=config.seed)
+    original_vectors = matrix.to_dense()
+    lsi_vectors = lsi_model.document_vectors()
+
+    original_stats = angle_statistics(original_vectors, labels)
+    lsi_stats = angle_statistics(lsi_vectors, labels)
+    return AngleTableResult(
+        config=config,
+        original=original_stats,
+        lsi=lsi_stats,
+        original_skewness=skewness(original_vectors, labels),
+        lsi_skewness=skewness(lsi_vectors, labels),
+        tables=pairwise_angle_table(original_stats, lsi_stats))

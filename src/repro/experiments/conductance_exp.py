@@ -1,0 +1,156 @@
+"""Experiment X4: the spectral engine inside the Theorem 2 proof.
+
+The proof shows each topic block's Gram matrix ``BᵢᵀBᵢ`` is "essentially
+the adjacency matrix of a random bipartite multigraph", whose
+conductance is ``Ω(t/|Tᵢ|)``, so the second eigenvalue is dominated by
+the first as τ → 0 and the block count grows.  This experiment measures
+the pieces directly:
+
+- the eigenvalue ratio ``λ₂/λ₁`` of block Gram matrices as the number
+  of documents grows (should fall);
+- sweep-cut conductance of the Gram graph against the ``t/|Tᵢ|`` scale
+  (should track proportionally);
+- the global consequence: the k-th/(k+1)-th singular-value gap of the
+  full corpus matrix (what Lemma 1 needs) as the corpus grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.sampler import generate_corpus
+from repro.corpus.separable import build_separable_model
+from repro.graphs.conductance import sweep_cut_conductance
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.random_graphs import random_bipartite_multigraph_gram
+from repro.theory.bounds import conductance_lower_bound
+from repro.utils.rng import spawn_generators
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class ConductanceConfig:
+    """Parameters of X4."""
+
+    n_topic_terms: int = 60
+    document_length: int = 80
+    block_sizes: tuple = (10, 20, 40, 80)
+    corpus_n_terms: int = 400
+    corpus_n_topics: int = 8
+    corpus_sizes: tuple = (80, 160, 320)
+    seed: int = 139
+
+
+@dataclass(frozen=True)
+class BlockPoint:
+    """One block-size measurement.
+
+    Attributes:
+        n_documents: documents in the block (the ``t``).
+        eigenvalue_ratio: ``λ₂/λ₁`` of the block Gram matrix.
+        conductance: sweep-cut conductance of the Gram graph.
+        predicted_scale: the ``t/|Tᵢ|`` proportionality scale.
+    """
+
+    n_documents: int
+    eigenvalue_ratio: float
+    conductance: float
+    predicted_scale: float
+
+
+@dataclass(frozen=True)
+class GapPoint:
+    """Corpus-level singular gap at one corpus size."""
+
+    n_documents: int
+    gap_ratio: float     # (sigma_k - sigma_{k+1}) / sigma_1
+
+
+@dataclass(frozen=True)
+class ConductanceResult:
+    """Block sweep plus corpus-gap sweep."""
+
+    config: ConductanceConfig
+    block_points: list[BlockPoint]
+    gap_points: list[GapPoint]
+    tables: list = field(default_factory=list)
+
+    def render(self) -> str:
+        """Both tables."""
+        return "\n\n".join(t.render() for t in self.tables)
+
+    def eigenvalue_ratio_falls(self) -> bool:
+        """λ₂/λ₁ falls as blocks grow (the Theorem 2 mechanism)."""
+        ratios = [p.eigenvalue_ratio for p in self.block_points]
+        return ratios[-1] < ratios[0]
+
+    def conductance_tracks_scale(self) -> bool:
+        """Conductance grows with the predicted t/|T| scale."""
+        values = [p.conductance for p in self.block_points]
+        return values[-1] > values[0]
+
+    def corpus_gap_positive(self) -> bool:
+        """The k/(k+1) singular gap Lemma 1 needs is present."""
+        return all(p.gap_ratio > 0.05 for p in self.gap_points)
+
+
+def run_conductance_experiment(
+        config: ConductanceConfig = ConductanceConfig()
+) -> ConductanceResult:
+    """Measure the spectral quantities behind Theorem 2."""
+    rngs = spawn_generators(
+        config.seed, len(config.block_sizes) + len(config.corpus_sizes))
+    rng_iter = iter(rngs)
+
+    block_points: list[BlockPoint] = []
+    for t in config.block_sizes:
+        gram = random_bipartite_multigraph_gram(
+            int(t), config.n_topic_terms, config.document_length,
+            seed=next(rng_iter))
+        eigenvalues = np.sort(np.linalg.eigvalsh(gram))[::-1]
+        ratio = float(eigenvalues[1] / eigenvalues[0]) \
+            if eigenvalues[0] > 0 else 0.0
+        adjacency = gram.copy()
+        np.fill_diagonal(adjacency, 0.0)
+        conductance, _ = sweep_cut_conductance(
+            WeightedGraph(adjacency), denominator="volume")
+        block_points.append(BlockPoint(
+            n_documents=int(t), eigenvalue_ratio=ratio,
+            conductance=float(conductance),
+            predicted_scale=conductance_lower_bound(
+                int(t), config.n_topic_terms)))
+
+    gap_points: list[GapPoint] = []
+    model = build_separable_model(config.corpus_n_terms,
+                                  config.corpus_n_topics)
+    for m in config.corpus_sizes:
+        corpus = generate_corpus(model, int(m), seed=next(rng_iter))
+        dense = corpus.term_document_matrix().to_dense()
+        sigma = np.linalg.svd(dense, compute_uv=False)
+        k = config.corpus_n_topics
+        gap_points.append(GapPoint(
+            n_documents=int(m),
+            gap_ratio=float((sigma[k - 1] - sigma[k]) / sigma[0])))
+
+    block_table = Table(
+        title=(f"X4a: topic-block Gram spectra "
+               f"(|T|={config.n_topic_terms}, "
+               f"len={config.document_length})"),
+        headers=["t (docs)", "lambda2/lambda1", "conductance",
+                 "t/|T| scale"])
+    for point in block_points:
+        block_table.add_row([point.n_documents, point.eigenvalue_ratio,
+                             point.conductance, point.predicted_scale])
+
+    gap_table = Table(
+        title=(f"X4b: corpus singular gap "
+               f"(k={config.corpus_n_topics})"),
+        headers=["m (docs)", "(sigma_k - sigma_k+1)/sigma_1"])
+    for point in gap_points:
+        gap_table.add_row([point.n_documents, point.gap_ratio])
+
+    return ConductanceResult(config=config, block_points=block_points,
+                             gap_points=gap_points,
+                             tables=[block_table, gap_table])

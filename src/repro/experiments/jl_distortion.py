@@ -1,0 +1,118 @@
+"""Experiment E4: Lemma 2 — pairwise distances survive random projection.
+
+Projects corpus document vectors to a sweep of dimensions ``l`` and
+measures the worst and mean pairwise-distance distortion, next to the
+ε(l) that inverting the Lemma 2 tail bound predicts for that ``l``.
+Also verifies the single-vector concentration statement directly via
+:func:`repro.theory.jl.projected_length_statistics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.random_projection import (
+    distance_distortions,
+    make_projector,
+)
+from repro.corpus.sampler import generate_corpus
+from repro.corpus.separable import build_separable_model
+from repro.theory.jl import ProjectionLengthReport, projected_length_statistics
+from repro.utils.rng import spawn_generators
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class JLDistortionConfig:
+    """Parameters of E4."""
+
+    n_terms: int = 1000
+    n_topics: int = 8
+    n_documents: int = 120
+    projection_dims: tuple = (25, 50, 100, 200, 400)
+    projector_family: str = "orthonormal"
+    concentration_epsilon: float = 0.25
+    seed: int = 23
+
+
+def epsilon_predicted_by_lemma2(projection_dim: int, n_pairs: int, *,
+                                failure_probability: float = 0.05) -> float:
+    """Invert the Lemma 2 union bound: the ε certified at dimension ``l``.
+
+    Solves ``2·n_pairs·√l·e^{−(l−1)ε²/24} = failure_probability`` for ε
+    (capped at 0.999 — small ``l`` certifies nothing useful).
+    """
+    l = int(projection_dim)
+    log_term = np.log(2.0 * n_pairs * np.sqrt(l) / failure_probability)
+    epsilon_sq = 24.0 * log_term / max(l - 1, 1)
+    return float(min(np.sqrt(epsilon_sq), 0.999))
+
+
+@dataclass(frozen=True)
+class JLDistortionResult:
+    """Distortion statistics per projection dimension."""
+
+    config: JLDistortionConfig
+    max_distortion: dict[int, float]
+    mean_distortion: dict[int, float]
+    predicted_epsilon: dict[int, float]
+    concentration: ProjectionLengthReport
+    tables: list = field(default_factory=list)
+
+    def render(self) -> str:
+        """The distortion sweep table plus the concentration check."""
+        body = "\n\n".join(t.render() for t in self.tables)
+        footer = (
+            f"\nLemma 2 concentration (l={self.concentration.n_trials} "
+            f"trials): mean X={self.concentration.empirical_mean:.4f} "
+            f"(expected {self.concentration.expected:.4f}), "
+            f"failure rate {self.concentration.empirical_failure_rate:.3f}"
+            f" <= bound {self.concentration.predicted_failure_bound:.3f}")
+        return body + footer
+
+    def distortion_shrinks_with_l(self) -> bool:
+        """Max distortion at the largest ``l`` below that at the smallest."""
+        dims = sorted(self.max_distortion)
+        return self.max_distortion[dims[-1]] <= \
+            self.max_distortion[dims[0]] + 1e-9
+
+
+def run_jl_distortion(config: JLDistortionConfig = JLDistortionConfig()
+                      ) -> JLDistortionResult:
+    """Sweep ``l`` and measure pairwise distance distortion."""
+    model = build_separable_model(config.n_terms, config.n_topics)
+    corpus = generate_corpus(model, config.n_documents, seed=config.seed)
+    dense = corpus.term_document_matrix().to_dense()
+    n_pairs = config.n_documents * (config.n_documents - 1) // 2
+
+    rngs = spawn_generators(config.seed, len(config.projection_dims) + 1)
+    max_distortion: dict[int, float] = {}
+    mean_distortion: dict[int, float] = {}
+    predicted: dict[int, float] = {}
+    for rng, l in zip(rngs, config.projection_dims):
+        projector = make_projector(config.projector_family,
+                                   config.n_terms, int(l), seed=rng)
+        projected = projector.project(dense)
+        ratios = distance_distortions(dense, projected)
+        max_distortion[int(l)] = float(np.max(np.abs(ratios - 1.0)))
+        mean_distortion[int(l)] = float(np.mean(np.abs(ratios - 1.0)))
+        predicted[int(l)] = epsilon_predicted_by_lemma2(int(l), n_pairs)
+
+    concentration = projected_length_statistics(
+        config.n_terms, config.projection_dims[-1],
+        config.concentration_epsilon, n_trials=300, seed=rngs[-1])
+
+    table = Table(
+        title=(f"JL distance distortion ({config.projector_family} "
+               f"projector, {n_pairs} pairs)"),
+        headers=["l", "max |ratio-1|", "mean |ratio-1|",
+                 "Lemma-2 eps(l)"])
+    for l in sorted(max_distortion):
+        table.add_row([l, max_distortion[l], mean_distortion[l],
+                       predicted[l]])
+    return JLDistortionResult(
+        config=config, max_distortion=max_distortion,
+        mean_distortion=mean_distortion, predicted_epsilon=predicted,
+        concentration=concentration, tables=[table])

@@ -1,0 +1,178 @@
+"""Experiment X3 (extension): does LSI address polysemy?
+
+The paper poses the question and leaves it open.  We merge one primary
+term from each of two topics into a single ambiguous term and measure:
+
+1. the polyseme's LSI vector is a *superposition* of its senses' topic
+   directions (unlike a synonym pair, nothing gets projected out);
+2. a bare one-word query on the polyseme stays ambiguous (precision
+   against the intended sense ≈ the sense's share);
+3. adding context terms disambiguates: the folded query lands near the
+   intended topic's direction and precision recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lsi import LSIModel
+from repro.core.polysemy import (
+    ContextDisambiguation,
+    SenseSuperposition,
+    context_disambiguation,
+    sense_superposition,
+)
+from repro.corpus.polysemy import merge_topic_terms
+from repro.corpus.sampler import generate_corpus
+from repro.corpus.separable import build_separable_model
+from repro.utils.rng import as_generator
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class PolysemyConfig:
+    """Parameters of X3."""
+
+    n_terms: int = 400
+    n_topics: int = 8
+    n_documents: int = 320
+    primary_mass: float = 0.95
+    n_polysemes: int = 3
+    context_size: int = 2
+    cutoff: int = 10
+    seed: int = 131
+
+
+@dataclass(frozen=True)
+class PolysemeOutcome:
+    """Measurements for one injected polyseme.
+
+    Attributes:
+        polyseme_term: the ambiguous term's row index.
+        senses: the two merged topics.
+        superposition: topic-direction split of the term's LSI vector.
+        disambiguation: bare vs contextual precision for sense 0.
+        bare_confusion: fraction of the bare query's top-``cutoff``
+            results that belong to *either* sense — near 1 means the
+            ambiguous query retrieves a mix of both meanings.
+        contextual_other_precision: contextual query's precision against
+            the *unintended* sense — near 0 means context suppressed it.
+    """
+
+    polyseme_term: int
+    senses: tuple[int, int]
+    superposition: SenseSuperposition
+    disambiguation: ContextDisambiguation
+    bare_confusion: float
+    contextual_other_precision: float
+
+
+@dataclass(frozen=True)
+class PolysemyResult:
+    """All injected polysemes."""
+
+    config: PolysemyConfig
+    outcomes: list[PolysemeOutcome]
+    tables: list = field(default_factory=list)
+
+    def render(self) -> str:
+        """One row per polyseme."""
+        return "\n\n".join(t.render() for t in self.tables)
+
+    def all_superposed(self) -> bool:
+        """Every polyseme splits across both true senses."""
+        return all(o.superposition.is_superposed for o in self.outcomes)
+
+    def context_always_helps(self) -> bool:
+        """Contextual queries never lose to bare queries."""
+        return all(o.disambiguation.context_helps for o in self.outcomes)
+
+    def bare_queries_confused(self, *, threshold: float = 0.8) -> bool:
+        """Bare polyseme queries retrieve the senses' mixture."""
+        return all(o.bare_confusion >= threshold for o in self.outcomes)
+
+    def context_suppresses_other_sense(self, *,
+                                       threshold: float = 0.3) -> bool:
+        """Context steers retrieval away from the unintended sense."""
+        return all(o.contextual_other_precision <= threshold
+                   for o in self.outcomes)
+
+
+def run_polysemy(config: PolysemyConfig = PolysemyConfig()
+                 ) -> PolysemyResult:
+    """Inject polysemes, fit LSI, measure superposition + context."""
+    rng = as_generator(config.seed)
+    model = build_separable_model(config.n_terms, config.n_topics,
+                                  primary_mass=config.primary_mass)
+    primary_size = config.n_terms // config.n_topics
+
+    # Merge pairs one at a time; track merged-term positions.  Merging
+    # removes one term, shifting later ids, so we merge from the end of
+    # the topic list backwards to keep earlier ids stable.
+    outcomes_plan = []
+    for i in range(config.n_polysemes):
+        sense_a = i
+        sense_b = config.n_topics - 1 - i
+        if sense_a >= sense_b:
+            break
+        term_a = sense_a * primary_size + 2 * i       # stays in place
+        term_b = sense_b * primary_size + 2 * i       # gets merged away
+        model = merge_topic_terms(model, term_a, term_b)
+        outcomes_plan.append((term_a, (sense_a, sense_b)))
+
+    corpus = generate_corpus(model, config.n_documents, rng)
+    labels = corpus.topic_labels()
+    matrix = corpus.term_document_matrix()
+    lsi = LSIModel.fit(matrix, config.n_topics, engine="lanczos",
+                       seed=rng)
+
+    outcomes: list[PolysemeOutcome] = []
+    for term, senses in outcomes_plan:
+        superposition = sense_superposition(lsi, labels, term, senses)
+        intended, other = senses
+        # Context: other high-probability primary terms of the intended
+        # sense (excluding the polyseme itself).
+        topic = model.topics[intended]
+        candidates = np.fromiter(
+            (t for t in topic.primary_terms if t != term),
+            dtype=np.int64)
+        probs = topic.probabilities[candidates]
+        context = candidates[np.argsort(-probs)][:config.context_size]
+        disambiguation = context_disambiguation(
+            lsi, labels, term, intended, context,
+            cutoff=config.cutoff)
+
+        # Bare-query confusion: the top results mix both senses.
+        bare = np.zeros(lsi.n_terms)
+        bare[term] = 1.0
+        top = lsi.rank_documents(bare, top_k=config.cutoff)
+        either = sum(1 for d in top if labels[d] in senses)
+        bare_confusion = either / config.cutoff
+        contextual_other = context_disambiguation(
+            lsi, labels, term, other, context,
+            cutoff=config.cutoff).contextual_precision
+
+        outcomes.append(PolysemeOutcome(
+            polyseme_term=int(term), senses=senses,
+            superposition=superposition,
+            disambiguation=disambiguation,
+            bare_confusion=bare_confusion,
+            contextual_other_precision=contextual_other))
+
+    table = Table(
+        title=(f"X3: polysemous terms under rank-{config.n_topics} LSI "
+               f"(context = {config.context_size} terms)"),
+        headers=["term", "senses", "sense mass", "bare either-sense",
+                 "ctx P(intended)", "ctx P(other)"])
+    for outcome in outcomes:
+        table.add_row([
+            outcome.polyseme_term,
+            f"{outcome.senses[0]}+{outcome.senses[1]}",
+            outcome.superposition.sense_mass_fraction,
+            outcome.bare_confusion,
+            outcome.disambiguation.contextual_precision,
+            outcome.contextual_other_precision])
+    return PolysemyResult(config=config, outcomes=outcomes,
+                          tables=[table])

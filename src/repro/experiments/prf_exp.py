@@ -1,0 +1,113 @@
+"""Experiment X7: fix the query (Rocchio PRF) vs fix the space (LSI).
+
+The vocabulary-mismatch problem admits two classical remedies: expand
+the query with pseudo-relevance feedback, or retrieve in a latent space.
+This experiment pits them against each other — and composes them — on
+the single-term synonymy probe of E8:
+
+- **VSM** — the unrepaired baseline;
+- **VSM+PRF** — Rocchio expansion of the query, retrieval still in raw
+  space;
+- **LSI** — retrieval in the rank-``k`` space, no expansion;
+- **LSI+PRF** — expansion using LSI's initial ranking, final retrieval
+  in the LSI space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lsi import LSIModel
+from repro.corpus.sampler import generate_corpus
+from repro.corpus.separable import build_separable_model
+from repro.ir.feedback import pseudo_relevance_feedback
+from repro.ir.metrics import average_precision
+from repro.ir.queries import single_term_queries
+from repro.ir.relevance import relevance_from_labels
+from repro.ir.vsm import VectorSpaceModel
+from repro.utils.rng import as_generator
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class PRFConfig:
+    """Parameters of X7."""
+
+    n_terms: int = 500
+    n_topics: int = 8
+    n_documents: int = 320
+    primary_mass: float = 0.95
+    terms_per_topic: int = 3
+    feedback_depth: int = 5
+    seed: int = 163
+
+
+@dataclass(frozen=True)
+class PRFResult:
+    """MAP per remedy arm on the single-term workload."""
+
+    config: PRFConfig
+    map_scores: dict[str, float]
+    tables: list = field(default_factory=list)
+
+    def render(self) -> str:
+        """The arm comparison table."""
+        return "\n\n".join(t.render() for t in self.tables)
+
+    def prf_helps_vsm(self) -> bool:
+        """Rocchio expansion lifts raw-space retrieval."""
+        return self.map_scores["vsm+prf"] >= \
+            self.map_scores["vsm"] - 1e-9
+
+    def lsi_beats_repaired_vsm(self) -> bool:
+        """Changing the space beats repairing the query."""
+        return self.map_scores["lsi"] >= \
+            self.map_scores["vsm+prf"] - 1e-9
+
+
+def run_prf_experiment(config: PRFConfig = PRFConfig()) -> PRFResult:
+    """Compare PRF and LSI remedies on the synonymy probe."""
+    rng = as_generator(config.seed)
+    model = build_separable_model(
+        config.n_terms, config.n_topics,
+        primary_mass=config.primary_mass)
+    corpus = generate_corpus(model, config.n_documents, rng)
+    labels = corpus.topic_labels()
+    matrix = corpus.term_document_matrix()
+
+    vsm = VectorSpaceModel.fit(matrix)
+    lsi = LSIModel.fit(matrix, config.n_topics, engine="lanczos",
+                       seed=rng)
+    queries = single_term_queries(model,
+                                  terms_per_topic=config.terms_per_topic,
+                                  seed=rng)
+    relevant_sets = relevance_from_labels(labels, queries.topic_labels)
+
+    def evaluate(rank_fn, expand_with=None) -> float:
+        scores = []
+        for (query, _), relevant in zip(queries, relevant_sets):
+            if expand_with is not None:
+                query = pseudo_relevance_feedback(
+                    expand_with, query, matrix,
+                    feedback_depth=config.feedback_depth)
+            scores.append(average_precision(rank_fn(query), relevant))
+        return float(np.mean(scores))
+
+    map_scores = {
+        "vsm": evaluate(vsm.rank),
+        "vsm+prf": evaluate(vsm.rank, expand_with=vsm),
+        "lsi": evaluate(lsi.rank_documents),
+        "lsi+prf": evaluate(lsi.rank_documents, expand_with=lsi),
+    }
+
+    table = Table(
+        title=(f"X7: query repair vs space repair "
+               f"({queries.n_queries} single-term queries, "
+               f"PRF depth {config.feedback_depth})"),
+        headers=["arm", "MAP"])
+    for arm in ("vsm", "vsm+prf", "lsi", "lsi+prf"):
+        table.add_row([arm, map_scores[arm]])
+    return PRFResult(config=config, map_scores=map_scores,
+                     tables=[table])

@@ -1,0 +1,86 @@
+"""Aggregate report: run a set of experiments and render one document.
+
+``python -m repro report`` regenerates every experiment at its default
+configuration and writes a single Markdown document in the style of
+EXPERIMENTS.md — the whole evaluation, reproduced in one command.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ValidationError
+
+#: Experiment id → (title, config class path, runner path).  Mirrors the
+#: CLI registry; kept separate so the report module has no CLI import.
+REPORT_SECTIONS = {
+    "t1": "the paper's section-4 angle-statistics table",
+    "e2": "delta-skewness vs corpus size and epsilon (Theorems 2/3)",
+    "e3": "Theorem 5 random-projection recovery",
+    "e4": "Johnson-Lindenstrauss distance distortion (Lemma 2)",
+    "e5": "direct LSI vs two-step running time",
+    "e6": "synonym pairs under LSI",
+    "e7": "Theorem 6 spectral subgraph discovery",
+    "e8": "retrieval quality: LSI vs VSM/BM25 vs RP+LSI",
+    "e9": "FKV sampling vs uniform sampling vs projection",
+    "e10": "spectral collaborative filtering",
+    "x1": "extension: multi-topic documents",
+    "x2": "extension: authorship styles",
+    "x3": "extension: polysemy",
+    "x4": "Theorem 2's spectral engine",
+    "x5": "folding-in vs refitting",
+    "x6": "document classification per space",
+    "x7": "query repair (PRF) vs space repair (LSI)",
+}
+
+
+def _resolve(experiment_id: str):
+    from repro.cli import _EXPERIMENTS, _load_experiment
+
+    if experiment_id not in _EXPERIMENTS:
+        raise ValidationError(
+            f"unknown experiment {experiment_id!r}; expected one of "
+            f"{sorted(_EXPERIMENTS)}")
+    return _load_experiment(experiment_id)
+
+
+def generate_report(experiment_ids=None, *, configs=None,
+                    title: str = "Reproduction report") -> str:
+    """Run experiments and render one Markdown document.
+
+    Args:
+        experiment_ids: which experiments to include (default: all of
+            :data:`REPORT_SECTIONS`, in index order).
+        configs: optional mapping ``experiment id -> config instance``
+            overriding the defaults (used for scaled-down runs).
+        title: the document heading.
+
+    Returns:
+        The rendered Markdown string.
+    """
+    if experiment_ids is None:
+        experiment_ids = list(REPORT_SECTIONS)
+    configs = dict(configs or {})
+
+    lines = [f"# {title}", ""]
+    for experiment_id in experiment_ids:
+        experiment_id = str(experiment_id).lower()
+        config_cls, runner = _resolve(experiment_id)
+        config = configs.get(experiment_id, config_cls())
+        result = runner(config)
+        heading = REPORT_SECTIONS.get(experiment_id, experiment_id)
+        lines.append(f"## {experiment_id.upper()} — {heading}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.render())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(path, experiment_ids=None, *, configs=None) -> Path:
+    """Generate the report and write it to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(generate_report(experiment_ids, configs=configs))
+    return path

@@ -1,0 +1,121 @@
+"""Experiment E2: the shape of Theorems 2 and 3.
+
+Theorem 2 (ε = 0): on a pure, 0-separable corpus rank-``k`` LSI is
+0-skewed with probability ``1 − O(1/m)`` — so the measured skewness
+should fall toward 0 as the corpus grows.  Theorem 3: on an ε-separable
+corpus the skewness is ``O(ε)`` — so it should scale roughly linearly in
+ε.  This experiment sweeps both knobs and reports δ-skewness per
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lsi import LSIModel
+from repro.core.skewness import skewness
+from repro.corpus.sampler import generate_corpus
+from repro.corpus.separable import build_separable_model
+from repro.utils.rng import spawn_generators
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class SkewnessSweepConfig:
+    """Parameters of E2 (a scaled-down T1 corpus per sweep point)."""
+
+    n_terms: int = 600
+    n_topics: int = 10
+    corpus_sizes: tuple = (100, 200, 400, 800)
+    epsilons: tuple = (0.0, 0.02, 0.05, 0.1, 0.2)
+    fixed_corpus_size: int = 400
+    fixed_epsilon: float = 0.05
+    length_low: int = 50
+    length_high: int = 100
+    svd_engine: str = "lanczos"
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class SkewnessSweepResult:
+    """Two series: skewness vs corpus size, and skewness vs ε."""
+
+    config: SkewnessSweepConfig
+    by_corpus_size: dict[int, float]
+    by_epsilon: dict[float, float]
+    tables: list = field(default_factory=list)
+
+    def render(self) -> str:
+        """Both series as tables."""
+        return "\n\n".join(t.render() for t in self.tables)
+
+    def size_series_decreasing(self) -> bool:
+        """Theorem 2 shape: does skewness trend down as m grows?
+
+        Compares the first and last sweep points (individual steps may
+        wobble with sampling noise).
+        """
+        sizes = sorted(self.by_corpus_size)
+        return self.by_corpus_size[sizes[-1]] <= \
+            self.by_corpus_size[sizes[0]] + 1e-9
+
+    def epsilon_series_increasing(self) -> bool:
+        """Theorem 3 shape: does skewness trend up with ε?"""
+        eps = sorted(self.by_epsilon)
+        return self.by_epsilon[eps[-1]] >= self.by_epsilon[eps[0]] - 1e-9
+
+
+def _measure_skewness(n_terms, n_topics, primary_mass, m, length_low,
+                      length_high, engine, rng) -> float:
+    model = build_separable_model(
+        n_terms, n_topics, primary_mass=primary_mass,
+        length_low=length_low, length_high=length_high)
+    corpus = generate_corpus(model, m, seed=rng)
+    matrix = corpus.term_document_matrix()
+    lsi = LSIModel.fit(matrix, n_topics, engine=engine, seed=rng)
+    return skewness(lsi.document_vectors(), corpus.topic_labels())
+
+
+def run_skewness_sweep(config: SkewnessSweepConfig = SkewnessSweepConfig()
+                       ) -> SkewnessSweepResult:
+    """Sweep corpus size (at fixed ε) and ε (at fixed size)."""
+    total_points = len(config.corpus_sizes) + len(config.epsilons)
+    rngs = spawn_generators(config.seed, total_points)
+    rng_iter = iter(rngs)
+
+    by_size: dict[int, float] = {}
+    for m in config.corpus_sizes:
+        by_size[int(m)] = _measure_skewness(
+            config.n_terms, config.n_topics,
+            1.0 - config.fixed_epsilon, int(m),
+            config.length_low, config.length_high,
+            config.svd_engine, next(rng_iter))
+
+    by_epsilon: dict[float, float] = {}
+    for epsilon in config.epsilons:
+        primary_mass = 1.0 - float(epsilon)
+        # primary_mass must stay in (0, 1]; ε = 0 means mass exactly 1.
+        primary_mass = min(max(primary_mass, 1e-6), 1.0)
+        by_epsilon[float(epsilon)] = _measure_skewness(
+            config.n_terms, config.n_topics, primary_mass,
+            config.fixed_corpus_size,
+            config.length_low, config.length_high,
+            config.svd_engine, next(rng_iter))
+
+    size_table = Table(
+        title=f"Skewness vs corpus size (epsilon={config.fixed_epsilon})",
+        headers=["m", "skewness"])
+    for m in sorted(by_size):
+        size_table.add_row([m, by_size[m]])
+
+    epsilon_table = Table(
+        title=f"Skewness vs epsilon (m={config.fixed_corpus_size})",
+        headers=["epsilon", "skewness"])
+    for epsilon in sorted(by_epsilon):
+        epsilon_table.add_row([epsilon, by_epsilon[epsilon]])
+
+    return SkewnessSweepResult(config=config, by_corpus_size=by_size,
+                               by_epsilon=by_epsilon,
+                               tables=[size_table, epsilon_table])

@@ -1,0 +1,121 @@
+"""Experiment E5: the §5 running-time claim.
+
+Direct LSI on a sparse ``n × m`` matrix with ``c`` nonzeros per column
+costs ``O(m·n·c)``; the two-step method costs ``O(m·l·(l+c))``.  The
+experiment measures wall-clock for both pipelines across a sweep of
+universe sizes ``n`` and prints the measured speedup next to the
+flop-model prediction (shape, not constants, is the claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.lsi import LSIModel
+from repro.core.two_step import TwoStepLSI, lsi_cost_model
+from repro.corpus.sampler import generate_corpus
+from repro.corpus.separable import build_separable_model
+from repro.utils.rng import spawn_generators
+from repro.utils.tables import Table
+from repro.utils.timing import Timer
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Parameters of E5."""
+
+    universe_sizes: tuple = (500, 1000, 2000, 4000)
+    n_topics: int = 10
+    n_documents: int = 250
+    projection_dim: int = 60
+    repeats: int = 3
+    direct_engine: str = "lanczos"
+    seed: int = 31
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    """One sweep point's measurements.
+
+    Attributes:
+        n_terms: universe size ``n``.
+        nonzeros_per_document: measured ``c``.
+        direct_seconds: mean direct-LSI wall-clock.
+        two_step_seconds: mean two-step wall-clock.
+        predicted_speedup: the flop-model ratio.
+    """
+
+    n_terms: int
+    nonzeros_per_document: float
+    direct_seconds: float
+    two_step_seconds: float
+    predicted_speedup: float
+
+    @property
+    def measured_speedup(self) -> float:
+        """Wall-clock direct/two-step ratio."""
+        if self.two_step_seconds == 0:
+            return float("inf")
+        return self.direct_seconds / self.two_step_seconds
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Sweep of timing points."""
+
+    config: TimingConfig
+    points: list[TimingPoint]
+    tables: list = field(default_factory=list)
+
+    def render(self) -> str:
+        """The timing table."""
+        return "\n\n".join(t.render() for t in self.tables)
+
+    def speedup_grows_with_n(self) -> bool:
+        """The §5 shape: the two-step advantage grows with ``n``."""
+        if len(self.points) < 2:
+            return True
+        return self.points[-1].measured_speedup >= \
+            self.points[0].measured_speedup * 0.8
+
+
+def run_timing(config: TimingConfig = TimingConfig()) -> TimingResult:
+    """Time direct LSI vs the two-step pipeline across universe sizes."""
+    rngs = spawn_generators(config.seed, len(config.universe_sizes))
+    points: list[TimingPoint] = []
+    for rng, n in zip(rngs, config.universe_sizes):
+        model = build_separable_model(int(n), config.n_topics)
+        corpus = generate_corpus(model, config.n_documents, seed=rng)
+        matrix = corpus.term_document_matrix()
+        c = matrix.mean_nonzeros_per_column()
+
+        direct_timer = Timer()
+        for _ in range(config.repeats):
+            with direct_timer:
+                LSIModel.fit(matrix, config.n_topics,
+                             engine=config.direct_engine, seed=rng)
+
+        two_step_timer = Timer()
+        for _ in range(config.repeats):
+            with two_step_timer:
+                TwoStepLSI.fit(matrix, config.n_topics,
+                               config.projection_dim, seed=rng)
+
+        cost = lsi_cost_model(int(n), config.n_documents, c,
+                              config.projection_dim)
+        points.append(TimingPoint(
+            n_terms=int(n), nonzeros_per_document=c,
+            direct_seconds=direct_timer.mean_seconds,
+            two_step_seconds=two_step_timer.mean_seconds,
+            predicted_speedup=cost.speedup))
+
+    table = Table(
+        title=(f"Direct LSI vs two-step (m={config.n_documents}, "
+               f"l={config.projection_dim}, k={config.n_topics})"),
+        headers=["n", "c", "direct s", "two-step s", "speedup",
+                 "model speedup"])
+    for point in points:
+        table.add_row([point.n_terms, point.nonzeros_per_document,
+                       point.direct_seconds, point.two_step_seconds,
+                       point.measured_speedup, point.predicted_speedup])
+    return TimingResult(config=config, points=points, tables=[table])

@@ -1,0 +1,50 @@
+"""Graph substrate for the §6 graph-theoretic corpus model.
+
+The paper's alternative model: documents are nodes of an edge-weighted
+graph whose weights capture conceptual proximity (e.g. derived from
+``A·Aᵀ``); a *topic* is a subgraph of high conductance, and Theorem 6
+says rank-``k`` spectral analysis discovers ``k`` such subgraphs when the
+cross-subgraph weight is an ε fraction per vertex.
+
+- :mod:`repro.graphs.graph` — the weighted-graph container;
+- :mod:`repro.graphs.conductance` — exact (exhaustive) conductance,
+  sweep cuts, and the Cheeger bounds;
+- :mod:`repro.graphs.laplacian` — normalised adjacency/Laplacian
+  spectra;
+- :mod:`repro.graphs.random_graphs` — planted-partition generators and
+  the random bipartite multigraphs from the Theorem 2 proof.
+"""
+
+from repro.graphs.conductance import (
+    cheeger_bounds,
+    conductance_of_cut,
+    exact_conductance,
+    sweep_cut_conductance,
+)
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.laplacian import (
+    normalized_adjacency,
+    normalized_laplacian,
+    spectral_gap,
+)
+from repro.graphs.random_graphs import (
+    document_similarity_graph,
+    knn_similarity_graph,
+    planted_partition_graph,
+    random_bipartite_multigraph_gram,
+)
+
+__all__ = [
+    "WeightedGraph",
+    "cheeger_bounds",
+    "conductance_of_cut",
+    "document_similarity_graph",
+    "exact_conductance",
+    "knn_similarity_graph",
+    "normalized_adjacency",
+    "normalized_laplacian",
+    "planted_partition_graph",
+    "random_bipartite_multigraph_gram",
+    "spectral_gap",
+    "sweep_cut_conductance",
+]

@@ -1,0 +1,141 @@
+"""Conductance: the paper's notion of a "topic" in the graph model.
+
+The paper (proof of Theorem 2) uses the conductance of an edge-weighted
+graph ``G = (V, E)``:
+
+    ``Φ(G) = min_{S ⊂ V} w(S, V∖S) / min(|S|, |V∖S|)``
+
+(a vertex-count denominator — the *expansion*-flavoured variant the
+paper cites).  This module provides:
+
+- :func:`conductance_of_cut` — the objective for one cut, under either
+  the paper's vertex-count denominator or the volume denominator of the
+  Cheeger inequality;
+- :func:`exact_conductance` — exhaustive minimisation (for the ≤ ~20
+  vertex graphs the unit tests verify against);
+- :func:`sweep_cut_conductance` — the spectral sweep-cut heuristic that
+  scales to the experiment sizes and powers the Cheeger upper bound;
+- :func:`cheeger_bounds` — ``λ₂/2 ≤ Φ ≤ √(2λ₂)`` for the volume-based
+  conductance and the normalised Laplacian's ``λ₂``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.graph import WeightedGraph
+
+
+def conductance_of_cut(graph: WeightedGraph, subset, *,
+                       denominator: str = "vertices") -> float:
+    """Conductance of one cut ``(S, V∖S)``.
+
+    Args:
+        graph: the graph.
+        subset: the vertex set ``S`` (indices or boolean mask).
+        denominator: ``"vertices"`` for the paper's
+            ``min(|S|, |V∖S|)``, or ``"volume"`` for the Cheeger-style
+            ``min(vol(S), vol(V∖S))``.
+
+    Returns:
+        The ratio; ``inf`` for empty/full or zero-denominator cuts.
+    """
+    mask = graph._subset_mask(subset)
+    size = int(mask.sum())
+    if size == 0 or size == graph.n_vertices:
+        return float("inf")
+    cut = graph.cut_weight(mask)
+    if denominator == "vertices":
+        denom = float(min(size, graph.n_vertices - size))
+    elif denominator == "volume":
+        volumes = (graph.volume(mask), graph.volume(~mask))
+        denom = float(min(volumes))
+    else:
+        raise ValidationError(
+            f"denominator must be 'vertices' or 'volume', got "
+            f"{denominator!r}")
+    if denom == 0.0:
+        return float("inf")
+    return cut / denom
+
+
+def exact_conductance(graph: WeightedGraph, *,
+                      denominator: str = "vertices"):
+    """Exhaustive minimum conductance over all non-trivial cuts.
+
+    Exponential in the vertex count; refuses graphs with more than 22
+    vertices.  Returns ``(conductance, best_subset)``.
+    """
+    n = graph.n_vertices
+    if n < 2:
+        raise ValidationError("conductance needs at least two vertices")
+    if n > 22:
+        raise ValidationError(
+            f"exact conductance is exponential; {n} vertices exceeds the "
+            "22-vertex cap (use sweep_cut_conductance)")
+    best = float("inf")
+    best_subset: tuple[int, ...] = ()
+    vertices = range(n)
+    # Fix vertex 0 on one side to halve the enumeration (complement
+    # symmetry).
+    for size in range(1, n // 2 + 1):
+        for combo in itertools.combinations(vertices, size):
+            value = conductance_of_cut(graph, combo,
+                                       denominator=denominator)
+            if value < best:
+                best = value
+                best_subset = combo
+    return best, np.asarray(best_subset, dtype=np.int64)
+
+
+def sweep_cut_conductance(graph: WeightedGraph, *,
+                          denominator: str = "volume"):
+    """Spectral sweep cut: order vertices by the Fiedler vector, take the
+    best prefix cut.
+
+    This is the constructive half of the Cheeger inequality; the returned
+    conductance is an upper bound on the true minimum and at most
+    ``√(2·λ₂)`` for the volume denominator.
+
+    Returns:
+        ``(conductance, subset)`` for the best prefix.
+    """
+    from repro.graphs.laplacian import normalized_laplacian
+
+    n = graph.n_vertices
+    if n < 2:
+        raise ValidationError("conductance needs at least two vertices")
+    laplacian = normalized_laplacian(graph)
+    eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+    fiedler = eigenvectors[:, 1]
+    degrees = graph.degrees()
+    # Degree-normalised embedding, as the Cheeger sweep prescribes.
+    safe = np.where(degrees > 0, np.sqrt(degrees), 1.0)
+    order = np.argsort(fiedler / safe)
+
+    best = float("inf")
+    best_prefix = order[:1]
+    for cut_point in range(1, n):
+        prefix = order[:cut_point]
+        value = conductance_of_cut(graph, prefix, denominator=denominator)
+        if value < best:
+            best = value
+            best_prefix = prefix
+    return best, np.asarray(sorted(int(v) for v in best_prefix))
+
+
+def cheeger_bounds(graph: WeightedGraph):
+    """The Cheeger sandwich ``λ₂/2 ≤ Φ_vol(G) ≤ √(2·λ₂)``.
+
+    Returns ``(lower, upper)`` computed from the normalised Laplacian's
+    second-smallest eigenvalue.
+    """
+    from repro.graphs.laplacian import normalized_laplacian
+
+    laplacian = normalized_laplacian(graph)
+    eigenvalues = np.linalg.eigvalsh(laplacian)
+    lambda2 = float(max(eigenvalues[1], 0.0))
+    return lambda2 / 2.0, float(np.sqrt(2.0 * lambda2))

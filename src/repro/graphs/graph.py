@@ -1,0 +1,118 @@
+"""An undirected edge-weighted graph on integer vertices.
+
+Stored as a dense symmetric adjacency matrix — the §6 experiments operate
+on document-similarity graphs with at most a few thousand vertices, where
+a dense representation is both simpler and faster than adjacency lists
+for the spectral work this package does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+from repro.utils.validation import check_matrix
+
+
+class WeightedGraph:
+    """An undirected weighted graph with a dense adjacency matrix.
+
+    Self-loops are permitted (diagonal entries); negative weights are
+    rejected.
+    """
+
+    def __init__(self, adjacency):
+        matrix = check_matrix(adjacency, "adjacency")
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ShapeError(
+                f"adjacency must be square, got {matrix.shape}")
+        if not np.allclose(matrix, matrix.T, atol=1e-10):
+            raise ValidationError("adjacency must be symmetric")
+        if np.any(matrix < 0):
+            raise ValidationError("edge weights must be non-negative")
+        self.adjacency = 0.5 * (matrix + matrix.T)  # exact symmetry
+        self.adjacency.setflags(write=False)
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices."""
+        return int(self.adjacency.shape[0])
+
+    def degrees(self) -> np.ndarray:
+        """Weighted degree of every vertex (row sums)."""
+        return self.adjacency.sum(axis=1)
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights (each undirected edge counted once)."""
+        off_diagonal = self.adjacency.sum() - np.trace(self.adjacency)
+        return float(off_diagonal / 2.0 + np.trace(self.adjacency))
+
+    def cut_weight(self, subset) -> float:
+        """Total weight crossing the cut ``(S, V∖S)``."""
+        mask = self._subset_mask(subset)
+        return float(self.adjacency[mask][:, ~mask].sum())
+
+    def volume(self, subset) -> float:
+        """Sum of degrees inside the subset."""
+        mask = self._subset_mask(subset)
+        return float(self.degrees()[mask].sum())
+
+    def subgraph(self, subset) -> "WeightedGraph":
+        """The induced subgraph on ``subset`` (vertices renumbered)."""
+        mask = self._subset_mask(subset)
+        idx = np.flatnonzero(mask)
+        if idx.size == 0:
+            raise ValidationError("subgraph selection is empty")
+        return WeightedGraph(self.adjacency[np.ix_(idx, idx)])
+
+    def row_normalized(self) -> np.ndarray:
+        """Row-stochastic normalisation (each row sums to 1).
+
+        The Theorem 6 proof uses exactly this normalisation ("sum of each
+        row is 1").  Isolated vertices keep an all-zero row.
+        """
+        degrees = self.degrees()
+        safe = np.where(degrees > 0, degrees, 1.0)
+        return self.adjacency / safe[:, None]
+
+    def connected_components(self) -> list[np.ndarray]:
+        """Vertex sets of connected components (positive-weight edges)."""
+        n = self.n_vertices
+        unvisited = set(range(n))
+        components = []
+        while unvisited:
+            start = unvisited.pop()
+            frontier = [start]
+            component = {start}
+            while frontier:
+                vertex = frontier.pop()
+                neighbors = np.flatnonzero(self.adjacency[vertex] > 0)
+                for neighbor in neighbors:
+                    neighbor = int(neighbor)
+                    if neighbor in unvisited:
+                        unvisited.discard(neighbor)
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            components.append(np.asarray(sorted(component)))
+        return components
+
+    def _subset_mask(self, subset) -> np.ndarray:
+        if isinstance(subset, np.ndarray) and subset.dtype == bool:
+            if subset.shape != (self.n_vertices,):
+                raise ShapeError(
+                    f"boolean mask must have length {self.n_vertices}")
+            return subset
+        mask = np.zeros(self.n_vertices, dtype=bool)
+        for vertex in subset:
+            vertex = int(vertex)
+            if not 0 <= vertex < self.n_vertices:
+                raise ValidationError(
+                    f"vertex {vertex} out of range for "
+                    f"{self.n_vertices} vertices")
+            mask[vertex] = True
+        return mask
+
+    def __repr__(self) -> str:
+        edges = int(np.count_nonzero(
+            np.triu(self.adjacency, k=1)))
+        return f"WeightedGraph(n={self.n_vertices}, edges={edges})"

@@ -1,0 +1,180 @@
+"""Random graph generators for the §4 and §6 analyses.
+
+- :func:`random_bipartite_multigraph_gram` — the object at the heart of
+  the Theorem 2 proof: the Gram matrix ``BᵢᵀBᵢ`` of a topic block "is
+  essentially the adjacency matrix of a random bipartite multigraph"
+  between documents and terms; its top eigenvalue dominates the second
+  with high probability as the per-term probability τ shrinks.
+- :func:`planted_partition_graph` — ``k`` dense blocks plus ε-weight
+  cross edges: the Theorem 6 workload.
+- :func:`document_similarity_graph` — the §6 construction "this distance
+  matrix could be derived from, or in fact coincide with, A·Aᵀ", applied
+  to documents (``AᵀA``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.graph import WeightedGraph
+from repro.linalg.operator import as_operator
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+)
+
+
+def random_bipartite_multigraph_gram(n_documents: int, n_terms: int,
+                                     document_length: int, *,
+                                     seed=None) -> np.ndarray:
+    """The Gram matrix ``BᵀB`` of one topic block.
+
+    Documents draw ``document_length`` terms uniformly from the topic's
+    ``n_terms`` primary terms (τ = 1/n_terms); ``B`` is the resulting
+    term–document count matrix, and the returned ``BᵀB`` is the weighted
+    adjacency among documents the Theorem 2 proof analyses.
+    """
+    n_documents = check_positive_int(n_documents, "n_documents")
+    n_terms = check_positive_int(n_terms, "n_terms")
+    document_length = check_positive_int(document_length, "document_length")
+    rng = as_generator(seed)
+    block = rng.multinomial(
+        document_length,
+        np.full(n_terms, 1.0 / n_terms),
+        size=n_documents).astype(np.float64).T      # (terms, documents)
+    return block.T @ block
+
+
+def planted_partition_graph(block_sizes, *, intra_weight: float = 1.0,
+                            inter_fraction: float = 0.05,
+                            intra_density: float = 1.0,
+                            seed=None) -> tuple[WeightedGraph, np.ndarray]:
+    """``k`` high-conductance blocks joined by light cross edges.
+
+    Theorem 6's hypothesis: the corpus consists of ``k`` disjoint
+    subgraphs of high conductance, joined by edges whose total weight per
+    vertex is at most an ε fraction.  This generator plants exactly
+    that: each block is a (possibly sparsified) clique of weight
+    ``intra_weight``; cross edges are sprinkled uniformly so that each
+    vertex's expected cross weight is ``inter_fraction`` times its
+    intra-block weight.
+
+    Args:
+        block_sizes: vertices per block.
+        intra_weight: weight of intra-block edges.
+        inter_fraction: the ε — per-vertex cross weight as a fraction of
+            per-vertex intra weight.
+        intra_density: probability an intra-block edge is present
+            (1.0 = clique).
+        seed: RNG seed.
+
+    Returns:
+        ``(graph, labels)`` with ground-truth block labels.
+    """
+    block_sizes = [check_positive_int(s, "block size") for s in block_sizes]
+    if len(block_sizes) < 2:
+        raise ValidationError("need at least two blocks")
+    check_fraction(inter_fraction, "inter_fraction")
+    check_fraction(intra_density, "intra_density", inclusive_low=False)
+    if intra_weight <= 0:
+        raise ValidationError(
+            f"intra_weight must be positive, got {intra_weight}")
+    rng = as_generator(seed)
+
+    n = sum(block_sizes)
+    labels = np.concatenate([
+        np.full(size, b, dtype=np.int64)
+        for b, size in enumerate(block_sizes)])
+    adjacency = np.zeros((n, n))
+
+    same_block = labels[:, None] == labels[None, :]
+    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
+
+    intra_mask = same_block & upper
+    if intra_density < 1.0:
+        keep = rng.random(n * n).reshape(n, n) < intra_density
+        intra_mask &= keep
+    adjacency[intra_mask] = intra_weight
+
+    # Cross edges: per-vertex expected intra weight ≈ (block−1)·w·density;
+    # scatter cross weight so each vertex carries ≈ ε of that.
+    mean_block = float(np.mean(block_sizes))
+    per_vertex_intra = (mean_block - 1.0) * intra_weight * intra_density
+    inter_mask = (~same_block) & upper
+    n_inter_slots = int(inter_mask.sum())
+    if inter_fraction > 0 and n_inter_slots > 0:
+        total_cross_weight = inter_fraction * per_vertex_intra * n / 2.0
+        # Bernoulli sprinkle with per-edge weight = intra_weight, keeping
+        # the expected total at total_cross_weight.
+        edge_probability = min(
+            1.0, total_cross_weight / (intra_weight * n_inter_slots))
+        chosen = rng.random(n * n).reshape(n, n) < edge_probability
+        adjacency[inter_mask & chosen] = intra_weight
+
+    adjacency = adjacency + adjacency.T
+    return WeightedGraph(adjacency), labels
+
+
+def knn_similarity_graph(matrix, n_neighbors: int, *,
+                         mutual: bool = False) -> WeightedGraph:
+    """A kNN-sparsified document-similarity graph.
+
+    The dense ``AᵀA`` graph keeps every weak cross-topic inner product;
+    real spectral pipelines sparsify to each document's ``k`` nearest
+    neighbours, which sharpens the block structure Theorem 6 needs.
+    Edges are symmetrised by union (or intersection when ``mutual``),
+    keeping the ``AᵀA`` weights on surviving edges.
+
+    Args:
+        matrix: the ``n × m`` term–document matrix.
+        n_neighbors: neighbours retained per document.
+        mutual: keep an edge only when *both* endpoints select it.
+    """
+    n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
+    if isinstance(matrix, np.ndarray):
+        gram = np.asarray(matrix, dtype=np.float64).T @ matrix
+    else:
+        gram = matrix.gram()
+    m = gram.shape[0]
+    if n_neighbors >= m:
+        raise ValidationError(
+            f"n_neighbors={n_neighbors} must be below the document "
+            f"count {m}")
+    gram = np.maximum(gram, 0.0)
+    np.fill_diagonal(gram, -np.inf)
+
+    selected = np.zeros((m, m), dtype=bool)
+    order = np.argpartition(-gram, n_neighbors - 1, axis=1)
+    rows = np.repeat(np.arange(m), n_neighbors)
+    selected[rows, order[:, :n_neighbors].ravel()] = True
+    keep = (selected & selected.T) if mutual else \
+        (selected | selected.T)
+
+    gram[~keep] = 0.0  # also clears the -inf diagonal
+    adjacency = np.maximum(gram, gram.T)  # symmetric union weights
+    return WeightedGraph(adjacency)
+
+
+def document_similarity_graph(matrix, *,
+                              zero_diagonal: bool = True) -> WeightedGraph:
+    """The document graph with weights ``AᵀA`` (inner-product proximity).
+
+    The §6 construction: conceptual proximity of two documents measured
+    by their term-vector inner product.  Negative entries cannot occur
+    for count matrices; the diagonal (self-similarity) is dropped by
+    default.
+    """
+    op = as_operator(matrix)
+    if isinstance(matrix, np.ndarray):
+        gram = np.asarray(matrix, dtype=np.float64).T @ matrix
+    else:
+        gram = matrix.gram()
+    if np.any(gram < -1e-10):
+        raise ValidationError(
+            "similarity graph requires non-negative inner products")
+    gram = np.maximum(gram, 0.0)
+    if zero_diagonal:
+        np.fill_diagonal(gram, 0.0)
+    return WeightedGraph(gram)

@@ -1,0 +1,66 @@
+"""Information-retrieval substrate.
+
+LSI's headline claim is improved *retrieval* — better precision and
+recall than the conventional vector-space method, especially under
+synonymy.  This package provides everything needed to measure that claim:
+
+- :mod:`repro.ir.vsm` — the conventional vector-space model baseline
+  (cosine ranking in raw term space), plus an inverted index
+  (:mod:`repro.ir.index`) for sparse scoring;
+- :mod:`repro.ir.queries` — query generation from the corpus model,
+  including the synonym-swapped queries that expose VSM's vocabulary-
+  mismatch weakness;
+- :mod:`repro.ir.relevance` — ground-truth relevance judgments derived
+  from topic labels;
+- :mod:`repro.ir.metrics` — precision/recall/F1, P@k, R-precision,
+  average precision, MAP, 11-point interpolated PR curves, nDCG, MRR.
+"""
+
+from repro.ir.bm25 import BM25Model
+from repro.ir.boolean import BooleanQueryError, BooleanRetriever
+from repro.ir.feedback import pseudo_relevance_feedback, rocchio_update
+from repro.ir.index import InvertedIndex
+from repro.ir.metrics import (
+    average_precision,
+    f1_score,
+    interpolated_precision_recall,
+    mean_average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    precision_recall,
+    r_precision,
+    recall_at_k,
+    reciprocal_rank,
+)
+from repro.ir.queries import QuerySet, generate_topic_queries
+from repro.ir.relevance import relevance_from_labels
+from repro.ir.significance import (
+    paired_bootstrap_test,
+    paired_sign_test,
+)
+from repro.ir.vsm import VectorSpaceModel
+
+__all__ = [
+    "BM25Model",
+    "BooleanQueryError",
+    "BooleanRetriever",
+    "InvertedIndex",
+    "QuerySet",
+    "VectorSpaceModel",
+    "average_precision",
+    "f1_score",
+    "generate_topic_queries",
+    "interpolated_precision_recall",
+    "mean_average_precision",
+    "ndcg_at_k",
+    "paired_bootstrap_test",
+    "paired_sign_test",
+    "precision_at_k",
+    "pseudo_relevance_feedback",
+    "rocchio_update",
+    "precision_recall",
+    "r_precision",
+    "recall_at_k",
+    "reciprocal_rank",
+    "relevance_from_labels",
+]

@@ -1,0 +1,120 @@
+"""Okapi BM25: the strong probabilistic keyword baseline.
+
+The paper compares LSI against "conventional vector-based methods"; by
+1998 the strongest conventional ranker was Okapi BM25 (Robertson et
+al.), so the retrieval experiments include it as the toughest exact-
+match arm.  For a query with term frequencies ``qtf`` and a document
+``d``:
+
+    score(q, d) = Σ_t idf(t) · tf(t,d)·(k1+1) /
+                  (tf(t,d) + k1·(1−b+b·|d|/avgdl)) · qtf(t)
+
+with the standard Robertson–Sparck-Jones idf
+``log((N − df + 0.5)/(df + 0.5) + 1)``.
+
+BM25 still shares VSM's structural blindness: a document containing
+none of the query's terms scores exactly zero, so the synonymy probe of
+experiment E8 defeats it the same way — which is the point of including
+it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError, ValidationError
+from repro.linalg.sparse import CSRMatrix
+from repro.utils.validation import check_vector
+
+
+class BM25Model:
+    """Okapi BM25 ranking over a term–document count matrix.
+
+    Args:
+        k1: term-frequency saturation (typical 1.2–2.0).
+        b: length normalisation strength in [0, 1].
+    """
+
+    def __init__(self, *, k1: float = 1.5, b: float = 0.75):
+        if k1 < 0:
+            raise ValidationError(f"k1 must be non-negative, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ValidationError(f"b must lie in [0, 1], got {b}")
+        self.k1 = float(k1)
+        self.b = float(b)
+        self._matrix: CSRMatrix | None = None
+        self._idf: np.ndarray | None = None
+        self._length_norm: np.ndarray | None = None
+
+    @classmethod
+    def fit(cls, matrix: CSRMatrix, *, k1: float = 1.5,
+            b: float = 0.75) -> "BM25Model":
+        """Index a raw term-count matrix (weights must be counts)."""
+        if not isinstance(matrix, CSRMatrix):
+            raise ValidationError("fit expects a CSRMatrix of counts")
+        model = cls(k1=k1, b=b)
+        n_docs = matrix.shape[1]
+        df = matrix.document_frequency()
+        model._idf = np.log((n_docs - df + 0.5) / (df + 0.5) + 1.0)
+        lengths = matrix.column_sums()
+        avg_length = float(lengths.mean()) if n_docs else 1.0
+        if avg_length <= 0:
+            avg_length = 1.0
+        model._length_norm = model.k1 * (
+            1.0 - model.b + model.b * lengths / avg_length)
+        model._matrix = matrix
+        return model
+
+    def _require_fitted(self) -> CSRMatrix:
+        if self._matrix is None:
+            raise NotFittedError("BM25Model.fit must run before scoring")
+        return self._matrix
+
+    @property
+    def n_documents(self) -> int:
+        """Number of indexed documents."""
+        return self._require_fitted().shape[1]
+
+    @property
+    def n_terms(self) -> int:
+        """Universe size."""
+        return self._require_fitted().shape[0]
+
+    def score(self, query_vector) -> np.ndarray:
+        """BM25 score of every document against term frequencies.
+
+        Only the postings of the query's nonzero terms are touched.
+        """
+        matrix = self._require_fitted()
+        query = check_vector(query_vector, "query_vector")
+        if query.shape[0] != matrix.shape[0]:
+            raise ValidationError(
+                f"query has {query.shape[0]} terms; index expects "
+                f"{matrix.shape[0]}")
+        scores = np.zeros(matrix.shape[1])
+        for term in np.flatnonzero(query):
+            term = int(term)
+            start, stop = matrix.indptr[term], matrix.indptr[term + 1]
+            if start == stop:
+                continue
+            doc_ids = matrix.indices[start:stop]
+            tf = matrix.data[start:stop]
+            saturation = tf * (self.k1 + 1.0) / (
+                tf + self._length_norm[doc_ids])
+            scores[doc_ids] += (query[term] * self._idf[term]
+                                * saturation)
+        return scores
+
+    def rank(self, query_vector, *, top_k=None) -> np.ndarray:
+        """Document ids by descending BM25 score."""
+        scores = self.score(query_vector)
+        order = np.argsort(-scores, kind="stable")
+        if top_k is not None:
+            order = order[:int(top_k)]
+        return order
+
+    def __repr__(self) -> str:
+        if self._matrix is None:
+            return f"BM25Model(k1={self.k1}, b={self.b}, unfitted)"
+        return (f"BM25Model(k1={self.k1}, b={self.b}, "
+                f"n={self.n_terms}, m={self.n_documents})")

@@ -1,0 +1,172 @@
+"""Boolean retrieval: the "precise predicate" paradigm.
+
+The paper's introduction contrasts database queries ("precise
+predicates, the employee–manager–salary paradigm") with the nebulous
+relevance of IR.  Boolean retrieval is exactly that paradigm applied to
+text — documents either satisfy ``(car OR automobile) AND NOT truck`` or
+they don't — and it is the third baseline the retrieval experiments can
+compare LSI against.
+
+The query language::
+
+    query  := or
+    or     := and ( "OR" and )*
+    and    := unary ( ("AND")? unary )*      # juxtaposition = AND
+    unary  := "NOT" unary | "(" query ")" | TERM
+
+evaluated by a recursive-descent parser over set operations on the
+inverted index's postings.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ValidationError
+from repro.ir.index import InvertedIndex
+from repro.corpus.vocabulary import Vocabulary
+
+_TOKEN_PATTERN = re.compile(r"\(|\)|[A-Za-z_][A-Za-z0-9_]*")
+
+#: Reserved operator words (case-insensitive).
+_OPERATORS = {"AND", "OR", "NOT"}
+
+
+class BooleanQueryError(ValidationError):
+    """A Boolean query failed to parse or referenced unusable syntax."""
+
+
+class _Parser:
+    """Recursive-descent parser producing a document-id set."""
+
+    def __init__(self, tokens, evaluate_term, universe: frozenset):
+        self._tokens = tokens
+        self._position = 0
+        self._evaluate_term = evaluate_term
+        self._universe = universe
+
+    def parse(self) -> set[int]:
+        result = self._or()
+        if self._position != len(self._tokens):
+            raise BooleanQueryError(
+                f"unexpected token {self._tokens[self._position]!r}")
+        return result
+
+    def _peek(self):
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self):
+        token = self._peek()
+        self._position += 1
+        return token
+
+    def _or(self) -> set[int]:
+        result = self._and()
+        while self._peek() is not None and \
+                self._peek().upper() == "OR":
+            self._advance()
+            result = result | self._and()
+        return result
+
+    def _and(self) -> set[int]:
+        result = self._unary()
+        while True:
+            token = self._peek()
+            if token is None or token == ")" or token.upper() == "OR":
+                return result
+            if token.upper() == "AND":
+                self._advance()
+                token = self._peek()
+                if token is None:
+                    raise BooleanQueryError("query ends after AND")
+            result = result & self._unary()
+
+    def _unary(self) -> set[int]:
+        token = self._peek()
+        if token is None:
+            raise BooleanQueryError("unexpected end of query")
+        if token.upper() == "NOT":
+            self._advance()
+            return self._universe - self._unary()
+        if token == "(":
+            self._advance()
+            result = self._or()
+            if self._advance() != ")":
+                raise BooleanQueryError("missing closing parenthesis")
+            return result
+        if token == ")":
+            raise BooleanQueryError("unexpected ')'")
+        self._advance()
+        return self._evaluate_term(token)
+
+
+class BooleanRetriever:
+    """Set-semantics retrieval over an inverted index.
+
+    Args:
+        index: the postings source.
+        vocabulary: optional term-string mapping; without it, queries
+            must use ``t<id>`` pseudo-terms (e.g. ``t13 AND NOT t7``).
+        process_token: optional callable applied to each query term
+            before lookup (e.g. a pipeline's stem+lowercase step), so
+            queries go through the same normalisation as documents.
+    """
+
+    def __init__(self, index: InvertedIndex, *,
+                 vocabulary: Vocabulary | None = None,
+                 process_token=None):
+        if not isinstance(index, InvertedIndex):
+            raise ValidationError("expected an InvertedIndex")
+        self._index = index
+        self._vocabulary = vocabulary
+        self._process_token = process_token
+        self._universe = frozenset(range(index.n_documents))
+
+    @property
+    def n_documents(self) -> int:
+        """Number of retrievable documents."""
+        return self._index.n_documents
+
+    def _term_id(self, token: str) -> int | None:
+        if self._process_token is not None:
+            token = self._process_token(token)
+        if self._vocabulary is not None:
+            if token in self._vocabulary:
+                return self._vocabulary.term_id(token)
+            return None
+        match = re.fullmatch(r"t(\d+)", token)
+        if match is None:
+            raise BooleanQueryError(
+                f"no vocabulary attached; use t<id> pseudo-terms, got "
+                f"{token!r}")
+        term = int(match.group(1))
+        if term >= self._index.n_terms:
+            return None
+        return term
+
+    def _documents_containing(self, token: str) -> set[int]:
+        term = self._term_id(token)
+        if term is None:
+            return set()
+        doc_ids, _ = self._index.postings(term)
+        return set(int(d) for d in doc_ids)
+
+    def search(self, query: str) -> set[int]:
+        """Evaluate a Boolean query; returns the satisfying document set."""
+        tokens = _TOKEN_PATTERN.findall(query)
+        if not tokens:
+            raise BooleanQueryError("empty query")
+        parser = _Parser(tokens, self._documents_containing,
+                         self._universe)
+        return parser.parse()
+
+    def search_ranked(self, query: str) -> list[int]:
+        """Boolean matching set in ascending-id order (no scores).
+
+        The point of comparison with ranked engines: Boolean retrieval
+        has no notion of graded relevance, so its "ranking" is
+        arbitrary — the classic criticism the vector model answers.
+        """
+        return sorted(self.search(query))

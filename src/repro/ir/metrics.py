@@ -1,0 +1,180 @@
+"""Retrieval-effectiveness metrics.
+
+All metrics take a *ranking* (document ids, best first) and a *relevant
+set* (the ground-truth ids).  Ties are the caller's concern: rankings are
+already fully ordered when they reach this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+
+def _as_ranking(ranking) -> list[int]:
+    ranking = [int(d) for d in ranking]
+    if len(set(ranking)) != len(ranking):
+        raise ValidationError("ranking contains duplicate document ids")
+    return ranking
+
+
+def _as_relevant(relevant) -> set[int]:
+    return {int(d) for d in relevant}
+
+
+def precision_recall(ranking, relevant, *, cutoff=None):
+    """Precision and recall of the top-``cutoff`` results.
+
+    Args:
+        ranking: retrieved document ids, best first.
+        relevant: ground-truth relevant ids.
+        cutoff: consider only the first ``cutoff`` results (all when
+            omitted).
+
+    Returns:
+        ``(precision, recall)``.  Precision of an empty result list is
+        0.0; recall with an empty relevant set is 1.0 (nothing to find).
+    """
+    ranking = _as_ranking(ranking)
+    relevant = _as_relevant(relevant)
+    if cutoff is not None:
+        cutoff = check_positive_int(cutoff, "cutoff")
+        ranking = ranking[:cutoff]
+    if not ranking:
+        return 0.0, (1.0 if not relevant else 0.0)
+    hits = sum(1 for doc in ranking if doc in relevant)
+    precision = hits / len(ranking)
+    recall = 1.0 if not relevant else hits / len(relevant)
+    return precision, recall
+
+
+def precision_at_k(ranking, relevant, k: int) -> float:
+    """Precision of the top-``k`` results (P@k)."""
+    precision, _ = precision_recall(ranking, relevant, cutoff=k)
+    return precision
+
+
+def recall_at_k(ranking, relevant, k: int) -> float:
+    """Recall of the top-``k`` results (R@k)."""
+    _, recall = precision_recall(ranking, relevant, cutoff=k)
+    return recall
+
+
+def f1_score(ranking, relevant, *, cutoff=None) -> float:
+    """Harmonic mean of precision and recall at ``cutoff``."""
+    precision, recall = precision_recall(ranking, relevant, cutoff=cutoff)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def r_precision(ranking, relevant) -> float:
+    """Precision at rank ``R`` where ``R = |relevant|``.
+
+    The break-even point of the PR curve; 0.0 when the relevant set is
+    empty.
+    """
+    relevant = _as_relevant(relevant)
+    if not relevant:
+        return 0.0
+    return precision_at_k(ranking, relevant, len(relevant))
+
+
+def average_precision(ranking, relevant) -> float:
+    """Mean of precision values at each relevant hit (AP).
+
+    Unretrieved relevant documents contribute 0, so AP rewards both
+    ranking quality and coverage.  AP of an empty relevant set is 0.0.
+    """
+    ranking = _as_ranking(ranking)
+    relevant = _as_relevant(relevant)
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, doc in enumerate(ranking, start=1):
+        if doc in relevant:
+            hits += 1
+            precision_sum += hits / position
+    return precision_sum / len(relevant)
+
+
+def mean_average_precision(rankings, relevant_sets) -> float:
+    """MAP over parallel sequences of rankings and relevant sets."""
+    rankings = list(rankings)
+    relevant_sets = list(relevant_sets)
+    if len(rankings) != len(relevant_sets):
+        raise ValidationError(
+            f"{len(rankings)} rankings but {len(relevant_sets)} relevant "
+            "sets")
+    if not rankings:
+        raise ValidationError("need at least one query")
+    return float(np.mean([average_precision(r, s)
+                          for r, s in zip(rankings, relevant_sets)]))
+
+
+def reciprocal_rank(ranking, relevant) -> float:
+    """1/rank of the first relevant hit (0.0 when none retrieved)."""
+    relevant = _as_relevant(relevant)
+    for position, doc in enumerate(_as_ranking(ranking), start=1):
+        if doc in relevant:
+            return 1.0 / position
+    return 0.0
+
+
+def ndcg_at_k(ranking, relevant, k: int) -> float:
+    """Normalised discounted cumulative gain with binary relevance.
+
+    ``DCG@k = Σ rel_i / log2(i + 1)`` normalised by the ideal ordering.
+    0.0 when the relevant set is empty.
+    """
+    k = check_positive_int(k, "k")
+    ranking = _as_ranking(ranking)[:k]
+    relevant = _as_relevant(relevant)
+    if not relevant:
+        return 0.0
+    gains = np.array([1.0 if doc in relevant else 0.0 for doc in ranking])
+    discounts = 1.0 / np.log2(np.arange(2, gains.size + 2))
+    dcg = float(gains @ discounts)
+    ideal_hits = min(len(relevant), k)
+    ideal = float(np.sum(1.0 / np.log2(np.arange(2, ideal_hits + 2))))
+    return dcg / ideal
+
+
+def interpolated_precision_recall(ranking, relevant, *,
+                                  levels=None) -> np.ndarray:
+    """The classic 11-point interpolated precision–recall curve.
+
+    At each recall level ``r`` the interpolated precision is the maximum
+    precision achieved at any recall ≥ ``r``.  Returns an array parallel
+    to ``levels`` (default 0.0, 0.1, …, 1.0).
+    """
+    if levels is None:
+        levels = np.linspace(0.0, 1.0, 11)
+    else:
+        levels = np.asarray(list(levels), dtype=np.float64)
+        if levels.size == 0 or np.any(levels < 0) or np.any(levels > 1):
+            raise ValidationError("levels must be recall values in [0, 1]")
+    ranking = _as_ranking(ranking)
+    relevant = _as_relevant(relevant)
+    if not relevant:
+        return np.zeros(levels.size)
+
+    recalls = [0.0]
+    precisions = [0.0]
+    hits = 0
+    for position, doc in enumerate(ranking, start=1):
+        if doc in relevant:
+            hits += 1
+            recalls.append(hits / len(relevant))
+            precisions.append(hits / position)
+    recalls = np.asarray(recalls)
+    precisions = np.asarray(precisions)
+
+    out = np.zeros(levels.size)
+    for i, level in enumerate(levels):
+        reachable = precisions[recalls >= level - 1e-12]
+        out[i] = float(reachable.max()) if reachable.size else 0.0
+    return out

@@ -1,0 +1,136 @@
+"""Query generation from the corpus model.
+
+Queries are treated exactly like (short) documents — the paper's setting,
+where queries are projected into the LSI space the same way documents
+are.  A query generated from topic ``T`` is relevant to the documents
+generated from ``T``.
+
+The short-query regime is what exposes the synonymy problem: a 2-term
+query about a topic matches only the relevant documents that contain
+those exact terms under the vector-space model, while LSI scores all
+documents in the topic's subspace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.corpus.model import CorpusModel
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class QuerySet:
+    """A batch of queries with ground-truth topic labels.
+
+    Attributes:
+        vectors: ``(n_terms, n_queries)`` dense array; column ``j`` is the
+            term-count vector of query ``j``.
+        topic_labels: length ``n_queries``; the generating topic of each
+            query.
+    """
+
+    vectors: np.ndarray
+    topic_labels: np.ndarray
+
+    def __post_init__(self):
+        if self.vectors.ndim != 2:
+            raise ValidationError("vectors must be 2-D (terms × queries)")
+        if self.topic_labels.shape != (self.vectors.shape[1],):
+            raise ValidationError(
+                f"{self.vectors.shape[1]} query columns but "
+                f"{self.topic_labels.shape[0]} labels")
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries in the set."""
+        return int(self.vectors.shape[1])
+
+    def query(self, index: int) -> np.ndarray:
+        """The term vector of query ``index``."""
+        return self.vectors[:, int(index)].copy()
+
+    def __iter__(self):
+        for j in range(self.n_queries):
+            yield self.vectors[:, j], int(self.topic_labels[j])
+
+
+def generate_topic_queries(model: CorpusModel, *, queries_per_topic: int = 5,
+                           query_length: int = 3, seed=None,
+                           primary_only: bool = False) -> QuerySet:
+    """Sample short single-topic queries from every topic of the model.
+
+    Args:
+        model: the generating corpus model.
+        queries_per_topic: queries drawn per topic.
+        query_length: term occurrences per query (short queries stress
+            the synonymy problem).
+        seed: RNG seed.
+        primary_only: restrict query terms to the topic's primary set
+            (conditioning the topic distribution on it) — the "focused
+            user" regime.
+
+    Returns:
+        A :class:`QuerySet` with ``n_topics * queries_per_topic`` queries.
+    """
+    queries_per_topic = check_positive_int(queries_per_topic,
+                                           "queries_per_topic")
+    query_length = check_positive_int(query_length, "query_length")
+    rng = as_generator(seed)
+
+    vectors = []
+    labels = []
+    for topic_index, topic in enumerate(model.topics):
+        distribution = topic.probabilities
+        if primary_only:
+            if not topic.primary_terms:
+                raise ValidationError(
+                    f"topic {topic_index} has no primary set; cannot use "
+                    "primary_only")
+            mask = np.zeros(model.universe_size)
+            idx = np.fromiter(topic.primary_terms, dtype=np.int64)
+            mask[idx] = distribution[idx]
+            distribution = mask / mask.sum()
+        for _ in range(queries_per_topic):
+            counts = rng.multinomial(query_length, distribution)
+            vectors.append(counts.astype(np.float64))
+            labels.append(topic_index)
+    return QuerySet(vectors=np.column_stack(vectors),
+                    topic_labels=np.asarray(labels, dtype=np.int64))
+
+
+def single_term_queries(model: CorpusModel, *, terms_per_topic: int = 3,
+                        seed=None) -> QuerySet:
+    """One-hot queries on each topic's highest-probability primary terms.
+
+    The most extreme vocabulary-mismatch probe: the query is a single
+    term, so under VSM only documents containing that exact term can
+    score above zero.
+    """
+    terms_per_topic = check_positive_int(terms_per_topic, "terms_per_topic")
+    rng = as_generator(seed)
+    vectors = []
+    labels = []
+    for topic_index, topic in enumerate(model.topics):
+        if topic.primary_terms:
+            candidates = np.fromiter(topic.primary_terms, dtype=np.int64)
+        else:
+            candidates = topic.support
+        probs = topic.probabilities[candidates]
+        order = candidates[np.argsort(-probs)]
+        chosen = order[:terms_per_topic]
+        if chosen.size < terms_per_topic:
+            extra = rng.choice(candidates,
+                               size=terms_per_topic - chosen.size)
+            chosen = np.concatenate([chosen, extra])
+        for term in chosen:
+            vector = np.zeros(model.universe_size)
+            vector[int(term)] = 1.0
+            vectors.append(vector)
+            labels.append(topic_index)
+    return QuerySet(vectors=np.column_stack(vectors),
+                    topic_labels=np.asarray(labels, dtype=np.int64))

@@ -1,0 +1,44 @@
+"""Ground-truth relevance judgments.
+
+In the probabilistic corpus model, relevance has an unambiguous
+definition the paper's analysis leans on: a query generated from topic
+``T`` is relevant to exactly the documents generated from ``T``.
+:func:`relevance_from_labels` materialises that rule as per-query
+relevant sets for the metrics module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def relevance_from_labels(document_labels, query_labels) -> list[set[int]]:
+    """Relevant-document sets for topically labelled queries.
+
+    Args:
+        document_labels: length-``m`` topic index per document.
+        query_labels: length-``q`` topic index per query.
+
+    Returns:
+        A list of ``q`` sets; set ``j`` holds the ids of documents whose
+        label equals query ``j``'s label.
+    """
+    document_labels = np.asarray(document_labels, dtype=np.int64)
+    query_labels = np.asarray(query_labels, dtype=np.int64)
+    if document_labels.ndim != 1 or query_labels.ndim != 1:
+        raise ValidationError("labels must be 1-D arrays")
+    by_topic: dict[int, set[int]] = {}
+    for doc_id, label in enumerate(document_labels):
+        by_topic.setdefault(int(label), set()).add(doc_id)
+    return [set(by_topic.get(int(label), set())) for label in query_labels]
+
+
+def relevance_matrix(document_labels, query_labels) -> np.ndarray:
+    """Boolean ``(q, m)`` relevance matrix (row per query)."""
+    document_labels = np.asarray(document_labels, dtype=np.int64)
+    query_labels = np.asarray(query_labels, dtype=np.int64)
+    if document_labels.ndim != 1 or query_labels.ndim != 1:
+        raise ValidationError("labels must be 1-D arrays")
+    return query_labels[:, None] == document_labels[None, :]

@@ -1,0 +1,104 @@
+"""Statistical significance tests for retrieval comparisons.
+
+"LSI beats VSM" is a claim about per-query score differences, and IR
+evaluation practice demands a significance check before believing it.
+Two standard paired tests, implemented from scratch:
+
+- :func:`paired_sign_test` — the distribution-free sign test on the
+  per-query win/loss counts (exact binomial tail);
+- :func:`paired_bootstrap_test` — the paired bootstrap: resample query
+  sets, count how often the mean difference direction flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int, check_same_length
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of a paired significance test.
+
+    Attributes:
+        mean_difference: mean of (system_a − system_b) per query.
+        p_value: two-sided p-value of the null "no difference".
+        n_queries: queries compared.
+        test: ``"sign"`` or ``"bootstrap"``.
+    """
+
+    mean_difference: float
+    p_value: float
+    n_queries: int
+    test: str
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the null is rejected at level ``alpha``."""
+        if not 0.0 < alpha < 1.0:
+            raise ValidationError(
+                f"alpha must lie in (0, 1), got {alpha}")
+        return self.p_value < alpha
+
+
+def _paired_differences(scores_a, scores_b) -> np.ndarray:
+    a = np.asarray(list(scores_a), dtype=np.float64)
+    b = np.asarray(list(scores_b), dtype=np.float64)
+    check_same_length(a, b, "scores_a", "scores_b")
+    if a.size == 0:
+        raise ValidationError("need at least one query")
+    return a - b
+
+
+def paired_sign_test(scores_a, scores_b) -> SignificanceResult:
+    """Exact two-sided sign test on per-query score differences.
+
+    Ties (equal scores) are discarded, per the standard treatment.  The
+    p-value is the exact binomial two-tail under p = 1/2.
+    """
+    differences = _paired_differences(scores_a, scores_b)
+    wins = int(np.sum(differences > 0))
+    losses = int(np.sum(differences < 0))
+    decided = wins + losses
+    if decided == 0:
+        p_value = 1.0
+    else:
+        extreme = min(wins, losses)
+        # Two-sided exact binomial tail.
+        tail = sum(comb(decided, i) for i in range(extreme + 1))
+        p_value = min(1.0, 2.0 * tail / 2 ** decided)
+    return SignificanceResult(
+        mean_difference=float(differences.mean()),
+        p_value=p_value, n_queries=int(differences.size), test="sign")
+
+
+def paired_bootstrap_test(scores_a, scores_b, *,
+                          n_resamples: int = 10_000,
+                          seed=None) -> SignificanceResult:
+    """Paired bootstrap test on the mean per-query difference.
+
+    Resamples queries with replacement; the two-sided p-value is twice
+    the fraction of resampled means on the opposite side of zero from
+    the observed mean (with the +1 small-sample correction).
+    """
+    differences = _paired_differences(scores_a, scores_b)
+    n_resamples = check_positive_int(n_resamples, "n_resamples")
+    rng = as_generator(seed)
+
+    observed = float(differences.mean())
+    indices = rng.integers(0, differences.size,
+                           size=(n_resamples, differences.size))
+    resampled_means = differences[indices].mean(axis=1)
+    if observed >= 0:
+        opposite = int(np.sum(resampled_means <= 0))
+    else:
+        opposite = int(np.sum(resampled_means >= 0))
+    p_value = min(1.0, 2.0 * (opposite + 1) / (n_resamples + 1))
+    return SignificanceResult(
+        mean_difference=observed, p_value=p_value,
+        n_queries=int(differences.size), test="bootstrap")

@@ -1,0 +1,199 @@
+"""Matrix perturbation machinery behind Lemma 1 and Theorem 3.
+
+Lemma 1 of the paper states: if the top-``k`` singular values of ``A`` are
+well separated from the rest and ``A' = A + F`` with ``‖F‖₂ = ε`` small,
+then ``U'ₖ = Uₖ·R + G`` for some orthonormal ``R`` and ``‖G‖₂ = O(ε)`` —
+i.e. the leading left singular subspace moves only ``O(ε)``, up to an
+internal rotation.  The proof invokes Stewart's invariant-subspace theorem
+(Theorem 7 in the paper's appendix).
+
+This module provides the computable pieces:
+
+- :func:`sin_theta_distance` — the canonical distance between subspaces;
+- :func:`align_bases` — the optimal rotation ``R`` (orthogonal Procrustes);
+- :func:`residual_after_rotation` — ``‖U'ₖ − Uₖ·R‖₂``, the empirical
+  ``‖G‖``;
+- :func:`stewart_invariant_subspace_bound` — evaluates Stewart's ``δ`` and
+  the ``2‖E₂₁‖₂/δ`` bound for an explicit symmetric perturbation;
+- :func:`singular_subspace_perturbation` — end-to-end Lemma 1 measurement
+  for a matrix and its perturbation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+from repro.linalg.dense import orthonormalize_columns, principal_angles
+from repro.utils.validation import check_matrix, check_rank
+
+
+def sin_theta_distance(basis_a, basis_b) -> float:
+    """``sin Θ_max`` between the subspaces spanned by two bases.
+
+    This is the spectral-norm sin-theta distance: the sine of the largest
+    principal angle.  It is 0 when the subspaces coincide and 1 when some
+    direction of one is orthogonal to all of the other.
+    """
+    angles = principal_angles(basis_a, basis_b)
+    if angles.size == 0:
+        return 0.0
+    return float(np.sin(np.max(angles)))
+
+
+def align_bases(source, target) -> np.ndarray:
+    """Optimal orthogonal ``R`` minimising ``‖target − source·R‖_F``.
+
+    Classic orthogonal Procrustes: ``R = W·Zᵀ`` from the SVD
+    ``sourceᵀ·target = W·Σ·Zᵀ``.  Both inputs are ``(n, k)``; returns the
+    ``(k, k)`` rotation used to state Lemma 1's ``U'ₖ = Uₖ·R + G``.
+    """
+    src = check_matrix(source, "source")
+    tgt = check_matrix(target, "target")
+    if src.shape != tgt.shape:
+        raise ShapeError(
+            f"source and target must share a shape: {src.shape} vs "
+            f"{tgt.shape}")
+    w, _, zt = np.linalg.svd(src.T @ tgt)
+    return w @ zt
+
+
+def residual_after_rotation(source, target) -> float:
+    """``‖target − source·R‖₂`` with the Procrustes-optimal ``R``.
+
+    For Lemma 1 this is the measured ``‖G‖₂`` when ``source = Uₖ`` and
+    ``target = U'ₖ``.
+    """
+    src = check_matrix(source, "source")
+    tgt = check_matrix(target, "target")
+    rotation = align_bases(src, tgt)
+    diff = tgt - src @ rotation
+    if diff.size == 0:
+        return 0.0
+    return float(np.linalg.svd(diff, compute_uv=False)[0])
+
+
+@dataclass(frozen=True)
+class StewartBound:
+    """Outcome of evaluating Stewart's theorem on a concrete perturbation.
+
+    Attributes:
+        applicable: whether the theorem's hypotheses hold (``δ > 0`` and
+            ``‖E₁₂‖₂ ≤ δ/2``).
+        delta: Stewart's gap ``λ_min(B₁₁) − λ_max(B₂₂) − ‖E₁₁‖ − ‖E₂₂‖``.
+        bound: the guaranteed ``‖P‖₂ ≤ 2‖E₂₁‖₂/δ`` (NaN when not
+            applicable).
+        e_blocks_norms: spectral norms of the four E blocks
+            ``(‖E₁₁‖, ‖E₁₂‖, ‖E₂₁‖, ‖E₂₂‖)``.
+    """
+
+    applicable: bool
+    delta: float
+    bound: float
+    e_blocks_norms: tuple[float, float, float, float]
+
+
+def _block_norms(matrix: np.ndarray, k: int):
+    e11 = matrix[:k, :k]
+    e12 = matrix[:k, k:]
+    e21 = matrix[k:, :k]
+    e22 = matrix[k:, k:]
+
+    def norm2(block):
+        if block.size == 0:
+            return 0.0
+        return float(np.linalg.svd(block, compute_uv=False)[0])
+
+    return norm2(e11), norm2(e12), norm2(e21), norm2(e22)
+
+
+def stewart_invariant_subspace_bound(symmetric, perturbation,
+                                     rank) -> StewartBound:
+    """Evaluate Stewart's invariant-subspace theorem (paper Theorem 7).
+
+    Args:
+        symmetric: the unperturbed symmetric matrix ``B`` (e.g. ``A·Aᵀ``).
+        perturbation: the symmetric perturbation ``E``.
+        rank: the dimension ``k`` of the leading invariant subspace.
+
+    The function diagonalises ``B``, rotates ``E`` into ``B``'s eigenbasis
+    (so that ``range(Q₁)`` is invariant, as the theorem requires),
+    computes Stewart's gap ``δ`` and, when the hypotheses hold, the bound
+    ``‖P‖₂ ≤ 2‖E₂₁‖₂/δ`` on the tangent of the subspace rotation.
+    """
+    b = check_matrix(symmetric, "symmetric")
+    e = check_matrix(perturbation, "perturbation")
+    if b.shape != e.shape or b.shape[0] != b.shape[1]:
+        raise ShapeError("symmetric and perturbation must be equal square "
+                         f"shapes, got {b.shape} and {e.shape}")
+    if not np.allclose(b, b.T, atol=1e-8):
+        raise ValidationError("matrix B is not symmetric")
+    if not np.allclose(e, e.T, atol=1e-8):
+        raise ValidationError("perturbation E is not symmetric")
+    rank = check_rank(rank, b.shape[0] - 1, "rank")
+
+    eigenvalues, eigenvectors = np.linalg.eigh(b)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    q = eigenvectors[:, order]
+
+    rotated_e = q.T @ e @ q
+    n11, n12, n21, n22 = _block_norms(rotated_e, rank)
+    lambda_min = float(eigenvalues[rank - 1])
+    mu_max = float(eigenvalues[rank])
+    delta = lambda_min - mu_max - n11 - n22
+    applicable = delta > 0 and n12 <= delta / 2
+    bound = 2.0 * n21 / delta if applicable else float("nan")
+    return StewartBound(applicable=applicable, delta=delta, bound=bound,
+                        e_blocks_norms=(n11, n12, n21, n22))
+
+
+@dataclass(frozen=True)
+class SubspacePerturbation:
+    """End-to-end Lemma 1 measurement for ``A`` vs ``A + F``.
+
+    Attributes:
+        epsilon: the perturbation size ``‖F‖₂``.
+        sin_theta: sin-theta distance between the two leading-``k`` left
+            singular subspaces.
+        residual_norm: measured ``‖G‖₂`` where ``U'ₖ = Uₖ·R + G`` with the
+            Procrustes-optimal ``R`` — the quantity Lemma 1 bounds by
+            ``O(ε)``.
+        gap_ratio: the separation ``(σₖ − σₖ₊₁)/σ₁`` driving the bound.
+    """
+
+    epsilon: float
+    sin_theta: float
+    residual_norm: float
+    gap_ratio: float
+
+
+def singular_subspace_perturbation(matrix, perturbation,
+                                   rank) -> SubspacePerturbation:
+    """Measure how the leading-``rank`` left singular subspace moves.
+
+    Computes the quantities Lemma 1 relates: ``ε = ‖F‖₂``, the sin-theta
+    distance between leading subspaces of ``A`` and ``A + F``, the
+    Procrustes residual ``‖G‖₂``, and the relative singular gap.
+    """
+    a = check_matrix(matrix, "matrix")
+    f = check_matrix(perturbation, "perturbation")
+    if a.shape != f.shape:
+        raise ShapeError(
+            f"matrix and perturbation shapes differ: {a.shape} vs {f.shape}")
+    rank = check_rank(rank, min(a.shape) - 1, "rank")
+
+    u_a, s_a, _ = np.linalg.svd(a, full_matrices=False)
+    u_b, _, _ = np.linalg.svd(a + f, full_matrices=False)
+    uk_a = orthonormalize_columns(u_a[:, :rank])
+    uk_b = orthonormalize_columns(u_b[:, :rank])
+
+    epsilon = float(np.linalg.svd(f, compute_uv=False)[0]) if f.size else 0.0
+    gap = float((s_a[rank - 1] - s_a[rank]) / s_a[0]) if s_a[0] > 0 else 0.0
+    return SubspacePerturbation(
+        epsilon=epsilon,
+        sin_theta=sin_theta_distance(uk_a, uk_b),
+        residual_norm=residual_after_rotation(uk_a, uk_b),
+        gap_ratio=gap)

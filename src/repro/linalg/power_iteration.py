@@ -1,0 +1,172 @@
+"""Power and block-subspace iteration for dominant spectral structure.
+
+Theorem 2's proof revolves around the dominant eigenpair of each block
+Gram matrix ``BᵢᵀBᵢ`` and the gap to the second eigenvalue; these solvers
+compute exactly those quantities and double as one of the library's two
+truncated-SVD engines (block subspace iteration with Rayleigh–Ritz
+extraction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.linalg.dense import orthonormalize_columns
+from repro.linalg.operator import as_operator
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_matrix, check_positive_int, check_rank
+
+#: Default relative-change convergence tolerance for iterative solvers.
+DEFAULT_TOL = 1e-10
+#: Default iteration budget.
+DEFAULT_MAX_ITER = 1000
+
+
+def dominant_eigenpair(symmetric, *, tol: float = DEFAULT_TOL,
+                       max_iter: int = DEFAULT_MAX_ITER, seed=None):
+    """Dominant eigenvalue/eigenvector of a symmetric PSD matrix.
+
+    Plain power iteration with Rayleigh-quotient convergence testing.
+
+    Args:
+        symmetric: dense symmetric positive-semidefinite matrix.
+        tol: stop when the Rayleigh quotient's relative change falls
+            below this.
+        max_iter: iteration budget; exceeded budget raises
+            :class:`~repro.errors.ConvergenceError`.
+        seed: RNG seed for the start vector.
+
+    Returns:
+        ``(eigenvalue, eigenvector)`` with a unit-norm eigenvector.
+    """
+    matrix = check_matrix(symmetric, "symmetric")
+    n = matrix.shape[0]
+    if matrix.shape[1] != n:
+        from repro.errors import ShapeError
+
+        raise ShapeError(f"matrix must be square, got {matrix.shape}")
+    check_positive_int(max_iter, "max_iter")
+    rng = as_generator(seed)
+    vector = rng.standard_normal(n)
+    vector /= np.linalg.norm(vector)
+    eigenvalue = 0.0
+    for iteration in range(max_iter):
+        product = matrix @ vector
+        norm = np.linalg.norm(product)
+        if norm == 0.0:
+            # The start vector lies in the null space (or A = 0).
+            return 0.0, vector
+        new_vector = product / norm
+        new_eigenvalue = float(new_vector @ (matrix @ new_vector))
+        if abs(new_eigenvalue - eigenvalue) <= tol * max(1.0, new_eigenvalue):
+            return new_eigenvalue, new_vector
+        vector, eigenvalue = new_vector, new_eigenvalue
+    raise ConvergenceError(
+        f"power iteration did not converge in {max_iter} iterations",
+        iterations=max_iter, residual=abs(new_eigenvalue - eigenvalue))
+
+
+def top_eigenpairs(symmetric, k, *, tol: float = DEFAULT_TOL,
+                   max_iter: int = DEFAULT_MAX_ITER, seed=None):
+    """Top-``k`` eigenpairs of a symmetric PSD matrix by deflation.
+
+    Suitable for the small ``k`` the analysis needs (eigenvalue gaps per
+    topic block).  Returns ``(eigenvalues, eigenvectors)`` with
+    eigenvalues descending and eigenvectors as columns.
+    """
+    matrix = check_matrix(symmetric, "symmetric").copy()
+    k = check_rank(k, matrix.shape[0], "k")
+    rng = as_generator(seed)
+    values = np.zeros(k)
+    vectors = np.zeros((matrix.shape[0], k))
+    for i in range(k):
+        value, vector = dominant_eigenpair(matrix, tol=tol,
+                                           max_iter=max_iter, seed=rng)
+        values[i] = value
+        vectors[:, i] = vector
+        # Hotelling deflation: remove the found component.
+        matrix -= value * np.outer(vector, vector)
+    return values, vectors
+
+
+def dominant_singular_value(matrix, *, tol: float = DEFAULT_TOL,
+                            max_iter: int = DEFAULT_MAX_ITER,
+                            seed=None) -> float:
+    """Largest singular value of a (possibly sparse) matrix.
+
+    Power iteration on the Gram operator ``AᵀA`` without forming it.
+    """
+    op = as_operator(matrix)
+    n_cols = op.shape[1]
+    if n_cols == 0 or op.shape[0] == 0:
+        return 0.0
+    rng = as_generator(seed)
+    vector = rng.standard_normal(n_cols)
+    vector /= np.linalg.norm(vector)
+    sigma_sq = 0.0
+    for _ in range(max_iter):
+        product = op.rmatvec(op.matvec(vector))
+        norm = np.linalg.norm(product)
+        if norm == 0.0:
+            return 0.0
+        new_vector = product / norm
+        new_sigma_sq = float(new_vector @ op.rmatvec(op.matvec(new_vector)))
+        if abs(new_sigma_sq - sigma_sq) <= tol * max(1.0, new_sigma_sq):
+            return float(np.sqrt(max(new_sigma_sq, 0.0)))
+        vector, sigma_sq = new_vector, new_sigma_sq
+    raise ConvergenceError(
+        f"singular-value power iteration did not converge in "
+        f"{max_iter} iterations", iterations=max_iter)
+
+
+def subspace_iteration_svd(matrix, rank, *, oversample: int = 8,
+                           max_iter: int = 200, tol: float = 1e-9,
+                           seed=None):
+    """Truncated SVD by block subspace (orthogonal) iteration.
+
+    Iterates an oversampled random block through ``A·Aᵀ`` with
+    re-orthonormalisation, then extracts singular triplets by
+    Rayleigh–Ritz on the converged subspace.  Works on dense arrays and
+    :class:`~repro.linalg.sparse.CSRMatrix` alike.
+
+    Args:
+        matrix: the ``n × m`` matrix to factor.
+        rank: number of leading singular triplets wanted.
+        oversample: extra block columns carried for convergence; the
+            excess is discarded after Rayleigh–Ritz.
+        max_iter: maximum block iterations.
+        tol: convergence threshold on the relative change of the Ritz
+            values.
+        seed: RNG seed for the start block.
+
+    Returns:
+        ``(U, S, Vt)`` with ``U`` of shape ``(n, rank)``, ``S`` descending
+        of length ``rank``, and ``Vt`` of shape ``(rank, m)``.
+    """
+    op = as_operator(matrix)
+    n, m = op.shape
+    rank = check_rank(rank, min(n, m), "rank")
+    check_positive_int(max_iter, "max_iter")
+    block_size = min(rank + max(0, int(oversample)), min(n, m))
+    rng = as_generator(seed)
+
+    block = orthonormalize_columns(rng.standard_normal((n, block_size)))
+    previous_ritz = np.zeros(rank)
+    for iteration in range(max_iter):
+        # One pass of A·Aᵀ with re-orthonormalisation.
+        block = orthonormalize_columns(op.matmat(op.rmatmat(block)))
+        if block.shape[1] < rank:
+            # Rank-deficient matrix: pad with fresh random directions.
+            extra = rng.standard_normal((n, block_size - block.shape[1]))
+            block = orthonormalize_columns(np.column_stack([block, extra]))
+        # Rayleigh–Ritz: project A into the block and take a small SVD.
+        projected = op.rmatmat(block).T          # block.T @ A, (b × m)
+        u_small, sigma, vt = np.linalg.svd(projected, full_matrices=False)
+        ritz = sigma[:rank]
+        if np.allclose(ritz, previous_ritz,
+                       rtol=tol, atol=tol * max(1.0, float(ritz[0]))):
+            break
+        previous_ritz = ritz
+    u_full = block @ u_small
+    return u_full[:, :rank], sigma[:rank].copy(), vt[:rank].copy()

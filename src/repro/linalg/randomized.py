@@ -1,0 +1,176 @@
+"""Randomized SVD: the modern descendant of the paper's §5 idea.
+
+The paper's two-step method (random projection, then LSI on the
+projection) is the ancestor of the randomized range-finder SVD of
+Halko–Martinsson–Tropp: sketch ``Y = A·Ω`` for a thin Gaussian ``Ω``,
+orthonormalise, optionally run power iterations ``Y ← A·(Aᵀ·Y)`` to
+sharpen the spectrum, then factor the small projected matrix ``Qᵀ·A``.
+
+The module provides:
+
+- :func:`randomized_range_finder` — the sketch + (optional) power
+  iterations;
+- :func:`randomized_svd` — the full factorisation, plugged into
+  :func:`repro.linalg.svd.truncated_svd` as the ``"randomized"``
+  engine;
+- :func:`adaptive_rank_svd` — grow the sketch until the estimated
+  residual falls under a tolerance: rank discovery for corpora whose
+  topic count is unknown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.linalg.dense import orthonormalize_columns
+from repro.linalg.operator import as_operator
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_non_negative_int, check_rank
+
+
+def randomized_range_finder(matrix, sketch_size: int, *,
+                            power_iterations: int = 2,
+                            seed=None) -> np.ndarray:
+    """An orthonormal basis approximately spanning ``A``'s top range.
+
+    Args:
+        matrix: ``n × m`` dense array or CSR matrix.
+        sketch_size: number of basis columns to produce.
+        power_iterations: passes of ``A·Aᵀ`` applied to the sketch;
+            each pass multiplies the spectral contrast (singular value
+            σ contributes like σ^(2q+1)), which is what makes slowly
+            decaying corpus spectra tractable.
+        seed: RNG seed for the Gaussian test matrix.
+
+    Returns:
+        ``(n, sketch_size)`` orthonormal columns (possibly fewer when
+        the matrix rank is below the sketch size).
+    """
+    op = as_operator(matrix)
+    n, m = op.shape
+    sketch_size = check_rank(sketch_size, min(n, m), "sketch_size")
+    power_iterations = check_non_negative_int(power_iterations,
+                                              "power_iterations")
+    rng = as_generator(seed)
+
+    sketch = op.matmat(rng.standard_normal((m, sketch_size)))
+    basis = orthonormalize_columns(sketch)
+    for _ in range(power_iterations):
+        # Re-orthonormalise between half-steps for numerical stability.
+        basis = orthonormalize_columns(op.rmatmat(basis))
+        basis = orthonormalize_columns(op.matmat(basis))
+    return basis
+
+
+def randomized_svd(matrix, rank, *, oversample: int = 10,
+                   power_iterations: int = 2, seed=None):
+    """Truncated SVD via the randomized range finder.
+
+    Args:
+        matrix: ``n × m`` dense array or CSR matrix.
+        rank: leading singular triplets wanted.
+        oversample: extra sketch columns beyond ``rank`` (discarded
+            after the small factorisation).
+        power_iterations: see :func:`randomized_range_finder`.
+        seed: RNG seed.
+
+    Returns:
+        ``(U, S, Vt)`` with exactly ``rank`` triplets.
+    """
+    op = as_operator(matrix)
+    n, m = op.shape
+    rank = check_rank(rank, min(n, m), "rank")
+    sketch_size = min(rank + max(0, int(oversample)), min(n, m))
+
+    basis = randomized_range_finder(op, sketch_size,
+                                    power_iterations=power_iterations,
+                                    seed=seed)
+    projected = op.rmatmat(basis).T          # Qᵀ·A, (sketch × m)
+    u_small, sigma, vt = np.linalg.svd(projected, full_matrices=False)
+    u_full = basis @ u_small
+    return u_full[:, :rank], sigma[:rank].copy(), vt[:rank].copy()
+
+
+def estimated_residual_norm(matrix, basis: np.ndarray) -> float:
+    """``‖A − Q·Qᵀ·A‖_F`` for an orthonormal basis ``Q``.
+
+    Computed without materialising the projection when the input is
+    sparse: ``‖A‖²_F − ‖Qᵀ·A‖²_F`` (Pythagoras, ``Q`` orthonormal).
+    """
+    op = as_operator(matrix)
+    basis = np.asarray(basis, dtype=np.float64)
+    if basis.ndim != 2 or basis.shape[0] != op.shape[0]:
+        raise ValidationError(
+            f"basis must be ({op.shape[0]}, r), got {basis.shape}")
+    projected = op.rmatmat(basis)
+    residual_sq = op.frobenius_norm() ** 2 - float(
+        np.sum(projected * projected))
+    return float(np.sqrt(max(residual_sq, 0.0)))
+
+
+def adaptive_rank_svd(matrix, *, relative_tolerance: float = 0.2,
+                      block_size: int = 8, max_rank=None,
+                      power_iterations: int = 2, seed=None):
+    """Grow the sketch until the residual falls below a tolerance.
+
+    Rank discovery: when the number of topics is unknown, grow the
+    range basis ``block_size`` columns at a time until
+    ``‖A − Q·Qᵀ·A‖_F ≤ relative_tolerance · ‖A‖_F``, then factor.
+
+    Args:
+        matrix: ``n × m`` dense array or CSR matrix.
+        relative_tolerance: stop when the relative residual is below
+            this.
+        block_size: sketch growth per step.
+        max_rank: hard cap (defaults to ``min(n, m)``).
+        power_iterations: per-block power iterations.
+        seed: RNG seed.
+
+    Returns:
+        An :class:`repro.linalg.svd.SVDResult` whose rank is the
+        discovered rank.
+    """
+    from repro.linalg.svd import SVDResult
+
+    op = as_operator(matrix)
+    n, m = op.shape
+    if not 0.0 < relative_tolerance < 1.0:
+        raise ValidationError(
+            "relative_tolerance must lie in (0, 1), got "
+            f"{relative_tolerance}")
+    block_size = check_rank(block_size, min(n, m), "block_size")
+    cap = min(n, m) if max_rank is None else min(int(max_rank),
+                                                 min(n, m))
+    rng = as_generator(seed)
+    norm = op.frobenius_norm()
+    if norm == 0.0:
+        raise ValidationError("matrix is numerically zero")
+
+    basis = np.zeros((n, 0))
+    while basis.shape[1] < cap:
+        grow = min(block_size, cap - basis.shape[1])
+        block = op.matmat(rng.standard_normal((m, grow)))
+        # Orthogonalise the new block against the existing basis.
+        if basis.shape[1]:
+            block = block - basis @ (basis.T @ block)
+        block = orthonormalize_columns(block)
+        for _ in range(power_iterations):
+            block = orthonormalize_columns(op.rmatmat(block))
+            block = orthonormalize_columns(op.matmat(block))
+            if basis.shape[1]:
+                block = orthonormalize_columns(
+                    block - basis @ (basis.T @ block))
+        if block.shape[1] == 0:
+            break  # range exhausted
+        basis = np.column_stack([basis, block]) if basis.shape[1] \
+            else block
+        if estimated_residual_norm(op, basis) <= \
+                relative_tolerance * norm:
+            break
+
+    projected = op.rmatmat(basis).T
+    u_small, sigma, vt = np.linalg.svd(projected, full_matrices=False)
+    keep = basis.shape[1]
+    return SVDResult((basis @ u_small)[:, :keep], sigma[:keep],
+                     vt[:keep], norm ** 2)

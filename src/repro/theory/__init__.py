@@ -1,0 +1,43 @@
+"""The paper's explicit formulas and checkable theorem statements.
+
+Each module turns one piece of the paper's mathematics into executable,
+testable code:
+
+- :mod:`repro.theory.bounds` — tail bounds and constants: the Lemma 2
+  projection tail, Chernoff–Hoeffding, the Theorem 2 conductance lower
+  bound, the FKV and Theorem 5 additive errors.
+- :mod:`repro.theory.jl` — empirical verification of the
+  Johnson–Lindenstrauss lemma exactly as stated (squared projected
+  length of a unit vector concentrates at ``l/n``).
+- :mod:`repro.theory.eckart_young` — Theorem 1: ``Aₖ`` beats every
+  same-rank competitor in Frobenius norm.
+- :mod:`repro.theory.stewart` — Lemma 4's hypotheses (the numerical
+  constants 21/20, 19/20, 1/20) and its ``‖G‖₂ ≤ 9ε`` conclusion,
+  measured on concrete matrices.
+"""
+
+from repro.theory.bounds import (
+    chernoff_hoeffding_tail,
+    conductance_lower_bound,
+    fkv_additive_error,
+    lemma2_tail_probability,
+    theorem5_additive_error,
+)
+from repro.theory.corollary4 import corollary4_check, lemma3_check
+from repro.theory.eckart_young import eckart_young_gap
+from repro.theory.jl import projected_length_statistics
+from repro.theory.stewart import Lemma4Report, lemma4_check
+
+__all__ = [
+    "Lemma4Report",
+    "chernoff_hoeffding_tail",
+    "conductance_lower_bound",
+    "corollary4_check",
+    "lemma3_check",
+    "eckart_young_gap",
+    "fkv_additive_error",
+    "lemma2_tail_probability",
+    "lemma4_check",
+    "projected_length_statistics",
+    "theorem5_additive_error",
+]

@@ -1,0 +1,93 @@
+"""Tail bounds and explicit constants from the paper.
+
+Every formula is implemented exactly as printed so that tests and
+experiments can quote the paper's own guarantees next to measured
+values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+
+def lemma2_tail_probability(projection_dim: int, epsilon: float) -> float:
+    """Lemma 2's tail: ``Pr(|X − l/n| > ε·l/n) < 2√l · e^{−(l−1)ε²/24}``.
+
+    Returns the right-hand side (clipped to 1).
+    """
+    l = check_positive_int(projection_dim, "projection_dim")
+    if not 0.0 < epsilon < 0.5:
+        raise ValidationError(
+            f"Lemma 2 requires 0 < ε < 1/2, got {epsilon}")
+    bound = 2.0 * np.sqrt(l) * np.exp(-(l - 1) * epsilon ** 2 / 24.0)
+    return float(min(bound, 1.0))
+
+
+def chernoff_hoeffding_tail(n_samples: int, deviation: float, *,
+                            value_range: float = 1.0) -> float:
+    """Hoeffding's inequality: ``Pr(|X̄ − μ| ≥ t) ≤ 2·e^{−2nt²/R²}``.
+
+    The concentration tool behind the Theorem 2 conductance argument
+    (sums of independent bounded term counts).
+
+    Args:
+        n_samples: number of independent bounded variables ``n``.
+        deviation: the deviation ``t`` of the empirical mean.
+        value_range: the width ``R`` of each variable's range.
+    """
+    n = check_positive_int(n_samples, "n_samples")
+    if deviation < 0:
+        raise ValidationError(
+            f"deviation must be non-negative, got {deviation}")
+    if value_range <= 0:
+        raise ValidationError(
+            f"value_range must be positive, got {value_range}")
+    bound = 2.0 * np.exp(-2.0 * n * deviation ** 2 / value_range ** 2)
+    return float(min(bound, 1.0))
+
+
+def conductance_lower_bound(n_documents: int, n_topic_terms: int) -> float:
+    """Theorem 2's conductance scale ``Ω(t / |T_i|)``.
+
+    The proof shows the document–document Gram graph of one topic block
+    has conductance at least of order ``t/|T_i|`` (``t`` documents,
+    ``|T_i|`` primary terms).  We return the ratio itself — experiments
+    check proportionality, not the hidden constant.
+    """
+    t = check_positive_int(n_documents, "n_documents")
+    terms = check_positive_int(n_topic_terms, "n_topic_terms")
+    return float(t) / float(terms)
+
+
+def theorem5_additive_error(epsilon: float,
+                            frobenius_norm_sq: float) -> float:
+    """Theorem 5's additive term ``2ε·‖A‖_F²`` (on squared residuals)."""
+    if epsilon < 0:
+        raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+    if frobenius_norm_sq < 0:
+        raise ValidationError("frobenius_norm_sq must be non-negative")
+    return 2.0 * epsilon * frobenius_norm_sq
+
+
+def fkv_additive_error(rank: int, n_samples: int,
+                       frobenius_norm_sq: float) -> float:
+    """FKV's additive term ``2√(k/s)·‖A‖_F²`` (on squared residuals)."""
+    rank = check_positive_int(rank, "rank")
+    n_samples = check_positive_int(n_samples, "n_samples")
+    if frobenius_norm_sq < 0:
+        raise ValidationError("frobenius_norm_sq must be non-negative")
+    return 2.0 * np.sqrt(rank / n_samples) * frobenius_norm_sq
+
+
+def required_samples_for_fkv(rank: int, epsilon: float) -> int:
+    """Samples needed so the FKV additive term is ``≤ 2ε·‖A‖_F²``.
+
+    Solving ``√(k/s) ≤ ε`` gives ``s ≥ k/ε²``.
+    """
+    rank = check_positive_int(rank, "rank")
+    if not 0.0 < epsilon <= 1.0:
+        raise ValidationError(f"epsilon must lie in (0, 1], got {epsilon}")
+    return int(np.ceil(rank / epsilon ** 2))

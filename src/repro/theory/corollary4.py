@@ -1,0 +1,120 @@
+"""Lemma 3 / Corollary 4: the projected spectrum carries enough energy.
+
+The inner steps of the Theorem 5 proof:
+
+- **Lemma 3**: with ``l ≥ c·log n/ε²``, the p-th singular value of the
+  projected matrix ``B = √(n/l)·Rᵀ·A`` satisfies
+  ``λ_p² ≥ (1/k)·[(1−ε)·Σᵢ≤k σᵢ² − Σⱼ<p λⱼ²]``.
+- **Corollary 4**: summing, ``Σ_{p≤2k} λ_p² ≥ (1−ε)·‖Aₖ‖_F²`` — the
+  top-``2k`` projected spectrum retains a ``(1−ε)`` fraction of the
+  energy direct rank-``k`` LSI captures.
+
+:func:`corollary4_check` measures both sides on a concrete ``(A, B)``
+pair, and :func:`lemma3_check` verifies the per-``p`` recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.linalg.operator import as_operator
+from repro.utils.validation import check_rank
+
+
+def _singular_values(matrix) -> np.ndarray:
+    return np.linalg.svd(as_operator(matrix).to_dense(),
+                         compute_uv=False)
+
+
+@dataclass(frozen=True)
+class Corollary4Report:
+    """Measured sides of Corollary 4.
+
+    Attributes:
+        projected_energy: ``Σ_{p≤2k} λ_p²`` of the projected matrix.
+        direct_energy: ``‖Aₖ‖_F² = Σ_{i≤k} σᵢ²`` of the original.
+        epsilon: the ε used in the right-hand side.
+    """
+
+    projected_energy: float
+    direct_energy: float
+    epsilon: float
+
+    @property
+    def bound(self) -> float:
+        """The guaranteed floor ``(1−ε)·‖Aₖ‖_F²``."""
+        return (1.0 - self.epsilon) * self.direct_energy
+
+    @property
+    def holds(self) -> bool:
+        """Whether the projected spectrum clears the floor."""
+        return self.projected_energy >= self.bound - 1e-9
+
+    @property
+    def energy_ratio(self) -> float:
+        """``projected / direct`` — ≥ (1−ε) when the corollary holds."""
+        if self.direct_energy == 0:
+            return 1.0
+        return self.projected_energy / self.direct_energy
+
+
+def corollary4_check(original, projected, rank: int, *,
+                     epsilon: float) -> Corollary4Report:
+    """Measure Corollary 4 on a matrix and its random projection.
+
+    Args:
+        original: the ``n × m`` matrix ``A``.
+        projected: the ``l × m`` projected-and-scaled matrix ``B``
+            (e.g. an :class:`~repro.core.random_projection.
+            OrthonormalProjector` output).
+        rank: the LSI target ``k``.
+        epsilon: the JL accuracy the projection dimension was chosen
+            for.
+    """
+    if not 0.0 <= epsilon < 1.0:
+        raise ValidationError(
+            f"epsilon must lie in [0, 1), got {epsilon}")
+    a_op = as_operator(original)
+    b_op = as_operator(projected)
+    if a_op.shape[1] != b_op.shape[1]:
+        raise ValidationError(
+            f"document counts differ: {a_op.shape[1]} vs "
+            f"{b_op.shape[1]}")
+    rank = check_rank(rank, min(a_op.shape), "rank")
+
+    sigma = _singular_values(a_op)
+    lam = _singular_values(b_op)
+    top_2k = lam[:min(2 * rank, lam.shape[0])]
+    return Corollary4Report(
+        projected_energy=float(np.sum(top_2k ** 2)),
+        direct_energy=float(np.sum(sigma[:rank] ** 2)),
+        epsilon=float(epsilon))
+
+
+def lemma3_check(original, projected, rank: int, *,
+                 epsilon: float) -> bool:
+    """Verify Lemma 3's recursion for every ``p`` up to ``2k``.
+
+    Returns True when
+    ``λ_p² ≥ (1/k)·[(1−ε)·Σᵢ≤k σᵢ² − Σⱼ<p λⱼ²]`` holds for all
+    ``p = 1..min(2k, t)``.
+    """
+    if not 0.0 <= epsilon < 1.0:
+        raise ValidationError(
+            f"epsilon must lie in [0, 1), got {epsilon}")
+    a_op = as_operator(original)
+    rank = check_rank(rank, min(a_op.shape), "rank")
+    sigma = _singular_values(a_op)
+    lam = _singular_values(projected)
+    direct = float(np.sum(sigma[:rank] ** 2))
+
+    running = 0.0
+    for p in range(min(2 * rank, lam.shape[0])):
+        floor = ((1.0 - epsilon) * direct - running) / rank
+        if lam[p] ** 2 < floor - 1e-9:
+            return False
+        running += float(lam[p] ** 2)
+    return True

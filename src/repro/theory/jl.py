@@ -1,0 +1,93 @@
+"""Empirical verification of the Johnson–Lindenstrauss lemma (Lemma 2).
+
+The lemma, as the paper states it: for a unit vector ``v ∈ Rⁿ`` and a
+random ``l``-dimensional subspace ``H``, the squared projection length
+``X`` satisfies ``E[X] = l/n`` and concentrates within ``(1 ± ε)·l/n``
+with failure probability below ``2√l·e^{−(l−1)ε²/24}``.
+
+:func:`projected_length_statistics` measures ``X`` over many random
+subspaces (or many vectors — by rotational symmetry these are the same
+experiment) and reports the empirical mean and failure rate next to the
+lemma's prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.theory.bounds import lemma2_tail_probability
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ProjectionLengthReport:
+    """Measured concentration of the squared projection length.
+
+    Attributes:
+        expected: the lemma's mean ``l/n``.
+        empirical_mean: mean of the measured ``X`` values.
+        empirical_failure_rate: fraction of trials with
+            ``|X − l/n| > ε·l/n``.
+        predicted_failure_bound: the lemma's tail bound.
+        n_trials: number of independent trials.
+    """
+
+    expected: float
+    empirical_mean: float
+    empirical_failure_rate: float
+    predicted_failure_bound: float
+    n_trials: int
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the measured failure rate respects the lemma's tail."""
+        return self.empirical_failure_rate <= \
+            self.predicted_failure_bound + 1e-12
+
+
+def projected_length_statistics(ambient_dim: int, projection_dim: int,
+                                epsilon: float, *, n_trials: int = 200,
+                                seed=None) -> ProjectionLengthReport:
+    """Measure ``X`` = squared length of a unit vector's projection.
+
+    Each trial projects a fresh uniformly random unit vector onto a fixed
+    random ``l``-dimensional coordinate-free subspace; by rotational
+    invariance this matches the lemma's random-subspace formulation while
+    needing only one QR factorisation.
+
+    Args:
+        ambient_dim: ``n``.
+        projection_dim: ``l`` (must satisfy ``l ≤ n``).
+        epsilon: the relative deviation threshold.
+        n_trials: independent vectors measured.
+        seed: RNG seed.
+    """
+    n = check_positive_int(ambient_dim, "ambient_dim")
+    l = check_positive_int(projection_dim, "projection_dim")
+    if l > n:
+        raise ValidationError(f"projection_dim={l} exceeds ambient_dim={n}")
+    if not 0.0 < epsilon < 0.5:
+        raise ValidationError(
+            f"Lemma 2 requires 0 < ε < 1/2, got {epsilon}")
+    n_trials = check_positive_int(n_trials, "n_trials")
+    rng = as_generator(seed)
+
+    from repro.linalg.dense import orthonormalize_columns
+
+    basis = orthonormalize_columns(rng.standard_normal((n, l)))
+    vectors = rng.standard_normal((n, n_trials))
+    vectors /= np.linalg.norm(vectors, axis=0)
+    squared_lengths = np.sum((basis.T @ vectors) ** 2, axis=0)
+
+    expected = l / n
+    failures = np.abs(squared_lengths - expected) > epsilon * expected
+    return ProjectionLengthReport(
+        expected=expected,
+        empirical_mean=float(squared_lengths.mean()),
+        empirical_failure_rate=float(failures.mean()),
+        predicted_failure_bound=lemma2_tail_probability(l, epsilon),
+        n_trials=n_trials)

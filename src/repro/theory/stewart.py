@@ -1,0 +1,127 @@
+"""Lemma 4 (the appendix's constant-explicit form of Lemma 1).
+
+Lemma 4: let ``A`` have singular values with ``21/20 ≥ σ₁ ≥ … ≥ σₖ ≥
+19/20`` and ``σₖ₊₁, …, σᵣ ≤ 1/20``, and let ``‖F‖₂ = ε ≤ 1/20``.  Then
+the perturbed leading left singular basis satisfies ``U'ₖ = Uₖ·R + G``
+with ``R`` orthonormal and ``‖G‖₂ ≤ 9ε``.
+
+:func:`lemma4_check` verifies the hypotheses on concrete ``(A, F)`` and
+measures the conclusion; :func:`make_lemma4_instance` manufactures
+matrices that satisfy the hypotheses exactly, for tests and experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.linalg.dense import orthonormalize_columns
+from repro.linalg.perturbation import residual_after_rotation
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_matrix, check_rank
+
+#: Lemma 4's numerical constants.
+SIGMA_TOP_MAX = 21.0 / 20.0
+SIGMA_TOP_MIN = 19.0 / 20.0
+SIGMA_TAIL_MAX = 1.0 / 20.0
+EPSILON_MAX = 1.0 / 20.0
+CONCLUSION_FACTOR = 9.0
+
+
+@dataclass(frozen=True)
+class Lemma4Report:
+    """Hypotheses and conclusion of Lemma 4 on a concrete pair ``(A, F)``.
+
+    Attributes:
+        hypotheses_hold: whether all of Lemma 4's spectral/perturbation
+            conditions are satisfied.
+        epsilon: measured ``‖F‖₂``.
+        measured_g_norm: measured ``‖G‖₂ = ‖U'ₖ − Uₖ·R‖₂`` with the
+            Procrustes-optimal ``R``.
+        guaranteed_bound: ``9ε`` (NaN when hypotheses fail).
+    """
+
+    hypotheses_hold: bool
+    epsilon: float
+    measured_g_norm: float
+    guaranteed_bound: float
+
+    @property
+    def conclusion_holds(self) -> bool:
+        """Whether ``‖G‖₂ ≤ 9ε`` (trivially true when ε = 0)."""
+        if np.isnan(self.guaranteed_bound):
+            return False
+        return self.measured_g_norm <= self.guaranteed_bound + 1e-9
+
+
+def lemma4_check(matrix, perturbation, rank) -> Lemma4Report:
+    """Verify Lemma 4's hypotheses and measure its conclusion.
+
+    Args:
+        matrix: the unperturbed ``A``.
+        perturbation: the perturbation ``F`` (same shape).
+        rank: the split index ``k``.
+    """
+    a = check_matrix(matrix, "matrix")
+    f = check_matrix(perturbation, "perturbation")
+    if a.shape != f.shape:
+        raise ValidationError(
+            f"matrix and perturbation shapes differ: {a.shape} vs "
+            f"{f.shape}")
+    rank = check_rank(rank, min(a.shape) - 1, "rank")
+
+    u_a, s_a, _ = np.linalg.svd(a, full_matrices=False)
+    epsilon = float(np.linalg.svd(f, compute_uv=False)[0]) if f.size \
+        else 0.0
+
+    tol = 1e-9
+    hypotheses = (
+        s_a[0] <= SIGMA_TOP_MAX + tol
+        and s_a[rank - 1] >= SIGMA_TOP_MIN - tol
+        and (rank >= s_a.shape[0] or s_a[rank] <= SIGMA_TAIL_MAX + tol)
+        and epsilon <= EPSILON_MAX + tol)
+
+    u_b, _, _ = np.linalg.svd(a + f, full_matrices=False)
+    uk_a = orthonormalize_columns(u_a[:, :rank])
+    uk_b = orthonormalize_columns(u_b[:, :rank])
+    g_norm = residual_after_rotation(uk_a, uk_b)
+
+    return Lemma4Report(
+        hypotheses_hold=bool(hypotheses),
+        epsilon=epsilon,
+        measured_g_norm=g_norm,
+        guaranteed_bound=CONCLUSION_FACTOR * epsilon if hypotheses
+        else float("nan"))
+
+
+def make_lemma4_instance(n_rows: int, n_cols: int, rank: int, *,
+                         epsilon: float = 0.02, seed=None):
+    """Manufacture ``(A, F)`` satisfying Lemma 4's hypotheses exactly.
+
+    ``A`` gets ``rank`` singular values uniform in [19/20, 21/20] and the
+    rest uniform in [0, 1/20]; ``F`` is a random matrix rescaled to
+    ``‖F‖₂ = ε``.
+
+    Returns:
+        ``(A, F)`` as dense arrays.
+    """
+    rng = as_generator(seed)
+    rank = check_rank(rank, min(n_rows, n_cols) - 1, "rank")
+    if not 0.0 <= epsilon <= EPSILON_MAX:
+        raise ValidationError(
+            f"epsilon must lie in [0, 1/20] for Lemma 4, got {epsilon}")
+
+    r = min(n_rows, n_cols)
+    left = orthonormalize_columns(rng.standard_normal((n_rows, r)))
+    right = orthonormalize_columns(rng.standard_normal((n_cols, r)))
+    top = np.sort(rng.uniform(SIGMA_TOP_MIN, SIGMA_TOP_MAX, rank))[::-1]
+    tail = np.sort(rng.uniform(0.0, SIGMA_TAIL_MAX, r - rank))[::-1]
+    singular_values = np.concatenate([top, tail])
+    a = (left * singular_values) @ right.T
+
+    f = rng.standard_normal((n_rows, n_cols))
+    norm = float(np.linalg.svd(f, compute_uv=False)[0])
+    f = f * (epsilon / norm) if norm > 0 else np.zeros_like(f)
+    return a, f

@@ -1,0 +1,24 @@
+"""Shared utilities: RNG plumbing, validation, timing, and table rendering.
+
+These helpers keep the rest of the library small and uniform:
+
+- :mod:`repro.utils.rng` — the single-`numpy.random.Generator` discipline
+  used by every stochastic component in the library.
+- :mod:`repro.utils.validation` — argument checking that raises the
+  library's own :class:`~repro.errors.ValidationError` family.
+- :mod:`repro.utils.timing` — wall-clock timers for the cost experiments.
+- :mod:`repro.utils.tables` — fixed-width ASCII tables in the style of the
+  paper's results table, used by the benchmark harness.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.tables import Table, format_float
+from repro.utils.timing import Timer
+
+__all__ = [
+    "Table",
+    "Timer",
+    "as_generator",
+    "format_float",
+    "spawn_generators",
+]

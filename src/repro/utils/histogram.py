@@ -1,0 +1,79 @@
+"""ASCII histograms — textual figures for terminal reports.
+
+The paper's table summarises two angle *distributions* with four
+numbers; the histogram shows their whole shape, which is where the LSI
+collapse is most visible.  Used by the examples and the benchmark
+reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+
+def histogram(values, *, bins: int = 20, width: int = 50,
+              value_range=None, title: str = "",
+              label_format: str = "{:.2f}") -> str:
+    """Render values as a horizontal-bar ASCII histogram.
+
+    Args:
+        values: the sample.
+        bins: number of equal-width bins.
+        width: maximum bar width in characters.
+        value_range: optional ``(low, high)`` to fix the axis (useful
+            for side-by-side comparisons); defaults to the data range.
+        title: optional heading line.
+        label_format: format applied to bin-edge labels.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValidationError("histogram needs at least one value")
+    if not np.all(np.isfinite(data)):
+        raise ValidationError("histogram values must be finite")
+    bins = check_positive_int(bins, "bins")
+    width = check_positive_int(width, "width")
+
+    if value_range is None:
+        low, high = float(data.min()), float(data.max())
+        if low == high:
+            high = low + 1.0
+    else:
+        low, high = float(value_range[0]), float(value_range[1])
+        if not low < high:
+            raise ValidationError(
+                f"value_range must be increasing, got ({low}, {high})")
+
+    counts, edges = np.histogram(data, bins=bins, range=(low, high))
+    peak = max(int(counts.max()), 1)
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        len(f"{label_format.format(edges[i])}-"
+            f"{label_format.format(edges[i + 1])}")
+        for i in range(bins))
+    for i in range(bins):
+        label = (f"{label_format.format(edges[i])}-"
+                 f"{label_format.format(edges[i + 1])}")
+        bar = "#" * int(round(width * counts[i] / peak))
+        lines.append(f"{label:>{label_width}} | {bar} {counts[i]}")
+    return "\n".join(lines)
+
+
+def side_by_side(left: str, right: str, *, gap: int = 4) -> str:
+    """Join two multi-line blocks horizontally."""
+    left_lines = left.split("\n")
+    right_lines = right.split("\n")
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    pad = max((len(line) for line in left_lines), default=0) + gap
+    return "\n".join(
+        f"{l:<{pad}}{r}" for l, r in zip(left_lines, right_lines))

@@ -1,0 +1,89 @@
+"""Fixed-width ASCII table rendering.
+
+The paper reports its experiment as small min/max/average/std tables; the
+benchmark harness renders every reproduced artifact through :class:`Table`
+so that terminal output reads like the paper's own layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_float(value, precision: int = 4) -> str:
+    """Format a float compactly, matching the paper's 3-significant style.
+
+    Integers print without a decimal point; NaN prints as ``-``.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    value = float(value)
+    if value != value:  # NaN
+        return "-"
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    if abs(value) >= 1000 or (abs(value) < 1e-3 and value != 0.0):
+        return f"{value:.{precision}g}"
+    return f"{value:.{precision}g}"
+
+
+@dataclass
+class Table:
+    """A small fixed-width table with a title, headers, and rows.
+
+    Cells may be strings or numbers; numbers are formatted with
+    :func:`format_float`.
+
+    Example::
+
+        table = Table(title="Intratopic", headers=["", "Min", "Max"])
+        table.add_row(["Original space", 0.801, 1.39])
+        print(table.render())
+    """
+
+    title: str = ""
+    headers: list = field(default_factory=list)
+    rows: list = field(default_factory=list)
+    precision: int = 4
+
+    def add_row(self, cells) -> None:
+        """Append one row of cells (numbers or strings)."""
+        self.rows.append(list(cells))
+
+    def _formatted(self) -> list[list[str]]:
+        out = []
+        if self.headers:
+            out.append([str(h) for h in self.headers])
+        for row in self.rows:
+            out.append([format_float(cell, self.precision) for cell in row])
+        return out
+
+    def render(self) -> str:
+        """Render the table as a fixed-width string."""
+        grid = self._formatted()
+        if not grid:
+            return self.title
+        n_cols = max(len(row) for row in grid)
+        for row in grid:
+            row.extend([""] * (n_cols - len(row)))
+        widths = [max(len(row[j]) for row in grid) for j in range(n_cols)]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        rule = "-+-".join("-" * w for w in widths)
+        for i, row in enumerate(grid):
+            lines.append(" | ".join(
+                cell.ljust(widths[j]) for j, cell in enumerate(row)))
+            if i == 0 and self.headers:
+                lines.append(rule)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_tables(tables, separator: str = "\n\n") -> str:
+    """Render several tables separated by blank lines."""
+    return separator.join(table.render() for table in tables)

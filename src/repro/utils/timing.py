@@ -1,0 +1,77 @@
+"""Wall-clock timing helpers for the cost-model experiments (§5).
+
+The paper's computational claim is asymptotic (two-step LSI runs in
+``O(m·l·(l+c))`` against ``O(m·n·c)`` for direct LSI).  The timing
+benchmarks measure wall-clock with :class:`Timer` and pair it with the
+flop-count model from :mod:`repro.core.two_step` so that shape comparisons
+do not depend on one machine's BLAS.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A context-manager stopwatch accumulating over repeated entries.
+
+    Example::
+
+        timer = Timer()
+        for trial in range(5):
+            with timer:
+                expensive()
+        print(timer.mean_seconds)
+    """
+
+    #: Total accumulated seconds over all completed ``with`` blocks.
+    total_seconds: float = 0.0
+    #: Number of completed ``with`` blocks.
+    entries: int = 0
+    #: Duration of the most recent completed block.
+    last_seconds: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._started_at is None:  # pragma: no cover - defensive
+            return
+        self.last_seconds = time.perf_counter() - self._started_at
+        self.total_seconds += self.last_seconds
+        self.entries += 1
+        self._started_at = None
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean duration per completed block (0.0 before any block runs)."""
+        if self.entries == 0:
+            return 0.0
+        return self.total_seconds / self.entries
+
+    def reset(self) -> None:
+        """Clear all accumulated measurements."""
+        self.total_seconds = 0.0
+        self.entries = 0
+        self.last_seconds = 0.0
+        self._started_at = None
+
+
+def time_callable(fn, *args, repeats: int = 1, **kwargs):
+    """Run ``fn(*args, **kwargs)`` ``repeats`` times; return (result, Timer).
+
+    The result of the final invocation is returned so callers can both time
+    and use a computation without running it twice.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    timer = Timer()
+    result = None
+    for _ in range(repeats):
+        with timer:
+            result = fn(*args, **kwargs)
+    return result, timer

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import build_separable_model, generate_corpus
+from repro.linalg.sparse import CSRMatrix
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dense(rng):
+    """A small dense matrix with ~30% nonzeros."""
+    matrix = rng.random((20, 15))
+    matrix[matrix < 0.7] = 0.0
+    return matrix
+
+
+@pytest.fixture
+def small_sparse(small_dense):
+    """The CSR version of ``small_dense``."""
+    return CSRMatrix.from_dense(small_dense)
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A small separable model: 120 terms, 4 topics, 0.95 primary mass."""
+    return build_separable_model(120, 4, primary_mass=0.95,
+                                 length_low=30, length_high=50)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus(tiny_model):
+    """An 80-document corpus from ``tiny_model`` (seed-fixed)."""
+    return generate_corpus(tiny_model, 80, seed=777)
+
+
+@pytest.fixture(scope="session")
+def tiny_matrix(tiny_corpus):
+    """The term-document count matrix of ``tiny_corpus``."""
+    return tiny_corpus.term_document_matrix()

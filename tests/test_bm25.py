@@ -1,0 +1,132 @@
+"""Tests for the Okapi BM25 baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ir.bm25 import BM25Model
+from repro.linalg.sparse import CSRMatrix
+
+
+@pytest.fixture
+def small_index():
+    # term x doc counts; doc lengths 3, 6, 2.
+    dense = np.array([
+        [2.0, 1.0, 0.0],   # term 0: common
+        [1.0, 0.0, 0.0],   # term 1: rare
+        [0.0, 5.0, 2.0]])  # term 2
+    return CSRMatrix.from_dense(dense), dense
+
+
+class TestBM25Scoring:
+    def test_zero_for_nonmatching_documents(self, small_index):
+        matrix, _ = small_index
+        model = BM25Model.fit(matrix)
+        query = np.array([0.0, 1.0, 0.0])   # term 1: only doc 0 has it
+        scores = model.score(query)
+        assert scores[0] > 0
+        assert scores[1] == 0 and scores[2] == 0
+
+    def test_rare_terms_weighted_higher(self, small_index):
+        matrix, _ = small_index
+        model = BM25Model.fit(matrix)
+        common = model.score(np.array([1.0, 0.0, 0.0]))[0]
+        rare = model.score(np.array([0.0, 1.0, 0.0]))[0]
+        # Doc 0 has tf=2 for the common term vs tf=1 for the rare term,
+        # yet idf dominance should be visible per-unit-tf; compare idf
+        # weights directly through single-occurrence scoring on doc 0.
+        assert model._idf[1] > model._idf[0]
+        assert rare > 0 and common > 0
+
+    def test_tf_saturation(self):
+        # Two docs, same length; tf 1 vs tf 10 on the query term.
+        dense = np.array([[1.0, 10.0], [10.0, 1.0]])
+        model = BM25Model.fit(CSRMatrix.from_dense(dense), k1=1.2)
+        scores = model.score(np.array([1.0, 0.0]))
+        # Higher tf wins, but by far less than 10x (saturation).
+        assert scores[1] > scores[0]
+        assert scores[1] < 4 * scores[0]
+
+    def test_length_normalisation_penalises_long_docs(self):
+        # Same tf on the query term; doc 1 is much longer.
+        dense = np.array([[2.0, 2.0], [0.0, 30.0]])
+        model = BM25Model.fit(CSRMatrix.from_dense(dense), b=0.75)
+        scores = model.score(np.array([1.0, 0.0]))
+        assert scores[0] > scores[1]
+
+    def test_b_zero_disables_length_norm(self):
+        dense = np.array([[2.0, 2.0], [0.0, 30.0]])
+        model = BM25Model.fit(CSRMatrix.from_dense(dense), b=0.0)
+        scores = model.score(np.array([1.0, 0.0]))
+        assert scores[0] == pytest.approx(scores[1])
+
+    def test_rank_descending(self, small_index):
+        matrix, _ = small_index
+        model = BM25Model.fit(matrix)
+        query = np.array([1.0, 1.0, 1.0])
+        ranking = model.rank(query)
+        scores = model.score(query)
+        assert np.all(np.diff(scores[ranking]) <= 1e-12)
+
+    def test_rank_top_k(self, small_index):
+        matrix, _ = small_index
+        model = BM25Model.fit(matrix)
+        assert model.rank(np.ones(3), top_k=2).shape == (2,)
+
+    def test_query_term_weights_scale(self, small_index):
+        matrix, _ = small_index
+        model = BM25Model.fit(matrix)
+        single = model.score(np.array([1.0, 0.0, 0.0]))
+        double = model.score(np.array([2.0, 0.0, 0.0]))
+        assert np.allclose(double, 2 * single)
+
+
+class TestBM25Validation:
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            BM25Model().score(np.zeros(3))
+
+    def test_bad_k1(self):
+        with pytest.raises(ValidationError):
+            BM25Model(k1=-1.0)
+
+    def test_bad_b(self):
+        with pytest.raises(ValidationError):
+            BM25Model(b=1.5)
+
+    def test_fit_type_check(self):
+        with pytest.raises(ValidationError):
+            BM25Model.fit(np.eye(3))
+
+    def test_query_size_mismatch(self, small_index):
+        matrix, _ = small_index
+        model = BM25Model.fit(matrix)
+        with pytest.raises(ValidationError):
+            model.score(np.zeros(7))
+
+    def test_repr(self, small_index):
+        matrix, _ = small_index
+        assert "unfitted" in repr(BM25Model())
+        assert "m=3" in repr(BM25Model.fit(matrix))
+
+
+class TestBM25OnCorpus:
+    def test_topical_retrieval(self, tiny_corpus, tiny_matrix):
+        model = BM25Model.fit(tiny_matrix)
+        labels = tiny_corpus.topic_labels()
+        query = tiny_matrix.get_column(0)
+        top = model.rank(query, top_k=10)
+        hits = sum(1 for d in top if labels[d] == labels[0])
+        assert hits >= 8
+
+    def test_blind_to_term_free_documents(self, tiny_corpus,
+                                          tiny_matrix):
+        # BM25's structural limitation (the reason LSI wins E8):
+        # documents without the query term score exactly zero.
+        model = BM25Model.fit(tiny_matrix)
+        term = 5
+        query = np.zeros(tiny_matrix.shape[0])
+        query[term] = 1.0
+        scores = model.score(query)
+        missing = tiny_matrix.get_row(term) == 0
+        assert np.all(scores[missing] == 0.0)

@@ -1,0 +1,131 @@
+"""Tests for the Boolean retrieval baseline."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.vocabulary import Vocabulary
+from repro.ir.boolean import BooleanQueryError, BooleanRetriever
+from repro.ir.index import InvertedIndex
+from repro.linalg.sparse import CSRMatrix
+
+
+@pytest.fixture
+def retriever():
+    """4 docs over terms: car(0), automobile(1), truck(2), engine(3)."""
+    dense = np.array([
+        # d0   d1   d2   d3
+        [1.0, 0.0, 1.0, 0.0],   # car
+        [0.0, 1.0, 0.0, 0.0],   # automobile
+        [0.0, 0.0, 1.0, 1.0],   # truck
+        [1.0, 1.0, 0.0, 1.0]])  # engine
+    index = InvertedIndex.from_matrix(CSRMatrix.from_dense(dense))
+    vocabulary = Vocabulary(["car", "automobile", "truck", "engine"])
+    return BooleanRetriever(index, vocabulary=vocabulary)
+
+
+class TestBooleanQueries:
+    def test_single_term(self, retriever):
+        assert retriever.search("car") == {0, 2}
+
+    def test_or(self, retriever):
+        assert retriever.search("car OR automobile") == {0, 1, 2}
+
+    def test_and(self, retriever):
+        assert retriever.search("car AND engine") == {0}
+
+    def test_juxtaposition_is_and(self, retriever):
+        assert retriever.search("car engine") == {0}
+
+    def test_not(self, retriever):
+        assert retriever.search("NOT truck") == {0, 1}
+
+    def test_and_not(self, retriever):
+        assert retriever.search("engine AND NOT truck") == {0, 1}
+
+    def test_parentheses(self, retriever):
+        assert retriever.search("(car OR automobile) AND engine") == \
+            {0, 1}
+
+    def test_nested_parentheses(self, retriever):
+        assert retriever.search(
+            "((car OR automobile) AND NOT (truck OR engine))") == set()
+
+    def test_precedence_and_over_or(self, retriever):
+        # car OR (automobile AND engine), not (car OR automobile) AND...
+        assert retriever.search("car OR automobile AND engine") == \
+            {0, 1, 2}
+
+    def test_double_negation(self, retriever):
+        assert retriever.search("NOT NOT car") == {0, 2}
+
+    def test_unknown_term_is_empty(self, retriever):
+        assert retriever.search("spaceship") == set()
+        assert retriever.search("car OR spaceship") == {0, 2}
+
+    def test_case_insensitive_operators(self, retriever):
+        assert retriever.search("car and engine") == {0}
+        assert retriever.search("car or truck") == {0, 2, 3}
+
+    def test_ranked_form_sorted(self, retriever):
+        assert retriever.search_ranked("car OR truck") == [0, 2, 3]
+
+
+class TestBooleanErrors:
+    def test_empty_query(self, retriever):
+        with pytest.raises(BooleanQueryError):
+            retriever.search("")
+
+    def test_unbalanced_parenthesis(self, retriever):
+        with pytest.raises(BooleanQueryError):
+            retriever.search("(car OR truck")
+
+    def test_dangling_operator(self, retriever):
+        with pytest.raises(BooleanQueryError):
+            retriever.search("car AND")
+
+    def test_stray_close(self, retriever):
+        with pytest.raises(BooleanQueryError):
+            retriever.search("car )")
+
+    def test_not_alone(self, retriever):
+        with pytest.raises(BooleanQueryError):
+            retriever.search("NOT")
+
+
+class TestPseudoTerms:
+    def test_tid_queries_without_vocabulary(self, tiny_matrix):
+        index = InvertedIndex.from_matrix(tiny_matrix)
+        retriever = BooleanRetriever(index)
+        docs = retriever.search("t0 OR t1")
+        row0 = set(np.flatnonzero(tiny_matrix.get_row(0)).tolist())
+        row1 = set(np.flatnonzero(tiny_matrix.get_row(1)).tolist())
+        assert docs == row0 | row1
+
+    def test_non_pseudo_term_rejected(self, tiny_matrix):
+        retriever = BooleanRetriever(
+            InvertedIndex.from_matrix(tiny_matrix))
+        with pytest.raises(BooleanQueryError):
+            retriever.search("car")
+
+    def test_out_of_range_pseudo_term_empty(self, tiny_matrix):
+        retriever = BooleanRetriever(
+            InvertedIndex.from_matrix(tiny_matrix))
+        assert retriever.search("t99999") == set()
+
+
+class TestTokenProcessing:
+    def test_process_token_normalises_queries(self):
+        from repro.corpus.pipeline import TextPipeline
+        from repro.corpus.stemmer import porter_stem
+
+        pipeline = TextPipeline()
+        matrix = pipeline.fit_transform(
+            ["connected galaxies", "galaxy connection",
+             "database salaries"])
+        retriever = BooleanRetriever(
+            InvertedIndex.from_matrix(matrix),
+            vocabulary=pipeline.vocabulary,
+            process_token=porter_stem)
+        # Surface forms in the query map onto the stemmed vocabulary.
+        assert retriever.search("connecting") == {0, 1}
+        assert retriever.search("galaxies AND connections") == {0, 1}

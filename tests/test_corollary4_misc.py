@@ -1,0 +1,128 @@
+"""Tests for Corollary 4 / Lemma 3, term vectors, Poisson lengths."""
+
+import numpy as np
+import pytest
+
+from repro.core.lsi import LSIModel
+from repro.core.random_projection import OrthonormalProjector
+from repro.corpus import build_separable_model, generate_corpus
+from repro.corpus.model import PureTopicFactors
+from repro.errors import ValidationError
+from repro.theory.corollary4 import (
+    Corollary4Report,
+    corollary4_check,
+    lemma3_check,
+)
+
+
+@pytest.fixture(scope="module")
+def projection_pair():
+    model = build_separable_model(400, 6)
+    corpus = generate_corpus(model, 150, seed=91)
+    matrix = corpus.term_document_matrix()
+    projector = OrthonormalProjector(400, 120, seed=92)
+    return matrix, projector.project(matrix)
+
+
+class TestCorollary4:
+    def test_holds_at_adequate_dimension(self, projection_pair):
+        matrix, projected = projection_pair
+        report = corollary4_check(matrix, projected, 6, epsilon=0.35)
+        assert report.holds
+        assert report.energy_ratio >= 1.0 - 0.35
+
+    def test_lemma3_recursion_holds(self, projection_pair):
+        matrix, projected = projection_pair
+        assert lemma3_check(matrix, projected, 6, epsilon=0.35)
+
+    def test_energy_ratio_near_one(self, projection_pair):
+        matrix, projected = projection_pair
+        report = corollary4_check(matrix, projected, 6, epsilon=0.35)
+        # At l=120 the top-2k projected spectrum captures nearly all of
+        # ||A_k||^2 (the corollary's floor is loose).
+        assert report.energy_ratio > 0.9
+
+    def test_report_fields(self, projection_pair):
+        matrix, projected = projection_pair
+        report = corollary4_check(matrix, projected, 6, epsilon=0.2)
+        assert isinstance(report, Corollary4Report)
+        assert report.bound == pytest.approx(0.8 * report.direct_energy)
+        assert report.projected_energy > 0
+
+    def test_epsilon_validated(self, projection_pair):
+        matrix, projected = projection_pair
+        with pytest.raises(ValidationError):
+            corollary4_check(matrix, projected, 6, epsilon=1.5)
+
+    def test_document_count_mismatch(self, projection_pair):
+        matrix, _ = projection_pair
+        with pytest.raises(ValidationError):
+            corollary4_check(matrix, np.zeros((10, 3)), 2, epsilon=0.2)
+
+    def test_projection_conserves_total_energy(self, projection_pair):
+        # The √(n/l) scaling keeps E‖B‖²_F = ‖A‖²_F, which is why the
+        # corollary never fails even at tiny l: few dimensions just
+        # carry proportionally larger singular values.
+        matrix, _ = projection_pair
+        projector = OrthonormalProjector(400, 60, seed=93)
+        projected = projector.project(matrix)
+        ratio = (np.linalg.norm(projected) ** 2
+                 / matrix.frobenius_norm() ** 2)
+        assert 0.7 < ratio < 1.3
+
+
+class TestTermVectors:
+    def test_shape_and_duality(self, tiny_matrix):
+        lsi = LSIModel.fit(tiny_matrix, 4, engine="exact")
+        term_vectors = lsi.term_vectors()
+        assert term_vectors.shape == (tiny_matrix.shape[0], 4)
+        # Duality: A_k = (U_k D_k) V_k^T = term_vectors @ vt.
+        assert np.allclose(term_vectors @ lsi.svd.vt,
+                           lsi.reconstruct(), atol=1e-9)
+
+    def test_synonym_module_consistency(self):
+        from repro.core.synonymy import synonym_collapse
+        from repro.corpus import build_separable_model, generate_corpus
+        from repro.corpus.synonyms import split_term_into_synonyms
+        from repro.linalg.dense import cosine_similarity
+
+        model = build_separable_model(100, 4)
+        corpus = generate_corpus(model, 80, seed=94)
+        matrix = split_term_into_synonyms(
+            corpus.term_document_matrix(), 2, seed=95)
+        report = synonym_collapse(matrix, 2, matrix.shape[0] - 1,
+                                  rank=4)
+        lsi = LSIModel.fit(matrix, 4, engine="exact")
+        vectors = lsi.term_vectors()
+        direct = cosine_similarity(vectors[2], vectors[-1])
+        assert direct == pytest.approx(report.lsi_cosine, abs=1e-9)
+
+
+class TestPoissonLengths:
+    def test_mean_matches(self):
+        factors = PureTopicFactors(poisson_mean=30.0)
+        rng = np.random.default_rng(96)
+        lengths = [factors.sample(4, 0, rng).length
+                   for _ in range(800)]
+        assert np.mean(lengths) == pytest.approx(30.0, rel=0.05)
+
+    def test_always_positive(self):
+        factors = PureTopicFactors(poisson_mean=1.0)
+        rng = np.random.default_rng(97)
+        assert all(factors.sample(2, 0, rng).length >= 1
+                   for _ in range(200))
+
+    def test_mean_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            PureTopicFactors(poisson_mean=0.5)
+
+    def test_corpus_generation_with_poisson(self):
+        from repro.corpus.model import CorpusModel
+        from repro.corpus.topic import Topic
+
+        model = CorpusModel(
+            40, [Topic.uniform(40)],
+            PureTopicFactors(poisson_mean=15.0))
+        corpus = generate_corpus(model, 25, seed=98)
+        assert len(corpus) == 25
+        assert all(doc.length >= 1 for doc in corpus)

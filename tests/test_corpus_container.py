@@ -1,0 +1,246 @@
+"""Tests for the Corpus container, weighting, vocabulary, text, synonyms."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.document import Document
+from repro.corpus.synonyms import split_term_into_synonyms, split_topic_term
+from repro.corpus.text import (
+    parse_corpus,
+    parse_document,
+    render_corpus,
+    render_document,
+    tokenize,
+)
+from repro.corpus.vocabulary import Vocabulary, synthetic_words
+from repro.corpus.weighting import WEIGHTING_SCHEMES, apply_weighting
+from repro.errors import EmptyCorpusError, ValidationError
+from repro.linalg.sparse import CSRMatrix
+
+
+class TestCorpus:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyCorpusError):
+            Corpus([])
+
+    def test_mixed_universes_rejected(self):
+        docs = [Document({0: 1}, universe_size=3),
+                Document({0: 1}, universe_size=4)]
+        with pytest.raises(ValidationError):
+            Corpus(docs)
+
+    def test_ids_renumbered(self):
+        docs = [Document({0: 1}, universe_size=3, doc_id=99),
+                Document({1: 1}, universe_size=3, doc_id=99)]
+        corpus = Corpus(docs)
+        assert [d.doc_id for d in corpus] == [0, 1]
+
+    def test_matrix_orientation(self, tiny_corpus, tiny_matrix):
+        # Rows = terms, columns = documents, counts preserved.
+        assert tiny_matrix.shape == (tiny_corpus.universe_size,
+                                     len(tiny_corpus))
+        doc0 = tiny_corpus[0]
+        column = tiny_matrix.get_column(0)
+        for term, count in doc0.term_counts.items():
+            assert column[term] == count
+
+    def test_document_lengths(self, tiny_corpus):
+        lengths = tiny_corpus.document_lengths()
+        assert lengths[3] == tiny_corpus[3].length
+
+    def test_labels(self, tiny_corpus):
+        labels = tiny_corpus.topic_labels()
+        assert labels.shape == (len(tiny_corpus),)
+        assert tiny_corpus.has_labels()
+
+    def test_labels_missing_raise(self):
+        corpus = Corpus([Document({0: 1}, universe_size=2)])
+        assert not corpus.has_labels()
+        with pytest.raises(ValidationError):
+            corpus.topic_labels()
+
+    def test_subcorpus_with_repeats(self, tiny_corpus):
+        sub = tiny_corpus.subcorpus([1, 1, 3])
+        assert len(sub) == 3
+        assert sub[0].term_counts == tiny_corpus[1].term_counts
+        assert sub[1].term_counts == tiny_corpus[1].term_counts
+
+    def test_subcorpus_out_of_range(self, tiny_corpus):
+        with pytest.raises(ValidationError):
+            tiny_corpus.subcorpus([999])
+
+    def test_subcorpus_empty_rejected(self, tiny_corpus):
+        with pytest.raises(EmptyCorpusError):
+            tiny_corpus.subcorpus([])
+
+    def test_split_partitions(self, tiny_corpus):
+        first, second = tiny_corpus.split(0.25, seed=1)
+        assert len(first) + len(second) == len(tiny_corpus)
+        assert len(first) == round(0.25 * len(tiny_corpus))
+
+    def test_split_invalid_fraction(self, tiny_corpus):
+        with pytest.raises(ValidationError):
+            tiny_corpus.split(1.0)
+
+
+class TestWeighting:
+    def test_all_schemes_preserve_shape(self, tiny_matrix):
+        for scheme in WEIGHTING_SCHEMES:
+            weighted = apply_weighting(tiny_matrix, scheme)
+            assert weighted.shape == tiny_matrix.shape
+
+    def test_count_is_identity(self, tiny_matrix):
+        assert apply_weighting(tiny_matrix, "count") == tiny_matrix
+
+    def test_binary_is_01(self, tiny_matrix):
+        binary = apply_weighting(tiny_matrix, "binary")
+        assert set(np.unique(binary.data)) <= {1.0}
+        assert binary.nnz == tiny_matrix.nnz
+
+    def test_tf_columns_sum_to_one(self, tiny_matrix):
+        tf = apply_weighting(tiny_matrix, "tf")
+        assert np.allclose(tf.column_sums(), 1.0)
+
+    def test_log_tf_monotone(self, tiny_matrix):
+        log_tf = apply_weighting(tiny_matrix, "log_tf")
+        assert np.all(log_tf.data >= 1.0)
+
+    def test_tfidf_downweights_common_terms(self):
+        # Term 0 appears everywhere, term 1 in one document.
+        matrix = CSRMatrix.from_dense(np.array([
+            [1.0, 1.0, 1.0, 1.0],
+            [1.0, 0.0, 0.0, 0.0]]))
+        tfidf = apply_weighting(matrix, "tfidf").to_dense()
+        assert tfidf[1, 0] > tfidf[0, 0]
+
+    def test_log_entropy_focused_term_wins(self):
+        matrix = CSRMatrix.from_dense(np.array([
+            [2.0, 2.0, 2.0, 2.0],   # spread evenly -> low weight
+            [8.0, 0.0, 0.0, 0.0]]))  # focused -> high weight
+        weighted = apply_weighting(matrix, "log_entropy").to_dense()
+        assert weighted[1, 0] > weighted[0, 0]
+
+    def test_unknown_scheme(self, tiny_matrix):
+        with pytest.raises(ValidationError):
+            apply_weighting(tiny_matrix, "bogus")
+
+    def test_non_csr_rejected(self):
+        with pytest.raises(ValidationError):
+            apply_weighting(np.eye(3), "count")
+
+
+class TestVocabulary:
+    def test_synthetic_words_distinct(self):
+        words = synthetic_words(500)
+        assert len(words) == len(set(words)) == 500
+
+    def test_synthetic_words_deterministic(self):
+        assert synthetic_words(50) == synthetic_words(50)
+
+    def test_round_trip(self):
+        vocab = Vocabulary(["alpha", "beta", "gamma"])
+        assert vocab.term(1) == "beta"
+        assert vocab.term_id("gamma") == 2
+        assert vocab.terms([0, 2]) == ["alpha", "gamma"]
+        assert vocab.term_ids(["beta"]) == [1]
+
+    def test_contains_and_iter(self):
+        vocab = Vocabulary(["a", "b"])
+        assert "a" in vocab
+        assert list(vocab) == ["a", "b"]
+        assert len(vocab) == 2
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError):
+            Vocabulary(["x", "x"])
+
+    def test_unknown_term(self):
+        with pytest.raises(ValidationError):
+            Vocabulary(["a"]).term_id("zzz")
+
+    def test_out_of_range_id(self):
+        with pytest.raises(ValidationError):
+            Vocabulary(["a"]).term(5)
+
+
+class TestText:
+    def test_tokenize(self):
+        assert tokenize("Hello, World! 123 foo-bar") == \
+            ["hello", "world", "foo", "bar"]
+
+    def test_render_parse_round_trip(self, tiny_corpus):
+        vocab = Vocabulary.synthetic(tiny_corpus.universe_size)
+        texts = render_corpus(tiny_corpus.subcorpus(range(4)), vocab,
+                              seed=2)
+        parsed = parse_corpus(texts, vocab)
+        original = tiny_corpus.subcorpus(range(4)).term_document_matrix()
+        assert parsed.term_document_matrix() == original
+
+    def test_render_length_matches(self, tiny_corpus):
+        vocab = Vocabulary.synthetic(tiny_corpus.universe_size)
+        text = render_document(tiny_corpus[0], vocab, seed=3)
+        assert len(text.split()) == tiny_corpus[0].length
+
+    def test_parse_skips_unknown(self):
+        vocab = Vocabulary(["known"])
+        document = parse_document("known unknown known", vocab)
+        assert document.term_counts == {0: 2}
+
+    def test_parse_strict_mode(self):
+        vocab = Vocabulary(["known"])
+        with pytest.raises(ValidationError):
+            parse_document("unknown", vocab, skip_unknown=False)
+
+    def test_parse_all_unknown_raises(self):
+        vocab = Vocabulary(["known"])
+        with pytest.raises(EmptyCorpusError):
+            parse_document("stranger things", vocab)
+
+    def test_vocab_size_mismatch(self, tiny_corpus):
+        with pytest.raises(ValidationError):
+            render_document(tiny_corpus[0], Vocabulary(["one"]))
+
+
+class TestSynonyms:
+    def test_split_conserves_counts(self, tiny_matrix):
+        split = split_term_into_synonyms(tiny_matrix, 5, seed=1)
+        assert split.shape == (tiny_matrix.shape[0] + 1,
+                               tiny_matrix.shape[1])
+        total = split.get_row(5) + split.get_row(tiny_matrix.shape[0])
+        assert np.allclose(total, tiny_matrix.get_row(5))
+
+    def test_split_leaves_other_rows(self, tiny_matrix):
+        split = split_term_into_synonyms(tiny_matrix, 5, seed=1)
+        for row in (0, 3, 10):
+            assert np.array_equal(split.get_row(row),
+                                  tiny_matrix.get_row(row))
+
+    def test_split_out_of_range(self, tiny_matrix):
+        with pytest.raises(ValidationError):
+            split_term_into_synonyms(tiny_matrix, 9999)
+
+    def test_split_requires_counts(self, tiny_matrix):
+        fractional = tiny_matrix.scale(0.5)
+        with pytest.raises(ValidationError):
+            split_term_into_synonyms(fractional, 5)
+
+    def test_split_topic_term_model(self, tiny_model):
+        extended = split_topic_term(tiny_model, 3)
+        assert extended.universe_size == tiny_model.universe_size + 1
+        for old, new in zip(tiny_model.topics, extended.topics):
+            synonym_id = extended.universe_size - 1
+            assert new.probabilities[3] == pytest.approx(
+                old.probabilities[3] / 2)
+            assert new.probabilities[synonym_id] == pytest.approx(
+                old.probabilities[3] / 2)
+            assert new.probabilities.sum() == pytest.approx(1.0)
+
+    def test_split_topic_term_primary_membership(self, tiny_model):
+        extended = split_topic_term(tiny_model, 3)
+        owner = next(t for t in extended.topics if 3 in t.primary_terms)
+        assert extended.universe_size - 1 in owner.primary_terms
+
+    def test_split_topic_term_out_of_range(self, tiny_model):
+        with pytest.raises(ValidationError):
+            split_topic_term(tiny_model, 10_000)

@@ -1,0 +1,217 @@
+"""Tests for the corpus model (Definition 4) and the two-step sampler."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.document import Document
+from repro.corpus.model import (
+    CorpusModel,
+    DocumentFactors,
+    MixtureTopicFactors,
+    PureTopicFactors,
+)
+from repro.corpus.sampler import generate_corpus, generate_document
+from repro.corpus.separable import build_separable_model
+from repro.corpus.style import Style
+from repro.corpus.topic import Topic
+from repro.errors import EmptyCorpusError, ValidationError
+
+
+class TestDocumentFactors:
+    def test_pure_detection(self):
+        factors = DocumentFactors(np.array([0.0, 1.0]), np.zeros(0), 10)
+        assert factors.is_pure
+        assert factors.dominant_topic() == 1
+
+    def test_mixture_not_pure(self):
+        factors = DocumentFactors(np.array([0.5, 0.5]), np.zeros(0), 10)
+        assert not factors.is_pure
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(Exception):
+            DocumentFactors(np.array([0.5, 0.6]), np.zeros(0), 10)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValidationError):
+            DocumentFactors(np.array([1.0]), np.zeros(0), 0)
+
+
+class TestPureTopicFactors:
+    def test_samples_single_topic(self, rng):
+        factors = PureTopicFactors(length_low=5, length_high=9)
+        for _ in range(20):
+            sample = factors.sample(4, 0, rng)
+            assert sample.is_pure
+            assert 5 <= sample.length <= 9
+
+    def test_is_pure_flag(self):
+        assert PureTopicFactors().is_pure
+
+    def test_bad_length_range(self):
+        with pytest.raises(ValidationError):
+            PureTopicFactors(length_low=10, length_high=5)
+
+    def test_topic_prior_respected(self, rng):
+        factors = PureTopicFactors(topic_prior=np.array([1.0, 0.0]))
+        for _ in range(10):
+            assert factors.sample(2, 0, rng).dominant_topic() == 0
+
+    def test_topic_prior_size_mismatch(self, rng):
+        factors = PureTopicFactors(topic_prior=np.array([0.5, 0.5]))
+        with pytest.raises(ValidationError):
+            factors.sample(3, 0, rng)
+
+
+class TestMixtureTopicFactors:
+    def test_blends_requested_count(self, rng):
+        factors = MixtureTopicFactors(topics_per_document=3)
+        sample = factors.sample(10, 0, rng)
+        assert np.count_nonzero(sample.topic_weights) <= 3
+        assert sample.topic_weights.sum() == pytest.approx(1.0)
+
+    def test_not_pure(self):
+        assert not MixtureTopicFactors().is_pure
+
+    def test_styles_sampled_when_enabled(self, rng):
+        factors = MixtureTopicFactors(use_styles=True)
+        sample = factors.sample(5, 3, rng)
+        assert sample.style_weights.shape == (3,)
+        assert sample.style_weights.sum() == pytest.approx(1.0)
+
+    def test_more_topics_than_available(self, rng):
+        factors = MixtureTopicFactors(topics_per_document=10)
+        sample = factors.sample(3, 0, rng)
+        assert np.count_nonzero(sample.topic_weights) <= 3
+
+    def test_bad_concentration(self):
+        with pytest.raises(ValidationError):
+            MixtureTopicFactors(concentration=0.0)
+
+
+class TestCorpusModel:
+    def test_requires_topics(self):
+        with pytest.raises(ValidationError):
+            CorpusModel(10, [], PureTopicFactors())
+
+    def test_universe_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            CorpusModel(10, [Topic.uniform(5)], PureTopicFactors())
+
+    def test_style_universe_mismatch(self):
+        with pytest.raises(ValidationError):
+            CorpusModel(10, [Topic.uniform(10)], PureTopicFactors(),
+                        styles=[Style.identity(5)])
+
+    def test_factors_type_checked(self):
+        with pytest.raises(ValidationError):
+            CorpusModel(10, [Topic.uniform(10)], "not factors")
+
+    def test_term_distribution_pure(self, tiny_model):
+        factors = tiny_model.sample_factors(seed=1)
+        distribution = tiny_model.term_distribution(factors)
+        topic = tiny_model.topics[factors.dominant_topic()]
+        assert np.allclose(distribution, topic.probabilities)
+
+    def test_term_distribution_with_style(self):
+        topics = [Topic.uniform(6)]
+        styles = [Style.uniform_noise(6, 0.5)]
+        model = CorpusModel(6, topics, MixtureTopicFactors(use_styles=True),
+                            styles=styles)
+        factors = model.sample_factors(seed=2)
+        distribution = model.term_distribution(factors)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_separability_of_builder(self):
+        model = build_separable_model(100, 5, primary_mass=0.9)
+        # epsilon = off-primary mass = 0.1 * (fraction of uniform leak
+        # falling outside the primary set) = 0.1 * 80/100.
+        assert model.separability() == pytest.approx(0.1 * 80 / 100)
+        assert model.primary_sets_disjoint()
+
+    def test_separability_without_primary_sets(self):
+        model = CorpusModel(10, [Topic.uniform(10)], PureTopicFactors())
+        assert model.separability() == 1.0
+
+    def test_is_style_free(self, tiny_model):
+        assert tiny_model.is_style_free
+        assert tiny_model.is_pure
+
+    def test_max_term_probability(self):
+        model = build_separable_model(100, 5, primary_mass=0.9)
+        expected = 0.9 / 20 + 0.1 / 100
+        assert model.max_term_probability() == pytest.approx(expected)
+
+
+class TestSampler:
+    def test_document_length_matches_factors(self, tiny_model):
+        document = generate_document(tiny_model, seed=3)
+        assert document.length == document.factors.length
+
+    def test_document_terms_in_universe(self, tiny_model):
+        document = generate_document(tiny_model, seed=4)
+        assert all(0 <= t < tiny_model.universe_size
+                   for t in document.term_counts)
+
+    def test_corpus_size(self, tiny_model):
+        corpus = generate_corpus(tiny_model, 12, seed=5)
+        assert len(corpus) == 12
+
+    def test_corpus_reproducible(self, tiny_model):
+        a = generate_corpus(tiny_model, 5, seed=6)
+        b = generate_corpus(tiny_model, 5, seed=6)
+        for doc_a, doc_b in zip(a, b):
+            assert doc_a.term_counts == doc_b.term_counts
+
+    def test_corpus_seeds_differ(self, tiny_model):
+        a = generate_corpus(tiny_model, 5, seed=6)
+        b = generate_corpus(tiny_model, 5, seed=7)
+        assert any(doc_a.term_counts != doc_b.term_counts
+                   for doc_a, doc_b in zip(a, b))
+
+    def test_pure_documents_concentrate_on_primary(self, tiny_model):
+        corpus = generate_corpus(tiny_model, 20, seed=8)
+        for document in corpus:
+            topic = tiny_model.topics[document.topic_label]
+            primary_hits = sum(
+                count for term, count in document.term_counts.items()
+                if term in topic.primary_terms)
+            # 95% primary mass: expect the large majority on-primary.
+            assert primary_hits / document.length > 0.7
+
+    def test_invalid_size_rejected(self, tiny_model):
+        with pytest.raises(ValidationError):
+            generate_corpus(tiny_model, 0)
+
+
+class TestDocument:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyCorpusError):
+            Document(term_counts={}, universe_size=5)
+
+    def test_out_of_range_term(self):
+        with pytest.raises(ValidationError):
+            Document(term_counts={9: 1}, universe_size=5)
+
+    def test_non_positive_count(self):
+        with pytest.raises(ValidationError):
+            Document(term_counts={1: 0}, universe_size=5)
+
+    def test_length_and_distinct(self):
+        document = Document(term_counts={0: 2, 3: 5}, universe_size=5)
+        assert document.length == 7
+        assert document.distinct_terms == 2
+
+    def test_to_vector_round_trip(self):
+        document = Document(term_counts={1: 4}, universe_size=3)
+        vector = document.to_vector()
+        assert np.array_equal(vector, [0, 4, 0])
+        back = Document.from_count_vector(vector)
+        assert back.term_counts == document.term_counts
+
+    def test_from_samples(self):
+        document = Document.from_samples([1, 1, 2, 1], universe_size=4)
+        assert document.term_counts == {1: 3, 2: 1}
+
+    def test_topic_label_none_without_factors(self):
+        document = Document(term_counts={0: 1}, universe_size=2)
+        assert document.topic_label is None

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "synonymy_retrieval.py",
+    "topic_discovery_graph.py",
+    "movie_recommender.py",
+    "fast_lsi_random_projection.py",
+    "text_pipeline_search.py",
+    "choosing_the_rank.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 100  # produced a real report
+
+
+def test_reproduce_paper_table_quick(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["reproduce_paper_table.py",
+                                      "--quick"])
+    runpy.run_path(str(EXAMPLES_DIR / "reproduce_paper_table.py"),
+                   run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Intratopic" in output
+    assert "paper's reported values" in output

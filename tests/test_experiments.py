@@ -1,0 +1,217 @@
+"""Tests for the experiment harness (scaled-down configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    AngleTableConfig,
+    CFConfig,
+    FKVConfig,
+    GraphTopicsConfig,
+    JLDistortionConfig,
+    RPRecoveryConfig,
+    RetrievalConfig,
+    SkewnessSweepConfig,
+    SynonymyConfig,
+    TimingConfig,
+    run_angle_table,
+    run_cf_experiment,
+    run_fkv_experiment,
+    run_graph_topics,
+    run_jl_distortion,
+    run_retrieval_experiment,
+    run_rp_recovery,
+    run_skewness_sweep,
+    run_synonymy,
+    run_timing,
+)
+
+
+class TestAngleTable:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_angle_table(AngleTableConfig().scaled(0.12))
+
+    def test_paper_phenomenon(self, result):
+        # Intratopic angles collapse; intertopic stay orthogonal.
+        assert result.lsi.intratopic_mean < \
+            result.original.intratopic_mean / 4
+        assert result.lsi.intertopic_mean > 1.3
+        assert result.original.intertopic_mean > 1.5
+
+    def test_skewness_improves(self, result):
+        assert result.lsi_skewness < result.original_skewness
+
+    def test_render_contains_tables(self, result):
+        rendered = result.render()
+        assert "Intratopic" in rendered
+        assert "Intertopic" in rendered
+        assert "skewness" in rendered
+
+    def test_scaled_config(self):
+        config = AngleTableConfig().scaled(0.1)
+        assert config.n_terms == 200
+        assert config.n_topics == 20
+        assert config.n_documents == 100
+
+
+class TestSkewnessSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_skewness_sweep(SkewnessSweepConfig(
+            n_terms=200, n_topics=5, corpus_sizes=(50, 200),
+            epsilons=(0.0, 0.2), fixed_corpus_size=100))
+
+    def test_epsilon_series_increasing(self, result):
+        assert result.epsilon_series_increasing()
+
+    def test_zero_epsilon_near_zero_skew(self, result):
+        assert result.by_epsilon[0.0] < 0.01
+
+    def test_render(self, result):
+        assert "Skewness vs epsilon" in result.render()
+
+
+class TestRPRecovery:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_rp_recovery(RPRecoveryConfig(
+            n_terms=200, n_topics=5, n_documents=80,
+            projection_dims=(20, 80), epsilon_labels=(0.5, 0.25)))
+
+    def test_bounds_hold(self, result):
+        assert result.all_bounds_hold()
+
+    def test_recovery_improves(self, result):
+        assert result.recovery_improves_with_l()
+
+    def test_parallel_config_enforced(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            run_rp_recovery(RPRecoveryConfig(projection_dims=(10,),
+                                             epsilon_labels=(0.5, 0.2)))
+
+
+class TestJLDistortion:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_jl_distortion(JLDistortionConfig(
+            n_terms=300, n_topics=5, n_documents=40,
+            projection_dims=(20, 150)))
+
+    def test_distortion_shrinks(self, result):
+        assert result.distortion_shrinks_with_l()
+
+    def test_concentration_within_bound(self, result):
+        assert result.concentration.within_bound
+
+    def test_render(self, result):
+        assert "JL distance distortion" in result.render()
+
+
+class TestTiming:
+    def test_runs_and_renders(self):
+        result = run_timing(TimingConfig(universe_sizes=(150, 300),
+                                         n_topics=5, n_documents=60,
+                                         projection_dim=30, repeats=1))
+        assert len(result.points) == 2
+        assert all(p.direct_seconds > 0 for p in result.points)
+        assert "two-step" in result.render()
+        assert result.points[0].predicted_speedup > 0
+
+
+class TestSynonymy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_synonymy(SynonymyConfig(n_terms=200, n_topics=5,
+                                           n_documents=150,
+                                           n_synonym_pairs=2))
+
+    def test_pairs_collapse(self, result):
+        assert result.all_pairs_collapse(min_lsi_cosine=0.85)
+
+    def test_controls_stay_apart(self, result):
+        assert result.controls_stay_apart(max_control_cosine=0.5)
+
+    def test_difference_direction_small(self, result):
+        for outcome in result.outcomes:
+            assert outcome.direction.relative_energy < 0.1
+
+
+class TestGraphTopics:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_graph_topics(GraphTopicsConfig(
+            n_blocks=4, block_size=20, inter_fractions=(0.02, 0.3),
+            corpus_n_terms=150, corpus_n_documents=80))
+
+    def test_recovery_at_small_epsilon(self, result):
+        assert result.recovery_at_small_epsilon()
+
+    def test_corpus_graph_works(self, result):
+        assert result.corpus_graph_accuracy > 0.9
+
+    def test_render(self, result):
+        assert "planted partition" in result.render()
+
+
+class TestRetrieval:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_retrieval_experiment(RetrievalConfig(
+            n_terms=250, n_topics=5, n_documents=120,
+            projection_dim=50, queries_per_topic=3))
+
+    def test_engine_grid_complete(self, result):
+        engines = {"vsm", "bm25", "lsi", "rp-lsi"}
+        workloads = {"topic", "single-term"}
+        assert set(result.scores) == {(e, w) for e in engines
+                                      for w in workloads}
+
+    def test_lsi_wins_single_terms(self, result):
+        assert result.lsi_wins_on_single_terms()
+
+    def test_lsi_beats_bm25_single_terms(self, result):
+        assert result.lsi_beats_bm25_on_single_terms()
+
+    def test_pr_curves_valid(self, result):
+        for scores in result.scores.values():
+            assert scores.pr_curve.shape == (11,)
+            assert np.all(scores.pr_curve >= 0)
+            assert np.all(scores.pr_curve <= 1)
+
+
+class TestFKV:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fkv_experiment(FKVConfig(
+            n_terms=200, n_topics=5, n_documents=100,
+            sample_counts=(15, 60)))
+
+    def test_bounds_hold(self, result):
+        assert result.fkv_bounds_hold()
+
+    def test_more_samples_better(self, result):
+        assert result.fkv_improves_with_samples()
+
+    def test_three_methods_per_budget(self, result):
+        methods = {p.method for p in result.points}
+        assert methods == {"fkv", "uniform", "rp-lsi"}
+
+
+class TestCF:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_cf_experiment(CFConfig(n_items=120, n_groups=4,
+                                          n_users=80, rank_sweep=(2, 4)))
+
+    def test_spectral_beats_popularity(self, result):
+        assert result.spectral_beats_popularity()
+
+    def test_all_engines_evaluated(self, result):
+        names = set(result.evaluations)
+        assert "popularity" in names
+        assert any(n.startswith("user-knn") for n in names)
+        assert any(n.startswith("item-knn") for n in names)
+        assert any(n.startswith("spectral") for n in names)

@@ -1,0 +1,112 @@
+"""Tests for the extension experiments X1–X5."""
+
+import pytest
+
+from repro.experiments import (
+    ConductanceConfig,
+    FoldingConfig,
+    MixtureConfig,
+    PolysemyConfig,
+    StyleRobustnessConfig,
+    run_conductance_experiment,
+    run_folding_experiment,
+    run_mixture_experiment,
+    run_polysemy,
+    run_style_robustness,
+)
+
+
+class TestMixtureExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_mixture_experiment(MixtureConfig(
+            n_terms=250, n_topics=5, n_documents=150,
+            topics_per_document=(1, 2, 3)))
+
+    def test_pure_case_best(self, result):
+        assert result.pure_case_is_best()
+
+    def test_alignment_stays_high(self, result):
+        assert result.alignment_stays_high(threshold=0.8)
+
+    def test_energy_decreases_with_mixing(self, result):
+        energies = [p.energy_fraction for p in result.points]
+        assert energies[0] > energies[-1]
+
+    def test_render(self, result):
+        assert "mixture documents" in result.render()
+
+
+class TestStyleRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_style_robustness(StyleRobustnessConfig(
+            n_terms=250, n_topics=5, n_documents=150,
+            noise_levels=(0.0, 0.2, 0.5)))
+
+    def test_graceful_degradation(self, result):
+        assert result.graceful_degradation()
+
+    def test_lsi_beats_raw_at_moderate_noise(self, result):
+        assert result.lsi_beats_raw_under_style(max_noise=0.5)
+
+    def test_zero_noise_matches_pure_model(self, result):
+        by_noise = {p.noise: p.lsi_skewness for p in result.points}
+        assert by_noise[0.0] < 0.2
+
+
+class TestPolysemyExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_polysemy(PolysemyConfig(
+            n_terms=240, n_topics=6, n_documents=240, n_polysemes=2))
+
+    def test_all_superposed(self, result):
+        assert result.all_superposed()
+
+    def test_bare_queries_confused(self, result):
+        assert result.bare_queries_confused()
+
+    def test_context_helps(self, result):
+        assert result.context_always_helps()
+
+    def test_context_suppresses_other_sense(self, result):
+        assert result.context_suppresses_other_sense()
+
+
+class TestConductanceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_conductance_experiment(ConductanceConfig(
+            block_sizes=(10, 30, 60), corpus_sizes=(60, 150)))
+
+    def test_eigenvalue_ratio_falls(self, result):
+        assert result.eigenvalue_ratio_falls()
+
+    def test_corpus_gap_positive(self, result):
+        assert result.corpus_gap_positive()
+
+    def test_gap_grows_with_corpus(self, result):
+        gaps = [p.gap_ratio for p in result.gap_points]
+        assert gaps[-1] > gaps[0]
+
+    def test_render_both_tables(self, result):
+        rendered = result.render()
+        assert "X4a" in rendered and "X4b" in rendered
+
+
+class TestFoldingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_folding_experiment(FoldingConfig(
+            n_terms=200, n_topics=5, base_documents=120,
+            folded_counts=(20, 80)))
+
+    def test_in_model_cheap(self, result):
+        assert result.in_model_folding_is_cheap()
+
+    def test_out_of_model_hurts_more(self, result):
+        assert result.out_of_model_hurts_more()
+
+    def test_render(self, result):
+        assert "folding-in drift" in result.render()

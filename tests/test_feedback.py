@@ -1,0 +1,115 @@
+"""Tests for Rocchio reformulation and pseudo-relevance feedback."""
+
+import numpy as np
+import pytest
+
+from repro.core.lsi import LSIModel
+from repro.corpus import build_separable_model, generate_corpus
+from repro.errors import ValidationError
+from repro.ir.feedback import pseudo_relevance_feedback, rocchio_update
+from repro.ir.metrics import average_precision
+from repro.ir.vsm import VectorSpaceModel
+
+
+@pytest.fixture(scope="module")
+def feedback_setup():
+    model = build_separable_model(250, 5, length_low=10, length_high=20)
+    corpus = generate_corpus(model, 200, seed=21)
+    return (model, corpus, corpus.term_document_matrix(),
+            corpus.topic_labels())
+
+
+class TestRocchio:
+    def test_pulls_toward_relevant_centroid(self, feedback_setup):
+        _, _, matrix, labels = feedback_setup
+        relevant = [int(i) for i in np.flatnonzero(labels == 2)[:5]]
+        query = np.zeros(matrix.shape[0])
+        query[0] = 1.0  # a topic-0 term
+        updated = rocchio_update(query, matrix, relevant, gamma=0.0)
+        centroid = np.mean([matrix.get_column(i) for i in relevant],
+                           axis=0)
+        # The update moved the query toward the centroid direction.
+        before = centroid @ query / (np.linalg.norm(centroid)
+                                     * np.linalg.norm(query))
+        after = centroid @ updated / (np.linalg.norm(centroid)
+                                      * np.linalg.norm(updated))
+        assert after > before
+
+    def test_alpha_zero_is_pure_centroid(self, feedback_setup):
+        _, _, matrix, _ = feedback_setup
+        updated = rocchio_update(np.zeros(matrix.shape[0]), matrix,
+                                 [0, 1], alpha=0.0, beta=1.0, gamma=0.0)
+        expected = 0.5 * (matrix.get_column(0) + matrix.get_column(1))
+        assert np.allclose(updated, expected)
+
+    def test_negative_clipping(self, feedback_setup):
+        _, _, matrix, _ = feedback_setup
+        updated = rocchio_update(np.zeros(matrix.shape[0]), matrix,
+                                 [], [0], alpha=0.0, gamma=1.0)
+        assert np.all(updated >= 0)
+
+    def test_no_clipping_allows_negatives(self, feedback_setup):
+        _, _, matrix, _ = feedback_setup
+        updated = rocchio_update(np.zeros(matrix.shape[0]), matrix,
+                                 [], [0], alpha=0.0, gamma=1.0,
+                                 clip_negative=False)
+        assert np.any(updated < 0)
+
+    def test_empty_feedback_keeps_query(self, feedback_setup):
+        _, _, matrix, _ = feedback_setup
+        query = np.zeros(matrix.shape[0])
+        query[3] = 2.0
+        updated = rocchio_update(query, matrix, [], [])
+        assert np.allclose(updated, query)
+
+    def test_out_of_range_document(self, feedback_setup):
+        _, _, matrix, _ = feedback_setup
+        with pytest.raises(ValidationError):
+            rocchio_update(np.zeros(matrix.shape[0]), matrix, [99999])
+
+    def test_query_size_mismatch(self, feedback_setup):
+        _, _, matrix, _ = feedback_setup
+        with pytest.raises(ValidationError):
+            rocchio_update(np.zeros(3), matrix, [0])
+
+
+class TestPRF:
+    def test_improves_vsm_single_term_query(self, feedback_setup):
+        model, _, matrix, labels = feedback_setup
+        vsm = VectorSpaceModel.fit(matrix)
+        # A one-word query about topic 1.
+        term = min(model.topics[1].primary_terms)
+        query = np.zeros(matrix.shape[0])
+        query[term] = 1.0
+        relevant = {int(i) for i in np.flatnonzero(labels == 1)}
+
+        base_ap = average_precision(vsm.rank(query), relevant)
+        expanded = pseudo_relevance_feedback(vsm, query, matrix,
+                                             feedback_depth=5)
+        prf_ap = average_precision(vsm.rank(expanded), relevant)
+        assert prf_ap >= base_ap
+
+    def test_works_with_lsi_retriever(self, feedback_setup):
+        model, _, matrix, labels = feedback_setup
+        lsi = LSIModel.fit(matrix, 5, engine="exact")
+        term = min(model.topics[0].primary_terms)
+        query = np.zeros(matrix.shape[0])
+        query[term] = 1.0
+        expanded = pseudo_relevance_feedback(lsi, query, matrix,
+                                             feedback_depth=5)
+        assert expanded.shape == query.shape
+        assert expanded.sum() > query.sum()  # terms were added
+
+    def test_multiple_rounds_expand_further(self, feedback_setup):
+        _, _, matrix, _ = feedback_setup
+        vsm = VectorSpaceModel.fit(matrix)
+        query = np.zeros(matrix.shape[0])
+        query[0] = 1.0
+        one = pseudo_relevance_feedback(vsm, query, matrix, rounds=1)
+        two = pseudo_relevance_feedback(vsm, query, matrix, rounds=2)
+        assert np.count_nonzero(two) >= np.count_nonzero(one)
+
+    def test_retriever_protocol_enforced(self, feedback_setup):
+        _, _, matrix, _ = feedback_setup
+        with pytest.raises(ValidationError):
+            pseudo_relevance_feedback(object(), np.zeros(250), matrix)

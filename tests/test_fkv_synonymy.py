@@ -1,0 +1,156 @@
+"""Tests for FKV sampling, the uniform-sampling baseline, and synonymy."""
+
+import numpy as np
+import pytest
+
+from repro.core.fkv import (
+    fkv_error_bound,
+    fkv_low_rank_approximation,
+    sampled_lsi,
+)
+from repro.core.synonymy import (
+    bottom_eigenvector_pair_pattern,
+    cooccurrence_similarity,
+    difference_direction_analysis,
+    synonym_collapse,
+)
+from repro.corpus.synonyms import split_term_into_synonyms
+from repro.errors import ValidationError
+from repro.linalg.svd import best_rank_k_error
+
+
+class TestFKV:
+    def test_basis_orthonormal(self, tiny_matrix):
+        result = fkv_low_rank_approximation(tiny_matrix, 4, 30, seed=1)
+        basis = result.term_basis
+        assert np.allclose(basis.T @ basis, np.eye(4), atol=1e-9)
+        assert result.method == "fkv"
+
+    def test_residual_within_bound(self, tiny_matrix):
+        # The FKV guarantee holds in expectation; with a healthy sample
+        # count a single run should land comfortably inside it.
+        result = fkv_low_rank_approximation(tiny_matrix, 4, 60, seed=2)
+        residual_sq = result.residual_norm(tiny_matrix) ** 2
+        assert residual_sq <= fkv_error_bound(tiny_matrix, 4, 60)
+
+    def test_residual_at_least_optimal(self, tiny_matrix):
+        result = fkv_low_rank_approximation(tiny_matrix, 4, 60, seed=3)
+        optimum = best_rank_k_error(tiny_matrix, 4)
+        assert result.residual_norm(tiny_matrix) >= optimum - 1e-9
+
+    def test_more_samples_help(self, tiny_matrix):
+        few = fkv_low_rank_approximation(tiny_matrix, 4, 8, seed=4)
+        many = fkv_low_rank_approximation(tiny_matrix, 4, 200, seed=4)
+        assert many.residual_norm(tiny_matrix) <= \
+            few.residual_norm(tiny_matrix) + 1e-9
+
+    def test_sampled_indices_recorded(self, tiny_matrix):
+        result = fkv_low_rank_approximation(tiny_matrix, 3, 25, seed=5)
+        assert result.sampled_indices.shape == (25,)
+        assert result.sampled_indices.max() < tiny_matrix.shape[1]
+
+    def test_dense_input(self, tiny_matrix):
+        dense = tiny_matrix.to_dense()
+        result = fkv_low_rank_approximation(dense, 3, 25, seed=6)
+        assert result.rank == 3
+
+    def test_zero_matrix_rejected(self):
+        from repro.linalg.sparse import CSRMatrix
+
+        with pytest.raises(ValidationError):
+            fkv_low_rank_approximation(CSRMatrix.zeros(5, 5), 2, 3)
+
+    def test_project_documents_shape(self, tiny_matrix):
+        result = fkv_low_rank_approximation(tiny_matrix, 3, 25, seed=7)
+        assert result.project_documents(tiny_matrix).shape == \
+            (3, tiny_matrix.shape[1])
+
+    def test_project_wrong_universe(self, tiny_matrix):
+        result = fkv_low_rank_approximation(tiny_matrix, 3, 25, seed=8)
+        with pytest.raises(ValidationError):
+            result.project_documents(np.zeros((3, 2)))
+
+
+class TestUniformSampling:
+    def test_basic(self, tiny_matrix):
+        result = sampled_lsi(tiny_matrix, 4, 30, seed=9)
+        assert result.method == "uniform"
+        assert result.rank == 4
+        assert len(set(result.sampled_indices.tolist())) == 30
+
+    def test_without_replacement(self, tiny_matrix):
+        result = sampled_lsi(tiny_matrix, 4, tiny_matrix.shape[1], seed=1)
+        assert sorted(result.sampled_indices) == \
+            list(range(tiny_matrix.shape[1]))
+
+    def test_too_many_documents(self, tiny_matrix):
+        with pytest.raises(ValidationError):
+            sampled_lsi(tiny_matrix, 4, tiny_matrix.shape[1] + 1)
+
+    def test_fewer_samples_than_rank(self, tiny_matrix):
+        with pytest.raises(ValidationError):
+            sampled_lsi(tiny_matrix, 8, 4)
+
+    def test_full_sample_matches_direct(self, tiny_matrix):
+        result = sampled_lsi(tiny_matrix, 4, tiny_matrix.shape[1], seed=2)
+        optimum = best_rank_k_error(tiny_matrix, 4)
+        assert result.residual_norm(tiny_matrix) == pytest.approx(
+            optimum, rel=1e-6)
+
+
+@pytest.fixture(scope="module")
+def synonym_setup():
+    from repro.corpus import build_separable_model, generate_corpus
+
+    model = build_separable_model(150, 4, primary_mass=0.95,
+                                  length_low=40, length_high=60)
+    corpus = generate_corpus(model, 150, seed=31)
+    matrix = corpus.term_document_matrix()
+    source = 4  # a primary term of topic 0
+    split = split_term_into_synonyms(matrix, source, seed=32)
+    return model, split, source, split.shape[0] - 1
+
+
+class TestSynonymy:
+    def test_cooccurrence_positive(self, synonym_setup):
+        _, matrix, a, b = synonym_setup
+        assert cooccurrence_similarity(matrix, a, b) > 0.0
+
+    def test_difference_direction_near_null(self, synonym_setup):
+        model, matrix, a, b = synonym_setup
+        report = difference_direction_analysis(matrix, a, b,
+                                               rank=model.n_topics)
+        assert report.relative_energy < 0.05
+        assert report.alignment_with_lsi_space < 0.2
+
+    def test_control_pair_not_null(self, synonym_setup):
+        model, matrix, a, _ = synonym_setup
+        # A primary term of a different topic: the difference direction
+        # carries real topical energy.
+        control = 3 * (150 // 4) + 1
+        report = difference_direction_analysis(matrix, a, control,
+                                               rank=model.n_topics)
+        synonym = difference_direction_analysis(
+            matrix, a, matrix.shape[0] - 1, rank=model.n_topics)
+        assert report.relative_energy > synonym.relative_energy
+
+    def test_collapse(self, synonym_setup):
+        model, matrix, a, b = synonym_setup
+        report = synonym_collapse(matrix, a, b, rank=model.n_topics)
+        assert report.lsi_cosine > 0.9
+        assert report.lsi_cosine > report.raw_cosine
+        assert report.collapsed
+
+    def test_bottom_eigenvector_pattern(self, synonym_setup):
+        _, matrix, a, b = synonym_setup
+        assert bottom_eigenvector_pair_pattern(matrix, a, b) > 0.7
+
+    def test_same_term_rejected(self, synonym_setup):
+        _, matrix, a, _ = synonym_setup
+        with pytest.raises(ValidationError):
+            cooccurrence_similarity(matrix, a, a)
+
+    def test_out_of_range(self, synonym_setup):
+        _, matrix, a, _ = synonym_setup
+        with pytest.raises(ValidationError):
+            cooccurrence_similarity(matrix, a, 10_000)

@@ -1,0 +1,251 @@
+"""Tests for the graph substrate: graphs, conductance, Laplacians,
+generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.graphs.conductance import (
+    cheeger_bounds,
+    conductance_of_cut,
+    exact_conductance,
+    sweep_cut_conductance,
+)
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.laplacian import (
+    adjacency_eigengap,
+    normalized_adjacency,
+    normalized_laplacian,
+    spectral_gap,
+)
+from repro.graphs.random_graphs import (
+    document_similarity_graph,
+    planted_partition_graph,
+    random_bipartite_multigraph_gram,
+)
+
+
+@pytest.fixture
+def barbell():
+    """Two 4-cliques joined by one light edge."""
+    adjacency = np.zeros((8, 8))
+    for block in (range(4), range(4, 8)):
+        for i in block:
+            for j in block:
+                if i != j:
+                    adjacency[i, j] = 1.0
+    adjacency[3, 4] = adjacency[4, 3] = 0.1
+    return WeightedGraph(adjacency)
+
+
+class TestWeightedGraph:
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            WeightedGraph(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ShapeError):
+            WeightedGraph(np.zeros((2, 3)))
+
+    def test_degrees(self, barbell):
+        degrees = barbell.degrees()
+        assert degrees[3] == pytest.approx(3.1)
+        assert degrees[0] == pytest.approx(3.0)
+
+    def test_total_weight(self, barbell):
+        # 2 cliques of 6 edges each + bridge of 0.1.
+        assert barbell.total_weight() == pytest.approx(12.1)
+
+    def test_cut_weight(self, barbell):
+        assert barbell.cut_weight(range(4)) == pytest.approx(0.1)
+
+    def test_volume(self, barbell):
+        assert barbell.volume(range(4)) == pytest.approx(12.1)
+
+    def test_subgraph(self, barbell):
+        sub = barbell.subgraph(range(4))
+        assert sub.n_vertices == 4
+        assert sub.total_weight() == pytest.approx(6.0)
+
+    def test_subgraph_empty_rejected(self, barbell):
+        with pytest.raises(ValidationError):
+            barbell.subgraph([])
+
+    def test_row_normalized_stochastic(self, barbell):
+        assert np.allclose(barbell.row_normalized().sum(axis=1), 1.0)
+
+    def test_connected_components_single(self, barbell):
+        assert len(barbell.connected_components()) == 1
+
+    def test_connected_components_split(self):
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        adjacency[2, 3] = adjacency[3, 2] = 1.0
+        components = WeightedGraph(adjacency).connected_components()
+        assert len(components) == 2
+
+    def test_boolean_mask_subset(self, barbell):
+        mask = np.zeros(8, dtype=bool)
+        mask[:4] = True
+        assert barbell.cut_weight(mask) == pytest.approx(0.1)
+
+    def test_vertex_out_of_range(self, barbell):
+        with pytest.raises(ValidationError):
+            barbell.cut_weight([99])
+
+
+class TestConductance:
+    def test_cut_objective_vertices(self, barbell):
+        value = conductance_of_cut(barbell, range(4))
+        assert value == pytest.approx(0.1 / 4)
+
+    def test_cut_objective_volume(self, barbell):
+        value = conductance_of_cut(barbell, range(4),
+                                   denominator="volume")
+        assert value == pytest.approx(0.1 / 12.1)
+
+    def test_trivial_cut_infinite(self, barbell):
+        assert conductance_of_cut(barbell, []) == float("inf")
+        assert conductance_of_cut(barbell, range(8)) == float("inf")
+
+    def test_bad_denominator(self, barbell):
+        with pytest.raises(ValidationError):
+            conductance_of_cut(barbell, [0], denominator="edges")
+
+    def test_exact_finds_bottleneck(self, barbell):
+        value, subset = exact_conductance(barbell)
+        assert value == pytest.approx(0.1 / 4)
+        assert set(subset.tolist()) in ({0, 1, 2, 3}, {4, 5, 6, 7})
+
+    def test_exact_caps_size(self):
+        graph = WeightedGraph(np.ones((25, 25)) - np.eye(25))
+        with pytest.raises(ValidationError):
+            exact_conductance(graph)
+
+    def test_sweep_upper_bounds_exact(self, barbell):
+        exact_value, _ = exact_conductance(barbell,
+                                           denominator="volume")
+        sweep_value, _ = sweep_cut_conductance(barbell,
+                                               denominator="volume")
+        assert sweep_value >= exact_value - 1e-12
+
+    def test_sweep_finds_barbell_cut(self, barbell):
+        _, subset = sweep_cut_conductance(barbell)
+        assert set(subset.tolist()) in ({0, 1, 2, 3}, {4, 5, 6, 7})
+
+    def test_cheeger_sandwich(self, barbell):
+        lower, upper = cheeger_bounds(barbell)
+        exact_value, _ = exact_conductance(barbell,
+                                           denominator="volume")
+        assert lower <= exact_value + 1e-9
+        assert exact_value <= upper + 1e-9
+
+    def test_clique_has_high_conductance(self):
+        clique = WeightedGraph(np.ones((10, 10)) - np.eye(10))
+        value, _ = sweep_cut_conductance(clique, denominator="volume")
+        assert value > 0.4
+
+
+class TestLaplacian:
+    def test_laplacian_eigenvalue_range(self, barbell):
+        eigenvalues = np.linalg.eigvalsh(normalized_laplacian(barbell))
+        assert eigenvalues.min() >= -1e-9
+        assert eigenvalues.max() <= 2.0 + 1e-9
+
+    def test_smallest_eigenvalue_zero(self, barbell):
+        eigenvalues = np.linalg.eigvalsh(normalized_laplacian(barbell))
+        assert eigenvalues[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_spectral_gap_disconnected_zero(self):
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        adjacency[2, 3] = adjacency[3, 2] = 1.0
+        assert spectral_gap(WeightedGraph(adjacency)) == \
+            pytest.approx(0.0, abs=1e-9)
+
+    def test_spectral_gap_barbell_small(self, barbell):
+        clique = WeightedGraph(np.ones((8, 8)) - np.eye(8))
+        assert spectral_gap(barbell) < spectral_gap(clique)
+
+    def test_normalized_adjacency_symmetric(self, barbell):
+        adjacency = normalized_adjacency(barbell)
+        assert np.allclose(adjacency, adjacency.T)
+
+    def test_eigengap_detects_blocks(self, barbell):
+        # Two blocks: gap after the 2nd eigenvalue is large.
+        assert adjacency_eigengap(barbell, 2) > \
+            adjacency_eigengap(barbell, 3)
+
+    def test_eigengap_bad_k(self, barbell):
+        with pytest.raises(ValidationError):
+            adjacency_eigengap(barbell, 0)
+        with pytest.raises(ValidationError):
+            adjacency_eigengap(barbell, 8)
+
+
+class TestGenerators:
+    def test_planted_partition_shapes(self):
+        graph, labels = planted_partition_graph([10, 15],
+                                                inter_fraction=0.1,
+                                                seed=1)
+        assert graph.n_vertices == 25
+        assert labels.shape == (25,)
+        assert set(labels.tolist()) == {0, 1}
+
+    def test_planted_partition_zero_epsilon_disconnected(self):
+        graph, _ = planted_partition_graph([8, 8], inter_fraction=0.0,
+                                           seed=2)
+        assert len(graph.connected_components()) == 2
+
+    def test_planted_partition_cross_weight_scales(self):
+        light, labels = planted_partition_graph([20, 20],
+                                                inter_fraction=0.02,
+                                                seed=3)
+        heavy, _ = planted_partition_graph([20, 20],
+                                           inter_fraction=0.4, seed=3)
+        assert heavy.cut_weight(np.flatnonzero(labels == 0)) > \
+            light.cut_weight(np.flatnonzero(labels == 0))
+
+    def test_planted_partition_needs_two_blocks(self):
+        with pytest.raises(ValidationError):
+            planted_partition_graph([10])
+
+    def test_planted_partition_density(self):
+        graph, labels = planted_partition_graph(
+            [12, 12], inter_fraction=0.0, intra_density=0.5, seed=4)
+        block = graph.subgraph(np.flatnonzero(labels == 0))
+        max_edges = 12 * 11 / 2
+        actual = np.count_nonzero(np.triu(block.adjacency, 1))
+        assert 0.2 * max_edges < actual < 0.8 * max_edges
+
+    def test_bipartite_gram_psd(self):
+        gram = random_bipartite_multigraph_gram(15, 30, 20, seed=5)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() >= -1e-8
+
+    def test_bipartite_gram_dominant_eigenvalue(self):
+        # The top eigenvalue should dominate the second (Theorem 2's
+        # engine) when documents are long relative to the term count.
+        gram = random_bipartite_multigraph_gram(40, 25, 100, seed=6)
+        eigenvalues = np.sort(np.linalg.eigvalsh(gram))[::-1]
+        assert eigenvalues[0] > 3 * eigenvalues[1]
+
+    def test_similarity_graph_from_corpus(self, tiny_matrix):
+        graph = document_similarity_graph(tiny_matrix)
+        assert graph.n_vertices == tiny_matrix.shape[1]
+        assert np.allclose(np.diag(graph.adjacency), 0.0)
+
+    def test_similarity_graph_keep_diagonal(self, tiny_matrix):
+        graph = document_similarity_graph(tiny_matrix,
+                                          zero_diagonal=False)
+        assert np.all(np.diag(graph.adjacency) > 0)
+
+    def test_similarity_graph_dense_input(self, tiny_matrix):
+        dense = tiny_matrix.to_dense()
+        a = document_similarity_graph(dense)
+        b = document_similarity_graph(tiny_matrix)
+        assert np.allclose(a.adjacency, b.adjacency)

@@ -1,0 +1,140 @@
+"""Tests for ASCII histograms, kNN similarity graphs, repeated trials."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import build_separable_model, generate_corpus
+from repro.core.spectral_graph import discover_topics
+from repro.errors import ValidationError
+from repro.experiments.angle_table import (
+    AngleTableConfig,
+    run_angle_table_trials,
+)
+from repro.graphs.random_graphs import (
+    document_similarity_graph,
+    knn_similarity_graph,
+)
+from repro.utils.histogram import histogram, side_by_side
+
+
+class TestHistogram:
+    def test_counts_sum(self, rng):
+        values = rng.standard_normal(200)
+        rendered = histogram(values, bins=10)
+        counts = [int(line.rsplit(" ", 1)[-1])
+                  for line in rendered.split("\n")]
+        assert sum(counts) == 200
+
+    def test_title_included(self):
+        assert histogram([1.0, 2.0], title="angles") \
+            .startswith("angles")
+
+    def test_fixed_range_empty_bins(self):
+        rendered = histogram([0.4], bins=4, value_range=(0.0, 2.0))
+        lines = rendered.split("\n")
+        assert len(lines) == 4
+        assert lines[0].endswith("1")  # 0.4 falls in bin [0.0, 0.5)
+
+    def test_constant_values(self):
+        rendered = histogram([3.0, 3.0, 3.0], bins=3)
+        assert "3" in rendered
+
+    def test_bar_width_bounded(self, rng):
+        rendered = histogram(rng.random(100), bins=5, width=30)
+        for line in rendered.split("\n"):
+            assert line.count("#") <= 30
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            histogram([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            histogram([float("nan")])
+
+    def test_bad_range(self):
+        with pytest.raises(ValidationError):
+            histogram([1.0], value_range=(2.0, 1.0))
+
+    def test_side_by_side_heights(self):
+        joined = side_by_side("a\nb\nc", "x")
+        lines = joined.split("\n")
+        assert len(lines) == 3
+        assert "x" in lines[0]
+
+
+@pytest.fixture(scope="module")
+def knn_setup():
+    model = build_separable_model(200, 4)
+    corpus = generate_corpus(model, 100, seed=81)
+    return corpus, corpus.term_document_matrix()
+
+
+class TestKNNSimilarityGraph:
+    def test_sparser_than_dense(self, knn_setup):
+        _, matrix = knn_setup
+        dense = document_similarity_graph(matrix)
+        knn = knn_similarity_graph(matrix, 8)
+        dense_edges = np.count_nonzero(np.triu(dense.adjacency, 1))
+        knn_edges = np.count_nonzero(np.triu(knn.adjacency, 1))
+        assert knn_edges < dense_edges
+
+    def test_degree_bounds(self, knn_setup):
+        _, matrix = knn_setup
+        knn = knn_similarity_graph(matrix, 8)
+        degrees = np.count_nonzero(knn.adjacency, axis=1)
+        # Union symmetrisation: at least k, at most m-1 neighbours.
+        assert degrees.min() >= 8
+        assert degrees.max() <= 99
+
+    def test_mutual_is_subset_of_union(self, knn_setup):
+        _, matrix = knn_setup
+        union = knn_similarity_graph(matrix, 8)
+        mutual = knn_similarity_graph(matrix, 8, mutual=True)
+        union_mask = union.adjacency > 0
+        mutual_mask = mutual.adjacency > 0
+        assert np.all(union_mask | ~mutual_mask)
+        assert mutual_mask.sum() <= union_mask.sum()
+
+    def test_no_self_loops(self, knn_setup):
+        _, matrix = knn_setup
+        knn = knn_similarity_graph(matrix, 8)
+        assert np.all(np.diag(knn.adjacency) == 0)
+
+    def test_weights_from_gram(self, knn_setup):
+        _, matrix = knn_setup
+        knn = knn_similarity_graph(matrix, 8)
+        gram = matrix.gram()
+        mask = knn.adjacency > 0
+        assert np.allclose(knn.adjacency[mask], gram[mask])
+
+    def test_topic_recovery_on_sparse_graph(self, knn_setup):
+        corpus, matrix = knn_setup
+        knn = knn_similarity_graph(matrix, 10)
+        discovery = discover_topics(knn, 4, seed=1)
+        assert discovery.accuracy_against(corpus.topic_labels()) > 0.95
+
+    def test_k_too_large_rejected(self, knn_setup):
+        _, matrix = knn_setup
+        with pytest.raises(ValidationError):
+            knn_similarity_graph(matrix, 100)
+
+
+class TestRepeatedTrials:
+    @pytest.fixture(scope="class")
+    def trials(self):
+        return run_angle_table_trials(AngleTableConfig().scaled(0.12),
+                                      n_trials=3)
+
+    def test_count(self, trials):
+        assert len(trials.results) == 3
+        assert len(trials.intratopic_lsi_means) == 3
+
+    def test_trials_differ(self, trials):
+        assert len(set(trials.intratopic_lsi_means)) > 1
+
+    def test_stable_collapse(self, trials):
+        assert trials.stable()
+
+    def test_summary_mentions_trials(self, trials):
+        assert "3 trials" in trials.summary()

@@ -1,0 +1,171 @@
+"""Tests for the inverted index, the VSM baseline, queries, relevance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ir.index import InvertedIndex
+from repro.ir.queries import QuerySet, generate_topic_queries, \
+    single_term_queries
+from repro.ir.relevance import relevance_from_labels, relevance_matrix
+from repro.ir.vsm import VectorSpaceModel
+from repro.linalg.sparse import CSRMatrix
+
+
+class TestInvertedIndex:
+    def test_postings_match_matrix(self, tiny_matrix):
+        index = InvertedIndex.from_matrix(tiny_matrix)
+        term = 7
+        doc_ids, weights = index.postings(term)
+        row = tiny_matrix.get_row(term)
+        assert np.array_equal(doc_ids, np.flatnonzero(row))
+        assert np.allclose(weights, row[row != 0])
+
+    def test_empty_postings(self):
+        matrix = CSRMatrix.from_dense(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        index = InvertedIndex.from_matrix(matrix)
+        doc_ids, weights = index.postings(0)
+        assert doc_ids.size == 0
+
+    def test_scores_are_cosines(self, tiny_matrix, rng):
+        index = InvertedIndex.from_matrix(tiny_matrix)
+        query = np.zeros(tiny_matrix.shape[0])
+        query[[3, 8, 15]] = [1.0, 2.0, 1.0]
+        dense = tiny_matrix.to_dense()
+        expected = dense.T @ query
+        norms = np.linalg.norm(dense, axis=0) * np.linalg.norm(query)
+        expected = np.divide(expected, np.where(norms > 0, norms, 1.0))
+        expected[norms == 0] = 0.0
+        assert np.allclose(index.score(query), expected)
+
+    def test_zero_query_scores_zero(self, tiny_matrix):
+        index = InvertedIndex.from_matrix(tiny_matrix)
+        assert np.allclose(index.score(np.zeros(tiny_matrix.shape[0])),
+                           0.0)
+
+    def test_rank_descending(self, tiny_matrix):
+        index = InvertedIndex.from_matrix(tiny_matrix)
+        query = tiny_matrix.get_column(0)
+        ranking = index.rank(query)
+        scores = index.score(query)
+        assert np.all(np.diff(scores[ranking]) <= 1e-12)
+
+    def test_rank_top_k(self, tiny_matrix):
+        index = InvertedIndex.from_matrix(tiny_matrix)
+        query = tiny_matrix.get_column(0)
+        assert index.rank(query, top_k=5).shape == (5,)
+
+    def test_self_query_ranks_self_first(self, tiny_matrix):
+        index = InvertedIndex.from_matrix(tiny_matrix)
+        assert index.rank(tiny_matrix.get_column(4))[0] == 4
+
+    def test_wrong_query_size(self, tiny_matrix):
+        index = InvertedIndex.from_matrix(tiny_matrix)
+        with pytest.raises(ValidationError):
+            index.score(np.zeros(3))
+
+    def test_term_out_of_range(self, tiny_matrix):
+        index = InvertedIndex.from_matrix(tiny_matrix)
+        with pytest.raises(ValidationError):
+            index.postings(10_000)
+
+    def test_from_matrix_type_check(self):
+        with pytest.raises(ValidationError):
+            InvertedIndex.from_matrix(np.eye(3))
+
+
+class TestVSM:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            VectorSpaceModel().score(np.zeros(3))
+
+    def test_fit_and_shape(self, tiny_matrix):
+        model = VectorSpaceModel.fit(tiny_matrix)
+        assert model.n_terms == tiny_matrix.shape[0]
+        assert model.n_documents == tiny_matrix.shape[1]
+
+    def test_score_matches_index(self, tiny_matrix):
+        model = VectorSpaceModel.fit(tiny_matrix)
+        index = InvertedIndex.from_matrix(tiny_matrix)
+        query = tiny_matrix.get_column(2)
+        assert np.allclose(model.score(query), index.score(query))
+
+    def test_retrieves_same_topic(self, tiny_corpus, tiny_matrix):
+        model = VectorSpaceModel.fit(tiny_matrix)
+        labels = tiny_corpus.topic_labels()
+        query = tiny_matrix.get_column(0)
+        top = model.rank(query, top_k=5)
+        hits = sum(1 for d in top if labels[d] == labels[0])
+        assert hits >= 4
+
+    def test_repr(self, tiny_matrix):
+        assert "unfitted" in repr(VectorSpaceModel())
+        assert "m=" in repr(VectorSpaceModel.fit(tiny_matrix))
+
+
+class TestQueries:
+    def test_topic_queries_shape(self, tiny_model):
+        queries = generate_topic_queries(tiny_model, queries_per_topic=3,
+                                         query_length=4, seed=1)
+        assert queries.n_queries == 3 * tiny_model.n_topics
+        assert queries.vectors.shape == (tiny_model.universe_size,
+                                         queries.n_queries)
+
+    def test_topic_queries_length(self, tiny_model):
+        queries = generate_topic_queries(tiny_model, query_length=4,
+                                         seed=2)
+        assert np.allclose(queries.vectors.sum(axis=0), 4)
+
+    def test_primary_only_stays_primary(self, tiny_model):
+        queries = generate_topic_queries(tiny_model, primary_only=True,
+                                         seed=3)
+        for vector, label in queries:
+            primary = tiny_model.topics[label].primary_terms
+            assert set(np.flatnonzero(vector)) <= primary
+
+    def test_iteration_yields_labels(self, tiny_model):
+        queries = generate_topic_queries(tiny_model, queries_per_topic=1,
+                                         seed=4)
+        labels = [label for _, label in queries]
+        assert labels == list(range(tiny_model.n_topics))
+
+    def test_single_term_queries_one_hot(self, tiny_model):
+        queries = single_term_queries(tiny_model, terms_per_topic=2,
+                                      seed=5)
+        assert np.allclose(queries.vectors.sum(axis=0), 1.0)
+        assert queries.n_queries == 2 * tiny_model.n_topics
+
+    def test_single_term_queries_pick_primary(self, tiny_model):
+        queries = single_term_queries(tiny_model, terms_per_topic=2,
+                                      seed=6)
+        for vector, label in queries:
+            term = int(np.flatnonzero(vector)[0])
+            assert term in tiny_model.topics[label].primary_terms
+
+    def test_queryset_validation(self):
+        with pytest.raises(ValidationError):
+            QuerySet(vectors=np.zeros((4, 2)),
+                     topic_labels=np.zeros(3, dtype=np.int64))
+
+    def test_query_accessor(self, tiny_model):
+        queries = generate_topic_queries(tiny_model, seed=7)
+        assert np.array_equal(queries.query(0), queries.vectors[:, 0])
+
+
+class TestRelevance:
+    def test_sets_from_labels(self):
+        sets = relevance_from_labels([0, 1, 0, 2], [0, 2])
+        assert sets == [{0, 2}, {3}]
+
+    def test_unknown_query_topic_empty(self):
+        sets = relevance_from_labels([0, 1], [5])
+        assert sets == [set()]
+
+    def test_matrix_form(self):
+        matrix = relevance_matrix([0, 1, 0], [0, 1])
+        assert np.array_equal(matrix, [[True, False, True],
+                                       [False, True, False]])
+
+    def test_bad_shape(self):
+        with pytest.raises(ValidationError):
+            relevance_from_labels([[0]], [0])

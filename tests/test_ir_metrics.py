@@ -1,0 +1,140 @@
+"""Tests for the retrieval metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.metrics import (
+    average_precision,
+    f1_score,
+    interpolated_precision_recall,
+    mean_average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    precision_recall,
+    r_precision,
+    recall_at_k,
+    reciprocal_rank,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        p, r = precision_recall([1, 2, 3], {1, 2, 3})
+        assert p == 1.0 and r == 1.0
+
+    def test_no_hits(self):
+        p, r = precision_recall([4, 5], {1, 2})
+        assert p == 0.0 and r == 0.0
+
+    def test_cutoff(self):
+        p, r = precision_recall([1, 9, 2], {1, 2}, cutoff=2)
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+
+    def test_empty_relevant_recall_one(self):
+        p, r = precision_recall([1, 2], set())
+        assert r == 1.0
+
+    def test_empty_ranking(self):
+        p, r = precision_recall([], {1})
+        assert p == 0.0 and r == 0.0
+
+    def test_duplicate_ranking_rejected(self):
+        with pytest.raises(ValidationError):
+            precision_recall([1, 1], {1})
+
+    def test_precision_at_k_and_recall_at_k(self):
+        ranking = [1, 9, 2, 8]
+        assert precision_at_k(ranking, {1, 2}, 4) == pytest.approx(0.5)
+        assert recall_at_k(ranking, {1, 2, 3}, 4) == pytest.approx(2 / 3)
+
+    def test_f1(self):
+        assert f1_score([1, 9], {1, 2}) == pytest.approx(0.5)
+        assert f1_score([9], {1}) == 0.0
+
+
+class TestRPrecision:
+    def test_break_even(self):
+        assert r_precision([1, 2, 9, 8], {1, 2}) == 1.0
+        assert r_precision([9, 1, 2], {1, 2, 3}) == pytest.approx(2 / 3)
+
+    def test_empty_relevant(self):
+        assert r_precision([1], set()) == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision([1, 2], {1, 2}) == 1.0
+
+    def test_textbook_example(self):
+        # Hits at ranks 1 and 3 of 2 relevant: (1/1 + 2/3)/2.
+        assert average_precision([1, 9, 2], {1, 2}) == \
+            pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_unretrieved_relevant_penalised(self):
+        assert average_precision([1], {1, 2}) == pytest.approx(0.5)
+
+    def test_empty_relevant(self):
+        assert average_precision([1], set()) == 0.0
+
+    def test_map(self):
+        value = mean_average_precision([[1], [2]], [{1}, {9}])
+        assert value == pytest.approx(0.5)
+
+    def test_map_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            mean_average_precision([[1]], [{1}, {2}])
+
+    def test_map_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            mean_average_precision([], [])
+
+
+class TestRankMetrics:
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank([9, 8, 1], {1}) == pytest.approx(1 / 3)
+        assert reciprocal_rank([9], {1}) == 0.0
+
+    def test_ndcg_perfect(self):
+        assert ndcg_at_k([1, 2, 9], {1, 2}, 3) == pytest.approx(1.0)
+
+    def test_ndcg_worst_position(self):
+        # One relevant at the last of 3 slots vs ideal at first.
+        value = ndcg_at_k([8, 9, 1], {1}, 3)
+        assert value == pytest.approx((1 / np.log2(4)) / 1.0)
+
+    def test_ndcg_empty_relevant(self):
+        assert ndcg_at_k([1], set(), 1) == 0.0
+
+    def test_ndcg_monotone_in_position(self):
+        better = ndcg_at_k([1, 8, 9], {1}, 3)
+        worse = ndcg_at_k([8, 1, 9], {1}, 3)
+        assert better > worse
+
+
+class TestInterpolatedPR:
+    def test_perfect_curve_is_ones(self):
+        curve = interpolated_precision_recall([1, 2], {1, 2})
+        assert np.allclose(curve, 1.0)
+
+    def test_monotone_nonincreasing(self):
+        curve = interpolated_precision_recall(
+            [1, 9, 2, 8, 3], {1, 2, 3})
+        assert np.all(np.diff(curve) <= 1e-12)
+
+    def test_eleven_points_default(self):
+        assert interpolated_precision_recall([1], {1}).shape == (11,)
+
+    def test_custom_levels(self):
+        curve = interpolated_precision_recall([1], {1},
+                                              levels=[0.0, 1.0])
+        assert curve.shape == (2,)
+
+    def test_bad_levels_rejected(self):
+        with pytest.raises(ValidationError):
+            interpolated_precision_recall([1], {1}, levels=[1.5])
+
+    def test_empty_relevant_zero_curve(self):
+        assert np.allclose(
+            interpolated_precision_recall([1], set()), 0.0)

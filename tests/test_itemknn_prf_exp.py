@@ -1,0 +1,81 @@
+"""Tests for the item-kNN recommender and the X7 PRF experiment."""
+
+import numpy as np
+import pytest
+
+from repro.core.cf import (
+    ItemKNNRecommender,
+    LatentPreferenceModel,
+    PopularityRecommender,
+    evaluate_recommender,
+)
+from repro.errors import NotFittedError, ValidationError
+from repro.experiments.prf_exp import PRFConfig, run_prf_experiment
+
+
+@pytest.fixture(scope="module")
+def cf_world():
+    model = LatentPreferenceModel(90, 4, primary_mass=0.9)
+    return model.generate(70, holdout_fraction=0.25, seed=71)
+
+
+class TestItemKNN:
+    def test_beats_popularity(self, cf_world):
+        item_knn = ItemKNNRecommender(10).fit(cf_world.train)
+        popularity = PopularityRecommender().fit(cf_world.train)
+        ev_i = evaluate_recommender(item_knn, cf_world, top_n=10)
+        ev_p = evaluate_recommender(popularity, cf_world, top_n=10)
+        assert ev_i.precision_at_n > ev_p.precision_at_n
+
+    def test_scores_shape(self, cf_world):
+        item_knn = ItemKNNRecommender(5).fit(cf_world.train)
+        assert item_knn.scores(0).shape == (cf_world.n_items,)
+
+    def test_scores_non_negative(self, cf_world):
+        item_knn = ItemKNNRecommender(5).fit(cf_world.train)
+        assert np.all(item_knn.scores(3) >= 0)
+
+    def test_recommendations_exclude_seen(self, cf_world):
+        item_knn = ItemKNNRecommender(5).fit(cf_world.train)
+        for user in range(3):
+            recs = item_knn.recommend(user, cf_world.train, top_n=8)
+            seen = set(np.flatnonzero(
+                cf_world.train.get_column(user) > 0))
+            assert not (set(int(r) for r in recs) & seen)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            ItemKNNRecommender().scores(0)
+
+    def test_user_out_of_range(self, cf_world):
+        item_knn = ItemKNNRecommender(5).fit(cf_world.train)
+        with pytest.raises(ValidationError):
+            item_knn.scores(10_000)
+
+    def test_more_neighbors_changes_scores(self, cf_world):
+        few = ItemKNNRecommender(2).fit(cf_world.train)
+        many = ItemKNNRecommender(30).fit(cf_world.train)
+        assert not np.allclose(few.scores(0), many.scores(0))
+
+
+class TestPRFExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_prf_experiment(PRFConfig(
+            n_terms=300, n_topics=6, n_documents=200))
+
+    def test_all_arms_present(self, result):
+        assert set(result.map_scores) == {"vsm", "vsm+prf", "lsi",
+                                          "lsi+prf"}
+
+    def test_prf_helps_vsm(self, result):
+        assert result.prf_helps_vsm()
+
+    def test_lsi_beats_repaired_vsm(self, result):
+        assert result.lsi_beats_repaired_vsm()
+
+    def test_scores_are_probabilities(self, result):
+        assert all(0.0 <= v <= 1.0 for v in result.map_scores.values())
+
+    def test_render(self, result):
+        assert "query repair vs space repair" in result.render()

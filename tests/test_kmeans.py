@@ -1,0 +1,78 @@
+"""Tests for the from-scratch k-means and clustering accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.kmeans import KMeansResult, clustering_accuracy, kmeans
+
+
+@pytest.fixture
+def three_blobs(rng):
+    """Three well-separated Gaussian blobs with labels."""
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.concatenate([
+        center + 0.3 * rng.standard_normal((30, 2)) for center in centers])
+    labels = np.repeat([0, 1, 2], 30)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, three_blobs):
+        points, labels = three_blobs
+        result = kmeans(points, 3, seed=1)
+        assert clustering_accuracy(result.labels, labels) == 1.0
+
+    def test_result_fields(self, three_blobs):
+        points, _ = three_blobs
+        result = kmeans(points, 3, seed=1)
+        assert isinstance(result, KMeansResult)
+        assert result.centers.shape == (3, 2)
+        assert result.inertia >= 0
+        assert result.iterations >= 1
+
+    def test_k_equals_n_zero_inertia(self, rng):
+        points = rng.standard_normal((5, 2))
+        result = kmeans(points, 5, seed=2)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_cluster_centroid(self, rng):
+        points = rng.standard_normal((20, 3))
+        result = kmeans(points, 1, seed=3)
+        assert np.allclose(result.centers[0], points.mean(axis=0))
+
+    def test_k_larger_than_n_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            kmeans(rng.standard_normal((3, 2)), 5)
+
+    def test_identical_points(self):
+        points = np.ones((10, 2))
+        result = kmeans(points, 2, seed=4)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_given_seed(self, three_blobs):
+        points, _ = three_blobs
+        a = kmeans(points, 3, seed=9)
+        b = kmeans(points, 3, seed=9)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestClusteringAccuracy:
+    def test_perfect(self):
+        assert clustering_accuracy([0, 0, 1, 1], [5, 5, 7, 7]) == 1.0
+
+    def test_permutation_invariant(self):
+        assert clustering_accuracy([1, 1, 0, 0], [0, 0, 1, 1]) == 1.0
+
+    def test_partial(self):
+        assert clustering_accuracy([0, 0, 1, 1], [0, 1, 1, 1]) == \
+            pytest.approx(0.75)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            clustering_accuracy([0, 1], [0, 1, 2])
+
+    def test_different_cluster_counts(self):
+        # Predicted has 3 clusters, truth has 2: matching still works.
+        accuracy = clustering_accuracy([0, 1, 2, 2], [0, 0, 1, 1])
+        assert 0.0 < accuracy <= 1.0

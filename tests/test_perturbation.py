@@ -1,0 +1,146 @@
+"""Tests for the Lemma 1 / Stewart perturbation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.linalg.dense import orthonormalize_columns
+from repro.linalg.perturbation import (
+    align_bases,
+    residual_after_rotation,
+    singular_subspace_perturbation,
+    sin_theta_distance,
+    stewart_invariant_subspace_bound,
+)
+
+
+@pytest.fixture
+def gapped(rng):
+    """Matrix with a large gap after the 4th singular value."""
+    u = np.linalg.qr(rng.standard_normal((25, 25)))[0]
+    v = np.linalg.qr(rng.standard_normal((20, 20)))[0]
+    sigma = np.concatenate([[30, 28, 26, 24], np.full(16, 0.3)])
+    return (u[:, :20] * sigma) @ v.T
+
+
+class TestSinTheta:
+    def test_identical_subspaces(self, rng):
+        basis = rng.standard_normal((10, 3))
+        assert sin_theta_distance(basis, basis) == pytest.approx(0.0,
+                                                                 abs=1e-7)
+
+    def test_orthogonal_subspaces(self):
+        a = np.eye(8)[:, :2]
+        b = np.eye(8)[:, 4:6]
+        assert sin_theta_distance(a, b) == pytest.approx(1.0)
+
+    def test_rotation_invariance(self, rng):
+        basis = orthonormalize_columns(rng.standard_normal((10, 3)))
+        rotation = np.linalg.qr(rng.standard_normal((3, 3)))[0]
+        assert sin_theta_distance(basis, basis @ rotation) == \
+            pytest.approx(0.0, abs=1e-7)
+
+    def test_symmetry(self, rng):
+        a = rng.standard_normal((10, 3))
+        b = rng.standard_normal((10, 3))
+        assert sin_theta_distance(a, b) == pytest.approx(
+            sin_theta_distance(b, a), abs=1e-10)
+
+
+class TestProcrustes:
+    def test_align_recovers_rotation(self, rng):
+        basis = orthonormalize_columns(rng.standard_normal((12, 4)))
+        rotation = np.linalg.qr(rng.standard_normal((4, 4)))[0]
+        recovered = align_bases(basis, basis @ rotation)
+        assert np.allclose(recovered, rotation, atol=1e-10)
+
+    def test_aligned_rotation_is_orthonormal(self, rng):
+        r = align_bases(rng.standard_normal((10, 3)),
+                        rng.standard_normal((10, 3)))
+        assert np.allclose(r.T @ r, np.eye(3), atol=1e-10)
+
+    def test_residual_zero_for_rotated_copy(self, rng):
+        basis = orthonormalize_columns(rng.standard_normal((12, 4)))
+        rotation = np.linalg.qr(rng.standard_normal((4, 4)))[0]
+        assert residual_after_rotation(basis, basis @ rotation) == \
+            pytest.approx(0.0, abs=1e-9)
+
+    def test_residual_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            align_bases(rng.standard_normal((10, 3)),
+                        rng.standard_normal((10, 4)))
+
+
+class TestSingularSubspacePerturbation:
+    def test_small_perturbation_small_motion(self, gapped, rng):
+        f = rng.standard_normal(gapped.shape)
+        f *= 0.01 / np.linalg.svd(f, compute_uv=False)[0]
+        report = singular_subspace_perturbation(gapped, f, 4)
+        assert report.epsilon == pytest.approx(0.01, rel=1e-6)
+        # Lemma 1 shape: residual is O(eps); generous constant of 20.
+        assert report.residual_norm <= 20 * report.epsilon
+        assert report.sin_theta <= 20 * report.epsilon
+
+    def test_zero_perturbation(self, gapped):
+        report = singular_subspace_perturbation(
+            gapped, np.zeros_like(gapped), 4)
+        assert report.epsilon == 0.0
+        assert report.sin_theta == pytest.approx(0.0, abs=1e-7)
+        assert report.residual_norm == pytest.approx(0.0, abs=1e-7)
+
+    def test_residual_scales_with_epsilon(self, gapped, rng):
+        direction = rng.standard_normal(gapped.shape)
+        direction /= np.linalg.svd(direction, compute_uv=False)[0]
+        small = singular_subspace_perturbation(gapped, 0.01 * direction, 4)
+        large = singular_subspace_perturbation(gapped, 0.2 * direction, 4)
+        assert large.residual_norm >= small.residual_norm
+
+    def test_gap_ratio_reported(self, gapped):
+        report = singular_subspace_perturbation(
+            gapped, np.zeros_like(gapped), 4)
+        assert report.gap_ratio == pytest.approx((24 - 0.3) / 30, rel=1e-6)
+
+    def test_shape_mismatch_rejected(self, gapped):
+        with pytest.raises(ShapeError):
+            singular_subspace_perturbation(gapped, np.zeros((2, 2)), 2)
+
+
+class TestStewart:
+    def test_applicable_case_bounds_motion(self, gapped, rng):
+        b = gapped @ gapped.T
+        f = rng.standard_normal(gapped.shape)
+        f *= 0.05 / np.linalg.svd(f, compute_uv=False)[0]
+        e = f @ gapped.T + gapped @ f.T + f @ f.T
+        result = stewart_invariant_subspace_bound(b, e, 4)
+        assert result.applicable
+        assert result.delta > 0
+        assert result.bound >= 0
+
+    def test_huge_perturbation_not_applicable(self, gapped):
+        b = gapped @ gapped.T
+        e = 1e6 * np.eye(b.shape[0])
+        result = stewart_invariant_subspace_bound(b, e, 4)
+        assert not result.applicable
+        assert np.isnan(result.bound)
+
+    def test_asymmetric_b_rejected(self, rng):
+        b = rng.standard_normal((5, 5))
+        with pytest.raises(ValidationError):
+            stewart_invariant_subspace_bound(b, np.zeros((5, 5)), 2)
+
+    def test_asymmetric_e_rejected(self, rng):
+        b = np.eye(5)
+        e = rng.standard_normal((5, 5))
+        with pytest.raises(ValidationError):
+            stewart_invariant_subspace_bound(b, e, 2)
+
+    def test_block_norms_reported(self, gapped):
+        b = gapped @ gapped.T
+        e = 0.01 * np.eye(b.shape[0])
+        result = stewart_invariant_subspace_bound(b, e, 4)
+        # E = 0.01 I commutes with any basis: diagonal blocks carry it.
+        n11, n12, n21, n22 = result.e_blocks_norms
+        assert n11 == pytest.approx(0.01, abs=1e-9)
+        assert n12 == pytest.approx(0.0, abs=1e-9)
+        assert n21 == pytest.approx(0.0, abs=1e-9)
+        assert n22 == pytest.approx(0.01, abs=1e-9)

@@ -1,0 +1,83 @@
+"""Property-based tests for BM25 scoring invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.bm25 import BM25Model
+from repro.linalg.sparse import CSRMatrix
+
+
+@st.composite
+def bm25_worlds(draw):
+    """A random count matrix plus a random query over its terms."""
+    n = draw(st.integers(2, 8))
+    m = draw(st.integers(2, 8))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 5, size=(n, m)).astype(float)
+    for j in range(m):
+        if counts[:, j].sum() == 0:
+            counts[rng.integers(n), j] = 1.0
+    query = rng.integers(0, 3, size=n).astype(float)
+    if query.sum() == 0:
+        query[rng.integers(n)] = 1.0
+    return CSRMatrix.from_dense(counts), counts, query
+
+
+class TestBM25Invariants:
+    @given(bm25_worlds())
+    @settings(max_examples=120, deadline=None)
+    def test_scores_finite_non_negative(self, world):
+        matrix, _, query = world
+        scores = BM25Model.fit(matrix).score(query)
+        assert np.all(np.isfinite(scores))
+        assert np.all(scores >= 0)
+
+    @given(bm25_worlds())
+    @settings(max_examples=120, deadline=None)
+    def test_zero_for_documents_without_query_terms(self, world):
+        matrix, counts, query = world
+        scores = BM25Model.fit(matrix).score(query)
+        no_overlap = (counts * query[:, None]).sum(axis=0) == 0
+        assert np.all(scores[no_overlap] == 0.0)
+
+    @given(bm25_worlds())
+    @settings(max_examples=120, deadline=None)
+    def test_query_linearity(self, world):
+        matrix, _, query = world
+        model = BM25Model.fit(matrix)
+        assert np.allclose(model.score(3.0 * query),
+                           3.0 * model.score(query))
+
+    @given(bm25_worlds())
+    @settings(max_examples=120, deadline=None)
+    def test_saturation_upper_bound(self, world):
+        # Per-term contribution is capped by idf·qtf·(k1+1).
+        matrix, _, query = world
+        model = BM25Model.fit(matrix)
+        scores = model.score(query)
+        cap = float(np.sum(query * model._idf) * (model.k1 + 1.0))
+        assert np.all(scores <= cap + 1e-9)
+
+    @given(st.integers(1, 10), st.integers(1, 10),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_tf_monotone_at_fixed_length(self, tf_low, tf_extra, seed):
+        # Within one fixed index, of two equal-length documents the one
+        # with more of the query term scores at least as high.  (Note:
+        # *refitting* after adding an occurrence can legitimately lower
+        # the score — df rises, idf falls — so the invariant is stated
+        # per-index, not across refits.)
+        rng = np.random.default_rng(seed)
+        tf_high = tf_low + tf_extra
+        padding = 30
+        counts = np.array([
+            [float(tf_low), float(tf_high)],                # query term
+            [float(padding - tf_low), float(padding - tf_high)],
+            [float(rng.integers(1, 4))] * 2])               # filler
+        model = BM25Model.fit(CSRMatrix.from_dense(counts))
+        query = np.array([1.0, 0.0, 0.0])
+        scores = model.score(query)
+        assert scores[1] >= scores[0] - 1e-12

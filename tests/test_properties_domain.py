@@ -1,0 +1,192 @@
+"""Property-based tests for corpus, metrics, projection, and graph
+invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.model import PureTopicFactors
+from repro.corpus.separable import build_separable_model
+from repro.corpus.style import Style
+from repro.corpus.topic import Topic, mix_topics
+from repro.core.random_projection import make_projector
+from repro.graphs.conductance import conductance_of_cut
+from repro.graphs.graph import WeightedGraph
+from repro.ir.metrics import (
+    average_precision,
+    precision_at_k,
+    precision_recall,
+    recall_at_k,
+)
+
+
+class TestCorpusInvariants:
+    @given(st.integers(2, 50), st.integers(1, 10),
+           st.floats(min_value=0.5, max_value=1.0, exclude_max=False))
+    @settings(max_examples=50, deadline=None)
+    def test_primary_set_topic_is_distribution(self, universe, primary,
+                                               mass):
+        primary = min(primary, universe)
+        topic = Topic.primary_set(universe, range(primary),
+                                  primary_mass=mass)
+        assert topic.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(topic.probabilities >= 0)
+
+    @given(st.integers(2, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_topic_mixture_is_distribution(self, universe, seed):
+        rng = np.random.default_rng(seed)
+        topics = [Topic.uniform(universe),
+                  Topic.primary_set(universe, [0], primary_mass=0.9)]
+        weights = rng.dirichlet(np.ones(2))
+        mixed = mix_topics(topics, weights)
+        assert mixed.sum() == pytest.approx(1.0)
+        assert np.all(mixed >= 0)
+
+    @given(st.integers(2, 20),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_noise_style_stochastic(self, universe, noise):
+        style = Style.uniform_noise(universe, noise)
+        assert np.allclose(style.matrix.sum(axis=1), 1.0)
+        assert np.all(style.matrix >= 0)
+
+    @given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_factors_valid(self, n_topics, seed):
+        factors = PureTopicFactors(length_low=5, length_high=20)
+        sample = factors.sample(n_topics, 0,
+                                np.random.default_rng(seed))
+        assert sample.topic_weights.sum() == pytest.approx(1.0)
+        assert 5 <= sample.length <= 20
+
+    @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_document_counts_sum_to_length(self, k, seed):
+        from repro.corpus.sampler import generate_document
+
+        model = build_separable_model(k * 10, k, length_low=10,
+                                      length_high=30)
+        document = generate_document(model, seed=seed)
+        assert sum(document.term_counts.values()) == document.length
+
+
+rankings = st.lists(st.integers(0, 30), min_size=0, max_size=15,
+                    unique=True)
+relevant_sets = st.sets(st.integers(0, 30), max_size=15)
+
+
+class TestMetricInvariants:
+    @given(rankings, relevant_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_precision_recall_in_unit_interval(self, ranking, relevant):
+        p, r = precision_recall(ranking, relevant)
+        assert 0.0 <= p <= 1.0
+        assert 0.0 <= r <= 1.0
+
+    @given(rankings, relevant_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_average_precision_bounds(self, ranking, relevant):
+        assert 0.0 <= average_precision(ranking, relevant) <= 1.0
+
+    @given(rankings, relevant_sets, st.integers(1, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_recall_monotone_in_k(self, ranking, relevant, k):
+        assert recall_at_k(ranking, relevant, k + 1) >= \
+            recall_at_k(ranking, relevant, k) - 1e-12
+
+    @given(rankings, relevant_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_perfect_prefix_gives_perfect_precision(self, ranking,
+                                                    relevant):
+        if not relevant:
+            return
+        perfect = sorted(relevant) + [r for r in ranking
+                                      if r not in relevant]
+        assert precision_at_k(perfect, relevant,
+                              len(relevant)) == pytest.approx(1.0)
+
+    @given(relevant_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_ideal_ranking_ap_one(self, relevant):
+        if not relevant:
+            return
+        assert average_precision(sorted(relevant), relevant) == \
+            pytest.approx(1.0)
+
+
+class TestProjectionInvariants:
+    @given(st.sampled_from(["gaussian", "sign", "orthonormal"]),
+           st.integers(10, 60), st.integers(2, 10),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_projection_linearity(self, family, n, l, seed):
+        l = min(l, n)
+        projector = make_projector(family, n, l, seed=seed)
+        rng = np.random.default_rng(seed)
+        x, y = rng.standard_normal(n), rng.standard_normal(n)
+        alpha = float(rng.standard_normal())
+        left = projector.project(alpha * x + y)
+        right = alpha * projector.project(x) + projector.project(y)
+        assert np.allclose(left, right, atol=1e-8)
+
+    @given(st.integers(20, 80), st.integers(2, 15),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_orthonormal_projection_never_expands(self, n, l, seed):
+        # For the orthonormal family, ||Rᵀx|| ≤ ||x||, so the scaled
+        # projection is bounded by sqrt(n/l)·||x||.
+        l = min(l, n)
+        projector = make_projector("orthonormal", n, l, seed=seed)
+        x = np.random.default_rng(seed).standard_normal(n)
+        bound = np.sqrt(n / l) * np.linalg.norm(x)
+        assert np.linalg.norm(projector.project(x)) <= bound + 1e-8
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 10))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.random((n, n)), k=1)
+    upper[upper < 0.4] = 0.0
+    return WeightedGraph(upper + upper.T)
+
+
+class TestGraphInvariants:
+    @given(random_graphs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_cut_weight_symmetric_in_complement(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(graph.n_vertices) < 0.5
+        assert graph.cut_weight(mask) == pytest.approx(
+            graph.cut_weight(~mask), abs=1e-9)
+
+    @given(random_graphs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_conductance_non_negative(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(graph.n_vertices) < 0.5
+        for denominator in ("vertices", "volume"):
+            value = conductance_of_cut(graph, mask,
+                                       denominator=denominator)
+            assert value >= 0.0
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_laplacian_spectrum_in_range(self, graph):
+        from repro.graphs.laplacian import normalized_laplacian
+
+        eigenvalues = np.linalg.eigvalsh(normalized_laplacian(graph))
+        assert eigenvalues.min() >= -1e-8
+        assert eigenvalues.max() <= 2.0 + 1e-8
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_volume_additive(self, graph):
+        full = graph.volume(range(graph.n_vertices))
+        half = graph.n_vertices // 2
+        a = graph.volume(range(half))
+        b = graph.volume(range(half, graph.n_vertices))
+        assert full == pytest.approx(a + b, rel=1e-9)

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) for the linear-algebra substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.dense import (
+    cosine_similarity,
+    orthonormalize_columns,
+    principal_angles,
+)
+from repro.linalg.sparse import CSRMatrix
+from repro.linalg.svd import exact_svd
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False,
+                          width=64)
+
+
+@st.composite
+def dense_matrices(draw, max_rows=12, max_cols=12, sparsify=True):
+    n = draw(st.integers(1, max_rows))
+    m = draw(st.integers(1, max_cols))
+    matrix = draw(arrays(np.float64, (n, m), elements=finite_floats))
+    if sparsify and draw(st.booleans()):
+        mask = draw(arrays(np.bool_, (n, m)))
+        matrix = np.where(mask, matrix, 0.0)
+    return matrix
+
+
+class TestCSRProperties:
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_round_trip(self, dense):
+        assert np.array_equal(CSRMatrix.from_dense(dense).to_dense(),
+                              dense)
+
+    @given(dense_matrices(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_matvec_linearity(self, dense, seed):
+        sparse = CSRMatrix.from_dense(dense)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(dense.shape[1])
+        y = rng.standard_normal(dense.shape[1])
+        alpha = float(rng.standard_normal())
+        left = sparse.matvec(alpha * x + y)
+        right = alpha * sparse.matvec(x) + sparse.matvec(y)
+        assert np.allclose(left, right, atol=1e-8)
+
+    @given(dense_matrices(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_adjoint_identity(self, dense, seed):
+        # <A x, y> == <x, A^T y> — the defining property of rmatvec.
+        sparse = CSRMatrix.from_dense(dense)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(dense.shape[1])
+        y = rng.standard_normal(dense.shape[0])
+        assert sparse.matvec(x) @ y == pytest.approx(
+            x @ sparse.rmatvec(y), rel=1e-8, abs=1e-6)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, dense):
+        sparse = CSRMatrix.from_dense(dense)
+        assert sparse.transpose().transpose() == sparse
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_frobenius_matches_dense(self, dense):
+        assert CSRMatrix.from_dense(dense).frobenius_norm() == \
+            pytest.approx(np.linalg.norm(dense), rel=1e-10, abs=1e-12)
+
+    @given(dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_gram_is_psd(self, dense):
+        gram = CSRMatrix.from_dense(dense).gram()
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() >= -1e-6 * max(1.0, abs(eigenvalues).max())
+
+    @given(dense_matrices(), dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_add_commutative_when_shapes_match(self, a, b):
+        if a.shape != b.shape:
+            return
+        sa, sb = CSRMatrix.from_dense(a), CSRMatrix.from_dense(b)
+        assert np.allclose(sa.add(sb).to_dense(),
+                           sb.add(sa).to_dense())
+
+
+class TestSVDProperties:
+    @given(dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruction(self, dense):
+        result = exact_svd(dense)
+        assert np.allclose(result.reconstruct(), dense, atol=1e-7)
+
+    @given(dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_singular_values_sorted_nonnegative(self, dense):
+        s = exact_svd(dense).singular_values
+        assert np.all(s >= -1e-12)
+        assert np.all(np.diff(s) <= 1e-9)
+
+    @given(dense_matrices(), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_monotone_residual(self, dense, k):
+        result = exact_svd(dense)
+        k = min(k, result.rank)
+        if k < 1:
+            return
+        small = result.truncate(k)
+        assert small.residual_norm() >= result.residual_norm() - 1e-9
+        if k > 1:
+            smaller = result.truncate(k - 1)
+            assert smaller.residual_norm() >= \
+                small.residual_norm() - 1e-9
+
+    @given(dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_energy_conservation(self, dense):
+        result = exact_svd(dense)
+        assert result.captured_energy() == pytest.approx(
+            float(np.sum(dense * dense)), rel=1e-8, abs=1e-8)
+
+
+class TestGeometryProperties:
+    unit_vectors = arrays(
+        np.float64, (6,),
+        elements=st.floats(min_value=-10, max_value=10,
+                           allow_nan=False, allow_infinity=False,
+                           width=64))
+
+    @given(unit_vectors, unit_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_cosine_bounds_and_symmetry(self, u, v):
+        value = cosine_similarity(u, v)
+        assert -1.0 <= value <= 1.0
+        assert value == pytest.approx(cosine_similarity(v, u), abs=1e-12)
+
+    @given(unit_vectors, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_cosine_scale_invariance(self, u, alpha):
+        if np.linalg.norm(u) < 1e-9:
+            return
+        assert cosine_similarity(u, alpha * u) == pytest.approx(
+            1.0, abs=1e-9)
+
+    @given(dense_matrices(max_rows=10, max_cols=6, sparsify=False))
+    @settings(max_examples=40, deadline=None)
+    def test_orthonormalize_output_orthonormal(self, matrix):
+        q = orthonormalize_columns(matrix)
+        assert np.allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-8)
+
+    @given(dense_matrices(max_rows=10, max_cols=4, sparsify=False),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_principal_angles_range(self, matrix, seed):
+        rng = np.random.default_rng(seed)
+        other = rng.standard_normal(matrix.shape)
+        angles = principal_angles(matrix, other)
+        assert np.all(angles >= -1e-12)
+        assert np.all(angles <= np.pi / 2 + 1e-12)

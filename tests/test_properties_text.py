@@ -1,0 +1,136 @@
+"""Property-based tests for the text stack and Boolean query algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.stemmer import porter_stem
+from repro.corpus.text import tokenize
+from repro.corpus.vocabulary import Vocabulary
+from repro.ir.boolean import BooleanRetriever
+from repro.ir.index import InvertedIndex
+from repro.linalg.sparse import CSRMatrix
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                max_size=15)
+
+
+class TestStemmerProperties:
+    @given(words)
+    @settings(max_examples=300, deadline=None)
+    def test_never_longer_than_input(self, word):
+        assert len(porter_stem(word)) <= len(word)
+
+    @given(words)
+    @settings(max_examples=300, deadline=None)
+    def test_output_nonempty_lowercase(self, word):
+        stem = porter_stem(word)
+        assert stem
+        assert stem == stem.lower()
+
+    @given(words)
+    @settings(max_examples=300, deadline=None)
+    def test_deterministic(self, word):
+        assert porter_stem(word) == porter_stem(word)
+
+    @given(words)
+    @settings(max_examples=300, deadline=None)
+    def test_case_insensitive(self, word):
+        assert porter_stem(word.upper()) == porter_stem(word)
+
+    @given(words)
+    @settings(max_examples=200, deadline=None)
+    def test_plural_conflates(self, word):
+        # Regular plural conflates with its singular.  Words ending in
+        # 's' or 'e' are excluded: "sse"+"s" hits the SSES->SS rule
+        # while the singular keeps its 'e' — genuine Porter behaviour,
+        # not a bug.
+        if word.endswith(("s", "e")) or len(word) < 3:
+            return
+        assert porter_stem(word + "s") == porter_stem(word)
+
+
+class TestTokenizeProperties:
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_tokens_are_lowercase_alpha(self, text):
+        for token in tokenize(text):
+            assert token.isalpha()
+            assert token == token.lower()
+
+    @given(st.lists(words, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_joining_round_trips(self, tokens):
+        assert tokenize(" ".join(tokens)) == tokens
+
+
+@st.composite
+def boolean_worlds(draw):
+    """A random small index plus two random single-term queries."""
+    n_terms = draw(st.integers(2, 6))
+    n_docs = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n_terms, n_docs)) < 0.4).astype(float)
+    matrix = CSRMatrix.from_dense(dense)
+    vocabulary = Vocabulary([f"term{i}" for i in range(n_terms)])
+    retriever = BooleanRetriever(InvertedIndex.from_matrix(matrix),
+                                 vocabulary=vocabulary)
+    a = f"term{draw(st.integers(0, n_terms - 1))}"
+    b = f"term{draw(st.integers(0, n_terms - 1))}"
+    return retriever, a, b
+
+
+class TestBooleanAlgebraLaws:
+    @given(boolean_worlds())
+    @settings(max_examples=100, deadline=None)
+    def test_de_morgan_or(self, world):
+        retriever, a, b = world
+        assert retriever.search(f"NOT ({a} OR {b})") == \
+            retriever.search(f"NOT {a} AND NOT {b}")
+
+    @given(boolean_worlds())
+    @settings(max_examples=100, deadline=None)
+    def test_de_morgan_and(self, world):
+        retriever, a, b = world
+        assert retriever.search(f"NOT ({a} AND {b})") == \
+            retriever.search(f"NOT {a} OR NOT {b}")
+
+    @given(boolean_worlds())
+    @settings(max_examples=100, deadline=None)
+    def test_double_negation(self, world):
+        retriever, a, _ = world
+        assert retriever.search(f"NOT NOT {a}") == retriever.search(a)
+
+    @given(boolean_worlds())
+    @settings(max_examples=100, deadline=None)
+    def test_commutativity(self, world):
+        retriever, a, b = world
+        assert retriever.search(f"{a} AND {b}") == \
+            retriever.search(f"{b} AND {a}")
+        assert retriever.search(f"{a} OR {b}") == \
+            retriever.search(f"{b} OR {a}")
+
+    @given(boolean_worlds())
+    @settings(max_examples=100, deadline=None)
+    def test_idempotence(self, world):
+        retriever, a, _ = world
+        assert retriever.search(f"{a} AND {a}") == retriever.search(a)
+        assert retriever.search(f"{a} OR {a}") == retriever.search(a)
+
+    @given(boolean_worlds())
+    @settings(max_examples=100, deadline=None)
+    def test_excluded_middle(self, world):
+        retriever, a, _ = world
+        everything = set(range(retriever.n_documents))
+        assert retriever.search(f"{a} OR NOT {a}") == everything
+        assert retriever.search(f"{a} AND NOT {a}") == set()
+
+    @given(boolean_worlds())
+    @settings(max_examples=100, deadline=None)
+    def test_and_bounded_by_or(self, world):
+        retriever, a, b = world
+        conj = retriever.search(f"{a} AND {b}")
+        disj = retriever.search(f"{a} OR {b}")
+        assert conj <= disj

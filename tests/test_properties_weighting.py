@@ -1,0 +1,85 @@
+"""Property-based tests for the term-weighting schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.weighting import WEIGHTING_SCHEMES, apply_weighting
+from repro.linalg.sparse import CSRMatrix
+
+
+@st.composite
+def count_matrices(draw, max_terms=10, max_docs=8):
+    """Small random term-count matrices with no empty documents."""
+    n = draw(st.integers(2, max_terms))
+    m = draw(st.integers(1, max_docs))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 6, size=(n, m)).astype(float)
+    # Guarantee every document contains at least one term.
+    for j in range(m):
+        if counts[:, j].sum() == 0:
+            counts[rng.integers(n), j] = 1.0
+    return CSRMatrix.from_dense(counts)
+
+
+class TestWeightingInvariants:
+    @given(count_matrices(), st.sampled_from(sorted(WEIGHTING_SCHEMES)))
+    @settings(max_examples=120, deadline=None)
+    def test_non_negative(self, matrix, scheme):
+        weighted = apply_weighting(matrix, scheme)
+        assert np.all(weighted.data >= 0)
+
+    @given(count_matrices(), st.sampled_from(sorted(WEIGHTING_SCHEMES)))
+    @settings(max_examples=120, deadline=None)
+    def test_finite(self, matrix, scheme):
+        weighted = apply_weighting(matrix, scheme)
+        assert np.all(np.isfinite(weighted.data))
+
+    @given(count_matrices(), st.sampled_from(sorted(WEIGHTING_SCHEMES)))
+    @settings(max_examples=120, deadline=None)
+    def test_sparsity_never_grows(self, matrix, scheme):
+        # Weighting can only zero entries (e.g. idf of ubiquitous
+        # terms), never invent new nonzeros.
+        weighted = apply_weighting(matrix, scheme)
+        original = matrix.to_dense() != 0
+        reweighted = weighted.to_dense() != 0
+        assert not np.any(reweighted & ~original)
+
+    @given(count_matrices(), st.sampled_from(sorted(WEIGHTING_SCHEMES)))
+    @settings(max_examples=120, deadline=None)
+    def test_input_not_mutated(self, matrix, scheme):
+        snapshot = matrix.to_dense().copy()
+        apply_weighting(matrix, scheme)
+        assert np.array_equal(matrix.to_dense(), snapshot)
+
+    @given(count_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_binary_idempotent(self, matrix):
+        once = apply_weighting(matrix, "binary")
+        twice = apply_weighting(once, "binary")
+        assert once == twice
+
+    @given(count_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_tf_document_scale_invariant(self, matrix):
+        # Duplicating every count in a document leaves its tf column
+        # unchanged.
+        doubled = matrix.scale(2.0)
+        assert np.allclose(apply_weighting(matrix, "tf").to_dense(),
+                           apply_weighting(doubled, "tf").to_dense())
+
+    @given(count_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_count_scheme_identity(self, matrix):
+        assert apply_weighting(matrix, "count") == matrix
+
+    @given(count_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_log_entropy_bounded_by_log_tf(self, matrix):
+        # The entropy weight lies in [0, 1], so log-entropy values are
+        # pointwise at most log-tf values.
+        log_tf = apply_weighting(matrix, "log_tf").to_dense()
+        log_entropy = apply_weighting(matrix, "log_entropy").to_dense()
+        assert np.all(log_entropy <= log_tf + 1e-12)

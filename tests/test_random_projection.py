@@ -1,0 +1,239 @@
+"""Tests for the JL projectors and the two-step LSI pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.random_projection import (
+    PROJECTOR_FAMILIES,
+    GaussianProjector,
+    OrthonormalProjector,
+    SignProjector,
+    distance_distortions,
+    johnson_lindenstrauss_dimension,
+    make_projector,
+)
+from repro.core.two_step import (
+    LSICost,
+    TwoStepLSI,
+    lsi_cost_model,
+    theorem5_bound,
+)
+from repro.errors import NotFittedError, ValidationError
+
+
+class TestJLDimension:
+    def test_monotone_in_epsilon(self):
+        tight = johnson_lindenstrauss_dimension(100, 0.1)
+        loose = johnson_lindenstrauss_dimension(100, 0.4)
+        assert tight > loose
+
+    def test_monotone_in_points(self):
+        few = johnson_lindenstrauss_dimension(10, 0.2)
+        many = johnson_lindenstrauss_dimension(10_000, 0.2)
+        assert many > few
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValidationError):
+            johnson_lindenstrauss_dimension(10, 0.7)
+        with pytest.raises(ValidationError):
+            johnson_lindenstrauss_dimension(10, 0.0)
+
+    def test_bad_failure_probability(self):
+        with pytest.raises(ValidationError):
+            johnson_lindenstrauss_dimension(10, 0.2,
+                                            failure_probability=0.0)
+
+    def test_returned_dimension_satisfies_bound(self):
+        from repro.theory.bounds import lemma2_tail_probability
+
+        n_points, epsilon, delta = 50, 0.3, 0.01
+        l = johnson_lindenstrauss_dimension(n_points, epsilon,
+                                            failure_probability=delta)
+        n_pairs = n_points * (n_points - 1) // 2
+        assert n_pairs * lemma2_tail_probability(l, epsilon) <= delta
+
+
+class TestProjectors:
+    @pytest.mark.parametrize("family", sorted(PROJECTOR_FAMILIES))
+    def test_shapes(self, family):
+        projector = make_projector(family, 100, 20, seed=1)
+        assert projector.matrix.shape == (100, 20)
+        assert projector.project(np.ones(100)).shape == (20,)
+        assert projector.project(np.ones((100, 5))).shape == (20, 5)
+
+    @pytest.mark.parametrize("family", sorted(PROJECTOR_FAMILIES))
+    def test_norm_preservation_statistical(self, family, rng):
+        projector = make_projector(family, 400, 100, seed=2)
+        vectors = rng.standard_normal((400, 50))
+        vectors /= np.linalg.norm(vectors, axis=0)
+        projected = projector.project(vectors)
+        norms = np.linalg.norm(projected, axis=0)
+        assert abs(float(norms.mean()) - 1.0) < 0.1
+
+    def test_orthonormal_columns_exact(self):
+        projector = OrthonormalProjector(60, 10, seed=3)
+        basis = projector.matrix
+        assert np.allclose(basis.T @ basis, np.eye(10), atol=1e-10)
+        assert projector.scale == pytest.approx(np.sqrt(6.0))
+
+    def test_gaussian_scale(self):
+        projector = GaussianProjector(60, 15, seed=4)
+        assert projector.scale == pytest.approx(1 / np.sqrt(15))
+
+    def test_sign_entries(self):
+        projector = SignProjector(30, 10, seed=5)
+        assert set(np.unique(projector.matrix)) <= {-1.0, 1.0}
+
+    def test_sparse_input(self, tiny_matrix):
+        projector = OrthonormalProjector(tiny_matrix.shape[0], 8, seed=6)
+        dense_out = projector.project(tiny_matrix.to_dense())
+        sparse_out = projector.project(tiny_matrix)
+        assert np.allclose(dense_out, sparse_out)
+
+    def test_output_dim_exceeds_input(self):
+        with pytest.raises(ValidationError):
+            GaussianProjector(5, 10)
+
+    def test_wrong_vector_size(self):
+        projector = GaussianProjector(10, 4, seed=7)
+        with pytest.raises(ValidationError):
+            projector.project(np.ones(3))
+
+    def test_unknown_family(self):
+        with pytest.raises(ValidationError):
+            make_projector("fourier", 10, 5)
+
+    def test_deterministic_given_seed(self):
+        a = GaussianProjector(20, 5, seed=8).matrix
+        b = GaussianProjector(20, 5, seed=8).matrix
+        assert np.array_equal(a, b)
+
+
+class TestDistanceDistortions:
+    def test_identity_projection_no_distortion(self, rng):
+        vectors = rng.standard_normal((10, 6))
+        ratios = distance_distortions(vectors, vectors)
+        assert np.allclose(ratios, 1.0)
+
+    def test_pair_count(self, rng):
+        vectors = rng.standard_normal((10, 6))
+        ratios = distance_distortions(vectors, vectors)
+        assert ratios.shape == (15,)
+
+    def test_coincident_pairs_skipped(self):
+        vectors = np.ones((4, 3))
+        ratios = distance_distortions(vectors, vectors)
+        assert ratios.size == 0
+
+    def test_column_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            distance_distortions(rng.standard_normal((4, 3)),
+                                 rng.standard_normal((2, 4)))
+
+
+class TestCostModel:
+    def test_formulas(self):
+        cost = lsi_cost_model(1000, 200, 50.0, 40)
+        assert cost.direct == 1000 * 200 * 50
+        assert cost.projection == 200 * 50 * 40
+        assert cost.lsi_after_projection == 200 * 40 * 40
+        assert cost.two_step == 200 * 40 * 90
+        assert cost.speedup == pytest.approx(cost.direct / cost.two_step)
+
+    def test_speedup_grows_with_n(self):
+        small = lsi_cost_model(500, 100, 30.0, 40)
+        large = lsi_cost_model(5000, 100, 30.0, 40)
+        assert large.speedup > small.speedup
+
+    def test_invalid_c(self):
+        with pytest.raises(ValidationError):
+            lsi_cost_model(10, 10, 0.0, 5)
+
+    def test_zero_two_step_cost_inf(self):
+        assert LSICost(1.0, 0, 0, 0).speedup == float("inf")
+
+
+class TestTheorem5Bound:
+    def test_formula(self):
+        assert theorem5_bound(10.0, 0.1, 100.0) == pytest.approx(30.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            theorem5_bound(-1.0, 0.1, 10.0)
+        with pytest.raises(ValidationError):
+            theorem5_bound(1.0, -0.1, 10.0)
+
+
+class TestTwoStepLSI:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        from repro.corpus import build_separable_model, generate_corpus
+
+        model = build_separable_model(200, 5, primary_mass=0.95)
+        corpus = generate_corpus(model, 100, seed=99)
+        matrix = corpus.term_document_matrix()
+        two_step = TwoStepLSI.fit(matrix, 5, 60, seed=99)
+        return model, corpus, matrix, two_step
+
+    def test_dimensions(self, pipeline):
+        _, _, matrix, two_step = pipeline
+        assert two_step.projection_dim == 60
+        assert two_step.inner_rank == 10
+        assert two_step.n_documents == matrix.shape[1]
+        assert two_step.document_vectors().shape == (10, 100)
+
+    def test_recovery_bound_holds(self, pipeline):
+        _, _, _, two_step = pipeline
+        report = two_step.recovery_report(epsilon=0.35)
+        assert report.holds
+        assert 0.5 < report.recovery_ratio <= 1.2
+
+    def test_reconstruction_shape(self, pipeline):
+        _, _, matrix, two_step = pipeline
+        assert two_step.reconstruct().shape == matrix.shape
+
+    def test_document_subspace_orthonormal(self, pipeline):
+        _, _, _, two_step = pipeline
+        basis = two_step.document_subspace()
+        assert np.allclose(basis.T @ basis, np.eye(basis.shape[1]),
+                           atol=1e-8)
+
+    def test_retrieval_quality(self, pipeline):
+        _, corpus, matrix, two_step = pipeline
+        labels = corpus.topic_labels()
+        query = matrix.get_column(0)
+        top = two_step.rank_documents(query, top_k=10)
+        hits = sum(1 for d in top if labels[d] == labels[0])
+        assert hits >= 7
+
+    def test_project_query_dimensions(self, pipeline):
+        _, _, matrix, two_step = pipeline
+        projected = two_step.project_query(matrix.get_column(0))
+        assert projected.shape == (two_step.inner_rank,)
+
+    def test_rank_multiplier(self, pipeline):
+        _, _, matrix, _ = pipeline
+        triple = TwoStepLSI.fit(matrix, 5, 60, rank_multiplier=3, seed=1)
+        assert triple.inner_rank == 15
+
+    def test_inner_rank_capped_by_projection_dim(self, pipeline):
+        _, _, matrix, _ = pipeline
+        capped = TwoStepLSI.fit(matrix, 5, 8, seed=1)
+        assert capped.inner_rank == 8
+
+    def test_unfitted_reconstruction_raises(self, pipeline):
+        _, _, _, two_step = pipeline
+        from repro.core.lsi import LSIModel
+
+        orphan = TwoStepLSI(two_step.projector,
+                            two_step.inner, 5)
+        with pytest.raises(NotFittedError):
+            orphan.reconstruct()
+
+    @pytest.mark.parametrize("family", sorted(PROJECTOR_FAMILIES))
+    def test_all_projector_families_work(self, pipeline, family):
+        _, _, matrix, _ = pipeline
+        two_step = TwoStepLSI.fit(matrix, 5, 40,
+                                  projector_family=family, seed=2)
+        report = two_step.recovery_report(epsilon=0.5)
+        assert report.holds

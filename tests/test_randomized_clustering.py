@@ -1,0 +1,219 @@
+"""Tests for the randomized SVD engine and the clustering module."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import (
+    CLUSTER_SPACES,
+    NearestCentroidClassifier,
+    cluster_documents,
+)
+from repro.corpus import build_separable_model, generate_corpus
+from repro.errors import NotFittedError, ValidationError
+from repro.linalg.randomized import (
+    adaptive_rank_svd,
+    estimated_residual_norm,
+    randomized_range_finder,
+    randomized_svd,
+)
+from repro.linalg.svd import exact_svd, truncated_svd
+from repro.utils.kmeans import clustering_accuracy
+
+
+@pytest.fixture(scope="module")
+def gapped(rng=None):
+    generator = np.random.default_rng(7)
+    u = np.linalg.qr(generator.standard_normal((60, 60)))[0]
+    v = np.linalg.qr(generator.standard_normal((45, 45)))[0]
+    sigma = np.concatenate([[40, 35, 30, 25, 20], np.full(40, 0.5)])
+    return (u[:, :45] * sigma) @ v.T
+
+
+class TestRandomizedRangeFinder:
+    def test_orthonormal_output(self, gapped):
+        basis = randomized_range_finder(gapped, 8, seed=1)
+        assert np.allclose(basis.T @ basis, np.eye(basis.shape[1]),
+                           atol=1e-9)
+
+    def test_captures_dominant_range(self, gapped):
+        basis = randomized_range_finder(gapped, 8, seed=2)
+        u = np.linalg.svd(gapped, full_matrices=False)[0][:, :5]
+        # Top-5 left singular vectors lie (almost) inside the range.
+        residual = u - basis @ (basis.T @ u)
+        assert np.linalg.norm(residual) < 1e-6
+
+    def test_power_iterations_sharpen(self, gapped):
+        flat = randomized_range_finder(gapped, 6, power_iterations=0,
+                                       seed=3)
+        sharp = randomized_range_finder(gapped, 6, power_iterations=3,
+                                        seed=3)
+        assert estimated_residual_norm(gapped, sharp) <= \
+            estimated_residual_norm(gapped, flat) + 1e-9
+
+
+class TestRandomizedSVD:
+    def test_matches_exact_on_gapped(self, gapped):
+        u, s, vt = randomized_svd(gapped, 5, seed=4)
+        exact = np.linalg.svd(gapped, compute_uv=False)
+        assert np.allclose(s, exact[:5], rtol=1e-6)
+
+    def test_engine_front_end(self, gapped):
+        result = truncated_svd(gapped, 5, engine="randomized", seed=5)
+        exact = np.linalg.svd(gapped, compute_uv=False)
+        assert np.allclose(result.singular_values, exact[:5], rtol=1e-6)
+
+    def test_sparse_input(self, tiny_matrix):
+        result = truncated_svd(tiny_matrix, 4, engine="randomized",
+                               seed=6, power_iterations=4)
+        reference = exact_svd(tiny_matrix)
+        assert np.allclose(result.singular_values,
+                           reference.singular_values[:4], rtol=1e-3)
+
+    def test_factors_orthonormal(self, gapped):
+        u, s, vt = randomized_svd(gapped, 5, seed=7)
+        assert np.allclose(u.T @ u, np.eye(5), atol=1e-8)
+        assert np.allclose(vt @ vt.T, np.eye(5), atol=1e-8)
+
+
+class TestAdaptiveRank:
+    def test_discovers_topic_count(self):
+        model = build_separable_model(300, 6)
+        corpus = generate_corpus(model, 150, seed=8)
+        matrix = corpus.term_document_matrix()
+        # Tolerance placed between the k-topic and (k+1)-topic residual
+        # levels: the discovered rank should be ~6.
+        reference = exact_svd(matrix)
+        target = reference.truncate(6).residual_norm() \
+            / matrix.frobenius_norm()
+        result = adaptive_rank_svd(matrix,
+                                   relative_tolerance=target * 1.02,
+                                   block_size=2, seed=9)
+        assert 5 <= result.rank <= 8
+
+    def test_residual_below_tolerance(self, gapped):
+        result = adaptive_rank_svd(gapped, relative_tolerance=0.3,
+                                   block_size=4, seed=10)
+        assert result.residual_norm() <= \
+            0.3 * np.linalg.norm(gapped) + 1e-6
+
+    def test_max_rank_respected(self, gapped):
+        result = adaptive_rank_svd(gapped, relative_tolerance=0.0001,
+                                   block_size=4, max_rank=6, seed=11)
+        assert result.rank <= 8  # 6 rounded up to a block boundary
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            adaptive_rank_svd(np.zeros((5, 5)))
+
+    def test_bad_tolerance(self, gapped):
+        with pytest.raises(ValidationError):
+            adaptive_rank_svd(gapped, relative_tolerance=1.5)
+
+    def test_estimated_residual_matches_direct(self, gapped):
+        basis = randomized_range_finder(gapped, 5, seed=12)
+        direct = np.linalg.norm(gapped - basis @ (basis.T @ gapped))
+        assert estimated_residual_norm(gapped, basis) == \
+            pytest.approx(direct, rel=1e-8)
+
+
+@pytest.fixture(scope="module")
+def short_doc_corpus():
+    model = build_separable_model(250, 5, length_low=8, length_high=16)
+    corpus = generate_corpus(model, 200, seed=13)
+    return corpus, corpus.term_document_matrix(), corpus.topic_labels()
+
+
+class TestClusterDocuments:
+    @pytest.mark.parametrize("space", CLUSTER_SPACES)
+    def test_spaces_recover_topics(self, short_doc_corpus, space):
+        _, matrix, labels = short_doc_corpus
+        predicted = cluster_documents(matrix, 5, space=space, seed=1)
+        assert clustering_accuracy(predicted, labels) > 0.9
+
+    def test_unknown_space(self, short_doc_corpus):
+        _, matrix, _ = short_doc_corpus
+        with pytest.raises(ValidationError):
+            cluster_documents(matrix, 5, space="quantum")
+
+    def test_label_count(self, short_doc_corpus):
+        _, matrix, _ = short_doc_corpus
+        predicted = cluster_documents(matrix, 5, space="lsi", seed=2)
+        assert predicted.shape == (matrix.shape[1],)
+        assert len(np.unique(predicted)) <= 5
+
+
+class TestNearestCentroid:
+    def test_lsi_classifier_accuracy(self, short_doc_corpus):
+        corpus, _, _ = short_doc_corpus
+        train, test = corpus.split(0.7, seed=3)
+        classifier = NearestCentroidClassifier(space="lsi", rank=5)
+        classifier.fit(train.term_document_matrix(),
+                       train.topic_labels(), seed=3)
+        assert classifier.score(test.term_document_matrix(),
+                                test.topic_labels()) > 0.85
+
+    def test_raw_classifier_works(self, short_doc_corpus):
+        corpus, _, _ = short_doc_corpus
+        train, test = corpus.split(0.7, seed=4)
+        classifier = NearestCentroidClassifier(space="raw")
+        classifier.fit(train.term_document_matrix(),
+                       train.topic_labels())
+        assert classifier.score(test.term_document_matrix(),
+                                test.topic_labels()) > 0.8
+
+    def test_predict_shape(self, short_doc_corpus):
+        corpus, matrix, labels = short_doc_corpus
+        classifier = NearestCentroidClassifier(space="lsi", rank=5)
+        classifier.fit(matrix, labels, seed=5)
+        assert classifier.predict(matrix).shape == labels.shape
+
+    def test_training_accuracy_high(self, short_doc_corpus):
+        _, matrix, labels = short_doc_corpus
+        classifier = NearestCentroidClassifier(space="lsi", rank=5)
+        classifier.fit(matrix, labels, seed=6)
+        assert classifier.score(matrix, labels) > 0.95
+
+    def test_lsi_requires_rank(self):
+        with pytest.raises(ValidationError):
+            NearestCentroidClassifier(space="lsi")
+
+    def test_bad_space(self):
+        with pytest.raises(ValidationError):
+            NearestCentroidClassifier(space="graph")
+
+    def test_unfitted(self, short_doc_corpus):
+        _, matrix, _ = short_doc_corpus
+        with pytest.raises(NotFittedError):
+            NearestCentroidClassifier(space="raw").predict(matrix)
+
+    def test_label_mismatch(self, short_doc_corpus):
+        _, matrix, _ = short_doc_corpus
+        with pytest.raises(ValidationError):
+            NearestCentroidClassifier(space="raw").fit(matrix, [0, 1])
+
+
+class TestClassificationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.classification_exp import (
+            ClassificationConfig,
+            run_classification,
+        )
+
+        return run_classification(ClassificationConfig(
+            n_terms=200, n_topics=4, n_documents=160,
+            epsilons=(0.05, 0.5)))
+
+    def test_lsi_best_at_small_epsilon(self, result):
+        assert result.lsi_clusters_best_at_small_epsilon()
+
+    def test_lsi_classifies_well(self, result):
+        assert result.lsi_classifies_well()
+
+    def test_lsi_beats_raw_clustering_at_high_noise(self, result):
+        last = result.points[-1]
+        assert last.clustering["lsi"] >= last.clustering["raw"] - 0.02
+
+    def test_render(self, result):
+        rendered = result.render()
+        assert "X6a" in rendered and "X6b" in rendered

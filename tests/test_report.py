@@ -1,0 +1,79 @@
+"""Tests for the aggregate report generator."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments import (
+    ConductanceConfig,
+    SkewnessSweepConfig,
+)
+from repro.experiments.report import (
+    REPORT_SECTIONS,
+    generate_report,
+    write_report,
+)
+
+SMALL_CONFIGS = {
+    "e2": SkewnessSweepConfig(n_terms=150, n_topics=4,
+                              corpus_sizes=(40,), epsilons=(0.0, 0.1),
+                              fixed_corpus_size=60),
+    "x4": ConductanceConfig(block_sizes=(10, 20), corpus_sizes=(40,)),
+}
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        return generate_report(["e2", "x4"], configs=SMALL_CONFIGS)
+
+    def test_sections_present(self, report_text):
+        assert "## E2 —" in report_text
+        assert "## X4 —" in report_text
+
+    def test_tables_included(self, report_text):
+        assert "Skewness vs epsilon" in report_text
+        assert "topic-block Gram spectra" in report_text
+
+    def test_markdown_fencing(self, report_text):
+        assert report_text.count("```") == 4  # two fenced blocks
+
+    def test_title(self):
+        text = generate_report(["e2"], configs=SMALL_CONFIGS,
+                               title="My run")
+        assert text.startswith("# My run")
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValidationError):
+            generate_report(["zzz"])
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "out" / "report.md", ["e2"],
+                            configs=SMALL_CONFIGS)
+        assert path.exists()
+        assert "## E2" in path.read_text()
+
+    def test_registry_matches_cli(self):
+        from repro.cli import _EXPERIMENTS
+
+        assert set(REPORT_SECTIONS) == set(_EXPERIMENTS)
+
+
+class TestReportCLI:
+    def test_report_command(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        import repro.experiments.report as report_module
+
+        # Patch in tiny configs so the CLI path stays fast.
+        original = report_module.generate_report
+
+        def fast_generate(experiment_ids=None, *, configs=None,
+                          title="Reproduction report"):
+            return original(experiment_ids, configs=SMALL_CONFIGS,
+                            title=title)
+
+        monkeypatch.setattr(report_module, "generate_report",
+                            fast_generate)
+        output = tmp_path / "report.md"
+        assert main(["report", "e2", "--output", str(output)]) == 0
+        assert output.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,169 @@
+"""Robustness tests: degenerate and adversarial inputs across the stack.
+
+Failure-injection style: the library should either handle the
+degenerate case gracefully (zero scores, empty results) or reject it
+with its own :class:`~repro.errors.ReproError` family — never crash
+with a raw numpy error or return NaN.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lsi import LSIModel
+from repro.core.skewness import angle_statistics, skewness
+from repro.core.two_step import TwoStepLSI
+from repro.errors import ReproError
+from repro.ir.bm25 import BM25Model
+from repro.ir.vsm import VectorSpaceModel
+from repro.linalg.sparse import CSRMatrix
+from repro.linalg.svd import exact_svd, truncated_svd
+
+
+@pytest.fixture
+def matrix_with_zero_column():
+    """A matrix whose document 2 contains no terms."""
+    dense = np.array([
+        [2.0, 0.0, 0.0, 1.0],
+        [1.0, 3.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0, 2.0],
+        [1.0, 0.0, 0.0, 1.0],
+        [0.0, 2.0, 0.0, 0.0]])
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture
+def matrix_with_zero_row():
+    """A matrix whose term 1 never occurs."""
+    dense = np.array([
+        [2.0, 1.0, 1.0],
+        [0.0, 0.0, 0.0],
+        [1.0, 3.0, 0.0],
+        [0.0, 1.0, 2.0]])
+    return CSRMatrix.from_dense(dense)
+
+
+class TestZeroColumns:
+    def test_lsi_fits(self, matrix_with_zero_column):
+        lsi = LSIModel.fit(matrix_with_zero_column, 2, engine="exact")
+        scores = lsi.score(matrix_with_zero_column.get_column(0))
+        assert np.all(np.isfinite(scores))
+        assert scores[2] == 0.0  # the empty document scores zero
+
+    def test_vsm_scores_zero(self, matrix_with_zero_column):
+        vsm = VectorSpaceModel.fit(matrix_with_zero_column)
+        scores = vsm.score(matrix_with_zero_column.get_column(0))
+        assert scores[2] == 0.0
+        assert np.all(np.isfinite(scores))
+
+    def test_bm25_finite(self, matrix_with_zero_column):
+        model = BM25Model.fit(matrix_with_zero_column)
+        scores = model.score(matrix_with_zero_column.get_column(0))
+        assert np.all(np.isfinite(scores))
+        assert scores[2] == 0.0
+
+    def test_two_step_finite(self, matrix_with_zero_column):
+        two_step = TwoStepLSI.fit(matrix_with_zero_column, 2, 4,
+                                  seed=1)
+        scores = two_step.score(matrix_with_zero_column.get_column(0))
+        assert np.all(np.isfinite(scores))
+
+
+class TestZeroRows:
+    def test_lsi_query_on_missing_term(self, matrix_with_zero_row):
+        lsi = LSIModel.fit(matrix_with_zero_row, 2, engine="exact")
+        query = np.zeros(4)
+        query[1] = 1.0  # the never-occurring term
+        scores = lsi.score(query)
+        assert np.all(np.isfinite(scores))
+        assert np.allclose(scores, 0.0)
+
+    def test_bm25_query_on_missing_term(self, matrix_with_zero_row):
+        model = BM25Model.fit(matrix_with_zero_row)
+        query = np.zeros(4)
+        query[1] = 1.0
+        assert np.allclose(model.score(query), 0.0)
+
+
+class TestZeroQueries:
+    def test_all_engines_return_zero(self, tiny_matrix):
+        query = np.zeros(tiny_matrix.shape[0])
+        lsi = LSIModel.fit(tiny_matrix, 3, engine="exact")
+        vsm = VectorSpaceModel.fit(tiny_matrix)
+        bm25 = BM25Model.fit(tiny_matrix)
+        for engine_scores in (lsi.score(query), vsm.score(query),
+                              bm25.score(query)):
+            assert np.allclose(engine_scores, 0.0)
+            assert np.all(np.isfinite(engine_scores))
+
+
+class TestDegenerateShapes:
+    def test_single_document_lsi(self):
+        matrix = CSRMatrix.from_dense(np.array([[1.0], [2.0], [0.0]]))
+        lsi = LSIModel.fit(matrix, 1, engine="exact")
+        assert lsi.n_documents == 1
+        assert lsi.score(np.array([1.0, 0.0, 0.0])).shape == (1,)
+
+    def test_single_term_matrix(self):
+        matrix = CSRMatrix.from_dense(np.array([[1.0, 2.0, 3.0]]))
+        result = exact_svd(matrix)
+        assert result.singular_values[0] == pytest.approx(
+            np.sqrt(14.0))
+
+    def test_rank_one_matrix_truncated_higher(self):
+        column = np.array([[1.0], [1.0]])
+        rank1 = CSRMatrix.from_dense(column @ np.ones((1, 4)))
+        # Requesting rank 2 from an (2 x 4) rank-1 matrix: exact works
+        # (zero singular value), lanczos raises ConvergenceError.
+        exact = truncated_svd(rank1, 2, engine="exact")
+        assert exact.singular_values[1] == pytest.approx(0.0, abs=1e-9)
+        with pytest.raises(ReproError):
+            truncated_svd(rank1, 2, engine="lanczos", seed=0)
+
+    def test_skewness_identical_documents(self):
+        vectors = np.ones((3, 4))
+        labels = [0, 0, 1, 1]
+        value = skewness(vectors, labels)
+        assert np.isfinite(value)
+
+    def test_angle_statistics_single_topic(self):
+        vectors = np.random.default_rng(0).random((3, 5))
+        stats = angle_statistics(vectors, [0] * 5)
+        assert stats.n_intertopic_pairs == 0
+        assert np.isnan(stats.intertopic_mean)
+        assert np.isfinite(stats.intratopic_mean)
+
+
+class TestNumericalExtremes:
+    def test_huge_counts(self):
+        dense = np.array([[1e12, 0.0], [0.0, 1e12]])
+        lsi = LSIModel.fit(CSRMatrix.from_dense(dense), 2,
+                           engine="exact")
+        assert np.all(np.isfinite(lsi.singular_values))
+        assert lsi.singular_values[0] == pytest.approx(1e12)
+
+    def test_tiny_counts(self):
+        dense = np.array([[1e-9, 0.0], [0.0, 2e-9]])
+        result = exact_svd(dense)
+        assert np.all(np.isfinite(result.singular_values))
+
+    def test_mixed_scales_cosine_stable(self):
+        from repro.linalg.dense import cosine_similarity
+
+        value = cosine_similarity([1e-6, 0.0], [1e12, 0.0])
+        assert value == pytest.approx(1.0)
+
+    def test_below_tolerance_vector_treated_as_zero(self):
+        from repro.linalg.dense import cosine_similarity
+
+        # Norms at/below the 1e-12 floor score 0 by design (documented
+        # zero-vector behaviour), rather than amplifying noise.
+        assert cosine_similarity([1e-13, 0.0], [1.0, 0.0]) == 0.0
+
+    def test_weighting_on_huge_matrix_values(self):
+        from repro.corpus.weighting import apply_weighting
+
+        dense = np.array([[1e9, 1.0], [0.0, 1e9]])
+        matrix = CSRMatrix.from_dense(dense)
+        for scheme in ("tf", "log_tf", "tfidf", "log_entropy"):
+            weighted = apply_weighting(matrix, scheme)
+            assert np.all(np.isfinite(weighted.data))

@@ -1,0 +1,216 @@
+"""Tests for significance tests, corpus persistence, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import build_separable_model, generate_corpus
+from repro.corpus.io import (
+    load_corpus,
+    load_matrix,
+    save_corpus,
+    save_matrix,
+)
+from repro.errors import ValidationError
+from repro.ir.significance import (
+    paired_bootstrap_test,
+    paired_sign_test,
+)
+
+
+class TestSignTest:
+    def test_clear_winner(self):
+        a = [0.9] * 20
+        b = [0.1] * 20
+        result = paired_sign_test(a, b)
+        assert result.mean_difference == pytest.approx(0.8)
+        assert result.p_value < 0.001
+        assert result.significant()
+
+    def test_identical_systems(self):
+        scores = [0.5, 0.6, 0.7]
+        result = paired_sign_test(scores, scores)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_exact_binomial_value(self):
+        # 5 wins, 0 losses: two-sided p = 2 * (1/32) = 1/16.
+        result = paired_sign_test([1] * 5, [0] * 5)
+        assert result.p_value == pytest.approx(2 / 32)
+
+    def test_ties_discarded(self):
+        a = [1.0, 1.0, 0.9, 0.9, 0.9]
+        b = [1.0, 1.0, 0.1, 0.1, 0.1]
+        result = paired_sign_test(a, b)
+        # 3 decided pairs, all wins: p = 2 * (1/8) = 0.25.
+        assert result.p_value == pytest.approx(0.25)
+
+    def test_mixed_evidence_not_significant(self):
+        a = [0.6, 0.4, 0.6, 0.4]
+        b = [0.4, 0.6, 0.4, 0.6]
+        assert not paired_sign_test(a, b).significant()
+
+    def test_length_mismatch(self):
+        with pytest.raises(Exception):
+            paired_sign_test([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            paired_sign_test([], [])
+
+
+class TestBootstrapTest:
+    def test_clear_winner(self, rng):
+        a = 0.8 + 0.05 * rng.standard_normal(40)
+        b = 0.3 + 0.05 * rng.standard_normal(40)
+        result = paired_bootstrap_test(a, b, seed=1)
+        assert result.significant()
+        assert result.mean_difference > 0.4
+
+    def test_noise_not_significant(self, rng):
+        a = rng.standard_normal(30)
+        b = a + 0.001 * rng.standard_normal(30)
+        result = paired_bootstrap_test(a, b, n_resamples=2000, seed=2)
+        assert result.p_value > 0.05
+
+    def test_deterministic_given_seed(self, rng):
+        a = rng.standard_normal(20)
+        b = rng.standard_normal(20)
+        r1 = paired_bootstrap_test(a, b, seed=3)
+        r2 = paired_bootstrap_test(a, b, seed=3)
+        assert r1.p_value == r2.p_value
+
+    def test_alpha_validated(self, rng):
+        result = paired_bootstrap_test([1.0, 2.0], [0.0, 1.0], seed=4)
+        with pytest.raises(ValidationError):
+            result.significant(alpha=2.0)
+
+    def test_symmetry_of_direction(self, rng):
+        a = rng.standard_normal(25) + 1.0
+        b = rng.standard_normal(25)
+        forward = paired_bootstrap_test(a, b, seed=5)
+        backward = paired_bootstrap_test(b, a, seed=5)
+        assert forward.mean_difference == pytest.approx(
+            -backward.mean_difference)
+
+
+class TestRetrievalSignificance:
+    def test_lsi_vs_vsm_significant(self):
+        from repro.experiments.retrieval_exp import (
+            RetrievalConfig,
+            run_retrieval_experiment,
+        )
+
+        result = run_retrieval_experiment(RetrievalConfig(
+            n_terms=250, n_topics=5, n_documents=150,
+            projection_dim=50, queries_per_topic=4, seed=19))
+        test = result.significance("lsi", "vsm", "single-term", seed=0)
+        assert test.mean_difference > 0
+        assert test.significant()
+
+
+class TestMatrixIO:
+    def test_round_trip(self, tiny_matrix, tmp_path):
+        path = save_matrix(tiny_matrix, tmp_path / "matrix")
+        assert path.suffix == ".npz"
+        assert load_matrix(path) == tiny_matrix
+
+    def test_empty_matrix(self, tmp_path):
+        from repro.linalg.sparse import CSRMatrix
+
+        empty = CSRMatrix.zeros(3, 4)
+        path = save_matrix(empty, tmp_path / "empty.npz")
+        assert load_matrix(path) == empty
+
+    def test_format_check(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, format=np.asarray("other"), x=np.zeros(3))
+        with pytest.raises(ValidationError):
+            load_matrix(bogus)
+
+    def test_type_check(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_matrix(np.eye(3), tmp_path / "x")
+
+
+class TestCorpusIO:
+    def test_round_trip_documents(self, tiny_corpus, tmp_path):
+        path = save_corpus(tiny_corpus, tmp_path / "corpus")
+        loaded = load_corpus(path)
+        assert len(loaded) == len(tiny_corpus)
+        for original, restored in zip(tiny_corpus, loaded):
+            assert restored.term_counts == original.term_counts
+
+    def test_labels_survive(self, tiny_corpus, tmp_path):
+        path = save_corpus(tiny_corpus, tmp_path / "corpus")
+        loaded = load_corpus(path)
+        assert np.array_equal(loaded.topic_labels(),
+                              tiny_corpus.topic_labels())
+
+    def test_matrix_identical_after_round_trip(self, tiny_corpus,
+                                               tmp_path):
+        path = save_corpus(tiny_corpus, tmp_path / "corpus")
+        loaded = load_corpus(path)
+        assert loaded.term_document_matrix() == \
+            tiny_corpus.term_document_matrix()
+
+    def test_unlabeled_corpus(self, tmp_path):
+        from repro.corpus.corpus import Corpus
+        from repro.corpus.document import Document
+
+        corpus = Corpus([Document({0: 2, 3: 1}, universe_size=5)])
+        path = save_corpus(corpus, tmp_path / "plain")
+        loaded = load_corpus(path)
+        assert not loaded.has_labels()
+        assert loaded[0].term_counts == {0: 2, 3: 1}
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "t1" in output and "e10" in output and "x5" in output
+
+    def test_info_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["info"]) == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_run_t1_scaled(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "t1", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "Intratopic" in output
+
+    def test_run_unknown_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "zzz"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_paper_table_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["paper-table", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "paper reported" in output
+
+    def test_seed_override(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "t1", "--scale", "0.1",
+                     "--seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "t1", "--scale", "0.1",
+                     "--seed", "5"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_no_command_prints_help(self, capsys):
+        from repro.cli import main
+
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()

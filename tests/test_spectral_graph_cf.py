@@ -1,0 +1,182 @@
+"""Tests for Theorem 6 discovery and the collaborative-filtering module."""
+
+import numpy as np
+import pytest
+
+from repro.core.cf import (
+    CosineKNNRecommender,
+    InteractionData,
+    LatentPreferenceModel,
+    PopularityRecommender,
+    SpectralRecommender,
+    evaluate_recommender,
+)
+from repro.core.spectral_graph import (
+    discover_topics,
+    spectral_embedding,
+    theorem6_premises,
+)
+from repro.errors import NotFittedError, ValidationError
+from repro.graphs.random_graphs import planted_partition_graph
+
+
+class TestSpectralDiscovery:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        return planted_partition_graph([20, 20, 20],
+                                       inter_fraction=0.05, seed=1)
+
+    def test_recovers_blocks(self, planted):
+        graph, labels = planted
+        discovery = discover_topics(graph, 3, seed=2)
+        assert discovery.accuracy_against(labels) == 1.0
+
+    def test_eigengap_positive(self, planted):
+        graph, _ = planted
+        discovery = discover_topics(graph, 3, seed=2)
+        assert discovery.eigengap > 0.3
+        assert discovery.eigenvalues.shape == (4,)
+
+    def test_embedding_rows_unit(self, planted):
+        graph, _ = planted
+        embedding = spectral_embedding(graph, 3)
+        norms = np.linalg.norm(embedding, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_k_bounds(self, planted):
+        graph, _ = planted
+        with pytest.raises(ValidationError):
+            discover_topics(graph, graph.n_vertices)
+        with pytest.raises(ValidationError):
+            spectral_embedding(graph, graph.n_vertices + 1)
+
+    def test_premises_on_truth(self, planted):
+        graph, labels = planted
+        premises = theorem6_premises(graph, labels)
+        assert premises.block_conductances.shape == (3,)
+        assert np.all(premises.block_conductances > 0.3)
+        assert premises.max_cross_fraction < 0.3
+        assert premises.satisfied()
+
+    def test_premises_fail_on_random_labels(self, planted, rng):
+        graph, _ = planted
+        random_labels = rng.integers(0, 3, graph.n_vertices)
+        premises = theorem6_premises(graph, random_labels)
+        assert premises.max_cross_fraction > 0.3
+
+    def test_premises_label_shape(self, planted):
+        graph, _ = planted
+        with pytest.raises(ValidationError):
+            theorem6_premises(graph, [0, 1])
+
+    def test_singleton_block_conductance_zero(self, planted):
+        graph, labels = planted
+        modified = labels.copy()
+        modified[0] = 99  # a one-vertex block
+        premises = theorem6_premises(graph, modified)
+        assert 0.0 in premises.block_conductances.tolist()
+
+
+@pytest.fixture(scope="module")
+def cf_data():
+    model = LatentPreferenceModel(80, 4, primary_mass=0.9,
+                                  interactions_low=15,
+                                  interactions_high=40)
+    return model, model.generate(60, holdout_fraction=0.25, seed=3)
+
+
+class TestLatentPreferenceModel:
+    def test_shapes(self, cf_data):
+        model, data = cf_data
+        assert data.n_items == 80
+        assert data.n_users == 60
+        assert data.taste_labels.shape == (60,)
+        assert len(data.held_out) == 60
+
+    def test_holdout_disjoint_from_train(self, cf_data):
+        _, data = cf_data
+        for user, hidden in enumerate(data.held_out):
+            column = data.train.get_column(user)
+            for item in hidden:
+                assert column[item] == 0
+
+    def test_every_user_keeps_training_items(self, cf_data):
+        _, data = cf_data
+        for user in range(data.n_users):
+            assert data.train.get_column(user).sum() > 0
+
+    def test_holdout_fraction_validated(self, cf_data):
+        model, _ = cf_data
+        with pytest.raises(ValidationError):
+            model.generate(10, holdout_fraction=0.0)
+
+
+class TestRecommenders:
+    def test_spectral_beats_popularity(self, cf_data):
+        _, data = cf_data
+        spectral = SpectralRecommender(4).fit(data.train)
+        popularity = PopularityRecommender().fit(data.train)
+        ev_s = evaluate_recommender(spectral, data, top_n=10)
+        ev_p = evaluate_recommender(popularity, data, top_n=10)
+        assert ev_s.precision_at_n > ev_p.precision_at_n
+
+    def test_recommendations_exclude_seen(self, cf_data):
+        _, data = cf_data
+        spectral = SpectralRecommender(4).fit(data.train)
+        for user in range(5):
+            recs = spectral.recommend(user, data.train, top_n=10)
+            seen = set(np.flatnonzero(data.train.get_column(user) > 0))
+            assert not (set(int(r) for r in recs) & seen)
+
+    def test_unfitted_raises(self, cf_data):
+        _, data = cf_data
+        with pytest.raises(NotFittedError):
+            SpectralRecommender(3).scores(0)
+        with pytest.raises(NotFittedError):
+            PopularityRecommender().scores(0)
+        with pytest.raises(NotFittedError):
+            CosineKNNRecommender().scores(0)
+
+    def test_popularity_uniform_across_users(self, cf_data):
+        _, data = cf_data
+        popularity = PopularityRecommender().fit(data.train)
+        assert np.array_equal(popularity.scores(0), popularity.scores(5))
+
+    def test_knn_self_excluded(self, cf_data):
+        _, data = cf_data
+        knn = CosineKNNRecommender(5).fit(data.train)
+        # Scores should come from neighbours, not the user's own column:
+        # a user with unique items still gets finite scores.
+        assert np.all(np.isfinite(knn.scores(0)))
+
+    def test_user_out_of_range(self, cf_data):
+        _, data = cf_data
+        spectral = SpectralRecommender(4).fit(data.train)
+        with pytest.raises(ValidationError):
+            spectral.scores(9999)
+
+    def test_evaluation_fields(self, cf_data):
+        _, data = cf_data
+        spectral = SpectralRecommender(4).fit(data.train)
+        ev = evaluate_recommender(spectral, data, top_n=5)
+        assert 0.0 <= ev.precision_at_n <= 1.0
+        assert 0.0 <= ev.recall_at_n <= 1.0
+        assert 0.0 <= ev.hit_rate <= 1.0
+        assert ev.top_n == 5
+
+    def test_evaluation_no_holdout_rejected(self, cf_data):
+        _, data = cf_data
+        empty = InteractionData(train=data.train,
+                                held_out=[set()] * data.n_users,
+                                taste_labels=data.taste_labels)
+        spectral = SpectralRecommender(4).fit(data.train)
+        with pytest.raises(ValidationError):
+            evaluate_recommender(spectral, empty)
+
+    def test_rank_matters(self, cf_data):
+        _, data = cf_data
+        right = SpectralRecommender(4).fit(data.train)
+        tiny = SpectralRecommender(1).fit(data.train)
+        ev_right = evaluate_recommender(right, data, top_n=10)
+        ev_tiny = evaluate_recommender(tiny, data, top_n=10)
+        assert ev_right.precision_at_n >= ev_tiny.precision_at_n

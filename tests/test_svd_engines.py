@@ -1,0 +1,221 @@
+"""Tests for the SVD engines: exact, Lanczos, subspace iteration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, RankError, ValidationError
+from repro.linalg.lanczos import lanczos_bidiagonalization, lanczos_svd
+from repro.linalg.operator import MatrixOperator, as_operator
+from repro.linalg.power_iteration import (
+    dominant_eigenpair,
+    dominant_singular_value,
+    subspace_iteration_svd,
+    top_eigenpairs,
+)
+from repro.linalg.sparse import CSRMatrix
+from repro.linalg.svd import (
+    SVDResult,
+    best_rank_k_error,
+    exact_svd,
+    low_rank_residual,
+    truncated_svd,
+)
+
+
+@pytest.fixture
+def structured(rng):
+    """A matrix with a clear spectral split: 4 strong directions."""
+    u = np.linalg.qr(rng.standard_normal((30, 30)))[0]
+    v = np.linalg.qr(rng.standard_normal((25, 25)))[0]
+    sigma = np.concatenate([[50, 40, 30, 20], np.full(21, 0.5)])
+    return (u[:, :25] * sigma) @ v.T
+
+
+class TestOperator:
+    def test_dense_products(self, small_dense, rng):
+        op = MatrixOperator(small_dense)
+        x, y = rng.standard_normal(15), rng.standard_normal(20)
+        assert np.allclose(op.matvec(x), small_dense @ x)
+        assert np.allclose(op.rmatvec(y), small_dense.T @ y)
+        assert not op.is_sparse
+
+    def test_sparse_products(self, small_dense, small_sparse, rng):
+        op = MatrixOperator(small_sparse)
+        x = rng.standard_normal(15)
+        assert np.allclose(op.matvec(x), small_dense @ x)
+        assert op.is_sparse
+
+    def test_as_operator_idempotent(self, small_dense):
+        op = as_operator(small_dense)
+        assert as_operator(op) is op
+
+    def test_frobenius(self, small_dense):
+        assert as_operator(small_dense).frobenius_norm() == pytest.approx(
+            np.linalg.norm(small_dense))
+
+    def test_rejects_1d(self):
+        with pytest.raises(Exception):
+            MatrixOperator(np.zeros(3))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            MatrixOperator(np.array([[np.nan]]))
+
+
+class TestPowerIteration:
+    def test_dominant_eigenpair(self, rng):
+        q = np.linalg.qr(rng.standard_normal((8, 8)))[0]
+        eigenvalues = np.array([10.0, 3, 2, 1, 0.5, 0.2, 0.1, 0.05])
+        matrix = (q * eigenvalues) @ q.T
+        value, vector = dominant_eigenpair(matrix, seed=1)
+        assert value == pytest.approx(10.0, rel=1e-6)
+        assert abs(vector @ q[:, 0]) == pytest.approx(1.0, abs=1e-5)
+
+    def test_zero_matrix(self):
+        value, vector = dominant_eigenpair(np.zeros((4, 4)), seed=0)
+        assert value == 0.0
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_top_eigenpairs_deflation(self, rng):
+        q = np.linalg.qr(rng.standard_normal((6, 6)))[0]
+        eigenvalues = np.array([9.0, 5.0, 2.0, 0.5, 0.2, 0.1])
+        matrix = (q * eigenvalues) @ q.T
+        values, vectors = top_eigenpairs(matrix, 3, seed=2)
+        assert np.allclose(values, [9.0, 5.0, 2.0], rtol=1e-5)
+        assert np.allclose(vectors.T @ vectors, np.eye(3), atol=1e-5)
+
+    def test_dominant_singular_value(self, structured):
+        assert dominant_singular_value(structured, seed=3) == \
+            pytest.approx(50.0, rel=1e-6)
+
+    def test_dominant_singular_value_empty(self):
+        assert dominant_singular_value(np.zeros((0, 3))) == 0.0
+
+    def test_convergence_error_on_tiny_budget(self, structured):
+        with pytest.raises(ConvergenceError):
+            dominant_eigenpair(structured @ structured.T, max_iter=1,
+                               tol=1e-16, seed=0)
+
+
+class TestSubspaceIteration:
+    def test_matches_exact(self, structured):
+        u, s, vt = subspace_iteration_svd(structured, 4, seed=4)
+        exact = np.linalg.svd(structured, compute_uv=False)
+        assert np.allclose(s, exact[:4], rtol=1e-7)
+
+    def test_orthonormal_factors(self, structured):
+        u, s, vt = subspace_iteration_svd(structured, 4, seed=4)
+        assert np.allclose(u.T @ u, np.eye(4), atol=1e-8)
+        assert np.allclose(vt @ vt.T, np.eye(4), atol=1e-8)
+
+    def test_reconstruction(self, structured):
+        u, s, vt = subspace_iteration_svd(structured, 4, seed=4)
+        exact_u, exact_s, exact_vt = np.linalg.svd(structured)
+        approx = (u * s) @ vt
+        best = (exact_u[:, :4] * exact_s[:4]) @ exact_vt[:4]
+        assert np.linalg.norm(approx - best) < 1e-5
+
+    def test_sparse_input(self, small_sparse, small_dense):
+        u, s, vt = subspace_iteration_svd(small_sparse, 3, seed=5)
+        exact = np.linalg.svd(small_dense, compute_uv=False)
+        assert np.allclose(s, exact[:3], atol=1e-6)
+
+
+class TestLanczos:
+    def test_bidiagonalization_factorizes(self, structured):
+        p, alphas, betas, q = lanczos_bidiagonalization(structured, 10,
+                                                        seed=6)
+        assert np.allclose(p.T @ p, np.eye(p.shape[1]), atol=1e-8)
+        assert np.allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-8)
+
+    def test_svd_matches_exact(self, structured):
+        u, s, vt = lanczos_svd(structured, 4, seed=7)
+        exact = np.linalg.svd(structured, compute_uv=False)
+        assert np.allclose(s, exact[:4], rtol=1e-8)
+
+    def test_full_rank_exact(self, rng):
+        a = rng.standard_normal((8, 6))
+        u, s, vt = lanczos_svd(a, 6, seed=8)
+        assert np.allclose((u * s) @ vt, a, atol=1e-8)
+
+    def test_rank_deficient_raises(self, rng):
+        column = rng.standard_normal((10, 1))
+        rank1 = column @ rng.standard_normal((1, 8))
+        with pytest.raises(ConvergenceError):
+            lanczos_svd(rank1, 3, seed=9)
+
+    def test_sparse_input(self, small_sparse, small_dense):
+        u, s, vt = lanczos_svd(small_sparse, 3, seed=10)
+        exact = np.linalg.svd(small_dense, compute_uv=False)
+        assert np.allclose(s, exact[:3], atol=1e-8)
+
+
+class TestSVDResult:
+    def test_exact_svd_reconstructs(self, small_dense):
+        result = exact_svd(small_dense)
+        assert np.allclose(result.reconstruct(), small_dense, atol=1e-9)
+
+    def test_truncate(self, small_dense):
+        result = exact_svd(small_dense)
+        truncated = result.truncate(3)
+        assert truncated.rank == 3
+        assert truncated.frobenius_norm_sq == result.frobenius_norm_sq
+
+    def test_truncate_beyond_rank_rejected(self, small_dense):
+        with pytest.raises(RankError):
+            exact_svd(small_dense).truncate(100)
+
+    def test_residual_pythagoras(self, small_dense):
+        result = exact_svd(small_dense).truncate(4)
+        direct = np.linalg.norm(small_dense - result.reconstruct())
+        assert result.residual_norm() == pytest.approx(direct, abs=1e-8)
+
+    def test_energy_fraction_bounds(self, small_dense):
+        result = exact_svd(small_dense)
+        assert result.truncate(1).energy_fraction() <= 1.0
+        assert result.energy_fraction() == pytest.approx(1.0)
+
+    def test_document_vectors_shape(self, small_dense):
+        result = exact_svd(small_dense).truncate(3)
+        vectors = result.document_vectors()
+        assert vectors.shape == (3, 15)
+        # Column j equals Uk^T A e_j.
+        assert np.allclose(vectors, result.u.T @ small_dense, atol=1e-8)
+
+    def test_increasing_singular_values_rejected(self):
+        with pytest.raises(ValidationError):
+            SVDResult(np.eye(3), np.array([1.0, 2.0, 3.0]), np.eye(3), 14.0)
+
+    def test_negative_singular_values_rejected(self):
+        with pytest.raises(ValidationError):
+            SVDResult(np.eye(2), np.array([1.0, -0.5]), np.eye(2), 1.25)
+
+    def test_inconsistent_ranks_rejected(self):
+        with pytest.raises(ValidationError):
+            SVDResult(np.eye(3)[:, :2], np.array([1.0]), np.eye(3), 1.0)
+
+
+class TestTruncatedSVDFrontend:
+    @pytest.mark.parametrize("engine", ["exact", "lanczos", "subspace"])
+    def test_engines_agree(self, structured, engine):
+        result = truncated_svd(structured, 4, engine=engine, seed=11)
+        exact = np.linalg.svd(structured, compute_uv=False)
+        assert np.allclose(result.singular_values, exact[:4], rtol=1e-6)
+
+    def test_unknown_engine_rejected(self, small_dense):
+        with pytest.raises(ValidationError):
+            truncated_svd(small_dense, 2, engine="magic")
+
+    def test_rank_too_large_rejected(self, small_dense):
+        with pytest.raises(RankError):
+            truncated_svd(small_dense, 100)
+
+    def test_low_rank_residual_cross_check(self, small_dense):
+        result = truncated_svd(small_dense, 4, engine="exact")
+        assert low_rank_residual(small_dense, result) == pytest.approx(
+            result.residual_norm(), abs=1e-8)
+
+    def test_best_rank_k_error(self, small_dense):
+        sigma = np.linalg.svd(small_dense, compute_uv=False)
+        assert best_rank_k_error(small_dense, 4) == pytest.approx(
+            np.sqrt(np.sum(sigma[4:] ** 2)))

@@ -1,0 +1,192 @@
+"""Integration tests shaped like the paper's theorems.
+
+Each test instantiates a theorem's hypotheses end-to-end through the
+library's public API and checks the conclusion at test-friendly scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lsi import LSIModel
+from repro.core.skewness import angle_statistics, skewness
+from repro.core.spectral_graph import discover_topics
+from repro.core.two_step import TwoStepLSI
+from repro.corpus import build_separable_model, generate_corpus
+from repro.graphs.random_graphs import planted_partition_graph
+from repro.linalg.perturbation import singular_subspace_perturbation
+
+
+class TestTheorem2:
+    """Pure, 0-separable corpus ⇒ rank-k LSI is ~0-skewed."""
+
+    def test_zero_separable_corpus_zero_skewed(self):
+        model = build_separable_model(200, 5, primary_mass=1.0 - 1e-9,
+                                      length_low=40, length_high=80)
+        corpus = generate_corpus(model, 150, seed=1)
+        lsi = LSIModel.fit(corpus.term_document_matrix(), 5,
+                           engine="exact")
+        delta = skewness(lsi.document_vectors(), corpus.topic_labels())
+        assert delta < 0.01
+
+    def test_block_structure_of_gram(self):
+        # For a 0-separable pure corpus, A^T A is block diagonal in the
+        # topic grouping — the structural heart of the proof.
+        model = build_separable_model(100, 4, primary_mass=1.0 - 1e-9)
+        corpus = generate_corpus(model, 40, seed=2)
+        gram = corpus.term_document_matrix().gram()
+        labels = corpus.topic_labels()
+        different = labels[:, None] != labels[None, :]
+        assert np.allclose(gram[different], 0.0)
+
+    def test_lsi_space_aligns_with_topic_blocks(self):
+        model = build_separable_model(150, 3, primary_mass=1.0 - 1e-9)
+        corpus = generate_corpus(model, 90, seed=3)
+        lsi = LSIModel.fit(corpus.term_document_matrix(), 3,
+                           engine="exact")
+        # Each column of U_k should be supported on one topic's terms.
+        primary_size = 150 // 3
+        for column in lsi.term_basis.T:
+            energy_per_topic = [
+                float(np.sum(column[t * primary_size:
+                                    (t + 1) * primary_size] ** 2))
+            for t in range(3)]
+            assert max(energy_per_topic) > 0.99
+
+
+class TestTheorem3:
+    """ε-separable corpus ⇒ O(ε)-skewed; skew grows smoothly with ε."""
+
+    def test_skew_scales_with_epsilon(self):
+        deltas = {}
+        for epsilon in (0.02, 0.3):
+            model = build_separable_model(200, 5,
+                                          primary_mass=1.0 - epsilon,
+                                          length_low=40, length_high=80)
+            corpus = generate_corpus(model, 150, seed=4)
+            lsi = LSIModel.fit(corpus.term_document_matrix(), 5,
+                               engine="exact")
+            deltas[epsilon] = skewness(lsi.document_vectors(),
+                                       corpus.topic_labels())
+        assert deltas[0.02] < deltas[0.3]
+
+    def test_small_epsilon_angles_collapse(self):
+        model = build_separable_model(200, 5, primary_mass=0.95,
+                                      length_low=40, length_high=80)
+        corpus = generate_corpus(model, 150, seed=5)
+        matrix = corpus.term_document_matrix()
+        labels = corpus.topic_labels()
+        lsi = LSIModel.fit(matrix, 5, engine="exact")
+        original = angle_statistics(matrix.to_dense(), labels)
+        reduced = angle_statistics(lsi.document_vectors(), labels)
+        # The paper's phenomenon: intratopic angles collapse by an
+        # order of magnitude; intertopic stay near orthogonal.
+        assert reduced.intratopic_mean < original.intratopic_mean / 5
+        assert reduced.intertopic_mean > 1.2
+
+
+class TestLemma1:
+    """Small perturbations move the LSI subspace by O(ε)."""
+
+    def test_corpus_perturbation(self, rng):
+        model = build_separable_model(150, 4, primary_mass=1.0 - 1e-9)
+        corpus = generate_corpus(model, 100, seed=6)
+        dense = corpus.term_document_matrix().to_dense()
+        sigma = np.linalg.svd(dense, compute_uv=False)
+        perturbation = rng.standard_normal(dense.shape)
+        # ε at 5% of the k/k+1 gap: comfortably in the lemma's regime.
+        epsilon = 0.05 * (sigma[3] - sigma[4])
+        perturbation *= epsilon / np.linalg.svd(perturbation,
+                                                compute_uv=False)[0]
+        report = singular_subspace_perturbation(dense, perturbation, 4)
+        # O(ε) with a generous constant relative to the gap.
+        assert report.residual_norm <= \
+            10 * report.epsilon / (sigma[3] - sigma[4])
+
+
+class TestTheorem5:
+    """RP + rank-2k LSI recovers nearly as much as direct LSI."""
+
+    @pytest.mark.parametrize("projection_dim,epsilon",
+                             [(30, 0.6), (80, 0.4), (160, 0.25)])
+    def test_bound_holds_across_dims(self, projection_dim, epsilon):
+        model = build_separable_model(300, 6)
+        corpus = generate_corpus(model, 120, seed=7)
+        matrix = corpus.term_document_matrix()
+        two_step = TwoStepLSI.fit(matrix, 6, projection_dim, seed=7)
+        report = two_step.recovery_report(epsilon=epsilon)
+        assert report.holds
+
+    def test_recovery_approaches_one(self):
+        model = build_separable_model(300, 6)
+        corpus = generate_corpus(model, 120, seed=8)
+        matrix = corpus.term_document_matrix()
+        small = TwoStepLSI.fit(matrix, 6, 20, seed=8) \
+            .recovery_report(epsilon=0.9)
+        large = TwoStepLSI.fit(matrix, 6, 110, seed=8) \
+            .recovery_report(epsilon=0.3)
+        assert large.recovery_ratio > small.recovery_ratio - 0.02
+        assert large.recovery_ratio > 0.9
+
+    def test_retrieval_survives_projection(self):
+        model = build_separable_model(300, 6)
+        corpus = generate_corpus(model, 120, seed=9)
+        matrix = corpus.term_document_matrix()
+        labels = corpus.topic_labels()
+        two_step = TwoStepLSI.fit(matrix, 6, 80, seed=9)
+        agreements = 0
+        for doc in range(0, 120, 10):
+            top = two_step.rank_documents(matrix.get_column(doc),
+                                          top_k=10)
+            agreements += sum(1 for d in top if labels[d] == labels[doc])
+        assert agreements / 120 > 0.7
+
+
+class TestTheorem6:
+    """k high-conductance subgraphs + ε cross weight ⇒ rank-k spectral
+    analysis discovers them."""
+
+    def test_discovery_in_theorem_regime(self):
+        graph, labels = planted_partition_graph(
+            [25, 25, 25, 25], inter_fraction=0.05, seed=10)
+        discovery = discover_topics(graph, 4, seed=10)
+        assert discovery.accuracy_against(labels) >= 0.98
+
+    def test_eigenvalue_signature(self):
+        graph, _ = planted_partition_graph([25, 25, 25],
+                                           inter_fraction=0.03, seed=11)
+        discovery = discover_topics(graph, 3, seed=11)
+        values = discovery.eigenvalues
+        # k eigenvalues near 1 (per block), then a sharp drop.
+        assert values[2] > 0.5
+        assert values[3] < 0.5
+
+    def test_degradation_outside_regime(self):
+        inside, labels_in = planted_partition_graph(
+            [20, 20, 20], inter_fraction=0.02, seed=12)
+        outside, labels_out = planted_partition_graph(
+            [20, 20, 20], inter_fraction=0.95, seed=12,
+            intra_density=0.3)
+        acc_in = discover_topics(inside, 3, seed=12) \
+            .accuracy_against(labels_in)
+        acc_out = discover_topics(outside, 3, seed=12) \
+            .accuracy_against(labels_out)
+        assert acc_in >= acc_out
+
+
+class TestHeadlineRetrievalClaim:
+    """LSI ≥ VSM on precision/recall under vocabulary mismatch."""
+
+    def test_lsi_beats_vsm_on_single_terms(self):
+        from repro.experiments.retrieval_exp import (
+            RetrievalConfig,
+            run_retrieval_experiment,
+        )
+
+        config = RetrievalConfig(n_terms=300, n_topics=6,
+                                 n_documents=180, projection_dim=60,
+                                 queries_per_topic=3, seed=13)
+        result = run_retrieval_experiment(config)
+        assert result.lsi_wins_on_single_terms()
+        lsi_map = result.scores[("lsi", "single-term")].map_score
+        vsm_map = result.scores[("vsm", "single-term")].map_score
+        assert lsi_map > vsm_map

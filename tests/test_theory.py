@@ -1,0 +1,152 @@
+"""Tests for the theory toolbox: bounds, JL, Eckart–Young, Lemma 4."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.theory.bounds import (
+    chernoff_hoeffding_tail,
+    conductance_lower_bound,
+    fkv_additive_error,
+    lemma2_tail_probability,
+    required_samples_for_fkv,
+    theorem5_additive_error,
+)
+from repro.theory.eckart_young import eckart_young_gap
+from repro.theory.jl import projected_length_statistics
+from repro.theory.stewart import (
+    CONCLUSION_FACTOR,
+    lemma4_check,
+    make_lemma4_instance,
+)
+
+
+class TestBounds:
+    def test_lemma2_tail_decreases_in_l(self):
+        # The bound is vacuous (capped at 1) for small l; compare in the
+        # regime where it bites: (l-1)·eps²/24 ≫ log(2√l).
+        assert lemma2_tail_probability(20_000, 0.2) < \
+            lemma2_tail_probability(6_000, 0.2)
+
+    def test_lemma2_tail_decreases_in_epsilon(self):
+        assert lemma2_tail_probability(6_000, 0.4) < \
+            lemma2_tail_probability(6_000, 0.2) < 1.0
+
+    def test_lemma2_tail_capped_at_one(self):
+        assert lemma2_tail_probability(2, 0.01) == 1.0
+
+    def test_lemma2_epsilon_range(self):
+        with pytest.raises(ValidationError):
+            lemma2_tail_probability(10, 0.6)
+
+    def test_hoeffding_decreases_in_n(self):
+        assert chernoff_hoeffding_tail(1000, 0.1) < \
+            chernoff_hoeffding_tail(10, 0.1)
+
+    def test_hoeffding_zero_deviation(self):
+        assert chernoff_hoeffding_tail(10, 0.0) == 1.0
+
+    def test_hoeffding_range_scaling(self):
+        wide = chernoff_hoeffding_tail(100, 0.1, value_range=10.0)
+        narrow = chernoff_hoeffding_tail(100, 0.1, value_range=1.0)
+        assert narrow < wide
+
+    def test_conductance_bound_proportional(self):
+        assert conductance_lower_bound(100, 50) == pytest.approx(2.0)
+        assert conductance_lower_bound(50, 100) == pytest.approx(0.5)
+
+    def test_theorem5_additive(self):
+        assert theorem5_additive_error(0.1, 100.0) == pytest.approx(20.0)
+
+    def test_fkv_additive_shrinks_with_samples(self):
+        assert fkv_additive_error(5, 500, 100.0) < \
+            fkv_additive_error(5, 50, 100.0)
+
+    def test_required_samples_formula(self):
+        assert required_samples_for_fkv(5, 0.5) == 20
+        assert required_samples_for_fkv(5, 0.1) == 500
+
+    def test_required_samples_bad_epsilon(self):
+        with pytest.raises(ValidationError):
+            required_samples_for_fkv(5, 0.0)
+
+
+class TestJLVerification:
+    def test_mean_matches_lemma(self):
+        report = projected_length_statistics(400, 100, 0.3,
+                                             n_trials=400, seed=1)
+        assert report.expected == pytest.approx(0.25)
+        assert report.empirical_mean == pytest.approx(0.25, abs=0.02)
+
+    def test_failure_rate_within_bound(self):
+        report = projected_length_statistics(500, 200, 0.3,
+                                             n_trials=300, seed=2)
+        assert report.within_bound
+
+    def test_l_exceeds_n_rejected(self):
+        with pytest.raises(ValidationError):
+            projected_length_statistics(10, 20, 0.2)
+
+    def test_full_projection_exact(self):
+        # l = n: the projection is the identity, X = 1 always.
+        report = projected_length_statistics(30, 30, 0.3,
+                                             n_trials=50, seed=3)
+        assert report.empirical_mean == pytest.approx(1.0, abs=1e-9)
+        assert report.empirical_failure_rate == 0.0
+
+
+class TestEckartYoung:
+    def test_margin_non_negative(self, rng):
+        matrix = rng.standard_normal((20, 15))
+        report = eckart_young_gap(matrix, 4, n_challengers=30, seed=4)
+        assert report.margin >= -1e-9
+
+    def test_optimal_matches_tail_energy(self, rng):
+        matrix = rng.standard_normal((12, 10))
+        report = eckart_young_gap(matrix, 3, seed=5)
+        sigma = np.linalg.svd(matrix, compute_uv=False)
+        assert report.optimal_residual == pytest.approx(
+            np.sqrt(np.sum(sigma[3:] ** 2)))
+
+    def test_sparse_input(self, tiny_matrix):
+        report = eckart_young_gap(tiny_matrix, 4, seed=6)
+        assert report.margin >= -1e-9
+
+
+class TestLemma4:
+    def test_instance_satisfies_hypotheses(self):
+        a, f = make_lemma4_instance(30, 25, 5, epsilon=0.02, seed=7)
+        report = lemma4_check(a, f, 5)
+        assert report.hypotheses_hold
+        assert report.epsilon == pytest.approx(0.02, rel=1e-9)
+
+    def test_conclusion_holds(self):
+        for seed in range(5):
+            a, f = make_lemma4_instance(30, 25, 5, epsilon=0.04,
+                                        seed=seed)
+            report = lemma4_check(a, f, 5)
+            assert report.conclusion_holds
+            assert report.measured_g_norm <= \
+                CONCLUSION_FACTOR * report.epsilon + 1e-9
+
+    def test_zero_perturbation(self):
+        a, _ = make_lemma4_instance(20, 15, 4, epsilon=0.0, seed=8)
+        report = lemma4_check(a, np.zeros_like(a), 4)
+        assert report.hypotheses_hold
+        assert report.measured_g_norm == pytest.approx(0.0, abs=1e-7)
+
+    def test_hypotheses_fail_for_generic_matrix(self, rng):
+        a = rng.standard_normal((20, 15))  # σ₁ ≫ 21/20
+        report = lemma4_check(a, np.zeros_like(a), 4)
+        assert not report.hypotheses_hold
+        assert np.isnan(report.guaranteed_bound)
+        assert not report.conclusion_holds
+
+    def test_instance_epsilon_validated(self):
+        with pytest.raises(ValidationError):
+            make_lemma4_instance(20, 15, 4, epsilon=0.5)
+
+    def test_shape_mismatch(self):
+        a, f = make_lemma4_instance(20, 15, 4, seed=9)
+        with pytest.raises(ValidationError):
+            lemma4_check(a, f[:, :10], 4)

@@ -1,0 +1,180 @@
+"""Tests for topics (Definition 2) and styles (Definition 3)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.style import Style, mix_styles
+from repro.corpus.topic import Topic, mix_topics
+from repro.errors import DistributionError, ValidationError
+
+
+class TestTopic:
+    def test_uniform(self):
+        topic = Topic.uniform(10)
+        assert np.allclose(topic.probabilities, 0.1)
+        assert topic.max_term_probability() == pytest.approx(0.1)
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(DistributionError):
+            Topic(np.array([0.5, 0.6]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            Topic(np.array([-0.5, 1.5]))
+
+    def test_probabilities_immutable(self):
+        topic = Topic.uniform(4)
+        with pytest.raises(ValueError):
+            topic.probabilities[0] = 1.0
+
+    def test_primary_set_mass(self):
+        topic = Topic.primary_set(100, range(10), primary_mass=0.9)
+        assert topic.primary_mass() == pytest.approx(0.9 + 0.1 * 10 / 100)
+        assert topic.epsilon() == pytest.approx(0.1 * 90 / 100)
+
+    def test_primary_set_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Topic.primary_set(10, [20])
+
+    def test_primary_set_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Topic.primary_set(10, [])
+
+    def test_epsilon_without_primary_set(self):
+        assert Topic.uniform(5).epsilon() == 1.0
+
+    def test_support(self):
+        probs = np.array([0.5, 0.0, 0.5])
+        assert list(Topic(probs).support) == [0, 2]
+
+    def test_sample_terms_within_support(self):
+        probs = np.array([0.5, 0.0, 0.5])
+        samples = Topic(probs).sample_terms(200, seed=1)
+        assert set(np.unique(samples)) <= {0, 2}
+
+    def test_sample_counts_total(self):
+        counts = Topic.uniform(20).sample_counts(57, seed=2)
+        assert counts.sum() == 57
+
+    def test_zipfian_ordering(self):
+        topic = Topic.zipfian(10, [3, 1, 4], exponent=1.0)
+        p = topic.probabilities
+        assert p[3] > p[1] > p[4]
+        assert p[0] == 0.0
+
+    def test_zipfian_duplicate_order_rejected(self):
+        with pytest.raises(ValidationError):
+            Topic.zipfian(10, [1, 1])
+
+    def test_zipfian_bad_exponent(self):
+        with pytest.raises(ValidationError):
+            Topic.zipfian(10, [1, 2], exponent=0.0)
+
+    def test_repr(self):
+        assert "tau=" in repr(Topic.uniform(5))
+
+
+class TestMixTopics:
+    def test_pure_weight_returns_topic(self):
+        a = Topic.primary_set(10, [0, 1], primary_mass=0.9)
+        b = Topic.primary_set(10, [5, 6], primary_mass=0.9)
+        mixed = mix_topics([a, b], [1.0, 0.0])
+        assert np.allclose(mixed, a.probabilities)
+
+    def test_mixture_is_probability_vector(self):
+        a = Topic.uniform(6)
+        b = Topic.primary_set(6, [0], primary_mass=0.5)
+        mixed = mix_topics([a, b], [0.3, 0.7])
+        assert mixed.sum() == pytest.approx(1.0)
+        assert np.all(mixed >= 0)
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            mix_topics([Topic.uniform(4)], [0.5, 0.5])
+
+    def test_universe_mismatch(self):
+        with pytest.raises(ValidationError):
+            mix_topics([Topic.uniform(4), Topic.uniform(5)], [0.5, 0.5])
+
+    def test_empty_topics_rejected(self):
+        with pytest.raises(ValidationError):
+            mix_topics([], [])
+
+
+class TestStyle:
+    def test_identity(self):
+        style = Style.identity(5)
+        assert style.is_identity()
+        dist = np.array([0.2, 0.3, 0.5, 0.0, 0.0])
+        assert np.allclose(style.apply(dist), dist)
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(DistributionError):
+            Style(np.ones((3, 3)))
+
+    def test_rejects_non_square(self):
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            Style(np.ones((2, 3)) / 3)
+
+    def test_matrix_immutable(self):
+        style = Style.identity(3)
+        with pytest.raises(ValueError):
+            style.matrix[0, 0] = 0.5
+
+    def test_apply_returns_distribution(self):
+        style = Style.uniform_noise(6, 0.3)
+        out = style.apply(np.array([1.0, 0, 0, 0, 0, 0]))
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out >= 0)
+
+    def test_apply_wrong_size(self):
+        with pytest.raises(ValidationError):
+            Style.identity(4).apply(np.array([0.5, 0.5]))
+
+    def test_synonym_preference_moves_mass(self):
+        style = Style.synonym_preference(4, {0: {1: 0.8}})
+        out = style.apply(np.array([1.0, 0, 0, 0]))
+        assert out[1] == pytest.approx(0.8)
+        assert out[0] == pytest.approx(0.2)
+
+    def test_synonym_preference_overdraw_rejected(self):
+        with pytest.raises(ValidationError):
+            Style.synonym_preference(4, {0: {1: 0.7, 2: 0.7}})
+
+    def test_synonym_preference_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Style.synonym_preference(4, {9: {1: 0.5}})
+
+    def test_uniform_noise_keeps_stochastic(self):
+        style = Style.uniform_noise(5, 0.4)
+        assert np.allclose(style.matrix.sum(axis=1), 1.0)
+
+    def test_uniform_noise_zero_is_identity(self):
+        assert Style.uniform_noise(4, 0.0).is_identity()
+
+    def test_permutation(self):
+        style = Style.permutation([1, 2, 0])
+        out = style.apply(np.array([1.0, 0.0, 0.0]))
+        assert out[1] == pytest.approx(1.0)
+
+    def test_permutation_invalid(self):
+        with pytest.raises(ValidationError):
+            Style.permutation([0, 0, 1])
+
+
+class TestMixStyles:
+    def test_mixture_is_stochastic(self):
+        mixed = mix_styles([Style.identity(4),
+                            Style.uniform_noise(4, 0.5)], [0.5, 0.5])
+        assert np.allclose(mixed.matrix.sum(axis=1), 1.0)
+
+    def test_weight_mismatch(self):
+        with pytest.raises(ValidationError):
+            mix_styles([Style.identity(3)], [0.5, 0.5])
+
+    def test_universe_mismatch(self):
+        with pytest.raises(ValidationError):
+            mix_styles([Style.identity(3), Style.identity(4)],
+                       [0.5, 0.5])

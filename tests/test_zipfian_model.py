@@ -1,0 +1,92 @@
+"""Tests for the Zipfian ε-separable model builder."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import generate_corpus
+from repro.corpus.separable import (
+    build_separable_model,
+    build_zipfian_separable_model,
+)
+from repro.errors import ValidationError
+
+
+class TestZipfianModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_zipfian_separable_model(200, 4, primary_mass=0.9,
+                                             exponent=1.0, seed=1)
+
+    def test_distributions_valid(self, model):
+        for topic in model.topics:
+            assert topic.probabilities.sum() == pytest.approx(1.0)
+            assert np.all(topic.probabilities >= 0)
+
+    def test_separability_matches_uniform_builder(self, model):
+        uniform = build_separable_model(200, 4, primary_mass=0.9)
+        assert model.separability() == pytest.approx(
+            uniform.separability())
+
+    def test_primary_sets_disjoint(self, model):
+        assert model.primary_sets_disjoint()
+
+    def test_tau_larger_than_uniform(self, model):
+        uniform = build_separable_model(200, 4, primary_mass=0.9)
+        assert model.max_term_probability() > \
+            uniform.max_term_probability()
+
+    def test_zipf_shape_within_primary(self, model):
+        topic = model.topics[0]
+        primary_probs = np.sort(
+            topic.probabilities[sorted(topic.primary_terms)])[::-1]
+        # Rank-1 over rank-2 ratio ≈ 2 for exponent 1 (plus the small
+        # uniform leak).
+        assert primary_probs[0] / primary_probs[1] == pytest.approx(
+            2.0, rel=0.05)
+
+    def test_higher_exponent_more_skew(self):
+        mild = build_zipfian_separable_model(200, 4, exponent=0.5,
+                                             seed=2)
+        steep = build_zipfian_separable_model(200, 4, exponent=1.5,
+                                              seed=2)
+        assert steep.max_term_probability() > \
+            mild.max_term_probability()
+
+    def test_per_topic_rank_orders_differ(self, model):
+        # The permutation is per-topic: the argmax offset within each
+        # primary block should not be identical across all topics.
+        offsets = []
+        for i, topic in enumerate(model.topics):
+            block = topic.probabilities[i * 50:(i + 1) * 50]
+            offsets.append(int(np.argmax(block)))
+        assert len(set(offsets)) > 1
+
+    def test_sampling_works(self, model):
+        corpus = generate_corpus(model, 30, seed=3)
+        assert len(corpus) == 30
+        assert corpus.has_labels()
+
+    def test_lsi_still_separates(self, model):
+        from repro.core.lsi import LSIModel
+        from repro.core.skewness import skewness
+
+        corpus = generate_corpus(model, 120, seed=4)
+        lsi = LSIModel.fit(corpus.term_document_matrix(), 4,
+                           engine="exact")
+        assert skewness(lsi.document_vectors(),
+                        corpus.topic_labels()) < 0.35
+
+    def test_bad_exponent(self):
+        with pytest.raises(ValidationError):
+            build_zipfian_separable_model(100, 4, exponent=0.0)
+
+    def test_oversized_primary_sets(self):
+        with pytest.raises(ValidationError):
+            build_zipfian_separable_model(100, 4, primary_size=50)
+
+    def test_reproducible_given_seed(self):
+        a = build_zipfian_separable_model(100, 4, seed=9)
+        b = build_zipfian_separable_model(100, 4, seed=9)
+        for topic_a, topic_b in zip(a.topics, b.topics):
+            assert np.array_equal(topic_a.probabilities,
+                                  topic_b.probabilities)

@@ -1,0 +1,127 @@
+"""Generate docs/API.md from the package's docstrings.
+
+Walks every public module of :mod:`repro`, collects module, class, and
+function docstrings (first paragraph only — the full text lives in the
+source), and renders a navigable Markdown reference.
+
+Run:  python tools/gen_api_docs.py [output_path]
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+import repro
+
+
+def first_paragraph(docstring) -> str:
+    """The first paragraph of a docstring, whitespace-normalised."""
+    if not docstring:
+        return "(undocumented)"
+    cleaned = inspect.cleandoc(docstring)
+    paragraph = cleaned.split("\n\n", 1)[0]
+    return " ".join(paragraph.split())
+
+
+def iter_public_modules():
+    """Yield every importable public module under repro, sorted."""
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        leaf = info.name.rsplit(".", 1)[-1]
+        if leaf.startswith("_"):
+            continue
+        names.append(info.name)
+    for name in sorted(names):
+        yield name, importlib.import_module(name)
+
+
+def public_members(module):
+    """(classes, functions) defined in this module, public only."""
+    classes, functions = [], []
+    for name, obj in sorted(vars(module).items()):
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports documented at their home
+        if inspect.isclass(obj):
+            classes.append((name, obj))
+        elif inspect.isfunction(obj):
+            functions.append((name, obj))
+    return classes, functions
+
+
+def format_signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return "(...)"
+
+
+def render() -> str:
+    """Render the full API reference as Markdown."""
+    lines = [
+        "# API reference",
+        "",
+        "Generated from docstrings by `tools/gen_api_docs.py`; "
+        "regenerate after changing any public signature.",
+        "",
+    ]
+    for name, module in iter_public_modules():
+        classes, functions = public_members(module)
+        lines.append(f"## `{name}`")
+        lines.append("")
+        lines.append(first_paragraph(module.__doc__))
+        lines.append("")
+        for class_name, cls in classes:
+            lines.append(f"### class `{class_name}`")
+            lines.append("")
+            lines.append(first_paragraph(cls.__doc__))
+            lines.append("")
+            methods = [
+                (method_name, method)
+                for method_name, method in sorted(vars(cls).items())
+                if not method_name.startswith("_")
+                and (inspect.isfunction(method)
+                     or isinstance(method, (classmethod, staticmethod,
+                                            property)))]
+            for method_name, method in methods:
+                if isinstance(method, property):
+                    doc = first_paragraph(method.fget.__doc__
+                                          if method.fget else None)
+                    lines.append(f"- `{method_name}` (property) — {doc}")
+                else:
+                    func = method.__func__ if isinstance(
+                        method, (classmethod, staticmethod)) else method
+                    doc = first_paragraph(func.__doc__)
+                    lines.append(
+                        f"- `{method_name}{format_signature(func)}` "
+                        f"— {doc}")
+            if methods:
+                lines.append("")
+        for function_name, func in functions:
+            lines.append(
+                f"### `{function_name}{format_signature(func)}`")
+            lines.append("")
+            lines.append(first_paragraph(func.__doc__))
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    """Write the reference to docs/API.md (or the given path)."""
+    argv = sys.argv[1:] if argv is None else argv
+    output = Path(argv[0]) if argv else \
+        Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(render())
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
