@@ -8,7 +8,9 @@ Commands:
 - ``paper-table [--scale f]`` — shorthand for the paper's §4 table (T1);
 - ``report [ids...] [--output path]`` — run experiments and write one
   Markdown report (all of them by default);
-- ``info`` — version and experiment inventory summary.
+- ``info`` — version and experiment inventory summary;
+- ``lint [paths...] [--format {text,json}] [--select Rxxx,...]`` — run
+  the repo's static-analysis pass (reprolint) over the source tree.
 
 The CLI exists so a downstream user can regenerate any artifact without
 writing Python; the benchmark harness remains the canonical driver.
@@ -21,6 +23,8 @@ import dataclasses
 import sys
 
 from repro import __version__
+
+__all__ = ["build_parser", "main"]
 
 #: Experiment id → (module summary, config factory, runner import path).
 _EXPERIMENTS = {
@@ -134,6 +138,46 @@ def _command_report(args) -> int:
     return 0
 
 
+def _load_reprolint():
+    """Import the reprolint CLI, reaching back to the repo checkout.
+
+    reprolint lives in ``tools/`` (repository-side, not shipped in the
+    wheel), so an src-layout import needs the repository root on
+    ``sys.path``; for installed copies without the checkout we raise a
+    clear error instead of an ImportError traceback.
+    """
+    try:
+        from tools.reprolint import cli as reprolint_cli
+    except ImportError:
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        if not (root / "tools" / "reprolint").is_dir():
+            raise ModuleNotFoundError(
+                "tools.reprolint not importable: `repro lint` runs "
+                "from a repository checkout (tools/ is not packaged)")
+        sys.path.insert(0, str(root))
+        from tools.reprolint import cli as reprolint_cli
+    return reprolint_cli
+
+
+def _command_lint(args) -> int:
+    try:
+        reprolint_cli = _load_reprolint()
+    except ModuleNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.config:
+        argv += ["--config", args.config]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return reprolint_cli.main(argv)
+
+
 def _command_paper_table(args) -> int:
     config_cls, runner = _load_experiment("t1")
     config = _apply_overrides(config_cls(), scale=args.scale,
@@ -190,6 +234,25 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.add_argument("--scale", type=float, default=None)
     table_parser.add_argument("--seed", type=int, default=None)
     table_parser.set_defaults(handler=_command_paper_table)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the repo's static-analysis pass (reprolint)")
+    lint_parser.add_argument("paths", nargs="*",
+                             help="files or directories to lint "
+                                  "(default: src/repro)")
+    lint_parser.add_argument("--format", "-f",
+                             choices=("text", "json"), default="text",
+                             help="report format (default: text)")
+    lint_parser.add_argument("--select", default=None,
+                             metavar="Rxxx,...",
+                             help="comma-separated rule codes to run")
+    lint_parser.add_argument("--config", default=None,
+                             metavar="PYPROJECT",
+                             help="explicit pyproject.toml to read")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalogue and exit")
+    lint_parser.set_defaults(handler=_command_lint)
     return parser
 
 

@@ -31,6 +31,17 @@ from repro.linalg.svd import truncated_svd
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_fraction, check_positive_int
 
+__all__ = [
+    "CosineKNNRecommender",
+    "InteractionData",
+    "ItemKNNRecommender",
+    "LatentPreferenceModel",
+    "PopularityRecommender",
+    "RecommenderEvaluation",
+    "SpectralRecommender",
+    "evaluate_recommender",
+]
+
 
 @dataclass(frozen=True)
 class InteractionData:
@@ -202,7 +213,7 @@ class CosineKNNRecommender:
 
     def fit(self, train: CSRMatrix) -> "CosineKNNRecommender":
         """Precompute normalised user vectors."""
-        dense = train.to_dense()
+        dense = train.to_dense()  # reprolint: disable=R004
         norms = np.linalg.norm(dense, axis=0)
         safe = np.where(norms > 0, norms, 1.0)
         self._train_dense = dense
@@ -247,7 +258,7 @@ class ItemKNNRecommender:
 
     def fit(self, train: CSRMatrix) -> "ItemKNNRecommender":
         """Precompute the top-k similar items per item."""
-        dense = train.to_dense()                 # (items, users)
+        dense = train.to_dense()  # (items, users)  # reprolint: disable=R004
         norms = np.linalg.norm(dense, axis=1)
         safe = np.where(norms > 0, norms, 1.0)
         unit = dense / safe[:, None]

@@ -23,6 +23,12 @@ from repro.linalg.operator import as_operator
 from repro.utils.kmeans import kmeans
 from repro.utils.validation import check_positive_int
 
+__all__ = [
+    "CLUSTER_SPACES",
+    "NearestCentroidClassifier",
+    "cluster_documents",
+]
+
 #: Representations cluster_documents understands.
 CLUSTER_SPACES = ("raw", "lsi", "graph")
 
@@ -32,7 +38,8 @@ def _document_representation(matrix, space: str, k: int, *,
     """Documents as rows of an ``(m, d)`` array in the chosen space."""
     op = as_operator(matrix)
     if space == "raw":
-        unit, _ = normalize_columns(op.to_dense())
+        unit, _ = normalize_columns(
+            op.to_dense())  # reprolint: disable=R004
         return unit.T
     if space == "lsi":
         lsi = LSIModel.fit(matrix, k, engine="lanczos", seed=seed)
@@ -109,7 +116,7 @@ class NearestCentroidClassifier:
                                      engine="lanczos", seed=seed)
             vectors = self._lsi.document_vectors()
         else:
-            vectors = op.to_dense()
+            vectors = op.to_dense()  # reprolint: disable=R004
 
         self._classes = np.unique(labels)
         centroids = np.zeros((self._classes.size, vectors.shape[0]))
@@ -129,7 +136,7 @@ class NearestCentroidClassifier:
         if self.space == "lsi":
             vectors = self._lsi.project_documents(op)
         else:
-            vectors = op.to_dense()
+            vectors = op.to_dense()  # reprolint: disable=R004
         sims = cosine_similarity_matrix(vectors, self._centroids.T)
         return self._classes[np.argmax(sims, axis=1)]
 

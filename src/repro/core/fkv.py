@@ -32,6 +32,13 @@ from repro.linalg.operator import as_operator
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int, check_rank
 
+__all__ = [
+    "SampledLSIResult",
+    "fkv_error_bound",
+    "fkv_low_rank_approximation",
+    "sampled_lsi",
+]
+
 
 @dataclass(frozen=True)
 class SampledLSIResult:
@@ -69,7 +76,7 @@ class SampledLSIResult:
     def residual_norm(self, matrix) -> float:
         """``‖A − H·Hᵀ·A‖_F`` against the given matrix."""
         op = as_operator(matrix)
-        dense = op.to_dense()
+        dense = op.to_dense()  # reprolint: disable=R004
         return float(np.linalg.norm(dense - self.reconstruct(op)))
 
 
@@ -110,7 +117,8 @@ def fkv_low_rank_approximation(matrix, rank, n_samples, *,
     if isinstance(matrix, np.ndarray):
         sample = np.asarray(matrix, dtype=np.float64)[:, chosen] * scales
     else:
-        sample = matrix.select_columns(chosen).to_dense() * scales
+        sample = matrix.select_columns(  # reprolint: disable=R004
+            chosen).to_dense() * scales
 
     u, _, _ = np.linalg.svd(sample, full_matrices=False)
     basis = u[:, :rank]
@@ -159,7 +167,8 @@ def sampled_lsi(matrix, rank, n_documents, *, seed=None) -> SampledLSIResult:
     if isinstance(matrix, np.ndarray):
         sample = np.asarray(matrix, dtype=np.float64)[:, chosen]
     else:
-        sample = matrix.select_columns(chosen).to_dense()
+        sample = matrix.select_columns(  # reprolint: disable=R004
+            chosen).to_dense()
     u, _, _ = np.linalg.svd(sample, full_matrices=False)
     return SampledLSIResult(term_basis=u[:, :rank],
                             sampled_indices=np.asarray(chosen),

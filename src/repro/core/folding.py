@@ -25,6 +25,8 @@ from repro.linalg.dense import cosine_similarity_matrix
 from repro.linalg.operator import as_operator
 from repro.linalg.perturbation import sin_theta_distance
 
+__all__ = ["FoldingDrift", "FoldingIndex", "folding_drift"]
+
 
 class FoldingIndex:
     """An LSI index that grows by folding-in instead of refitting.
@@ -127,8 +129,9 @@ def folding_drift(original_matrix, new_columns, rank: int, *,
             f"term spaces differ: {old_op.shape[0]} vs {new_op.shape[0]}")
 
     old = LSIModel.fit(original_matrix, rank, engine=engine, seed=seed)
-    full_dense = np.concatenate([old_op.to_dense(), new_op.to_dense()],
-                                axis=1)
+    full_dense = np.concatenate(
+        [old_op.to_dense(), new_op.to_dense()],  # reprolint: disable=R004
+        axis=1)
     refit = LSIModel.fit(full_dense, rank, engine=engine, seed=seed)
 
     drift = sin_theta_distance(old.term_basis, refit.term_basis)

@@ -22,6 +22,8 @@ from repro.linalg.dense import cosine_similarity_matrix
 from repro.linalg.svd import SVDResult, truncated_svd
 from repro.utils.validation import check_vector
 
+__all__ = ["LSIModel"]
+
 
 class LSIModel:
     """A fitted rank-``k`` LSI index.

@@ -23,6 +23,14 @@ from repro.core.lsi import LSIModel
 from repro.linalg.dense import cosine_similarity
 from repro.utils.validation import check_positive_int
 
+__all__ = [
+    "ContextDisambiguation",
+    "SenseSuperposition",
+    "context_disambiguation",
+    "sense_superposition",
+    "topic_directions",
+]
+
 
 def topic_directions(lsi: LSIModel, labels) -> np.ndarray:
     """Unit centroid direction of each topic's documents in LSI space.

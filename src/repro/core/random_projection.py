@@ -29,6 +29,16 @@ from repro.linalg.operator import as_operator
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
 
+__all__ = [
+    "GaussianProjector",
+    "OrthonormalProjector",
+    "PROJECTOR_FAMILIES",
+    "SignProjector",
+    "distance_distortions",
+    "johnson_lindenstrauss_dimension",
+    "make_projector",
+]
+
 
 def johnson_lindenstrauss_dimension(n_points: int, epsilon: float, *,
                                     failure_probability: float = 0.01

@@ -25,6 +25,13 @@ from repro.errors import ValidationError
 from repro.linalg.dense import cosine_similarity_matrix
 from repro.utils.tables import Table
 
+__all__ = [
+    "AngleStatistics",
+    "angle_statistics",
+    "pairwise_angle_table",
+    "skewness",
+]
+
 
 def _pair_masks(labels: np.ndarray):
     """Boolean (p, p) masks of strictly-upper-triangular intra/inter pairs."""

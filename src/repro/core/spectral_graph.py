@@ -26,6 +26,14 @@ from repro.graphs.laplacian import adjacency_eigengap, normalized_adjacency
 from repro.utils.kmeans import clustering_accuracy, kmeans
 from repro.utils.validation import check_positive_int
 
+__all__ = [
+    "Theorem6Premises",
+    "TopicDiscovery",
+    "discover_topics",
+    "spectral_embedding",
+    "theorem6_premises",
+]
+
 
 @dataclass(frozen=True)
 class TopicDiscovery:

@@ -28,6 +28,15 @@ from repro.errors import ValidationError
 from repro.linalg.operator import as_operator
 from repro.linalg.dense import cosine_similarity
 
+__all__ = [
+    "DifferenceDirectionReport",
+    "SynonymCollapseReport",
+    "bottom_eigenvector_pair_pattern",
+    "cooccurrence_similarity",
+    "difference_direction_analysis",
+    "synonym_collapse",
+]
+
 
 def _term_profiles(matrix, term_a: int, term_b: int):
     op = as_operator(matrix)
@@ -38,7 +47,7 @@ def _term_profiles(matrix, term_a: int, term_b: int):
                 f"term {term} out of range for {n} terms")
     if term_a == term_b:
         raise ValidationError("term_a and term_b must differ")
-    dense = op.to_dense()
+    dense = op.to_dense()  # reprolint: disable=R004
     return dense, dense[int(term_a)], dense[int(term_b)]
 
 

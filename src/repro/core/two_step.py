@@ -31,6 +31,14 @@ from repro.utils.validation import (
     check_vector,
 )
 
+__all__ = [
+    "LSICost",
+    "RecoveryReport",
+    "TwoStepLSI",
+    "lsi_cost_model",
+    "theorem5_bound",
+]
+
 
 def theorem5_bound(direct_residual_sq: float, epsilon: float,
                    frobenius_norm_sq: float) -> float:
@@ -253,7 +261,7 @@ class TwoStepLSI:
             raise NotFittedError(
                 "TwoStepLSI must be built through fit() for recovery "
                 "reporting")
-        dense = self._source.to_dense()
+        dense = self._source.to_dense()  # reprolint: disable=R004
         energy = float(np.sum(dense * dense))
         two_step_residual_sq = float(
             np.linalg.norm(dense - self.reconstruct()) ** 2)

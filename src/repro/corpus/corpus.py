@@ -15,6 +15,8 @@ from repro.corpus.document import Document
 from repro.corpus.weighting import apply_weighting
 from repro.linalg.sparse import CSRMatrix
 
+__all__ = ["Corpus"]
+
 
 class Corpus:
     """An ordered collection of documents over one term universe.

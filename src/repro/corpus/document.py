@@ -16,6 +16,8 @@ from repro.errors import EmptyCorpusError, ValidationError
 from repro.corpus.model import DocumentFactors
 from repro.utils.validation import check_non_negative_int
 
+__all__ = ["Document"]
+
 
 @dataclass(frozen=True)
 class Document:

@@ -23,6 +23,8 @@ from repro.corpus.document import Document
 from repro.corpus.model import DocumentFactors
 from repro.linalg.sparse import CSRMatrix
 
+__all__ = ["load_corpus", "load_matrix", "save_corpus", "save_matrix"]
+
 #: Format tag written into every archive, checked on load.
 _MATRIX_FORMAT = "repro-csr-v1"
 _CORPUS_FORMAT = "repro-corpus-v1"

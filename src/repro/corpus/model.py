@@ -31,6 +31,14 @@ from repro.utils.validation import (
     check_probability_vector,
 )
 
+__all__ = [
+    "CorpusModel",
+    "DocumentFactors",
+    "FactorDistribution",
+    "MixtureTopicFactors",
+    "PureTopicFactors",
+]
+
 
 @dataclass(frozen=True)
 class DocumentFactors:

@@ -23,6 +23,8 @@ from repro.corpus.weighting import WEIGHTING_SCHEMES, apply_weighting
 from repro.linalg.sparse import CSRMatrix
 from repro.utils.validation import check_fraction
 
+__all__ = ["TextPipeline"]
+
 
 class TextPipeline:
     """A fit/transform text front end over a fixed vocabulary.

@@ -24,6 +24,8 @@ from repro.corpus.model import CorpusModel
 from repro.corpus.topic import Topic
 from repro.linalg.sparse import CSRMatrix
 
+__all__ = ["merge_matrix_terms", "merge_topic_terms"]
+
 
 def merge_topic_terms(model: CorpusModel, term_a: int,
                       term_b: int) -> CorpusModel:

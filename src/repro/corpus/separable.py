@@ -24,6 +24,19 @@ from repro.utils.validation import (
     check_positive_int,
 )
 
+__all__ = [
+    "PAPER_LENGTH_HIGH",
+    "PAPER_LENGTH_LOW",
+    "PAPER_N_DOCUMENTS",
+    "PAPER_N_TERMS",
+    "PAPER_N_TOPICS",
+    "PAPER_PRIMARY_MASS",
+    "PAPER_PRIMARY_SIZE",
+    "build_separable_model",
+    "build_zipfian_separable_model",
+    "paper_experiment_model",
+]
+
 
 def build_separable_model(n_terms, n_topics, *, primary_size=None,
                           primary_mass: float = 0.95,

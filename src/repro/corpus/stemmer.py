@@ -14,6 +14,8 @@ remaining stem has measure above a threshold.
 
 from __future__ import annotations
 
+__all__ = ["porter_stem", "stem_tokens"]
+
 _VOWELS = frozenset("aeiou")
 
 

@@ -16,6 +16,15 @@ from repro.errors import ValidationError
 from repro.linalg.sparse import CSRMatrix
 from repro.utils.validation import check_fraction
 
+__all__ = [
+    "ENGLISH_STOP_WORDS",
+    "high_document_frequency_terms",
+    "is_stop_word",
+    "low_document_frequency_terms",
+    "prune_terms",
+    "remove_stop_words",
+]
+
 #: A compact English stop list (the classic van Rijsbergen-style core).
 ENGLISH_STOP_WORDS = frozenset("""
 a about above after again against all am an and any are as at be because

@@ -23,6 +23,8 @@ from repro.utils.validation import (
     check_stochastic_matrix,
 )
 
+__all__ = ["Style", "mix_styles"]
+
 
 class Style:
     """An ``n × n`` row-stochastic term-rewriting matrix.

@@ -29,6 +29,8 @@ from repro.corpus.topic import Topic
 from repro.linalg.sparse import CSRMatrix
 from repro.utils.rng import as_generator
 
+__all__ = ["split_term_into_synonyms", "split_topic_term"]
+
 
 def split_topic_term(model: CorpusModel, term: int) -> CorpusModel:
     """Extend the model with a synonym of ``term``.

@@ -17,6 +17,14 @@ from repro.corpus.document import Document
 from repro.corpus.vocabulary import Vocabulary
 from repro.utils.rng import as_generator
 
+__all__ = [
+    "parse_corpus",
+    "parse_document",
+    "render_corpus",
+    "render_document",
+    "tokenize",
+]
+
 _TOKEN_PATTERN = re.compile(r"[a-z]+")
 
 

@@ -21,6 +21,8 @@ from repro.utils.validation import (
     check_probability_vector,
 )
 
+__all__ = ["Topic", "mix_topics"]
+
 
 class Topic:
     """A probability distribution over term ids ``0..n-1``.

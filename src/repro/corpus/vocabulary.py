@@ -14,6 +14,8 @@ import itertools
 from repro.errors import ValidationError
 from repro.utils.validation import check_positive_int
 
+__all__ = ["Vocabulary", "synthetic_words"]
+
 #: Syllable inventory for synthetic word generation (consonant + vowel).
 _ONSETS = ("b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t",
            "v", "z", "ch", "sh", "th", "br", "cr", "st")

@@ -24,6 +24,8 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.linalg.sparse import CSRMatrix
 
+__all__ = ["WEIGHTING_SCHEMES", "apply_weighting"]
+
 
 def _counts(matrix: CSRMatrix) -> CSRMatrix:
     return matrix

@@ -13,6 +13,17 @@ etc.)::
 
 from __future__ import annotations
 
+__all__ = [
+    "ConvergenceError",
+    "DistributionError",
+    "EmptyCorpusError",
+    "NotFittedError",
+    "RankError",
+    "ReproError",
+    "ShapeError",
+    "ValidationError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""

@@ -42,6 +42,15 @@ from repro.corpus.separable import (
 )
 from repro.utils.tables import render_tables
 
+__all__ = [
+    "AngleTableConfig",
+    "AngleTableResult",
+    "AngleTableTrials",
+    "PAPER_REPORTED",
+    "collect_angle_samples",
+    "run_angle_table",
+    "run_angle_table_trials",
+]
 
 #: The paper's reported values, for EXPERIMENTS.md comparisons.
 PAPER_REPORTED = {

@@ -24,6 +24,8 @@ from repro.core.cf import (
 from repro.utils.rng import as_generator
 from repro.utils.tables import Table
 
+__all__ = ["CFConfig", "CFResult", "run_cf_experiment"]
+
 
 @dataclass(frozen=True)
 class CFConfig:

@@ -23,6 +23,13 @@ from repro.utils.kmeans import clustering_accuracy
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 
+__all__ = [
+    "ClassificationConfig",
+    "ClassificationPoint",
+    "ClassificationResult",
+    "run_classification",
+]
+
 
 @dataclass(frozen=True)
 class ClassificationConfig:

@@ -29,6 +29,14 @@ from repro.theory.bounds import conductance_lower_bound
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 
+__all__ = [
+    "BlockPoint",
+    "ConductanceConfig",
+    "ConductanceResult",
+    "GapPoint",
+    "run_conductance_experiment",
+]
+
 
 @dataclass(frozen=True)
 class ConductanceConfig:

@@ -30,6 +30,13 @@ from repro.linalg.svd import best_rank_k_error
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 
+__all__ = [
+    "ApproximationPoint",
+    "FKVConfig",
+    "FKVResult",
+    "run_fkv_experiment",
+]
+
 
 @dataclass(frozen=True)
 class FKVConfig:

@@ -17,6 +17,13 @@ from repro.corpus.separable import build_separable_model
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 
+__all__ = [
+    "FoldingConfig",
+    "FoldingPoint",
+    "FoldingResult",
+    "run_folding_experiment",
+]
+
 
 @dataclass(frozen=True)
 class FoldingConfig:

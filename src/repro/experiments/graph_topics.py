@@ -29,6 +29,13 @@ from repro.graphs.random_graphs import (
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 
+__all__ = [
+    "GraphSweepPoint",
+    "GraphTopicsConfig",
+    "GraphTopicsResult",
+    "run_graph_topics",
+]
+
 
 @dataclass(frozen=True)
 class GraphTopicsConfig:

@@ -23,6 +23,13 @@ from repro.theory.jl import ProjectionLengthReport, projected_length_statistics
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 
+__all__ = [
+    "JLDistortionConfig",
+    "JLDistortionResult",
+    "epsilon_predicted_by_lemma2",
+    "run_jl_distortion",
+]
+
 
 @dataclass(frozen=True)
 class JLDistortionConfig:

@@ -26,6 +26,13 @@ from repro.corpus.separable import build_separable_model
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 
+__all__ = [
+    "MixtureConfig",
+    "MixturePoint",
+    "MixtureResult",
+    "run_mixture_experiment",
+]
+
 
 @dataclass(frozen=True)
 class MixtureConfig:

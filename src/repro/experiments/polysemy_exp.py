@@ -30,6 +30,13 @@ from repro.corpus.separable import build_separable_model
 from repro.utils.rng import as_generator
 from repro.utils.tables import Table
 
+__all__ = [
+    "PolysemeOutcome",
+    "PolysemyConfig",
+    "PolysemyResult",
+    "run_polysemy",
+]
+
 
 @dataclass(frozen=True)
 class PolysemyConfig:

@@ -30,6 +30,8 @@ from repro.ir.vsm import VectorSpaceModel
 from repro.utils.rng import as_generator
 from repro.utils.tables import Table
 
+__all__ = ["PRFConfig", "PRFResult", "run_prf_experiment"]
+
 
 @dataclass(frozen=True)
 class PRFConfig:

@@ -11,6 +11,8 @@ from pathlib import Path
 
 from repro.errors import ValidationError
 
+__all__ = ["REPORT_SECTIONS", "generate_report", "write_report"]
+
 #: Experiment id → (title, config class path, runner path).  Mirrors the
 #: CLI registry; kept separate so the report module has no CLI import.
 REPORT_SECTIONS = {

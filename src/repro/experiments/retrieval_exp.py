@@ -41,6 +41,13 @@ from repro.ir.vsm import VectorSpaceModel
 from repro.utils.rng import as_generator
 from repro.utils.tables import Table
 
+__all__ = [
+    "EngineScores",
+    "RetrievalConfig",
+    "RetrievalResult",
+    "run_retrieval_experiment",
+]
+
 
 @dataclass(frozen=True)
 class RetrievalConfig:

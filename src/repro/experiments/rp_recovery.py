@@ -17,6 +17,8 @@ from repro.corpus.separable import build_separable_model
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 
+__all__ = ["RPRecoveryConfig", "RPRecoveryResult", "run_rp_recovery"]
+
 
 @dataclass(frozen=True)
 class RPRecoveryConfig:

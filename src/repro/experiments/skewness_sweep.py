@@ -21,6 +21,12 @@ from repro.corpus.separable import build_separable_model
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 
+__all__ = [
+    "SkewnessSweepConfig",
+    "SkewnessSweepResult",
+    "run_skewness_sweep",
+]
+
 
 @dataclass(frozen=True)
 class SkewnessSweepConfig:

@@ -23,6 +23,13 @@ from repro.corpus.style import Style
 from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 
+__all__ = [
+    "StylePoint",
+    "StyleRobustnessConfig",
+    "StyleRobustnessResult",
+    "run_style_robustness",
+]
+
 
 @dataclass(frozen=True)
 class StyleRobustnessConfig:
@@ -94,7 +101,7 @@ def run_style_robustness(
     points: list[StylePoint] = []
     for rng, noise in zip(rngs, config.noise_levels):
         noise = float(noise)
-        if noise == 0.0:
+        if noise == 0:
             model = base
         else:
             style = Style.uniform_noise(config.n_terms, noise)

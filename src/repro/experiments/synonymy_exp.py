@@ -29,6 +29,13 @@ from repro.corpus.synonyms import split_term_into_synonyms
 from repro.utils.rng import as_generator
 from repro.utils.tables import Table
 
+__all__ = [
+    "SynonymPairOutcome",
+    "SynonymyConfig",
+    "SynonymyResult",
+    "run_synonymy",
+]
+
 
 @dataclass(frozen=True)
 class SynonymyConfig:

@@ -19,6 +19,8 @@ from repro.utils.rng import spawn_generators
 from repro.utils.tables import Table
 from repro.utils.timing import Timer
 
+__all__ = ["TimingConfig", "TimingPoint", "TimingResult", "run_timing"]
+
 
 @dataclass(frozen=True)
 class TimingConfig:

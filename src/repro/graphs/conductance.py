@@ -28,6 +28,13 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.graphs.graph import WeightedGraph
 
+__all__ = [
+    "cheeger_bounds",
+    "conductance_of_cut",
+    "exact_conductance",
+    "sweep_cut_conductance",
+]
+
 
 def conductance_of_cut(graph: WeightedGraph, subset, *,
                        denominator: str = "vertices") -> float:
@@ -57,7 +64,7 @@ def conductance_of_cut(graph: WeightedGraph, subset, *,
         raise ValidationError(
             f"denominator must be 'vertices' or 'volume', got "
             f"{denominator!r}")
-    if denom == 0.0:
+    if denom == 0:
         return float("inf")
     return cut / denom
 

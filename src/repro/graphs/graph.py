@@ -13,6 +13,8 @@ import numpy as np
 from repro.errors import ShapeError, ValidationError
 from repro.utils.validation import check_matrix
 
+__all__ = ["WeightedGraph"]
+
 
 class WeightedGraph:
     """An undirected weighted graph with a dense adjacency matrix.

@@ -14,6 +14,13 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.graphs.graph import WeightedGraph
 
+__all__ = [
+    "adjacency_eigengap",
+    "normalized_adjacency",
+    "normalized_laplacian",
+    "spectral_gap",
+]
+
 
 def normalized_adjacency(graph: WeightedGraph) -> np.ndarray:
     """``D^{-1/2} A D^{-1/2}`` (isolated vertices contribute zero rows)."""

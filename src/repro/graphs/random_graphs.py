@@ -25,6 +25,13 @@ from repro.utils.validation import (
     check_positive_int,
 )
 
+__all__ = [
+    "document_similarity_graph",
+    "knn_similarity_graph",
+    "planted_partition_graph",
+    "random_bipartite_multigraph_gram",
+]
+
 
 def random_bipartite_multigraph_gram(n_documents: int, n_terms: int,
                                      document_length: int, *,

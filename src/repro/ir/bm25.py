@@ -26,6 +26,8 @@ from repro.errors import NotFittedError, ValidationError
 from repro.linalg.sparse import CSRMatrix
 from repro.utils.validation import check_vector
 
+__all__ = ["BM25Model"]
+
 
 class BM25Model:
     """Okapi BM25 ranking over a term–document count matrix.

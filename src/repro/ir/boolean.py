@@ -26,6 +26,8 @@ from repro.errors import ValidationError
 from repro.ir.index import InvertedIndex
 from repro.corpus.vocabulary import Vocabulary
 
+__all__ = ["BooleanQueryError", "BooleanRetriever"]
+
 _TOKEN_PATTERN = re.compile(r"\(|\)|[A-Za-z_][A-Za-z0-9_]*")
 
 #: Reserved operator words (case-insensitive).

@@ -22,6 +22,8 @@ from repro.errors import ValidationError
 from repro.linalg.operator import as_operator
 from repro.utils.validation import check_positive_int, check_vector
 
+__all__ = ["pseudo_relevance_feedback", "rocchio_update"]
+
 
 def rocchio_update(query_vector, document_matrix, relevant_ids,
                    non_relevant_ids=(), *, alpha: float = 1.0,

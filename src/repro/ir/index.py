@@ -15,6 +15,8 @@ from repro.errors import ValidationError
 from repro.linalg.sparse import CSRMatrix
 from repro.utils.validation import check_vector
 
+__all__ = ["InvertedIndex"]
+
 
 class InvertedIndex:
     """Postings lists plus document norms for cosine scoring.
@@ -90,12 +92,12 @@ class InvertedIndex:
             doc_ids, weights = entry
             scores[doc_ids] += query[term] * weights
         query_norm = float(np.linalg.norm(query))
-        if query_norm == 0.0:
+        if query_norm == 0:
             return np.zeros(self.n_documents)
         safe_norms = np.where(self._document_norms > 0,
                               self._document_norms, 1.0)
         scores /= (query_norm * safe_norms)
-        scores[self._document_norms == 0.0] = 0.0
+        scores[self._document_norms == 0] = 0.0
         return scores
 
     def rank(self, query_vector, *, top_k=None) -> np.ndarray:

@@ -12,6 +12,19 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.utils.validation import check_positive_int
 
+__all__ = [
+    "average_precision",
+    "f1_score",
+    "interpolated_precision_recall",
+    "mean_average_precision",
+    "ndcg_at_k",
+    "precision_at_k",
+    "precision_recall",
+    "r_precision",
+    "recall_at_k",
+    "reciprocal_rank",
+]
+
 
 def _as_ranking(ranking) -> list[int]:
     ranking = [int(d) for d in ranking]
@@ -65,7 +78,7 @@ def recall_at_k(ranking, relevant, k: int) -> float:
 def f1_score(ranking, relevant, *, cutoff=None) -> float:
     """Harmonic mean of precision and recall at ``cutoff``."""
     precision, recall = precision_recall(ranking, relevant, cutoff=cutoff)
-    if precision + recall == 0.0:
+    if precision + recall == 0:
         return 0.0
     return 2.0 * precision * recall / (precision + recall)
 

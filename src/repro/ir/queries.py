@@ -22,6 +22,8 @@ from repro.corpus.model import CorpusModel
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
 
+__all__ = ["QuerySet", "generate_topic_queries", "single_term_queries"]
+
 
 @dataclass(frozen=True)
 class QuerySet:

@@ -13,6 +13,8 @@ import numpy as np
 
 from repro.errors import ValidationError
 
+__all__ = ["relevance_from_labels", "relevance_matrix"]
+
 
 def relevance_from_labels(document_labels, query_labels) -> list[set[int]]:
     """Relevant-document sets for topically labelled queries.

@@ -21,6 +21,12 @@ from repro.errors import ValidationError
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int, check_same_length
 
+__all__ = [
+    "SignificanceResult",
+    "paired_bootstrap_test",
+    "paired_sign_test",
+]
+
 
 @dataclass(frozen=True)
 class SignificanceResult:

@@ -15,6 +15,8 @@ from repro.errors import NotFittedError, ValidationError
 from repro.ir.index import InvertedIndex
 from repro.linalg.sparse import CSRMatrix
 
+__all__ = ["VectorSpaceModel"]
+
 
 class VectorSpaceModel:
     """Cosine retrieval in raw term space over an inverted index.

@@ -13,6 +13,22 @@ import numpy as np
 from repro.errors import ShapeError, ValidationError
 from repro.utils.validation import check_matrix, check_vector
 
+__all__ = [
+    "ZERO_NORM_TOL",
+    "angle_between",
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "gram_matrix",
+    "normalize_columns",
+    "orthonormalize_columns",
+    "pairwise_angles",
+    "principal_angles",
+    "project_onto_basis",
+    "reconstruct_from_basis",
+    "relative_error",
+    "spectral_norm",
+]
+
 #: Columns with norm below this are treated as numerically zero.
 ZERO_NORM_TOL = 1e-12
 
@@ -23,7 +39,9 @@ def gram_matrix(matrix) -> np.ndarray:
     return matrix.T @ matrix
 
 
-def normalize_columns(matrix, *, zero_tol: float = ZERO_NORM_TOL):
+def normalize_columns(
+        matrix, *, zero_tol: float = ZERO_NORM_TOL,
+) -> "tuple[np.ndarray, np.ndarray]":
     """Scale each column of ``matrix`` to unit Euclidean norm.
 
     Columns whose norm is below ``zero_tol`` are left as zero vectors

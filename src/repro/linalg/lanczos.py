@@ -15,8 +15,10 @@ import numpy as np
 
 from repro.errors import ConvergenceError
 from repro.linalg.operator import as_operator
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int, check_rank
+
+__all__ = ["BREAKDOWN_TOL", "lanczos_bidiagonalization", "lanczos_svd"]
 
 #: Breakdown threshold: a Lanczos vector with norm below this terminates
 #: the recurrence (the Krylov space is exhausted).
@@ -31,7 +33,9 @@ def _reorthogonalize(vector: np.ndarray, basis: list[np.ndarray]) -> np.ndarray:
     return vector
 
 
-def lanczos_bidiagonalization(matrix, steps, *, seed=None):
+def lanczos_bidiagonalization(
+        matrix, steps: int, *, seed: SeedLike = None,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
     """Run ``steps`` of Golub–Kahan bidiagonalisation with reorthogonalisation.
 
     Produces ``A ≈ P · B · Qᵀ`` where ``P`` (n × s) and ``Q`` (m × s) have
@@ -100,7 +104,8 @@ def _bidiagonal_to_dense(alphas: np.ndarray, betas: np.ndarray) -> np.ndarray:
     return b
 
 
-def lanczos_svd(matrix, rank, *, extra_steps: int = 12, seed=None,
+def lanczos_svd(matrix, rank, *, extra_steps: int = 12,
+                seed: SeedLike = None,
                 max_steps: int | None = None, tol: float = 1e-9):
     """Truncated SVD via Golub–Kahan–Lanczos bidiagonalisation.
 

@@ -14,6 +14,8 @@ import numpy as np
 from repro.errors import ShapeError, ValidationError
 from repro.linalg.sparse import CSRMatrix
 
+__all__ = ["MatrixOperator", "as_operator"]
+
 
 class MatrixOperator:
     """Uniform product interface over dense arrays and CSR matrices."""

@@ -29,6 +29,16 @@ from repro.errors import ShapeError, ValidationError
 from repro.linalg.dense import orthonormalize_columns, principal_angles
 from repro.utils.validation import check_matrix, check_rank
 
+__all__ = [
+    "StewartBound",
+    "SubspacePerturbation",
+    "align_bases",
+    "residual_after_rotation",
+    "sin_theta_distance",
+    "singular_subspace_perturbation",
+    "stewart_invariant_subspace_bound",
+]
+
 
 def sin_theta_distance(basis_a, basis_b) -> float:
     """``sin Θ_max`` between the subspaces spanned by two bases.
@@ -95,7 +105,8 @@ class StewartBound:
     e_blocks_norms: tuple[float, float, float, float]
 
 
-def _block_norms(matrix: np.ndarray, k: int):
+def _block_norms(matrix: np.ndarray,
+                 k: int) -> "tuple[float, float, float, float]":
     e11 = matrix[:k, :k]
     e12 = matrix[:k, k:]
     e21 = matrix[k:, :k]

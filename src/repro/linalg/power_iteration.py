@@ -14,8 +14,17 @@ import numpy as np
 from repro.errors import ConvergenceError
 from repro.linalg.dense import orthonormalize_columns
 from repro.linalg.operator import as_operator
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_matrix, check_positive_int, check_rank
+
+__all__ = [
+    "DEFAULT_MAX_ITER",
+    "DEFAULT_TOL",
+    "dominant_eigenpair",
+    "dominant_singular_value",
+    "subspace_iteration_svd",
+    "top_eigenpairs",
+]
 
 #: Default relative-change convergence tolerance for iterative solvers.
 DEFAULT_TOL = 1e-10
@@ -54,7 +63,7 @@ def dominant_eigenpair(symmetric, *, tol: float = DEFAULT_TOL,
     for iteration in range(max_iter):
         product = matrix @ vector
         norm = np.linalg.norm(product)
-        if norm == 0.0:
+        if norm == 0:
             # The start vector lies in the null space (or A = 0).
             return 0.0, vector
         new_vector = product / norm
@@ -92,7 +101,7 @@ def top_eigenpairs(symmetric, k, *, tol: float = DEFAULT_TOL,
 
 def dominant_singular_value(matrix, *, tol: float = DEFAULT_TOL,
                             max_iter: int = DEFAULT_MAX_ITER,
-                            seed=None) -> float:
+                            seed: SeedLike = None) -> float:
     """Largest singular value of a (possibly sparse) matrix.
 
     Power iteration on the Gram operator ``AᵀA`` without forming it.
@@ -108,7 +117,7 @@ def dominant_singular_value(matrix, *, tol: float = DEFAULT_TOL,
     for _ in range(max_iter):
         product = op.rmatvec(op.matvec(vector))
         norm = np.linalg.norm(product)
-        if norm == 0.0:
+        if norm == 0:
             return 0.0
         new_vector = product / norm
         new_sigma_sq = float(new_vector @ op.rmatvec(op.matvec(new_vector)))
@@ -122,7 +131,7 @@ def dominant_singular_value(matrix, *, tol: float = DEFAULT_TOL,
 
 def subspace_iteration_svd(matrix, rank, *, oversample: int = 8,
                            max_iter: int = 200, tol: float = 1e-9,
-                           seed=None):
+                           seed: SeedLike = None):
     """Truncated SVD by block subspace (orthogonal) iteration.
 
     Iterates an oversampled random block through ``A·Aᵀ`` with

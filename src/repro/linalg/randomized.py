@@ -25,13 +25,20 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.linalg.dense import orthonormalize_columns
 from repro.linalg.operator import as_operator
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_non_negative_int, check_rank
+
+__all__ = [
+    "adaptive_rank_svd",
+    "estimated_residual_norm",
+    "randomized_range_finder",
+    "randomized_svd",
+]
 
 
 def randomized_range_finder(matrix, sketch_size: int, *,
                             power_iterations: int = 2,
-                            seed=None) -> np.ndarray:
+                            seed: SeedLike = None) -> np.ndarray:
     """An orthonormal basis approximately spanning ``A``'s top range.
 
     Args:
@@ -144,7 +151,7 @@ def adaptive_rank_svd(matrix, *, relative_tolerance: float = 0.2,
                                                  min(n, m))
     rng = as_generator(seed)
     norm = op.frobenius_norm()
-    if norm == 0.0:
+    if norm == 0:
         raise ValidationError("matrix is numerically zero")
 
     basis = np.zeros((n, 0))

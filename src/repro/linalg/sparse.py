@@ -22,6 +22,8 @@ import numpy as np
 from repro.errors import ShapeError, ValidationError
 from repro.utils.validation import check_non_negative_int
 
+__all__ = ["CSRMatrix"]
+
 
 class CSRMatrix:
     """An immutable sparse matrix in compressed-sparse-row format.
@@ -120,7 +122,7 @@ class CSRMatrix:
                 keep = np.flatnonzero(boundaries)
                 rows, cols = rows[keep], cols[keep]
 
-        nonzero = values != 0.0
+        nonzero = values != 0
         rows, cols, values = rows[nonzero], cols[nonzero], values[nonzero]
 
         counts = np.bincount(rows, minlength=n_rows) if rows.size else \
@@ -382,7 +384,7 @@ class CSRMatrix:
     def scale(self, factor) -> "CSRMatrix":
         """Return ``factor * A`` (scalar ``factor``)."""
         factor = float(factor)
-        if factor == 0.0:
+        if factor == 0:
             return CSRMatrix.zeros(*self.shape)
         return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(),
                          self.data * factor, _skip_checks=True)

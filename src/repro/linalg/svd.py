@@ -27,7 +27,17 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.linalg.operator import as_operator
+from repro.utils.rng import SeedLike
 from repro.utils.validation import check_rank
+
+__all__ = [
+    "ENGINES",
+    "SVDResult",
+    "best_rank_k_error",
+    "exact_svd",
+    "low_rank_residual",
+    "truncated_svd",
+]
 
 #: Names of the available SVD engines.
 ENGINES = ("lanczos", "subspace", "randomized", "exact")
@@ -112,7 +122,7 @@ class SVDResult:
 
     def energy_fraction(self) -> float:
         """Fraction of ``‖A‖_F²`` captured by the retained triplets."""
-        if self.frobenius_norm_sq == 0.0:
+        if self.frobenius_norm_sq == 0:
             return 1.0
         return min(1.0, self.captured_energy() / self.frobenius_norm_sq)
 
@@ -126,7 +136,8 @@ def exact_svd(matrix) -> SVDResult:
 
 
 def truncated_svd(matrix, rank, *, engine: str = "lanczos",
-                  seed=None, **engine_kwargs) -> SVDResult:
+                  seed: SeedLike = None,
+                  **engine_kwargs) -> SVDResult:
     """Leading-``rank`` SVD of a dense or CSR matrix.
 
     Args:

@@ -12,6 +12,15 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.utils.validation import check_positive_int
 
+__all__ = [
+    "chernoff_hoeffding_tail",
+    "conductance_lower_bound",
+    "fkv_additive_error",
+    "lemma2_tail_probability",
+    "required_samples_for_fkv",
+    "theorem5_additive_error",
+]
+
 
 def lemma2_tail_probability(projection_dim: int, epsilon: float) -> float:
     """Lemma 2's tail: ``Pr(|X − l/n| > ε·l/n) < 2√l · e^{−(l−1)ε²/24}``.

@@ -23,6 +23,8 @@ from repro.errors import ValidationError
 from repro.linalg.operator import as_operator
 from repro.utils.validation import check_rank
 
+__all__ = ["Corollary4Report", "corollary4_check", "lemma3_check"]
+
 
 def _singular_values(matrix) -> np.ndarray:
     return np.linalg.svd(as_operator(matrix).to_dense(),

@@ -17,6 +17,8 @@ from repro.linalg.operator import as_operator
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int, check_rank
 
+__all__ = ["EckartYoungReport", "eckart_young_gap"]
+
 
 @dataclass(frozen=True)
 class EckartYoungReport:

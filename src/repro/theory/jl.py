@@ -22,6 +22,8 @@ from repro.theory.bounds import lemma2_tail_probability
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
 
+__all__ = ["ProjectionLengthReport", "projected_length_statistics"]
+
 
 @dataclass(frozen=True)
 class ProjectionLengthReport:

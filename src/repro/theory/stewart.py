@@ -22,6 +22,17 @@ from repro.linalg.perturbation import residual_after_rotation
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_matrix, check_rank
 
+__all__ = [
+    "CONCLUSION_FACTOR",
+    "EPSILON_MAX",
+    "Lemma4Report",
+    "SIGMA_TAIL_MAX",
+    "SIGMA_TOP_MAX",
+    "SIGMA_TOP_MIN",
+    "lemma4_check",
+    "make_lemma4_instance",
+]
+
 #: Lemma 4's numerical constants.
 SIGMA_TOP_MAX = 21.0 / 20.0
 SIGMA_TOP_MIN = 19.0 / 20.0

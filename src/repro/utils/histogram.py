@@ -8,14 +8,20 @@ reports.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.utils.validation import check_positive_int
 
+__all__ = ["histogram", "side_by_side"]
 
-def histogram(values, *, bins: int = 20, width: int = 50,
-              value_range=None, title: str = "",
+
+def histogram(values: "Iterable[float]", *, bins: int = 20,
+              width: int = 50,
+              value_range: "tuple[float, float] | None" = None,
+              title: str = "",
               label_format: str = "{:.2f}") -> str:
     """Render values as a horizontal-bar ASCII histogram.
 

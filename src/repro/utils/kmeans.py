@@ -12,8 +12,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConvergenceError, ValidationError
-from repro.utils.rng import as_generator
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_matrix, check_positive_int
+
+__all__ = ["KMeansResult", "clustering_accuracy", "kmeans"]
 
 
 @dataclass(frozen=True)
@@ -54,8 +56,9 @@ def _plus_plus_seed(points: np.ndarray, k: int,
     return centers
 
 
-def kmeans(points, k, *, n_restarts: int = 8, max_iter: int = 300,
-           tol: float = 1e-10, seed=None) -> KMeansResult:
+def kmeans(points, k: int, *, n_restarts: int = 8,
+           max_iter: int = 300, tol: float = 1e-10,
+           seed: SeedLike = None) -> KMeansResult:
     """Cluster row-vectors into ``k`` groups (best of ``n_restarts`` runs).
 
     Args:

@@ -14,13 +14,18 @@ ergonomic levels:
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
+__all__ = ["SeedLike", "as_generator", "spawn_generators"]
+
 #: Types accepted wherever the library takes a random seed.
-SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+SeedLike: TypeAlias = (
+    "int | np.random.Generator | np.random.SeedSequence | None")
 
 
-def as_generator(seed=None) -> np.random.Generator:
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
     """Normalise ``seed`` into a :class:`numpy.random.Generator`.
 
     Passing an existing generator returns it unchanged (no copy), so a
@@ -34,7 +39,8 @@ def as_generator(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_generators(seed, count: int) -> list[np.random.Generator]:
+def spawn_generators(seed: SeedLike,
+                     count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent generators from ``seed``.
 
     Used by parameter sweeps so that each configuration gets its own

@@ -7,10 +7,15 @@ so that terminal output reads like the paper's own layout.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from typing import SupportsFloat
+
+__all__ = ["Table", "format_float", "render_tables"]
 
 
-def format_float(value, precision: int = 4) -> str:
+def format_float(value: "SupportsFloat | str | None",
+                 precision: int = 4) -> str:
     """Format a float compactly, matching the paper's 3-significant style.
 
     Integers print without a decimal point; NaN prints as ``-``.
@@ -24,7 +29,7 @@ def format_float(value, precision: int = 4) -> str:
         return "-"
     if value == int(value) and abs(value) < 1e12:
         return str(int(value))
-    if abs(value) >= 1000 or (abs(value) < 1e-3 and value != 0.0):
+    if abs(value) >= 1000 or (abs(value) < 1e-3 and value != 0):
         return f"{value:.{precision}g}"
     return f"{value:.{precision}g}"
 
@@ -48,7 +53,7 @@ class Table:
     rows: list = field(default_factory=list)
     precision: int = 4
 
-    def add_row(self, cells) -> None:
+    def add_row(self, cells: Iterable) -> None:
         """Append one row of cells (numbers or strings)."""
         self.rows.append(list(cells))
 
@@ -84,6 +89,7 @@ class Table:
         return self.render()
 
 
-def render_tables(tables, separator: str = "\n\n") -> str:
+def render_tables(tables: "Iterable[Table]",
+                  separator: str = "\n\n") -> str:
     """Render several tables separated by blank lines."""
     return separator.join(table.render() for table in tables)

@@ -10,7 +10,11 @@ do not depend on one machine's BLAS.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Timer", "time_callable"]
 
 
 @dataclass
@@ -61,7 +65,9 @@ class Timer:
         self._started_at = None
 
 
-def time_callable(fn, *args, repeats: int = 1, **kwargs):
+def time_callable(fn: Callable[..., Any], *args: Any,
+                  repeats: int = 1,
+                  **kwargs: Any) -> "tuple[Any, Timer]":
     """Run ``fn(*args, **kwargs)`` ``repeats`` times; return (result, Timer).
 
     The result of the final invocation is returned so callers can both time

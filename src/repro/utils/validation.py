@@ -11,6 +11,19 @@ import numpy as np
 
 from repro.errors import DistributionError, ShapeError, ValidationError
 
+__all__ = [
+    "PROBABILITY_ATOL",
+    "check_fraction",
+    "check_matrix",
+    "check_non_negative_int",
+    "check_positive_int",
+    "check_probability_vector",
+    "check_rank",
+    "check_same_length",
+    "check_stochastic_matrix",
+    "check_vector",
+]
+
 #: Default tolerance for "sums to one" checks on probability vectors.
 PROBABILITY_ATOL = 1e-8
 

@@ -1,0 +1,8 @@
+"""Developer tooling for the repro repository.
+
+Nothing under :mod:`tools` ships in the wheel; these are repository-side
+utilities (doc generation, static analysis) that operate on the source
+tree itself.
+"""
+
+__all__: list = []

@@ -17,6 +17,15 @@ from pathlib import Path
 
 import repro
 
+__all__ = [
+    "first_paragraph",
+    "format_signature",
+    "iter_public_modules",
+    "main",
+    "public_members",
+    "render",
+]
+
 
 def first_paragraph(docstring) -> str:
     """The first paragraph of a docstring, whitespace-normalised."""

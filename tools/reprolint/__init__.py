@@ -1,0 +1,56 @@
+"""reprolint — a repo-aware static-analysis pass for numerical correctness.
+
+The paper's guarantees (Theorems 2-5) hold only under disciplined
+randomness and exact spectral bookkeeping: a silently reseeded global RNG
+invalidates every probabilistic claim, and an accidental dense
+materialization of a sparse term-document matrix destroys the
+``O(m*l*(l+c))`` two-step speedup of section 5.  reprolint encodes those
+repo-specific invariants as AST lint rules (stdlib :mod:`ast` only, no
+runtime dependencies):
+
+=====  ==============================================================
+Rule   Checks
+=====  ==============================================================
+R001   RNG discipline: no ``np.random.*`` calls outside the blessed
+       :mod:`repro.utils.rng` module (use ``as_generator`` /
+       ``spawn_generators``).
+R002   Float-literal ``==`` / ``!=`` comparisons.
+R003   Mutable default arguments.
+R004   Dense materialization of sparse matrices (``.toarray()``,
+       ``.todense()``, ``.to_dense()``, ``np.asarray(sparse)``)
+       outside an allowlist.
+R005   Bare or overbroad ``except`` clauses that swallow exceptions.
+R006   ``__all__`` consistency: every public module declares
+       ``__all__`` and every exported name exists.
+R007   Import cycles between modules of the linted package.
+=====  ==============================================================
+
+Violations are suppressed per line with ``# reprolint: disable=Rxxx``
+and configured through the ``[tool.reprolint]`` table of
+``pyproject.toml``.  Run as ``python -m tools.reprolint src/repro`` or
+through the packaged CLI as ``repro lint``.
+"""
+
+from tools.reprolint.config import Config, load_config
+from tools.reprolint.engine import LintResult, Violation, lint_paths
+from tools.reprolint.reporters import render_json, render_text
+from tools.reprolint.rules import RULES
+
+__all__ = [
+    "Config",
+    "LintResult",
+    "RULES",
+    "Violation",
+    "lint_paths",
+    "load_config",
+    "main",
+    "render_json",
+    "render_text",
+]
+
+
+def main(argv=None) -> int:
+    """Console entry point; see :mod:`tools.reprolint.cli`."""
+    from tools.reprolint.cli import main as cli_main
+
+    return cli_main(argv)

@@ -1,0 +1,91 @@
+"""The reprolint command line.
+
+Run as ``python -m tools.reprolint [paths...]`` from the repository
+root, or as ``repro lint`` through the packaged CLI.  Exit codes follow
+compiler convention: 0 clean, 1 violations found, 2 usage or
+configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.reprolint.config import (ALL_RULE_CODES, ConfigError,
+                                    load_config)
+from tools.reprolint.engine import lint_paths
+from tools.reprolint.reporters import render_json, render_text
+from tools.reprolint.rules import RULES
+
+__all__ = ["build_parser", "main"]
+
+#: Default lint target when none is given on the command line.
+DEFAULT_TARGET = "src/repro"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The reprolint argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Repo-aware static analysis for numerical "
+                    "correctness (RNG discipline, sparse/dense "
+                    "boundaries, export hygiene, import cycles).")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             f"(default: {DEFAULT_TARGET})")
+    parser.add_argument("--format", "-f", choices=("text", "json"),
+                        default="text", dest="format",
+                        help="report format (default: text)")
+    parser.add_argument("--select", default=None, metavar="Rxxx,...",
+                        help="comma-separated rule codes to run "
+                             "(default: every configured rule)")
+    parser.add_argument("--config", default=None, metavar="PYPROJECT",
+                        help="explicit pyproject.toml to read "
+                             "[tool.reprolint] from")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _parse_select(raw) -> "list | None":
+    """Validate a ``--select`` value into rule codes."""
+    if raw is None:
+        return None
+    codes = [code.strip().upper() for code in raw.split(",")
+             if code.strip()]
+    unknown = sorted(set(codes) - set(ALL_RULE_CODES))
+    if unknown:
+        raise ConfigError(
+            f"unknown rule code(s) in --select: {', '.join(unknown)}")
+    return codes
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+    try:
+        select = _parse_select(args.select)
+        config = load_config(args.config)
+    except ConfigError as error:
+        print(f"reprolint: {error}", file=sys.stderr)
+        return 2
+    paths = args.paths or [str(config.root / DEFAULT_TARGET)]
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"reprolint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    result = lint_paths(paths, config=config, select=select)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""R007: import-cycle detection across a linted package.
+
+Builds the module-level import graph of every package found among the
+linted files (a directory with ``__init__.py`` whose parent is not
+itself linted) and reports each strongly connected component with more
+than one module — or a module importing itself — as one violation.
+
+Only module-level imports participate: an import inside a function body
+cannot deadlock package initialisation, and the repo uses that idiom
+deliberately to break heavy edges.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.rules import AllConsistency
+from tools.reprolint.violations import Violation
+
+__all__ = ["check_cycles"]
+
+
+def module_name_for(path_rel, package_roots) -> "str | None":
+    """Dotted module name of ``path_rel`` under the known package roots.
+
+    ``package_roots`` maps a root package name (e.g. ``repro``) to the
+    root-relative posix directory holding it (e.g. ``src/repro``).
+    Returns ``None`` for files outside every package.
+    """
+    for package, root in package_roots.items():
+        prefix = root + "/"
+        if not path_rel.startswith(prefix):
+            continue
+        remainder = path_rel[len(prefix):]
+        parts = remainder[:-3].split("/")  # strip ".py"
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join([package, *parts]) if parts else package
+    return None
+
+
+def _import_edges(module, tree, known_modules, is_package):
+    """(target, line) pairs for module-level intra-package imports."""
+    if is_package:
+        package = module
+    else:
+        package = module.rsplit(".", 1)[0] if "." in module else module
+    root = module.split(".", 1)[0]
+    for node in AllConsistency._iter_toplevel(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.name
+                while name:
+                    if name in known_modules:
+                        yield name, node.lineno
+                        break
+                    name = name.rpartition(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_import_base(node, module, package)
+            if base is None or not base.startswith(root):
+                continue
+            for alias in node.names:
+                candidate = f"{base}.{alias.name}"
+                if candidate in known_modules:
+                    yield candidate, node.lineno
+                elif base in known_modules and base != module:
+                    yield base, node.lineno
+
+
+def _resolve_import_base(node, module, package) -> "str | None":
+    """The absolute module a ``from ... import`` pulls names from."""
+    if node.level == 0:
+        return node.module
+    # Relative import: level 1 is the containing package (``package``
+    # already accounts for __init__ modules); each extra level strips
+    # one more component.
+    parts = package.split(".")
+    if node.level > len(parts):
+        return None
+    base_parts = parts[:len(parts) - node.level + 1]
+    if node.module:
+        base_parts.append(node.module)
+    return ".".join(base_parts)
+
+
+def check_cycles(modules, package_roots, config) -> list:
+    """R007 violations for the given parsed modules.
+
+    ``modules`` maps a root-relative path to its parsed tree;
+    ``package_roots`` maps package names to their directories (see
+    :func:`module_name_for`).
+    """
+    by_name, paths, packages = {}, {}, set()
+    for path_rel, tree in modules.items():
+        name = module_name_for(path_rel, package_roots)
+        if name is not None:
+            by_name[name] = tree
+            paths[name] = path_rel
+            if path_rel.endswith("/__init__.py"):
+                packages.add(name)
+    graph, edge_lines = {}, {}
+    for name, tree in by_name.items():
+        targets = {}
+        for target, line in _import_edges(name, tree, by_name,
+                                          name in packages):
+            targets.setdefault(target, line)
+        graph[name] = sorted(targets)
+        for target, line in targets.items():
+            edge_lines[(name, target)] = line
+    violations = []
+    for component in _strongly_connected(graph):
+        cycle = _shortest_cycle(component, graph)
+        anchor = min(cycle)
+        position = cycle.index(anchor)
+        ordered = cycle[position:] + cycle[:position]
+        line = edge_lines.get(
+            (ordered[0], ordered[1 % len(ordered)]), 1)
+        arrows = " -> ".join([*ordered, ordered[0]])
+        violations.append(Violation(
+            path=paths[anchor], line=line, col=0, rule="R007",
+            message=(f"import cycle: {arrows}; break the cycle with a "
+                     "function-level import or by moving the shared "
+                     "definition down the dependency tree")))
+    return violations
+
+
+def _strongly_connected(graph) -> list:
+    """SCCs with an internal edge (size > 1, or a self-loop), sorted.
+
+    Iterative Tarjan so deep dependency chains cannot overflow the
+    recursion limit.
+    """
+    index_counter = [0]
+    index, lowlink = {}, {}
+    on_stack, stack = set(), []
+    components = []
+
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work = [(start, iter(graph.get(start, ())))]
+        index[start] = lowlink[start] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in graph:
+                    continue
+                if successor not in index:
+                    index[successor] = lowlink[successor] = \
+                        index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(graph[successor])))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph.get(node, ()):
+                    components.append(sorted(component))
+    return sorted(components)
+
+
+def _shortest_cycle(component, graph) -> list:
+    """One shortest cycle inside a strongly connected component."""
+    members = set(component)
+    best = list(component)
+    for start in component:
+        # BFS from start back to start through component members.
+        frontier = [(start, [start])]
+        seen = {start}
+        while frontier:
+            node, trail = frontier.pop(0)
+            for successor in graph.get(node, ()):
+                if successor == start:
+                    if len(trail) < len(best):
+                        best = trail
+                    frontier = []
+                    break
+                if successor in members and successor not in seen:
+                    seen.add(successor)
+                    frontier.append((successor, trail + [successor]))
+    return best

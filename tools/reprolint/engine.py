@@ -1,0 +1,146 @@
+"""The reprolint engine: file discovery, rule dispatch, suppressions.
+
+The engine parses every target file once, runs the selected per-file
+rules (:mod:`tools.reprolint.rules`), runs the cross-file cycle rule
+(:mod:`tools.reprolint.cycles`) over the discovered packages, and
+filters the combined findings through per-line
+``# reprolint: disable=Rxxx`` directives before reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+
+from tools.reprolint.config import Config
+from tools.reprolint.cycles import check_cycles
+from tools.reprolint.rules import FILE_RULES, ModuleContext
+from tools.reprolint.violations import Violation
+
+__all__ = ["LintResult", "Violation", "lint_paths"]
+
+#: ``# reprolint: disable=R001,R004`` (codes optional: bare ``disable``
+#: silences every rule on that line).  Trailing prose is ignored so a
+#: suppression can carry its rationale inline.
+_SUPPRESSION = re.compile(
+    r"#\s*reprolint:\s*disable(?:=(?P<codes>[A-Za-z0-9,\s]*))?")
+_CODE = re.compile(r"[ER]\d{3}")
+
+
+@dataclasses.dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    #: Surviving (unsuppressed) violations in file/line order.
+    violations: tuple
+    #: Number of files parsed and checked.
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any violation survived."""
+        return 1 if self.violations else 0
+
+
+def _iter_python_files(paths, config: Config):
+    """Every target ``.py`` file, sorted, honouring the exclude list."""
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates = [path] if path.is_file() \
+            else sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            if candidate.suffix != ".py":
+                continue
+            if "__pycache__" in candidate.parts:
+                continue
+            if config.is_excluded(candidate):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def _suppressed_lines(source: str) -> dict:
+    """line number -> set of silenced codes (empty set = every code)."""
+    table = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION.search(line)
+        if match is None:
+            continue
+        codes = frozenset(code.upper()
+                          for code in _CODE.findall(match["codes"] or ""))
+        table[line_number] = codes
+    return table
+
+
+def _package_roots(files, config: Config) -> dict:
+    """Root package name -> root-relative directory, for R007.
+
+    A package root is a directory holding ``__init__.py`` whose parent
+    does not; e.g. linting ``src/repro`` yields ``{"repro": "src/repro"}``.
+    """
+    roots = {}
+    for path in files:
+        directory = path.resolve().parent
+        if not (directory / "__init__.py").is_file():
+            continue
+        while (directory.parent / "__init__.py").is_file():
+            directory = directory.parent
+        roots[directory.name] = config.relative(directory)
+    return roots
+
+
+def lint_paths(paths, config: "Config | None" = None,
+               select=None) -> LintResult:
+    """Lint ``paths`` (files or directories) and return the result.
+
+    ``select`` optionally restricts the run to a subset of rule codes;
+    it intersects with (rather than overrides) the config's own
+    ``select`` list.  Unreadable or unparsable files surface as
+    ``E999`` violations rather than aborting the run.
+    """
+    config = config if config is not None else Config()
+    enabled = set(config.select)
+    if select is not None:
+        enabled &= {code.upper() for code in select}
+
+    violations = []
+    trees, suppressions = {}, {}
+    files = list(_iter_python_files(paths, config))
+    for path in files:
+        rel = config.relative(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as error:
+            line = getattr(error, "lineno", None) or 1
+            violations.append(Violation(
+                path=rel, line=line, col=0, rule="E999",
+                message=f"cannot lint file: {error}"))
+            continue
+        trees[rel] = tree
+        suppressions[rel] = _suppressed_lines(source)
+        ctx = ModuleContext(path=rel, abspath=path.resolve(),
+                            tree=tree, config=config)
+        for rule in FILE_RULES:
+            if rule.code in enabled:
+                violations.extend(rule.check(ctx))
+
+    if "R007" in enabled and trees:
+        roots = _package_roots(files, config)
+        violations.extend(check_cycles(trees, roots, config))
+
+    surviving = []
+    for violation in sorted(violations):
+        silenced = suppressions.get(violation.path, {}) \
+            .get(violation.line)
+        if silenced is not None \
+                and (not silenced or violation.rule in silenced):
+            continue
+        surviving.append(violation)
+    return LintResult(violations=tuple(surviving),
+                      files_checked=len(files))

@@ -1,0 +1,35 @@
+"""Reporters: render a :class:`LintResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result) -> str:
+    """Compiler-style ``path:line:col: CODE message`` lines + summary."""
+    lines = [violation.render() for violation in result.violations]
+    count = len(result.violations)
+    if count:
+        noun = "violation" if count == 1 else "violations"
+        lines.append(f"{count} {noun} in {result.files_checked} "
+                     "file(s) checked")
+    else:
+        lines.append(f"clean: {result.files_checked} file(s) checked")
+    return "\n".join(lines)
+
+
+def render_json(result) -> str:
+    """A stable JSON document: violations, counts, per-rule totals."""
+    by_rule: dict = {}
+    for violation in result.violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    document = {
+        "files_checked": result.files_checked,
+        "violation_count": len(result.violations),
+        "violations_by_rule": dict(sorted(by_rule.items())),
+        "violations": [violation.as_dict()
+                       for violation in result.violations],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

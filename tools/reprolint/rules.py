@@ -1,0 +1,505 @@
+"""Per-file AST rules R001-R006.
+
+Each rule is a small class with a ``code``, a one-line ``summary`` used
+by ``--list-rules``, and a ``check`` method that yields
+:class:`~tools.reprolint.violations.Violation` instances for one parsed
+module.  The cross-file rule R007 (import cycles) lives in
+:mod:`tools.reprolint.cycles` because it needs the whole package graph.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import types
+from pathlib import Path
+
+from tools.reprolint.violations import Violation
+
+__all__ = ["FILE_RULES", "ModuleContext", "RULES", "Rule"]
+
+#: scipy.sparse constructors plus the repo's own sparse class; a name
+#: assigned from any of these counts as "sparse" for R004.
+SPARSE_CONSTRUCTORS = frozenset({
+    "csr_matrix", "csc_matrix", "coo_matrix", "lil_matrix",
+    "dok_matrix", "bsr_matrix", "dia_matrix", "csr_array", "csc_array",
+    "coo_array", "CSRMatrix",
+})
+
+#: Repo/scipy methods that materialise a sparse matrix densely.
+DENSIFYING_METHODS = frozenset({"toarray", "todense", "to_dense"})
+
+#: numpy functions that densify when handed a sparse operand.
+DENSIFYING_NUMPY_FUNCTIONS = frozenset({"asarray", "array", "asmatrix"})
+
+
+@dataclasses.dataclass(frozen=True)
+class ModuleContext:
+    """Everything a per-file rule may look at for one module."""
+
+    #: Project-root-relative posix path (used in violations).
+    path: str
+    #: Absolute path (used for config allowlist matching).
+    abspath: Path
+    #: Parsed module body.
+    tree: ast.Module
+    #: Resolved [tool.reprolint] settings.
+    config: object
+
+    @property
+    def is_public_module(self) -> bool:
+        """Public means the module's own name has no leading underscore.
+
+        Package ``__init__`` files count as public: they define the
+        package's exported surface.
+        """
+        stem = Path(self.path).stem
+        return stem == "__init__" or not stem.startswith("_")
+
+
+class Rule:
+    """Base class: rules override ``code``, ``summary`` and ``check``."""
+
+    code = ""
+    summary = ""
+
+    def check(self, ctx: ModuleContext):
+        """Yield violations for one module; overridden per rule."""
+        raise NotImplementedError  # pragma: no cover
+
+    def violation(self, ctx: ModuleContext, node, message) -> Violation:
+        """A violation of this rule anchored at ``node``."""
+        return Violation(path=ctx.path, line=node.lineno,
+                         col=node.col_offset, rule=self.code,
+                         message=message)
+
+
+def _dotted_name(node) -> "str | None":
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class RNGDiscipline(Rule):
+    """R001: all randomness flows through ``repro.utils.rng``.
+
+    The paper's probabilistic guarantees quantify over one explicit
+    random stream; module-level ``np.random.*`` calls consume (and
+    ``np.random.seed`` rewrites) hidden global state, so any such call
+    outside the blessed RNG module is an error — including
+    ``default_rng``, which must be reached via ``as_generator`` /
+    ``spawn_generators`` so seeds normalise uniformly.
+    """
+
+    code = "R001"
+    summary = ("np.random.* call outside repro.utils.rng; use "
+               "as_generator/spawn_generators")
+
+    def check(self, ctx: ModuleContext):
+        if ctx.config.path_matches(ctx.abspath, ctx.config.r001_allow):
+            return
+        numpy_names, random_names, direct = self._rng_bindings(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._numpy_random_callee(
+                node.func, numpy_names, random_names, direct)
+            if callee is None:
+                continue
+            if callee == "seed":
+                message = ("np.random.seed rewrites the process-global "
+                           "RNG and silently invalidates every "
+                           "reproducibility guarantee; thread an "
+                           "explicit numpy Generator through "
+                           "repro.utils.rng instead")
+            else:
+                message = (f"np.random.{callee} call: route randomness "
+                           "through repro.utils.rng.as_generator/"
+                           "spawn_generators so the random stream is "
+                           "explicit and replayable")
+            yield self.violation(ctx, node, message)
+
+    @staticmethod
+    def _rng_bindings(tree):
+        """Names bound to numpy, numpy.random, and its functions."""
+        numpy_names, random_names, direct = set(), set(), {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_names.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random" and alias.asname:
+                        random_names.add(alias.asname)
+                    elif alias.name.startswith("numpy.") \
+                            and not alias.asname:
+                        numpy_names.add("numpy")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            random_names.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        direct[alias.asname or alias.name] = alias.name
+        return numpy_names, random_names, direct
+
+    @staticmethod
+    def _numpy_random_callee(func, numpy_names, random_names, direct):
+        """The numpy.random function a call resolves to, if any."""
+        if isinstance(func, ast.Name):
+            return direct.get(func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        if isinstance(value, ast.Name) and value.id in random_names:
+            return func.attr
+        if (isinstance(value, ast.Attribute) and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in numpy_names):
+            return func.attr
+        return None
+
+
+class FloatEquality(Rule):
+    """R002: no ``==`` / ``!=`` against float literals.
+
+    Spectral quantities carry rounding error; exact comparison against
+    a float literal is almost always a tolerance check spelled wrong
+    (use math.isclose / np.isclose, or compare against the integer 0
+    for exact-zero guards).
+    """
+
+    code = "R002"
+    summary = "== / != comparison against a float literal"
+
+    def check(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            comparands = [node.left, *node.comparators]
+            for position, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                pair = (comparands[position], comparands[position + 1])
+                literal = next(
+                    (c for c in pair if self._is_float_literal(c)), None)
+                if literal is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.violation(
+                    ctx, node,
+                    f"exact {symbol} against float literal "
+                    f"{ast.unparse(literal)}: use math.isclose/"
+                    "np.isclose (or an integer literal for exact-zero "
+                    "guards)")
+
+    @staticmethod
+    def _is_float_literal(node) -> bool:
+        if (isinstance(node, ast.UnaryOp)
+                and isinstance(node.op, (ast.UAdd, ast.USub))):
+            node = node.operand
+        return isinstance(node, ast.Constant) \
+            and isinstance(node.value, float)
+
+
+class MutableDefault(Rule):
+    """R003: no mutable default arguments.
+
+    A mutable default is evaluated once and shared across calls;
+    experiment configs that accumulate state between runs corrupt the
+    paper-vs-measured record.
+    """
+
+    code = "R003"
+    summary = "mutable default argument (list/dict/set)"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def check(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults += [d for d in node.args.kw_defaults
+                         if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.violation(
+                        ctx, default,
+                        f"mutable default {ast.unparse(default)!r} is "
+                        "shared across calls; default to None and "
+                        "construct inside the function")
+
+    def _is_mutable(self, node) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._MUTABLE_CALLS)
+
+
+class DenseMaterialization(Rule):
+    """R004: no densification of sparse matrices outside the allowlist.
+
+    The section-5 two-step algorithm is only ``O(m*l*(l+c))`` while the
+    term-document matrix stays sparse; one stray ``.to_dense()`` (or
+    ``np.asarray`` on a sparse operand) silently reverts to the dense
+    ``O(m*n*min(m,n))`` regime the paper is beating.
+    """
+
+    code = "R004"
+    summary = ("dense materialization of a sparse matrix outside the "
+               "allowlist")
+
+    def check(self, ctx: ModuleContext):
+        if ctx.config.path_matches(ctx.abspath, ctx.config.r004_allow):
+            return
+        sparse_names = self._sparse_names(ctx.tree)
+        numpy_names = RNGDiscipline._rng_bindings(ctx.tree)[0]
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in DENSIFYING_METHODS:
+                yield self.violation(
+                    ctx, node,
+                    f".{func.attr}() materialises a sparse matrix "
+                    "densely, forfeiting the sparse running-time "
+                    "guarantee; keep the operator sparse or allowlist "
+                    "this file in [tool.reprolint] r004-allow")
+                continue
+            dotted = _dotted_name(func)
+            if dotted is None or "." not in dotted:
+                continue
+            prefix, attr = dotted.rsplit(".", 1)
+            if prefix in numpy_names \
+                    and attr in DENSIFYING_NUMPY_FUNCTIONS and node.args:
+                argument = node.args[0]
+                if isinstance(argument, ast.Name) \
+                        and argument.id in sparse_names:
+                    yield self.violation(
+                        ctx, node,
+                        f"np.{attr}({argument.id}) densifies a value "
+                        "constructed as a sparse matrix; use sparse "
+                        "operations or allowlist this file")
+
+    @staticmethod
+    def _sparse_names(tree) -> set:
+        """Names locally bound to a sparse-matrix constructor call."""
+        names = set()
+        for node in ast.walk(tree):
+            value, targets = None, []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value:
+                value, targets = node.value, [node.target]
+            if not isinstance(value, ast.Call):
+                continue
+            dotted = _dotted_name(value.func)
+            if dotted is None:
+                continue
+            segments = dotted.split(".")
+            if not (set(segments) & SPARSE_CONSTRUCTORS):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+
+class OverbroadExcept(Rule):
+    """R005: no bare or overbroad ``except`` that swallows failures.
+
+    A handler that catches ``Exception`` and moves on converts a
+    numerical bug (non-convergence, shape mismatch) into a silently
+    wrong table; only re-raising handlers may be that broad.
+    """
+
+    code = "R005"
+    summary = "bare or overbroad except clause that does not re-raise"
+
+    def check(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx, node,
+                    "bare except catches SystemExit/KeyboardInterrupt "
+                    "too; name the exceptions this handler expects")
+                continue
+            broad = self._broad_names(node.type)
+            if broad and not self._reraises(node):
+                yield self.violation(
+                    ctx, node,
+                    f"except {'/'.join(broad)} without re-raise "
+                    "swallows real failures; catch the specific "
+                    "exceptions or re-raise after handling")
+
+    @staticmethod
+    def _broad_names(type_node) -> list:
+        elements = type_node.elts \
+            if isinstance(type_node, ast.Tuple) else [type_node]
+        return [element.id for element in elements
+                if isinstance(element, ast.Name)
+                and element.id in ("Exception", "BaseException")]
+
+    @staticmethod
+    def _reraises(handler) -> bool:
+        return any(isinstance(node, ast.Raise)
+                   for node in ast.walk(handler))
+
+
+class AllConsistency(Rule):
+    """R006: every public module declares ``__all__`` and it is honest.
+
+    ``__all__`` is the contract the API docs and downstream users rely
+    on; a name exported but never defined (or a public module with no
+    declared surface) means the contract has drifted from the code.
+    """
+
+    code = "R006"
+    summary = "__all__ missing, unparsable, or naming undefined exports"
+
+    def check(self, ctx: ModuleContext):
+        if not ctx.is_public_module:
+            return
+        if ctx.config.path_matches(ctx.abspath, ctx.config.r006_exempt):
+            return
+        bindings, has_star = self._module_bindings(ctx.tree)
+        dunder_all = self._find_dunder_all(ctx.tree)
+        if dunder_all is None:
+            anchor = types.SimpleNamespace(lineno=1, col_offset=0)
+            yield self.violation(
+                ctx, anchor,
+                "public module defines no __all__; declare the "
+                "module's exported surface explicitly")
+            return
+        node, names = dunder_all
+        if names is None:
+            yield self.violation(
+                ctx, node,
+                "__all__ must be a literal list/tuple of string "
+                "constants so tooling can verify it")
+            return
+        seen = set()
+        for name in names:
+            if name in seen:
+                yield self.violation(
+                    ctx, node, f"__all__ lists {name!r} more than once")
+            seen.add(name)
+            if not has_star and name not in bindings:
+                yield self.violation(
+                    ctx, node,
+                    f"__all__ exports {name!r} but the module never "
+                    "defines or imports it")
+
+    @staticmethod
+    def _iter_toplevel(tree):
+        """Module-level statements, looking through if/try wrappers."""
+        stack = list(tree.body)
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, ast.If):
+                stack = node.body + node.orelse + stack
+                continue
+            if isinstance(node, ast.Try):
+                handler_bodies = [statement for handler in node.handlers
+                                  for statement in handler.body]
+                stack = (node.body + handler_bodies + node.orelse
+                         + node.finalbody + stack)
+                continue
+            yield node
+
+    @classmethod
+    def _module_bindings(cls, tree):
+        """(names bound at module level, saw a star import)."""
+        bindings, has_star = set(), False
+        for node in cls._iter_toplevel(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bindings.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bindings |= cls._target_names(target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                bindings |= cls._target_names(node.target)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                bindings |= cls._target_names(node.target)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bindings.add(alias.asname
+                                 or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        has_star = True
+                    else:
+                        bindings.add(alias.asname or alias.name)
+        return bindings, has_star
+
+    @staticmethod
+    def _target_names(target) -> set:
+        names = set()
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, (ast.Tuple, ast.List)):
+                stack.extend(node.elts)
+            elif isinstance(node, ast.Starred):
+                stack.append(node.value)
+        return names
+
+    @classmethod
+    def _find_dunder_all(cls, tree):
+        """(node, names) for the module's ``__all__``, if assigned.
+
+        ``names`` is ``None`` when the assignment is not a literal
+        sequence of strings (including ``__all__ += dynamic``).
+        """
+        result = None
+        for node in cls._iter_toplevel(tree):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                target = node.target
+            if not (isinstance(target, ast.Name)
+                    and target.id == "__all__"):
+                continue
+            value = getattr(node, "value", None)
+            names = None
+            if isinstance(value, (ast.List, ast.Tuple)) and all(
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                    for element in value.elts):
+                names = [element.value for element in value.elts]
+            if isinstance(node, ast.AugAssign):
+                if result is not None and result[1] is not None \
+                        and names is not None:
+                    names = result[1] + names
+                result = (node, names)
+            else:
+                result = (node, names)
+        return result
+
+
+#: Per-file rules in catalogue order (R007 lives in cycles.py).
+FILE_RULES = (RNGDiscipline(), FloatEquality(), MutableDefault(),
+              DenseMaterialization(), OverbroadExcept(),
+              AllConsistency())
+
+#: code -> (summary, rule object or None for project-level rules).
+RULES = {rule.code: rule.summary for rule in FILE_RULES}
+RULES["R007"] = ("import cycle between modules of the linted package")

@@ -1,0 +1,36 @@
+"""The violation record shared by every reprolint rule and reporter."""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Violation"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at one source location.
+
+    Ordering is (path, line, col, rule) so a sorted list reads like a
+    compiler log.
+    """
+
+    #: Project-root-relative posix path of the offending file.
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: Rule code (``R001`` .. ``R007``, or ``E999`` for syntax errors).
+    rule: str
+    #: Human-readable explanation, one sentence.
+    message: str
+
+    def as_dict(self) -> dict:
+        """The violation as a JSON-ready mapping."""
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        """The violation in ``path:line:col: CODE message`` form."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}")
