@@ -5,22 +5,26 @@ popularity and raw-space cosine-kNN baselines, with a rank sweep around
 the true group count.
 """
 
-from conftest import run_once
+from harness import benchmark
 
 from repro.experiments.cf_exp import CFConfig, run_cf_experiment
 
 
-def test_collaborative_filtering(benchmark, report):
-    """E10 at the default configuration."""
-    result = run_once(benchmark, run_cf_experiment, CFConfig())
-    report("E10: spectral collaborative filtering", result.render())
-    assert result.spectral_beats_popularity()
-
-
-def test_collaborative_filtering_sparse_interactions(benchmark, report):
-    """E10 ablation: fewer interactions per user."""
-    config = CFConfig(n_items=400, n_groups=8, n_users=250,
-                      seed=84)
-    result = run_once(benchmark, run_cf_experiment, config)
-    report("E10b: 400 items, 8 taste groups", result.render())
-    assert result.spectral_beats_popularity()
+@benchmark(name="collaborative_filtering",
+           tags=("extension", "cf"),
+           sizes={"smoke": {"n_items": 150, "n_groups": 5,
+                            "n_users": 100, "rank_sweep": (2, 5)},
+                  "full": {}})
+def bench_collaborative_filtering(params, seed):
+    """E10: spectral recommender vs popularity/kNN baselines."""
+    config = CFConfig(**params, seed=seed)
+    result = run_cf_experiment(config)
+    spectral = result.evaluations[f"spectral(k={config.n_groups})"]
+    popularity = result.evaluations["popularity"]
+    return {
+        "spectral_precision_at_n": spectral.precision_at_n,
+        "spectral_recall_at_n": spectral.recall_at_n,
+        "popularity_precision_at_n": popularity.precision_at_n,
+        "spectral_beats_popularity":
+            result.spectral_beats_popularity(),
+    }

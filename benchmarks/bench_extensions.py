@@ -1,13 +1,15 @@
-"""Benches X1–X5: the paper's open questions, probed empirically.
+"""Benches X1–X7: the paper's open questions, probed empirically.
 
 - X1 multi-topic documents (Theorem 2's extension question);
 - X2 authorship styles (the assumption §4 sets aside);
 - X3 polysemy ("does LSI address polysemy?");
 - X4 the spectral engine inside the Theorem 2 proof;
-- X5 folding-in drift (Lemma 1 applied to incremental indexing).
+- X5 folding-in drift (Lemma 1 applied to incremental indexing);
+- X6 clustering/classification per representation space;
+- X7 query repair (Rocchio PRF) vs space repair (LSI).
 """
 
-from conftest import run_once
+from harness import benchmark
 
 from repro.experiments import (
     ConductanceConfig,
@@ -21,70 +23,157 @@ from repro.experiments import (
     run_polysemy,
     run_style_robustness,
 )
+from repro.experiments.classification_exp import (
+    ClassificationConfig,
+    run_classification,
+)
+from repro.experiments.prf_exp import PRFConfig, run_prf_experiment
 
 
-def test_mixture_documents(benchmark, report):
+@benchmark(name="mixture_documents", tags=("extension", "theorem2"),
+           sizes={"smoke": {"n_terms": 250, "n_topics": 6,
+                            "n_documents": 120,
+                            "topics_per_document": (1, 3)},
+                  "full": {}})
+def bench_mixture_documents(params, seed):
     """X1: structural recovery as documents blend more topics."""
-    result = run_once(benchmark, run_mixture_experiment, MixtureConfig())
-    report("X1: multi-topic (mixture) documents", result.render())
-    assert result.pure_case_is_best()
-    assert result.alignment_stays_high()
+    result = run_mixture_experiment(MixtureConfig(**params,
+                                                  seed=seed))
+    points = result.points
+    return {
+        "alignment_pure": points[0].subspace_alignment,
+        "alignment_most_mixed": points[-1].subspace_alignment,
+        "dominant_accuracy_most_mixed":
+            points[-1].dominant_topic_accuracy,
+        "pure_case_is_best": result.pure_case_is_best(),
+        "alignment_stays_high": result.alignment_stays_high(),
+    }
 
 
-def test_style_robustness(benchmark, report):
+@benchmark(name="style_robustness", tags=("extension", "styles"),
+           sizes={"smoke": {"n_terms": 200, "n_topics": 6,
+                            "n_documents": 120,
+                            "noise_levels": (0.0, 0.5)},
+                  "full": {}})
+def bench_style_robustness(params, seed):
     """X2: LSI under uniform-noise authorship styles."""
-    result = run_once(benchmark, run_style_robustness,
-                      StyleRobustnessConfig())
-    report("X2: robustness to styles", result.render())
-    assert result.graceful_degradation()
-    assert result.lsi_beats_raw_under_style()
+    result = run_style_robustness(StyleRobustnessConfig(**params,
+                                                        seed=seed))
+    points = result.points
+    return {
+        "lsi_skewness_no_noise": points[0].lsi_skewness,
+        "lsi_skewness_max_noise": points[-1].lsi_skewness,
+        "raw_skewness_max_noise": points[-1].raw_skewness,
+        "graceful_degradation": result.graceful_degradation(),
+        "lsi_beats_raw_under_style":
+            result.lsi_beats_raw_under_style(),
+    }
 
 
-def test_polysemy(benchmark, report):
+@benchmark(name="polysemy", tags=("extension", "polysemy"),
+           sizes={"smoke": {"n_terms": 250, "n_topics": 6,
+                            "n_documents": 160, "n_polysemes": 2},
+                  "full": {}})
+def bench_polysemy(params, seed):
     """X3: polysemes superpose; context disambiguates."""
-    result = run_once(benchmark, run_polysemy, PolysemyConfig())
-    report("X3: polysemy", result.render())
-    assert result.all_superposed()
-    assert result.bare_queries_confused()
-    assert result.context_always_helps()
+    result = run_polysemy(PolysemyConfig(**params, seed=seed))
+    outcomes = result.outcomes
+    return {
+        "min_sense_mass_fraction":
+            min(o.superposition.sense_mass_fraction
+                for o in outcomes),
+        "mean_bare_confusion":
+            sum(o.bare_confusion for o in outcomes) / len(outcomes),
+        "min_contextual_precision":
+            min(o.disambiguation.contextual_precision
+                for o in outcomes),
+        "all_superposed": result.all_superposed(),
+        "bare_queries_confused": result.bare_queries_confused(),
+        "context_always_helps": result.context_always_helps(),
+    }
 
 
-def test_theorem2_spectral_engine(benchmark, report):
+@benchmark(name="conductance_engine",
+           tags=("extension", "theorem2", "graphs"),
+           sizes={"smoke": {"n_topic_terms": 30,
+                            "document_length": 40,
+                            "block_sizes": (10, 20),
+                            "corpus_n_terms": 200,
+                            "corpus_n_topics": 6,
+                            "corpus_sizes": (60, 120)},
+                  "full": {}})
+def bench_conductance_engine(params, seed):
     """X4: block Gram conductance and the corpus singular gap."""
-    result = run_once(benchmark, run_conductance_experiment,
-                      ConductanceConfig())
-    report("X4: Theorem 2's spectral engine", result.render())
-    assert result.eigenvalue_ratio_falls()
-    assert result.corpus_gap_positive()
+    result = run_conductance_experiment(ConductanceConfig(**params,
+                                                          seed=seed))
+    return {
+        "eigenvalue_ratio_smallest_block":
+            result.block_points[0].eigenvalue_ratio,
+        "eigenvalue_ratio_largest_block":
+            result.block_points[-1].eigenvalue_ratio,
+        "gap_ratio_largest_corpus":
+            result.gap_points[-1].gap_ratio,
+        "eigenvalue_ratio_falls": result.eigenvalue_ratio_falls(),
+        "corpus_gap_positive": result.corpus_gap_positive(),
+    }
 
 
-def test_folding_drift(benchmark, report):
+@benchmark(name="folding_drift", tags=("extension", "folding"),
+           sizes={"smoke": {"n_terms": 200, "n_topics": 5,
+                            "base_documents": 100,
+                            "folded_counts": (15, 60)},
+                  "full": {}})
+def bench_folding_drift(params, seed):
     """X5: folding-in stays cheap in-model, drifts out-of-model."""
-    result = run_once(benchmark, run_folding_experiment, FoldingConfig())
-    report("X5: folding-in vs refit", result.render())
-    assert result.in_model_folding_is_cheap()
-    assert result.out_of_model_hurts_more()
+    result = run_folding_experiment(FoldingConfig(**params,
+                                                  seed=seed))
+    last = result.points[-1]
+    return {
+        "in_model_residual_excess_max_batch":
+            last.in_model.residual_excess,
+        "in_model_subspace_drift_max_batch":
+            last.in_model.subspace_drift,
+        "out_of_model_subspace_drift_max_batch":
+            last.out_of_model.subspace_drift,
+        "in_model_folding_is_cheap":
+            result.in_model_folding_is_cheap(),
+        "out_of_model_hurts_more":
+            result.out_of_model_hurts_more(),
+    }
 
 
-def test_classification(benchmark, report):
+@benchmark(name="classification", tags=("extension", "clustering"),
+           sizes={"smoke": {"n_terms": 250, "n_topics": 6,
+                            "n_documents": 160,
+                            "epsilons": (0.05, 0.4)},
+                  "full": {}})
+def bench_classification(params, seed):
     """X6: clustering/classification per representation space."""
-    from repro.experiments.classification_exp import (
-        ClassificationConfig,
-        run_classification,
-    )
+    result = run_classification(ClassificationConfig(**params,
+                                                     seed=seed))
+    first = result.points[0]
+    return {
+        "lsi_clustering_eps_min": first.clustering["lsi"],
+        "raw_clustering_eps_min": first.clustering["raw"],
+        "lsi_supervised_eps_min": first.supervised["lsi"],
+        "raw_supervised_eps_min": first.supervised["raw"],
+        "lsi_clusters_best_at_small_epsilon":
+            result.lsi_clusters_best_at_small_epsilon(),
+        "lsi_classifies_well": result.lsi_classifies_well(),
+    }
 
-    result = run_once(benchmark, run_classification,
-                      ClassificationConfig())
-    report("X6: document classification", result.render())
-    assert result.lsi_clusters_best_at_small_epsilon()
-    assert result.lsi_classifies_well()
 
-
-def test_prf_vs_lsi(benchmark, report):
+@benchmark(name="prf_vs_lsi", tags=("extension", "ir"),
+           sizes={"smoke": {"n_terms": 250, "n_topics": 6,
+                            "n_documents": 160},
+                  "full": {}})
+def bench_prf_vs_lsi(params, seed):
     """X7: query repair (Rocchio PRF) vs space repair (LSI)."""
-    from repro.experiments.prf_exp import PRFConfig, run_prf_experiment
-
-    result = run_once(benchmark, run_prf_experiment, PRFConfig())
-    report("X7: PRF vs LSI on the synonymy probe", result.render())
-    assert result.prf_helps_vsm()
-    assert result.lsi_beats_repaired_vsm()
+    result = run_prf_experiment(PRFConfig(**params, seed=seed))
+    return {
+        "map_vsm": result.map_scores["vsm"],
+        "map_vsm_prf": result.map_scores["vsm+prf"],
+        "map_lsi": result.map_scores["lsi"],
+        "prf_helps_vsm": result.prf_helps_vsm(),
+        "lsi_beats_repaired_vsm": result.lsi_beats_repaired_vsm(),
+    }

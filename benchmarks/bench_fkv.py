@@ -5,22 +5,28 @@ uniform document-sampling baseline, and the §5 two-step pipeline across
 matched budgets.
 """
 
-from conftest import run_once
+from harness import benchmark
 
 from repro.experiments.fkv_exp import FKVConfig, run_fkv_experiment
 
 
-def test_fkv_comparison(benchmark, report):
-    """E9 at the default configuration."""
-    result = run_once(benchmark, run_fkv_experiment, FKVConfig())
-    report("E9: FKV vs uniform sampling vs RP+LSI", result.render())
-    assert result.fkv_bounds_hold()
-    assert result.fkv_improves_with_samples()
-
-
-def test_fkv_small_budget_regime(benchmark, report):
-    """E9 ablation: tiny budgets, where the methods separate."""
-    config = FKVConfig(sample_counts=(10, 16, 24), seed=72)
-    result = run_once(benchmark, run_fkv_experiment, config)
-    report("E9b: small-budget regime", result.render())
-    assert result.fkv_bounds_hold()
+@benchmark(name="fkv_sampling", tags=("paper", "sampling"),
+           sizes={"smoke": {"n_terms": 200, "n_topics": 6,
+                            "n_documents": 100,
+                            "sample_counts": (12, 24)},
+                  "full": {}})
+def bench_fkv_sampling(params, seed):
+    """E9: FKV vs uniform sampling vs RP+LSI across budgets."""
+    result = run_fkv_experiment(FKVConfig(**params, seed=seed))
+    fkv = sorted((p for p in result.points if p.method == "fkv"),
+                 key=lambda p: p.budget)
+    return {
+        "fkv_residual_sq_budget_max": fkv[-1].residual_sq,
+        "fkv_recovery_ratio_budget_max": fkv[-1].recovery_ratio,
+        "fkv_worst_bound_slack":
+            min(p.bound_sq - p.residual_sq for p in fkv),
+        "direct_residual_sq": result.direct_residual_sq,
+        "fkv_bounds_hold": result.fkv_bounds_hold(),
+        "fkv_improves_with_samples":
+            result.fkv_improves_with_samples(),
+    }

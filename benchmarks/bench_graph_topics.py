@@ -1,38 +1,58 @@
 """Bench E7: Theorem 6 — spectral discovery of high-conductance
 subgraphs.
 
-Planted-partition recovery across the cross-weight fraction ε, plus the
-paper's A·Aᵀ-derived document-similarity graph.
+Planted-partition recovery across the cross-weight fraction ε, plus
+the paper's A·Aᵀ-derived document-similarity graph, and a sparse-block
+ablation (non-clique topics).
 """
 
-from conftest import run_once
+from harness import benchmark
 
+from repro.core.spectral_graph import discover_topics
 from repro.experiments.graph_topics import (
     GraphTopicsConfig,
     run_graph_topics,
 )
+from repro.graphs.random_graphs import planted_partition_graph
 
 
-def test_graph_topic_discovery(benchmark, report):
-    """E7 at the default configuration."""
-    result = run_once(benchmark, run_graph_topics, GraphTopicsConfig())
-    report("E7: Theorem 6 planted-partition recovery", result.render())
-    assert result.recovery_at_small_epsilon()
-    assert result.corpus_graph_accuracy > 0.95
+@benchmark(name="graph_topics",
+           tags=("paper", "theorem6", "graphs"),
+           sizes={"smoke": {"n_blocks": 4, "block_size": 15,
+                            "inter_fractions": (0.05, 0.2),
+                            "corpus_n_terms": 200,
+                            "corpus_n_documents": 80},
+                  "full": {}})
+def bench_graph_topics(params, seed):
+    """E7: planted-partition recovery and the corpus-derived graph."""
+    result = run_graph_topics(GraphTopicsConfig(**params, seed=seed))
+    sweep = result.sweep
+    return {
+        "accuracy_eps_min": sweep[0].accuracy,
+        "accuracy_eps_max": sweep[-1].accuracy,
+        "eigengap_eps_min": sweep[0].eigengap,
+        "corpus_graph_accuracy": result.corpus_graph_accuracy,
+        "recovers_at_small_eps": sweep[0].accuracy > 0.95,
+    }
 
 
-def test_graph_topic_discovery_sparse_blocks(benchmark, report):
-    """E7 ablation: sparsified blocks (non-clique topics)."""
-    from repro.core.spectral_graph import discover_topics
-    from repro.graphs.random_graphs import planted_partition_graph
-
-    def run():
-        graph, labels = planted_partition_graph(
-            [40] * 5, inter_fraction=0.05, intra_density=0.4, seed=3)
-        discovery = discover_topics(graph, 5, seed=3)
-        return discovery.accuracy_against(labels)
-
-    accuracy = run_once(benchmark, run)
-    report("E7b: recovery with 0.4-density blocks",
-           f"accuracy = {accuracy:.3f}")
-    assert accuracy > 0.9
+@benchmark(name="graph_sparse_blocks",
+           tags=("paper", "theorem6", "graphs", "ablation"),
+           sizes={"smoke": {"n_blocks": 4, "block_size": 20,
+                            "inter_fraction": 0.05,
+                            "intra_density": 0.4},
+                  "full": {"n_blocks": 5, "block_size": 40,
+                           "inter_fraction": 0.05,
+                           "intra_density": 0.4}})
+def bench_graph_sparse_blocks(params, seed):
+    """E7b: recovery with sparsified (non-clique) topic blocks."""
+    graph, labels = planted_partition_graph(
+        [params["block_size"]] * params["n_blocks"],
+        inter_fraction=params["inter_fraction"],
+        intra_density=params["intra_density"], seed=seed)
+    discovery = discover_topics(graph, params["n_blocks"], seed=seed)
+    accuracy = discovery.accuracy_against(labels)
+    return {
+        "accuracy": accuracy,
+        "recovers": accuracy > 0.9,
+    }

@@ -2,11 +2,12 @@
 
 Measures worst/mean pairwise-distance distortion of corpus document
 vectors across projection dimensions, next to the ε the Lemma 2 tail
-bound certifies, plus the raw concentration statement (squared projected
-length of a unit vector ≈ l/n).
+bound certifies, plus the raw concentration statement (squared
+projected length of a unit vector ≈ l/n).  The sign-projector benchmark
+checks that Achlioptas ±1 entries behave the same.
 """
 
-from conftest import run_once
+from harness import benchmark
 
 from repro.experiments.jl_distortion import (
     JLDistortionConfig,
@@ -14,20 +15,43 @@ from repro.experiments.jl_distortion import (
 )
 
 
-def test_jl_distortion(benchmark, report):
-    """E4 at the default configuration (orthonormal projector)."""
-    result = run_once(benchmark, run_jl_distortion, JLDistortionConfig())
-    report("E4: Johnson-Lindenstrauss distance distortion",
-           result.render())
-    assert result.distortion_shrinks_with_l()
-    assert result.concentration.within_bound
+def _distortion_metrics(result):
+    dims = sorted(result.max_distortion)
+    l_max = dims[-1]
+    return {
+        "max_distortion_l_max": result.max_distortion[l_max],
+        "mean_distortion_l_max": result.mean_distortion[l_max],
+        "predicted_epsilon_l_max": result.predicted_epsilon[l_max],
+        "distortion_shrinks_with_l":
+            result.distortion_shrinks_with_l(),
+    }
 
 
-def test_jl_distortion_sign_projector(benchmark, report):
-    """E4 ablation: Achlioptas ±1 entries give the same behaviour."""
-    config = JLDistortionConfig(projector_family="sign",
-                                projection_dims=(50, 200))
-    result = run_once(benchmark, run_jl_distortion, config)
-    report("E4b: JL distortion with the sign projector",
-           result.render())
-    assert result.distortion_shrinks_with_l()
+@benchmark(name="jl_distortion", tags=("paper", "lemma2"),
+           sizes={"smoke": {"n_terms": 400, "n_topics": 6,
+                            "n_documents": 60,
+                            "projection_dims": (25, 100)},
+                  "full": {}})
+def bench_jl_distortion(params, seed):
+    """E4: JL distortion with the orthonormal projector."""
+    result = run_jl_distortion(JLDistortionConfig(**params,
+                                                  seed=seed))
+    metrics = _distortion_metrics(result)
+    metrics["concentration_failure_rate"] = \
+        result.concentration.empirical_failure_rate
+    metrics["concentration_within_bound"] = \
+        result.concentration.within_bound
+    return metrics
+
+
+@benchmark(name="jl_sign_projector",
+           tags=("paper", "lemma2", "ablation"),
+           sizes={"smoke": {"n_terms": 400, "n_topics": 6,
+                            "n_documents": 50,
+                            "projection_dims": (25, 100)},
+                  "full": {"projection_dims": (50, 200)}})
+def bench_jl_sign_projector(params, seed):
+    """E4b: the Achlioptas ±1 projector gives the same behaviour."""
+    config = JLDistortionConfig(**params, projector_family="sign",
+                                seed=seed)
+    return _distortion_metrics(run_jl_distortion(config))

@@ -1,64 +1,64 @@
 """Bench A2 (ablation): projector family and rank multiplier.
 
 Theorem 5 argues for doubling the LSI rank after projection (``2k``)
-with an orthonormal projector; this ablation measures what each choice
-actually buys on the recovery ratio.
+with an orthonormal projector; these ablations measure what each
+choice actually buys on the recovery ratio.
 """
 
-from conftest import run_once
+from harness import benchmark
+from harness.fixtures import separable_matrix
 
 from repro.core.two_step import TwoStepLSI
-from repro.corpus import build_separable_model, generate_corpus
-from repro.utils.tables import Table
+
+FAMILIES = ("orthonormal", "gaussian", "sign")
 
 
-def _build_matrix():
-    model = build_separable_model(800, 10)
-    corpus = generate_corpus(model, 300, seed=202)
-    return corpus.term_document_matrix()
-
-
-def test_projector_families(benchmark, report):
+@benchmark(name="projector_families",
+           tags=("ablation", "theorem5"),
+           sizes={"smoke": {"n_terms": 250, "n_topics": 6,
+                            "n_documents": 120,
+                            "projection_dim": 60},
+                  "full": {"n_terms": 800, "n_topics": 10,
+                           "n_documents": 300,
+                           "projection_dim": 100}})
+def bench_projector_families(params, seed):
     """A2a: recovery ratio per projector family at fixed l."""
-
-    def run():
-        matrix = _build_matrix()
-        rows = []
-        for family in ("orthonormal", "gaussian", "sign"):
-            two_step = TwoStepLSI.fit(matrix, 10, 100,
-                                      projector_family=family, seed=7)
-            ratio = two_step.recovery_report(epsilon=0.4).recovery_ratio
-            rows.append((family, ratio))
-        return rows
-
-    rows = run_once(benchmark, run)
-    table = Table(title="A2a: projector family (l=100, k=10)",
-                  headers=["family", "recovery ratio"])
-    for family, ratio in rows:
-        table.add_row([family, ratio])
-    report("A2a: projector family ablation", table.render())
-    assert all(ratio > 0.7 for _, ratio in rows)
+    matrix = separable_matrix(params["n_terms"], params["n_topics"],
+                              params["n_documents"], seed)
+    k = params["n_topics"]
+    metrics = {}
+    worst = 1.0
+    for family in FAMILIES:
+        two_step = TwoStepLSI.fit(matrix, k, params["projection_dim"],
+                                  projector_family=family, seed=seed)
+        ratio = two_step.recovery_report(epsilon=0.4).recovery_ratio
+        metrics[f"recovery_ratio_{family}"] = ratio
+        worst = min(worst, ratio)
+    metrics["all_families_recover"] = worst > 0.7
+    return metrics
 
 
-def test_rank_multiplier(benchmark, report):
+@benchmark(name="rank_multiplier",
+           tags=("ablation", "theorem5"),
+           sizes={"smoke": {"n_terms": 250, "n_topics": 6,
+                            "n_documents": 120,
+                            "projection_dim": 60},
+                  "full": {"n_terms": 800, "n_topics": 10,
+                           "n_documents": 300,
+                           "projection_dim": 100}})
+def bench_rank_multiplier(params, seed):
     """A2b: rank multiplier 1 vs 2 vs 3 on the projected matrix."""
-
-    def run():
-        matrix = _build_matrix()
-        rows = []
-        for multiplier in (1, 2, 3):
-            two_step = TwoStepLSI.fit(matrix, 10, 100,
-                                      rank_multiplier=multiplier, seed=7)
-            ratio = two_step.recovery_report(epsilon=0.4).recovery_ratio
-            rows.append((multiplier, ratio))
-        return rows
-
-    rows = run_once(benchmark, run)
-    table = Table(title="A2b: rank multiplier (l=100, k=10)",
-                  headers=["multiplier", "recovery ratio"])
-    for multiplier, ratio in rows:
-        table.add_row([multiplier, ratio])
-    report("A2b: rank-multiplier ablation", table.render())
-    ratios = dict(rows)
+    matrix = separable_matrix(params["n_terms"], params["n_topics"],
+                              params["n_documents"], seed)
+    k = params["n_topics"]
+    metrics = {}
+    for multiplier in (1, 2, 3):
+        two_step = TwoStepLSI.fit(matrix, k, params["projection_dim"],
+                                  rank_multiplier=multiplier,
+                                  seed=seed)
+        ratio = two_step.recovery_report(epsilon=0.4).recovery_ratio
+        metrics[f"recovery_ratio_x{multiplier}"] = ratio
     # The paper's 2k choice should dominate plain k.
-    assert ratios[2] >= ratios[1]
+    metrics["doubling_dominates"] = \
+        metrics["recovery_ratio_x2"] >= metrics["recovery_ratio_x1"]
+    return metrics

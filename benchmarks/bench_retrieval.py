@@ -1,12 +1,12 @@
 """Bench E8: the headline retrieval claim — LSI vs VSM vs RP+LSI.
 
 MAP / P@10 / R-precision on topic queries and single-term
-(synonymy-probe) queries.  The paper's claim: LSI improves precision and
-recall over the conventional vector-space method; the single-term
+(synonymy-probe) queries.  The paper's claim: LSI improves precision
+and recall over the conventional vector-space method; the single-term
 workload is where the gap opens.
 """
 
-from conftest import run_once
+from harness import benchmark
 
 from repro.experiments.retrieval_exp import (
     RetrievalConfig,
@@ -14,22 +14,31 @@ from repro.experiments.retrieval_exp import (
 )
 
 
-def test_retrieval_comparison(benchmark, report):
-    """E8 at the default configuration."""
-    result = run_once(benchmark, run_retrieval_experiment,
-                      RetrievalConfig())
-    report("E8: retrieval quality, LSI vs VSM/BM25 vs RP+LSI",
-           result.render())
-    assert result.lsi_wins_on_single_terms()
-    assert result.lsi_beats_bm25_on_single_terms()
-    lsi = result.scores[("lsi", "single-term")].map_score
-    vsm = result.scores[("vsm", "single-term")].map_score
-    assert lsi > vsm
-
-
-def test_retrieval_tfidf_weighting(benchmark, report):
-    """E8 ablation: the claim survives tf-idf weighting."""
-    config = RetrievalConfig(weighting="tfidf", seed=62)
-    result = run_once(benchmark, run_retrieval_experiment, config)
-    report("E8b: retrieval under tf-idf weighting", result.render())
-    assert result.lsi_wins_on_single_terms()
+@benchmark(name="retrieval_quality", tags=("paper", "ir"),
+           sizes={"smoke": {"n_terms": 300, "n_topics": 6,
+                            "n_documents": 150, "projection_dim": 60,
+                            "queries_per_topic": 3},
+                  "full": {}})
+def bench_retrieval_quality(params, seed):
+    """E8: MAP per engine on topic and single-term workloads."""
+    result = run_retrieval_experiment(RetrievalConfig(**params,
+                                                      seed=seed))
+    scores = result.scores
+    return {
+        "map_lsi_single_term":
+            scores[("lsi", "single-term")].map_score,
+        "map_vsm_single_term":
+            scores[("vsm", "single-term")].map_score,
+        "map_bm25_single_term":
+            scores[("bm25", "single-term")].map_score,
+        "map_rp_lsi_single_term":
+            scores[("rp-lsi", "single-term")].map_score,
+        "map_lsi_topic": scores[("lsi", "topic")].map_score,
+        "map_vsm_topic": scores[("vsm", "topic")].map_score,
+        "p_at_k_lsi_single_term":
+            scores[("lsi", "single-term")].mean_precision_at_k,
+        "lsi_wins_on_single_terms":
+            result.lsi_wins_on_single_terms(),
+        "lsi_beats_bm25_on_single_terms":
+            result.lsi_beats_bm25_on_single_terms(),
+    }

@@ -2,10 +2,11 @@
 
 Theorem 2 predicts skewness falling toward 0 with corpus size on
 (near-)0-separable corpora; Theorem 3 predicts O(ε) scaling in the
-separability parameter.
+separability parameter.  The dense-grid benchmark exhibits the O(ε)
+shape on a finer ε axis.
 """
 
-from conftest import run_once
+from harness import benchmark
 
 from repro.experiments.skewness_sweep import (
     SkewnessSweepConfig,
@@ -13,25 +14,53 @@ from repro.experiments.skewness_sweep import (
 )
 
 
-def test_skewness_sweep(benchmark, report):
-    """E2 at the default configuration."""
-    result = run_once(benchmark, run_skewness_sweep,
-                      SkewnessSweepConfig())
-    report("E2: delta-skewness vs corpus size and epsilon "
-           "(Theorems 2 and 3)", result.render())
-    assert result.epsilon_series_increasing()
-    assert result.by_epsilon[0.0] < 0.01
-
-
-def test_skewness_epsilon_linearity(benchmark, report):
-    """E2 ablation: a denser ε grid to exhibit the O(ε) shape."""
-    config = SkewnessSweepConfig(
-        n_terms=400, n_topics=8,
-        corpus_sizes=(200,),
-        epsilons=(0.0, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32),
-        fixed_corpus_size=300)
-    result = run_once(benchmark, run_skewness_sweep, config)
-    report("E2b: skewness vs epsilon, dense grid", result.render())
+def _series_metrics(result):
+    sizes = sorted(result.by_corpus_size)
     eps = sorted(result.by_epsilon)
-    # Endpoint-to-endpoint growth (O(eps) shape).
-    assert result.by_epsilon[eps[-1]] > result.by_epsilon[eps[0]]
+    return {
+        "skewness_smallest_m": result.by_corpus_size[sizes[0]],
+        "skewness_largest_m": result.by_corpus_size[sizes[-1]],
+        "skewness_eps_lo": result.by_epsilon[eps[0]],
+        "skewness_eps_hi": result.by_epsilon[eps[-1]],
+        "epsilon_series_increasing":
+            result.epsilon_series_increasing(),
+    }
+
+
+@benchmark(name="skewness_sweep",
+           tags=("paper", "theorem2", "theorem3"),
+           sizes={"smoke": {"n_terms": 240, "n_topics": 6,
+                            "corpus_sizes": (60, 120),
+                            "epsilons": (0.0, 0.1),
+                            "fixed_corpus_size": 120},
+                  "full": {}})
+def bench_skewness_sweep(params, seed):
+    """E2: δ-skewness against corpus size and separability ε."""
+    result = run_skewness_sweep(SkewnessSweepConfig(**params,
+                                                    seed=seed))
+    metrics = _series_metrics(result)
+    metrics["zero_eps_skewness_small"] = \
+        metrics["skewness_eps_lo"] < 0.01
+    return metrics
+
+
+@benchmark(name="skewness_epsilon_grid",
+           tags=("paper", "theorem3"),
+           sizes={"smoke": {"n_terms": 240, "n_topics": 6,
+                            "corpus_sizes": (100,),
+                            "epsilons": (0.0, 0.08, 0.32),
+                            "fixed_corpus_size": 150},
+                  "full": {"n_terms": 400, "n_topics": 8,
+                           "corpus_sizes": (200,),
+                           "epsilons": (0.0, 0.01, 0.02, 0.04, 0.08,
+                                        0.16, 0.32),
+                           "fixed_corpus_size": 300}})
+def bench_skewness_epsilon_grid(params, seed):
+    """E2b: a denser ε grid to exhibit the O(ε) shape."""
+    result = run_skewness_sweep(SkewnessSweepConfig(**params,
+                                                    seed=seed))
+    metrics = _series_metrics(result)
+    metrics["endpoint_growth"] = \
+        metrics["skewness_eps_hi"] - metrics["skewness_eps_lo"]
+    metrics["grows_with_eps"] = metrics["endpoint_growth"] > 0.0
+    return metrics

@@ -3,77 +3,84 @@
 Documents the performance of the from-scratch CSR kernels (matvec,
 rmatmat, Gram) against dense numpy equivalents on corpus-shaped
 matrices — the substrate the §5 cost model's ``c`` nonzeros-per-column
-accounting runs on.  Correctness is asserted; timings are reported
-(machine-dependent, so not asserted).
+accounting runs on.  Correctness is captured as 0/1 metrics; kernel
+timings are declared time metrics (machine-dependent).
 """
 
 import numpy as np
-from conftest import run_once
 
-from repro.corpus import build_separable_model, generate_corpus
-from repro.utils.tables import Table
-from repro.utils.timing import Timer
+from harness import benchmark
+from harness.fixtures import separable_matrix
 
-
-def _time(fn, repeats=3):
-    timer = Timer()
-    for _ in range(repeats):
-        with timer:
-            fn()
-    return timer.mean_seconds
+from repro.utils.rng import as_generator
+from repro.utils.timing import measure
 
 
-def test_csr_kernels_scaling(benchmark, report):
+@benchmark(name="csr_kernels", tags=("substrate", "linalg"),
+           sizes={"smoke": {"universe_sizes": (500, 1000),
+                            "n_topics": 6, "n_documents": 100,
+                            "repeats": 2},
+                  "full": {"universe_sizes": (1000, 4000, 16000),
+                           "n_topics": 10, "n_documents": 300,
+                           "repeats": 3}},
+           time_metrics=("csr_matvec_seconds_n_max",
+                         "dense_matvec_seconds_n_max",
+                         "csr_rmatmat_seconds_n_max",
+                         "dense_rmatmat_seconds_n_max"))
+def bench_csr_kernels(params, seed):
     """S1: kernel timings and density across universe sizes."""
-
-    def run():
-        rows = []
-        rng = np.random.default_rng(3)
-        for n_terms in (1000, 4000, 16000):
-            model = build_separable_model(n_terms, 10)
-            corpus = generate_corpus(model, 300, seed=5)
-            sparse = corpus.term_document_matrix()
-            dense = sparse.to_dense()
-            x = rng.standard_normal(sparse.shape[1])
-            block = rng.standard_normal((sparse.shape[0], 16))
-
-            assert np.allclose(sparse.matvec(x), dense @ x)
-            assert np.allclose(sparse.rmatmat(block), dense.T @ block)
-
-            rows.append((
-                n_terms, sparse.density,
-                _time(lambda: sparse.matvec(x)),
-                _time(lambda: dense @ x),
-                _time(lambda: sparse.rmatmat(block)),
-                _time(lambda: dense.T @ block)))
-        return rows
-
-    rows = run_once(benchmark, run)
-    table = Table(
-        title="S1: CSR kernels vs dense numpy (m=300 documents)",
-        headers=["n", "density", "csr matvec s", "dense matvec s",
-                 "csr rmatmat s", "dense rmatmat s"])
-    for row in rows:
-        table.add_row(list(row))
-    report("S1: substrate kernel scaling", table.render())
-    # Density falls as the universe grows (fixed document lengths).
-    densities = [row[1] for row in rows]
-    assert densities[-1] < densities[0]
-
-
-def test_gram_block_structure_cost(benchmark, report):
-    """S1b: the Gram products the analysis relies on stay tractable."""
-
-    def run():
-        model = build_separable_model(2000, 20)
-        corpus = generate_corpus(model, 500, seed=7)
-        sparse = corpus.term_document_matrix()
+    rng = as_generator(seed)
+    densities = []
+    kernels_exact = True
+    metrics = {}
+    for n_terms in params["universe_sizes"]:
+        sparse = separable_matrix(n_terms, params["n_topics"],
+                                  params["n_documents"], seed)
         dense = sparse.to_dense()
-        gram_seconds = _time(lambda: sparse.gram(), repeats=2)
-        assert np.allclose(sparse.gram(), dense.T @ dense)
-        return sparse.nnz, gram_seconds
+        x = rng.standard_normal(sparse.shape[1])
+        block = rng.standard_normal((sparse.shape[0], 16))
 
-    nnz, seconds = run_once(benchmark, run)
-    report("S1b: document Gram (A^T A) on the paper-scale corpus",
-           f"nnz={nnz}, gram time {seconds:.3f}s")
-    assert seconds < 30.0
+        kernels_exact = kernels_exact \
+            and bool(np.allclose(sparse.matvec(x), dense @ x)) \
+            and bool(np.allclose(sparse.rmatmat(block),
+                                 dense.T @ block))
+        densities.append(sparse.density)
+        if n_terms == params["universe_sizes"][-1]:
+            repeats = params["repeats"]
+            metrics["csr_matvec_seconds_n_max"] = measure(
+                lambda: sparse.matvec(x),
+                repeats=repeats).mean_seconds
+            metrics["dense_matvec_seconds_n_max"] = measure(
+                lambda: dense @ x, repeats=repeats).mean_seconds
+            metrics["csr_rmatmat_seconds_n_max"] = measure(
+                lambda: sparse.rmatmat(block),
+                repeats=repeats).mean_seconds
+            metrics["dense_rmatmat_seconds_n_max"] = measure(
+                lambda: dense.T @ block,
+                repeats=repeats).mean_seconds
+    metrics["density_n_min"] = densities[0]
+    metrics["density_n_max"] = densities[-1]
+    # Density falls as the universe grows (fixed document lengths).
+    metrics["density_falls_with_n"] = densities[-1] < densities[0]
+    metrics["kernels_match_dense"] = kernels_exact
+    return metrics
+
+
+@benchmark(name="gram_cost", tags=("substrate", "linalg"),
+           sizes={"smoke": {"n_terms": 500, "n_topics": 8,
+                            "n_documents": 150},
+                  "full": {"n_terms": 2000, "n_topics": 20,
+                           "n_documents": 500}},
+           time_metrics=("gram_seconds",))
+def bench_gram_cost(params, seed):
+    """S1b: the Gram products the analysis relies on stay tractable."""
+    sparse = separable_matrix(params["n_terms"], params["n_topics"],
+                              params["n_documents"], seed)
+    dense = sparse.to_dense()
+    measured = measure(sparse.gram, repeats=2)
+    return {
+        "nnz": sparse.nnz,
+        "gram_seconds": measured.mean_seconds,
+        "gram_matches_dense":
+            bool(np.allclose(measured.result, dense.T @ dense)),
+    }

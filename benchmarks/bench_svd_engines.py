@@ -1,48 +1,54 @@
 """Bench A1 (ablation): SVD engine choice.
 
-Accuracy and wall-clock of the three engines — Lanczos bidiagonalisation
-(the SVDPACK stand-in), block subspace iteration, and dense LAPACK — on
-a corpus term–document matrix.
+Accuracy and wall-clock of the engines — Lanczos bidiagonalisation
+(the SVDPACK stand-in), block subspace iteration, randomized sketching,
+and dense LAPACK — on a corpus term–document matrix, against the dense
+reference spectrum.
 """
 
 import numpy as np
-import pytest
 
-from repro.corpus import build_separable_model, generate_corpus
+from harness import benchmark
+from harness.fixtures import separable_matrix
+
 from repro.linalg.svd import truncated_svd
-from repro.utils.tables import Table
+from repro.utils.timing import measure
+
+ENGINES = ("lanczos", "subspace", "randomized", "exact")
 
 
-@pytest.fixture(scope="module")
-def corpus_matrix():
-    model = build_separable_model(1500, 12)
-    corpus = generate_corpus(model, 400, seed=101)
-    return corpus.term_document_matrix()
-
-
-@pytest.fixture(scope="module")
-def reference_sigma(corpus_matrix):
-    return np.linalg.svd(corpus_matrix.to_dense(), compute_uv=False)
-
-
-@pytest.mark.parametrize("engine",
-                         ["lanczos", "subspace", "randomized", "exact"])
-def test_svd_engine(benchmark, report, corpus_matrix, reference_sigma,
-                    engine):
-    """A1: each engine, timed by pytest-benchmark, accuracy-checked."""
-    kwargs = {}
-    if engine == "randomized":
-        # The 12th singular value sits at the corpus noise floor; four
-        # power iterations push the sketch error below the shared
-        # accuracy bar.
-        kwargs["power_iterations"] = 4
-    result = benchmark(truncated_svd, corpus_matrix, 12, engine=engine,
-                       seed=5, **kwargs)
-    error = float(np.max(np.abs(result.singular_values
-                                - reference_sigma[:12])))
-    table = Table(title=f"A1: engine={engine}",
-                  headers=["sigma_1", "sigma_k", "max |error|"])
-    table.add_row([result.singular_values[0],
-                   result.singular_values[-1], error])
-    report(f"A1: SVD engine {engine}", table.render())
-    assert error < 1e-5 * reference_sigma[0]
+@benchmark(name="svd_engines", tags=("ablation", "linalg"),
+           sizes={"smoke": {"n_terms": 300, "n_topics": 8,
+                            "n_documents": 100, "rank": 8},
+                  "full": {"n_terms": 1500, "n_topics": 12,
+                           "n_documents": 400, "rank": 12}},
+           time_metrics=tuple(f"seconds_{e}" for e in ENGINES))
+def bench_svd_engines(params, seed):
+    """A1: each engine's accuracy vs the dense reference, plus time."""
+    matrix = separable_matrix(params["n_terms"], params["n_topics"],
+                              params["n_documents"], seed)
+    rank = params["rank"]
+    reference = np.linalg.svd(matrix.to_dense(), compute_uv=False)
+    metrics = {}
+    worst_relative_error = 0.0
+    for engine in ENGINES:
+        kwargs = {}
+        if engine == "randomized":
+            # The smallest kept singular value sits at the corpus noise
+            # floor; extra power iterations push the sketch error below
+            # the shared accuracy bar.
+            kwargs["power_iterations"] = 4
+        measured = measure(
+            lambda: truncated_svd(matrix, rank, engine=engine,
+                                  seed=seed, **kwargs))
+        result = measured.result
+        error = float(np.max(np.abs(result.singular_values
+                                    - reference[:rank])))
+        relative = error / float(reference[0])
+        worst_relative_error = max(worst_relative_error, relative)
+        metrics[f"relative_error_{engine}"] = relative
+        metrics[f"seconds_{engine}"] = measured.mean_seconds
+    metrics["sigma_1"] = float(reference[0])
+    metrics["sigma_k"] = float(reference[rank - 1])
+    metrics["all_engines_accurate"] = worst_relative_error < 1e-5
+    return metrics

@@ -1,28 +1,31 @@
 """Bench E6: the §4 synonymy analysis.
 
-Injects identical-co-occurrence synonym pairs and reports the spectrum
+Injects identical-co-occurrence synonym pairs and measures the spectrum
 position of each pair's difference direction, the LSI collapse of the
 pair, and cross-topic control pairs.
 """
 
-from conftest import run_once
+from harness import benchmark
 
 from repro.experiments.synonymy_exp import SynonymyConfig, run_synonymy
 
 
-def test_synonymy(benchmark, report):
-    """E6 at the default configuration."""
-    result = run_once(benchmark, run_synonymy, SynonymyConfig())
-    report("E6: synonym pairs under LSI", result.render())
-    assert result.all_pairs_collapse()
-    assert result.controls_stay_apart()
-
-
-def test_synonymy_many_pairs(benchmark, report):
-    """E6 ablation: more pairs on a larger corpus."""
-    config = SynonymyConfig(n_terms=800, n_topics=10, n_documents=500,
-                            n_synonym_pairs=8)
-    result = run_once(benchmark, run_synonymy, config)
-    report("E6b: eight synonym pairs, 500-document corpus",
-           result.render())
-    assert result.all_pairs_collapse(min_lsi_cosine=0.85)
+@benchmark(name="synonymy", tags=("paper", "ir", "lsi"),
+           sizes={"smoke": {"n_terms": 250, "n_topics": 6,
+                            "n_documents": 150,
+                            "n_synonym_pairs": 2},
+                  "full": {}})
+def bench_synonymy(params, seed):
+    """E6: synonym pairs collapse under LSI, controls stay apart."""
+    result = run_synonymy(SynonymyConfig(**params, seed=seed))
+    outcomes = result.outcomes
+    return {
+        "min_pair_lsi_cosine":
+            min(o.collapse.lsi_cosine for o in outcomes),
+        "max_control_lsi_cosine":
+            max(o.control_lsi_cosine for o in outcomes),
+        "max_difference_relative_energy":
+            max(o.direction.relative_energy for o in outcomes),
+        "all_pairs_collapse": result.all_pairs_collapse(),
+        "controls_stay_apart": result.controls_stay_apart(),
+    }

@@ -1,9 +1,11 @@
 """Bench T1: the paper's §4 angle-statistics table.
 
 Regenerates the paper's only experimental table — intratopic/intertopic
-pairwise document angles (min/max/average/std, radians) in the original
-space and the rank-20 LSI space — at the paper's exact configuration:
-1000 documents of 50–100 terms, 2000 terms, 20 topics, 0.05-separable.
+pairwise document angles (radians) in the original space and the
+rank-20 LSI space.  The full size is the paper's exact configuration
+(1000 documents of 50–100 terms, 2000 terms, 20 topics,
+0.05-separable); the trials benchmark covers the paper's "similar
+results are obtained from repeated trials" remark.
 
 Paper's values for comparison:
 
@@ -13,45 +15,53 @@ Paper's values for comparison:
                 LSI:      0.101 / 1.57 / 1.55 / 0.153
 """
 
-from conftest import run_once
+import dataclasses
+
+from harness import benchmark
 
 from repro.experiments.angle_table import (
-    PAPER_REPORTED,
     AngleTableConfig,
     run_angle_table,
+    run_angle_table_trials,
 )
 
 
-def test_table1_full_scale(benchmark, report):
-    """T1 at the paper's full configuration."""
-    result = run_once(benchmark, run_angle_table, AngleTableConfig())
-    lines = [result.render(), "", "paper reported:"]
-    for (kind, space), values in PAPER_REPORTED.items():
-        lines.append(f"  {kind:>10}/{space:<8} "
-                     f"min={values[0]} max={values[1]} "
-                     f"avg={values[2]} std={values[3]}")
-    report("T1: paper section-4 angle table (full scale)",
-           "\n".join(lines))
-    # The reproduced phenomenon, asserted.
-    assert result.lsi.intratopic_mean < \
-        result.original.intratopic_mean / 10
-    assert result.lsi.intertopic_mean > 1.3
+def _config(scale: float, seed: int) -> AngleTableConfig:
+    return dataclasses.replace(AngleTableConfig().scaled(scale),
+                               seed=seed)
 
 
-def test_table1_half_scale(benchmark, report):
-    """T1 at half scale — the shape is scale-robust."""
-    result = run_once(benchmark, run_angle_table,
-                      AngleTableConfig().scaled(0.5))
-    report("T1: angle table (half scale)", result.render())
-    assert result.lsi.intratopic_mean < \
-        result.original.intratopic_mean / 5
+@benchmark(name="t1_angles", tags=("paper", "table1", "lsi"),
+           sizes={"smoke": {"scale": 0.3}, "full": {"scale": 1.0}})
+def bench_t1_angles(params, seed):
+    """T1: the angle table at a given scale of the paper's config."""
+    result = run_angle_table(_config(params["scale"], seed))
+    return {
+        "original_intratopic_mean": result.original.intratopic_mean,
+        "original_intertopic_mean": result.original.intertopic_mean,
+        "lsi_intratopic_mean": result.lsi.intratopic_mean,
+        "lsi_intertopic_mean": result.lsi.intertopic_mean,
+        "original_skewness": result.original_skewness,
+        "lsi_skewness": result.lsi_skewness,
+        "intratopic_collapses":
+            result.lsi.intratopic_mean
+            < result.original.intratopic_mean / 5,
+        "intertopic_preserved": result.lsi.intertopic_mean > 1.3,
+    }
 
 
-def test_table1_repeated_trials(benchmark, report):
-    """T1c: "similar results are obtained from repeated trials"."""
-    from repro.experiments.angle_table import run_angle_table_trials
-
-    trials = run_once(benchmark, run_angle_table_trials,
-                      AngleTableConfig().scaled(0.5), n_trials=5)
-    report("T1c: repeated trials", trials.summary())
-    assert trials.stable()
+@benchmark(name="t1_angle_trials", tags=("paper", "table1", "lsi"),
+           sizes={"smoke": {"scale": 0.25, "n_trials": 2},
+                  "full": {"scale": 0.5, "n_trials": 5}})
+def bench_t1_angle_trials(params, seed):
+    """T1c: stability of the angle collapse across repeated seeds."""
+    trials = run_angle_table_trials(_config(params["scale"], seed),
+                                    n_trials=params["n_trials"])
+    intra = trials.intratopic_lsi_means
+    inter = trials.intertopic_lsi_means
+    return {
+        "intratopic_lsi_mean_of_means": sum(intra) / len(intra),
+        "intertopic_lsi_mean_of_means": sum(inter) / len(inter),
+        "worst_intratopic_mean": max(intra),
+        "stable": trials.stable(),
+    }

@@ -1,67 +1,96 @@
 """Bench E3: Theorem 5 — random projection + rank-2k LSI recovery.
 
-Sweeps the projection dimension and reports
-``‖A − B₂ₖ‖_F²`` against the direct-LSI optimum and the bound
-``‖A − Aₖ‖_F² + 2ε‖A‖_F²``.
+Sweeps the projection dimension and measures ``‖A − B₂ₖ‖_F²`` against
+the direct-LSI optimum and the bound
+``‖A − Aₖ‖_F² + 2ε‖A‖_F²``; the companion benchmark checks the proof's
+inner inequality (Lemma 3 / Corollary 4) on projected spectra.
 """
 
-from conftest import run_once
+from harness import benchmark
+from harness.fixtures import separable_matrix
 
+from repro.core.random_projection import OrthonormalProjector
 from repro.experiments.rp_recovery import (
     RPRecoveryConfig,
     run_rp_recovery,
 )
+from repro.theory.corollary4 import corollary4_check, lemma3_check
 
 
-def test_theorem5_recovery(benchmark, report):
-    """E3 at the default configuration."""
-    result = run_once(benchmark, run_rp_recovery, RPRecoveryConfig())
-    report("E3: Theorem 5 recovery sweep", result.render())
-    assert result.all_bounds_hold()
-    assert result.recovery_improves_with_l()
+def _recovery_metrics(result):
+    dims = sorted(result.reports)
+    first, last = result.reports[dims[0]], result.reports[dims[-1]]
+    return {
+        "recovery_ratio_l_min": first.recovery_ratio,
+        "recovery_ratio_l_max": last.recovery_ratio,
+        "two_step_residual_sq_l_max": last.two_step_residual_sq,
+        "direct_residual_sq": last.direct_residual_sq,
+        "theorem5_slack_l_max":
+            last.bound - last.two_step_residual_sq,
+        "all_bounds_hold": result.all_bounds_hold(),
+        "recovery_improves_with_l":
+            result.recovery_improves_with_l(),
+    }
 
 
-def test_corollary4_projected_spectrum(benchmark, report):
-    """E3c: Lemma 3 / Corollary 4 — the proof's inner inequality."""
-    from repro.core.random_projection import OrthonormalProjector
-    from repro.corpus import build_separable_model, generate_corpus
-    from repro.theory.corollary4 import corollary4_check, lemma3_check
-    from repro.utils.tables import Table
-
-    def run():
-        model = build_separable_model(800, 10)
-        corpus = generate_corpus(model, 300, seed=11)
-        matrix = corpus.term_document_matrix()
-        rows = []
-        for l, epsilon in ((40, 0.5), (120, 0.3), (320, 0.18)):
-            projector = OrthonormalProjector(800, l, seed=12)
-            projected = projector.project(matrix)
-            c4 = corollary4_check(matrix, projected, 10,
-                                  epsilon=epsilon)
-            rows.append((l, c4.energy_ratio, 1.0 - epsilon, c4.holds,
-                         lemma3_check(matrix, projected, 10,
-                                      epsilon=epsilon)))
-        return rows
-
-    rows = run_once(benchmark, run)
-    table = Table(
-        title="E3c: Corollary 4 — top-2k projected energy vs (1-eps)"
-              "||A_k||^2",
-        headers=["l", "energy ratio", "floor (1-eps)", "C4 holds",
-                 "Lemma 3 holds"])
-    for row in rows:
-        table.add_row([row[0], row[1], row[2],
-                       "yes" if row[3] else "NO",
-                       "yes" if row[4] else "NO"])
-    report("E3c: Lemma 3 / Corollary 4", table.render())
-    assert all(row[3] and row[4] for row in rows)
+@benchmark(name="theorem5_recovery",
+           tags=("paper", "theorem5"),
+           sizes={"smoke": {"n_terms": 240, "n_topics": 6,
+                            "n_documents": 100,
+                            "projection_dims": (20, 60),
+                            "epsilon_labels": (0.5, 0.25)},
+                  "full": {}})
+def bench_theorem5_recovery(params, seed):
+    """E3: the Theorem 5 bound across projection dimensions."""
+    result = run_rp_recovery(RPRecoveryConfig(**params, seed=seed))
+    return _recovery_metrics(result)
 
 
-def test_theorem5_gaussian_projector(benchmark, report):
-    """E3 ablation: the Gaussian projector obeys the same bound."""
-    config = RPRecoveryConfig(projector_family="gaussian",
-                              projection_dims=(40, 160),
-                              epsilon_labels=(0.35, 0.18))
-    result = run_once(benchmark, run_rp_recovery, config)
-    report("E3b: Theorem 5 with a Gaussian projector", result.render())
-    assert result.all_bounds_hold()
+@benchmark(name="theorem5_gaussian",
+           tags=("paper", "theorem5", "ablation"),
+           sizes={"smoke": {"n_terms": 240, "n_topics": 6,
+                            "n_documents": 100,
+                            "projection_dims": (20, 60),
+                            "epsilon_labels": (0.5, 0.25)},
+                  "full": {"projection_dims": (40, 160),
+                           "epsilon_labels": (0.35, 0.18)}})
+def bench_theorem5_gaussian(params, seed):
+    """E3b: the same bound under a Gaussian (non-orthonormal)
+    projector."""
+    config = RPRecoveryConfig(**params, projector_family="gaussian",
+                              seed=seed)
+    return _recovery_metrics(run_rp_recovery(config))
+
+
+@benchmark(name="corollary4_energy",
+           tags=("paper", "theorem5", "theory"),
+           sizes={"smoke": {"n_terms": 240, "n_topics": 6,
+                            "n_documents": 100,
+                            "checks": ((40, 0.5), (100, 0.3))},
+                  "full": {"n_terms": 800, "n_topics": 10,
+                           "n_documents": 300,
+                           "checks": ((40, 0.5), (120, 0.3),
+                                      (320, 0.18))}})
+def bench_corollary4_energy(params, seed):
+    """E3c: Lemma 3 / Corollary 4 — top-2k projected energy floor."""
+    matrix = separable_matrix(params["n_terms"], params["n_topics"],
+                              params["n_documents"], seed)
+    k = params["n_topics"]
+    energy_ratios = []
+    c4_holds, lemma3_holds = True, True
+    for l, epsilon in params["checks"]:
+        projector = OrthonormalProjector(params["n_terms"], l,
+                                         seed=seed)
+        projected = projector.project(matrix)
+        check = corollary4_check(matrix, projected, k,
+                                 epsilon=epsilon)
+        energy_ratios.append(check.energy_ratio)
+        c4_holds = c4_holds and check.holds
+        lemma3_holds = lemma3_holds and lemma3_check(
+            matrix, projected, k, epsilon=epsilon)
+    return {
+        "energy_ratio_l_max": energy_ratios[-1],
+        "energy_ratio_l_min": energy_ratios[0],
+        "corollary4_holds": c4_holds,
+        "lemma3_holds": lemma3_holds,
+    }

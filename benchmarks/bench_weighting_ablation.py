@@ -1,70 +1,70 @@
 """Bench A3 (ablation): term-weighting schemes.
 
 The paper asserts the coordinate function (0-1, frequency, …) "does not
-affect our results".  This ablation reruns the T1 skewness measurement
-and the E8 single-term retrieval comparison under every weighting scheme
-to verify the robustness claim.
+affect our results".  These ablations rerun the T1 skewness measurement
+and the E8 single-term retrieval comparison under every weighting
+scheme to measure the robustness claim.
 """
 
-from conftest import run_once
+from harness import benchmark
+from harness.fixtures import separable_corpus
 
 from repro.core.lsi import LSIModel
 from repro.core.skewness import skewness
-from repro.corpus import build_separable_model, generate_corpus
 from repro.corpus.weighting import WEIGHTING_SCHEMES
 from repro.experiments.retrieval_exp import (
     RetrievalConfig,
     run_retrieval_experiment,
 )
-from repro.utils.tables import Table
 
 
-def test_weighting_skewness(benchmark, report):
+@benchmark(name="weighting_skewness",
+           tags=("ablation", "weighting"),
+           sizes={"smoke": {"n_terms": 250, "n_topics": 6,
+                            "n_documents": 120},
+                  "full": {"n_terms": 600, "n_topics": 10,
+                           "n_documents": 300}})
+def bench_weighting_skewness(params, seed):
     """A3a: LSI skewness under each weighting scheme."""
-
-    def run():
-        model = build_separable_model(600, 10)
-        corpus = generate_corpus(model, 300, seed=303)
-        labels = corpus.topic_labels()
-        rows = []
-        for scheme in sorted(WEIGHTING_SCHEMES):
-            matrix = corpus.term_document_matrix(weighting=scheme)
-            lsi = LSIModel.fit(matrix, 10, engine="lanczos", seed=3)
-            rows.append((scheme,
-                         skewness(lsi.document_vectors(), labels)))
-        return rows
-
-    rows = run_once(benchmark, run)
-    table = Table(title="A3a: skewness per weighting scheme (k=10)",
-                  headers=["scheme", "LSI skewness"])
-    for scheme, value in rows:
-        table.add_row([scheme, value])
-    report("A3a: weighting ablation (skewness)", table.render())
-    # The paper's robustness claim: every scheme keeps topics separated.
-    assert all(value < 0.5 for _, value in rows)
+    corpus = separable_corpus(params["n_terms"], params["n_topics"],
+                              params["n_documents"], seed)
+    labels = corpus.topic_labels()
+    metrics = {}
+    worst = 0.0
+    for scheme in sorted(WEIGHTING_SCHEMES):
+        matrix = corpus.term_document_matrix(weighting=scheme)
+        lsi = LSIModel.fit(matrix, params["n_topics"],
+                           engine="lanczos", seed=seed)
+        value = skewness(lsi.document_vectors(), labels)
+        metrics[f"skewness_{scheme}"] = value
+        worst = max(worst, value)
+    # The paper's robustness claim: every scheme keeps topics
+    # separated.
+    metrics["all_schemes_separate_topics"] = worst < 0.5
+    return metrics
 
 
-def test_weighting_retrieval(benchmark, report):
+@benchmark(name="weighting_retrieval",
+           tags=("ablation", "weighting", "ir"),
+           sizes={"smoke": {"n_terms": 250, "n_topics": 6,
+                            "n_documents": 120,
+                            "projection_dim": 50,
+                            "queries_per_topic": 3},
+                  "full": {"n_terms": 400, "n_topics": 8,
+                           "n_documents": 240,
+                           "projection_dim": 60}})
+def bench_weighting_retrieval(params, seed):
     """A3b: the LSI-beats-VSM claim under each weighting scheme."""
-
-    def run():
-        rows = []
-        for scheme in sorted(WEIGHTING_SCHEMES):
-            config = RetrievalConfig(n_terms=400, n_topics=8,
-                                     n_documents=240,
-                                     projection_dim=60,
-                                     weighting=scheme, seed=304)
-            result = run_retrieval_experiment(config)
-            rows.append((
-                scheme,
-                result.scores[("vsm", "single-term")].map_score,
-                result.scores[("lsi", "single-term")].map_score))
-        return rows
-
-    rows = run_once(benchmark, run)
-    table = Table(title="A3b: single-term MAP per weighting scheme",
-                  headers=["scheme", "VSM MAP", "LSI MAP"])
-    for scheme, vsm, lsi in rows:
-        table.add_row([scheme, vsm, lsi])
-    report("A3b: weighting ablation (retrieval)", table.render())
-    assert all(lsi >= vsm - 0.02 for _, vsm, lsi in rows)
+    metrics = {}
+    claim_survives = True
+    for scheme in sorted(WEIGHTING_SCHEMES):
+        config = RetrievalConfig(**params, weighting=scheme,
+                                 seed=seed)
+        result = run_retrieval_experiment(config)
+        vsm = result.scores[("vsm", "single-term")].map_score
+        lsi = result.scores[("lsi", "single-term")].map_score
+        metrics[f"map_vsm_{scheme}"] = vsm
+        metrics[f"map_lsi_{scheme}"] = lsi
+        claim_survives = claim_survives and lsi >= vsm - 0.02
+    metrics["claim_survives_all_schemes"] = claim_survives
+    return metrics

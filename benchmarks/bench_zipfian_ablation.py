@@ -1,66 +1,71 @@
 """Bench A4 (ablation): Zipfian vs uniform primary-term distributions.
 
 Theorem 2 requires the per-term probability cap τ to be small.  Zipfian
-topics violate that locally (the rank-1 term carries a constant fraction
-of the topic's mass), so this ablation probes how sensitive LSI's topic
-recovery actually is to the uniform-primary idealisation: skewness and
-angle statistics under Zipf exponents 0 (uniform) to 1.4.
+topics violate that locally (the rank-1 term carries a constant
+fraction of the topic's mass), so this ablation probes how sensitive
+LSI's topic recovery actually is to the uniform-primary idealisation:
+skewness and angle statistics under Zipf exponents 0 (uniform) up to
+the configured maximum.
 """
 
-import numpy as np
-from conftest import run_once
+from harness import benchmark
+from harness.fixtures import separable_corpus, zipfian_corpus
 
 from repro.core.lsi import LSIModel
 from repro.core.skewness import angle_statistics, skewness
-from repro.corpus.sampler import generate_corpus
-from repro.corpus.separable import (
-    build_separable_model,
-    build_zipfian_separable_model,
-)
-from repro.utils.tables import Table
 
 
-def test_zipfian_topics(benchmark, report):
+def _fit_statistics(corpus, n_topics, seed):
+    labels = corpus.topic_labels()
+    matrix = corpus.term_document_matrix()
+    lsi = LSIModel.fit(matrix, n_topics, engine="lanczos", seed=seed)
+    vectors = lsi.document_vectors()
+    return (skewness(vectors, labels),
+            angle_statistics(vectors, labels))
+
+
+@benchmark(name="zipfian_topics", tags=("ablation", "zipf"),
+           sizes={"smoke": {"n_terms": 250, "n_topics": 6,
+                            "n_documents": 120,
+                            "exponents": (1.0,)},
+                  "full": {"n_terms": 600, "n_topics": 10,
+                           "n_documents": 300,
+                           "exponents": (0.5, 1.0, 1.4)}})
+def bench_zipfian_topics(params, seed):
     """A4: skewness under increasingly skewed term distributions."""
+    n_topics = params["n_topics"]
+    uniform = separable_corpus(params["n_terms"], n_topics,
+                               params["n_documents"], seed)
+    uniform_skew, uniform_stats = _fit_statistics(uniform, n_topics,
+                                                  seed)
+    uniform_tau = uniform.model.max_term_probability()
 
-    def run():
-        rows = []
-        for exponent in (None, 0.5, 1.0, 1.4):
-            if exponent is None:
-                model = build_separable_model(600, 10)
-                label = "uniform"
-            else:
-                model = build_zipfian_separable_model(
-                    600, 10, exponent=exponent, seed=11)
-                label = f"zipf s={exponent}"
-            corpus = generate_corpus(model, 300, seed=12)
-            labels = corpus.topic_labels()
-            matrix = corpus.term_document_matrix()
-            lsi = LSIModel.fit(matrix, 10, engine="lanczos", seed=13)
-            stats = angle_statistics(lsi.document_vectors(), labels)
-            rows.append((label,
-                         model.max_term_probability(),
-                         skewness(lsi.document_vectors(), labels),
-                         stats.intratopic_mean,
-                         stats.intertopic_mean))
-        return rows
+    metrics = {
+        "tau_uniform": uniform_tau,
+        "skewness_uniform": uniform_skew,
+        "inter_mean_uniform": uniform_stats.intertopic_mean,
+    }
+    worst_skew, min_inter = uniform_skew, uniform_stats.intertopic_mean
+    max_tau = uniform_tau
+    for exponent in params["exponents"]:
+        corpus = zipfian_corpus(params["n_terms"], n_topics,
+                                params["n_documents"], seed,
+                                exponent=exponent)
+        skew, stats = _fit_statistics(corpus, n_topics, seed)
+        label = f"zipf_{exponent:g}".replace(".", "_")
+        metrics[f"tau_{label}"] = \
+            corpus.model.max_term_probability()
+        metrics[f"skewness_{label}"] = skew
+        metrics[f"inter_mean_{label}"] = stats.intertopic_mean
+        worst_skew = max(worst_skew, skew)
+        min_inter = min(min_inter, stats.intertopic_mean)
+        max_tau = max(max_tau, corpus.model.max_term_probability())
 
-    rows = run_once(benchmark, run)
-    table = Table(
-        title="A4: Zipfian primary terms (k=10, mass 0.95)",
-        headers=["distribution", "tau", "LSI skewness",
-                 "intra mean", "inter mean"])
-    for row in rows:
-        table.add_row(list(row))
-    report("A4: Zipfian term-distribution ablation", table.render())
-
-    by_label = {row[0]: row for row in rows}
     # Topic structure survives realistic skew: intertopic pairs stay
-    # near-orthogonal at every exponent.
-    assert all(row[4] > 1.2 for row in rows)
-    # tau grows with the exponent — Theorem 2's hypothesis weakens...
-    assert by_label["zipf s=1.4"][1] > by_label["uniform"][1]
-    # ...yet skewness barely moves: the small-tau hypothesis is
-    # sufficient, not necessary.  LSI's topic recovery is robust to
-    # realistic term-frequency skew.
-    assert by_label["zipf s=1.4"][2] <= by_label["uniform"][2] + 0.1
+    # near-orthogonal at every exponent, tau grows (Theorem 2's
+    # hypothesis weakens) yet skewness barely moves.
+    metrics["intertopic_stays_orthogonal"] = min_inter > 1.2
+    metrics["tau_grows_with_exponent"] = max_tau > uniform_tau
+    metrics["skewness_stays_small"] = \
+        worst_skew <= uniform_skew + 0.1
+    return metrics

@@ -1,0 +1,50 @@
+"""Unified benchmark harness for the reproduction's `bench_*.py` suite.
+
+The harness turns the ad-hoc benchmark scripts into one measured,
+machine-readable system:
+
+- :mod:`harness.registry` — the ``@benchmark`` decorator protocol and the
+  discovery registry (name, tags, size presets, metric extraction);
+- :mod:`harness.fixtures` — shared, cached corpus-generation helpers so
+  individual benches stop duplicating setup;
+- :mod:`harness.runner` — executes registered benchmarks with
+  warmup/repeat/timeout control, pinned RNG seeds, wall-clock and
+  peak-memory capture;
+- :mod:`harness.env` — machine/environment fingerprints embedded in
+  every report;
+- :mod:`harness.report` — schema-versioned ``BENCH_<timestamp>.json``
+  writer/loader and terminal summaries;
+- :mod:`harness.compare` — per-metric baseline/current deltas with
+  configurable noise tolerance, the regression gate CI runs;
+- :mod:`harness.main` — the CLI behind ``repro bench`` /
+  ``python -m repro bench``.
+
+A benchmark is a plain function taking ``(params, seed)`` and returning
+a mapping of numeric paper metrics (Frobenius gaps, skewness, MAP, …)::
+
+    from harness import benchmark
+
+    @benchmark(name="my_bench", tags=("paper",),
+               sizes={"smoke": {"n": 100}, "full": {"n": 2000}})
+    def bench_my_claim(params, seed):
+        result = run_experiment(Config(n=params["n"], seed=seed))
+        return {"gap": result.gap, "bound_holds": result.holds}
+"""
+
+from harness.registry import (
+    REGISTRY,
+    BenchmarkRegistry,
+    BenchmarkSpec,
+    BenchmarkVariant,
+    benchmark,
+    discover,
+)
+
+__all__ = [
+    "REGISTRY",
+    "BenchmarkRegistry",
+    "BenchmarkSpec",
+    "BenchmarkVariant",
+    "benchmark",
+    "discover",
+]

@@ -1,0 +1,179 @@
+"""Baseline/current report comparison — the regression gate.
+
+Results are joined on the variant id (``name[size]``); every shared
+numeric metric is compared under a relative-plus-absolute tolerance::
+
+    |current − baseline| ≤ abs_tolerance + tolerance · |baseline|
+
+Deviation in *either* direction fails: with pinned seeds the paper
+metrics are deterministic, so an "improvement" beyond tolerance means
+the code changed behaviour and the baseline must be refreshed
+deliberately.  Wall-clock-derived metrics (declared per benchmark via
+``time_metrics``) and the measured wall-clock itself are machine-
+dependent, so they are only gated when timing checks are explicitly
+requested, under their own looser tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.utils.tables import Table
+
+__all__ = [
+    "ComparisonReport",
+    "MetricComparison",
+    "compare_reports",
+]
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's baseline/current pair and its verdict."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    current: float
+    tolerance: float
+    abs_tolerance: float
+    kind: str  # "metric" | "time"
+
+    @property
+    def delta(self) -> float:
+        """Signed absolute change, current − baseline."""
+        return self.current - self.baseline
+
+    @property
+    def within(self) -> bool:
+        """Whether the change sits inside the tolerance band."""
+        allowed = self.abs_tolerance + self.tolerance \
+            * abs(self.baseline)
+        return abs(self.delta) <= allowed
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Everything the gate learned from one baseline/current pair."""
+
+    comparisons: tuple[MetricComparison, ...]
+    #: Baseline benchmarks absent from the current report.
+    missing: tuple[str, ...]
+    #: Current benchmarks the baseline has never seen (informational).
+    added: tuple[str, ...]
+    #: Current benchmarks that errored or timed out.
+    broken: tuple[str, ...]
+
+    @property
+    def regressions(self) -> tuple[MetricComparison, ...]:
+        """Metric comparisons outside tolerance."""
+        return tuple(c for c in self.comparisons if not c.within)
+
+    def ok(self, *, allow_missing: bool = False) -> bool:
+        """The gate: no regressions, nothing broken, nothing missing."""
+        if self.regressions or self.broken:
+            return False
+        if self.missing and not allow_missing:
+            return False
+        return True
+
+    def render(self, *, allow_missing: bool = False) -> str:
+        """Terminal report: verdict, regressions table, coverage notes."""
+        lines = []
+        if self.regressions:
+            table = Table(
+                title=f"{len(self.regressions)} metric(s) outside "
+                      "tolerance",
+                headers=["benchmark", "metric", "baseline", "current",
+                         "delta", "allowed"])
+            for c in self.regressions:
+                table.add_row([
+                    c.benchmark, c.metric,
+                    round(c.baseline, 6), round(c.current, 6),
+                    round(c.delta, 6),
+                    round(c.abs_tolerance
+                          + c.tolerance * abs(c.baseline), 6)])
+            lines.append(table.render())
+        for benchmark in self.broken:
+            lines.append(f"BROKEN: {benchmark} errored or timed out "
+                         "in the current report")
+        for benchmark in self.missing:
+            lines.append(f"MISSING: {benchmark} is in the baseline "
+                         "but not in the current report")
+        for benchmark in self.added:
+            lines.append(f"new benchmark (not in baseline): "
+                         f"{benchmark}")
+        verdict = "PASS" if self.ok(allow_missing=allow_missing) \
+            else "FAIL"
+        lines.append(f"{verdict}: {len(self.comparisons)} metric "
+                     f"comparison(s), {len(self.regressions)} "
+                     "regression(s)")
+        return "\n".join(lines)
+
+
+def _indexed(report: Mapping[str, Any]) -> dict[str, dict]:
+    """Report results keyed by variant id."""
+    return {entry["benchmark"]: entry
+            for entry in report.get("results", [])}
+
+
+def compare_reports(baseline: Mapping[str, Any],
+                    current: Mapping[str, Any], *,
+                    tolerance: float = 0.05,
+                    abs_tolerance: float = 1e-9,
+                    check_time: bool = False,
+                    time_tolerance: float = 0.5) -> ComparisonReport:
+    """Compare two loaded report documents metric by metric.
+
+    Args:
+        baseline: the committed/approved report document.
+        current: the freshly produced report document.
+        tolerance: relative tolerance for paper metrics.
+        abs_tolerance: absolute slack added to every band (absorbs
+            exact-zero baselines and float noise).
+        check_time: also gate wall-clock means and declared
+            ``time_metrics`` (off by default — machine-dependent).
+        time_tolerance: relative tolerance for the timing comparisons.
+    """
+    base_index = _indexed(baseline)
+    cur_index = _indexed(current)
+
+    comparisons: list[MetricComparison] = []
+    broken = []
+    for benchmark_id in sorted(set(base_index) & set(cur_index)):
+        base = base_index[benchmark_id]
+        cur = cur_index[benchmark_id]
+        if base["status"] != "ok":
+            continue  # baseline never captured good numbers
+        if cur["status"] != "ok":
+            broken.append(benchmark_id)
+            continue
+        time_metric_names = set(base.get("time_metrics", ())) \
+            | set(cur.get("time_metrics", ()))
+        shared = set(base["metrics"]) & set(cur["metrics"])
+        for metric in sorted(shared):
+            timelike = metric in time_metric_names
+            if timelike and not check_time:
+                continue
+            comparisons.append(MetricComparison(
+                benchmark=benchmark_id, metric=metric,
+                baseline=base["metrics"][metric],
+                current=cur["metrics"][metric],
+                tolerance=time_tolerance if timelike else tolerance,
+                abs_tolerance=abs_tolerance,
+                kind="time" if timelike else "metric"))
+        if check_time and base.get("mean_seconds") \
+                and cur.get("mean_seconds") is not None:
+            comparisons.append(MetricComparison(
+                benchmark=benchmark_id, metric="mean_seconds",
+                baseline=base["mean_seconds"],
+                current=cur["mean_seconds"],
+                tolerance=time_tolerance,
+                abs_tolerance=abs_tolerance, kind="time"))
+
+    return ComparisonReport(
+        comparisons=tuple(comparisons),
+        missing=tuple(sorted(set(base_index) - set(cur_index))),
+        added=tuple(sorted(set(cur_index) - set(base_index))),
+        broken=tuple(broken))

@@ -1,0 +1,50 @@
+"""Machine/environment fingerprints embedded in benchmark reports.
+
+Timing numbers are meaningless without knowing what produced them, and
+metric drift across machines (different BLAS, different CPU) must be
+distinguishable from real regressions.  Every ``BENCH_*.json`` therefore
+carries this fingerprint; the compare gate reads it only for display,
+never for matching.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import subprocess
+import sys
+
+__all__ = ["fingerprint"]
+
+
+def _git_commit() -> str:
+    """The checkout's HEAD commit, or ``"unknown"`` outside a repo."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True,
+            text=True, timeout=5, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip()
+
+
+def fingerprint() -> dict:
+    """A JSON-ready description of the interpreter, libraries, machine."""
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+        "hostname": socket.gethostname(),
+        "git_commit": _git_commit(),
+        "executable": sys.executable,
+    }

@@ -1,0 +1,65 @@
+"""Shared corpus-generation fixtures for the bench scripts.
+
+Before the harness existed every ``bench_*.py`` rebuilt its own
+separable model and corpus inline (and ``benchmarks/conftest.py``
+carried pytest-only helpers on top).  These cached builders are the
+single copy: a benchmark asks for a corpus or term–document matrix by
+shape and seed, and repeated requests within one ``repro bench`` run
+share the object instead of regenerating it.
+
+Caching is safe because corpora are treated as immutable by every
+consumer — ``term_document_matrix()`` builds a fresh matrix per call,
+and benchmarks only read.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.corpus import build_separable_model, generate_corpus
+from repro.corpus.separable import build_zipfian_separable_model
+
+__all__ = [
+    "clear_caches",
+    "separable_corpus",
+    "separable_matrix",
+    "zipfian_corpus",
+]
+
+
+@lru_cache(maxsize=8)
+def separable_corpus(n_terms: int, n_topics: int, n_documents: int,
+                     seed: int, *, primary_mass: float = 0.95,
+                     length_low: int = 50, length_high: int = 100):
+    """A cached corpus drawn from a disjoint-primary separable model."""
+    model = build_separable_model(
+        n_terms, n_topics, primary_mass=primary_mass,
+        length_low=length_low, length_high=length_high)
+    return generate_corpus(model, n_documents, seed=seed)
+
+
+@lru_cache(maxsize=8)
+def separable_matrix(n_terms: int, n_topics: int, n_documents: int,
+                     seed: int, *, primary_mass: float = 0.95,
+                     weighting: str = "count"):
+    """A cached term–document matrix of a separable-model corpus."""
+    corpus = separable_corpus(n_terms, n_topics, n_documents, seed,
+                              primary_mass=primary_mass)
+    return corpus.term_document_matrix(weighting=weighting)
+
+
+@lru_cache(maxsize=8)
+def zipfian_corpus(n_terms: int, n_topics: int, n_documents: int,
+                   seed: int, *, exponent: float = 1.0,
+                   model_seed: int = 11):
+    """A cached corpus whose primary terms follow a Zipf distribution."""
+    model = build_zipfian_separable_model(
+        n_terms, n_topics, exponent=exponent, seed=model_seed)
+    return generate_corpus(model, n_documents, seed=seed)
+
+
+def clear_caches() -> None:
+    """Drop every cached corpus/matrix (used between test runs)."""
+    separable_corpus.cache_clear()
+    separable_matrix.cache_clear()
+    zipfian_corpus.cache_clear()

@@ -1,0 +1,179 @@
+"""The ``repro bench`` command-line driver.
+
+Three modes, dispatched on the first argument:
+
+- ``repro bench [selection/run options]`` — discover, select, run,
+  write a ``BENCH_<timestamp>.json`` report;
+- ``repro bench list [selection options]`` — show the registered
+  variants without running anything;
+- ``repro bench compare BASELINE.json CURRENT.json [tolerances]`` —
+  the regression gate; exits nonzero when a metric moved outside
+  tolerance, a benchmark broke, or baseline coverage was lost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from harness import compare as compare_mod
+from harness import registry, report, runner
+
+__all__ = ["main"]
+
+
+def _add_selection_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("names", nargs="*",
+                        help="benchmark names or ids (default: all)")
+    parser.add_argument("--tag", action="append", default=[],
+                        metavar="TAG",
+                        help="keep benchmarks carrying TAG (repeatable; "
+                             "size names like 'smoke' are tags too)")
+    parser.add_argument("--size", default=None,
+                        metavar="SIZE",
+                        help="keep only SIZE variants (e.g. smoke, "
+                             "full)")
+
+
+def _build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run registered benchmarks and write a "
+                    "schema-versioned JSON report.")
+    _add_selection_options(parser)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="timed repetitions per benchmark "
+                             "(default 1)")
+    parser.add_argument("--warmup", type=int, default=0,
+                        help="extra untimed warmup runs (default 0; "
+                             "the memory-profiled first run always "
+                             "warms up)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-benchmark wall-clock budget")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="RNG seed passed to every benchmark "
+                             "(default 1234)")
+    parser.add_argument("--output-dir", default=".",
+                        help="directory for BENCH_*.json (default .)")
+    return parser
+
+
+def _build_list_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench list",
+        description="List registered benchmark variants.")
+    _add_selection_options(parser)
+    return parser
+
+
+def _build_compare_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench compare",
+        description="Gate a current report against a baseline; exits "
+                    "1 on regression.")
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative tolerance for paper metrics "
+                             "(default 0.05)")
+    parser.add_argument("--abs-tolerance", type=float, default=1e-9,
+                        help="absolute slack added to every band "
+                             "(default 1e-9)")
+    parser.add_argument("--check-time", action="store_true",
+                        help="also gate wall-clock and declared "
+                             "time metrics")
+    parser.add_argument("--time-tolerance", type=float, default=0.5,
+                        help="relative tolerance for timing "
+                             "comparisons (default 0.5)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when baseline benchmarks "
+                             "are absent from the current report")
+    return parser
+
+
+def _split_tags(raw: "list[str]") -> "tuple[str, ...]":
+    tags: list[str] = []
+    for item in raw:
+        tags.extend(part.strip() for part in item.split(",")
+                    if part.strip())
+    return tuple(tags)
+
+
+def _select(args) -> "list[registry.BenchmarkVariant]":
+    reg = registry.discover()
+    return reg.variants(tags=_split_tags(args.tag) or None,
+                        size=args.size,
+                        names=tuple(args.names) or None)
+
+
+def _command_list(argv: "list[str]") -> int:
+    args = _build_list_parser().parse_args(argv)
+    variants = _select(args)
+    if not variants:
+        print("no benchmarks match the selection", file=sys.stderr)
+        return 1
+    width = max(len(v.id) for v in variants)
+    for variant in variants:
+        tags = ",".join(t for t in variant.spec.tags)
+        print(f"  {variant.id:<{width}}  [{tags}]  "
+              f"{variant.spec.summary}")
+    print(f"{len(variants)} variant(s) across "
+          f"{len({v.spec.name for v in variants})} benchmark(s)")
+    return 0
+
+
+def _command_run(argv: "list[str]") -> int:
+    args = _build_run_parser().parse_args(argv)
+    variants = _select(args)
+    if not variants:
+        print("no benchmarks match the selection", file=sys.stderr)
+        return 2
+    options = runner.RunOptions(
+        repeats=args.repeat, warmup=args.warmup,
+        timeout_seconds=args.timeout, seed=args.seed)
+    outcomes = runner.run_selected(variants, options, progress=print)
+    document = report.build_report(outcomes, options)
+    path = report.write_report(document, args.output_dir)
+    print()
+    print(report.render_summary(document))
+    print(f"\nwrote {path}")
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        print(f"{len(failures)} benchmark(s) failed: "
+              + ", ".join(o.benchmark for o in failures),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_compare(argv: "list[str]") -> int:
+    args = _build_compare_parser().parse_args(argv)
+    try:
+        baseline = report.load_report(args.baseline)
+        current = report.load_report(args.current)
+    except report.ReportError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    result = compare_mod.compare_reports(
+        baseline, current,
+        tolerance=args.tolerance,
+        abs_tolerance=args.abs_tolerance,
+        check_time=args.check_time,
+        time_tolerance=args.time_tolerance)
+    print(result.render(allow_missing=args.allow_missing))
+    return 0 if result.ok(allow_missing=args.allow_missing) else 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point for ``repro bench``; returns the exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "compare":
+        return _command_compare(argv[1:])
+    if argv and argv[0] == "list":
+        return _command_list(argv[1:])
+    return _command_run(argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""Benchmark registration and discovery.
+
+The protocol: a bench module decorates plain functions with
+:func:`benchmark`, declaring a stable name, tags, and named size
+presets.  The registry expands every (benchmark, size) pair into a
+:class:`BenchmarkVariant` whose id is ``name[size]`` and whose tag set
+is the spec's tags plus the size name — so ``repro bench --tag smoke``
+selects exactly the tiny-size variants.
+
+Benchmark functions take ``(params, seed)`` — ``params`` is the size
+preset's dict, ``seed`` the run's pinned RNG seed — and return a mapping
+of metric name to number (bools are recorded as 0/1).  Wall-clock-
+derived metrics (speedups, kernel seconds) are declared via
+``time_metrics`` so the compare gate can treat them as noisy.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "BenchmarkSpec",
+    "BenchmarkVariant",
+    "BenchmarkRegistry",
+    "REGISTRY",
+    "benchmark",
+    "discover",
+]
+
+#: Directory holding the ``bench_*.py`` scripts (the package's parent).
+BENCH_DIR = Path(__file__).resolve().parent.parent
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registered benchmark: a function plus its run protocol.
+
+    Attributes:
+        name: stable identifier (baseline keys depend on it).
+        fn: the benchmark callable ``fn(params, seed) -> metrics``.
+        tags: free-form labels (``"paper"``, ``"ablation"``, …) used by
+            ``--tag`` selection.
+        sizes: size-preset name → params dict passed to ``fn``.
+        time_metrics: metric names that are wall-clock-derived and
+            therefore machine-dependent; the compare gate skips them
+            unless explicitly asked to check timing.
+        summary: one-line description (first docstring line).
+        module: defining module name, for provenance in reports.
+    """
+
+    name: str
+    fn: Callable[[Mapping[str, Any], int], Mapping[str, Any]]
+    tags: tuple[str, ...] = ()
+    sizes: Mapping[str, Mapping[str, Any]] = \
+        field(default_factory=lambda: {"full": {}})
+    time_metrics: tuple[str, ...] = ()
+    summary: str = ""
+    module: str = ""
+
+    def variants(self) -> "list[BenchmarkVariant]":
+        """All (benchmark, size) pairs this spec expands into."""
+        return [BenchmarkVariant(spec=self, size=size)
+                for size in self.sizes]
+
+
+@dataclass(frozen=True)
+class BenchmarkVariant:
+    """One runnable (benchmark, size preset) pair."""
+
+    spec: BenchmarkSpec
+    size: str
+
+    @property
+    def id(self) -> str:
+        """Stable identifier, ``name[size]`` — the baseline join key."""
+        return f"{self.spec.name}[{self.size}]"
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        """The size preset's parameter dict."""
+        return self.spec.sizes[self.size]
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        """Spec tags plus the size name (so ``--tag smoke`` works)."""
+        return tuple(self.spec.tags) + (self.size,)
+
+
+class DuplicateBenchmarkError(ValueError):
+    """Two distinct functions registered under one benchmark name."""
+
+
+class BenchmarkRegistry:
+    """Name-keyed collection of :class:`BenchmarkSpec` objects."""
+
+    def __init__(self) -> None:
+        """Start empty; populated by :func:`benchmark` decorators."""
+        self._specs: dict[str, BenchmarkSpec] = {}
+
+    def register(self, spec: BenchmarkSpec) -> None:
+        """Add ``spec``; re-registering the same function is a no-op."""
+        existing = self._specs.get(spec.name)
+        if existing is not None:
+            same = (existing.module == spec.module
+                    and getattr(existing.fn, "__qualname__", None)
+                    == getattr(spec.fn, "__qualname__", None))
+            if same:
+                return
+            raise DuplicateBenchmarkError(
+                f"benchmark name {spec.name!r} registered twice "
+                f"({existing.module} and {spec.module})")
+        self._specs[spec.name] = spec
+
+    def specs(self) -> list[BenchmarkSpec]:
+        """All registered specs, name-sorted for stable output."""
+        return [self._specs[name] for name in sorted(self._specs)]
+
+    def variants(self, *, tags: "tuple[str, ...] | None" = None,
+                 size: "str | None" = None,
+                 names: "tuple[str, ...] | None" = None,
+                 ) -> list[BenchmarkVariant]:
+        """Expand specs into variants, filtered by selection criteria.
+
+        Args:
+            tags: keep variants carrying at least one of these tags.
+            size: keep variants of exactly this size preset.
+            names: keep variants whose spec name or variant id matches
+                one of these.
+        """
+        selected = []
+        for spec in self.specs():
+            for variant in spec.variants():
+                if tags and not set(tags) & set(variant.tags):
+                    continue
+                if size is not None and variant.size != size:
+                    continue
+                if names and spec.name not in names \
+                        and variant.id not in names:
+                    continue
+                selected.append(variant)
+        return selected
+
+    def __len__(self) -> int:
+        """Number of registered specs (not variants)."""
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        """Whether a spec with ``name`` is registered."""
+        return name in self._specs
+
+
+#: The process-wide default registry the decorator writes into.
+REGISTRY = BenchmarkRegistry()
+
+
+def benchmark(name: "str | None" = None, *,
+              tags: "tuple[str, ...]" = (),
+              sizes: "Mapping[str, Mapping[str, Any]] | None" = None,
+              time_metrics: "tuple[str, ...]" = (),
+              registry: "BenchmarkRegistry | None" = None):
+    """Decorator registering a benchmark function.
+
+    The function itself is returned unchanged, so it stays directly
+    callable (tests call benchmarks as plain functions).
+    """
+
+    def decorate(fn):
+        doc = (fn.__doc__ or "").strip().splitlines()
+        spec = BenchmarkSpec(
+            name=name or fn.__name__,
+            fn=fn,
+            tags=tuple(tags),
+            sizes=dict(sizes) if sizes else {"full": {}},
+            time_metrics=tuple(time_metrics),
+            summary=doc[0] if doc else "",
+            module=fn.__module__,
+        )
+        (registry if registry is not None else REGISTRY).register(spec)
+        return fn
+
+    return decorate
+
+
+def discover(directory: "Path | None" = None, *,
+             pattern: str = "bench_*.py") -> BenchmarkRegistry:
+    """Import every bench script so its decorators register themselves.
+
+    Modules are imported under their bare stem (``bench_foo``), matching
+    how pytest used to import them; repeat calls are cheap because
+    Python caches the modules and re-registration is a no-op.
+    """
+    directory = Path(directory) if directory else BENCH_DIR
+    if str(directory) not in sys.path:
+        sys.path.insert(0, str(directory))
+    for path in sorted(directory.glob(pattern)):
+        importlib.import_module(path.stem)
+    return REGISTRY

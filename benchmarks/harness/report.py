@@ -1,0 +1,140 @@
+"""Schema-versioned benchmark reports (``BENCH_<timestamp>.json``).
+
+The JSON layout is the harness's stable interface: CI artifacts,
+committed baselines, and the compare gate all speak it.  ``schema`` and
+``schema_version`` guard against silently comparing incompatible
+layouts; bump the version whenever a field changes meaning.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.utils.tables import Table
+
+from harness import env
+from harness.runner import BenchmarkOutcome, RunOptions
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "ReportError",
+    "build_report",
+    "load_report",
+    "render_summary",
+    "write_report",
+]
+
+#: Identifies the document family (guards against foreign JSON files).
+SCHEMA = "repro-bench"
+#: Bumped on any backwards-incompatible layout change.
+SCHEMA_VERSION = 1
+
+
+class ReportError(ValueError):
+    """A report file is missing, malformed, or schema-incompatible."""
+
+
+def _result_entry(outcome: BenchmarkOutcome) -> dict:
+    """One outcome as a JSON-ready dict (keys sorted on dump)."""
+    return {
+        "benchmark": outcome.benchmark,
+        "name": outcome.name,
+        "size": outcome.size,
+        "tags": list(outcome.tags),
+        "params": dict(outcome.params),
+        "seed": outcome.seed,
+        "status": outcome.status,
+        "error": outcome.error,
+        "wall_seconds": list(outcome.wall_seconds),
+        "mean_seconds": outcome.mean_seconds,
+        "best_seconds": outcome.best_seconds,
+        "peak_alloc_bytes": outcome.peak_alloc_bytes,
+        "peak_rss_kb": outcome.peak_rss_kb,
+        "metrics": dict(outcome.metrics),
+        "time_metrics": list(outcome.time_metrics),
+    }
+
+
+def build_report(outcomes: "list[BenchmarkOutcome]",
+                 options: "RunOptions | None" = None) -> dict:
+    """Assemble outcomes plus env fingerprint into a report document."""
+    options = options or RunOptions()
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                    time.gmtime()),
+        "env": env.fingerprint(),
+        "options": {
+            "repeats": options.repeats,
+            "warmup": options.warmup,
+            "timeout_seconds": options.timeout_seconds,
+            "seed": options.seed,
+        },
+        "results": sorted((_result_entry(o) for o in outcomes),
+                          key=lambda entry: entry["benchmark"]),
+    }
+
+
+def write_report(report: Mapping[str, Any],
+                 output_dir: "Path | str" = ".") -> Path:
+    """Write ``report`` as ``BENCH_<utc timestamp>.json``; return path.
+
+    A collision counter keeps two same-second runs from clobbering each
+    other.
+    """
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+    path = directory / f"BENCH_{stamp}.json"
+    counter = 1
+    while path.exists():
+        path = directory / f"BENCH_{stamp}_{counter}.json"
+        counter += 1
+    path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                    + "\n")
+    return path
+
+
+def load_report(path: "Path | str") -> dict:
+    """Read and validate a report document; raise :class:`ReportError`."""
+    path = Path(path)
+    if not path.is_file():
+        raise ReportError(f"no such report: {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ReportError(f"{path}: not valid JSON ({error})") from error
+    if not isinstance(document, dict) \
+            or document.get("schema") != SCHEMA:
+        raise ReportError(
+            f"{path}: not a {SCHEMA} report (schema field missing or "
+            "foreign)")
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ReportError(
+            f"{path}: schema_version "
+            f"{document.get('schema_version')!r} unsupported "
+            f"(expected {SCHEMA_VERSION})")
+    return document
+
+
+def render_summary(report: Mapping[str, Any]) -> str:
+    """A terminal table over a report's results (status, time, memory)."""
+    table = Table(
+        title=f"bench report — {report.get('created_at', '?')}",
+        headers=["benchmark", "status", "mean s", "best s",
+                 "peak alloc MB", "metrics"])
+    for entry in report.get("results", []):
+        table.add_row([
+            entry["benchmark"],
+            entry["status"],
+            round(entry["mean_seconds"], 4),
+            round(entry["best_seconds"], 4),
+            round(entry["peak_alloc_bytes"] / 1e6, 2),
+            len(entry["metrics"]),
+        ])
+    return table.render()

@@ -1,0 +1,225 @@
+"""Benchmark execution: warmup/repeat/timeout control and capture.
+
+For each selected variant the runner performs
+
+1. one *profiled* run under :mod:`tracemalloc` (peak-allocation
+   capture; it doubles as the first warmup),
+2. any additional untimed warmup runs,
+3. ``repeats`` timed runs via :func:`repro.utils.timing.measure`,
+
+all under a single wall-clock timeout (SIGALRM where available), with
+the RNG seed pinned and threaded into the benchmark function.  Metrics
+come from the final timed run's return value; booleans are recorded as
+0/1 so regression gating covers the paper's claim predicates too.
+"""
+
+from __future__ import annotations
+
+import resource
+import signal
+import threading
+import tracemalloc
+from dataclasses import dataclass, field
+from numbers import Real
+from typing import Any, Callable, Mapping
+
+from repro.utils.timing import measure
+
+from harness.registry import BenchmarkVariant
+
+__all__ = [
+    "BenchmarkOutcome",
+    "BenchmarkTimeout",
+    "RunOptions",
+    "run_selected",
+    "run_variant",
+]
+
+
+class BenchmarkTimeout(Exception):
+    """A benchmark exceeded the per-variant wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution knobs shared by every variant in one ``bench`` run."""
+
+    #: Timed repetitions per benchmark (metrics come from the last).
+    repeats: int = 1
+    #: Untimed warmup runs beyond the memory-profiled first run.
+    warmup: int = 0
+    #: Per-variant wall-clock budget in seconds (None = unlimited).
+    timeout_seconds: "float | None" = None
+    #: RNG seed passed to every benchmark function.
+    seed: int = 1234
+
+
+@dataclass(frozen=True)
+class BenchmarkOutcome:
+    """Everything measured for one executed variant."""
+
+    benchmark: str
+    name: str
+    size: str
+    tags: tuple[str, ...]
+    params: Mapping[str, Any]
+    seed: int
+    status: str  # "ok" | "error" | "timeout"
+    error: "str | None" = None
+    wall_seconds: tuple[float, ...] = ()
+    peak_alloc_bytes: int = 0
+    peak_rss_kb: int = 0
+    metrics: Mapping[str, float] = field(default_factory=dict)
+    time_metrics: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the benchmark ran to completion."""
+        return self.status == "ok"
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean timed-repeat duration (0.0 when nothing was timed)."""
+        if not self.wall_seconds:
+            return 0.0
+        return sum(self.wall_seconds) / len(self.wall_seconds)
+
+    @property
+    def best_seconds(self) -> float:
+        """Fastest timed repeat (0.0 when nothing was timed)."""
+        return min(self.wall_seconds) if self.wall_seconds else 0.0
+
+
+def _alarm_available() -> bool:
+    """SIGALRM timeouts need a main-thread POSIX process."""
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+class _deadline:
+    """Context manager raising :class:`BenchmarkTimeout` via SIGALRM.
+
+    Degrades to a no-op off the main thread or on platforms without
+    ``SIGALRM`` — the benchmark then simply runs to completion.
+    """
+
+    def __init__(self, seconds: "float | None") -> None:
+        self.seconds = seconds
+        self._previous: Any = None
+        self._armed = False
+
+    def __enter__(self) -> "_deadline":
+        if self.seconds is not None and _alarm_available():
+            def _on_alarm(signum, frame):
+                raise BenchmarkTimeout(
+                    f"exceeded {self.seconds:g}s budget")
+
+            self._previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self._armed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+
+
+def _normalise_metrics(raw: Mapping[str, Any]) -> dict[str, float]:
+    """Coerce a benchmark's return mapping into name → float.
+
+    Bools become 0/1; other real numbers (including numpy scalars) are
+    cast to float; anything else is a protocol violation.
+    """
+    if not isinstance(raw, Mapping):
+        raise TypeError(
+            f"benchmark returned {type(raw).__name__}, expected a "
+            "mapping of metric name -> number")
+    metrics: dict[str, float] = {}
+    for key, value in raw.items():
+        if isinstance(value, bool):
+            metrics[str(key)] = 1.0 if value else 0.0
+        elif isinstance(value, Real):
+            metrics[str(key)] = float(value)
+        else:
+            raise TypeError(
+                f"metric {key!r} is {type(value).__name__}, expected "
+                "a number")
+    return metrics
+
+
+def run_variant(variant: BenchmarkVariant,
+                options: "RunOptions | None" = None) -> BenchmarkOutcome:
+    """Execute one variant and capture timing, memory, and metrics.
+
+    Never raises for benchmark failures: errors and timeouts come back
+    as outcomes with ``status`` set, so one broken bench cannot take
+    down a whole sweep.
+    """
+    options = options or RunOptions()
+    spec = variant.spec
+    params = dict(variant.params)
+
+    def call() -> Mapping[str, Any]:
+        return spec.fn(params, options.seed)
+
+    try:
+        with _deadline(options.timeout_seconds):
+            # Profiled first run: peak allocations, and a warmup.
+            tracing_already = tracemalloc.is_tracing()
+            if not tracing_already:
+                tracemalloc.start()
+            baseline = tracemalloc.get_traced_memory()[0]
+            try:
+                call()
+                peak_alloc = max(
+                    0, tracemalloc.get_traced_memory()[1] - baseline)
+            finally:
+                if not tracing_already:
+                    tracemalloc.stop()
+            measured = measure(call, warmup=options.warmup,
+                               repeats=options.repeats)
+        metrics = _normalise_metrics(measured.result)
+    except BenchmarkTimeout as error:
+        return BenchmarkOutcome(
+            benchmark=variant.id, name=spec.name, size=variant.size,
+            tags=variant.tags, params=params, seed=options.seed,
+            status="timeout", error=str(error),
+            time_metrics=spec.time_metrics)
+    except Exception as error:  # reprolint: disable=R005
+        # The harness is a driver: any benchmark exception is reported
+        # as data (status="error"), not propagated.
+        return BenchmarkOutcome(
+            benchmark=variant.id, name=spec.name, size=variant.size,
+            tags=variant.tags, params=params, seed=options.seed,
+            status="error",
+            error=f"{type(error).__name__}: {error}",
+            time_metrics=spec.time_metrics)
+    return BenchmarkOutcome(
+        benchmark=variant.id, name=spec.name, size=variant.size,
+        tags=variant.tags, params=params, seed=options.seed,
+        status="ok", wall_seconds=measured.wall_seconds,
+        peak_alloc_bytes=peak_alloc,
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        metrics=metrics, time_metrics=spec.time_metrics)
+
+
+def run_selected(variants: "list[BenchmarkVariant]",
+                 options: "RunOptions | None" = None, *,
+                 progress: "Callable[[str], None] | None" = None,
+                 ) -> list[BenchmarkOutcome]:
+    """Run every variant in order, reporting progress as lines of text."""
+    options = options or RunOptions()
+    outcomes = []
+    total = len(variants)
+    for index, variant in enumerate(variants, start=1):
+        if progress:
+            progress(f"[{index}/{total}] {variant.id} ...")
+        outcome = run_variant(variant, options)
+        if progress:
+            detail = (f"{outcome.mean_seconds:.2f}s"
+                      if outcome.ok else outcome.error)
+            progress(f"[{index}/{total}] {variant.id} "
+                     f"{outcome.status} ({detail})")
+        outcomes.append(outcome)
+    return outcomes

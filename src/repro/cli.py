@@ -10,7 +10,11 @@ Commands:
   Markdown report (all of them by default);
 - ``info`` — version and experiment inventory summary;
 - ``lint [paths...] [--format {text,json}] [--select Rxxx,...]`` — run
-  the repo's static-analysis pass (reprolint) over the source tree.
+  the repo's static-analysis pass (reprolint) over the source tree;
+- ``bench [...]`` — the unified benchmark harness: run registered
+  benchmarks into schema-versioned ``BENCH_*.json`` reports,
+  ``bench list`` the registry, ``bench compare`` two reports as a
+  regression gate (see ``repro bench --help``).
 
 The CLI exists so a downstream user can regenerate any artifact without
 writing Python; the benchmark harness remains the canonical driver.
@@ -161,6 +165,38 @@ def _load_reprolint():
     return reprolint_cli
 
 
+def _load_bench_harness():
+    """Import the benchmark harness, reaching back to the checkout.
+
+    Like reprolint, the harness lives repository-side
+    (``benchmarks/harness``, not shipped in the wheel), so running
+    ``repro bench`` needs the ``benchmarks/`` directory on ``sys.path``;
+    installed copies without the checkout get a clear error.
+    """
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    bench_dir = root / "benchmarks"
+    if not (bench_dir / "harness").is_dir():
+        raise ModuleNotFoundError(
+            "benchmarks/harness not importable: `repro bench` runs "
+            "from a repository checkout (benchmarks/ is not packaged)")
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    from harness import main as harness_main
+    return harness_main
+
+
+def _command_bench(bench_argv) -> int:
+    """Delegate ``repro bench ...`` to the harness CLI."""
+    try:
+        harness_main = _load_bench_harness()
+    except ModuleNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return harness_main.main(list(bench_argv))
+
+
 def _command_lint(args) -> int:
     try:
         reprolint_cli = _load_reprolint()
@@ -253,11 +289,24 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="print the rule catalogue and exit")
     lint_parser.set_defaults(handler=_command_lint)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run/compare benchmarks (see `repro bench --help`)")
+    bench_parser.add_argument("bench_args", nargs=argparse.REMAINDER,
+                              help="arguments for the harness CLI")
+    bench_parser.set_defaults(
+        handler=lambda args: _command_bench(args.bench_args))
     return parser
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `bench` owns its argv (flags like --tag would trip argparse's
+    # REMAINDER handling), so dispatch before the main parser runs.
+    if argv and argv[0] == "bench":
+        return _command_bench(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if not getattr(args, "handler", None):

@@ -14,7 +14,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Timer", "time_callable"]
+__all__ = ["MeasuredRun", "Timer", "measure", "time_callable"]
 
 
 @dataclass
@@ -36,6 +36,8 @@ class Timer:
     entries: int = 0
     #: Duration of the most recent completed block.
     last_seconds: float = 0.0
+    #: Per-entry durations, in completion order (one per ``with`` block).
+    laps: list[float] = field(default_factory=list)
     _started_at: float | None = field(default=None, repr=False)
 
     def __enter__(self) -> "Timer":
@@ -48,6 +50,7 @@ class Timer:
         self.last_seconds = time.perf_counter() - self._started_at
         self.total_seconds += self.last_seconds
         self.entries += 1
+        self.laps.append(self.last_seconds)
         self._started_at = None
 
     @property
@@ -62,7 +65,53 @@ class Timer:
         self.total_seconds = 0.0
         self.entries = 0
         self.last_seconds = 0.0
+        self.laps = []
         self._started_at = None
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """Warmup/repeat measurement of one callable (benchmark-harness use).
+
+    Attributes:
+        result: return value of the final timed invocation.
+        wall_seconds: per-repeat durations, warmups excluded.
+    """
+
+    result: Any
+    wall_seconds: tuple[float, ...]
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean duration over the timed repeats."""
+        return sum(self.wall_seconds) / len(self.wall_seconds)
+
+    @property
+    def best_seconds(self) -> float:
+        """Fastest single repeat (the usual microbenchmark statistic)."""
+        return min(self.wall_seconds)
+
+
+def measure(fn: Callable[[], Any], *, warmup: int = 0,
+            repeats: int = 1) -> MeasuredRun:
+    """Run ``fn`` with ``warmup`` untimed then ``repeats`` timed calls.
+
+    The benchmark harness's timing primitive: warmups absorb one-time
+    costs (imports, allocator growth, BLAS thread spin-up) so the timed
+    laps measure the steady state.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    timer = Timer()
+    result = None
+    for _ in range(repeats):
+        with timer:
+            result = fn()
+    return MeasuredRun(result=result, wall_seconds=tuple(timer.laps))
 
 
 def time_callable(fn: Callable[..., Any], *args: Any,
