@@ -1,0 +1,137 @@
+"""Bench S1–S3: the serving layer.
+
+Three families:
+
+- ``serving_batched_queries`` — the tentpole perf claim: ranking a
+  query block through :class:`~repro.serving.engine.BatchQueryEngine`'s
+  single-GEMM path vs the per-query loop, asserting bit-identical
+  rankings and reporting the speedup;
+- ``serving_bundle_roundtrip`` — save → load → rank reproduces the
+  in-memory rankings exactly, plus wall-clock for both directions;
+- ``serving_foldin_drift`` — fold document batches into an index fitted
+  on a subset and check the drift metric is monotone non-decreasing and
+  crosses a low refit threshold.
+"""
+
+import numpy as np
+
+from harness import benchmark
+from harness.fixtures import separable_matrix
+
+from repro.core.lsi import LSIModel
+from repro.serving import BatchQueryEngine, ServedIndex
+from repro.utils.rng import as_generator
+from repro.utils.timing import measure
+
+
+def _query_block(n_terms, n_queries, seed):
+    """A dense block of random non-negative term-space queries."""
+    rng = as_generator(seed)
+    return rng.random((n_terms, n_queries))
+
+
+@benchmark(name="serving_batched_queries", tags=("serving", "perf"),
+           sizes={"smoke": {"n_terms": 400, "n_topics": 8,
+                            "n_documents": 400, "rank": 8,
+                            "n_queries": 64},
+                  "full": {"n_terms": 1500, "n_topics": 12,
+                           "n_documents": 1200, "rank": 12,
+                           "n_queries": 256}},
+           time_metrics=("looped_seconds", "batched_seconds",
+                         "batched_speedup"))
+def bench_serving_batched_queries(params, seed):
+    """S1: batched GEMM ranking vs per-query loop, same rankings."""
+    matrix = separable_matrix(params["n_terms"], params["n_topics"],
+                              params["n_documents"], seed)
+    model = LSIModel.fit(matrix, params["rank"], seed=seed)
+    engine = BatchQueryEngine(model.term_basis,
+                              model.document_vectors())
+    queries = _query_block(params["n_terms"], params["n_queries"],
+                           seed + 1)
+    top_k = 10
+
+    looped = measure(
+        lambda: np.stack([model.rank_documents(queries[:, i],
+                                               top_k=top_k)
+                          for i in range(queries.shape[1])]),
+        warmup=1, repeats=3)
+    batched = measure(lambda: engine.rank_batch(queries, top_k=top_k),
+                      warmup=1, repeats=3)
+    return {
+        "looped_seconds": looped.mean_seconds,
+        "batched_seconds": batched.mean_seconds,
+        "batched_speedup": looped.mean_seconds
+        / max(batched.mean_seconds, 1e-12),
+        "batched_matches_looped":
+            bool(np.array_equal(looped.result, batched.result)),
+        "n_queries": queries.shape[1],
+    }
+
+
+@benchmark(name="serving_bundle_roundtrip", tags=("serving",),
+           sizes={"smoke": {"n_terms": 400, "n_topics": 8,
+                            "n_documents": 300, "rank": 8,
+                            "n_queries": 16},
+                  "full": {"n_terms": 1500, "n_topics": 12,
+                           "n_documents": 1000, "rank": 12,
+                           "n_queries": 64}},
+           time_metrics=("save_seconds", "load_seconds"))
+def bench_serving_bundle_roundtrip(params, seed):
+    """S2: save → load reproduces in-memory rankings exactly."""
+    import tempfile
+    from pathlib import Path
+
+    matrix = separable_matrix(params["n_terms"], params["n_topics"],
+                              params["n_documents"], seed)
+    index = ServedIndex.fit(matrix, params["rank"], seed=seed)
+    queries = _query_block(params["n_terms"], params["n_queries"],
+                           seed + 1)
+    before = index.rank_batch(queries, top_k=20)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_path = Path(tmp) / "bundle"
+        saved = measure(lambda: index.save(bundle_path))
+        loaded = measure(lambda: ServedIndex.load(bundle_path))
+        after = loaded.result.rank_batch(queries, top_k=20)
+    return {
+        "save_seconds": saved.mean_seconds,
+        "load_seconds": loaded.mean_seconds,
+        "roundtrip_rankings_exact":
+            bool(np.array_equal(before, after)),
+        "n_documents": index.n_documents,
+    }
+
+
+@benchmark(name="serving_foldin_drift", tags=("serving",),
+           sizes={"smoke": {"n_terms": 400, "n_topics": 8,
+                            "n_documents": 300, "rank": 8,
+                            "n_batches": 5, "batch_size": 30},
+                  "full": {"n_terms": 1500, "n_topics": 12,
+                           "n_documents": 1000, "rank": 12,
+                           "n_batches": 8, "batch_size": 100}})
+def bench_serving_foldin_drift(params, seed):
+    """S3: drift is monotone in fold-ins and flags a refit."""
+    n_fit = params["n_documents"] - \
+        params["n_batches"] * params["batch_size"]
+    matrix = separable_matrix(params["n_terms"], params["n_topics"],
+                              params["n_documents"], seed)
+    fitted_part = matrix.select_columns(np.arange(n_fit))
+    index = ServedIndex.fit(fitted_part, params["rank"], seed=seed,
+                            drift_threshold=0.01)
+
+    drifts = [index.drift]
+    for batch in range(params["n_batches"]):
+        start = n_fit + batch * params["batch_size"]
+        columns = matrix.select_columns(
+            np.arange(start, start + params["batch_size"]))
+        index.add_documents(columns)
+        drifts.append(index.drift)
+    monotone = all(later >= earlier - 1e-15
+                   for earlier, later in zip(drifts, drifts[1:]))
+    return {
+        "drift_initial": drifts[0],
+        "drift_final": drifts[-1],
+        "drift_monotone": bool(monotone),
+        "refit_recommended": bool(index.needs_refit),
+        "n_folded": index.n_documents - n_fit,
+    }

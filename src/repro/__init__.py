@@ -14,7 +14,11 @@ The package implements the paper end to end:
 - every substrate from scratch: sparse matrices, truncated-SVD engines,
   perturbation theory (:mod:`repro.linalg`), an IR stack
   (:mod:`repro.ir`), and the paper's formulas as executable checks
-  (:mod:`repro.theory`).
+  (:mod:`repro.theory`),
+- a serving layer (:mod:`repro.serving`): persistent index bundles,
+  batched query execution with result caching, and incremental fold-in
+  with drift tracking behind the shared
+  :class:`~repro.ir.retriever.Retriever` protocol.
 
 Quick start::
 
@@ -75,8 +79,9 @@ from repro.errors import (
     ValidationError,
 )
 from repro.graphs import WeightedGraph, planted_partition_graph
-from repro.ir import VectorSpaceModel, generate_topic_queries
+from repro.ir import Retriever, VectorSpaceModel, generate_topic_queries
 from repro.linalg import CSRMatrix, SVDResult, truncated_svd
+from repro.serving import ServedIndex
 
 __version__ = "1.0.0"
 
@@ -98,7 +103,9 @@ __all__ = [
     "PureTopicFactors",
     "RankError",
     "ReproError",
+    "Retriever",
     "SVDResult",
+    "ServedIndex",
     "SignProjector",
     "SpectralRecommender",
     "Style",

@@ -14,7 +14,10 @@ Commands:
 - ``bench [...]`` — the unified benchmark harness: run registered
   benchmarks into schema-versioned ``BENCH_*.json`` reports,
   ``bench list`` the registry, ``bench compare`` two reports as a
-  regression gate (see ``repro bench --help``).
+  regression gate (see ``repro bench --help``);
+- ``serve-stats <bundle> [--json] [--verify]`` — inspect a saved index
+  bundle's manifest: shape, drift accounting, and serving counters,
+  without loading the array payload.
 
 The CLI exists so a downstream user can regenerate any artifact without
 writing Python; the benchmark harness remains the canonical driver.
@@ -214,6 +217,53 @@ def _command_lint(args) -> int:
     return reprolint_cli.main(argv)
 
 
+def _command_serve_stats(args) -> int:
+    """Render a saved bundle's manifest summary and serving counters."""
+    import json
+
+    from repro.errors import PersistenceError
+    from repro.serving.bundle import read_manifest
+    from repro.serving.stats import ServingStats
+
+    try:
+        manifest = read_manifest(args.bundle,
+                                 verify_arrays=args.verify)
+    except PersistenceError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+
+    stats = ServingStats.from_dict(manifest.get("stats") or {})
+    print(f"bundle            {args.bundle}")
+    print(f"format            {manifest.get('format')} "
+          f"(schema v{manifest.get('schema_version')})")
+    print(f"index version     {manifest.get('index_version') or '-'}")
+    print(f"created           {manifest.get('created_at') or '-'}")
+    print(f"shape             rank={manifest.get('rank')} "
+          f"terms={manifest.get('n_terms')} "
+          f"documents={manifest.get('n_documents')} "
+          f"(original={manifest.get('n_original')}, "
+          f"tombstoned={manifest.get('n_tombstoned', 0)})")
+    threshold = manifest.get("drift_threshold")
+    print(f"drift             {stats.drift:.6f} "
+          f"(threshold={'-' if threshold is None else threshold}, "
+          f"refit recommended={stats.refit_recommended})")
+    print(f"queries served    {stats.queries_served} "
+          f"in {stats.batches_served} batches")
+    print(f"result cache      hits={stats.cache_hits} "
+          f"misses={stats.cache_misses} "
+          f"evictions={stats.cache_evictions} "
+          f"hit rate={stats.cache_hit_rate:.3f}")
+    print(f"updates           fold-ins={stats.fold_ins_since_refit} "
+          f"deletes={stats.deletes_since_refit} "
+          f"refits={stats.refits}")
+    if args.verify:
+        print("checksum          verified")
+    return 0
+
+
 def _command_paper_table(args) -> int:
     config_cls, runner = _load_experiment("t1")
     config = _apply_overrides(config_cls(), scale=args.scale,
@@ -289,6 +339,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="print the rule catalogue and exit")
     lint_parser.set_defaults(handler=_command_lint)
+
+    stats_parser = subparsers.add_parser(
+        "serve-stats",
+        help="inspect a saved index bundle's manifest and counters")
+    stats_parser.add_argument("bundle",
+                              help="path to a saved index bundle "
+                                   "directory")
+    stats_parser.add_argument("--json", dest="format",
+                              action="store_const", const="json",
+                              default="text",
+                              help="print the raw manifest as JSON")
+    stats_parser.add_argument("--verify", action="store_true",
+                              help="also recompute the array payload "
+                                   "checksum")
+    stats_parser.set_defaults(handler=_command_serve_stats)
 
     bench_parser = subparsers.add_parser(
         "bench",

@@ -24,6 +24,7 @@ from repro.core.lsi import LSIModel
 from repro.linalg.dense import cosine_similarity_matrix
 from repro.linalg.operator import as_operator
 from repro.linalg.perturbation import sin_theta_distance
+from repro.utils.validation import check_top_k
 
 __all__ = ["FoldingDrift", "FoldingIndex", "folding_drift"]
 
@@ -81,12 +82,11 @@ class FoldingIndex:
         return sims[0]
 
     def rank_documents(self, query_vector, *, top_k=None) -> np.ndarray:
-        """Stored document ids by descending score."""
+        """Stored document ids by descending score (``None`` = all)."""
         scores = self.score(query_vector)
+        top_k = check_top_k(top_k, self.n_documents)
         order = np.argsort(-scores, kind="stable")
-        if top_k is not None:
-            order = order[:int(top_k)]
-        return order
+        return order[:top_k]
 
     def __repr__(self) -> str:
         return (f"FoldingIndex(k={self.model.rank}, "

@@ -15,12 +15,14 @@ swap the two engines.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.errors import NotFittedError, ValidationError
 from repro.linalg.dense import cosine_similarity_matrix
 from repro.linalg.svd import SVDResult, truncated_svd
-from repro.utils.validation import check_vector
+from repro.utils.validation import check_top_k, check_vector
 
 __all__ = ["LSIModel"]
 
@@ -56,7 +58,10 @@ class LSIModel:
             engine: SVD engine (``"lanczos"``, ``"subspace"``,
                 ``"exact"``).
             seed: RNG seed for iterative engines.
-            **engine_kwargs: engine-specific options.
+            **engine_kwargs: engine-specific options; unknown options
+                raise :class:`~repro.errors.ValidationError` listing the
+                valid ones (see
+                :func:`~repro.linalg.svd.engine_options`).
         """
         svd = truncated_svd(matrix, rank, engine=engine, seed=seed,
                             **engine_kwargs)
@@ -171,17 +176,29 @@ class LSIModel:
         return sims[0]
 
     def rank_documents(self, query_vector, *, top_k=None) -> np.ndarray:
-        """Document ids by descending LSI cosine score."""
-        scores = self.score(query_vector)
-        order = np.argsort(-scores, kind="stable")
-        if top_k is not None:
-            order = order[:int(top_k)]
-        return order
+        """Document ids by descending LSI cosine score.
 
-    # Alias so LSIModel satisfies the same retrieval protocol as
-    # VectorSpaceModel (`rank` is taken by the dimension property).
+        ``top_k`` follows the engine-wide policy of
+        :func:`~repro.utils.validation.check_top_k`: ``None`` returns the
+        full ranking, otherwise a validated positive integer (clamped to
+        the corpus size).
+        """
+        scores = self.score(query_vector)
+        top_k = check_top_k(top_k, self.n_documents)
+        order = np.argsort(-scores, kind="stable")
+        return order[:top_k]
+
     def rank_for_query(self, query_vector, *, top_k=None) -> np.ndarray:
-        """Alias of :meth:`rank_documents` (protocol compatibility)."""
+        """Deprecated alias of :meth:`rank_documents`.
+
+        Kept as a shim for pre-serving-layer callers; emits a
+        :class:`DeprecationWarning` and will be removed once downstream
+        code has migrated to the canonical name.
+        """
+        warnings.warn(
+            "LSIModel.rank_for_query is deprecated; use "
+            "LSIModel.rank_documents instead",
+            DeprecationWarning, stacklevel=2)
         return self.rank_documents(query_vector, top_k=top_k)
 
     def similarities(self) -> np.ndarray:

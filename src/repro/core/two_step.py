@@ -28,6 +28,7 @@ from repro.linalg.operator import as_operator
 from repro.utils.validation import (
     check_positive_int,
     check_rank,
+    check_top_k,
     check_vector,
 )
 
@@ -226,12 +227,11 @@ class TwoStepLSI:
         return self.inner.score_in_lsi_space(projected)
 
     def rank_documents(self, query_vector, *, top_k=None) -> np.ndarray:
-        """Document ids by descending score."""
+        """Document ids by descending score (``None`` = all)."""
         scores = self.score(query_vector)
+        top_k = check_top_k(top_k, self.n_documents)
         order = np.argsort(-scores, kind="stable")
-        if top_k is not None:
-            order = order[:int(top_k)]
-        return order
+        return order[:top_k]
 
     # ------------------------------------------------------------------
     # Theorem 5 accounting

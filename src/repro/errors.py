@@ -18,6 +18,7 @@ __all__ = [
     "DistributionError",
     "EmptyCorpusError",
     "NotFittedError",
+    "PersistenceError",
     "RankError",
     "ReproError",
     "ShapeError",
@@ -59,6 +60,14 @@ class RankError(ValidationError):
 
 class NotFittedError(ReproError, RuntimeError):
     """A model method requiring a fitted state was called before fitting."""
+
+
+class PersistenceError(ReproError):
+    """A saved index bundle is missing, foreign, corrupted, or unreadable.
+
+    Raised by :mod:`repro.serving.bundle` when a bundle fails its format,
+    schema-version, checksum, or shape-consistency checks on load.
+    """
 
 
 class EmptyCorpusError(ValidationError):

@@ -4,6 +4,9 @@ LSI's headline claim is improved *retrieval* — better precision and
 recall than the conventional vector-space method, especially under
 synonymy.  This package provides everything needed to measure that claim:
 
+- :mod:`repro.ir.retriever` — the :class:`~repro.ir.retriever.Retriever`
+  protocol every ranking backend (LSI, VSM, BM25, folding, serving)
+  satisfies;
 - :mod:`repro.ir.vsm` — the conventional vector-space model baseline
   (cosine ranking in raw term space), plus an inverted index
   (:mod:`repro.ir.index`) for sparse scoring;
@@ -34,6 +37,7 @@ from repro.ir.metrics import (
 )
 from repro.ir.queries import QuerySet, generate_topic_queries
 from repro.ir.relevance import relevance_from_labels
+from repro.ir.retriever import Retriever
 from repro.ir.significance import (
     paired_bootstrap_test,
     paired_sign_test,
@@ -46,6 +50,7 @@ __all__ = [
     "BooleanRetriever",
     "InvertedIndex",
     "QuerySet",
+    "Retriever",
     "VectorSpaceModel",
     "average_precision",
     "f1_score",

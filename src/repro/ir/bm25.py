@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.errors import NotFittedError, ValidationError
 from repro.linalg.sparse import CSRMatrix
-from repro.utils.validation import check_vector
+from repro.utils.validation import check_top_k, check_vector
 
 __all__ = ["BM25Model"]
 
@@ -107,13 +107,20 @@ class BM25Model:
                                 * saturation)
         return scores
 
-    def rank(self, query_vector, *, top_k=None) -> np.ndarray:
-        """Document ids by descending BM25 score."""
+    def rank_documents(self, query_vector, *, top_k=None) -> np.ndarray:
+        """Document ids by descending BM25 score (``None`` = all).
+
+        Canonical :class:`~repro.ir.retriever.Retriever` entry point;
+        :meth:`rank` is the historical spelling and delegates here.
+        """
         scores = self.score(query_vector)
+        top_k = check_top_k(top_k, self.n_documents)
         order = np.argsort(-scores, kind="stable")
-        if top_k is not None:
-            order = order[:int(top_k)]
-        return order
+        return order[:top_k]
+
+    def rank(self, query_vector, *, top_k=None) -> np.ndarray:
+        """Alias of :meth:`rank_documents`."""
+        return self.rank_documents(query_vector, top_k=top_k)
 
     def __repr__(self) -> str:
         if self._matrix is None:

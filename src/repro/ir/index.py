@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.linalg.sparse import CSRMatrix
-from repro.utils.validation import check_vector
+from repro.utils.validation import check_top_k, check_vector
 
 __all__ = ["InvertedIndex"]
 
@@ -103,7 +103,6 @@ class InvertedIndex:
     def rank(self, query_vector, *, top_k=None) -> np.ndarray:
         """Document ids sorted by descending score (stable tie-break by id)."""
         scores = self.score(query_vector)
+        top_k = check_top_k(top_k, self.n_documents)
         order = np.argsort(-scores, kind="stable")
-        if top_k is not None:
-            order = order[:int(top_k)]
-        return order
+        return order[:top_k]

@@ -61,9 +61,17 @@ class VectorSpaceModel:
         """Cosine score of every document against the term-space query."""
         return self._require_fitted().score(query_vector)
 
-    def rank(self, query_vector, *, top_k=None) -> np.ndarray:
-        """Documents ranked by descending cosine score."""
+    def rank_documents(self, query_vector, *, top_k=None) -> np.ndarray:
+        """Documents ranked by descending cosine score (``None`` = all).
+
+        Canonical :class:`~repro.ir.retriever.Retriever` entry point;
+        :meth:`rank` is the historical spelling and delegates here.
+        """
         return self._require_fitted().rank(query_vector, top_k=top_k)
+
+    def rank(self, query_vector, *, top_k=None) -> np.ndarray:
+        """Alias of :meth:`rank_documents`."""
+        return self.rank_documents(query_vector, top_k=top_k)
 
     def __repr__(self) -> str:
         if self._index is None:

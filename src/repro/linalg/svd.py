@@ -34,6 +34,7 @@ __all__ = [
     "ENGINES",
     "SVDResult",
     "best_rank_k_error",
+    "engine_options",
     "exact_svd",
     "low_rank_residual",
     "truncated_svd",
@@ -41,6 +42,39 @@ __all__ = [
 
 #: Names of the available SVD engines.
 ENGINES = ("lanczos", "subspace", "randomized", "exact")
+
+#: Engine name → tuning options its ``**engine_kwargs`` accepts.
+_ENGINE_OPTIONS = {
+    "lanczos": ("extra_steps", "max_steps", "tol"),
+    "subspace": ("oversample", "max_iter", "tol"),
+    "randomized": ("oversample", "power_iterations"),
+    "exact": (),
+}
+
+
+def engine_options(engine: str) -> tuple[str, ...]:
+    """The tuning options :func:`truncated_svd` accepts for ``engine``.
+
+    Raises:
+        ValidationError: if ``engine`` is not one of :data:`ENGINES`.
+    """
+    try:
+        return _ENGINE_OPTIONS[engine]
+    except KeyError:
+        raise ValidationError(
+            f"unknown SVD engine {engine!r}; expected one of {ENGINES}"
+        ) from None
+
+
+def _check_engine_kwargs(engine: str, engine_kwargs) -> None:
+    """Reject unknown ``**engine_kwargs`` instead of ignoring typos."""
+    allowed = engine_options(engine)
+    unknown = sorted(set(engine_kwargs) - set(allowed))
+    if unknown:
+        valid = ", ".join(allowed) if allowed else "(none)"
+        raise ValidationError(
+            f"unknown option(s) {unknown} for SVD engine {engine!r}; "
+            f"valid options: {valid}")
 
 
 @dataclass(frozen=True)
@@ -147,11 +181,14 @@ def truncated_svd(matrix, rank, *, engine: str = "lanczos",
         engine: one of ``"lanczos"``, ``"subspace"``, ``"exact"``.
         seed: RNG seed forwarded to iterative engines.
         **engine_kwargs: engine-specific tuning (e.g. ``extra_steps`` for
-            Lanczos, ``oversample`` for subspace iteration).
+            Lanczos, ``oversample`` for subspace iteration); unknown
+            options raise :class:`~repro.errors.ValidationError` listing
+            the valid ones (see :func:`engine_options`).
 
     Returns:
         :class:`SVDResult` with exactly ``rank`` triplets.
     """
+    _check_engine_kwargs(engine, engine_kwargs)
     op = as_operator(matrix)
     rank = check_rank(rank, min(op.shape), "rank")
     norm_sq = op.frobenius_norm() ** 2

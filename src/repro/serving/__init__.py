@@ -1,0 +1,57 @@
+"""Serving layer: persistent, batched, incrementally-updated LSI.
+
+The experiment code in :mod:`repro.core` answers "is low-rank projection
+sound?"; this package answers "can you run it?".  It wraps a fitted
+:class:`~repro.core.lsi.LSIModel` in the operational machinery a
+retrieval service needs:
+
+- :mod:`repro.serving.bundle` — versioned, checksummed on-disk index
+  bundles with environment fingerprints and backward-compatible loading;
+- :mod:`repro.serving.engine` — batched query execution (whole query
+  blocks in single GEMMs), exact stable top-``k`` extraction, and an
+  LRU result cache;
+- :mod:`repro.serving.writer` — incremental fold-in and tombstoning
+  with monotone Eckart–Young drift accounting and refit recommendation;
+- :mod:`repro.serving.stats` — the per-index counters behind
+  ``repro serve-stats``;
+- :mod:`repro.serving.index` — :class:`ServedIndex`, the facade tying
+  the pieces together behind the shared
+  :class:`~repro.ir.retriever.Retriever` protocol.
+"""
+
+from repro.serving.bundle import (
+    BUNDLE_FORMAT,
+    BUNDLE_SCHEMA_VERSION,
+    IndexBundle,
+    environment_fingerprint,
+    read_bundle,
+    read_manifest,
+    write_bundle,
+)
+from repro.serving.engine import (
+    BatchQueryEngine,
+    LRUResultCache,
+    QueryBatch,
+    stable_top_k,
+)
+from repro.serving.index import ServedIndex
+from repro.serving.stats import ServingStats
+from repro.serving.writer import DriftReport, IndexWriter
+
+__all__ = [
+    "BUNDLE_FORMAT",
+    "BUNDLE_SCHEMA_VERSION",
+    "BatchQueryEngine",
+    "DriftReport",
+    "IndexBundle",
+    "IndexWriter",
+    "LRUResultCache",
+    "QueryBatch",
+    "ServedIndex",
+    "ServingStats",
+    "environment_fingerprint",
+    "read_bundle",
+    "read_manifest",
+    "stable_top_k",
+    "write_bundle",
+]

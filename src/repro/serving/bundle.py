@@ -1,0 +1,372 @@
+"""Versioned on-disk persistence for LSI indexes.
+
+A bundle is a directory with two files:
+
+- ``arrays.npz`` — the numerical payload: the truncated SVD factors
+  (``u``, ``singular_values``, ``vt``), the (possibly fold-extended)
+  document store ``doc_vectors``, tombstoned ids, and
+  ``frobenius_norm_sq``, all bit-exact float64 so a load reproduces
+  in-memory rankings exactly;
+- ``manifest.json`` — schema version, shape summary, a SHA-256 checksum
+  of the array payload (corruption detection), an environment
+  fingerprint (same spirit as the benchmark harness's
+  ``BENCH_*.json`` fingerprints: informational, never used for
+  matching), the serving counters, and the writer's drift accounting.
+
+Loading is strict: a missing or unparsable manifest, a foreign
+``format`` marker, an unsupported ``schema_version``, a checksum
+mismatch, or shape disagreement between manifest and arrays all raise
+:class:`~repro.errors.PersistenceError`.  Schema version 1 (factors
+only, no serving state) still loads, with serving state defaulted — the
+backward-compatibility contract for bundles written before the serving
+layer existed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import zipfile
+from dataclasses import dataclass, field, replace
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import PersistenceError, ValidationError
+from repro.linalg.svd import SVDResult
+from repro.serving.stats import ServingStats
+
+__all__ = [
+    "ARRAYS_NAME",
+    "BUNDLE_FORMAT",
+    "BUNDLE_SCHEMA_VERSION",
+    "IndexBundle",
+    "environment_fingerprint",
+    "read_bundle",
+    "read_manifest",
+    "write_bundle",
+]
+
+#: Marker distinguishing our bundles from arbitrary npz+json directories.
+BUNDLE_FORMAT = "repro-lsi-index"
+
+#: Current manifest schema version (1 = factors only, 2 = serving state).
+BUNDLE_SCHEMA_VERSION = 2
+
+#: File names inside a bundle directory.
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+#: Arrays every schema version must provide.
+_REQUIRED_ARRAYS = ("u", "singular_values", "vt", "frobenius_norm_sq")
+
+
+def environment_fingerprint() -> dict:
+    """A JSON-ready description of the interpreter that wrote a bundle.
+
+    Mirrors the benchmark harness's report fingerprint: recorded for
+    provenance and debugging (a ranking diff across machines usually
+    starts with "different BLAS"), never consulted when loading.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def _sha256_file(path: Path) -> str:
+    """``sha256:<hex>`` digest of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return f"sha256:{digest.hexdigest()}"
+
+
+@dataclass(frozen=True)
+class IndexBundle:
+    """The in-memory image of a persisted LSI index.
+
+    Attributes:
+        svd: the truncated SVD the index serves from.
+        doc_vectors: ``(k, m_total)`` LSI document store — fitted
+            documents plus any folded-in columns.
+        n_original: how many leading columns of ``doc_vectors`` came
+            from the fit (the rest were folded in).
+        tombstones: ids of deleted (masked-out) documents.
+        unabsorbed_energy: the writer's accumulated out-of-subspace /
+            deleted energy (drift numerator).
+        drift_threshold: drift level past which a refit is recommended
+            (``None`` disables the recommendation).
+        stats: serving counters at save time.
+        vocabulary: optional term strings (position = term id).
+        schema_version: manifest schema the bundle was read from /
+            will be written with.
+        index_version: content hash of the array payload (filled on
+            write/read; empty for bundles never persisted).
+        created_at: ISO-8601 UTC write timestamp (filled on write).
+        env: environment fingerprint of the writing interpreter.
+    """
+
+    svd: SVDResult
+    doc_vectors: np.ndarray
+    n_original: int
+    tombstones: tuple = ()
+    unabsorbed_energy: float = 0.0
+    drift_threshold: "float | None" = 0.1
+    stats: ServingStats = field(default_factory=ServingStats)
+    vocabulary: "tuple | None" = None
+    schema_version: int = BUNDLE_SCHEMA_VERSION
+    index_version: str = ""
+    created_at: str = ""
+    env: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.doc_vectors.ndim != 2 \
+                or self.doc_vectors.shape[0] != self.svd.rank:
+            raise ValidationError(
+                f"doc_vectors must be (rank, m); got "
+                f"{self.doc_vectors.shape} for rank {self.svd.rank}")
+        if not 0 <= self.n_original <= self.doc_vectors.shape[1]:
+            raise ValidationError(
+                f"n_original={self.n_original} out of range for "
+                f"{self.doc_vectors.shape[1]} stored documents")
+        bad = [d for d in self.tombstones
+               if not 0 <= int(d) < self.doc_vectors.shape[1]]
+        if bad:
+            raise ValidationError(
+                f"tombstoned ids {bad} out of range for "
+                f"{self.doc_vectors.shape[1]} stored documents")
+        if self.vocabulary is not None \
+                and len(self.vocabulary) != self.svd.u.shape[0]:
+            raise ValidationError(
+                f"vocabulary has {len(self.vocabulary)} terms; the index "
+                f"has {self.svd.u.shape[0]}")
+
+    @classmethod
+    def from_model(cls, model, *, vocabulary=None,
+                   drift_threshold: "float | None" = 0.1) -> "IndexBundle":
+        """Snapshot a plain fitted :class:`~repro.core.lsi.LSIModel`."""
+        terms = None
+        if vocabulary is not None:
+            terms = tuple(getattr(vocabulary, "terms", vocabulary))
+        return cls(svd=model.svd,
+                   doc_vectors=model.document_vectors(),
+                   n_original=model.n_documents,
+                   drift_threshold=drift_threshold,
+                   vocabulary=terms,
+                   env=environment_fingerprint())
+
+    def to_model(self):
+        """The bundled SVD as a fresh :class:`~repro.core.lsi.LSIModel`."""
+        from repro.core.lsi import LSIModel
+
+        return LSIModel(self.svd)
+
+    @property
+    def n_documents(self) -> int:
+        """Total stored documents (fitted + folded, incl. tombstoned)."""
+        return int(self.doc_vectors.shape[1])
+
+    def manifest(self) -> dict:
+        """The JSON-ready manifest describing this bundle."""
+        return {
+            "format": BUNDLE_FORMAT,
+            "schema_version": self.schema_version,
+            "created_at": self.created_at,
+            "index_version": self.index_version,
+            "rank": self.svd.rank,
+            "n_terms": int(self.svd.u.shape[0]),
+            "n_documents": self.n_documents,
+            "n_original": int(self.n_original),
+            "n_tombstoned": len(self.tombstones),
+            "unabsorbed_energy": float(self.unabsorbed_energy),
+            "drift_threshold": self.drift_threshold,
+            "stats": self.stats.as_dict(),
+            "vocabulary": (list(self.vocabulary)
+                           if self.vocabulary is not None else None),
+            "env": self.env,
+            "checksums": {},
+        }
+
+
+def write_bundle(path, bundle: IndexBundle) -> Path:
+    """Persist ``bundle`` to directory ``path`` (created if needed).
+
+    Returns the bundle directory.  Overwrites an existing bundle at the
+    same path; refuses to write into a path occupied by a file.
+    """
+    directory = Path(path)
+    if directory.exists() and not directory.is_dir():
+        raise PersistenceError(
+            f"bundle path {directory} exists and is not a directory")
+    directory.mkdir(parents=True, exist_ok=True)
+
+    arrays_path = directory / ARRAYS_NAME
+    with open(arrays_path, "wb") as handle:
+        np.savez(handle,
+                 u=bundle.svd.u,
+                 singular_values=bundle.svd.singular_values,
+                 vt=bundle.svd.vt,
+                 frobenius_norm_sq=np.float64(
+                     bundle.svd.frobenius_norm_sq),
+                 doc_vectors=bundle.doc_vectors,
+                 tombstones=np.asarray(sorted(bundle.tombstones),
+                                       dtype=np.int64))
+    checksum = _sha256_file(arrays_path)
+
+    stamped = replace(bundle,
+                      schema_version=BUNDLE_SCHEMA_VERSION,
+                      index_version=checksum.split(":", 1)[1][:16],
+                      created_at=datetime.now(timezone.utc).isoformat(),
+                      env=bundle.env or environment_fingerprint())
+    manifest = stamped.manifest()
+    manifest["checksums"] = {ARRAYS_NAME: checksum}
+    with open(directory / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return directory
+
+
+def read_manifest(path, *, verify_arrays: bool = False) -> dict:
+    """Load and validate a bundle's manifest without loading arrays.
+
+    Args:
+        path: the bundle directory.
+        verify_arrays: also recompute the array payload's checksum.
+
+    Raises:
+        PersistenceError: missing/unparsable manifest, foreign format,
+            unsupported schema version, or (with ``verify_arrays``) a
+            checksum mismatch.
+    """
+    directory = Path(path)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise PersistenceError(
+            f"{directory} is not an index bundle: no {MANIFEST_NAME}")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise PersistenceError(
+            f"unreadable bundle manifest {manifest_path}: {error}"
+        ) from error
+    if not isinstance(manifest, dict):
+        raise PersistenceError(
+            f"{directory} manifest is not a JSON object")
+    if manifest.get("format") != BUNDLE_FORMAT:
+        raise PersistenceError(
+            f"{directory} is not a {BUNDLE_FORMAT} bundle (format marker "
+            f"is {manifest.get('format')!r}); refusing to load a foreign "
+            "bundle")
+    version = manifest.get("schema_version")
+    if version not in (1, BUNDLE_SCHEMA_VERSION):
+        raise PersistenceError(
+            f"unsupported bundle schema_version {version!r}; this "
+            f"reader handles 1..{BUNDLE_SCHEMA_VERSION}")
+    if verify_arrays:
+        _verify_checksum(directory, manifest)
+    return manifest
+
+
+def _verify_checksum(directory: Path, manifest: dict) -> None:
+    """Recompute the array payload digest and compare to the manifest."""
+    arrays_path = directory / ARRAYS_NAME
+    if not arrays_path.is_file():
+        raise PersistenceError(f"bundle {directory} has no {ARRAYS_NAME}")
+    recorded = (manifest.get("checksums") or {}).get(ARRAYS_NAME)
+    if recorded is None:
+        raise PersistenceError(
+            f"bundle {directory} manifest records no checksum for "
+            f"{ARRAYS_NAME}")
+    actual = _sha256_file(arrays_path)
+    if actual != recorded:
+        raise PersistenceError(
+            f"bundle {directory} is corrupted: {ARRAYS_NAME} checksum "
+            f"{actual} does not match recorded {recorded}")
+
+
+def read_bundle(path) -> IndexBundle:
+    """Load, checksum-verify, and shape-check a bundle from disk.
+
+    Raises:
+        PersistenceError: on any integrity failure — see
+            :func:`read_manifest` plus array/shape validation.
+    """
+    directory = Path(path)
+    manifest = read_manifest(directory, verify_arrays=True)
+    arrays_path = directory / ARRAYS_NAME
+    try:
+        with np.load(arrays_path, allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+    except (OSError, ValueError, zipfile.BadZipFile) as error:
+        raise PersistenceError(
+            f"unreadable bundle arrays {arrays_path}: {error}") from error
+
+    missing = [name for name in _REQUIRED_ARRAYS if name not in arrays]
+    if missing:
+        raise PersistenceError(
+            f"bundle {directory} is missing arrays {missing}")
+    try:
+        svd = SVDResult(arrays["u"], arrays["singular_values"],
+                        arrays["vt"],
+                        float(arrays["frobenius_norm_sq"]))
+    except ValidationError as error:
+        raise PersistenceError(
+            f"bundle {directory} holds an inconsistent SVD: {error}"
+        ) from error
+
+    if manifest["schema_version"] == 1:
+        doc_vectors = svd.document_vectors()
+        n_original = doc_vectors.shape[1]
+        tombstones: tuple = ()
+        stats = ServingStats()
+        unabsorbed = 0.0
+        threshold: "float | None" = 0.1
+    else:
+        if "doc_vectors" not in arrays:
+            raise PersistenceError(
+                f"bundle {directory} (schema 2) is missing doc_vectors")
+        doc_vectors = arrays["doc_vectors"]
+        n_original = int(manifest.get("n_original",
+                                      doc_vectors.shape[1]))
+        tombstones = tuple(
+            int(d) for d in arrays.get("tombstones",
+                                       np.empty(0, dtype=np.int64)))
+        stats = ServingStats.from_dict(manifest.get("stats") or {})
+        unabsorbed = float(manifest.get("unabsorbed_energy", 0.0))
+        threshold = manifest.get("drift_threshold")
+
+    expected = {"rank": svd.rank, "n_terms": int(svd.u.shape[0]),
+                "n_documents": int(doc_vectors.shape[1])}
+    for key, actual in expected.items():
+        recorded = manifest.get(key)
+        if recorded is not None and int(recorded) != actual:
+            raise PersistenceError(
+                f"bundle {directory} manifest/array mismatch: manifest "
+                f"says {key}={recorded}, arrays say {actual}")
+
+    vocabulary = manifest.get("vocabulary")
+    try:
+        return IndexBundle(
+            svd=svd,
+            doc_vectors=doc_vectors,
+            n_original=n_original,
+            tombstones=tombstones,
+            unabsorbed_energy=unabsorbed,
+            drift_threshold=threshold,
+            stats=stats,
+            vocabulary=tuple(vocabulary) if vocabulary else None,
+            schema_version=int(manifest["schema_version"]),
+            index_version=str(manifest.get("index_version", "")),
+            created_at=str(manifest.get("created_at", "")),
+            env=dict(manifest.get("env") or {}))
+    except ValidationError as error:
+        raise PersistenceError(
+            f"bundle {directory} failed validation: {error}") from error

@@ -1,0 +1,348 @@
+"""The served LSI index: persistence + batching + incremental updates.
+
+:class:`ServedIndex` is the runtime object a retrieval service holds:
+it conforms to the :class:`~repro.ir.retriever.Retriever` protocol, so
+anything written against the experiment engines runs against it
+unchanged, and adds what production traffic needs:
+
+- ``rank_batch`` — whole query blocks in single GEMMs, with an LRU
+  result cache keyed on (index generation, query hash, cutoff);
+- ``add_documents`` / ``remove_documents`` — fold-in and tombstoning
+  through an :class:`~repro.serving.writer.IndexWriter`, with monotone
+  drift tracking and a refit recommendation;
+- ``save`` / ``load`` — checksummed, schema-versioned bundles
+  (:mod:`repro.serving.bundle`) that reproduce in-memory rankings
+  exactly;
+- ``stats`` — the :class:`~repro.serving.stats.ServingStats` counters
+  behind ``repro serve-stats``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.lsi import LSIModel
+from repro.serving.bundle import IndexBundle, read_bundle, write_bundle
+from repro.serving.engine import BatchQueryEngine, LRUResultCache, \
+    QueryBatch
+from repro.serving.stats import ServingStats
+from repro.serving.writer import DriftReport, IndexWriter
+from repro.utils.validation import check_top_k, check_vector
+
+if TYPE_CHECKING:
+    from repro.core.folding import FoldingIndex
+    from repro.core.two_step import TwoStepLSI
+    from repro.ir.bm25 import BM25Model
+    from repro.ir.retriever import Retriever
+    from repro.ir.vsm import VectorSpaceModel
+
+__all__ = ["ServedIndex"]
+
+
+class ServedIndex:
+    """A persistent, batched, incrementally-updatable LSI index.
+
+    Build with :meth:`fit` (or wrap an existing model), serve with
+    :meth:`score` / :meth:`rank_documents` / :meth:`rank_batch`, evolve
+    with :meth:`add_documents` / :meth:`remove_documents` /
+    :meth:`refit`, persist with :meth:`save` / :meth:`load`.
+
+    Args:
+        model: a fitted :class:`~repro.core.lsi.LSIModel`.
+        vocabulary: optional term strings persisted with the index.
+        drift_threshold: drift level past which a refit is recommended.
+        cache_capacity: LRU result-cache size (0 disables caching).
+    """
+
+    def __init__(self, model: LSIModel, *, vocabulary=None,
+                 drift_threshold: "float | None" = 0.1,
+                 cache_capacity: int = 256):
+        self._writer = IndexWriter(model,
+                                   drift_threshold=drift_threshold)
+        self._cache = LRUResultCache(cache_capacity)
+        self._vocabulary = (tuple(getattr(vocabulary, "terms",
+                                          vocabulary))
+                            if vocabulary is not None else None)
+        self._generation = 0
+        self._engine_cache: "BatchQueryEngine | None" = None
+        self._engine_generation = -1
+        self._base_version = "unsaved"
+        self._queries_served = 0
+        self._batches_served = 0
+        self._base_stats = ServingStats()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(cls, matrix, rank, *, engine: str = "lanczos", seed=None,
+            vocabulary=None, drift_threshold: "float | None" = 0.1,
+            cache_capacity: int = 256, **engine_kwargs) -> "ServedIndex":
+        """Fit rank-``rank`` LSI on a term–document matrix and serve it.
+
+        Arguments mirror :meth:`repro.core.lsi.LSIModel.fit` plus the
+        serving knobs of the constructor.
+        """
+        model = LSIModel.fit(matrix, rank, engine=engine, seed=seed,
+                             **engine_kwargs)
+        return cls(model, vocabulary=vocabulary,
+                   drift_threshold=drift_threshold,
+                   cache_capacity=cache_capacity)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def model(self) -> LSIModel:
+        """The LSI model currently backing the index."""
+        return self._writer.model
+
+    @property
+    def rank(self) -> int:
+        """The LSI dimension ``k``."""
+        return self._writer.model.rank
+
+    @property
+    def n_terms(self) -> int:
+        """Term-space dimensionality queries must have."""
+        return self._writer.model.n_terms
+
+    @property
+    def n_documents(self) -> int:
+        """Total stored documents (scores are indexed ``0..m-1``)."""
+        return self._writer.n_documents
+
+    @property
+    def n_active(self) -> int:
+        """Documents eligible to appear in rankings."""
+        return self._writer.n_active
+
+    @property
+    def vocabulary(self) -> "tuple | None":
+        """Term strings persisted with the index, if any."""
+        return self._vocabulary
+
+    @property
+    def index_version(self) -> str:
+        """Cache-key identity: bundle content hash + live generation."""
+        return f"{self._base_version}@gen{self._generation}"
+
+    @property
+    def drift(self) -> float:
+        """Current fold-in drift (see :mod:`repro.serving.writer`)."""
+        return self._writer.drift
+
+    @property
+    def needs_refit(self) -> bool:
+        """Whether drift has crossed the configured threshold."""
+        return self._writer.needs_refit
+
+    def drift_report(self) -> DriftReport:
+        """The writer's frozen drift accounting."""
+        return self._writer.drift_report()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def _engine(self) -> BatchQueryEngine:
+        """The query engine for the current generation (lazily built)."""
+        if self._engine_generation != self._generation:
+            self._engine_cache = BatchQueryEngine(
+                self._writer.model.term_basis,
+                self._writer.document_vectors(),
+                tombstones=self._writer.tombstones)
+            self._engine_generation = self._generation
+        assert self._engine_cache is not None
+        return self._engine_cache
+
+    def score(self, query_vector) -> np.ndarray:
+        """Cosine scores of every stored document (tombstoned → 0)."""
+        self._queries_served += 1
+        return self._engine().score(query_vector)
+
+    def rank_documents(self, query_vector, *, top_k=None) -> np.ndarray:
+        """Ranked document ids for one query (``top_k=None`` = all).
+
+        Consults the LRU result cache first; a miss computes through
+        the batched kernel and populates the cache.
+        """
+        query = check_vector(query_vector, "query_vector")
+        return self.rank_batch(query[:, None], top_k=top_k)[0]
+
+    def rank_batch(self, queries, *, top_k=None) -> np.ndarray:
+        """Ranked ids for a query block, ``(q, top_k_eff)``.
+
+        Cached queries are answered from the LRU cache; the remaining
+        columns are projected and ranked in single GEMMs.  Results are
+        identical to calling :meth:`rank_documents` per query.
+
+        Args:
+            queries: a :class:`~repro.serving.engine.QueryBatch`, a
+                dense ``(n_terms, q)`` array, or a sequence of 1-D
+                query vectors.
+            top_k: shared cutoff policy (``None`` = all), clamped to
+                the number of active documents.
+        """
+        engine = self._engine()
+        batch = engine._as_batch(queries)
+        top_k = min(check_top_k(top_k, self.n_documents),
+                    self._writer.n_active)
+        self._batches_served += 1
+        self._queries_served += batch.n_queries
+
+        out = np.empty((batch.n_queries, top_k), dtype=np.int64)
+        missing = []
+        keys = []
+        for i in range(batch.n_queries):
+            key = (self._generation, batch.query_hash(i), top_k)
+            keys.append(key)
+            cached = self._cache.get(key)
+            if cached is None:
+                missing.append(i)
+            else:
+                out[i] = cached
+        if missing:
+            sub = QueryBatch(batch.matrix[:, missing])
+            computed = engine.rank_batch(sub, top_k=top_k)
+            for row, i in enumerate(missing):
+                out[i] = computed[row]
+                self._cache.put(keys[i], computed[row])
+        return out
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add_documents(self, columns) -> np.ndarray:
+        """Fold new documents in; returns their assigned ids.
+
+        Bumps the index generation, so cached rankings for the previous
+        corpus can never be served against the new one.
+        """
+        ids = self._writer.add_documents(columns)
+        self._bump()
+        return ids
+
+    def remove_documents(self, doc_ids) -> None:
+        """Tombstone documents; they stop appearing in rankings."""
+        self._writer.remove_documents(doc_ids)
+        self._bump()
+
+    def refit(self, matrix, *, rank=None, engine: str = "lanczos",
+              seed=None, **engine_kwargs) -> LSIModel:
+        """Re-run the SVD on an authoritative matrix and reset drift."""
+        model = self._writer.refit(matrix, rank=rank, engine=engine,
+                                   seed=seed, **engine_kwargs)
+        self._bump()
+        return model
+
+    def _bump(self) -> None:
+        """Advance the generation and drop stale cache entries."""
+        self._generation += 1
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServingStats:
+        """A snapshot of the serving counters (see ``serve-stats``).
+
+        Counters accumulate across save/load: loading a bundle restores
+        its persisted totals as the new baseline.
+        """
+        base = self._base_stats
+        return ServingStats(
+            queries_served=base.queries_served + self._queries_served,
+            batches_served=base.batches_served + self._batches_served,
+            cache_hits=base.cache_hits + self._cache.hits,
+            cache_misses=base.cache_misses + self._cache.misses,
+            cache_evictions=base.cache_evictions
+            + self._cache.evictions,
+            fold_ins_since_refit=self._writer.fold_ins_since_refit,
+            deletes_since_refit=self._writer.deletes_since_refit,
+            refits=base.refits + self._writer.refits,
+            drift=self._writer.drift,
+            refit_recommended=self._writer.needs_refit)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> Path:
+        """Persist the index as a bundle directory; returns the path."""
+        bundle = IndexBundle(
+            svd=self._writer.model.svd,
+            doc_vectors=self._writer.document_vectors(),
+            n_original=self._writer.n_original,
+            tombstones=self._writer.tombstones,
+            unabsorbed_energy=self._writer.unabsorbed_energy,
+            drift_threshold=self._writer.drift_threshold,
+            stats=self.stats(),
+            vocabulary=self._vocabulary)
+        return write_bundle(path, bundle)
+
+    @classmethod
+    def load(cls, path, *, cache_capacity: int = 256) -> "ServedIndex":
+        """Load a bundle saved by :meth:`save` (or any schema-1 bundle).
+
+        The restored index reproduces the saved index's rankings
+        exactly and continues its counters and drift accounting.
+        """
+        bundle = read_bundle(path)
+        index = cls.__new__(cls)
+        model = LSIModel(bundle.svd)
+        index._writer = IndexWriter.from_state(
+            model, bundle.doc_vectors,
+            n_original=bundle.n_original,
+            tombstones=bundle.tombstones,
+            unabsorbed_energy=bundle.unabsorbed_energy,
+            drift_threshold=bundle.drift_threshold,
+            fold_ins=bundle.stats.fold_ins_since_refit,
+            deletes=bundle.stats.deletes_since_refit)
+        index._cache = LRUResultCache(cache_capacity)
+        index._vocabulary = bundle.vocabulary
+        index._generation = 0
+        index._engine_cache = None
+        index._engine_generation = -1
+        index._base_version = bundle.index_version or "unsaved"
+        index._queries_served = 0
+        index._batches_served = 0
+        index._base_stats = ServingStats(
+            queries_served=bundle.stats.queries_served,
+            batches_served=bundle.stats.batches_served,
+            cache_hits=bundle.stats.cache_hits,
+            cache_misses=bundle.stats.cache_misses,
+            cache_evictions=bundle.stats.cache_evictions,
+            refits=bundle.stats.refits)
+        return index
+
+    def __repr__(self) -> str:
+        return (f"ServedIndex(k={self.rank}, n={self.n_terms}, "
+                f"m={self.n_documents}, active={self.n_active}, "
+                f"drift={self.drift:.4f}, "
+                f"version={self.index_version!r})")
+
+
+def _retriever_conformance(
+        lsi: "LSIModel",
+        vsm: "VectorSpaceModel",
+        bm25: "BM25Model",
+        folding: "FoldingIndex",
+        two_step: "TwoStepLSI",
+        served: "ServedIndex",
+) -> "tuple[Retriever, ...]":
+    """Static proof that every engine satisfies ``Retriever``.
+
+    This function is never called; mypy type-checks the return
+    statement, so a signature drift in any engine breaks CI.  It lives
+    here (not in :mod:`repro.ir.retriever`) because the serving layer
+    already imports every backend, keeping the import graph acyclic.
+    """
+    return (lsi, vsm, bm25, folding, two_step, served)

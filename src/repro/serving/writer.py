@@ -1,0 +1,329 @@
+"""The mutating side of a served index: fold-in, deletion, refit.
+
+Folding a new document in (:meth:`IndexWriter.add_documents`) projects
+it onto the fitted ``Uₖ`` basis exactly like a query — cheap, but the
+basis never learns from it.  The cost of that shortcut is *drift*, and
+this module makes it a first-class, monotone metric grounded in the
+Eckart–Young accounting of :class:`~repro.linalg.svd.SVDResult`:
+
+- every folded column ``c`` contributes its out-of-subspace energy
+  ``‖c‖² − ‖Uₖᵀc‖²`` — the part of the document the index cannot
+  represent and a refit could absorb;
+- every tombstoned document contributes its in-subspace energy
+  ``‖v_d‖²`` — mass the basis was fitted to that no longer exists;
+- ``drift = unabsorbed / (unabsorbed + ‖Aₖ‖_F²)`` where ``‖Aₖ‖_F²`` is
+  the fitted model's captured energy.
+
+The numerator only grows between refits, so drift is monotone
+non-decreasing in update operations (a perfectly in-subspace fold-in
+adds exactly 0, which Lemma 1 says is the right answer: in-model
+arrivals barely perturb the basis).  Crossing ``drift_threshold`` flips
+:attr:`IndexWriter.needs_refit`; :meth:`IndexWriter.refit` re-runs the
+SVD and resets the accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lsi import LSIModel
+from repro.errors import ValidationError
+from repro.linalg.sparse import CSRMatrix
+from repro.utils.validation import check_fraction
+
+__all__ = ["DriftReport", "IndexWriter"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """The writer's drift accounting, frozen for reporting.
+
+    Attributes:
+        drift: current drift in ``[0, 1)``; monotone non-decreasing in
+            update operations between refits.
+        threshold: configured refit threshold (``None`` = never
+            recommend).
+        needs_refit: whether ``drift >= threshold``.
+        unabsorbed_energy: accumulated out-of-subspace + deleted energy.
+        captured_energy: ``‖Aₖ‖_F²`` of the fitted model (drift
+            denominator anchor).
+        baseline_residual_energy: the fit's own Eckart–Young residual
+            ``‖A − Aₖ‖_F²`` — error the index had even before folding.
+        fold_ins_since_refit: documents folded since the last (re)fit.
+        deletes_since_refit: documents tombstoned since the last (re)fit.
+    """
+
+    drift: float
+    threshold: "float | None"
+    needs_refit: bool
+    unabsorbed_energy: float
+    captured_energy: float
+    baseline_residual_energy: float
+    fold_ins_since_refit: int
+    deletes_since_refit: int
+
+
+def _column_sq_norms(columns) -> np.ndarray:
+    """Squared Euclidean norms of document columns (dense or CSR)."""
+    if isinstance(columns, CSRMatrix):
+        return columns.column_norms() ** 2
+    dense = np.asarray(columns, dtype=np.float64)
+    if dense.ndim != 2:
+        raise ValidationError(
+            f"document columns must be 2-D (n_terms, p), got shape "
+            f"{dense.shape}")
+    return np.sum(dense * dense, axis=0)
+
+
+class IndexWriter:
+    """Owns an index's document store and its update lifecycle.
+
+    Args:
+        model: the fitted :class:`~repro.core.lsi.LSIModel` to serve.
+        drift_threshold: drift level past which a refit is recommended;
+            ``None`` disables the recommendation.
+
+    The writer tracks three kinds of state: the ``(k, m)`` LSI document
+    store (fitted + folded columns), the tombstone set, and the drift
+    accounting described in the module docstring.
+    """
+
+    def __init__(self, model: LSIModel, *,
+                 drift_threshold: "float | None" = 0.1):
+        if not isinstance(model, LSIModel):
+            raise ValidationError("IndexWriter wraps an LSIModel")
+        if drift_threshold is not None:
+            drift_threshold = check_fraction(drift_threshold,
+                                             "drift_threshold")
+        self._model = model
+        self._doc_vectors = model.document_vectors()   # (k, m0)
+        self._n_original = model.n_documents
+        self._tombstones: "set[int]" = set()
+        self._unabsorbed_energy = 0.0
+        self._fold_ins = 0
+        self._deletes = 0
+        self._refits = 0
+        self.drift_threshold = drift_threshold
+
+    # ------------------------------------------------------------------
+    # Store inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def model(self) -> LSIModel:
+        """The LSI model currently backing the index."""
+        return self._model
+
+    @property
+    def n_documents(self) -> int:
+        """Total stored documents (fitted + folded, incl. tombstoned)."""
+        return int(self._doc_vectors.shape[1])
+
+    @property
+    def n_original(self) -> int:
+        """Documents that came from the (re)fit rather than folding."""
+        return self._n_original
+
+    @property
+    def n_folded(self) -> int:
+        """Documents added by folding since the last (re)fit."""
+        return self.n_documents - self._n_original
+
+    @property
+    def n_tombstoned(self) -> int:
+        """Deleted documents still occupying ids."""
+        return len(self._tombstones)
+
+    @property
+    def n_active(self) -> int:
+        """Documents eligible to be served."""
+        return self.n_documents - self.n_tombstoned
+
+    @property
+    def tombstones(self) -> tuple:
+        """Deleted document ids, ascending."""
+        return tuple(sorted(self._tombstones))
+
+    def document_vectors(self) -> np.ndarray:
+        """The ``(k, m)`` LSI document store (a copy)."""
+        return self._doc_vectors.copy()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add_documents(self, columns) -> np.ndarray:
+        """Fold new term-space documents in; return their assigned ids.
+
+        Args:
+            columns: dense ``(n_terms, p)`` array or
+                :class:`~repro.linalg.sparse.CSRMatrix` of new document
+                columns.
+
+        Each column's out-of-subspace energy is added to the drift
+        numerator, so drift never decreases on an add.
+        """
+        projected = self._model.project_documents(columns)  # (k, p)
+        total = _column_sq_norms(columns)
+        captured = np.sum(projected * projected, axis=0)
+        self._unabsorbed_energy += float(
+            np.sum(np.maximum(total - captured, 0.0)))
+        first = self.n_documents
+        self._doc_vectors = np.concatenate(
+            [self._doc_vectors, projected], axis=1)
+        self._fold_ins += projected.shape[1]
+        return np.arange(first, first + projected.shape[1],
+                         dtype=np.int64)
+
+    def remove_documents(self, doc_ids) -> None:
+        """Tombstone documents (fold-out).
+
+        Deleted ids keep their positions (so ids stay stable) but stop
+        appearing in rankings; their in-subspace energy joins the drift
+        numerator because the basis still encodes mass that no longer
+        exists.  Deleting an already-deleted or out-of-range id raises.
+        """
+        ids = [int(d) for d in np.atleast_1d(np.asarray(doc_ids))]
+        for doc_id in ids:
+            if not 0 <= doc_id < self.n_documents:
+                raise ValidationError(
+                    f"document id {doc_id} out of range for "
+                    f"{self.n_documents} documents")
+            if doc_id in self._tombstones:
+                raise ValidationError(
+                    f"document {doc_id} is already deleted")
+        for doc_id in ids:
+            vector = self._doc_vectors[:, doc_id]
+            self._unabsorbed_energy += float(vector @ vector)
+            self._tombstones.add(doc_id)
+        self._deletes += len(ids)
+
+    # ------------------------------------------------------------------
+    # Drift accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def drift(self) -> float:
+        """``unabsorbed / (unabsorbed + captured)`` in ``[0, 1)``."""
+        captured = self._model.svd.captured_energy()
+        denominator = self._unabsorbed_energy + captured
+        if denominator <= 0:
+            return 0.0
+        return self._unabsorbed_energy / denominator
+
+    @property
+    def unabsorbed_energy(self) -> float:
+        """Accumulated out-of-subspace + deleted energy since refit."""
+        return self._unabsorbed_energy
+
+    @property
+    def fold_ins_since_refit(self) -> int:
+        """Documents folded in since the last (re)fit."""
+        return self._fold_ins
+
+    @property
+    def deletes_since_refit(self) -> int:
+        """Documents tombstoned since the last (re)fit."""
+        return self._deletes
+
+    @property
+    def refits(self) -> int:
+        """Times :meth:`refit` ran over this writer's lifetime."""
+        return self._refits
+
+    @property
+    def needs_refit(self) -> bool:
+        """Whether drift has crossed the configured threshold."""
+        return (self.drift_threshold is not None
+                and self.drift >= self.drift_threshold)
+
+    def drift_report(self) -> DriftReport:
+        """A frozen snapshot of the drift accounting."""
+        svd = self._model.svd
+        return DriftReport(
+            drift=self.drift,
+            threshold=self.drift_threshold,
+            needs_refit=self.needs_refit,
+            unabsorbed_energy=self._unabsorbed_energy,
+            captured_energy=svd.captured_energy(),
+            baseline_residual_energy=svd.residual_energy(),
+            fold_ins_since_refit=self._fold_ins,
+            deletes_since_refit=self._deletes)
+
+    # ------------------------------------------------------------------
+    # Refit
+    # ------------------------------------------------------------------
+
+    def refit(self, matrix, *, rank=None, engine: str = "lanczos",
+              seed=None, **engine_kwargs) -> LSIModel:
+        """Re-run the SVD on an authoritative corpus matrix.
+
+        The caller supplies the matrix (original − deleted + folded
+        documents, in whatever column order it wants ids assigned);
+        the writer replaces its model and document store, clears
+        tombstones, and resets the drift accounting.
+
+        Args:
+            matrix: the ``n_terms × m_new`` corpus to refit on.
+            rank: LSI rank (defaults to the current model's rank).
+            engine: SVD engine name.
+            seed: RNG seed for iterative engines.
+            **engine_kwargs: engine tuning, validated like
+                :func:`~repro.linalg.svd.truncated_svd`.
+
+        Returns:
+            The freshly fitted model (also installed in the writer).
+        """
+        rank = self._model.rank if rank is None else rank
+        model = LSIModel.fit(matrix, rank, engine=engine, seed=seed,
+                             **engine_kwargs)
+        if model.n_terms != self._model.n_terms:
+            raise ValidationError(
+                f"refit matrix has {model.n_terms} terms; the index "
+                f"serves {self._model.n_terms}")
+        self._model = model
+        self._doc_vectors = model.document_vectors()
+        self._n_original = model.n_documents
+        self._tombstones.clear()
+        self._unabsorbed_energy = 0.0
+        self._fold_ins = 0
+        self._deletes = 0
+        self._refits += 1
+        return model
+
+    # ------------------------------------------------------------------
+    # Persistence plumbing
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_state(cls, model: LSIModel, doc_vectors: np.ndarray,
+                   *, n_original: int, tombstones=(),
+                   unabsorbed_energy: float = 0.0,
+                   drift_threshold: "float | None" = 0.1,
+                   fold_ins: int = 0, deletes: int = 0,
+                   refits: int = 0) -> "IndexWriter":
+        """Rebuild a writer from persisted bundle state."""
+        writer = cls(model, drift_threshold=drift_threshold)
+        doc_vectors = np.asarray(doc_vectors, dtype=np.float64)
+        if doc_vectors.ndim != 2 \
+                or doc_vectors.shape[0] != model.rank:
+            raise ValidationError(
+                f"doc_vectors must be (rank, m); got "
+                f"{doc_vectors.shape} for rank {model.rank}")
+        writer._doc_vectors = doc_vectors.copy()
+        writer._n_original = min(int(n_original),
+                                 doc_vectors.shape[1])
+        writer._tombstones = {int(d) for d in tombstones}
+        writer._unabsorbed_energy = float(unabsorbed_energy)
+        writer._fold_ins = int(fold_ins)
+        writer._deletes = int(deletes)
+        writer._refits = int(refits)
+        return writer
+
+    def __repr__(self) -> str:
+        return (f"IndexWriter(k={self._model.rank}, "
+                f"m={self.n_documents}, folded={self.n_folded}, "
+                f"tombstoned={self.n_tombstoned}, "
+                f"drift={self.drift:.4f})")

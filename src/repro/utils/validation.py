@@ -21,6 +21,7 @@ __all__ = [
     "check_rank",
     "check_same_length",
     "check_stochastic_matrix",
+    "check_top_k",
     "check_vector",
 ]
 
@@ -44,6 +45,35 @@ def check_non_negative_int(value, name: str) -> int:
     if value < 0:
         raise ValidationError(f"{name} must be non-negative, got {value}")
     return int(value)
+
+
+def check_top_k(top_k, n_documents, name: str = "top_k") -> int:
+    """Normalise a retrieval cutoff: ``None`` = all, else a positive int.
+
+    This is the single ``top_k`` policy shared by every retrieval engine
+    (:class:`~repro.core.lsi.LSIModel`, the :mod:`repro.ir` baselines,
+    and the serving layer): ``None`` means the whole corpus, any other
+    value must be a positive integer, and cutoffs beyond the corpus size
+    are clamped to it.
+
+    Args:
+        top_k: the requested cutoff (``None`` for "all documents").
+        n_documents: corpus size the cutoff applies to.
+        name: argument name used in error messages.
+
+    Returns:
+        The effective cutoff as an int in ``[0, n_documents]``.
+    """
+    n_documents = check_non_negative_int(n_documents, "n_documents")
+    if top_k is None:
+        return n_documents
+    if isinstance(top_k, bool) or not isinstance(top_k, (int, np.integer)):
+        raise ValidationError(
+            f"{name} must be None or a positive integer, got {top_k!r}")
+    if top_k <= 0:
+        raise ValidationError(
+            f"{name} must be None or a positive integer, got {top_k}")
+    return min(int(top_k), n_documents)
 
 
 def check_fraction(value, name: str, *, inclusive_low=True,

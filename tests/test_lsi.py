@@ -125,7 +125,9 @@ class TestRetrieval:
 
     def test_rank_for_query_alias(self, fitted, tiny_matrix_module):
         query = tiny_matrix_module.get_column(1)
-        assert np.array_equal(fitted.rank_for_query(query, top_k=5),
+        with pytest.warns(DeprecationWarning, match="rank_documents"):
+            aliased = fitted.rank_for_query(query, top_k=5)
+        assert np.array_equal(aliased,
                               fitted.rank_documents(query, top_k=5))
 
 

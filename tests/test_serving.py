@@ -1,0 +1,534 @@
+"""Tests for the serving layer: bundles, batching, fold-in, facade."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.lsi import LSIModel
+from repro.errors import (
+    PersistenceError,
+    ShapeError,
+    ValidationError,
+)
+from repro.ir.retriever import Retriever
+from repro.serving import (
+    BUNDLE_FORMAT,
+    BatchQueryEngine,
+    IndexBundle,
+    IndexWriter,
+    LRUResultCache,
+    QueryBatch,
+    ServedIndex,
+    ServingStats,
+    environment_fingerprint,
+    read_bundle,
+    read_manifest,
+    stable_top_k,
+    write_bundle,
+)
+from repro.serving.bundle import ARRAYS_NAME, MANIFEST_NAME
+from repro.utils.validation import check_top_k
+
+ENGINES = ("lanczos", "subspace", "randomized", "exact")
+
+
+@pytest.fixture
+def dense_matrix(rng):
+    """A dense term-document matrix with a planted low-rank block."""
+    matrix = rng.random((40, 30))
+    matrix[matrix < 0.5] = 0.0
+    return matrix
+
+
+@pytest.fixture
+def model(dense_matrix):
+    """A rank-5 LSI model over ``dense_matrix``."""
+    return LSIModel.fit(dense_matrix, 5, engine="exact")
+
+
+@pytest.fixture
+def served(model):
+    """A served index over ``model``."""
+    return ServedIndex(model)
+
+
+@pytest.fixture
+def queries(rng):
+    """A block of 8 random term-space queries."""
+    return rng.random((40, 8))
+
+
+class TestStableTopK:
+    def test_matches_stable_argsort(self, rng):
+        for _ in range(300):
+            n = int(rng.integers(1, 40))
+            scores = rng.integers(0, 6, size=n).astype(float)
+            k = int(rng.integers(1, n + 1))
+            expected = np.argsort(-scores, kind="stable")[:k]
+            assert np.array_equal(stable_top_k(scores, k), expected)
+
+    def test_boundary_ties_break_by_ascending_id(self):
+        scores = np.array([1.0, 2.0, 1.0, 2.0, 1.0])
+        assert np.array_equal(stable_top_k(scores, 4), [1, 3, 0, 2])
+
+    def test_k_at_least_n_is_full_ranking(self):
+        scores = np.array([0.5, 0.5, 0.1])
+        assert np.array_equal(stable_top_k(scores, 10), [0, 1, 2])
+
+    def test_nonpositive_k_is_empty(self):
+        out = stable_top_k(np.array([1.0, 2.0]), 0)
+        assert out.size == 0 and out.dtype == np.int64
+
+
+class TestCheckTopK:
+    def test_none_means_all(self):
+        assert check_top_k(None, 7) == 7
+
+    def test_clamps_to_corpus(self):
+        assert check_top_k(100, 7) == 7
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "5", True])
+    def test_rejects_non_positive_and_non_int(self, bad):
+        with pytest.raises(ValidationError):
+            check_top_k(bad, 7)
+
+    def test_numpy_integer_accepted(self):
+        assert check_top_k(np.int64(3), 7) == 3
+
+
+class TestEngineKwargsValidation:
+    def test_unknown_kwarg_lists_valid_options(self, dense_matrix):
+        with pytest.raises(ValidationError,
+                           match=r"bogus.*extra_steps"):
+            LSIModel.fit(dense_matrix, 3, engine="lanczos", bogus=1)
+
+    def test_exact_engine_takes_no_options(self, dense_matrix):
+        with pytest.raises(ValidationError, match=r"\(none\)"):
+            LSIModel.fit(dense_matrix, 3, engine="exact", tol=1e-8)
+
+    def test_valid_kwargs_still_accepted(self, dense_matrix):
+        model = LSIModel.fit(dense_matrix, 3, engine="randomized",
+                             seed=0, oversample=10)
+        assert model.rank == 3
+
+
+class TestQueryBatch:
+    def test_from_vectors_stacks_columns(self, rng):
+        vectors = [rng.random(12) for _ in range(3)]
+        batch = QueryBatch.from_vectors(vectors)
+        assert batch.matrix.shape == (12, 3)
+        assert np.array_equal(batch.query(1), vectors[1])
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(ShapeError):
+            QueryBatch.from_vectors([rng.random(5), rng.random(6)])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValidationError):
+            QueryBatch(np.array([[np.nan], [1.0]]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            QueryBatch.from_vectors([])
+
+    def test_query_hash_is_content_keyed(self, rng):
+        column = rng.random(6)
+        first = QueryBatch(column[:, None])
+        second = QueryBatch(np.stack([column, rng.random(6)], axis=1))
+        assert first.query_hash(0) == second.query_hash(0)
+        assert second.query_hash(0) != second.query_hash(1)
+
+
+class TestBatchedEquivalence:
+    def test_batched_scores_match_model(self, model, queries):
+        # GEMM vs GEMV summation order differs in the last ULP, so
+        # scores agree to ~1e-15 while *rankings* agree exactly.
+        engine = BatchQueryEngine(model.term_basis,
+                                  model.document_vectors())
+        scores = engine.score_batch(queries)
+        for i in range(queries.shape[1]):
+            expected = model.score(queries[:, i])
+            np.testing.assert_allclose(scores[i], expected,
+                                       rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("top_k", [1, 3, None])
+    def test_batched_ranking_matches_looped(self, model, queries,
+                                            top_k):
+        engine = BatchQueryEngine(model.term_basis,
+                                  model.document_vectors())
+        batched = engine.rank_batch(queries, top_k=top_k)
+        for i in range(queries.shape[1]):
+            expected = model.rank_documents(queries[:, i], top_k=top_k)
+            assert np.array_equal(batched[i], expected)
+
+    def test_zero_query_scores_zero(self, model):
+        engine = BatchQueryEngine(model.term_basis,
+                                  model.document_vectors())
+        assert np.all(engine.score(np.zeros(model.n_terms)) == 0.0)
+
+    def test_tombstoned_documents_never_ranked(self, model, queries):
+        engine = BatchQueryEngine(model.term_basis,
+                                  model.document_vectors(),
+                                  tombstones=(0, 5))
+        ranked = engine.rank_batch(queries)
+        assert ranked.shape[1] == model.n_documents - 2
+        assert 0 not in ranked and 5 not in ranked
+        assert np.all(engine.score(queries[:, 0])[[0, 5]] == 0.0)
+
+    def test_wrong_term_space_raises(self, model):
+        engine = BatchQueryEngine(model.term_basis,
+                                  model.document_vectors())
+        with pytest.raises(ShapeError):
+            engine.rank_batch(np.ones((model.n_terms + 1, 2)))
+
+    def test_out_of_range_tombstone_raises(self, model):
+        with pytest.raises(ValidationError):
+            BatchQueryEngine(model.term_basis,
+                             model.document_vectors(),
+                             tombstones=(999,))
+
+
+class TestLRUResultCache:
+    def test_hit_miss_counters(self):
+        cache = LRUResultCache(2)
+        assert cache.get("a") is None
+        cache.put("a", np.array([1, 2]))
+        assert np.array_equal(cache.get("a"), [1, 2])
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUResultCache(2)
+        cache.put("a", np.array([1]))
+        cache.put("b", np.array([2]))
+        cache.get("a")                      # refresh a
+        cache.put("c", np.array([3]))       # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.evictions == 1
+
+    def test_returned_arrays_are_copies(self):
+        cache = LRUResultCache(2)
+        cache.put("a", np.array([1, 2]))
+        cache.get("a")[0] = 99
+        assert np.array_equal(cache.get("a"), [1, 2])
+
+    def test_zero_capacity_disables(self):
+        cache = LRUResultCache(0)
+        cache.put("a", np.array([1]))
+        assert cache.get("a") is None and len(cache) == 0
+
+
+class TestIndexWriter:
+    def test_drift_monotone_in_adds(self, model, rng):
+        writer = IndexWriter(model)
+        drifts = [writer.drift]
+        for _ in range(4):
+            writer.add_documents(rng.random((model.n_terms, 3)))
+            drifts.append(writer.drift)
+        assert all(b >= a for a, b in zip(drifts, drifts[1:]))
+        assert drifts[-1] > drifts[0]
+        assert 0.0 <= drifts[-1] < 1.0
+
+    def test_in_subspace_foldin_adds_no_drift(self, model):
+        in_subspace = model.term_basis @ np.ones((model.rank, 2))
+        writer = IndexWriter(model)
+        writer.add_documents(in_subspace)
+        assert writer.drift == pytest.approx(0.0, abs=1e-12)
+
+    def test_delete_adds_drift_and_tombstones(self, model):
+        writer = IndexWriter(model)
+        writer.remove_documents([3])
+        assert writer.tombstones == (3,)
+        assert writer.drift > 0.0
+        assert writer.n_active == model.n_documents - 1
+
+    def test_delete_twice_raises(self, model):
+        writer = IndexWriter(model)
+        writer.remove_documents([3])
+        with pytest.raises(ValidationError):
+            writer.remove_documents([3])
+        with pytest.raises(ValidationError):
+            writer.remove_documents([model.n_documents])
+
+    def test_threshold_flags_refit(self, model, rng):
+        writer = IndexWriter(model, drift_threshold=1e-6)
+        assert not writer.needs_refit
+        writer.add_documents(rng.random((model.n_terms, 5)))
+        assert writer.needs_refit
+        report = writer.drift_report()
+        assert report.needs_refit and report.drift == writer.drift
+
+    def test_refit_resets_accounting(self, model, dense_matrix, rng):
+        writer = IndexWriter(model, drift_threshold=1e-6)
+        writer.add_documents(rng.random((model.n_terms, 5)))
+        writer.remove_documents([0])
+        writer.refit(dense_matrix)
+        assert writer.drift == 0.0
+        assert writer.tombstones == ()
+        assert writer.fold_ins_since_refit == 0
+        assert writer.deletes_since_refit == 0
+        assert writer.refits == 1
+        assert not writer.needs_refit
+
+    def test_foldin_ids_are_appended(self, model, rng):
+        writer = IndexWriter(model)
+        ids = writer.add_documents(rng.random((model.n_terms, 2)))
+        assert np.array_equal(
+            ids, [model.n_documents, model.n_documents + 1])
+        assert writer.n_folded == 2
+
+
+class TestBundleRoundTrip:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_roundtrip_preserves_rankings_dense(
+            self, dense_matrix, queries, tmp_path, engine):
+        model = LSIModel.fit(dense_matrix, 4, engine=engine, seed=0)
+        index = ServedIndex(model)
+        before = index.rank_batch(queries, top_k=10)
+        loaded = ServedIndex.load(index.save(tmp_path / "b"))
+        assert np.array_equal(loaded.rank_batch(queries, top_k=10),
+                              before)
+
+    def test_roundtrip_preserves_rankings_sparse(
+            self, tiny_matrix, tmp_path, rng):
+        index = ServedIndex.fit(tiny_matrix, 4, seed=0)
+        block = rng.random((tiny_matrix.shape[0], 5))
+        before = index.rank_batch(block, top_k=7)
+        loaded = ServedIndex.load(index.save(tmp_path / "b"))
+        assert np.array_equal(loaded.rank_batch(block, top_k=7),
+                              before)
+
+    def test_truncated_model_roundtrips(self, dense_matrix, tmp_path):
+        model = LSIModel.fit(dense_matrix, 6, engine="exact")
+        truncated = LSIModel(model.svd.truncate(3))
+        index = ServedIndex(truncated)
+        loaded = ServedIndex.load(index.save(tmp_path / "b"))
+        assert loaded.rank == 3
+        np.testing.assert_array_equal(
+            loaded.model.singular_values,
+            truncated.singular_values)
+
+    def test_state_survives_roundtrip(self, served, rng, tmp_path):
+        served.add_documents(rng.random((served.n_terms, 3)))
+        served.remove_documents([1, 4])
+        loaded = ServedIndex.load(served.save(tmp_path / "b"))
+        assert loaded.n_documents == served.n_documents
+        assert loaded.drift == pytest.approx(served.drift)
+        assert loaded.needs_refit == served.needs_refit
+        writer_stats = loaded.stats()
+        assert writer_stats.fold_ins_since_refit == 3
+        assert writer_stats.deletes_since_refit == 2
+
+    def test_vocabulary_roundtrips(self, dense_matrix, tmp_path):
+        terms = tuple(f"t{i}" for i in range(dense_matrix.shape[0]))
+        index = ServedIndex.fit(dense_matrix, 3, engine="exact",
+                                vocabulary=terms)
+        loaded = ServedIndex.load(index.save(tmp_path / "b"))
+        assert loaded.vocabulary == terms
+
+    def test_manifest_records_env_and_checksum(self, served, tmp_path):
+        path = served.save(tmp_path / "b")
+        manifest = read_manifest(path, verify_arrays=True)
+        assert manifest["format"] == BUNDLE_FORMAT
+        assert set(environment_fingerprint()) <= set(manifest["env"])
+        assert manifest["checksums"][ARRAYS_NAME].startswith("sha256:")
+
+
+class TestBundleRejection:
+    def test_missing_bundle(self, tmp_path):
+        with pytest.raises(PersistenceError, match="not an index"):
+            read_bundle(tmp_path / "nope")
+
+    def test_corrupted_arrays_detected(self, served, tmp_path):
+        path = served.save(tmp_path / "b")
+        arrays = path / ARRAYS_NAME
+        blob = bytearray(arrays.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        arrays.write_bytes(bytes(blob))
+        with pytest.raises(PersistenceError, match="corrupted"):
+            read_bundle(path)
+
+    def test_foreign_format_marker_rejected(self, served, tmp_path):
+        path = served.save(tmp_path / "b")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["format"] = "someone-elses-index"
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="foreign"):
+            read_bundle(path)
+
+    def test_future_schema_rejected(self, served, tmp_path):
+        path = served.save(tmp_path / "b")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["schema_version"] = 99
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="schema_version"):
+            read_manifest(path)
+
+    def test_unparsable_manifest_rejected(self, served, tmp_path):
+        path = served.save(tmp_path / "b")
+        (path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(PersistenceError, match="unreadable"):
+            read_manifest(path)
+
+    def test_manifest_shape_mismatch_rejected(self, served, tmp_path):
+        path = served.save(tmp_path / "b")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["n_documents"] = 9999
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="mismatch"):
+            read_bundle(path)
+
+    def test_legacy_v1_bundle_loads_with_defaults(self, model,
+                                                  tmp_path):
+        bundle = IndexBundle.from_model(model)
+        path = write_bundle(tmp_path / "b", bundle)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["schema_version"] = 1
+        for key in ("n_original", "n_tombstoned", "stats",
+                    "unabsorbed_energy", "drift_threshold"):
+            manifest.pop(key, None)
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        # v1 bundles carried only the factors.
+        arrays = np.load(path / ARRAYS_NAME)
+        v1 = {name: arrays[name]
+              for name in ("u", "singular_values", "vt",
+                           "frobenius_norm_sq")}
+        with open(path / ARRAYS_NAME, "wb") as handle:
+            np.savez(handle, **v1)
+        checksum = manifest["checksums"][ARRAYS_NAME] = \
+            "sha256:" + __import__("hashlib").sha256(
+                (path / ARRAYS_NAME).read_bytes()).hexdigest()
+        assert checksum
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        loaded = ServedIndex.load(path)
+        assert loaded.n_documents == model.n_documents
+        assert loaded.drift == 0.0
+        assert loaded.stats() == ServingStats()
+
+
+class TestServedIndex:
+    def test_satisfies_retriever_protocol(self, served, model,
+                                          tiny_matrix):
+        from repro.core.folding import FoldingIndex
+        from repro.core.two_step import TwoStepLSI
+        from repro.ir.bm25 import BM25Model
+        from repro.ir.vsm import VectorSpaceModel
+
+        assert isinstance(served, Retriever)
+        assert isinstance(model, Retriever)
+        assert isinstance(
+            VectorSpaceModel.fit(tiny_matrix), Retriever)
+        assert isinstance(BM25Model.fit(tiny_matrix), Retriever)
+        folding_model = LSIModel.fit(tiny_matrix, 4, seed=0)
+        assert isinstance(FoldingIndex(folding_model), Retriever)
+        assert isinstance(
+            TwoStepLSI.fit(tiny_matrix, 4, 20, seed=0), Retriever)
+
+    def test_rankings_match_plain_model(self, served, model, queries):
+        for i in range(queries.shape[1]):
+            assert np.array_equal(
+                served.rank_documents(queries[:, i], top_k=5),
+                model.rank_documents(queries[:, i], top_k=5))
+
+    def test_repeat_query_hits_cache(self, served, queries):
+        query = queries[:, 0]
+        first = served.rank_documents(query, top_k=5)
+        second = served.rank_documents(query, top_k=5)
+        assert np.array_equal(first, second)
+        stats = served.stats()
+        assert stats.cache_hits == 1
+        assert stats.queries_served == 2
+
+    def test_update_invalidates_cache(self, served, queries, rng):
+        query = queries[:, 0]
+        served.rank_documents(query, top_k=5)
+        generation_before = served.index_version
+        served.add_documents(rng.random((served.n_terms, 2)))
+        assert served.index_version != generation_before
+        served.rank_documents(query, top_k=5)
+        assert served.stats().cache_hits == 0
+
+    def test_batch_mixes_cached_and_fresh(self, served, queries):
+        served.rank_documents(queries[:, 2], top_k=4)
+        batched = served.rank_batch(queries, top_k=4)
+        assert served.stats().cache_hits == 1
+        engine = BatchQueryEngine(
+            served.model.term_basis,
+            served.model.document_vectors())
+        assert np.array_equal(batched,
+                              engine.rank_batch(queries, top_k=4))
+
+    def test_removed_documents_leave_rankings(self, served, queries):
+        removed = int(served.rank_documents(queries[:, 0], top_k=1)[0])
+        served.remove_documents([removed])
+        ranked = served.rank_documents(queries[:, 0])
+        assert removed not in ranked
+        assert ranked.shape[0] == served.n_active
+
+    def test_refit_restores_health(self, served, dense_matrix, rng):
+        served = ServedIndex(served.model, drift_threshold=1e-6)
+        served.add_documents(rng.random((served.n_terms, 4)))
+        assert served.needs_refit
+        served.refit(dense_matrix, engine="exact")
+        assert not served.needs_refit
+        assert served.stats().refits == 1
+
+    def test_stats_accumulate_across_roundtrip(self, served, queries,
+                                               tmp_path):
+        served.rank_batch(queries, top_k=3)
+        saved_queries = served.stats().queries_served
+        loaded = ServedIndex.load(served.save(tmp_path / "b"))
+        loaded.rank_documents(queries[:, 0], top_k=3)
+        assert loaded.stats().queries_served == saved_queries + 1
+
+
+class TestServeStatsCLI:
+    def test_text_output(self, served, queries, tmp_path, capsys):
+        from repro.cli import main
+
+        served.rank_batch(queries, top_k=5)
+        path = served.save(tmp_path / "b")
+        assert main(["serve-stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "queries served" in out and "drift" in out
+
+    def test_json_output(self, served, tmp_path, capsys):
+        from repro.cli import main
+
+        path = served.save(tmp_path / "b")
+        assert main(["serve-stats", str(path), "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["format"] == BUNDLE_FORMAT
+
+    def test_verify_detects_corruption(self, served, tmp_path,
+                                       capsys):
+        from repro.cli import main
+
+        path = served.save(tmp_path / "b")
+        arrays = path / ARRAYS_NAME
+        blob = bytearray(arrays.read_bytes())
+        blob[-1] ^= 0xFF
+        arrays.write_bytes(bytes(blob))
+        assert main(["serve-stats", str(path), "--verify"]) == 2
+        assert "corrupted" in capsys.readouterr().err
+
+    def test_non_bundle_path_errors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["serve-stats", str(tmp_path / "nope")]) == 2
+        assert "not an index bundle" in capsys.readouterr().err
+
+
+class TestServingStats:
+    def test_dict_roundtrip_ignores_unknown_keys(self):
+        stats = ServingStats(queries_served=3, cache_hits=1,
+                             cache_misses=1)
+        payload = stats.as_dict()
+        payload["from_the_future"] = 42
+        assert ServingStats.from_dict(payload) == stats
+
+    def test_hit_rate(self):
+        assert ServingStats().cache_hit_rate == 0.0
+        stats = ServingStats(cache_hits=3, cache_misses=1)
+        assert stats.cache_hit_rate == pytest.approx(0.75)
