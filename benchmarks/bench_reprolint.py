@@ -1,0 +1,130 @@
+"""Bench L1: the reprolint incremental cache.
+
+One family, ``reprolint_incremental_cache``: lint a synthetic package
+tree twice through :func:`tools.reprolint.lint_paths` — a cold run that
+populates the content-hash cache, then warm runs that replay every
+per-file record and recompute only the project passes (import cycles,
+doc sync).  The paper-style claims are booleans reported as 0/1:
+
+- ``cache_fully_warm`` — the second run replays every file (hit rate
+  1.0, zero misses);
+- ``warm_speedup_ge_5x`` — the acceptance floor from the v2 issue: the
+  cached run is at least 5x faster than the cold analysis;
+- ``violations_stable`` — cold and warm runs render byte-identical
+  findings, so the cache never changes lint semantics.
+
+The tree is generated, not the live repo, so the measurement is
+deterministic in (size, seed) and independent of unrelated source
+churn.  Modules carry docstrings, ``__all__`` exports, numpy shape
+arithmetic, and an acyclic import chain so every pass family (per-file
+rules, R100 shape flow, R007 cycle detection) does real work.
+"""
+
+import sys
+import tempfile
+import textwrap
+from pathlib import Path
+
+from harness import benchmark
+
+from repro.utils.timing import measure
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:  # tools.* lives at the repo root
+    sys.path.insert(0, str(_REPO_ROOT))
+
+from tools.reprolint.config import Config  # noqa: E402
+from tools.reprolint.engine import lint_paths  # noqa: E402
+
+_MODULE_TEMPLATE = '''\
+"""Synthetic lint-corpus module {index}."""
+
+{import_line}import numpy as np
+
+__all__ = ["combine_{index}", "total_{index}"]
+
+
+def combine_{index}(left, right):
+    """Blend two operands through a rank-{rank} product.
+
+    Args:
+        left: left operand, broadcast against the product.
+        right: right operand, broadcast against the product.
+    """
+    lhs = np.zeros(({rows}, {rank}))
+    rhs = np.zeros(({rank}, {cols}))
+    product = lhs @ rhs
+    return product.sum(axis=0) + left + right
+
+
+def total_{index}(values, weights=None):
+    """Weighted total of ``values``.
+
+    Args:
+        values: array of addends.
+        weights: optional multiplicative weights.
+    """
+    stacked = np.asarray(values, dtype=float)
+    if weights is not None:
+        stacked = stacked * weights
+    return float(stacked.sum(axis=None))
+'''
+
+
+def _write_tree(root, n_modules, seed):
+    """A clean, rule-exercising package of ``n_modules`` modules."""
+    package = root / "pkg"
+    package.mkdir()
+    (package / "__init__.py").write_text(
+        '"""Synthetic lint corpus."""\n\n__all__ = []\n')
+    for index in range(n_modules):
+        import_line = (f"from pkg import mod_{index - 1}\n"
+                       if index else "")
+        source = _MODULE_TEMPLATE.format(
+            index=index, import_line=import_line,
+            rank=2 + (seed + index) % 5,
+            rows=3 + (seed + 2 * index) % 7,
+            cols=4 + (seed + 3 * index) % 6)
+        (package / f"mod_{index}.py").write_text(
+            textwrap.dedent(source))
+    return package
+
+
+@benchmark(name="reprolint_incremental_cache",
+           tags=("tooling", "perf"),
+           sizes={"smoke": {"n_modules": 40},
+                  "full": {"n_modules": 160}},
+           time_metrics=("cold_seconds", "warm_seconds",
+                         "warm_speedup"))
+def bench_reprolint_incremental_cache(params, seed):
+    """L1: warm cached lint replays every record and is >=5x faster."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        package = _write_tree(root, params["n_modules"], seed)
+        config = Config(root=root, r100_scope=("pkg",))
+        cache = root / "lint.cache.json"
+
+        def lint():
+            return lint_paths([str(package)], config=config,
+                              cache=str(cache))
+
+        cold = measure(lint, warmup=0, repeats=1)
+        warm = measure(lint, warmup=1, repeats=3)
+
+        checked = warm.result.files_checked
+        hits = warm.result.cache_hits
+        hit_rate = hits / max(checked, 1)
+        speedup = cold.mean_seconds / max(warm.mean_seconds, 1e-12)
+        stable = ([v.render() for v in cold.result.violations]
+                  == [v.render() for v in warm.result.violations])
+    return {
+        "cold_seconds": cold.mean_seconds,
+        "warm_seconds": warm.mean_seconds,
+        "warm_speedup": speedup,
+        "cache_hit_rate": hit_rate,
+        "cache_fully_warm": int(hits == checked
+                                and warm.result.cache_misses == 0),
+        "warm_speedup_ge_5x": int(speedup >= 5.0),
+        "violations_stable": int(stable),
+        "files_checked": checked,
+    }

@@ -9,8 +9,9 @@ Commands:
 - ``report [ids...] [--output path]`` — run experiments and write one
   Markdown report (all of them by default);
 - ``info`` — version and experiment inventory summary;
-- ``lint [paths...] [--format {text,json}] [--select Rxxx,...]`` — run
-  the repo's static-analysis pass (reprolint) over the source tree;
+- ``lint [paths...] [--format {text,json,sarif,github}]
+  [--select Rxxx,...] [--fix [--check]] [--cache] [--jobs N]`` — run
+  the repo's static-analysis engine (reprolint) over the source tree;
 - ``bench [...]`` — the unified benchmark harness: run registered
   benchmarks into schema-versioned ``BENCH_*.json`` reports,
   ``bench list`` the registry, ``bench compare`` two reports as a
@@ -214,6 +215,16 @@ def _command_lint(args) -> int:
         argv += ["--config", args.config]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.fix:
+        argv.append("--fix")
+    if args.check:
+        argv.append("--check")
+    if args.cache:
+        argv.append("--cache")
+    if args.cache_file:
+        argv += ["--cache-file", args.cache_file]
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
     return reprolint_cli.main(argv)
 
 
@@ -328,7 +339,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="files or directories to lint "
                                   "(default: src/repro)")
     lint_parser.add_argument("--format", "-f",
-                             choices=("text", "json"), default="text",
+                             choices=("text", "json", "sarif",
+                                      "github"), default="text",
                              help="report format (default: text)")
     lint_parser.add_argument("--select", default=None,
                              metavar="Rxxx,...",
@@ -338,6 +350,22 @@ def build_parser() -> argparse.ArgumentParser:
                              help="explicit pyproject.toml to read")
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="print the rule catalogue and exit")
+    lint_parser.add_argument("--fix", action="store_true",
+                             help="apply the safe autofixes before "
+                                  "linting")
+    lint_parser.add_argument("--check", action="store_true",
+                             help="with --fix: dry-run; exit 1 if "
+                                  "fixes are pending")
+    lint_parser.add_argument("--cache", action="store_true",
+                             help="reuse the incremental lint cache")
+    lint_parser.add_argument("--cache-file", default=None,
+                             metavar="PATH",
+                             help="explicit cache location (implies "
+                                  "--cache)")
+    lint_parser.add_argument("--jobs", "-j", type=int, default=1,
+                             metavar="N",
+                             help="lint across N processes (0 = one "
+                                  "per CPU)")
     lint_parser.set_defaults(handler=_command_lint)
 
     stats_parser = subparsers.add_parser(

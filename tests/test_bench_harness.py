@@ -59,7 +59,7 @@ class TestRegistry:
     def test_discover_finds_every_bench_script(self):
         registry = discover()
         scripts = sorted(BENCH_DIR.glob("bench_*.py"))
-        assert len(scripts) == 17
+        assert len(scripts) == 18
         modules = {spec.module for spec in registry.specs()}
         assert modules == {path.stem for path in scripts}
 

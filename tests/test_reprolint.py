@@ -358,7 +358,8 @@ class TestConfigLoading:
     def test_missing_pyproject_yields_defaults(self, tmp_path):
         config = load_config(start=tmp_path)
         assert config.select == ("R001", "R002", "R003", "R004",
-                                 "R005", "R006", "R007")
+                                 "R005", "R006", "R007",
+                                 "R100", "R101", "R102")
         assert config.r001_allow == ()
 
 
@@ -423,6 +424,31 @@ class TestReprolintCli:
         for code in ("R001", "R004", "R007"):
             assert code in out
 
+    def test_list_rules_includes_v2_families(self, capsys):
+        assert reprolint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R100", "R101", "R102"):
+            assert code in out
+
+    def test_cache_flag_round_trips(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text("[tool.reprolint]\n")
+        target = tmp_path / "good.py"
+        target.write_text("__all__ = [\"x\"]\n\nx = 1\n")
+        pyproject = str(tmp_path / "pyproject.toml")
+        cache = tmp_path / "lint.cache"
+        assert reprolint_main(["--config", pyproject, "--cache-file",
+                               str(cache), str(target)]) == 0
+        assert cache.exists()
+        assert reprolint_main(["--config", pyproject, "--cache-file",
+                               str(cache), str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_jobs_flag_accepted(self, tmp_path, capsys):
+        target = tmp_path / "good.py"
+        target.write_text("__all__ = [\"x\"]\n\nx = 1\n")
+        assert reprolint_main([str(target), "--jobs", "2"]) == 0
+        assert "clean" in capsys.readouterr().out
+
 
 class TestRepoCliLintSubcommand:
     def test_repro_lint_select_on_fixture(self, tmp_path, capsys):
@@ -441,6 +467,33 @@ class TestRepoCliLintSubcommand:
 
         assert repro_main(["lint", "--list-rules"]) == 0
         assert "R006" in capsys.readouterr().out
+
+    def test_repro_lint_fix_check_passthrough(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        (tmp_path / "pyproject.toml").write_text("[tool.reprolint]\n")
+        target = tmp_path / "bad.py"
+        target.write_text("def f(a=[]):\n    return a\n")
+        exit_code = repro_main(["lint", str(target), "--config",
+                                str(tmp_path / "pyproject.toml"),
+                                "--fix", "--check", "--select",
+                                "R003"])
+        assert exit_code == 1
+        assert "pending" in capsys.readouterr().out
+        # --check never writes.
+        assert target.read_text() == "def f(a=[]):\n    return a\n"
+
+    def test_repro_lint_sarif_format_passthrough(self, tmp_path,
+                                                 capsys):
+        from repro.cli import main as repro_main
+
+        target = tmp_path / "bad.py"
+        target.write_text("import numpy as np\nnp.random.seed(0)\n")
+        exit_code = repro_main(["lint", str(target), "--format",
+                                "sarif", "--select", "R001"])
+        assert exit_code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
 
 
 class TestRepositoryIsClean:

@@ -1,0 +1,931 @@
+"""Tests for reprolint v2: dataflow core, R100-R102, autofix, cache,
+SARIF/GitHub reporters, multiprocess fan-out, and the seeded mutation
+checks from the acceptance criteria."""
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint import lint_paths, main as reprolint_main
+from tools.reprolint.cache import (FileRecord, engine_fingerprint,
+                                   load_cache, store_cache)
+from tools.reprolint.config import Config
+from tools.reprolint.contracts import (parse_api_doc,
+                                       parse_docstring_args)
+from tools.reprolint.dataflow import (ImportMap, bound_names,
+                                      flat_statements, iter_scopes)
+from tools.reprolint.fixes import apply_fixes, compute_fixes, fix_paths
+from tools.reprolint.reporters import render_github, render_sarif
+from tools.reprolint.rules import ModuleContext
+from tools.reprolint.shapes import infer_module_shapes
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write(tmp_path, source, *, filename="mod.py"):
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def lint_source(tmp_path, source, *, filename="mod.py", select=None,
+                config=None, **kwargs):
+    path = write(tmp_path, source, filename=filename)
+    cfg = config if config is not None else Config(root=tmp_path)
+    return lint_paths([str(path)], config=cfg, select=select, **kwargs)
+
+
+def codes(result):
+    return [violation.rule for violation in result.violations]
+
+
+def make_ctx(tmp_path, source, *, filename="mod.py", config=None,
+             module_name=None):
+    path = write(tmp_path, source, filename=filename)
+    cfg = config if config is not None else Config(root=tmp_path)
+    return ModuleContext(path=cfg.relative(path),
+                         abspath=path.resolve(),
+                         tree=ast.parse(path.read_text()), config=cfg,
+                         module_name=module_name)
+
+
+class TestImportMap:
+    def test_resolves_plain_import_alias(self):
+        imports = ImportMap(ast.parse("import numpy as np"))
+        node = ast.parse("np.zeros", mode="eval").body
+        assert imports.resolve(node) == "numpy.zeros"
+
+    def test_resolves_from_import_alias(self):
+        imports = ImportMap(ast.parse(
+            "from repro.utils.rng import as_generator as mk"))
+        node = ast.parse("mk", mode="eval").body
+        assert imports.resolve(node) == "repro.utils.rng.as_generator"
+
+    def test_resolves_relative_import_with_module_name(self):
+        imports = ImportMap(
+            ast.parse("from ..utils.rng import as_generator"),
+            module_name="repro.core.lsi")
+        node = ast.parse("as_generator", mode="eval").body
+        assert imports.resolve(node) == "repro.utils.rng.as_generator"
+
+    def test_local_names_resolve_to_none(self):
+        imports = ImportMap(ast.parse("import numpy as np\nx = 1"))
+        assert imports.resolve(ast.parse("x", mode="eval").body) is None
+
+    def test_attribute_chain_resolution(self):
+        imports = ImportMap(ast.parse("import numpy as np"))
+        node = ast.parse("np.random.default_rng", mode="eval").body
+        assert imports.resolve(node) == "numpy.random.default_rng"
+
+
+class TestScopeWalk:
+    SOURCE = textwrap.dedent("""\
+        x = 1
+        def outer():
+            y = 2
+            def inner():
+                z = 3
+        class Box:
+            attr = 4
+            def method(self):
+                w = 5
+        """)
+
+    def test_iter_scopes_module_first_then_functions(self):
+        scopes = list(iter_scopes(ast.parse(self.SOURCE)))
+        assert scopes[0].is_module
+        names = [scope.node.name for scope in scopes[1:]]
+        assert set(names) == {"outer", "inner", "method"}
+
+    def test_flat_statements_skips_function_bodies(self):
+        tree = ast.parse(self.SOURCE)
+        statements = list(flat_statements(tree.body))
+        assigned = {target.id for stmt in statements
+                    if isinstance(stmt, ast.Assign)
+                    for target in stmt.targets
+                    if isinstance(target, ast.Name)}
+        # Class-body statements execute in the module flow; function
+        # bodies do not.
+        assert assigned == {"x", "attr"}
+
+    def test_flat_statements_enters_control_flow_and_handlers(self):
+        tree = ast.parse(textwrap.dedent("""\
+            try:
+                a = 1
+            except ValueError:
+                b = 2
+            finally:
+                c = 3
+            if True:
+                d = 4
+            """))
+        assigned = {target.id for stmt in flat_statements(tree.body)
+                    if isinstance(stmt, ast.Assign)
+                    for target in stmt.targets}
+        assert assigned == {"a", "b", "c", "d"}
+
+    def test_bound_names_destructuring(self):
+        target = ast.parse("(a, (b, *rest)) = value").body[0].targets[0]
+        assert bound_names(target) == {"a", "b", "rest"}
+
+
+class TestR100ShapeFlow:
+    def flags(self, tmp_path, body, **kwargs):
+        return lint_source(tmp_path, "import numpy as np\n"
+                           + textwrap.dedent(body),
+                           select=["R100"], **kwargs)
+
+    def test_flags_incompatible_matmul(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.zeros((4, 7))
+            B = A.T @ A.T
+            """)
+        assert codes(result) == ["R100"]
+        assert "inner dimensions conflict" in \
+            result.violations[0].message
+
+    def test_silent_on_compatible_matmul(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.zeros((4, 7))
+            G = A.T @ A
+            """)
+        assert codes(result) == []
+
+    def test_flags_np_dot_conflict(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.ones((3, 5))
+            B = np.ones((4, 6))
+            C = np.dot(A, B)
+            """)
+        assert codes(result) == ["R100"]
+
+    def test_economy_svd_factors_flow(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.zeros((10, 6))
+            u, s, vt = np.linalg.svd(A, full_matrices=False)
+            good = u @ vt
+            bad = u @ u
+            """)
+        assert codes(result) == ["R100"]
+        assert result.violations[0].line == 5
+
+    def test_truncated_svd_factor_shapes(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            from repro.linalg.truncated_svd import truncated_svd
+            A = np.zeros((20, 9))
+            svd = truncated_svd(A, 4)
+            good = svd.u @ svd.vt
+            bad = svd.vt @ svd.vt
+            """)
+        assert codes(result) == ["R100"]
+        assert "(4, 9) @ (4, 9)" in result.violations[0].message
+
+    def test_flags_axisless_sum_on_2d(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.zeros((4, 7))
+            total = A.sum()
+            """)
+        assert codes(result) == ["R100"]
+        assert "axis=" in result.violations[0].message
+
+    def test_silent_with_explicit_axis_or_1d(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.zeros((4, 7))
+            v = np.zeros(7)
+            ok_a = A.sum(axis=0)
+            ok_b = A.sum(axis=None)
+            ok_c = v.sum()
+            """)
+        assert codes(result) == []
+
+    def test_reassignment_forgets_shape(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def load():
+                return object()
+
+            A = np.zeros((4, 7))
+            A = load()
+            total = A.sum()
+            """)
+        assert codes(result) == []
+
+    def test_subscript_row_drops_axis(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.zeros((4, 7))
+            row_total = A[0].sum()
+            """)
+        assert codes(result) == []
+
+    def test_scope_config_limits_rule(self, tmp_path):
+        config = Config(root=tmp_path, r100_scope=("pkg/core",))
+        in_scope = lint_source(
+            tmp_path, """\
+            import numpy as np
+            A = np.zeros((4, 7))
+            t = A.sum()
+            """, filename="pkg/core/a.py", select=["R100"],
+            config=config)
+        out_of_scope = lint_source(
+            tmp_path, """\
+            import numpy as np
+            A = np.zeros((4, 7))
+            t = A.sum()
+            """, filename="pkg/viz/b.py", select=["R100"],
+            config=config)
+        assert codes(in_scope) == ["R100"]
+        assert codes(out_of_scope) == []
+
+    def test_infer_module_shapes_helper(self):
+        shapes = infer_module_shapes(ast.parse(textwrap.dedent("""\
+            import numpy as np
+            A = np.zeros((4, 7))
+            B = A.T
+            G = B @ A
+            """)))
+        assert shapes["A"] == ("4", "7")
+        assert shapes["B"] == ("7", "4")
+        assert shapes["G"] == ("7", "7")
+
+    def test_inferred_shapes_through_samplers(self):
+        shapes = infer_module_shapes(ast.parse(textwrap.dedent("""\
+            import numpy as np
+            from repro.utils.rng import as_generator
+            rng = as_generator(0)
+            X = rng.standard_normal((8, 3))
+            """)))
+        assert shapes["X"] == ("8", "3")
+
+
+class TestR101RngProvenance:
+    def test_unseeded_default_rng_has_entropy_message(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng()
+            """, select=["R101"])
+        assert codes(result) == ["R101"]
+        assert "OS entropy" in result.violations[0].message
+
+    def test_seeded_raw_construction_flagged(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+
+            def draw(seed):
+                return np.random.default_rng(seed)
+            """, select=["R101"])
+        assert codes(result) == ["R101"]
+        assert "repro.utils.rng" in result.violations[0].message
+
+    def test_double_normalisation_flagged_once(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from repro.utils.rng import as_generator
+
+            def run(seed):
+                first = as_generator(seed)
+                second = as_generator(seed)
+                return first, second
+            """, select=["R101"])
+        assert codes(result) == ["R101"]
+        assert "normalised twice" in result.violations[0].message
+
+    def test_distinct_seeds_are_fine(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from repro.utils.rng import as_generator
+
+            def run(seed_a, seed_b):
+                return as_generator(seed_a), as_generator(seed_b)
+            """, select=["R101"])
+        assert codes(result) == []
+
+    def test_module_level_generator_flagged(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from repro.utils.rng import as_generator
+
+            _RNG = as_generator(1234)
+            """, select=["R101"])
+        assert codes(result) == ["R101"]
+        assert "shared mutable state" in result.violations[0].message
+
+    def test_rng_module_allowlisted(self, tmp_path):
+        config = Config(root=tmp_path, r001_allow=("rng.py",))
+        result = lint_source(tmp_path, """\
+            import numpy as np
+
+            def as_generator(seed):
+                return np.random.default_rng(seed)
+            """, filename="rng.py", select=["R101"], config=config)
+        assert codes(result) == []
+
+    def test_r001_shadowed_by_r101_same_line(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng()
+            """, select=["R001", "R101"])
+        assert codes(result) == ["R101"]
+
+
+class TestR102ContractDrift:
+    def test_function_docstring_ghost_parameter(self, tmp_path):
+        result = lint_source(tmp_path, '''\
+            def fit(matrix, rank):
+                """Fit.
+
+                Args:
+                    matrix: the input.
+                    k: the target rank.
+                """
+                return matrix, rank
+            ''', select=["R102"])
+        assert codes(result) == ["R102"]
+        assert "'k'" in result.violations[0].message
+
+    def test_class_docstring_checked_against_init(self, tmp_path):
+        result = lint_source(tmp_path, '''\
+            class Writer:
+                """Writer.
+
+                Args:
+                    capacity: stale name.
+                """
+
+                def __init__(self, max_pending):
+                    self.max_pending = max_pending
+            ''', select=["R102"])
+        assert codes(result) == ["R102"]
+
+    def test_docstring_in_sync_is_silent(self, tmp_path):
+        result = lint_source(tmp_path, '''\
+            def fit(matrix, rank=2):
+                """Fit.
+
+                Args:
+                    matrix: the input.
+                    rank: target rank.
+
+                Returns:
+                    The model.
+                """
+                return matrix, rank
+            ''', select=["R102"])
+        assert codes(result) == []
+
+    def test_retriever_lookalike_missing_n_documents(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            class Engine:
+                def score(self, query):
+                    return query
+
+                def rank_documents(self, query, *, top_k=None):
+                    return query
+            """, select=["R102"])
+        assert codes(result) == ["R102"]
+        assert "n_documents" in result.violations[0].message
+
+    def test_retriever_top_k_must_be_keyword_only_none(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            class Engine:
+                @property
+                def n_documents(self):
+                    return 0
+
+                def score(self, query):
+                    return query
+
+                def rank_documents(self, query, top_k=10):
+                    return query
+            """, select=["R102"])
+        assert codes(result) == ["R102"]
+        assert "keyword-only" in result.violations[0].message
+
+    def test_conforming_retriever_is_silent(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            class Engine:
+                @property
+                def n_documents(self):
+                    return 0
+
+                def score(self, query):
+                    return query
+
+                def rank_documents(self, query, *, top_k=None):
+                    return query
+            """, select=["R102"])
+        assert codes(result) == []
+
+    def test_parse_docstring_args_sections_and_nesting(self):
+        names = parse_docstring_args(textwrap.dedent("""\
+            Summary.
+
+            Args:
+                matrix: the input
+                    with a continuation line.
+                rank (int): target rank.
+                *args: extras.
+                **kwargs: more extras.
+
+            Returns:
+                Something that mentions foo: not a parameter.
+            """))
+        assert names == ["matrix", "rank", "args", "kwargs"]
+
+    def test_parse_api_doc_handles_return_annotations(self):
+        parsed = parse_api_doc(textwrap.dedent("""\
+            # API reference
+
+            ## `pkg.mod`
+
+            Module doc.
+
+            ### class `Engine`
+
+            Class doc.
+
+            - `fit(self, matrix, rank=2) -> None` — fit the model.
+            - `n_documents` (property) — corpus size.
+
+            ### `helper(x, *, flag=False) -> int`
+
+            Helper doc.
+            """))
+        module = parsed["pkg.mod"]
+        assert module["functions"]["helper"] == ["x", "flag"]
+        assert module["classes"]["Engine"]["fit"] == \
+            ["self", "matrix", "rank"]
+        assert module["classes"]["Engine"]["n_documents"] is None
+
+
+def _doc_sync_tree(tmp_path, doc_params="matrix, rank"):
+    """A tiny package + docs/API.md pair for project-pass tests."""
+    write(tmp_path, "", filename="pkg/__init__.py")
+    write(tmp_path, '''\
+        """Module doc."""
+
+        def fit(matrix, rank):
+            """Fit.
+
+            Args:
+                matrix: input.
+                rank: target.
+            """
+            return matrix, rank
+        ''', filename="pkg/mod.py")
+    write(tmp_path, textwrap.dedent(f"""\
+        # API reference
+
+        ## `pkg`
+
+        Package doc.
+
+        ## `pkg.mod`
+
+        Module doc.
+
+        ### `fit({doc_params})`
+
+        Fit doc.
+        """), filename="docs/API.md")
+    return Config(root=tmp_path)
+
+
+class TestR102DocSync:
+    def test_in_sync_reference_is_silent(self, tmp_path):
+        config = _doc_sync_tree(tmp_path)
+        result = lint_paths([str(tmp_path / "pkg")], config=config,
+                            select=["R102"])
+        assert codes(result) == []
+
+    def test_parameter_drift_flagged(self, tmp_path):
+        config = _doc_sync_tree(tmp_path, doc_params="matrix, k")
+        result = lint_paths([str(tmp_path / "pkg")], config=config,
+                            select=["R102"])
+        assert codes(result) == ["R102"]
+        assert "regenerate the reference" in \
+            result.violations[0].message
+
+    def test_undocumented_module_flagged(self, tmp_path):
+        config = _doc_sync_tree(tmp_path)
+        write(tmp_path, '"""Another."""\n\n\ndef g(x):\n    return x\n',
+              filename="pkg/extra.py")
+        result = lint_paths([str(tmp_path / "pkg")], config=config,
+                            select=["R102"])
+        assert codes(result) == ["R102"]
+        assert "missing from docs/API.md" in \
+            result.violations[0].message
+
+    def test_absent_reference_skips_doc_sync(self, tmp_path):
+        config = _doc_sync_tree(tmp_path, doc_params="matrix, k")
+        (tmp_path / "docs" / "API.md").unlink()
+        result = lint_paths([str(tmp_path / "pkg")], config=config,
+                            select=["R102"])
+        assert codes(result) == []
+
+
+class TestAutofix:
+    def fix_file(self, tmp_path, source, *, filename="mod.py",
+                 config=None):
+        path = write(tmp_path, source, filename=filename)
+        cfg = config if config is not None else Config(root=tmp_path)
+        result = fix_paths([str(path)], cfg)
+        return path, result
+
+    def test_mutable_default_fix_and_guard(self, tmp_path):
+        path = write(tmp_path, '''\
+            def collect(item, acc=[]):
+                """Doc."""
+                acc.append(item)
+                return acc
+            ''')
+        result = fix_paths([str(path)], Config(root=tmp_path),
+                           ["R003"])
+        fixed = path.read_text()
+        assert "acc=None" in fixed
+        assert "if acc is None:" in fixed
+        assert "acc = []" in fixed
+        assert result.total == 2  # default rewrite + guard block
+        # Behaviour: fresh list per call (the bug the fix removes).
+        namespace = {}
+        exec(compile(fixed, str(path), "exec"), namespace)
+        assert namespace["collect"](1) == [1]
+        assert namespace["collect"](2) == [2]
+
+    def test_bare_except_narrowed(self, tmp_path):
+        path, _ = self.fix_file(tmp_path, """\
+            try:
+                x = 1
+            except:
+                x = 2
+            """)
+        assert "except Exception:" in path.read_text()
+
+    def test_axis_fix_appends_axis_none(self, tmp_path):
+        path, _ = self.fix_file(tmp_path, """\
+            import numpy as np
+            A = np.zeros((4, 7))
+            total = A.sum()
+            mean = np.mean(A)
+            """)
+        fixed = path.read_text()
+        assert "A.sum(axis=None)" in fixed
+        assert "np.mean(A, axis=None)" in fixed
+
+    def test_dunder_all_ghosts_and_duplicates_dropped(self, tmp_path):
+        path, _ = self.fix_file(tmp_path, '''\
+            """Doc."""
+
+            __all__ = ["f", "ghost", "f"]
+
+
+            def f():
+                return 1
+            ''')
+        assert '__all__ = ["f"]' in path.read_text()
+
+    def test_missing_dunder_all_declared(self, tmp_path):
+        path, _ = self.fix_file(tmp_path, '''\
+            """Doc."""
+
+            import json
+
+
+            def solve():
+                return json.dumps({})
+
+
+            class Box:
+                pass
+            ''')
+        assert '__all__ = ["Box", "solve"]' in path.read_text()
+
+    def test_fix_twice_is_a_noop(self, tmp_path):
+        path, first = self.fix_file(tmp_path, '''\
+            import numpy as np
+
+            __all__ = ["run", "stale"]
+
+
+            def run(out=[]):
+                """Doc."""
+                A = np.zeros((2, 3))
+                try:
+                    out.append(A.sum())
+                except:
+                    pass
+                return out
+            ''')
+        assert first.total > 0
+        once = path.read_text()
+        ast.parse(once)  # still valid python
+        second = fix_paths([str(path)], Config(root=tmp_path))
+        assert second.total == 0
+        assert path.read_text() == once
+
+    def test_suppressed_line_not_fixed(self, tmp_path):
+        path = write(tmp_path, textwrap.dedent("""\
+            try:
+                x = 1
+            except:  # reprolint: disable=R005 intentional catch-all
+                x = 2
+            """))
+        result = fix_paths([str(path)], Config(root=tmp_path),
+                           ["R005"])
+        assert result.total == 0
+        assert "except:" in path.read_text()
+
+    def test_check_mode_leaves_tree_untouched(self, tmp_path):
+        path = write(tmp_path, "def f(acc=[]):\n    return acc\n")
+        before = path.read_text()
+        result = fix_paths([str(path)], Config(root=tmp_path),
+                           check=True)
+        assert result.total > 0
+        assert path.read_text() == before
+
+    def test_cli_fix_check_exit_codes(self, tmp_path):
+        write(tmp_path, "[tool.reprolint]\n", filename="pyproject.toml")
+        dirty = write(tmp_path, "def f(acc=[]):\n    return acc\n")
+        pyproject = str(tmp_path / "pyproject.toml")
+        assert reprolint_main(["--config", pyproject, "--fix",
+                               "--check", "--select", "R003",
+                               str(dirty)]) == 1
+        assert reprolint_main(["--config", pyproject, "--fix",
+                               "--select", "R003", str(dirty)]) == 0
+        assert reprolint_main(["--config", pyproject, "--fix",
+                               "--check", "--select", "R003",
+                               str(dirty)]) == 0
+
+    def test_check_without_fix_is_usage_error(self, tmp_path):
+        write(tmp_path, "[tool.reprolint]\n", filename="pyproject.toml")
+        target = write(tmp_path, "x = 1\n")
+        assert reprolint_main(["--config",
+                               str(tmp_path / "pyproject.toml"),
+                               "--check", str(target)]) == 2
+
+    def test_compute_fixes_apply_fixes_roundtrip(self, tmp_path):
+        source = "def f(p={}):\n    return p\n"
+        ctx = make_ctx(tmp_path, source)
+        fixes = compute_fixes(source, ctx)
+        fixed = apply_fixes(source, fixes)
+        assert "p=None" in fixed
+        ast.parse(fixed)
+
+
+class TestIncrementalCache:
+    def _tree(self, tmp_path):
+        write(tmp_path, """\
+            import numpy as np
+            A = np.zeros((4, 7))
+            bad = A.T @ A.T
+            """, filename="pkg/a.py")
+        write(tmp_path, "x = 1\n", filename="pkg/b.py")
+        return Config(root=tmp_path), tmp_path / "cache.json"
+
+    def test_warm_run_replays_all_files(self, tmp_path):
+        config, cache = self._tree(tmp_path)
+        cold = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R100"], cache=str(cache))
+        warm = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R100"], cache=str(cache))
+        assert cold.cache_hits == 0 and cold.cache_misses == 2
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert codes(cold) == codes(warm) == ["R100"]
+        assert [v.render() for v in cold.violations] == \
+            [v.render() for v in warm.violations]
+
+    def test_content_change_invalidates_only_that_file(self, tmp_path):
+        config, cache = self._tree(tmp_path)
+        lint_paths([str(tmp_path / "pkg")], config=config,
+                   select=["R100"], cache=str(cache))
+        (tmp_path / "pkg" / "a.py").write_text(
+            "import numpy as np\nA = np.zeros((4, 7))\nok = A.T @ A\n")
+        warm = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R100"], cache=str(cache))
+        assert warm.cache_hits == 1 and warm.cache_misses == 1
+        assert codes(warm) == []
+
+    def test_cycle_conclusions_cross_file_invalidation(self, tmp_path):
+        write(tmp_path, "", filename="pkg/__init__.py")
+        write(tmp_path, "from pkg import b\n", filename="pkg/a.py")
+        write(tmp_path, "from pkg import a\n", filename="pkg/b.py")
+        config = Config(root=tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R007"], cache=str(cache))
+        assert codes(cold) == ["R007"]
+        # Break the cycle by editing only b.py; a.py replays from the
+        # cache yet the R007 conclusion about it is refreshed.
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        warm = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R007"], cache=str(cache))
+        assert warm.cache_hits == 2 and warm.cache_misses == 1
+        assert codes(warm) == []
+
+    def test_doc_sync_recomputed_from_cached_summaries(self, tmp_path):
+        config = _doc_sync_tree(tmp_path, doc_params="matrix, k")
+        cache = tmp_path / "cache.json"
+        cold = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R102"], cache=str(cache))
+        assert codes(cold) == ["R102"]
+        # Fix only the reference document — no .py file changes, every
+        # record replays, and the project pass still reconverges.
+        api = tmp_path / "docs" / "API.md"
+        api.write_text(api.read_text().replace("matrix, k",
+                                               "matrix, rank"))
+        warm = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R102"], cache=str(cache))
+        assert warm.cache_misses == 0
+        assert codes(warm) == []
+
+    def test_corrupt_cache_fails_open(self, tmp_path):
+        config, cache = self._tree(tmp_path)
+        lint_paths([str(tmp_path / "pkg")], config=config,
+                   select=["R100"], cache=str(cache))
+        cache.write_text("{not json")
+        result = lint_paths([str(tmp_path / "pkg")], config=config,
+                            select=["R100"], cache=str(cache))
+        assert result.cache_hits == 0
+        assert codes(result) == ["R100"]
+
+    def test_selection_change_invalidates_cache(self, tmp_path):
+        config, cache = self._tree(tmp_path)
+        lint_paths([str(tmp_path / "pkg")], config=config,
+                   select=["R100"], cache=str(cache))
+        result = lint_paths([str(tmp_path / "pkg")], config=config,
+                            select=["R100", "R002"], cache=str(cache))
+        assert result.cache_hits == 0
+
+    def test_suppressions_apply_on_cache_replay(self, tmp_path):
+        write(tmp_path, """\
+            import numpy as np
+            A = np.zeros((4, 7))
+            bad = A.T @ A.T  # reprolint: disable=R100 proven offline
+            """, filename="pkg/a.py")
+        config = Config(root=tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R100"], cache=str(cache))
+        warm = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R100"], cache=str(cache))
+        assert codes(cold) == codes(warm) == []
+        assert warm.cache_hits == 1
+
+    def test_record_json_roundtrip(self, tmp_path):
+        config, cache = self._tree(tmp_path)
+        fingerprint = engine_fingerprint(config, frozenset({"R100"}))
+        lint_paths([str(tmp_path / "pkg")], config=config,
+                   select=["R100"], cache=str(cache))
+        records = load_cache(cache, fingerprint)
+        assert set(records) == {"pkg/a.py", "pkg/b.py"}
+        record = records["pkg/a.py"]
+        assert isinstance(record, FileRecord)
+        store_cache(cache, fingerprint, records)
+        assert load_cache(cache, fingerprint).keys() == records.keys()
+
+
+class TestMultiprocessFanOut:
+    def test_jobs_match_serial_results(self, tmp_path):
+        for index in range(6):
+            write(tmp_path,
+                  "import numpy as np\n"
+                  f"A{index} = np.zeros((3, {index + 2}))\n"
+                  f"bad{index} = A{index} @ A{index}\n",
+                  filename=f"pkg/m{index}.py")
+        config = Config(root=tmp_path)
+        serial = lint_paths([str(tmp_path / "pkg")], config=config,
+                            select=["R100"], jobs=1)
+        fanned = lint_paths([str(tmp_path / "pkg")], config=config,
+                            select=["R100"], jobs=2)
+        assert [v.render() for v in serial.violations] == \
+            [v.render() for v in fanned.violations]
+        assert serial.files_checked == fanned.files_checked == 6
+
+    def test_jobs_zero_means_auto(self, tmp_path):
+        write(tmp_path, "x = 1\n", filename="pkg/a.py")
+        write(tmp_path, "y = 2\n", filename="pkg/b.py")
+        result = lint_paths([str(tmp_path / "pkg")],
+                            config=Config(root=tmp_path),
+                            select=["R002"], jobs=0)
+        assert result.files_checked == 2
+        assert codes(result) == []
+
+
+class TestSarifReporter:
+    def _result(self, tmp_path):
+        return lint_source(tmp_path, """\
+            import numpy as np
+            A = np.zeros((4, 7))
+            bad = A.T @ A.T
+            total = A.sum()
+            """, select=["R100"])
+
+    def test_sarif_document_structure(self, tmp_path):
+        document = json.loads(render_sarif(self._result(tmp_path)))
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert [rule["id"] for rule in driver["rules"]] == ["R100"]
+        assert len(run["results"]) == 2
+        first = run["results"][0]
+        assert first["ruleId"] == "R100"
+        assert first["level"] == "error"
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "mod.py"
+        assert location["region"]["startLine"] == 3
+        assert location["region"]["startColumn"] >= 1
+
+    def test_sarif_clean_run_has_empty_results(self, tmp_path):
+        result = lint_source(tmp_path, "x = 1\n", select=["R002"])
+        document = json.loads(render_sarif(result))
+        assert document["runs"][0]["results"] == []
+        assert document["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_cli_emits_sarif(self, tmp_path, capsys):
+        write(tmp_path, "[tool.reprolint]\n", filename="pyproject.toml")
+        target = write(tmp_path, "x = 1 == 1.0\n")
+        code = reprolint_main(["--config",
+                               str(tmp_path / "pyproject.toml"),
+                               "--format", "sarif", "--select",
+                               "R002", str(target)])
+        document = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert document["runs"][0]["results"][0]["ruleId"] == "R002"
+
+
+class TestGitHubReporter:
+    def test_annotation_lines(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            import numpy as np
+            A = np.zeros((4, 7))
+            bad = A.T @ A.T
+            """, select=["R100"])
+        output = render_github(result)
+        lines = output.splitlines()
+        assert lines[0].startswith("::error file=mod.py,line=3,col=")
+        assert "R100" in lines[0]
+        assert lines[-1].startswith("::notice::reprolint: 1 violation")
+
+    def test_clean_run_emits_only_notice(self, tmp_path):
+        result = lint_source(tmp_path, "x = 1\n", select=["R002"])
+        assert render_github(result) == \
+            "::notice::reprolint: 0 violations in 1 file(s) checked"
+
+    def test_message_newlines_escaped(self):
+        from tools.reprolint.engine import LintResult
+        from tools.reprolint.violations import Violation
+        result = LintResult(violations=(Violation(
+            path="a.py", line=1, col=0, rule="R002",
+            message="line one\nline two"),), files_checked=1)
+        line = render_github(result).splitlines()[0]
+        assert "%0A" in line and "\n" not in line
+
+
+class TestSeededMutationChecks:
+    """The acceptance-criteria mutation probes, run against copies of
+    the real source files with the real path layout."""
+
+    def _config(self, tmp_path):
+        return Config(
+            root=tmp_path,
+            r001_allow=("src/repro/utils/rng.py",),
+            r100_scope=("src/repro/core", "src/repro/linalg",
+                        "src/repro/serving", "src/repro/ir"))
+
+    def _copy(self, tmp_path, rel):
+        source = (REPO_ROOT / rel).read_text()
+        return write(tmp_path, source, filename=rel), source
+
+    def test_transposed_matmul_in_lsi_yields_one_r100(self, tmp_path):
+        path, source = self._copy(tmp_path, "src/repro/core/lsi.py")
+        path.write_text(source
+                        + "\n_SHAPE_PROBE = np.zeros((4, 7))\n"
+                          "_SHAPE_BAD = _SHAPE_PROBE.T @ "
+                          "_SHAPE_PROBE.T\n")
+        result = lint_paths([str(path)], config=self._config(tmp_path))
+        flagged = [v for v in result.violations]
+        assert [v.rule for v in flagged] == ["R100"]
+        assert "inner dimensions conflict" in flagged[0].message
+
+    def test_unseeded_rng_in_writer_yields_one_r101(self, tmp_path):
+        path, source = self._copy(tmp_path,
+                                  "src/repro/serving/writer.py")
+        path.write_text(source
+                        + "\n\ndef _entropy_probe():\n"
+                          "    return np.random.default_rng()\n")
+        result = lint_paths([str(path)], config=self._config(tmp_path))
+        flagged = [v for v in result.violations]
+        assert [v.rule for v in flagged] == ["R101"]
+        assert "OS entropy" in flagged[0].message
+
+    def test_unmutated_copies_lint_clean(self, tmp_path):
+        lsi, _ = self._copy(tmp_path, "src/repro/core/lsi.py")
+        writer, _ = self._copy(tmp_path, "src/repro/serving/writer.py")
+        result = lint_paths([str(lsi), str(writer)],
+                            config=self._config(tmp_path))
+        assert codes(result) == []

@@ -23,18 +23,29 @@ R005   Bare or overbroad ``except`` clauses that swallow exceptions.
 R006   ``__all__`` consistency: every public module declares
        ``__all__`` and every exported name exists.
 R007   Import cycles between modules of the linted package.
+R100   Shape flow: symbolic ndarray shapes through ``@`` / ``np.dot``
+       / SVD factors; provably incompatible matmuls and axis-less
+       reductions on 2-D arrays (scoped via ``r100-scope``).
+R101   RNG provenance: raw ``default_rng`` / ``Generator``
+       construction, the same seed normalised twice in a scope, and
+       module-level shared generators.
+R102   Contract drift: docstring ``Args`` vs signatures, Retriever
+       protocol conformance, and source vs ``docs/API.md``.
 =====  ==============================================================
 
 Violations are suppressed per line with ``# reprolint: disable=Rxxx``
 and configured through the ``[tool.reprolint]`` table of
 ``pyproject.toml``.  Run as ``python -m tools.reprolint src/repro`` or
-through the packaged CLI as ``repro lint``.
+through the packaged CLI as ``repro lint``.  ``--fix`` applies the
+safe, idempotent autofixes (R003/R005/R006/R100); ``--cache`` enables
+the content-hash incremental cache; ``--format sarif``/``github``
+target CI surfaces.
 """
 
 from tools.reprolint.config import Config, load_config
 from tools.reprolint.engine import LintResult, Violation, lint_paths
+from tools.reprolint.registry import RULES
 from tools.reprolint.reporters import render_json, render_text
-from tools.reprolint.rules import RULES
 
 __all__ = [
     "Config",

@@ -12,11 +12,21 @@ import argparse
 import sys
 from pathlib import Path
 
+from tools.reprolint.cache import default_cache_path
 from tools.reprolint.config import (ALL_RULE_CODES, ConfigError,
                                     load_config)
 from tools.reprolint.engine import lint_paths
-from tools.reprolint.reporters import render_json, render_text
-from tools.reprolint.rules import RULES
+from tools.reprolint.fixes import fix_paths
+from tools.reprolint.registry import RULES
+from tools.reprolint.reporters import (render_github, render_json,
+                                       render_sarif, render_text)
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+    "github": render_github,
+}
 
 __all__ = ["build_parser", "main"]
 
@@ -34,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint "
                              f"(default: {DEFAULT_TARGET})")
-    parser.add_argument("--format", "-f", choices=("text", "json"),
+    parser.add_argument("--format", "-f",
+                        choices=("text", "json", "sarif", "github"),
                         default="text", dest="format",
                         help="report format (default: text)")
     parser.add_argument("--select", default=None, metavar="Rxxx,...",
@@ -45,6 +56,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "[tool.reprolint] from")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply the safe autofixes (R003/R005/"
+                             "R006/R100) before linting")
+    parser.add_argument("--check", action="store_true",
+                        help="with --fix: report what would change "
+                             "without writing; exit 1 if anything "
+                             "would")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse the incremental cache "
+                             "(.reprolint-cache.json at the project "
+                             "root)")
+    parser.add_argument("--cache-file", default=None, metavar="PATH",
+                        help="explicit cache location (implies "
+                             "--cache)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        metavar="N",
+                        help="analyse files across N processes "
+                             "(0 = one per CPU; default 1)")
     return parser
 
 
@@ -81,9 +110,27 @@ def main(argv=None) -> int:
         print(f"reprolint: no such path: {', '.join(missing)}",
               file=sys.stderr)
         return 2
-    result = lint_paths(paths, config=config, select=select)
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(result))
+    if args.check and not args.fix:
+        print("reprolint: --check requires --fix", file=sys.stderr)
+        return 2
+    if args.fix:
+        fixed = fix_paths(paths, config, select, check=args.check)
+        for description in fixed.descriptions:
+            print(("would fix: " if args.check else "fixed: ")
+                  + description)
+        if args.check:
+            if fixed.total:
+                print(f"reprolint: {fixed.total} fix(es) pending; "
+                      "run --fix")
+                return 1
+            print("reprolint: tree is fix-clean")
+            return 0
+    cache = None
+    if args.cache or args.cache_file:
+        cache = args.cache_file or default_cache_path(config.root)
+    result = lint_paths(paths, config=config, select=select,
+                        cache=cache, jobs=args.jobs)
+    print(_RENDERERS[args.format](result))
     return result.exit_code
 
 

@@ -8,6 +8,9 @@ The table is intentionally small::
     r001-allow = ["src/repro/utils/rng.py"]
     r004-allow = ["src/repro/linalg"]
     r006-exempt = ["src/repro/conftest.py"]
+    r100-scope = ["src/repro/core", "src/repro/linalg"]
+    r101-allow = ["src/repro/utils/rng.py"]
+    r102-exempt = ["src/repro/experiments"]
 
 Keys may be spelled with dashes or underscores.  Path entries are
 interpreted relative to the project root (the directory holding
@@ -32,10 +35,11 @@ except ImportError:  # pragma: no cover - exercised only on 3.10
 __all__ = ["Config", "ConfigError", "find_pyproject", "load_config"]
 
 #: Every rule code reprolint knows about, in catalogue order.
-ALL_RULE_CODES = ("R001", "R002", "R003", "R004", "R005", "R006", "R007")
+ALL_RULE_CODES = ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
+                  "R100", "R101", "R102")
 
 _LIST_KEYS = ("select", "exclude", "r001_allow", "r004_allow",
-              "r006_exempt")
+              "r006_exempt", "r100_scope", "r101_allow", "r102_exempt")
 
 
 class ConfigError(ValueError):
@@ -58,6 +62,13 @@ class Config:
     r004_allow: tuple = ()
     #: Public modules not required to declare ``__all__``.
     r006_exempt: tuple = ()
+    #: Paths where R100 shape-flow runs (empty = everywhere linted).
+    r100_scope: tuple = ()
+    #: Files where raw Generator construction is sanctioned (R101);
+    #: r001_allow entries are honoured implicitly.
+    r101_allow: tuple = ()
+    #: Modules exempt from R102 contract-drift checks.
+    r102_exempt: tuple = ()
 
     def relative(self, path) -> str:
         """``path`` as a posix string relative to the project root."""

@@ -1,0 +1,361 @@
+"""R102: API-contract drift — signatures vs docstrings vs docs/API.md.
+
+The repo's public surface is triple-recorded: the signature itself, the
+Google-style ``Args:`` section of its docstring, and the generated
+reference ``docs/API.md``.  Theorems don't care, but users do — a
+parameter documented under a stale name, or a reference page showing a
+signature that no longer exists, is contract drift that review never
+sees because nothing *breaks*.
+
+R102 has two halves:
+
+- a **per-file half** (this rule's ``check``): every ``Args:`` entry in
+  a public function/method docstring must name a real parameter (class
+  docstrings are checked against ``__init__``), and every class that
+  structurally *looks like* a retrieval engine (defines both ``score``
+  and ``rank_documents``) must actually satisfy the
+  :class:`repro.ir.retriever.Retriever` protocol surface —
+  ``n_documents`` defined and ``rank_documents(..., *, top_k=None)``;
+- a **project half** (:func:`check_api_docs`, run by the engine once
+  per lint with every file's extracted contract summary): each linted
+  module's top-level public classes/functions must agree with its
+  ``docs/API.md`` section — same member names, same parameter-name
+  lists — so the generated reference cannot silently go stale.
+
+The per-file half extracts a JSON-able *contract summary*
+(:func:`extract_contracts`) that the incremental cache persists; the
+project half consumes summaries only, which is what makes warm runs
+cheap and cross-file invalidation automatic (a changed file refreshes
+its summary; a changed ``docs/API.md`` is re-read every run).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.reprolint.rules import ModuleContext, Rule
+from tools.reprolint.violations import Violation
+
+__all__ = [
+    "ContractDrift",
+    "check_api_docs",
+    "extract_contracts",
+    "parse_api_doc",
+    "parse_docstring_args",
+]
+
+#: ``Args:``-style section headers that terminate an Args block.
+_SECTION = re.compile(
+    r"^(Args|Arguments|Returns|Yields|Raises|Attributes|Example"
+    r"s?|Notes?|Warns|See Also)\s*:\s*$")
+
+#: One documented parameter: ``name:`` or ``name (type):``.
+_ARG_ENTRY = re.compile(
+    r"^(?P<stars>\*{0,2})(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(\s*\([^)]*\))?\s*:")
+
+#: docs/API.md structure markers.
+_DOC_MODULE = re.compile(r"^## `(?P<module>[\w.]+)`$")
+_DOC_CLASS = re.compile(r"^### class `(?P<name>\w+)`$")
+_DOC_FUNCTION = re.compile(
+    r"^### `(?P<name>\w+)\((?P<params>.*?)\)(?: -> .+)?`$")
+_DOC_METHOD = re.compile(
+    r"^- `(?P<name>\w+)(?:\((?P<params>.*?)\)(?: -> .+?)?)?`"
+    r"(?P<property> \(property\))? — ")
+
+
+def parse_docstring_args(docstring: "str | None") -> list:
+    """Parameter names documented in a Google-style ``Args:`` section."""
+    if not docstring:
+        return []
+    lines = docstring.splitlines()
+    names: list = []
+    in_args = False
+    entry_indent = None
+    for line in lines:
+        stripped = line.strip()
+        if _SECTION.match(stripped):
+            in_args = stripped.split(":")[0] in ("Args", "Arguments")
+            entry_indent = None
+            continue
+        if not in_args or not stripped:
+            continue
+        indent = len(line) - len(line.lstrip())
+        if entry_indent is None:
+            entry_indent = indent
+        if indent > entry_indent:
+            continue  # continuation line of the previous entry
+        if indent < entry_indent:
+            in_args = False
+            continue
+        match = _ARG_ENTRY.match(stripped)
+        if match:
+            names.append(match["name"])
+    return names
+
+
+def _parameter_names(args: ast.arguments) -> list:
+    """Every parameter name of a signature, in declaration order."""
+    names = [a.arg for a in args.posonlyargs]
+    names += [a.arg for a in args.args]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    names += [a.arg for a in args.kwonlyargs]
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _split_signature_params(text: str) -> list:
+    """Parameter names from a rendered ``(a, b=1, *, c: T = x)`` body."""
+    names: list = []
+    depth = 0
+    current = ""
+    pieces: list = []
+    for char in text:
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            pieces.append(current)
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        pieces.append(current)
+    for piece in pieces:
+        token = piece.strip()
+        if token in ("*", "/", ""):
+            continue
+        token = token.lstrip("*")
+        token = re.split(r"[:=]", token, maxsplit=1)[0].strip()
+        if token:
+            names.append(token)
+    return names
+
+
+def parse_api_doc(text: str) -> dict:
+    """docs/API.md → ``{module: {classes: {...}, functions: {...}}}``.
+
+    ``functions`` maps a name to its documented parameter-name list;
+    ``classes`` maps a class name to ``{method: params-or-None}`` where
+    ``None`` marks a property (no signature documented).
+    """
+    modules: dict = {}
+    current_module = None
+    current_class = None
+    for line in text.splitlines():
+        module_match = _DOC_MODULE.match(line)
+        if module_match:
+            current_module = modules.setdefault(
+                module_match["module"],
+                {"classes": {}, "functions": {}})
+            current_class = None
+            continue
+        if current_module is None:
+            continue
+        class_match = _DOC_CLASS.match(line)
+        if class_match:
+            current_class = current_module["classes"].setdefault(
+                class_match["name"], {})
+            continue
+        function_match = _DOC_FUNCTION.match(line)
+        if function_match:
+            current_module["functions"][function_match["name"]] = \
+                _split_signature_params(function_match["params"])
+            current_class = None
+            continue
+        if current_class is not None:
+            method_match = _DOC_METHOD.match(line)
+            if method_match:
+                params = method_match["params"]
+                current_class[method_match["name"]] = \
+                    None if method_match["property"] is not None \
+                    else _split_signature_params(params or "")
+    return modules
+
+
+class ContractDrift(Rule):
+    """R102 (per-file half): docstring Args drift + Retriever surface."""
+
+    code = "R102"
+    summary = ("contract drift: docstring Args vs signature, "
+               "Retriever conformance, docs/API.md sync")
+
+    def check(self, ctx: ModuleContext):
+        if ctx.config.path_matches(
+                ctx.abspath, getattr(ctx.config, "r102_exempt", ())):
+            return
+        if not ctx.is_public_module:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_docstring(
+                    ctx, node, ast.get_docstring(node), node.args,
+                    node.name)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_docstring(self, ctx, anchor, docstring, args, label):
+        if label.startswith("_") and label != "__init__":
+            return
+        documented = parse_docstring_args(docstring)
+        actual = set(_parameter_names(args))
+        for name in documented:
+            if name not in actual:
+                yield self.violation(
+                    ctx, anchor,
+                    f"docstring of {label}() documents parameter "
+                    f"{name!r} which is not in the signature "
+                    f"({', '.join(sorted(actual)) or 'no parameters'})"
+                    "; the docs drifted from the code")
+
+    def _check_class(self, ctx, node: ast.ClassDef):
+        methods = {child.name: child for child in node.body
+                   if isinstance(child, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))}
+        init = methods.get("__init__")
+        if init is not None and not node.name.startswith("_"):
+            yield from self._check_docstring(
+                ctx, node, ast.get_docstring(node), init.args,
+                node.name)
+        if "score" in methods and "rank_documents" in methods:
+            yield from self._check_retriever(ctx, node, methods)
+
+    def _check_retriever(self, ctx, node, methods):
+        if "n_documents" not in methods:
+            yield self.violation(
+                ctx, node,
+                f"class {node.name} looks like a retrieval engine "
+                "(defines score and rank_documents) but lacks "
+                "n_documents; it cannot satisfy the Retriever "
+                "protocol of repro.ir.retriever")
+        rank = methods["rank_documents"]
+        kwonly = {a.arg: default for a, default
+                  in zip(rank.args.kwonlyargs, rank.args.kw_defaults)}
+        if "top_k" not in kwonly:
+            yield self.violation(
+                ctx, rank,
+                f"{node.name}.rank_documents must take keyword-only "
+                "top_k=None (the shared check_top_k policy every "
+                "Retriever follows); found "
+                f"({', '.join(_parameter_names(rank.args))})")
+        else:
+            default = kwonly["top_k"]
+            if not (isinstance(default, ast.Constant)
+                    and default.value is None):
+                yield self.violation(
+                    ctx, rank,
+                    f"{node.name}.rank_documents top_k default must "
+                    "be None (= full ranking) to match the Retriever "
+                    "protocol")
+
+
+def extract_contracts(tree: ast.Module) -> dict:
+    """JSON-able summary of a module's top-level public surface.
+
+    ``{"classes": {name: {"line": n, "methods": {m: [params...]},
+    "properties": [names...]}}, "functions": {name: {"line": n,
+    "params": [...]}}}`` — exactly what :func:`check_api_docs` needs,
+    so the cache can persist it and skip re-parsing unchanged files.
+    """
+    classes: dict = {}
+    functions: dict = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith("_") or node.decorator_list:
+                # Decorated functions may be wrapped into non-function
+                # objects the doc generator skips; stay conservative.
+                continue
+            functions[node.name] = {
+                "line": node.lineno,
+                "params": _parameter_names(node.args),
+            }
+        elif isinstance(node, ast.ClassDef) \
+                and not node.name.startswith("_"):
+            methods: dict = {}
+            properties: list = []
+            for child in node.body:
+                if not isinstance(child, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                    continue
+                if child.name.startswith("_"):
+                    continue
+                decorators = {d.id if isinstance(d, ast.Name)
+                              else getattr(d, "attr", None)
+                              for d in child.decorator_list}
+                if "property" in decorators \
+                        or "cached_property" in decorators \
+                        or decorators & {"setter", "getter", "deleter"}:
+                    properties.append(child.name)
+                elif decorators <= {"classmethod", "staticmethod",
+                                    "abstractmethod"}:
+                    methods[child.name] = _parameter_names(child.args)
+                # Other decorators may wrap the method into something
+                # the doc generator skips; stay conservative.
+            classes[node.name] = {
+                "line": node.lineno,
+                "methods": methods,
+                "properties": sorted(properties),
+            }
+    return {"classes": classes, "functions": functions}
+
+
+def check_api_docs(contracts_by_module: dict, api_doc: dict,
+                   paths_by_module: dict) -> list:
+    """R102 project half: module contracts vs the parsed docs/API.md.
+
+    ``contracts_by_module`` maps a dotted module name to its extracted
+    contract summary, ``api_doc`` is :func:`parse_api_doc` output, and
+    ``paths_by_module`` maps dotted names back to root-relative paths
+    for violation anchoring.  Modules absent from the reference are
+    flagged once; documented members are checked name-by-name and
+    parameter-list-by-parameter-list.
+    """
+    violations: list = []
+
+    def flag(module, line, message):
+        violations.append(Violation(
+            path=paths_by_module[module], line=line, col=0,
+            rule="R102", message=message))
+
+    regen = ("; regenerate the reference (python tools/gen_api_docs.py)"
+             " or fix the source")
+    for module, contracts in sorted(contracts_by_module.items()):
+        documented = api_doc.get(module)
+        if documented is None:
+            flag(module, 1,
+                 f"module {module} is missing from docs/API.md{regen}")
+            continue
+        for name, info in sorted(contracts["functions"].items()):
+            doc_params = documented["functions"].get(name)
+            if doc_params is None:
+                flag(module, info["line"],
+                     f"function {module}.{name} is not documented in "
+                     f"docs/API.md{regen}")
+            elif doc_params != info["params"]:
+                flag(module, info["line"],
+                     f"docs/API.md documents {module}.{name}"
+                     f"({', '.join(doc_params)}) but the signature is "
+                     f"({', '.join(info['params'])}){regen}")
+        for class_name, spec in sorted(contracts["classes"].items()):
+            doc_class = documented["classes"].get(class_name)
+            if doc_class is None:
+                flag(module, spec["line"],
+                     f"class {module}.{class_name} is not documented "
+                     f"in docs/API.md{regen}")
+                continue
+            for method, params in sorted(spec["methods"].items()):
+                doc_params = doc_class.get(method)
+                if doc_params is None:
+                    flag(module, spec["line"],
+                         f"method {module}.{class_name}.{method} is "
+                         f"not documented in docs/API.md{regen}")
+                elif doc_params != params:
+                    flag(module, spec["line"],
+                         f"docs/API.md documents {module}.{class_name}"
+                         f".{method}({', '.join(doc_params)}) but the "
+                         f"signature is ({', '.join(params)}){regen}")
+    return violations

@@ -17,7 +17,35 @@ import ast
 from tools.reprolint.rules import AllConsistency
 from tools.reprolint.violations import Violation
 
-__all__ = ["check_cycles"]
+__all__ = ["check_cycles", "extract_import_records", "module_name_for"]
+
+
+def extract_import_records(tree) -> list:
+    """JSON-able module-level import records for one parsed module.
+
+    The cycle check used to need every parsed tree in memory; splitting
+    extraction (per file, cacheable) from resolution (per run, against
+    the current known-module set) is what lets the incremental cache
+    skip re-parsing unchanged files while R007 still sees edges to
+    files that *did* change.
+    """
+    records = []
+    for node in AllConsistency._iter_toplevel(tree):
+        if isinstance(node, ast.Import):
+            records.append({
+                "kind": "import",
+                "names": [alias.name for alias in node.names],
+                "line": node.lineno,
+            })
+        elif isinstance(node, ast.ImportFrom):
+            records.append({
+                "kind": "from",
+                "module": node.module,
+                "level": node.level,
+                "names": [alias.name for alias in node.names],
+                "line": node.lineno,
+            })
+    return records
 
 
 def module_name_for(path_rel, package_roots) -> "str | None":
@@ -39,69 +67,68 @@ def module_name_for(path_rel, package_roots) -> "str | None":
     return None
 
 
-def _import_edges(module, tree, known_modules, is_package):
+def _import_edges(module, records, known_modules, is_package):
     """(target, line) pairs for module-level intra-package imports."""
     if is_package:
         package = module
     else:
         package = module.rsplit(".", 1)[0] if "." in module else module
     root = module.split(".", 1)[0]
-    for node in AllConsistency._iter_toplevel(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                name = alias.name
+    for record in records:
+        if record["kind"] == "import":
+            for name in record["names"]:
                 while name:
                     if name in known_modules:
-                        yield name, node.lineno
+                        yield name, record["line"]
                         break
                     name = name.rpartition(".")[0]
-        elif isinstance(node, ast.ImportFrom):
-            base = _resolve_import_base(node, module, package)
+        elif record["kind"] == "from":
+            base = _resolve_import_base(record, module, package)
             if base is None or not base.startswith(root):
                 continue
-            for alias in node.names:
-                candidate = f"{base}.{alias.name}"
+            for name in record["names"]:
+                candidate = f"{base}.{name}"
                 if candidate in known_modules:
-                    yield candidate, node.lineno
+                    yield candidate, record["line"]
                 elif base in known_modules and base != module:
-                    yield base, node.lineno
+                    yield base, record["line"]
 
 
-def _resolve_import_base(node, module, package) -> "str | None":
+def _resolve_import_base(record, module, package) -> "str | None":
     """The absolute module a ``from ... import`` pulls names from."""
-    if node.level == 0:
-        return node.module
+    if record["level"] == 0:
+        return record["module"]
     # Relative import: level 1 is the containing package (``package``
     # already accounts for __init__ modules); each extra level strips
     # one more component.
     parts = package.split(".")
-    if node.level > len(parts):
+    if record["level"] > len(parts):
         return None
-    base_parts = parts[:len(parts) - node.level + 1]
-    if node.module:
-        base_parts.append(node.module)
+    base_parts = parts[:len(parts) - record["level"] + 1]
+    if record["module"]:
+        base_parts.append(record["module"])
     return ".".join(base_parts)
 
 
-def check_cycles(modules, package_roots, config) -> list:
-    """R007 violations for the given parsed modules.
+def check_cycles(imports_by_path, package_roots) -> list:
+    """R007 violations for the given per-module import records.
 
-    ``modules`` maps a root-relative path to its parsed tree;
-    ``package_roots`` maps package names to their directories (see
-    :func:`module_name_for`).
+    ``imports_by_path`` maps a root-relative path to its
+    :func:`extract_import_records` output; ``package_roots`` maps
+    package names to their directories (see :func:`module_name_for`).
     """
     by_name, paths, packages = {}, {}, set()
-    for path_rel, tree in modules.items():
+    for path_rel, records in imports_by_path.items():
         name = module_name_for(path_rel, package_roots)
         if name is not None:
-            by_name[name] = tree
+            by_name[name] = records
             paths[name] = path_rel
             if path_rel.endswith("/__init__.py"):
                 packages.add(name)
     graph, edge_lines = {}, {}
-    for name, tree in by_name.items():
+    for name, records in by_name.items():
         targets = {}
-        for target, line in _import_edges(name, tree, by_name,
+        for target, line in _import_edges(name, records, by_name,
                                           name in packages):
             targets.setdefault(target, line)
         graph[name] = sorted(targets)

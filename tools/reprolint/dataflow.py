@@ -1,0 +1,337 @@
+"""The intra-module dataflow core, plus R101 (RNG provenance).
+
+reprolint v1 ran isolated per-node pattern rules; the rule families
+added in v2 (R100 shape-flow, R101 RNG provenance, R102 contract drift)
+need to know *where a value came from*.  This module provides the three
+shared building blocks:
+
+- :class:`ImportMap` — resolves a ``Name``/``Attribute`` expression to
+  the dotted origin it was imported from (``np.zeros`` →
+  ``numpy.zeros``, an aliased ``as_generator`` →
+  ``repro.utils.rng.as_generator``), honouring ``import``/``from``
+  aliases and relative imports;
+- :func:`iter_scopes` / :func:`flat_statements` — walk every analysis
+  scope (module body, each function) yielding its statements in source
+  order *without* descending into nested scopes, so a rule can run a
+  simple forward flow over assignments;
+- :func:`bound_names` — the names a (possibly destructuring) assignment
+  target binds.
+
+The flow model is deliberately approximate: statements are visited in
+textual order and branch bodies are folded in sequentially
+(last-write-wins).  That is unsound as program analysis and exactly
+right for lint — it never misses the straight-line case that dominates
+numerical code, and the rules built on it only flag when both operands
+of a conclusion are positively known.
+
+R101 (:class:`RNGProvenance`) lives here because it *is* the flow rule
+for generators: every ``numpy.random.Generator`` must enter a scope
+through :func:`repro.utils.rng.as_generator` /
+``spawn_generators`` — not be constructed ad hoc, not be re-derived
+from the same seed twice (two generators built from one int seed
+replay identical streams), and not live at module level where every
+caller shares (and races on) one hidden stream.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.rules import ModuleContext, Rule
+
+__all__ = [
+    "ImportMap",
+    "RNGProvenance",
+    "Scope",
+    "bound_names",
+    "flat_statements",
+    "iter_scopes",
+]
+
+#: Blessed constructors: values flowing out of these calls are
+#: disciplined generators (origin dotted names).
+RNG_FACTORY_ORIGINS = frozenset({
+    "repro.utils.rng.as_generator",
+    "repro.utils.rng.spawn_generators",
+})
+
+#: Raw generator constructors R101 forbids outside the RNG module.
+RAW_GENERATOR_ORIGINS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+})
+
+#: Statement types that open a new analysis scope (never descended).
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class ImportMap:
+    """Name → dotted-origin resolution for one module.
+
+    Built once from the module tree; ``resolve`` then maps an
+    expression like ``np.random.default_rng`` (an ``Attribute`` chain
+    rooted at an imported name) to the absolute dotted path it refers
+    to, or ``None`` for local names.
+
+    ``module_name`` (the importing module's own dotted name, when
+    known) lets relative ``from . import x`` forms resolve absolutely;
+    without it they resolve against a ``"."``-prefixed placeholder and
+    simply never match any absolute origin — a safe miss.
+    """
+
+    def __init__(self, tree: ast.Module,
+                 module_name: "str | None" = None):
+        self._names: dict = {}
+        package = None
+        if module_name is not None:
+            package = module_name.rsplit(".", 1)[0] \
+                if "." in module_name else module_name
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname \
+                        else alias.name.split(".")[0]
+                    self._names[bound] = origin
+            elif isinstance(node, ast.ImportFrom):
+                base = self._from_base(node, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self._names[alias.asname or alias.name] = \
+                        f"{base}.{alias.name}"
+
+    @staticmethod
+    def _from_base(node: ast.ImportFrom,
+                   package: "str | None") -> "str | None":
+        if node.level == 0:
+            return node.module
+        if package is None:
+            prefix = "." * node.level
+            return prefix + (node.module or "")
+        parts = package.split(".")
+        if node.level > len(parts):
+            return None
+        base = parts[:len(parts) - node.level + 1]
+        if node.module:
+            base.append(node.module)
+        return ".".join(base)
+
+    def resolve(self, node) -> "str | None":
+        """Dotted origin of a Name/Attribute expression, if imported."""
+        trailer: list = []
+        while isinstance(node, ast.Attribute):
+            trailer.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._names.get(node.id)
+        if root is None:
+            return None
+        return ".".join([root, *reversed(trailer)])
+
+
+class Scope:
+    """One analysis scope: a module body or a function body."""
+
+    def __init__(self, node, *, is_module: bool):
+        #: The owning ``ast`` node (``Module`` or a function def).
+        self.node = node
+        #: Whether this is the module's top-level scope.
+        self.is_module = is_module
+
+    @property
+    def statements(self) -> list:
+        """The scope's statements, flattened in source order."""
+        return list(flat_statements(self.node.body))
+
+
+def iter_scopes(tree: ast.Module):
+    """Yield the module scope, then every (nested) function scope.
+
+    Class bodies are not scopes of their own — their statements are
+    class-construction time code, which for lint purposes behaves like
+    module-level code of the class; methods inside them *are* scopes.
+    """
+    yield Scope(tree, is_module=True)
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield Scope(node, is_module=False)
+            stack = list(node.body) + stack
+        elif isinstance(node, ast.ClassDef):
+            stack = list(node.body) + stack
+        else:
+            stack = [child for child in ast.iter_child_nodes(node)
+                     if isinstance(child, ast.stmt)] + stack
+
+
+def flat_statements(body):
+    """Statements of ``body`` in source order, entering control flow.
+
+    Descends into ``if``/``for``/``while``/``with``/``try`` (and
+    ``match``) bodies sequentially, and into class bodies — which run
+    at definition time in the enclosing flow — but never into nested
+    function definitions, which are separate scopes.  The resulting
+    order folds all branches in, which for a forward last-write-wins
+    flow is the standard lint approximation.
+    """
+    stack = list(body)
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        nested: list = []
+        for _field, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                nested.extend(child for child in value
+                              if isinstance(child, ast.stmt))
+        if isinstance(node, ast.Try):
+            for handler in node.handlers:
+                nested.extend(handler.body)
+        stack = nested + stack
+
+
+def bound_names(target) -> set:
+    """Every plain name a (possibly destructuring) target binds."""
+    names: set = set()
+    stack = [target]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            stack.extend(node.elts)
+        elif isinstance(node, ast.Starred):
+            stack.append(node.value)
+    return names
+
+
+def _calls_in_statement(stmt):
+    """Every Call in the expressions belonging to one statement.
+
+    Child *statements* are excluded — :func:`flat_statements` already
+    yields those separately, and a nested function's body is a
+    different scope entirely.  Decorator and default-value expressions
+    (which execute in the enclosing flow) are included, as are lambda
+    bodies.
+    """
+    stack = [child for child in ast.iter_child_nodes(stmt)
+             if not isinstance(child, ast.stmt)]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(child for child in ast.iter_child_nodes(node)
+                     if not isinstance(child, ast.stmt))
+
+
+class RNGProvenance(Rule):
+    """R101: generators flow from ``repro.utils.rng`` — once per seed.
+
+    Three checks, all powered by the import map and scope walk:
+
+    1. **raw construction** — any call resolving to
+       ``numpy.random.default_rng`` or ``numpy.random.Generator``
+       outside the RNG module builds a stream whose provenance no
+       experiment controls (an *unseeded* one is additionally
+       irreproducible);
+    2. **double normalisation** — ``as_generator(seed)`` called twice
+       on the same seed symbol in one scope: when the seed is an int,
+       both generators replay the identical stream, silently
+       correlating draws that the paper's analysis needs independent;
+    3. **module-level generators** — a generator bound at module scope
+       is hidden shared state: every caller advances one stream, so
+       results depend on call order across the whole process (the
+       shared-generator race R001's call-site check cannot see).
+    """
+
+    code = "R101"
+    summary = ("Generator provenance: construct via repro.utils.rng, "
+               "normalise each seed once, no module-level generators")
+
+    def check(self, ctx: ModuleContext):
+        config = ctx.config
+        allow = tuple(getattr(config, "r001_allow", ())) \
+            + tuple(getattr(config, "r101_allow", ()))
+        if config.path_matches(ctx.abspath, allow):
+            return
+        imports = ImportMap(ctx.tree, getattr(ctx, "module_name", None))
+        for scope in iter_scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope, imports)
+
+    def _check_scope(self, ctx, scope, imports):
+        seen_seeds: dict = {}
+        for stmt in scope.statements:
+            for call in _calls_in_statement(stmt):
+                origin = imports.resolve(call.func)
+                if origin in RAW_GENERATOR_ORIGINS:
+                    yield self._raw_construction(ctx, call, origin)
+                elif origin == "repro.utils.rng.as_generator":
+                    yield from self._double_normalisation(
+                        ctx, call, seen_seeds)
+            if scope.is_module:
+                yield from self._module_level_generator(
+                    ctx, stmt, imports)
+
+    def _raw_construction(self, ctx, call, origin):
+        name = origin.rsplit(".", 1)[1]
+        if name == "default_rng" and not call.args \
+                and not call.keywords:
+            return self.violation(
+                ctx, call,
+                "unseeded np.random.default_rng() draws OS entropy — "
+                "the stream is irreproducible and outside every "
+                "experiment's control; accept a seed and normalise it "
+                "through repro.utils.rng.as_generator")
+        return self.violation(
+            ctx, call,
+            f"np.random.{name} constructed outside repro.utils.rng; "
+            "generators must enter through as_generator/"
+            "spawn_generators so seed normalisation stays uniform")
+
+    def _double_normalisation(self, ctx, call, seen_seeds):
+        if len(call.args) != 1 or call.keywords:
+            return
+        argument = call.args[0]
+        if isinstance(argument, ast.Name):
+            key = argument.id
+        elif isinstance(argument, ast.Constant) \
+                and isinstance(argument.value, int) \
+                and not isinstance(argument.value, bool):
+            key = repr(argument.value)
+        else:
+            return
+        first = seen_seeds.setdefault(key, call)
+        if first is not call:
+            yield self.violation(
+                ctx, call,
+                f"seed {key!r} normalised twice in this scope (first "
+                f"at line {first.lineno}): two generators built from "
+                "one int seed replay the same stream; normalise once "
+                "and thread the Generator through")
+
+    def _module_level_generator(self, ctx, stmt, imports):
+        value, targets = None, []
+        if isinstance(stmt, ast.Assign):
+            value, targets = stmt.value, stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value, targets = stmt.value, [stmt.target]
+        if not isinstance(value, ast.Call) or not targets:
+            return
+        origin = imports.resolve(value.func)
+        if origin not in RNG_FACTORY_ORIGINS \
+                and origin not in RAW_GENERATOR_ORIGINS:
+            return
+        names = sorted(set().union(*map(bound_names, targets)))
+        label = ", ".join(names) if names else "<anonymous>"
+        yield self.violation(
+            ctx, stmt,
+            f"module-level generator {label!r} is shared mutable state: "
+            "every caller advances one hidden stream, so results depend "
+            "on process-wide call order; create generators per call "
+            "from an explicit seed instead")

@@ -1,22 +1,42 @@
-"""The reprolint engine: file discovery, rule dispatch, suppressions.
+"""The reprolint engine: discovery, rule dispatch, caching, fan-out.
 
-The engine parses every target file once, runs the selected per-file
-rules (:mod:`tools.reprolint.rules`), runs the cross-file cycle rule
-(:mod:`tools.reprolint.cycles`) over the discovered packages, and
-filters the combined findings through per-line
-``# reprolint: disable=Rxxx`` directives before reporting.
+v2 turns the per-file pass into a pure function producing a replayable
+:class:`~tools.reprolint.cache.FileRecord` (violations + suppression
+table + import records + contract summary).  The engine then:
+
+1. discovers target files and computes their content hashes;
+2. replays records for unchanged files from the incremental cache
+   (``cache=``) and analyses the rest — serially or across processes
+   (``jobs=``);
+3. runs the project-level passes over the *assembled* records every
+   run: R007 import cycles (resolved against the current module set)
+   and R102 docs/API.md contract sync — which is how a change in one
+   file invalidates conclusions about files that did not change;
+4. dedupes shadowed findings (R101 subsumes R001 on the same line),
+   filters per-line ``# reprolint: disable=Rxxx`` suppressions, and
+   reports.
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
+import functools
+import os
 import re
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
+from tools.reprolint.cache import (FileRecord, content_hash,
+                                   engine_fingerprint, load_cache,
+                                   store_cache)
 from tools.reprolint.config import Config
-from tools.reprolint.cycles import check_cycles
-from tools.reprolint.rules import FILE_RULES, ModuleContext
+from tools.reprolint.contracts import (check_api_docs, extract_contracts,
+                                       parse_api_doc)
+from tools.reprolint.cycles import (check_cycles, extract_import_records,
+                                    module_name_for)
+from tools.reprolint.registry import FILE_RULES
+from tools.reprolint.rules import ModuleContext
 from tools.reprolint.violations import Violation
 
 __all__ = ["LintResult", "Violation", "lint_paths"]
@@ -37,6 +57,10 @@ class LintResult:
     violations: tuple
     #: Number of files parsed and checked.
     files_checked: int
+    #: Files replayed from the incremental cache (0 without ``cache=``).
+    cache_hits: int = 0
+    #: Files (re-)analysed this run.
+    cache_misses: int = 0
 
     @property
     def exit_code(self) -> int:
@@ -64,21 +88,21 @@ def _iter_python_files(paths, config: Config):
                 yield candidate
 
 
-def _suppressed_lines(source: str) -> dict:
-    """line number -> set of silenced codes (empty set = every code)."""
-    table = {}
+def _suppression_records(source: str) -> tuple:
+    """``((line, codes), ...)``; empty codes = every rule silenced."""
+    table = []
     for line_number, line in enumerate(source.splitlines(), start=1):
         match = _SUPPRESSION.search(line)
         if match is None:
             continue
-        codes = frozenset(code.upper()
-                          for code in _CODE.findall(match["codes"] or ""))
-        table[line_number] = codes
-    return table
+        codes = tuple(sorted({code.upper() for code
+                              in _CODE.findall(match["codes"] or "")}))
+        table.append((line_number, codes))
+    return tuple(table)
 
 
 def _package_roots(files, config: Config) -> dict:
-    """Root package name -> root-relative directory, for R007.
+    """Root package name -> root-relative directory, for R007/R102.
 
     A package root is a directory holding ``__init__.py`` whose parent
     does not; e.g. linting ``src/repro`` yields ``{"repro": "src/repro"}``.
@@ -94,46 +118,159 @@ def _package_roots(files, config: Config) -> dict:
     return roots
 
 
-def lint_paths(paths, config: "Config | None" = None,
-               select=None) -> LintResult:
+def _build_record(rel, abspath, source, digest, config, enabled,
+                  package_roots) -> FileRecord:
+    """Analyse one file: the pure per-file pass (cacheable, picklable)."""
+    suppressions = _suppression_records(source)
+    try:
+        tree = ast.parse(source, filename=str(abspath))
+    except (SyntaxError, ValueError) as error:
+        line = getattr(error, "lineno", None) or 1
+        return FileRecord(
+            path=rel, content_hash=digest,
+            violations=(Violation(path=rel, line=line, col=0,
+                                  rule="E999",
+                                  message=f"cannot lint file: {error}"),),
+            suppressions=suppressions, imports=(), contracts=None)
+    ctx = ModuleContext(path=rel, abspath=Path(abspath), tree=tree,
+                        config=config,
+                        module_name=module_name_for(rel, package_roots))
+    violations = []
+    for rule in FILE_RULES:
+        if rule.code in enabled:
+            violations.extend(rule.check(ctx))
+    return FileRecord(
+        path=rel, content_hash=digest,
+        violations=tuple(sorted(violations)),
+        suppressions=suppressions,
+        imports=tuple(extract_import_records(tree)),
+        contracts=extract_contracts(tree) if ctx.is_public_module
+        else None)
+
+
+def _record_task(task, config, enabled, package_roots) -> FileRecord:
+    """Top-level worker wrapper so ProcessPoolExecutor can pickle it."""
+    rel, abspath, source, digest = task
+    return _build_record(rel, abspath, source, digest, config, enabled,
+                         package_roots)
+
+
+def _doc_sync_violations(records, package_roots, config) -> list:
+    """The R102 project half: contracts vs docs/API.md, when present."""
+    api_path = Path(config.root) / "docs" / "API.md"
+    try:
+        api_doc = parse_api_doc(api_path.read_text(encoding="utf-8"))
+    except OSError:
+        return []
+    contracts_by_module, paths_by_module = {}, {}
+    for rel, record in records.items():
+        if record.contracts is None:
+            continue
+        if config.path_matches(Path(config.root) / rel,
+                               config.r102_exempt):
+            continue
+        module = module_name_for(rel, package_roots)
+        if module is None:
+            continue
+        parts = module.split(".")
+        if any(part.startswith("_") for part in parts):
+            continue
+        if parts[0] not in api_doc:
+            continue  # package not covered by the reference at all
+        contracts_by_module[module] = record.contracts
+        paths_by_module[module] = rel
+    return check_api_docs(contracts_by_module, api_doc, paths_by_module)
+
+
+def _dedupe_shadowed(violations) -> list:
+    """Drop R001 findings shadowed by an R101 on the same line.
+
+    Both rules see a raw ``np.random.default_rng`` call; the R101
+    finding carries the provenance story, so it wins and the generic
+    R001 duplicate is suppressed.
+    """
+    shadowing = {(v.path, v.line) for v in violations
+                 if v.rule == "R101"}
+    return [v for v in violations
+            if not (v.rule == "R001"
+                    and (v.path, v.line) in shadowing)]
+
+
+def lint_paths(paths, config: "Config | None" = None, select=None, *,
+               cache=None, jobs=1) -> LintResult:
     """Lint ``paths`` (files or directories) and return the result.
 
     ``select`` optionally restricts the run to a subset of rule codes;
     it intersects with (rather than overrides) the config's own
-    ``select`` list.  Unreadable or unparsable files surface as
-    ``E999`` violations rather than aborting the run.
+    ``select`` list.  ``cache`` names an incremental-cache file (see
+    :mod:`tools.reprolint.cache`); ``jobs`` > 1 fans the per-file pass
+    out across processes (0 = one per CPU).  Unreadable or unparsable
+    files surface as ``E999`` violations rather than aborting the run.
     """
     config = config if config is not None else Config()
-    enabled = set(config.select)
+    enabled = frozenset(config.select)
     if select is not None:
         enabled &= {code.upper() for code in select}
 
-    violations = []
-    trees, suppressions = {}, {}
     files = list(_iter_python_files(paths, config))
+    package_roots = _package_roots(files, config)
+
+    fingerprint = None
+    cached: dict = {}
+    if cache is not None:
+        fingerprint = engine_fingerprint(config, enabled)
+        cached = load_cache(cache, fingerprint)
+
+    records: dict = {}
+    tasks: list = []
+    hits = 0
     for path in files:
         rel = config.relative(path)
         try:
-            source = path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=str(path))
-        except (OSError, SyntaxError, ValueError) as error:
-            line = getattr(error, "lineno", None) or 1
-            violations.append(Violation(
-                path=rel, line=line, col=0, rule="E999",
-                message=f"cannot lint file: {error}"))
+            data = path.read_bytes()
+        except OSError as error:
+            records[rel] = FileRecord(
+                path=rel, content_hash="",
+                violations=(Violation(path=rel, line=1, col=0,
+                                      rule="E999",
+                                      message=f"cannot lint file: "
+                                              f"{error}"),),
+                suppressions=(), imports=(), contracts=None)
             continue
-        trees[rel] = tree
-        suppressions[rel] = _suppressed_lines(source)
-        ctx = ModuleContext(path=rel, abspath=path.resolve(),
-                            tree=tree, config=config)
-        for rule in FILE_RULES:
-            if rule.code in enabled:
-                violations.extend(rule.check(ctx))
+        digest = content_hash(data)
+        entry = cached.get(rel)
+        if entry is not None and entry.content_hash == digest:
+            records[rel] = entry
+            hits += 1
+            continue
+        source = data.decode("utf-8", errors="replace")
+        tasks.append((rel, str(path.resolve()), source, digest))
 
-    if "R007" in enabled and trees:
-        roots = _package_roots(files, config)
-        violations.extend(check_cycles(trees, roots, config))
+    worker = functools.partial(_record_task, config=config,
+                               enabled=enabled,
+                               package_roots=package_roots)
+    workers = (os.cpu_count() or 1) if jobs == 0 else jobs
+    if workers > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            fresh = list(pool.map(worker, tasks, chunksize=8))
+    else:
+        fresh = [worker(task) for task in tasks]
+    for record in fresh:
+        records[record.path] = record
 
+    violations = [violation for record in records.values()
+                  for violation in record.violations]
+    if "R007" in enabled and records:
+        imports_by_path = {rel: list(record.imports)
+                           for rel, record in records.items()}
+        violations.extend(check_cycles(imports_by_path, package_roots))
+    if "R102" in enabled and records:
+        violations.extend(
+            _doc_sync_violations(records, package_roots, config))
+
+    violations = _dedupe_shadowed(violations)
+    suppressions = {rel: record.suppression_table()
+                    for rel, record in records.items()}
     surviving = []
     for violation in sorted(violations):
         silenced = suppressions.get(violation.path, {}) \
@@ -142,5 +279,11 @@ def lint_paths(paths, config: "Config | None" = None,
                 and (not silenced or violation.rule in silenced):
             continue
         surviving.append(violation)
+
+    if cache is not None:
+        store_cache(cache, fingerprint,
+                    {rel: record for rel, record in records.items()
+                     if record.content_hash})
     return LintResult(violations=tuple(surviving),
-                      files_checked=len(files))
+                      files_checked=len(files), cache_hits=hits,
+                      cache_misses=len(tasks))

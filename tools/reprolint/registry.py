@@ -1,0 +1,28 @@
+"""The assembled v2 rule registry.
+
+The dataflow-backed rule families (R100 shape-flow, R101 RNG
+provenance, R102 contract drift) live in their own modules and import
+the :class:`~tools.reprolint.rules.Rule` base — so the combined
+catalogue cannot live in :mod:`tools.reprolint.rules` without a cycle.
+This module is the single place the engine and CLI look up "every
+per-file rule" and "every rule summary".
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.contracts import ContractDrift
+from tools.reprolint.dataflow import RNGProvenance
+from tools.reprolint.rules import FILE_RULES as _BASE_FILE_RULES
+from tools.reprolint.shapes import ShapeFlow
+
+__all__ = ["FILE_RULES", "RULES"]
+
+#: Every per-file rule instance, in catalogue order.
+FILE_RULES = (*_BASE_FILE_RULES, ShapeFlow(), RNGProvenance(),
+              ContractDrift())
+
+#: code -> one-line summary for ``--list-rules`` (R007 is the
+#: project-level cycle check from :mod:`tools.reprolint.cycles`).
+RULES = {rule.code: rule.summary for rule in FILE_RULES}
+RULES["R007"] = "import cycle between modules of the linted package"
+RULES = dict(sorted(RULES.items()))

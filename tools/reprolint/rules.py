@@ -45,6 +45,9 @@ class ModuleContext:
     tree: ast.Module
     #: Resolved [tool.reprolint] settings.
     config: object
+    #: Dotted module name when the file sits under a known package
+    #: root (lets dataflow rules resolve relative imports); else None.
+    module_name: "str | None" = None
 
     @property
     def is_public_module(self) -> bool:

@@ -1,0 +1,544 @@
+"""R100: symbolic ndarray shape-flow analysis.
+
+The paper's objects have fixed shape conventions — the term–document
+matrix is ``(n_terms, n_documents)``, the LSI basis ``Uₖ`` is
+``(n, k)``, document stores are ``(k, m)`` — and most reproduction bugs
+are silent shape/axis mistakes: a matmul with a missing transpose, or
+an axis-less ``sum``/``mean``/``norm`` that collapses a 2-D array to a
+scalar when one axis was meant.  Both produce *numbers*, just not the
+paper's numbers.
+
+This pass runs a forward flow (:mod:`tools.reprolint.dataflow`) over
+each scope, tracking a symbolic shape for every name it can prove:
+
+- constructors seed shapes: ``np.zeros((n, k))`` → ``(n, k)``,
+  ``np.eye(n)`` → ``(n, n)``, ``rng.random((a, b))``-style generator
+  samplers, ``*_like`` copies;
+- ``x.T`` / ``x.transpose()`` reverse, ``reshape`` re-seeds, indexing
+  drops or inserts axes, elementwise arithmetic preserves;
+- ``np.linalg.svd`` (tuple-unpacked) and the repo's ``truncated_svd``
+  (an object whose ``u``/``vt``/``singular_values`` attributes carry
+  derived shapes) propagate factor shapes;
+- ``@`` / ``np.dot`` / ``np.matmul`` combine shapes — and **flag** a
+  matmul whose inner dimensions are both known and different;
+- axis-less reductions (``sum``/``mean``/``np.linalg.norm``) on an
+  array known to be 2-D are **flagged** as ambiguous: write the axis,
+  or ``axis=None`` to declare the full reduction deliberate.
+
+Dimensions are symbolic strings (``"4"``, ``"n_terms"``,
+``"min(n, m)"``, or ``"?"`` for a positively-2-D-but-unknown extent).
+Two dimensions *conflict* only when both are known (not ``"?"``) and
+unequal — so the rule stays quiet whenever it cannot prove shapes,
+which is what keeps it honest on code that takes arrays as parameters.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.dataflow import ImportMap, bound_names, iter_scopes
+from tools.reprolint.rules import ModuleContext, Rule
+
+__all__ = ["ShapeFlow", "UNKNOWN_DIM", "infer_module_shapes"]
+
+#: A positively known axis whose extent we cannot name.
+UNKNOWN_DIM = "?"
+
+#: numpy constructors taking a shape spec as their first argument.
+_SHAPE_FIRST_CONSTRUCTORS = frozenset({
+    "numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full",
+})
+
+#: ``*_like`` constructors copying their argument's shape.
+_LIKE_CONSTRUCTORS = frozenset({
+    "numpy.zeros_like", "numpy.ones_like", "numpy.empty_like",
+    "numpy.full_like",
+})
+
+#: Generator sampling methods taking a ``size`` argument.
+_SAMPLER_METHODS = frozenset({
+    "random", "standard_normal", "normal", "uniform", "integers",
+})
+
+#: Axis-less reduction callables flagged on 2-D operands.
+_REDUCTION_FUNCTIONS = frozenset({
+    "numpy.sum", "numpy.mean", "numpy.linalg.norm",
+})
+_REDUCTION_METHODS = frozenset({"sum", "mean"})
+
+#: Position of the ``size`` argument in each sampler's signature.
+_SAMPLER_SIZE_POSITION = {
+    "random": 0, "standard_normal": 0, "uniform": 2, "normal": 2,
+    "integers": 2,
+}
+
+
+def _dim(node) -> str:
+    """The symbolic extent an index/size expression denotes."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return str(node.value)
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return UNKNOWN_DIM
+    return " ".join(text.split()) or UNKNOWN_DIM
+
+
+def _dims_conflict(left: str, right: str) -> bool:
+    """Whether two inner dimensions are provably incompatible.
+
+    Conservative: only when both extents are positively known
+    (not ``"?"``) and textually different.  Symbolically different
+    names (``n_terms`` vs ``rank``) count as a conflict — in this
+    codebase two distinct dimension symbols meeting in a matmul is a
+    transposition bug far more often than a coincidence of extents,
+    and the suppression mechanism covers the intentional case.
+    """
+    return UNKNOWN_DIM not in (left, right) and left != right
+
+
+def _shape_spec(node) -> "tuple | None":
+    """Shape tuple for a constructor's shape argument, if literal."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return tuple(_dim(element) for element in node.elts)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return (str(node.value),)
+    if isinstance(node, ast.Name):
+        # A bare name may be an int (1-D) or a tuple — ndim unknown.
+        return None
+    return None
+
+
+class ShapeEnv:
+    """Name → shape bindings for one scope, plus factor-object attrs."""
+
+    def __init__(self):
+        #: Plain array bindings: name → shape tuple.
+        self.names: dict = {}
+        #: SVD-factor objects: name → {attr → shape}.
+        self.attrs: dict = {}
+
+    def forget(self, name: str) -> None:
+        """Drop everything known about ``name``."""
+        self.names.pop(name, None)
+        self.attrs.pop(name, None)
+
+    def bind(self, name: str, shape) -> None:
+        """Bind ``name`` to ``shape`` (``None`` forgets it)."""
+        self.attrs.pop(name, None)
+        if shape is None:
+            self.names.pop(name, None)
+        else:
+            self.names[name] = tuple(shape)
+
+
+class ShapeFlow(Rule):
+    """R100: flag provably incompatible matmuls and ambiguous reductions."""
+
+    code = "R100"
+    summary = ("shape-flow: incompatible matmul or axis-less "
+               "reduction on a 2-D array")
+
+    def check(self, ctx: ModuleContext):
+        scope_patterns = getattr(ctx.config, "r100_scope", ())
+        if scope_patterns and not ctx.config.path_matches(
+                ctx.abspath, scope_patterns):
+            return
+        imports = ImportMap(ctx.tree)
+        for scope in iter_scopes(ctx.tree):
+            analysis = _ScopeAnalysis(ctx, self, imports)
+            yield from analysis.run(scope)
+
+
+def infer_module_shapes(tree: ast.Module) -> dict:
+    """Module-level name → shape map (exposed for tests/tooling)."""
+    imports = ImportMap(tree)
+    for scope in iter_scopes(tree):
+        analysis = _ScopeAnalysis(None, None, imports)
+        list(analysis.run(scope))
+        return dict(analysis.env.names)
+    return {}
+
+
+class _ScopeAnalysis:
+    """One forward shape-flow pass over a single scope."""
+
+    def __init__(self, ctx, rule, imports: ImportMap):
+        self.ctx = ctx
+        self.rule = rule
+        self.imports = imports
+        self.env = ShapeEnv()
+        self._violations: list = []
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self, scope):
+        """Yield violations for ``scope``'s statements in order."""
+        for stmt in scope.statements:
+            self._violations = []
+            self._visit_statement(stmt)
+            yield from self._violations
+
+    def _report(self, node, message) -> None:
+        if self.rule is not None and self.ctx is not None:
+            self._violations.append(
+                self.rule.violation(self.ctx, node, message))
+
+    # ------------------------------------------------------------------
+    # Statement transfer
+    # ------------------------------------------------------------------
+
+    def _visit_statement(self, stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            shape = self._infer(stmt.value)
+            handled = self._bind_special(stmt.targets, stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if not handled:
+                        self.env.bind(target.id, shape)
+                else:
+                    for name in bound_names(target):
+                        if not handled:
+                            self.env.forget(name)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                shape = self._infer(stmt.value) \
+                    if stmt.value is not None else None
+                self.env.bind(stmt.target.id, shape)
+        elif isinstance(stmt, ast.AugAssign):
+            self._infer(stmt.value)
+            for name in bound_names(stmt.target):
+                self.env.forget(name)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._infer(stmt.iter)
+            for name in bound_names(stmt.target):
+                self.env.forget(name)
+        elif isinstance(stmt, ast.Expr):
+            self._infer(stmt.value)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._infer(stmt.value)
+        else:
+            # Conditions, with-items, raises, asserts: still inspect
+            # their expressions so nested calls get checked.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._infer(child)
+
+    def _bind_special(self, targets, value) -> bool:
+        """Handle SVD-style producers; True when binding was done here."""
+        if not isinstance(value, ast.Call):
+            return False
+        origin = self.imports.resolve(value.func)
+        # u, s, vt = np.linalg.svd(A[, full_matrices=False])
+        if origin == "numpy.linalg.svd" and len(targets) == 1 \
+                and isinstance(targets[0], (ast.Tuple, ast.List)) \
+                and len(targets[0].elts) == 3 \
+                and all(isinstance(e, ast.Name)
+                        for e in targets[0].elts):
+            a_shape = self._infer(value.args[0]) if value.args else None
+            economy = any(kw.arg == "full_matrices"
+                          and isinstance(kw.value, ast.Constant)
+                          and kw.value.value is False
+                          for kw in value.keywords)
+            u_name, s_name, vt_name = (e.id for e in targets[0].elts)
+            if a_shape is not None and len(a_shape) == 2:
+                rows, cols = a_shape
+                inner = f"min({rows}, {cols})" if economy else None
+                self.env.bind(u_name,
+                              (rows, inner or rows))
+                self.env.bind(s_name,
+                              (inner or f"min({rows}, {cols})",))
+                self.env.bind(vt_name, (inner or cols, cols))
+            else:
+                for name in (u_name, s_name, vt_name):
+                    self.env.forget(name)
+            return True
+        # result = truncated_svd(matrix, rank, ...): factor object.
+        if origin is not None and origin.endswith("truncated_svd") \
+                and len(targets) == 1 \
+                and isinstance(targets[0], ast.Name):
+            matrix_shape = self._infer(value.args[0]) \
+                if value.args else None
+            rank = _dim(value.args[1]) if len(value.args) > 1 else None
+            if rank is None:
+                rank_kw = next((kw.value for kw in value.keywords
+                                if kw.arg in ("rank", "k")), None)
+                rank = _dim(rank_kw) if rank_kw is not None else None
+            if rank is not None:
+                rows = matrix_shape[0] if matrix_shape \
+                    and len(matrix_shape) == 2 else UNKNOWN_DIM
+                cols = matrix_shape[1] if matrix_shape \
+                    and len(matrix_shape) == 2 else UNKNOWN_DIM
+                name = targets[0].id
+                self.env.names.pop(name, None)
+                self.env.attrs[name] = {
+                    "u": (rows, rank),
+                    "vt": (rank, cols),
+                    "singular_values": (rank,),
+                }
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Expression inference
+    # ------------------------------------------------------------------
+
+    def _infer(self, node) -> "tuple | None":
+        """Shape of ``node`` (and flag violations found inside it)."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return self.env.names.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._infer_attribute(node)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._infer(node.operand)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.Subscript):
+            return self._infer_subscript(node)
+        if isinstance(node, ast.Constant):
+            return () if isinstance(node.value, (int, float, complex)) \
+                and not isinstance(node.value, bool) else None
+        if isinstance(node, ast.IfExp):
+            self._infer(node.test)
+            body = self._infer(node.body)
+            orelse = self._infer(node.orelse)
+            return body if body == orelse else None
+        # Generic: visit children so nested calls are still checked.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._infer(child)
+        return None
+
+    def _infer_attribute(self, node: ast.Attribute) -> "tuple | None":
+        if node.attr == "T":
+            base = self._infer(node.value)
+            return tuple(reversed(base)) if base is not None else None
+        if isinstance(node.value, ast.Name):
+            attrs = self.env.attrs.get(node.value.id)
+            if attrs is not None:
+                return attrs.get(node.attr)
+        self._infer(node.value)
+        return None
+
+    def _infer_binop(self, node: ast.BinOp) -> "tuple | None":
+        left = self._infer(node.left)
+        right = self._infer(node.right)
+        if isinstance(node.op, ast.MatMult):
+            return self._matmul(node, left, right)
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div,
+                                ast.Pow, ast.FloorDiv, ast.Mod)):
+            if left is not None and right is not None:
+                if left == ():
+                    return right
+                if right == ():
+                    return left
+                if left == right:
+                    return left
+                return None
+            return left if right is None else right \
+                if left is None else None
+        return None
+
+    def _matmul(self, node, left, right) -> "tuple | None":
+        if left is None or right is None \
+                or not left or not right \
+                or len(left) > 2 or len(right) > 2:
+            return None
+        inner_left = left[-1]
+        inner_right = right[0]
+        if _dims_conflict(inner_left, inner_right):
+            left_text = f"({', '.join(left)})"
+            right_text = f"({', '.join(right)})"
+            self._report(
+                node,
+                f"matmul inner dimensions conflict: {left_text} @ "
+                f"{right_text} multiplies {inner_left} against "
+                f"{inner_right}; transpose an operand or fix the "
+                f"construction (suppress if {inner_left} == "
+                f"{inner_right} is intended)")
+            return None
+        outer: list = []
+        if len(left) == 2:
+            outer.append(left[0])
+        if len(right) == 2:
+            outer.append(right[1])
+        return tuple(outer)
+
+    def _infer_call(self, node: ast.Call) -> "tuple | None":
+        for argument in node.args:
+            self._infer(argument)
+        for keyword in node.keywords:
+            self._infer(keyword.value)
+        origin = self.imports.resolve(node.func)
+        if origin in _SHAPE_FIRST_CONSTRUCTORS and node.args:
+            return _shape_spec(node.args[0])
+        if origin in _LIKE_CONSTRUCTORS and node.args:
+            return self._infer(node.args[0])
+        if origin == "numpy.eye" and node.args:
+            first = _dim(node.args[0])
+            second = _dim(node.args[1]) if len(node.args) > 1 else first
+            return (first, second)
+        if origin == "numpy.arange":
+            return (UNKNOWN_DIM,)
+        if origin in ("numpy.dot", "numpy.matmul") \
+                and len(node.args) == 2:
+            left = self._infer(node.args[0])
+            right = self._infer(node.args[1])
+            return self._matmul(node, left, right)
+        if origin == "numpy.concatenate" and node.args:
+            return self._concatenate(node)
+        if origin in _REDUCTION_FUNCTIONS:
+            return self._reduction_call(node, origin)
+        if isinstance(node.func, ast.Attribute):
+            return self._infer_method_call(node)
+        return None
+
+    def _concatenate(self, node: ast.Call) -> "tuple | None":
+        pieces = node.args[0]
+        if not isinstance(pieces, (ast.Tuple, ast.List)) \
+                or not pieces.elts:
+            return None
+        first = self._infer(pieces.elts[0])
+        for extra in pieces.elts[1:]:
+            self._infer(extra)
+        if first is None:
+            return None
+        axis = 0
+        for keyword in node.keywords:
+            if keyword.arg == "axis":
+                axis_dim = _dim(keyword.value)
+                axis = int(axis_dim) if axis_dim.lstrip("-").isdigit() \
+                    else None
+        if axis is None or not -len(first) <= axis < len(first):
+            return None
+        result = list(first)
+        result[axis] = UNKNOWN_DIM
+        return tuple(result)
+
+    def _reduction_call(self, node: ast.Call,
+                        origin: str) -> "tuple | None":
+        """np.sum/np.mean/np.linalg.norm: flag axis-less 2-D use."""
+        operand_shape = self._infer(node.args[0]) if node.args else None
+        axis = self._axis_argument(node, position=1)
+        if axis == "missing" and operand_shape is not None \
+                and len(operand_shape) == 2 and len(node.args) == 1:
+            name = origin.replace("numpy.", "np.")
+            self._report(
+                node,
+                f"axis-less {name} on a 2-D array of shape "
+                f"({', '.join(operand_shape)}) reduces over every "
+                "axis; pass axis= explicitly (axis=None if the full "
+                "reduction is deliberate)")
+        return self._reduced_shape(operand_shape, node, axis)
+
+    def _infer_method_call(self, node: ast.Call) -> "tuple | None":
+        func = node.func
+        receiver_shape = self._infer(func.value)
+        if func.attr in ("transpose",) and not node.args:
+            return tuple(reversed(receiver_shape)) \
+                if receiver_shape is not None else None
+        if func.attr == "copy":
+            return receiver_shape
+        if func.attr == "reshape":
+            if len(node.args) == 1:
+                return _shape_spec(node.args[0])
+            if node.args:
+                return tuple(_dim(argument) for argument in node.args)
+            return None
+        if func.attr == "astype":
+            return receiver_shape
+        if func.attr in _REDUCTION_METHODS:
+            axis = self._axis_argument(node, position=0)
+            if axis == "missing" and receiver_shape is not None \
+                    and len(receiver_shape) == 2 and not node.args:
+                self._report(
+                    node,
+                    f"axis-less .{func.attr}() on a 2-D array of "
+                    f"shape ({', '.join(receiver_shape)}) reduces "
+                    "over every axis; pass axis= explicitly "
+                    "(axis=None if the full reduction is deliberate)")
+            return self._reduced_shape(receiver_shape, node, axis)
+        if func.attr in _SAMPLER_METHODS:
+            position = _SAMPLER_SIZE_POSITION.get(func.attr)
+            size = next((kw.value for kw in node.keywords
+                         if kw.arg == "size"), None)
+            if size is None and position is not None \
+                    and len(node.args) > position:
+                size = node.args[position]
+            if size is not None:
+                return _shape_spec(size)
+            return None
+        return None
+
+    @staticmethod
+    def _axis_argument(node: ast.Call, *, position: int):
+        """The call's axis argument: a node or the marker ``"missing"``.
+
+        ``position`` is where the axis would sit positionally (1 for
+        ``np.sum(x, axis)``, 0 for ``x.sum(axis)``).  For
+        ``np.linalg.norm`` the slot actually holds ``ord`` — close
+        enough for the rule's purpose, since any positional argument
+        there means the caller already declared intent.
+        """
+        for keyword in node.keywords:
+            if keyword.arg == "axis":
+                return keyword.value
+        if len(node.args) > position:
+            return node.args[position]
+        return "missing"
+
+    def _reduced_shape(self, operand_shape, node, axis):
+        if operand_shape is None:
+            return None
+        if axis == "missing" or (isinstance(axis, ast.Constant)
+                                 and axis.value is None):
+            return ()
+        if isinstance(axis, ast.Constant) \
+                and isinstance(axis.value, int) \
+                and not isinstance(axis.value, bool):
+            index = axis.value
+            if -len(operand_shape) <= index < len(operand_shape):
+                remaining = list(operand_shape)
+                del remaining[index]
+                return tuple(remaining)
+        return None
+
+    def _infer_subscript(self, node: ast.Subscript) -> "tuple | None":
+        base = self._infer(node.value)
+        if base is None:
+            self._infer(node.slice)
+            return None
+        elements = node.slice.elts \
+            if isinstance(node.slice, ast.Tuple) else [node.slice]
+        result: list = []
+        position = 0
+        for element in elements:
+            if isinstance(element, ast.Slice):
+                if position >= len(base):
+                    return None
+                full = element.lower is None and element.upper is None \
+                    and element.step is None
+                result.append(base[position] if full else UNKNOWN_DIM)
+                position += 1
+            elif isinstance(element, ast.Constant) \
+                    and element.value is None:
+                result.append("1")
+            elif isinstance(element, (ast.Constant, ast.Name,
+                                      ast.UnaryOp, ast.Attribute)):
+                # Integer (or symbolic) index: drops this axis.
+                if position >= len(base):
+                    return None
+                position += 1
+            else:
+                self._infer(element)
+                return None
+        result.extend(base[position:])
+        return tuple(result)
