@@ -11,7 +11,12 @@ doc sync).  The paper-style claims are booleans reported as 0/1:
 - ``warm_speedup_ge_5x`` — the acceptance floor from the v2 issue: the
   cached run is at least 5x faster than the cold analysis;
 - ``violations_stable`` — cold and warm runs render byte-identical
-  findings, so the cache never changes lint semantics.
+  findings, so the cache never changes lint semantics;
+- ``fanout_findings_stable`` — a ``jobs=2`` process fan-out renders
+  the same findings as the serial run (parallelism never changes
+  lint semantics either);
+- ``fanout_warm_replays`` — a warm fan-out run still replays every
+  record from cache (the cache and the pool compose).
 
 The tree is generated, not the live repo, so the measurement is
 deterministic in (size, seed) and independent of unrelated source
@@ -95,7 +100,8 @@ def _write_tree(root, n_modules, seed):
            sizes={"smoke": {"n_modules": 40},
                   "full": {"n_modules": 160}},
            time_metrics=("cold_seconds", "warm_seconds",
-                         "warm_speedup"))
+                         "warm_speedup", "fanout_cold_seconds",
+                         "fanout_warm_seconds"))
 def bench_reprolint_incremental_cache(params, seed):
     """L1: warm cached lint replays every record and is >=5x faster."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -117,6 +123,27 @@ def bench_reprolint_incremental_cache(params, seed):
         speedup = cold.mean_seconds / max(warm.mean_seconds, 1e-12)
         stable = ([v.render() for v in cold.result.violations]
                   == [v.render() for v in warm.result.violations])
+
+        # Jobs scaling: the same tree through a jobs=2 process
+        # fan-out, cold (fresh cache) then warm.  Wall time is
+        # recorded for the baseline; the claims are semantic — the
+        # pool must not change findings, and a warm fan-out must
+        # still replay every record from cache.
+        fanout_cache = root / "lint.fanout.cache.json"
+
+        def lint_fanout():
+            return lint_paths([str(package)], config=config,
+                              cache=str(fanout_cache), jobs=2)
+
+        fanout_cold = measure(lint_fanout, warmup=0, repeats=1)
+        fanout_warm = measure(lint_fanout, warmup=0, repeats=1)
+        fanout_stable = (
+            [v.render() for v in fanout_cold.result.violations]
+            == [v.render() for v in cold.result.violations])
+        fanout_replays = (
+            fanout_warm.result.cache_hits
+            == fanout_warm.result.files_checked
+            and fanout_warm.result.cache_misses == 0)
     return {
         "cold_seconds": cold.mean_seconds,
         "warm_seconds": warm.mean_seconds,
@@ -126,5 +153,9 @@ def bench_reprolint_incremental_cache(params, seed):
                                 and warm.result.cache_misses == 0),
         "warm_speedup_ge_5x": int(speedup >= 5.0),
         "violations_stable": int(stable),
+        "fanout_cold_seconds": fanout_cold.mean_seconds,
+        "fanout_warm_seconds": fanout_warm.mean_seconds,
+        "fanout_findings_stable": int(fanout_stable),
+        "fanout_warm_replays": int(fanout_replays),
         "files_checked": checked,
     }

@@ -72,7 +72,7 @@ def _log_entropy(matrix: CSRMatrix) -> CSRMatrix:
     np.add.at(entropy, row_of_entry, contributions)
     # Weight 1 + H_i / log m ∈ [0, 1]; rare focused terms score high.
     weights = 1.0 + entropy / np.log(m)
-    weights = np.clip(weights, 0.0, 1.0)
+    np.clip(weights, 0.0, 1.0, out=weights)
     return _log_tf(matrix).scale_rows(weights)
 
 

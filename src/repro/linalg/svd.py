@@ -21,6 +21,7 @@ phrased in.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -139,8 +140,15 @@ class SVDResult:
         return self.singular_values[:, None] * self.vt
 
     def captured_energy(self) -> float:
-        """``‖Aₖ‖_F² = Σ σᵢ²`` over retained triplets."""
-        return float(np.sum(self.singular_values ** 2))
+        """``‖Aₖ‖_F² = Σ σᵢ²`` over retained triplets.
+
+        Summed with :func:`math.fsum` so prefixes of the spectrum yield
+        non-decreasing energies — numpy's pairwise summation can round a
+        4-term prefix *above* the full 10-term sum, which breaks the
+        monotonicity of :meth:`residual_norm` under :meth:`truncate`.
+        """
+        return math.fsum(float(s) * float(s)
+                         for s in self.singular_values)
 
     def residual_energy(self) -> float:
         """``‖A − Aₖ‖_F² = ‖A‖_F² − ‖Aₖ‖_F²`` (clamped at 0).

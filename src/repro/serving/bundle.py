@@ -303,7 +303,8 @@ def read_bundle(path) -> IndexBundle:
     manifest = read_manifest(directory, verify_arrays=True)
     arrays_path = directory / ARRAYS_NAME
     try:
-        with np.load(arrays_path, allow_pickle=False) as payload:
+        with np.load(arrays_path, allow_pickle=False,
+                     mmap_mode="r") as payload:
             arrays = {name: payload[name] for name in payload.files}
     except (OSError, ValueError, zipfile.BadZipFile) as error:
         raise PersistenceError(

@@ -18,6 +18,7 @@ answered without touching BLAS at all.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -132,11 +133,18 @@ class LRUResultCache:
     Keys are ``(index_version, query_hash, top_k)`` tuples; values are
     the ranked-id arrays.  ``capacity=0`` disables caching (every
     lookup misses, nothing is stored).
+
+    The cache is thread-safe: ``get``/``put``/``clear`` hold one lock,
+    because an LRU lookup is read-*and-reorder* (``move_to_end``) and
+    a put is insert-and-evict — neither is atomic on a plain
+    OrderedDict, and the sharded serving layer shares one cache across
+    worker threads.
     """
 
     def __init__(self, capacity: int = 256):
         self.capacity = check_non_negative_int(capacity, "capacity")
         self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
         #: Lookups answered from the cache.
         self.hits = 0
         #: Lookups that fell through to computation.
@@ -146,27 +154,31 @@ class LRUResultCache:
 
     def get(self, key) -> "np.ndarray | None":
         """The cached ranking for ``key`` (a copy), or ``None``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry.copy()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.copy()
 
     def put(self, key, ranking: np.ndarray) -> None:
         """Store a ranking, evicting the least-recently-used overflow."""
         if self.capacity == 0:
             return
-        self._entries[key] = np.asarray(ranking).copy()
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        entry = np.asarray(ranking).copy()
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         """Number of cached rankings."""
@@ -259,7 +271,7 @@ class BatchQueryEngine:
         sims = unit.T @ self._doc_unit                    # (q, m)
         sims[norms <= ZERO_NORM_TOL, :] = 0.0
         sims[:, self._doc_zero] = 0.0
-        sims = np.clip(sims, -1.0, 1.0)
+        np.clip(sims, -1.0, 1.0, out=sims)
         if self._tombstones:
             sims[:, self._dead] = 0.0
         return sims

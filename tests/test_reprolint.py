@@ -359,7 +359,8 @@ class TestConfigLoading:
         config = load_config(start=tmp_path)
         assert config.select == ("R001", "R002", "R003", "R004",
                                  "R005", "R006", "R007",
-                                 "R100", "R101", "R102")
+                                 "R100", "R101", "R102",
+                                 "R110", "R111", "R112")
         assert config.r001_allow == ()
 
 
@@ -427,7 +428,8 @@ class TestReprolintCli:
     def test_list_rules_includes_v2_families(self, capsys):
         assert reprolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R100", "R101", "R102"):
+        for code in ("R100", "R101", "R102",
+                     "R110", "R111", "R112"):
             assert code in out
 
     def test_cache_flag_round_trips(self, tmp_path, capsys):

@@ -895,7 +895,12 @@ class TestSeededMutationChecks:
             root=tmp_path,
             r001_allow=("src/repro/utils/rng.py",),
             r100_scope=("src/repro/core", "src/repro/linalg",
-                        "src/repro/serving", "src/repro/ir"))
+                        "src/repro/serving", "src/repro/ir"),
+            r110_scope=("src/repro/core", "src/repro/linalg",
+                        "src/repro/serving", "src/repro/ir"),
+            r111_scope=("src/repro/serving",
+                        "src/repro/linalg/dense.py",
+                        "src/repro/corpus/weighting.py"))
 
     def _copy(self, tmp_path, rel):
         source = (REPO_ROOT / rel).read_text()
@@ -929,3 +934,722 @@ class TestSeededMutationChecks:
         result = lint_paths([str(lsi), str(writer)],
                             config=self._config(tmp_path))
         assert codes(result) == []
+
+    def test_mixed_dtype_gemm_in_dense_yields_one_r110(self, tmp_path):
+        path, source = self._copy(tmp_path,
+                                  "src/repro/linalg/dense.py")
+        path.write_text(source
+                        + "\n_D_PROBE_A = np.zeros((4, 4), "
+                          "dtype=np.float32)\n"
+                          "_D_PROBE_B = np.zeros((4, 4), "
+                          "dtype=np.float64)\n"
+                          "_D_PROBE_BAD = _D_PROBE_A @ _D_PROBE_B\n")
+        result = lint_paths([str(path)], config=self._config(tmp_path))
+        flagged = [v for v in result.violations]
+        assert [v.rule for v in flagged] == ["R110"]
+        assert "mixed-dtype GEMM" in flagged[0].message
+
+    def test_eager_load_in_bundle_yields_one_r111(self, tmp_path):
+        path, source = self._copy(tmp_path,
+                                  "src/repro/serving/bundle.py")
+        path.write_text(source
+                        + "\n\ndef _load_probe(path):\n"
+                          "    return np.load(path)\n")
+        result = lint_paths([str(path)], config=self._config(tmp_path))
+        flagged = [v for v in result.violations]
+        assert [v.rule for v in flagged] == ["R111"]
+        assert "mmap_mode" in flagged[0].message
+
+    def test_module_generator_pool_worker_yields_one_r112(
+            self, tmp_path):
+        # The probe's module-level generator also trips R101 by
+        # design (it *is* shared state two ways); select isolates the
+        # fork-safety conclusion.
+        path, source = self._copy(tmp_path,
+                                  "src/repro/serving/engine.py")
+        path.write_text(source + textwrap.dedent("""\n
+            import concurrent.futures as _probe_futures
+
+            _PROBE_RNG = np.random.default_rng(0)
+
+            def _probe_worker(n):
+                return _PROBE_RNG.random(n)
+
+            def _probe_fanout(sizes):
+                with _probe_futures.ProcessPoolExecutor() as pool:
+                    return list(pool.map(_probe_worker, sizes))
+            """))
+        result = lint_paths([str(path)],
+                            config=self._config(tmp_path),
+                            select=["R112"])
+        flagged = [v for v in result.violations]
+        assert [v.rule for v in flagged] == ["R112"]
+        assert "identical streams" in flagged[0].message
+
+    def test_mutating_pool_worker_yields_one_r112_full_select(
+            self, tmp_path):
+        # The dict-mutation variant stays R112-only even under the
+        # full default rule set.
+        path, source = self._copy(tmp_path,
+                                  "src/repro/serving/engine.py")
+        path.write_text(source + textwrap.dedent("""\n
+            import concurrent.futures as _probe_futures
+
+            _PROBE_SEEN = {}
+
+            def _probe_worker(item):
+                _PROBE_SEEN[item] = item
+                return item
+
+            def _probe_fanout(items):
+                with _probe_futures.ProcessPoolExecutor() as pool:
+                    return list(pool.map(_probe_worker, items))
+            """))
+        result = lint_paths([str(path)], config=self._config(tmp_path))
+        flagged = [v for v in result.violations]
+        assert [v.rule for v in flagged] == ["R112"]
+        assert "silently lost" in flagged[0].message
+
+
+class TestRealTreeIsClean:
+    """The acceptance gate: the new families report zero findings on
+    the repository's own source under its real configuration."""
+
+    def test_new_families_clean_on_src(self):
+        from tools.reprolint.config import load_config
+
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        result = lint_paths([str(REPO_ROOT / "src" / "repro")],
+                            config=config,
+                            select=["R110", "R111", "R112"])
+        assert codes(result) == []
+
+
+class TestR110DtypeFlow:
+    def flags(self, tmp_path, body, **kwargs):
+        return lint_source(tmp_path, "import numpy as np\n"
+                           + textwrap.dedent(body),
+                           select=["R110"], **kwargs)
+
+    def test_flags_mixed_dtype_gemm(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.zeros((4, 4), dtype=np.float32)
+            B = np.zeros((4, 4), dtype=np.float64)
+            C = A @ B
+            """)
+        assert codes(result) == ["R110"]
+        assert "mixed-dtype GEMM" in result.violations[0].message
+
+    def test_flags_np_dot_mixed_dtypes(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.zeros((4, 4), dtype=np.float32)
+            B = np.zeros((4, 4))
+            C = np.dot(A, B)
+            """)
+        assert codes(result) == ["R110"]
+
+    def test_silent_on_matching_gemm(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.zeros((4, 4), dtype=np.float32)
+            B = np.zeros((4, 4), dtype=np.float32)
+            C = A @ B
+            """)
+        assert codes(result) == []
+
+    def test_flags_silent_upcast_in_float32_scope(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def mix(n):
+                a = np.zeros(n, dtype=np.float32)
+                b = np.zeros(n)
+                return a + b
+            """)
+        assert codes(result) == ["R110"]
+        assert "silent float64 upcast" in result.violations[0].message
+
+    def test_upcast_without_declared_float32_is_silent(self, tmp_path):
+        # No float32 was deliberately constructed in the scope, so a
+        # float64 result is just the default — nothing to report.
+        result = self.flags(tmp_path, """\
+            def plain(n):
+                a = np.zeros(n)
+                b = np.ones(n)
+                return a + b
+            """)
+        assert codes(result) == []
+
+    def test_weak_python_scalar_does_not_upcast(self, tmp_path):
+        # NEP 50: float32_array * 2.0 stays float32 — no finding.
+        result = self.flags(tmp_path, """\
+            def scale(n):
+                a = np.zeros(n, dtype=np.float32)
+                return a * 2.0
+            """)
+        assert codes(result) == []
+
+    def test_flags_redundant_astype(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            a = np.zeros(3, dtype=np.float64)
+            b = a.astype(np.float64)
+            """)
+        assert codes(result) == ["R110"]
+        assert "redundant astype" in result.violations[0].message
+
+    def test_flags_astype_chained_onto_constructor(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def convert(raw):
+                return np.asarray(raw).astype(np.float64)
+            """)
+        assert codes(result) == ["R110"]
+        assert "fold the cast into the constructor" in \
+            result.violations[0].message
+
+    def test_constructor_with_dtype_kwarg_is_silent(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def convert(raw):
+                return np.asarray(raw, dtype=np.float64)
+            """)
+        assert codes(result) == []
+
+    def test_flags_float32_accumulation(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            a = np.zeros(3, dtype=np.float32)
+            s = a.sum()
+            t = np.sum(a)
+            """)
+        assert codes(result) == ["R110", "R110"]
+        assert "dtype-unstable accumulation" in \
+            result.violations[0].message
+
+    def test_accumulation_with_explicit_dtype_is_silent(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            a = np.zeros(3, dtype=np.float32)
+            s = a.sum(dtype=np.float64)
+            t = np.sum(a, dtype=np.float32)
+            """)
+        assert codes(result) == []
+
+    def test_svd_factors_inherit_input_dtype(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            A = np.zeros((6, 4), dtype=np.float32)
+            B = np.zeros((4, 4))
+            u, s, vt = np.linalg.svd(A, full_matrices=False)
+            C = vt @ B
+            """)
+        assert codes(result) == ["R110"]
+        assert "float32" in result.violations[0].message
+
+    def test_unknown_dtypes_stay_silent(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def combine(a, b):
+                return a @ b + a.sum()
+            """)
+        assert codes(result) == []
+
+    def test_scope_config_limits_rule(self, tmp_path):
+        config = Config(root=tmp_path, r110_scope=("pkg/core",))
+        body = """\
+            import numpy as np
+            A = np.zeros((4, 4), dtype=np.float32)
+            B = np.zeros((4, 4), dtype=np.float64)
+            C = A @ B
+            """
+        in_scope = lint_source(tmp_path, body,
+                               filename="pkg/core/a.py",
+                               select=["R110"], config=config)
+        out_of_scope = lint_source(tmp_path, body,
+                                   filename="pkg/viz/b.py",
+                                   select=["R110"], config=config)
+        assert codes(in_scope) == ["R110"]
+        assert codes(out_of_scope) == []
+
+    def test_infer_module_dtypes_helper(self):
+        from tools.reprolint.dtypes import infer_module_dtypes
+
+        dtypes = infer_module_dtypes(ast.parse(textwrap.dedent("""\
+            import numpy as np
+            A = np.zeros((4, 4), dtype=np.float32)
+            B = A.T
+            C = A.astype(np.float64)
+            D = np.ones(3)
+            """)))
+        assert dtypes["A"] == "float32"
+        assert dtypes["B"] == "float32"
+        assert dtypes["C"] == "float64"
+        assert dtypes["D"] == "float64"
+
+
+class TestR111HotPathAllocation:
+    def flags(self, tmp_path, body, **kwargs):
+        return lint_source(tmp_path, "import numpy as np\n"
+                           + textwrap.dedent(body),
+                           select=["R111"], **kwargs)
+
+    def test_flags_assign_back_binop(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def scale(n):
+                x = np.zeros(n)
+                x = x * 2.0
+                return x
+            """)
+        assert codes(result) == ["R111"]
+        assert "in-place form" in result.violations[0].message
+
+    def test_flags_assign_back_ufunc(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def clamp(n):
+                sims = np.zeros((n, n))
+                sims = np.clip(sims, -1.0, 1.0)
+                return sims
+            """)
+        assert codes(result) == ["R111"]
+        assert "out=sims" in result.violations[0].message
+
+    def test_out_kwarg_silences_ufunc(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def clamp(n):
+                sims = np.zeros((n, n))
+                sims = np.clip(sims, -1.0, 1.0, out=sims)
+                return sims
+            """)
+        assert codes(result) == []
+
+    def test_no_array_evidence_stays_silent(self, tmp_path):
+        # x could be a scalar or list; out=/+= would be wrong advice.
+        result = self.flags(tmp_path, """\
+            def scale(x):
+                x = x * 2.0
+                x = np.clip(x, 0.0, 1.0)
+                return x
+            """)
+        assert codes(result) == []
+
+    def test_flags_eager_np_load(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def load(path):
+                return np.load(path)
+            """)
+        assert codes(result) == ["R111"]
+        assert "mmap_mode" in result.violations[0].message
+
+    def test_mmap_mode_silences_load(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def load(path):
+                return np.load(path, mmap_mode="r")
+            """)
+        assert codes(result) == []
+
+    def test_flags_loop_invariant_norm(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def iterate(v, steps):
+                for step in range(steps):
+                    scale = np.linalg.norm(v)
+                    yield scale * step
+            """)
+        assert codes(result) == ["R111"]
+        assert "loop-invariant norm" in result.violations[0].message
+
+    def test_norm_of_rebound_operand_is_silent(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def power_iterate(A, v, steps):
+                for step in range(steps):
+                    v = A @ v
+                    scale = np.linalg.norm(v)
+                return scale
+            """)
+        assert codes(result) == []
+
+    def test_in_place_normalisation_flags_assign_back(self, tmp_path):
+        # v = v / norm inside the loop is the assign-back finding,
+        # not a loop-invariant one — v is rebound every iteration.
+        result = self.flags(tmp_path, """\
+            def power_iterate(A, v, steps):
+                for step in range(steps):
+                    v = A @ v
+                    v = v / np.linalg.norm(v)
+                return v
+            """)
+        assert codes(result) == ["R111"]
+        assert "in-place form" in result.violations[0].message
+
+    def test_norm_of_mutated_operand_is_silent(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            def jitter(v, steps):
+                for step in range(steps):
+                    v[0] = step
+                    scale = np.linalg.norm(v)
+                return scale
+            """)
+        assert codes(result) == []
+
+    def test_scope_config_limits_rule(self, tmp_path):
+        config = Config(root=tmp_path, r111_scope=("pkg/serving",))
+        body = """\
+            import numpy as np
+            def load(path):
+                return np.load(path)
+            """
+        in_scope = lint_source(tmp_path, body,
+                               filename="pkg/serving/a.py",
+                               select=["R111"], config=config)
+        out_of_scope = lint_source(tmp_path, body,
+                                   filename="pkg/corpus/b.py",
+                                   select=["R111"], config=config)
+        assert codes(in_scope) == ["R111"]
+        assert codes(out_of_scope) == []
+
+
+class TestR112ConcurrencySafety:
+    def flags(self, tmp_path, source, **kwargs):
+        return lint_source(tmp_path, textwrap.dedent(source),
+                           select=["R112"], **kwargs)
+
+    def test_flags_lambda_to_process_pool(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fanout(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(lambda: item)
+                            for item in items]
+            """)
+        assert codes(result) == ["R112"]
+        assert "not picklable" in result.violations[0].message
+
+    def test_lambda_to_thread_pool_is_fine(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fanout(items):
+                with ThreadPoolExecutor() as pool:
+                    return [pool.submit(lambda: item)
+                            for item in items]
+            """)
+        assert codes(result) == []
+
+    def test_flags_local_def_to_process_pool(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fanout(items):
+                def local(x):
+                    return x
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(local, items))
+            """)
+        assert codes(result) == ["R112"]
+        assert "'local'" in result.violations[0].message
+
+    def test_flags_worker_mutating_module_dict(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            _RESULTS = {}
+
+            def worker(item):
+                _RESULTS[item] = item
+                return item
+
+            def fanout(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(worker, items))
+            """)
+        assert codes(result) == ["R112"]
+        assert "silently lost" in result.violations[0].message
+
+    def test_thread_pool_mutation_reports_race(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            _RESULTS = {}
+
+            def worker(item):
+                _RESULTS[item] = item
+                return item
+
+            def fanout(items):
+                with ThreadPoolExecutor() as pool:
+                    return list(pool.map(worker, items))
+            """)
+        assert codes(result) == ["R112"]
+        assert "race" in result.violations[0].message
+
+    def test_worker_reading_module_dict_is_fine(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            _TABLE = {"a": 1}
+
+            def worker(item):
+                return _TABLE.get(item, 0)
+
+            def fanout(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(worker, items))
+            """)
+        assert codes(result) == []
+
+    def test_worker_shadowing_module_name_is_fine(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            _RESULTS = {}
+
+            def worker(item):
+                _RESULTS = {}
+                _RESULTS[item] = item
+                return _RESULTS
+
+            def fanout(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(worker, items))
+            """)
+        assert codes(result) == []
+
+    def test_flags_worker_drawing_module_generator(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            import numpy as np
+            from concurrent.futures import ProcessPoolExecutor
+
+            _RNG = np.random.default_rng(0)
+
+            def worker(n):
+                return _RNG.random(n)
+
+            def fanout(sizes):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(worker, sizes))
+            """)
+        assert codes(result) == ["R112"]
+        assert "identical streams" in result.violations[0].message
+
+    def test_partial_is_looked_through(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            import functools
+            from concurrent.futures import ProcessPoolExecutor
+
+            _SEEN = []
+
+            def worker(prefix, item):
+                _SEEN.append(item)
+                return prefix + item
+
+            def fanout(items):
+                task = functools.partial(worker, "x")
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(task, items))
+            """)
+        # The partial is assigned to a name first — the rule only
+        # looks through an inline partial(...) in the submit call.
+        result_inline = self.flags(tmp_path, """\
+            import functools
+            from concurrent.futures import ProcessPoolExecutor
+
+            _SEEN = []
+
+            def worker(prefix, item):
+                _SEEN.append(item)
+                return prefix + item
+
+            def fanout(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(
+                        functools.partial(worker, "x"), items))
+            """, filename="inline.py")
+        assert codes(result_inline) == ["R112"]
+
+    def test_flags_unsynchronized_cache_class(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            class ShardCache:
+                def __init__(self):
+                    self._store = {}
+
+                def put(self, key, value):
+                    self._store[key] = value
+            """)
+        assert codes(result) == ["R112"]
+        assert "self._store" in result.violations[0].message
+
+    def test_locked_cache_class_is_fine(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            import threading
+
+            class ShardCache:
+                def __init__(self):
+                    self._store = {}
+                    self._lock = threading.Lock()
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._store[key] = value
+            """)
+        assert codes(result) == []
+
+    def test_read_only_cache_class_is_fine(self, tmp_path):
+        result = self.flags(tmp_path, """\
+            class CacheView:
+                def __init__(self, entries):
+                    self._entries = entries
+
+                def get(self, key):
+                    return self._entries.get(key)
+            """)
+        assert codes(result) == []
+
+    def test_scope_config_limits_rule(self, tmp_path):
+        config = Config(root=tmp_path, r112_scope=("pkg/serving",))
+        source = """\
+            class TinyCache:
+                def __init__(self):
+                    self._d = {}
+
+                def put(self, k, v):
+                    self._d[k] = v
+            """
+        in_scope = lint_source(tmp_path, textwrap.dedent(source),
+                               filename="pkg/serving/a.py",
+                               select=["R112"], config=config)
+        out_of_scope = lint_source(tmp_path, textwrap.dedent(source),
+                                   filename="pkg/other/b.py",
+                                   select=["R112"], config=config)
+        assert codes(in_scope) == ["R112"]
+        assert codes(out_of_scope) == []
+
+
+class TestNewFamilyAutofixes:
+    def test_astype_chain_folds_into_dtype_kwarg(self, tmp_path):
+        path = write(tmp_path, """\
+            import numpy as np
+
+            def convert(raw):
+                return np.asarray(raw).astype(np.float64)
+            """)
+        result = fix_paths([str(path)], Config(root=tmp_path),
+                           ["R110"])
+        fixed = path.read_text()
+        assert "np.asarray(raw, dtype=np.float64)" in fixed
+        assert ".astype" not in fixed
+        assert result.total == 2  # kwarg insertion + chain removal
+        ast.parse(fixed)
+
+    def test_astype_chain_fix_is_idempotent(self, tmp_path):
+        path = write(tmp_path, """\
+            import numpy as np
+
+            def convert(raw):
+                return np.asarray(raw).astype(np.float64)
+            """)
+        fix_paths([str(path)], Config(root=tmp_path), ["R110"])
+        once = path.read_text()
+        second = fix_paths([str(path)], Config(root=tmp_path),
+                           ["R110"])
+        assert second.total == 0
+        assert path.read_text() == once
+
+    def test_redundant_astype_is_not_autofixed(self, tmp_path):
+        # Dropping .astype() on an already-matching dtype would change
+        # copy semantics; that finding stays human-only.
+        path = write(tmp_path, """\
+            import numpy as np
+
+            a = np.zeros(3, dtype=np.float64)
+            b = a.astype(np.float64)
+            """)
+        before = path.read_text()
+        result = fix_paths([str(path)], Config(root=tmp_path),
+                           ["R110"])
+        assert result.total == 0
+        assert path.read_text() == before
+
+    def test_np_load_gains_mmap_mode(self, tmp_path):
+        path = write(tmp_path, """\
+            import numpy as np
+
+            def load(path):
+                return np.load(path)
+            """)
+        result = fix_paths([str(path)], Config(root=tmp_path),
+                           ["R111"])
+        assert 'np.load(path, mmap_mode="r")' in path.read_text()
+        assert result.total == 1
+        second = fix_paths([str(path)], Config(root=tmp_path),
+                           ["R111"])
+        assert second.total == 0
+
+    def test_suppressed_lines_not_fixed(self, tmp_path):
+        path = write(tmp_path, textwrap.dedent("""\
+            import numpy as np
+
+            def load(path):
+                return np.load(path)  # reprolint: disable=R111 eager ok
+            """))
+        result = fix_paths([str(path)], Config(root=tmp_path),
+                           ["R111"])
+        assert result.total == 0
+        assert "mmap_mode" not in path.read_text()
+
+    def test_fix_respects_r111_scope(self, tmp_path):
+        config = Config(root=tmp_path, r111_scope=("hot",))
+        cold = write(tmp_path, """\
+            import numpy as np
+
+            def load(path):
+                return np.load(path)
+            """, filename="cold/loader.py")
+        before = cold.read_text()
+        result = fix_paths([str(cold)], config, ["R111"])
+        assert result.total == 0
+        assert cold.read_text() == before
+
+
+class TestCacheJobsInteraction:
+    def _tree(self, tmp_path):
+        for index in range(5):
+            write(tmp_path,
+                  "import numpy as np\n"
+                  f"A{index} = np.zeros((3, {index + 4}))\n"
+                  f"bad{index} = A{index} @ A{index}\n"
+                  f"s{index} = np.zeros(3, dtype=np.float32).sum()\n",
+                  filename=f"pkg/m{index}.py")
+        return Config(root=tmp_path), tmp_path / "cache.json"
+
+    def test_warm_multiprocess_run_replays_identical(self, tmp_path):
+        config, cache = self._tree(tmp_path)
+        cold = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R100", "R110"], cache=str(cache),
+                          jobs=2)
+        warm = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R100", "R110"], cache=str(cache),
+                          jobs=2)
+        assert cold.cache_misses == 5 and cold.cache_hits == 0
+        assert warm.cache_hits == 5 and warm.cache_misses == 0
+        assert [v.render() for v in cold.violations] == \
+            [v.render() for v in warm.violations]
+        assert len(cold.violations) == 10  # one R100 + one R110 each
+
+    def test_serial_warm_replays_multiprocess_cold(self, tmp_path):
+        config, cache = self._tree(tmp_path)
+        cold = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R100", "R110"], cache=str(cache),
+                          jobs=2)
+        warm = lint_paths([str(tmp_path / "pkg")], config=config,
+                          select=["R100", "R110"], cache=str(cache),
+                          jobs=1)
+        assert warm.cache_hits == 5
+        assert [v.render() for v in cold.violations] == \
+            [v.render() for v in warm.violations]
+
+    def test_corrupt_cache_under_jobs_fails_open(self, tmp_path):
+        config, cache = self._tree(tmp_path)
+        lint_paths([str(tmp_path / "pkg")], config=config,
+                   select=["R100", "R110"], cache=str(cache), jobs=2)
+        cache.write_text('{"broken": ')
+        result = lint_paths([str(tmp_path / "pkg")], config=config,
+                            select=["R100", "R110"], cache=str(cache),
+                            jobs=2)
+        assert result.cache_hits == 0
+        assert len(result.violations) == 10
+        # The run rewrites a valid cache behind itself.
+        rewarm = lint_paths([str(tmp_path / "pkg")], config=config,
+                            select=["R100", "R110"], cache=str(cache),
+                            jobs=2)
+        assert rewarm.cache_hits == 5

@@ -218,6 +218,42 @@ class TestLRUResultCache:
         cache.put("a", np.array([1]))
         assert cache.get("a") is None and len(cache) == 0
 
+    def test_concurrent_access_stays_consistent(self):
+        # Regression for the unsynchronized OrderedDict: get() is
+        # read-and-reorder and put() is insert-and-evict, so without
+        # the lock concurrent workers corrupt the dict (KeyError from
+        # move_to_end racing popitem) and the counters drift.
+        import threading
+
+        cache = LRUResultCache(capacity=16)
+        n_threads, n_ops = 8, 300
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def hammer(worker):
+            try:
+                barrier.wait()
+                for i in range(n_ops):
+                    key = ("v", (worker * 11 + i) % 40, 10)
+                    cache.put(key, np.arange(5) + worker)
+                    got = cache.get(key)
+                    if got is not None and got.shape != (5,):
+                        errors.append(f"bad shape {got.shape}")
+                cache.clear()
+            except Exception as error:  # noqa: BLE001 - recorded
+                errors.append(repr(error))
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= 16
+        # Every lookup is counted exactly once under the lock.
+        assert cache.hits + cache.misses == n_threads * n_ops
+
 
 class TestIndexWriter:
     def test_drift_monotone_in_adds(self, model, rng):

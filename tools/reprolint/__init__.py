@@ -31,15 +31,28 @@ R101   RNG provenance: raw ``default_rng`` / ``Generator``
        module-level shared generators.
 R102   Contract drift: docstring ``Args`` vs signatures, Retriever
        protocol conformance, and source vs ``docs/API.md``.
+R110   Dtype flow: symbolic dtypes through constructors / ``astype``
+       / arithmetic / ``@`` / SVD factors; mixed-dtype GEMMs, silent
+       float64 upcasts in float32 scopes, redundant ``astype``
+       round-trips, float32 accumulations (scoped via
+       ``r110-scope``).
+R111   Hot-path allocation: assign-back temporaries with an in-place
+       / ``out=`` form, eager ``np.load`` without ``mmap_mode``, and
+       loop-invariant ``np.linalg.norm`` recomputation (scoped via
+       ``r111-scope``).
+R112   Concurrency safety: module-level mutable state or shared
+       Generators reachable from pool workers, non-picklable
+       submissions to process pools, and unsynchronized cache
+       classes (scoped via ``r112-scope``).
 =====  ==============================================================
 
 Violations are suppressed per line with ``# reprolint: disable=Rxxx``
 and configured through the ``[tool.reprolint]`` table of
 ``pyproject.toml``.  Run as ``python -m tools.reprolint src/repro`` or
 through the packaged CLI as ``repro lint``.  ``--fix`` applies the
-safe, idempotent autofixes (R003/R005/R006/R100); ``--cache`` enables
-the content-hash incremental cache; ``--format sarif``/``github``
-target CI surfaces.
+safe, idempotent autofixes (R003/R005/R006/R100/R110/R111);
+``--cache`` enables the content-hash incremental cache; ``--format
+sarif``/``github`` target CI surfaces.
 """
 
 from tools.reprolint.config import Config, load_config

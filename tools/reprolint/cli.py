@@ -58,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the rule catalogue and exit")
     parser.add_argument("--fix", action="store_true",
                         help="apply the safe autofixes (R003/R005/"
-                             "R006/R100) before linting")
+                             "R006/R100/R110/R111) before linting")
     parser.add_argument("--check", action="store_true",
                         help="with --fix: report what would change "
                              "without writing; exit 1 if anything "

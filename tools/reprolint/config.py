@@ -11,6 +11,9 @@ The table is intentionally small::
     r100-scope = ["src/repro/core", "src/repro/linalg"]
     r101-allow = ["src/repro/utils/rng.py"]
     r102-exempt = ["src/repro/experiments"]
+    r110-scope = ["src/repro/core", "src/repro/linalg"]
+    r111-scope = ["src/repro/serving", "src/repro/linalg/dense.py"]
+    r112-scope = []                    # empty scope = everywhere
 
 Keys may be spelled with dashes or underscores.  Path entries are
 interpreted relative to the project root (the directory holding
@@ -36,10 +39,11 @@ __all__ = ["Config", "ConfigError", "find_pyproject", "load_config"]
 
 #: Every rule code reprolint knows about, in catalogue order.
 ALL_RULE_CODES = ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                  "R100", "R101", "R102")
+                  "R100", "R101", "R102", "R110", "R111", "R112")
 
 _LIST_KEYS = ("select", "exclude", "r001_allow", "r004_allow",
-              "r006_exempt", "r100_scope", "r101_allow", "r102_exempt")
+              "r006_exempt", "r100_scope", "r101_allow", "r102_exempt",
+              "r110_scope", "r111_scope", "r112_scope")
 
 
 class ConfigError(ValueError):
@@ -69,6 +73,12 @@ class Config:
     r101_allow: tuple = ()
     #: Modules exempt from R102 contract-drift checks.
     r102_exempt: tuple = ()
+    #: Paths where R110 dtype-flow runs (empty = everywhere linted).
+    r110_scope: tuple = ()
+    #: Hot paths where R111 allocation checks run (empty = everywhere).
+    r111_scope: tuple = ()
+    #: Paths where R112 concurrency checks run (empty = everywhere).
+    r112_scope: tuple = ()
 
     def relative(self, path) -> str:
         """``path`` as a posix string relative to the project root."""

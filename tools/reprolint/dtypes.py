@@ -1,0 +1,460 @@
+"""R110: symbolic dtype-flow analysis.
+
+The float32 program on the ROADMAP (opt-in single-precision compute
+with *measured* ranking agreement) only works if precision changes are
+deliberate: a hidden float64 upcast quietly restores the cost the
+float32 path was buying back, and a mixed-dtype GEMM forces BLAS to
+promote one operand through a full temporary copy before multiplying.
+Conversely, a float32 accumulation (``float32_array.sum()``) loses bits
+the spectral bounds assume are there.  All four failure modes are
+invisible at runtime — the numbers still print — so this pass tracks a
+symbolic dtype for every name it can prove, alongside the shape flow of
+R100:
+
+- constructors seed dtypes: ``np.zeros(...)`` is float64 unless a
+  ``dtype=`` says otherwise, ``rng.standard_normal`` is float64,
+  ``rng.integers`` is int64, ``np.asarray(x, dtype=...)`` is explicit;
+- ``.astype(d)`` re-seeds, ``.T`` / ``.copy()`` / ``reshape`` /
+  indexing preserve, arithmetic and ``@`` promote;
+- ``np.linalg.svd`` factors and the repo's ``truncated_svd`` factor
+  objects inherit the input's dtype.
+
+Four findings, each only when every involved dtype is positively known:
+
+1. **mixed-dtype GEMM** — ``@`` / ``np.dot`` / ``np.matmul`` between
+   different float widths promotes through a temporary copy of the
+   narrower operand *every call*;
+2. **silent float64 upcast** — arithmetic combining float32 with
+   float64 inside a scope that deliberately constructed float32 data
+   widens the result back to double behind the caller's back;
+3. **redundant astype** — ``.astype(d)`` on a value already known to
+   be ``d`` allocates a full copy to change nothing (and an
+   ``astype`` chained straight onto ``np.asarray``/``np.array``
+   belongs in the constructor's ``dtype=`` kwarg — one allocation,
+   not two; this form is autofixable);
+4. **dtype-unstable accumulation** — ``sum``/``mean`` over a known
+   float32 array without an explicit ``dtype=`` accumulates in single
+   precision; write the accumulator dtype down either way.
+
+Like R100, the rule stays silent whenever it cannot prove a dtype, and
+``r110-scope`` confines it to the numerical layers where precision is
+policy rather than accident.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.dataflow import ImportMap, bound_names, iter_scopes
+from tools.reprolint.rules import ModuleContext, Rule
+
+__all__ = ["DtypeFlow", "infer_module_dtypes", "parse_dtype"]
+
+#: Canonical dtype names the flow reasons about.
+_FLOAT_DTYPES = frozenset({"float16", "float32", "float64"})
+
+#: dotted origin (via ImportMap) -> canonical dtype name.
+_DTYPE_ORIGINS = {
+    "numpy.float16": "float16",
+    "numpy.float32": "float32",
+    "numpy.float64": "float64",
+    "numpy.single": "float32",
+    "numpy.double": "float64",
+    "numpy.int32": "int32",
+    "numpy.int64": "int64",
+    "numpy.intp": "int64",
+    "numpy.bool_": "bool",
+}
+
+#: Constructors defaulting to float64 when no ``dtype=`` is given.
+_FLOAT64_DEFAULT_CONSTRUCTORS = frozenset({
+    "numpy.zeros", "numpy.ones", "numpy.empty", "numpy.eye",
+    "numpy.identity", "numpy.linspace",
+})
+
+#: Constructors whose dtype follows their first argument (or ``dtype=``).
+_PRESERVING_CONSTRUCTORS = frozenset({
+    "numpy.asarray", "numpy.array", "numpy.ascontiguousarray",
+    "numpy.asfortranarray", "numpy.copy", "numpy.clip", "numpy.abs",
+    "numpy.sqrt", "numpy.zeros_like", "numpy.ones_like",
+    "numpy.empty_like", "numpy.full_like",
+})
+
+#: Generator sampling methods defaulting to float64.
+_FLOAT_SAMPLERS = frozenset({
+    "random", "standard_normal", "normal", "uniform", "beta", "gamma",
+})
+
+#: Methods that preserve the receiver's dtype.
+_PRESERVING_METHODS = frozenset({
+    "copy", "reshape", "transpose", "ravel", "flatten", "clip",
+})
+
+#: Accumulating reductions checked for float32 instability.
+_ACCUMULATORS = frozenset({"sum", "mean"})
+_ACCUMULATOR_FUNCTIONS = frozenset({"numpy.sum", "numpy.mean"})
+
+#: Constructor chain heads whose ``.astype`` belongs in ``dtype=``.
+_CHAIN_HEADS = frozenset({"numpy.asarray", "numpy.array"})
+
+
+def parse_dtype(node, imports: ImportMap) -> "str | None":
+    """Canonical dtype name an AST dtype expression denotes, if known."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+        return name if name in _FLOAT_DTYPES \
+            or name in _DTYPE_ORIGINS.values() else None
+    if isinstance(node, ast.Name):
+        if node.id == "float":
+            return "float64"
+        if node.id == "int":
+            return "int64"
+        if node.id == "bool":
+            return "bool"
+    origin = imports.resolve(node)
+    if origin is not None:
+        return _DTYPE_ORIGINS.get(origin)
+    return None
+
+
+def _promote(left: str, right: str) -> "str | None":
+    """NumPy-style promotion of two known dtypes (floats win, wider wins)."""
+    if left == right:
+        return left
+    ranked = {"bool": 0, "int32": 1, "int64": 2,
+              "float16": 3, "float32": 4, "float64": 5}
+    if left in ranked and right in ranked:
+        winner = left if ranked[left] >= ranked[right] else right
+        if winner in ("int32", "int64") \
+                and (left in _FLOAT_DTYPES or right in _FLOAT_DTYPES):
+            return left if left in _FLOAT_DTYPES else right
+        return winner
+    return None
+
+
+class DtypeFlow(Rule):
+    """R110: flag silent upcasts, mixed GEMMs, redundant/unstable casts."""
+
+    code = "R110"
+    summary = ("dtype flow: mixed-dtype GEMM, silent float64 upcast, "
+               "redundant astype, float32 accumulation")
+
+    def check(self, ctx: ModuleContext):
+        scope_patterns = getattr(ctx.config, "r110_scope", ())
+        if scope_patterns and not ctx.config.path_matches(
+                ctx.abspath, scope_patterns):
+            return
+        imports = ImportMap(ctx.tree, getattr(ctx, "module_name", None))
+        for scope in iter_scopes(ctx.tree):
+            analysis = _DtypeAnalysis(ctx, self, imports)
+            yield from analysis.run(scope)
+
+
+def infer_module_dtypes(tree: ast.Module) -> dict:
+    """Module-level name → dtype map (exposed for tests/tooling)."""
+    imports = ImportMap(tree)
+    for scope in iter_scopes(tree):
+        analysis = _DtypeAnalysis(None, None, imports)
+        list(analysis.run(scope))
+        return dict(analysis.env)
+    return {}
+
+
+class _DtypeAnalysis:
+    """One forward dtype-flow pass over a single scope."""
+
+    def __init__(self, ctx, rule, imports: ImportMap):
+        self.ctx = ctx
+        self.rule = rule
+        self.imports = imports
+        #: name -> canonical dtype string.
+        self.env: dict = {}
+        #: SVD-factor objects: name -> dtype shared by every factor.
+        self.attrs: dict = {}
+        #: The scope deliberately constructed float32 data somewhere.
+        self.declared_float32 = False
+        self._violations: list = []
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self, scope):
+        """Yield violations for ``scope``'s statements in order."""
+        for stmt in scope.statements:
+            self._violations = []
+            self._visit_statement(stmt)
+            yield from self._violations
+
+    def _report(self, node, message) -> None:
+        if self.rule is not None and self.ctx is not None:
+            self._violations.append(
+                self.rule.violation(self.ctx, node, message))
+
+    def _bind(self, name, dtype) -> None:
+        self.attrs.pop(name, None)
+        if dtype is None:
+            self.env.pop(name, None)
+        else:
+            self.env[name] = dtype
+            if dtype == "float32":
+                self.declared_float32 = True
+
+    # ------------------------------------------------------------------
+    # Statement transfer
+    # ------------------------------------------------------------------
+
+    def _visit_statement(self, stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            dtype = self._infer(stmt.value)
+            handled = self._bind_svd(stmt.targets, stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    if not handled:
+                        self._bind(target.id, dtype)
+                else:
+                    for name in bound_names(target):
+                        if not handled:
+                            self._bind(name, None)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                dtype = self._infer(stmt.value) \
+                    if stmt.value is not None else None
+                self._bind(stmt.target.id, dtype)
+        elif isinstance(stmt, ast.AugAssign):
+            self._infer(stmt.value)
+            for name in bound_names(stmt.target):
+                self._bind(name, None)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._infer(stmt.iter)
+            for name in bound_names(stmt.target):
+                self._bind(name, None)
+        elif isinstance(stmt, ast.Expr):
+            self._infer(stmt.value)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._infer(stmt.value)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._infer(child)
+
+    def _bind_svd(self, targets, value) -> bool:
+        """Propagate the input dtype through SVD factor producers."""
+        if not isinstance(value, ast.Call):
+            return False
+        origin = self.imports.resolve(value.func)
+        input_dtype = self._infer(value.args[0]) if value.args else None
+        if origin == "numpy.linalg.svd" and len(targets) == 1 \
+                and isinstance(targets[0], (ast.Tuple, ast.List)) \
+                and all(isinstance(e, ast.Name)
+                        for e in targets[0].elts):
+            for element in targets[0].elts:
+                self._bind(element.id, input_dtype)
+            return True
+        if origin is not None and origin.endswith("truncated_svd") \
+                and len(targets) == 1 \
+                and isinstance(targets[0], ast.Name):
+            name = targets[0].id
+            self.env.pop(name, None)
+            if input_dtype is not None:
+                self.attrs[name] = input_dtype
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Expression inference
+    # ------------------------------------------------------------------
+
+    def _infer(self, node) -> "str | None":
+        """Dtype of ``node`` (and flag violations found inside it)."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._infer_attribute(node)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._infer(node.operand)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.Subscript):
+            base = self._infer(node.value)
+            self._infer(node.slice)
+            return base
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return None
+            if isinstance(node.value, int):
+                return None  # python ints promote weakly (NEP 50)
+            if isinstance(node.value, float):
+                return None  # python floats promote weakly too
+            return None
+        if isinstance(node, ast.IfExp):
+            self._infer(node.test)
+            body = self._infer(node.body)
+            orelse = self._infer(node.orelse)
+            return body if body == orelse else None
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._infer(child)
+        return None
+
+    def _infer_attribute(self, node: ast.Attribute) -> "str | None":
+        if node.attr == "T":
+            return self._infer(node.value)
+        if isinstance(node.value, ast.Name):
+            factor_dtype = self.attrs.get(node.value.id)
+            if factor_dtype is not None \
+                    and node.attr in ("u", "vt", "singular_values"):
+                return factor_dtype
+        self._infer(node.value)
+        return None
+
+    @staticmethod
+    def _is_weak_scalar(node) -> bool:
+        """Python int/float literal: promotes weakly under NEP 50."""
+        if isinstance(node, ast.UnaryOp) \
+                and isinstance(node.op, (ast.UAdd, ast.USub)):
+            node = node.operand
+        return isinstance(node, ast.Constant) \
+            and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool)
+
+    def _infer_binop(self, node: ast.BinOp) -> "str | None":
+        left = self._infer(node.left)
+        right = self._infer(node.right)
+        if left is None or right is None:
+            # A known array dtype survives mixing with a Python scalar
+            # literal (weak promotion, NEP 50); anything else unknown
+            # makes the result unknown — never flag on a guess.
+            if left is not None and self._is_weak_scalar(node.right):
+                return left
+            if right is not None and self._is_weak_scalar(node.left):
+                return right
+            return None
+        if isinstance(node.op, ast.MatMult):
+            return self._gemm(node, left, right)
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div,
+                                ast.Pow, ast.FloorDiv, ast.Mod)):
+            result = _promote(left, right)
+            if left != right and {left, right} <= _FLOAT_DTYPES \
+                    and self.declared_float32 \
+                    and result == "float64":
+                narrow = left if left != "float64" else right
+                self._report(
+                    node,
+                    f"silent float64 upcast: {narrow} and float64 "
+                    "operands promote to float64 in a scope that "
+                    "deliberately built float32 data; cast one side "
+                    "explicitly so the precision choice is visible")
+            return result
+        return None
+
+    def _gemm(self, node, left: str, right: str) -> "str | None":
+        if left != right and {left, right} <= _FLOAT_DTYPES:
+            self._report(
+                node,
+                f"mixed-dtype GEMM: {left} @ {right} forces BLAS to "
+                "promote the narrower operand through a temporary "
+                "copy on every call; cast once at construction so "
+                "both operands share a dtype")
+        return _promote(left, right)
+
+    def _infer_call(self, node: ast.Call) -> "str | None":
+        for argument in node.args:
+            self._infer(argument)
+        for keyword in node.keywords:
+            if keyword.arg != "dtype":
+                self._infer(keyword.value)
+        origin = self.imports.resolve(node.func)
+        explicit = next((parse_dtype(kw.value, self.imports)
+                         for kw in node.keywords
+                         if kw.arg == "dtype"), None)
+        if explicit == "float32":
+            self.declared_float32 = True
+        if origin in _FLOAT64_DEFAULT_CONSTRUCTORS:
+            return explicit or "float64"
+        if origin == "numpy.full" and len(node.args) >= 2:
+            return explicit or self._infer(node.args[1])
+        if origin in _PRESERVING_CONSTRUCTORS:
+            if explicit is not None:
+                return explicit
+            return self._infer(node.args[0]) if node.args else None
+        if origin in _ACCUMULATOR_FUNCTIONS and node.args:
+            return self._accumulate(node, self._infer(node.args[0]),
+                                    origin.replace("numpy.", "np."),
+                                    explicit)
+        if origin in ("numpy.dot", "numpy.matmul") \
+                and len(node.args) == 2:
+            left = self._infer(node.args[0])
+            right = self._infer(node.args[1])
+            if left is not None and right is not None:
+                return self._gemm(node, left, right)
+            return None
+        if origin is not None and origin in _DTYPE_ORIGINS:
+            return _DTYPE_ORIGINS[origin]  # np.float32(x) scalar
+        if isinstance(node.func, ast.Attribute):
+            return self._infer_method_call(node, explicit)
+        return None
+
+    def _infer_method_call(self, node: ast.Call,
+                           explicit: "str | None") -> "str | None":
+        func = node.func
+        receiver = self._infer(func.value)
+        if func.attr == "astype":
+            return self._astype(node, receiver)
+        if func.attr in _PRESERVING_METHODS:
+            return receiver
+        if func.attr in _ACCUMULATORS:
+            return self._accumulate(node, receiver,
+                                    f".{func.attr}()", explicit)
+        if receiver is None and func.attr in _FLOAT_SAMPLERS:
+            return explicit or "float64"
+        if receiver is None and func.attr == "integers":
+            return explicit or "int64"
+        return None
+
+    def _astype(self, node: ast.Call, receiver: "str | None"):
+        target = parse_dtype(node.args[0], self.imports) \
+            if len(node.args) == 1 and not node.keywords else None
+        if target is None:
+            return None
+        if target == "float32":
+            self.declared_float32 = True
+        if receiver is not None and receiver == target:
+            self._report(
+                node,
+                f"redundant astype: the value is already {target}, so "
+                ".astype() allocates a full copy to change nothing; "
+                "drop the cast (or use .copy() if the copy is the "
+                "point)")
+            return target
+        inner = node.func.value
+        if isinstance(inner, ast.Call) \
+                and self.imports.resolve(inner.func) in _CHAIN_HEADS \
+                and not any(kw.arg == "dtype" for kw in inner.keywords):
+            self._report(
+                node,
+                "astype chained onto an array constructor allocates "
+                "twice; fold the cast into the constructor's dtype= "
+                "kwarg")
+        return target
+
+    def _accumulate(self, node, operand: "str | None", label: str,
+                    explicit: "str | None") -> "str | None":
+        has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+        if operand == "float32" and not has_dtype:
+            self._report(
+                node,
+                f"dtype-unstable accumulation: {label} over a float32 "
+                "array accumulates in single precision; pass dtype= "
+                "explicitly (dtype=np.float64 to accumulate wide, "
+                "dtype=np.float32 to declare the narrow sum "
+                "deliberate)")
+        if has_dtype:
+            return explicit
+        return operand

@@ -10,8 +10,11 @@ per-file rule" and "every rule summary".
 
 from __future__ import annotations
 
+from tools.reprolint.concurrency import ConcurrencySafety
 from tools.reprolint.contracts import ContractDrift
 from tools.reprolint.dataflow import RNGProvenance
+from tools.reprolint.dtypes import DtypeFlow
+from tools.reprolint.hotpath import HotPathAllocation
 from tools.reprolint.rules import FILE_RULES as _BASE_FILE_RULES
 from tools.reprolint.shapes import ShapeFlow
 
@@ -19,7 +22,8 @@ __all__ = ["FILE_RULES", "RULES"]
 
 #: Every per-file rule instance, in catalogue order.
 FILE_RULES = (*_BASE_FILE_RULES, ShapeFlow(), RNGProvenance(),
-              ContractDrift())
+              ContractDrift(), DtypeFlow(), HotPathAllocation(),
+              ConcurrencySafety())
 
 #: code -> one-line summary for ``--list-rules`` (R007 is the
 #: project-level cycle check from :mod:`tools.reprolint.cycles`).

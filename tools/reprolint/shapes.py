@@ -80,7 +80,7 @@ def _dim(node) -> str:
         return str(node.value)
     try:
         text = ast.unparse(node)
-    except Exception:  # pragma: no cover - unparse is total on 3.9+
+    except Exception:  # reprolint: disable=R005  fail-open to "?" dim
         return UNKNOWN_DIM
     return " ".join(text.split()) or UNKNOWN_DIM
 
