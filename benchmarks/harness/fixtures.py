@@ -10,21 +10,86 @@ share the object instead of regenerating it.
 Caching is safe because corpora are treated as immutable by every
 consumer — ``term_document_matrix()`` builds a fresh matrix per call,
 and benchmarks only read.
+
+Two cache layers:
+
+- an in-process ``lru_cache`` (always on), deduplicating within one
+  ``repro bench`` run;
+- an optional on-disk layer for the array-valued fixtures, enabled by
+  pointing ``REPRO_BENCH_FIXTURE_CACHE`` at a directory.  Scale-tier
+  fixtures take longer to generate than some benches take to run, so
+  CI persists this directory between runs.  Cache keys include a
+  fingerprint of the fixture-generation source (this module plus
+  :mod:`repro.corpus`), so editing generation code invalidates every
+  cached artifact instead of silently serving stale corpora.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
 
 from repro.corpus import build_separable_model, generate_corpus
 from repro.corpus.separable import build_zipfian_separable_model
+from repro.linalg.sparse import CSRMatrix
+from repro.linalg.svd import SVDResult
 
 __all__ = [
     "clear_caches",
+    "fixture_fingerprint",
     "separable_corpus",
     "separable_matrix",
+    "synthetic_index_factors",
     "zipfian_corpus",
 ]
+
+#: Environment variable naming the on-disk fixture cache directory.
+CACHE_ENV = "REPRO_BENCH_FIXTURE_CACHE"
+
+
+@lru_cache(maxsize=1)
+def fixture_fingerprint() -> str:
+    """Hash of the fixture-generation source, for disk-cache keys.
+
+    Covers this module and every module in :mod:`repro.corpus`; any
+    edit to generation code changes the fingerprint and orphans old
+    cache entries (CI keys its cache restore on the same content).
+    """
+    import repro.corpus as corpus_pkg
+
+    paths = [Path(__file__)]
+    paths += sorted(Path(corpus_pkg.__file__).parent.glob("*.py"))
+    digest = hashlib.sha256()
+    for path in paths:
+        digest.update(path.name.encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def _cache_path(kind: str, key_parts: tuple) -> "Path | None":
+    """Disk-cache location for a fixture, or ``None`` when disabled."""
+    root = os.environ.get(CACHE_ENV)
+    if not root:
+        return None
+    key = hashlib.sha256(repr(key_parts).encode("utf-8")) \
+        .hexdigest()[:24]
+    return Path(root) / f"{kind}-{fixture_fingerprint()}-{key}.npz"
+
+
+def _atomic_savez(path: Path, **arrays) -> None:
+    """Write an npz then rename into place (parallel runs race safely)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(scratch, "wb") as handle:
+            np.savez(handle, **arrays)
+        scratch.replace(path)
+    finally:
+        scratch.unlink(missing_ok=True)
 
 
 @lru_cache(maxsize=8)
@@ -42,10 +107,28 @@ def separable_corpus(n_terms: int, n_topics: int, n_documents: int,
 def separable_matrix(n_terms: int, n_topics: int, n_documents: int,
                      seed: int, *, primary_mass: float = 0.95,
                      weighting: str = "count"):
-    """A cached term–document matrix of a separable-model corpus."""
+    """A cached term–document matrix of a separable-model corpus.
+
+    Disk-cached (as raw CSR arrays) when ``REPRO_BENCH_FIXTURE_CACHE``
+    is set; a disk hit skips corpus generation entirely.
+    """
+    cache = _cache_path("separable-matrix",
+                        (n_terms, n_topics, n_documents, seed,
+                         primary_mass, weighting))
+    if cache is not None and cache.is_file():
+        with np.load(cache, allow_pickle=False) as payload:
+            return CSRMatrix(tuple(int(s) for s in payload["shape"]),
+                             payload["indptr"], payload["indices"],
+                             payload["data"])
     corpus = separable_corpus(n_terms, n_topics, n_documents, seed,
                               primary_mass=primary_mass)
-    return corpus.term_document_matrix(weighting=weighting)
+    matrix = corpus.term_document_matrix(weighting=weighting)
+    if cache is not None:
+        _atomic_savez(cache,
+                      shape=np.asarray(matrix.shape, dtype=np.int64),
+                      indptr=matrix.indptr, indices=matrix.indices,
+                      data=matrix.data)
+    return matrix
 
 
 @lru_cache(maxsize=8)
@@ -58,8 +141,49 @@ def zipfian_corpus(n_terms: int, n_topics: int, n_documents: int,
     return generate_corpus(model, n_documents, seed=seed)
 
 
+@lru_cache(maxsize=4)
+def synthetic_index_factors(n_terms: int, rank: int, n_documents: int,
+                            seed: int) -> SVDResult:
+    """Synthetic truncated-SVD factors at serving scale.
+
+    The scale-tier serving benches need a ``(n_terms, rank)`` basis and
+    a ``(rank, n_documents)`` document store big enough for GEMM cost
+    to dominate — but fitting real LSI at that size would spend the
+    whole bench budget on the SVD.  Instead: a QR-orthonormalised
+    random basis, strictly descending singular values, and a random
+    ``vt``, with ``frobenius_norm_sq`` set 25% above the captured
+    energy so drift accounting stays well-defined.  The serving layer
+    only relies on the factor *shapes* and the basis's orthonormality,
+    both of which hold exactly.
+
+    Disk-cached when ``REPRO_BENCH_FIXTURE_CACHE`` is set.
+    """
+    cache = _cache_path("index-factors",
+                        (n_terms, rank, n_documents, seed))
+    if cache is not None and cache.is_file():
+        with np.load(cache, allow_pickle=False) as payload:
+            return SVDResult(payload["u"], payload["singular_values"],
+                             payload["vt"],
+                             float(payload["frobenius_norm_sq"]))
+    rng = np.random.default_rng(seed)
+    basis, _ = np.linalg.qr(rng.standard_normal((n_terms, rank)))
+    basis = np.ascontiguousarray(basis)
+    singular_values = np.sort(
+        rng.uniform(1.0, 100.0, size=rank))[::-1].copy()
+    vt = rng.standard_normal((rank, n_documents)) / np.sqrt(rank)
+    frobenius_norm_sq = float(
+        np.sum(singular_values * singular_values) * 1.25)
+    if cache is not None:
+        _atomic_savez(cache, u=basis, singular_values=singular_values,
+                      vt=vt,
+                      frobenius_norm_sq=np.float64(frobenius_norm_sq))
+    return SVDResult(basis, singular_values, vt, frobenius_norm_sq)
+
+
 def clear_caches() -> None:
     """Drop every cached corpus/matrix (used between test runs)."""
     separable_corpus.cache_clear()
     separable_matrix.cache_clear()
     zipfian_corpus.cache_clear()
+    synthetic_index_factors.cache_clear()
+    fixture_fingerprint.cache_clear()

@@ -8,7 +8,9 @@ Three modes, dispatched on the first argument:
   variants without running anything;
 - ``repro bench compare BASELINE.json CURRENT.json [tolerances]`` —
   the regression gate; exits nonzero when a metric moved outside
-  tolerance, a benchmark broke, or baseline coverage was lost.
+  tolerance, a benchmark broke, or baseline coverage was lost;
+- ``repro bench summary CURRENT.json [--baseline BASELINE.json]`` —
+  markdown claims/timing tables for CI step summaries.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import sys
 
 from harness import compare as compare_mod
 from harness import registry, report, runner
+from harness import summary as summary_mod
 
 __all__ = ["main"]
 
@@ -32,7 +35,7 @@ def _add_selection_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--size", default=None,
                         metavar="SIZE",
                         help="keep only SIZE variants (e.g. smoke, "
-                             "full)")
+                             "full, scale)")
 
 
 def _build_run_parser() -> argparse.ArgumentParser:
@@ -89,6 +92,18 @@ def _build_compare_parser() -> argparse.ArgumentParser:
     parser.add_argument("--allow-missing", action="store_true",
                         help="do not fail when baseline benchmarks "
                              "are absent from the current report")
+    return parser
+
+
+def _build_summary_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench summary",
+        description="Render a report as markdown claims/timing tables "
+                    "(for CI step summaries).")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument("--baseline", default=None,
+                        metavar="BASELINE",
+                        help="baseline BENCH_*.json for timing deltas")
     return parser
 
 
@@ -165,6 +180,20 @@ def _command_compare(argv: "list[str]") -> int:
     return 0 if result.ok(allow_missing=args.allow_missing) else 1
 
 
+def _command_summary(argv: "list[str]") -> int:
+    args = _build_summary_parser().parse_args(argv)
+    try:
+        current = report.load_report(args.current)
+        baseline = report.load_report(args.baseline) \
+            if args.baseline else None
+    except report.ReportError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(summary_mod.render_markdown_summary(current,
+                                              baseline))
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Entry point for ``repro bench``; returns the exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -172,6 +201,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _command_compare(argv[1:])
     if argv and argv[0] == "list":
         return _command_list(argv[1:])
+    if argv and argv[0] == "summary":
+        return _command_summary(argv[1:])
     return _command_run(argv)
 
 

@@ -29,9 +29,11 @@ from repro.serving.bundle import (
     write_bundle,
 )
 from repro.serving.engine import (
+    COMPUTE_DTYPES,
     BatchQueryEngine,
     LRUResultCache,
     QueryBatch,
+    ranking_overlap,
     stable_top_k,
 )
 from repro.serving.index import ServedIndex
@@ -42,6 +44,7 @@ __all__ = [
     "BUNDLE_FORMAT",
     "BUNDLE_SCHEMA_VERSION",
     "BatchQueryEngine",
+    "COMPUTE_DTYPES",
     "DriftReport",
     "IndexBundle",
     "IndexWriter",
@@ -50,6 +53,7 @@ __all__ = [
     "ServedIndex",
     "ServingStats",
     "environment_fingerprint",
+    "ranking_overlap",
     "read_bundle",
     "read_manifest",
     "stable_top_k",

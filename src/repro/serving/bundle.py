@@ -1,25 +1,38 @@
 """Versioned on-disk persistence for LSI indexes.
 
-A bundle is a directory with two files:
+A schema-3 bundle is a directory of flat ``.npy`` files plus a
+manifest:
 
-- ``arrays.npz`` — the numerical payload: the truncated SVD factors
-  (``u``, ``singular_values``, ``vt``), the (possibly fold-extended)
-  document store ``doc_vectors``, tombstoned ids, and
-  ``frobenius_norm_sq``, all bit-exact float64 so a load reproduces
-  in-memory rankings exactly;
-- ``manifest.json`` — schema version, shape summary, a SHA-256 checksum
-  of the array payload (corruption detection), an environment
-  fingerprint (same spirit as the benchmark harness's
-  ``BENCH_*.json`` fingerprints: informational, never used for
-  matching), the serving counters, and the writer's drift accounting.
+- one ``.npy`` per array — the truncated SVD factors (``u``,
+  ``singular_values``, ``vt``, ``frobenius_norm_sq``), the (possibly
+  fold-extended) document store ``doc_vectors``, the *pre-normalised*
+  serving factors ``doc_unit``/``doc_norms``, and ``tombstones`` — all
+  bit-exact float64 so a load reproduces in-memory rankings exactly;
+- ``manifest.json`` — schema version, shape summary, the compute
+  precision the index was served at, per-file SHA-256 checksums
+  (corruption detection), an environment fingerprint (same spirit as
+  the benchmark harness's ``BENCH_*.json`` fingerprints:
+  informational, never used for matching), the serving counters, and
+  the writer's drift accounting.
+
+Flat ``.npy`` files exist for exactly one reason: ``np.load(...,
+mmap_mode="r")`` only memory-maps plain ``.npy`` files (arrays inside
+an ``.npz`` zip are always decompressed into fresh memory), and the
+O(manifest) cold-start path depends on mapping the large factors
+read-only.  ``read_bundle(path, mmap=True)`` does exactly that — large
+arrays stay on disk until a query's GEMM first touches their pages —
+and skips checksum verification, since hashing every byte would defeat
+the point; eager reads always verify.
 
 Loading is strict: a missing or unparsable manifest, a foreign
 ``format`` marker, an unsupported ``schema_version``, a checksum
 mismatch, or shape disagreement between manifest and arrays all raise
-:class:`~repro.errors.PersistenceError`.  Schema version 1 (factors
-only, no serving state) still loads, with serving state defaulted — the
-backward-compatibility contract for bundles written before the serving
-layer existed.
+:class:`~repro.errors.PersistenceError`.  Older bundles still load:
+schema 1 (factors-only ``arrays.npz``, no serving state) and schema 2
+(``arrays.npz`` with serving state) fall back to the eager npz path
+with pre-normalised factors recomputed on the fly — the
+backward-compatibility contract for bundles written before this
+layout.
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import PersistenceError, ValidationError
+from repro.linalg.dense import normalize_columns
 from repro.linalg.svd import SVDResult
 from repro.serving.stats import ServingStats
 
@@ -49,11 +63,12 @@ __all__ = [
     "write_bundle",
 ]
 
-#: Marker distinguishing our bundles from arbitrary npz+json directories.
+#: Marker distinguishing our bundles from arbitrary array+json directories.
 BUNDLE_FORMAT = "repro-lsi-index"
 
-#: Current manifest schema version (1 = factors only, 2 = serving state).
-BUNDLE_SCHEMA_VERSION = 2
+#: Current manifest schema version
+#: (1 = factors-only npz, 2 = npz + serving state, 3 = flat mmap-able npy).
+BUNDLE_SCHEMA_VERSION = 3
 
 #: File names inside a bundle directory.
 MANIFEST_NAME = "manifest.json"
@@ -61,6 +76,14 @@ ARRAYS_NAME = "arrays.npz"
 
 #: Arrays every schema version must provide.
 _REQUIRED_ARRAYS = ("u", "singular_values", "vt", "frobenius_norm_sq")
+
+#: Arrays a schema-3 bundle stores, one ``<name>.npy`` file each.
+_V3_ARRAYS = ("u", "singular_values", "vt", "frobenius_norm_sq",
+              "doc_vectors", "doc_unit", "doc_norms", "tombstones")
+
+#: Schema-3 arrays worth memory-mapping (the O(n·k)/O(k·m) payloads);
+#: the rest are O(k)/O(m) vectors loaded eagerly even under ``mmap``.
+_V3_LARGE_ARRAYS = ("u", "vt", "doc_vectors", "doc_unit")
 
 
 def environment_fingerprint() -> dict:
@@ -105,6 +128,15 @@ class IndexBundle:
             (``None`` disables the recommendation).
         stats: serving counters at save time.
         vocabulary: optional term strings (position = term id).
+        doc_unit: ``(k, m_total)`` unit-normalised document store, the
+            precomputed cosine denominator (``None`` until written or
+            read from a schema-3 bundle).
+        doc_norms: length-``m_total`` original column norms paired with
+            ``doc_unit``.
+        compute_dtype: precision the index was served at when saved
+            (``"float64"`` or ``"float32"``); loads default to it.
+        mmapped: whether this image's large arrays are read-only
+            memory maps (set by ``read_bundle(mmap=True)``).
         schema_version: manifest schema the bundle was read from /
             will be written with.
         index_version: content hash of the array payload (filled on
@@ -121,6 +153,10 @@ class IndexBundle:
     drift_threshold: "float | None" = 0.1
     stats: ServingStats = field(default_factory=ServingStats)
     vocabulary: "tuple | None" = None
+    doc_unit: "np.ndarray | None" = None
+    doc_norms: "np.ndarray | None" = None
+    compute_dtype: str = "float64"
+    mmapped: bool = False
     schema_version: int = BUNDLE_SCHEMA_VERSION
     index_version: str = ""
     created_at: str = ""
@@ -147,6 +183,22 @@ class IndexBundle:
             raise ValidationError(
                 f"vocabulary has {len(self.vocabulary)} terms; the index "
                 f"has {self.svd.u.shape[0]}")
+        if (self.doc_unit is None) != (self.doc_norms is None):
+            raise ValidationError(
+                "doc_unit and doc_norms must be provided together")
+        if self.doc_unit is not None:
+            if self.doc_unit.shape != self.doc_vectors.shape:
+                raise ValidationError(
+                    f"doc_unit shape {self.doc_unit.shape} does not match "
+                    f"doc_vectors {self.doc_vectors.shape}")
+            if self.doc_norms.shape != (self.doc_vectors.shape[1],):
+                raise ValidationError(
+                    f"doc_norms shape {self.doc_norms.shape} does not "
+                    f"match {self.doc_vectors.shape[1]} documents")
+        if self.compute_dtype not in ("float64", "float32"):
+            raise ValidationError(
+                f"compute_dtype must be 'float64' or 'float32', got "
+                f"{self.compute_dtype!r}")
 
     @classmethod
     def from_model(cls, model, *, vocabulary=None,
@@ -187,6 +239,7 @@ class IndexBundle:
             "n_tombstoned": len(self.tombstones),
             "unabsorbed_energy": float(self.unabsorbed_energy),
             "drift_threshold": self.drift_threshold,
+            "compute_dtype": self.compute_dtype,
             "stats": self.stats.as_dict(),
             "vocabulary": (list(self.vocabulary)
                            if self.vocabulary is not None else None),
@@ -198,6 +251,11 @@ class IndexBundle:
 def write_bundle(path, bundle: IndexBundle) -> Path:
     """Persist ``bundle`` to directory ``path`` (created if needed).
 
+    Always writes the current schema (one ``.npy`` per array).  The
+    pre-normalised serving factors are computed here in float64 when
+    the bundle does not carry them, so every bundle on disk is
+    mmap-servable with rankings bit-identical to an eager load.
+
     Returns the bundle directory.  Overwrites an existing bundle at the
     same path; refuses to write into a path occupied by a file.
     """
@@ -207,26 +265,46 @@ def write_bundle(path, bundle: IndexBundle) -> Path:
             f"bundle path {directory} exists and is not a directory")
     directory.mkdir(parents=True, exist_ok=True)
 
-    arrays_path = directory / ARRAYS_NAME
-    with open(arrays_path, "wb") as handle:
-        np.savez(handle,
-                 u=bundle.svd.u,
-                 singular_values=bundle.svd.singular_values,
-                 vt=bundle.svd.vt,
-                 frobenius_norm_sq=np.float64(
-                     bundle.svd.frobenius_norm_sq),
-                 doc_vectors=bundle.doc_vectors,
-                 tombstones=np.asarray(sorted(bundle.tombstones),
-                                       dtype=np.int64))
-    checksum = _sha256_file(arrays_path)
+    doc_unit, doc_norms = bundle.doc_unit, bundle.doc_norms
+    if doc_unit is None:
+        doc_unit, doc_norms = normalize_columns(bundle.doc_vectors)
 
+    arrays = {
+        "u": bundle.svd.u,
+        "singular_values": bundle.svd.singular_values,
+        "vt": bundle.svd.vt,
+        "frobenius_norm_sq": np.float64(bundle.svd.frobenius_norm_sq),
+        "doc_vectors": bundle.doc_vectors,
+        "doc_unit": doc_unit,
+        "doc_norms": doc_norms,
+        "tombstones": np.asarray(sorted(bundle.tombstones),
+                                 dtype=np.int64),
+    }
+    checksums = {}
+    for name in _V3_ARRAYS:
+        array_path = directory / f"{name}.npy"
+        np.save(array_path, np.asarray(arrays[name]),
+                allow_pickle=False)
+        checksums[f"{name}.npy"] = _sha256_file(array_path)
+    # A superseded v1/v2 payload in the same directory would shadow
+    # nothing (readers dispatch on schema_version) but waste space and
+    # confuse checksum audits; drop it.
+    legacy = directory / ARRAYS_NAME
+    if legacy.exists():
+        legacy.unlink()
+
+    version_digest = hashlib.sha256(
+        "".join(checksums[key] for key in sorted(checksums))
+        .encode("ascii")).hexdigest()
     stamped = replace(bundle,
+                      doc_unit=doc_unit,
+                      doc_norms=doc_norms,
                       schema_version=BUNDLE_SCHEMA_VERSION,
-                      index_version=checksum.split(":", 1)[1][:16],
+                      index_version=version_digest[:16],
                       created_at=datetime.now(timezone.utc).isoformat(),
                       env=bundle.env or environment_fingerprint())
     manifest = stamped.manifest()
-    manifest["checksums"] = {ARRAYS_NAME: checksum}
+    manifest["checksums"] = checksums
     with open(directory / MANIFEST_NAME, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -238,7 +316,7 @@ def read_manifest(path, *, verify_arrays: bool = False) -> dict:
 
     Args:
         path: the bundle directory.
-        verify_arrays: also recompute the array payload's checksum.
+        verify_arrays: also recompute the array payload checksums.
 
     Raises:
         PersistenceError: missing/unparsable manifest, foreign format,
@@ -266,49 +344,104 @@ def read_manifest(path, *, verify_arrays: bool = False) -> dict:
             f"is {manifest.get('format')!r}); refusing to load a foreign "
             "bundle")
     version = manifest.get("schema_version")
-    if version not in (1, BUNDLE_SCHEMA_VERSION):
+    if version not in (1, 2, BUNDLE_SCHEMA_VERSION):
         raise PersistenceError(
             f"unsupported bundle schema_version {version!r}; this "
             f"reader handles 1..{BUNDLE_SCHEMA_VERSION}")
     if verify_arrays:
-        _verify_checksum(directory, manifest)
+        _verify_checksums(directory, manifest)
     return manifest
 
 
-def _verify_checksum(directory: Path, manifest: dict) -> None:
-    """Recompute the array payload digest and compare to the manifest."""
+def _verify_checksums(directory: Path, manifest: dict) -> None:
+    """Recompute the array payload digests and compare to the manifest."""
+    recorded = manifest.get("checksums") or {}
+    if manifest.get("schema_version") in (1, 2):
+        names = [ARRAYS_NAME]
+    else:
+        names = [f"{name}.npy" for name in _V3_ARRAYS]
+    for name in names:
+        array_path = directory / name
+        if not array_path.is_file():
+            raise PersistenceError(
+                f"bundle {directory} has no {name}")
+        expected = recorded.get(name)
+        if expected is None:
+            raise PersistenceError(
+                f"bundle {directory} manifest records no checksum for "
+                f"{name}")
+        actual = _sha256_file(array_path)
+        if actual != expected:
+            raise PersistenceError(
+                f"bundle {directory} is corrupted: {name} checksum "
+                f"{actual} does not match recorded {expected}")
+
+
+def _load_npz_arrays(directory: Path) -> dict:
+    """Eagerly load a legacy (schema 1/2) ``arrays.npz`` payload."""
     arrays_path = directory / ARRAYS_NAME
-    if not arrays_path.is_file():
-        raise PersistenceError(f"bundle {directory} has no {ARRAYS_NAME}")
-    recorded = (manifest.get("checksums") or {}).get(ARRAYS_NAME)
-    if recorded is None:
+    try:
+        # npz members cannot be memory-mapped (np.load silently copies
+        # them), so the legacy path is eager by necessity.
+        with np.load(arrays_path,  # reprolint: disable=R111
+                     allow_pickle=False) as payload:
+            return {name: payload[name] for name in payload.files}
+    except (OSError, ValueError, zipfile.BadZipFile) as error:
         raise PersistenceError(
-            f"bundle {directory} manifest records no checksum for "
-            f"{ARRAYS_NAME}")
-    actual = _sha256_file(arrays_path)
-    if actual != recorded:
-        raise PersistenceError(
-            f"bundle {directory} is corrupted: {ARRAYS_NAME} checksum "
-            f"{actual} does not match recorded {recorded}")
+            f"unreadable bundle arrays {arrays_path}: {error}") from error
 
 
-def read_bundle(path) -> IndexBundle:
-    """Load, checksum-verify, and shape-check a bundle from disk.
+def _load_npy_arrays(directory: Path, *, mmap: bool) -> dict:
+    """Load a schema-3 payload, optionally mapping the large arrays.
+
+    Under ``mmap`` the :data:`_V3_LARGE_ARRAYS` come back as read-only
+    ``np.memmap`` views — O(page table) now, real I/O deferred to first
+    touch — while the small per-column vectors load eagerly.
+    """
+    arrays = {}
+    for name in _V3_ARRAYS:
+        array_path = directory / f"{name}.npy"
+        if not array_path.is_file():
+            raise PersistenceError(
+                f"bundle {directory} (schema 3) is missing {name}.npy")
+        mode = "r" if mmap and name in _V3_LARGE_ARRAYS else None
+        try:
+            arrays[name] = np.load(array_path, allow_pickle=False,
+                                   mmap_mode=mode)
+        except (OSError, ValueError) as error:
+            raise PersistenceError(
+                f"unreadable bundle array {array_path}: {error}"
+            ) from error
+    return arrays
+
+
+def read_bundle(path, *, mmap: bool = False) -> IndexBundle:
+    """Load, verify, and shape-check a bundle from disk.
+
+    Args:
+        path: the bundle directory.
+        mmap: map the large arrays read-only instead of loading them
+            (schema 3 only; legacy npz bundles fall back to an eager
+            load).  The mmap path is the O(manifest) cold start: it
+            skips checksum verification — hashing the payload would
+            read every byte and defeat the deferral — so corruption
+            surfaces as wrong scores, not a load-time error.  Eager
+            loads always verify.
 
     Raises:
         PersistenceError: on any integrity failure — see
             :func:`read_manifest` plus array/shape validation.
     """
     directory = Path(path)
-    manifest = read_manifest(directory, verify_arrays=True)
-    arrays_path = directory / ARRAYS_NAME
-    try:
-        with np.load(arrays_path, allow_pickle=False,
-                     mmap_mode="r") as payload:
-            arrays = {name: payload[name] for name in payload.files}
-    except (OSError, ValueError, zipfile.BadZipFile) as error:
-        raise PersistenceError(
-            f"unreadable bundle arrays {arrays_path}: {error}") from error
+    manifest = read_manifest(directory)
+    version = int(manifest["schema_version"])
+    use_mmap = bool(mmap) and version >= 3
+    if not use_mmap:
+        _verify_checksums(directory, manifest)
+    if version >= 3:
+        arrays = _load_npy_arrays(directory, mmap=use_mmap)
+    else:
+        arrays = _load_npz_arrays(directory)
 
     missing = [name for name in _REQUIRED_ARRAYS if name not in arrays]
     if missing:
@@ -323,7 +456,8 @@ def read_bundle(path) -> IndexBundle:
             f"bundle {directory} holds an inconsistent SVD: {error}"
         ) from error
 
-    if manifest["schema_version"] == 1:
+    doc_unit = doc_norms = None
+    if version == 1:
         doc_vectors = svd.document_vectors()
         n_original = doc_vectors.shape[1]
         tombstones: tuple = ()
@@ -333,7 +467,8 @@ def read_bundle(path) -> IndexBundle:
     else:
         if "doc_vectors" not in arrays:
             raise PersistenceError(
-                f"bundle {directory} (schema 2) is missing doc_vectors")
+                f"bundle {directory} (schema {version}) is missing "
+                "doc_vectors")
         doc_vectors = arrays["doc_vectors"]
         n_original = int(manifest.get("n_original",
                                       doc_vectors.shape[1]))
@@ -343,6 +478,9 @@ def read_bundle(path) -> IndexBundle:
         stats = ServingStats.from_dict(manifest.get("stats") or {})
         unabsorbed = float(manifest.get("unabsorbed_energy", 0.0))
         threshold = manifest.get("drift_threshold")
+        if version >= 3:
+            doc_unit = arrays["doc_unit"]
+            doc_norms = arrays["doc_norms"]
 
     expected = {"rank": svd.rank, "n_terms": int(svd.u.shape[0]),
                 "n_documents": int(doc_vectors.shape[1])}
@@ -364,7 +502,11 @@ def read_bundle(path) -> IndexBundle:
             drift_threshold=threshold,
             stats=stats,
             vocabulary=tuple(vocabulary) if vocabulary else None,
-            schema_version=int(manifest["schema_version"]),
+            doc_unit=doc_unit,
+            doc_norms=doc_norms,
+            compute_dtype=str(manifest.get("compute_dtype", "float64")),
+            mmapped=use_mmap,
+            schema_version=version,
             index_version=str(manifest.get("index_version", "")),
             created_at=str(manifest.get("created_at", "")),
             env=dict(manifest.get("env") or {}))

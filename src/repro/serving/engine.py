@@ -10,6 +10,21 @@ reproducing the per-query path's rankings *exactly*, including the
 stable ascending-id tie-break of ``np.argsort(kind="stable")``
 (see :func:`stable_top_k`).
 
+The raw-speed program adds three opt-in levers on top:
+
+- ``dtype="float32"`` runs both GEMMs in single precision — roughly
+  half the memory traffic — at the cost of last-ULP score agreement;
+  the serving benchmarks measure the resulting top-k ranking overlap
+  (:func:`ranking_overlap`) as a gated claim instead of assuming it;
+- the hot path is allocation-free: per-thread scratch buffers hold the
+  projected block, the unit queries, and the similarity matrix, so
+  repeated batches of one shape run entirely through ``out=`` GEMMs;
+- ``cache_budget_bytes`` bounds the similarity working set — when the
+  ``(q, m)`` score block would exceed the budget, the document GEMM
+  runs in column panels sized to fit.  Panelled GEMMs are *not*
+  bitwise-identical to one monolithic GEMM (BLAS picks different
+  kernels), so blocking is opt-in and never enabled by default.
+
 :class:`LRUResultCache` memoises rankings keyed on (index version,
 query hash, cutoff), so repeated queries against an unchanged index are
 answered without touching BLAS at all.
@@ -24,16 +39,22 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.errors import ShapeError, ValidationError
-from repro.linalg.dense import ZERO_NORM_TOL, normalize_columns
+from repro.linalg.dense import ZERO_NORM_TOL, normalize_columns, \
+    normalize_columns_into
 from repro.utils.validation import check_non_negative_int, check_top_k, \
     check_vector
 
 __all__ = [
     "BatchQueryEngine",
+    "COMPUTE_DTYPES",
     "LRUResultCache",
     "QueryBatch",
+    "ranking_overlap",
     "stable_top_k",
 ]
+
+#: Compute precisions the engine accepts.
+COMPUTE_DTYPES = ("float64", "float32")
 
 
 def stable_top_k(scores: np.ndarray, top_k: int) -> np.ndarray:
@@ -58,6 +79,30 @@ def stable_top_k(scores: np.ndarray, top_k: int) -> np.ndarray:
     candidates = np.concatenate([above, ties[:top_k - above.size]])
     order = np.argsort(-scores[candidates], kind="stable")
     return candidates[order]
+
+
+def ranking_overlap(rankings_a, rankings_b) -> float:
+    """Mean per-query overlap between two ``(q, k)`` ranking blocks.
+
+    Each row is treated as a set of document ids; the overlap of a row
+    pair is ``|a ∩ b| / k``.  This is the agreement metric the float32
+    compute path is gated on: position-insensitive (a last-ULP score
+    flip that swaps ranks 3 and 4 is not a retrieval regression) but
+    sensitive to any document entering or leaving the cutoff.
+
+    Returns 1.0 for two empty blocks of matching shape.
+    """
+    a = np.asarray(rankings_a)
+    b = np.asarray(rankings_b)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ShapeError(
+            f"ranking blocks must share a 2-D shape, got {a.shape} "
+            f"and {b.shape}")
+    if a.size == 0:
+        return 1.0
+    overlaps = [np.intersect1d(a[row], b[row]).size
+                for row in range(a.shape[0])]
+    return float(np.mean(overlaps)) / a.shape[1]
 
 
 class QueryBatch:
@@ -190,6 +235,33 @@ class LRUResultCache:
                 f"misses={self.misses})")
 
 
+def _check_compute_dtype(dtype) -> np.dtype:
+    """Normalise/validate a compute-precision request."""
+    resolved = np.dtype(dtype)
+    if resolved.name not in COMPUTE_DTYPES:
+        raise ValidationError(
+            f"compute dtype must be one of {COMPUTE_DTYPES}, got "
+            f"{resolved.name!r}")
+    return resolved
+
+
+class _BatchScratch(threading.local):
+    """Per-thread scratch buffers for one query-block shape.
+
+    One engine serves one immutable index generation, so the only
+    thing that varies call to call is the batch width ``q``; buffers
+    are rebuilt when ``q`` changes and reused otherwise.  Thread-local
+    because the sharded serving layer scores through one engine from
+    several worker threads, and a shared similarity buffer would race.
+    """
+
+    n_queries = -1
+    queries = None
+    projected = None
+    unit = None
+    sims = None
+
+
 class BatchQueryEngine:
     """Projects and cosine-ranks query blocks in single GEMMs.
 
@@ -201,32 +273,102 @@ class BatchQueryEngine:
         term_basis: the ``(n, k)`` orthonormal LSI basis ``Uₖ``.
         doc_vectors: the ``(k, m)`` LSI document store.
         tombstones: ids excluded from rankings (their scores report 0).
+        dtype: compute precision, ``"float64"`` (default, bit-exact
+            against the per-query path) or ``"float32"`` (opt-in;
+            ranking agreement is measured, not assumed).
+        cache_budget_bytes: optional bound on the similarity working
+            set; a ``(q, m)`` score block larger than this is computed
+            in document panels.  ``None`` (default) never blocks, which
+            keeps scores bitwise-identical to a single GEMM.
     """
 
-    def __init__(self, term_basis, doc_vectors, *, tombstones=()):
-        basis = np.asarray(term_basis, dtype=np.float64)
-        docs = np.asarray(doc_vectors, dtype=np.float64)
+    def __init__(self, term_basis, doc_vectors, *, tombstones=(),
+                 dtype="float64",
+                 cache_budget_bytes: "int | None" = None):
+        self._dtype = _check_compute_dtype(dtype)
+        basis = np.asarray(term_basis, dtype=self._dtype)
+        docs = np.asarray(doc_vectors, dtype=self._dtype)
         if basis.ndim != 2 or docs.ndim != 2 \
                 or basis.shape[1] != docs.shape[0]:
             raise ShapeError(
                 f"term_basis {basis.shape} and doc_vectors {docs.shape} "
                 "disagree on the LSI rank")
+        unit, norms = normalize_columns(docs, zero_tol=ZERO_NORM_TOL) \
+            if self._dtype == np.float64 else (None, None)
+        if unit is None:
+            # float32: normalise in compute precision, no float64 pass.
+            unit = np.empty_like(docs)
+            norms = normalize_columns_into(docs, unit,
+                                           zero_tol=ZERO_NORM_TOL)
+        self._init_from_parts(basis, unit, norms, tombstones,
+                              cache_budget_bytes)
+
+    @classmethod
+    def from_precomputed(cls, term_basis, doc_unit, doc_norms, *,
+                         tombstones=(), dtype="float64",
+                         cache_budget_bytes: "int | None" = None,
+                         ) -> "BatchQueryEngine":
+        """Build from already-normalised document factors.
+
+        This is the zero-copy construction path for memory-mapped
+        bundles: ``doc_unit``/``doc_norms`` come straight from the
+        bundle files (read-only is fine) and are *not* re-normalised,
+        so no page of the document store is touched until the first
+        query's GEMM reads it.  With ``dtype="float64"`` the arrays are
+        used as-is; ``"float32"`` casts (and therefore materialises)
+        them once.
+
+        Args:
+            term_basis: the ``(n, k)`` LSI basis ``Uₖ``.
+            doc_unit: ``(k, m)`` unit-normalised document vectors, as
+                produced by :func:`~repro.linalg.dense.normalize_columns`.
+            doc_norms: length-``m`` original column norms.
+            tombstones: ids excluded from rankings.
+            dtype: compute precision (see the constructor).
+            cache_budget_bytes: similarity working-set bound (see the
+                constructor).
+        """
+        engine = cls.__new__(cls)
+        engine._dtype = _check_compute_dtype(dtype)
+        basis = np.asarray(term_basis, dtype=engine._dtype)
+        unit = np.asarray(doc_unit, dtype=engine._dtype)
+        norms = np.asarray(doc_norms)
+        if basis.ndim != 2 or unit.ndim != 2 \
+                or basis.shape[1] != unit.shape[0]:
+            raise ShapeError(
+                f"term_basis {basis.shape} and doc_unit {unit.shape} "
+                "disagree on the LSI rank")
+        if norms.ndim != 1 or norms.shape[0] != unit.shape[1]:
+            raise ShapeError(
+                f"doc_norms has shape {norms.shape}; expected "
+                f"({unit.shape[1]},)")
+        engine._init_from_parts(basis, unit, norms, tombstones,
+                                cache_budget_bytes)
+        return engine
+
+    def _init_from_parts(self, basis, unit, norms, tombstones,
+                         cache_budget_bytes) -> None:
+        """Shared tail of both construction paths."""
         self._basis = basis
-        unit, norms = normalize_columns(docs, zero_tol=ZERO_NORM_TOL)
         self._doc_unit = unit
         self._doc_zero = norms <= ZERO_NORM_TOL
         self._tombstones = frozenset(int(d) for d in tombstones)
-        bad = [d for d in self._tombstones
-               if not 0 <= d < docs.shape[1]]
+        n_docs = int(unit.shape[1])
+        bad = [d for d in self._tombstones if not 0 <= d < n_docs]
         if bad:
             raise ValidationError(
                 f"tombstoned ids {sorted(bad)} out of range for "
-                f"{docs.shape[1]} documents")
-        self._dead = np.zeros(docs.shape[1], dtype=bool)
+                f"{n_docs} documents")
+        self._dead = np.zeros(n_docs, dtype=bool)
         if self._tombstones:
             self._dead[sorted(self._tombstones)] = True
-        self._n_docs = int(docs.shape[1])
+        self._n_docs = n_docs
         self._n_terms = int(basis.shape[0])
+        if cache_budget_bytes is not None:
+            cache_budget_bytes = check_non_negative_int(
+                cache_budget_bytes, "cache_budget_bytes")
+        self._cache_budget = cache_budget_bytes
+        self._scratch = _BatchScratch()
 
     @property
     def n_documents(self) -> int:
@@ -243,6 +385,11 @@ class BatchQueryEngine:
         """Documents eligible to appear in rankings."""
         return self._n_docs - len(self._tombstones)
 
+    @property
+    def dtype(self) -> str:
+        """Compute precision the engine scores in."""
+        return self._dtype.name
+
     def _as_batch(self, queries) -> QueryBatch:
         """Coerce an array / vector sequence into a :class:`QueryBatch`."""
         if isinstance(queries, QueryBatch):
@@ -257,24 +404,75 @@ class BatchQueryEngine:
                 f"{self._n_terms}")
         return batch
 
-    def score_batch(self, queries) -> np.ndarray:
-        """Cosine scores of every document for every query, ``(q, m)``.
+    def _buffers(self, n_queries: int) -> _BatchScratch:
+        """This thread's scratch, (re)allocated when the width changes."""
+        scratch = self._scratch
+        if scratch.n_queries != n_queries:
+            rank = self._basis.shape[1]
+            scratch.queries = np.empty((self._n_terms, n_queries),
+                                       dtype=self._dtype)
+            scratch.projected = np.empty((rank, n_queries),
+                                         dtype=self._dtype)
+            scratch.unit = np.empty((rank, n_queries),
+                                    dtype=self._dtype)
+            scratch.sims = np.empty((n_queries, self._n_docs),
+                                    dtype=self._dtype)
+            scratch.n_queries = n_queries
+        return scratch
 
-        One GEMM projects the block, a second computes all cosines.
-        Zero-norm queries, zero-vector documents, and tombstoned
-        documents score exactly 0, matching the per-query path.
+    def _doc_panel_width(self, n_queries: int) -> int:
+        """Documents per similarity panel under the cache budget."""
+        if self._cache_budget is None:
+            return self._n_docs
+        row_bytes = max(1, n_queries * self._dtype.itemsize)
+        return max(1, min(self._n_docs,
+                          self._cache_budget // row_bytes))
+
+    def _score_into(self, batch: QueryBatch) -> np.ndarray:
+        """Score ``batch`` into this thread's scratch buffers.
+
+        Returns the ``(q, m)`` similarity view (owned by the scratch —
+        valid until the next call on this thread).  Semantics match
+        :meth:`score_batch`: zero-norm queries, zero documents, and
+        tombstoned documents score exactly 0.
         """
-        batch = self._as_batch(queries)
-        projected = self._basis.T @ batch.matrix          # (k, q)
-        unit, norms = normalize_columns(projected,
-                                        zero_tol=ZERO_NORM_TOL)
-        sims = unit.T @ self._doc_unit                    # (q, m)
+        scratch = self._buffers(batch.n_queries)
+        if self._dtype == np.float64:
+            block = batch.matrix
+        else:
+            np.copyto(scratch.queries, batch.matrix)
+            block = scratch.queries
+        np.matmul(self._basis.T, block, out=scratch.projected)
+        norms = normalize_columns_into(scratch.projected, scratch.unit,
+                                       zero_tol=ZERO_NORM_TOL)
+        sims = scratch.sims
+        panel = self._doc_panel_width(batch.n_queries)
+        if panel >= self._n_docs:
+            np.matmul(scratch.unit.T, self._doc_unit, out=sims)
+        else:
+            for start in range(0, self._n_docs, panel):
+                stop = min(start + panel, self._n_docs)
+                np.matmul(scratch.unit.T,
+                          self._doc_unit[:, start:stop],
+                          out=sims[:, start:stop])
         sims[norms <= ZERO_NORM_TOL, :] = 0.0
         sims[:, self._doc_zero] = 0.0
         np.clip(sims, -1.0, 1.0, out=sims)
         if self._tombstones:
             sims[:, self._dead] = 0.0
         return sims
+
+    def score_batch(self, queries) -> np.ndarray:
+        """Cosine scores of every document for every query, ``(q, m)``.
+
+        One GEMM projects the block, a second computes all cosines.
+        Zero-norm queries, zero-vector documents, and tombstoned
+        documents score exactly 0, matching the per-query path.  The
+        returned array is the caller's (a copy of the internal scratch)
+        in the engine's compute dtype.
+        """
+        batch = self._as_batch(queries)
+        return self._score_into(batch).copy()
 
     def score(self, query_vector) -> np.ndarray:
         """Cosine scores for one term-space query (length ``m``)."""
@@ -286,11 +484,12 @@ class BatchQueryEngine:
 
         ``top_k`` follows the shared policy (``None`` = all), further
         clamped to the number of non-tombstoned documents; tombstoned
-        ids never appear.
+        ids never appear.  This is the allocation-free hot path: the
+        only per-call allocation is the returned id block.
         """
         batch = self._as_batch(queries)
         top_k = min(check_top_k(top_k, self._n_docs), self.n_active)
-        scores = self.score_batch(batch)
+        scores = self._score_into(batch)
         if self._tombstones:
             scores[:, self._dead] = -np.inf
         out = np.empty((batch.n_queries, top_k), dtype=np.int64)
@@ -306,4 +505,5 @@ class BatchQueryEngine:
     def __repr__(self) -> str:
         return (f"BatchQueryEngine(n_terms={self._n_terms}, "
                 f"k={self._basis.shape[1]}, m={self._n_docs}, "
-                f"tombstoned={len(self._tombstones)})")
+                f"tombstoned={len(self._tombstones)}, "
+                f"dtype={self._dtype.name})")

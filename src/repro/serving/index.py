@@ -12,7 +12,11 @@ unchanged, and adds what production traffic needs:
   drift tracking and a refit recommendation;
 - ``save`` / ``load`` — checksummed, schema-versioned bundles
   (:mod:`repro.serving.bundle`) that reproduce in-memory rankings
-  exactly;
+  exactly, with an ``mmap=True`` cold-start path that maps the large
+  factors read-only and defers all real I/O to the first query;
+- ``dtype="float32"`` — opt-in single-precision scoring (see
+  :class:`~repro.serving.engine.BatchQueryEngine`), sticky across
+  save/load via the bundle's ``compute_dtype``;
 - ``stats`` — the :class:`~repro.serving.stats.ServingStats` counters
   behind ``repro serve-stats``.
 """
@@ -25,12 +29,15 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.lsi import LSIModel
+from repro.errors import ValidationError
+from repro.linalg.svd import SVDResult
 from repro.serving.bundle import IndexBundle, read_bundle, write_bundle
-from repro.serving.engine import BatchQueryEngine, LRUResultCache, \
-    QueryBatch
+from repro.serving.engine import COMPUTE_DTYPES, BatchQueryEngine, \
+    LRUResultCache, QueryBatch
 from repro.serving.stats import ServingStats
 from repro.serving.writer import DriftReport, IndexWriter
-from repro.utils.validation import check_top_k, check_vector
+from repro.utils.validation import check_non_negative_int, check_top_k, \
+    check_vector
 
 if TYPE_CHECKING:
     from repro.core.folding import FoldingIndex
@@ -40,6 +47,16 @@ if TYPE_CHECKING:
     from repro.ir.vsm import VectorSpaceModel
 
 __all__ = ["ServedIndex"]
+
+
+def _resolve_dtype(dtype) -> str:
+    """Validate a compute-precision request down to its canonical name."""
+    name = np.dtype(dtype).name
+    if name not in COMPUTE_DTYPES:
+        raise ValidationError(
+            f"compute dtype must be one of {COMPUTE_DTYPES}, got "
+            f"{name!r}")
+    return name
 
 
 class ServedIndex:
@@ -55,13 +72,27 @@ class ServedIndex:
         vocabulary: optional term strings persisted with the index.
         drift_threshold: drift level past which a refit is recommended.
         cache_capacity: LRU result-cache size (0 disables caching).
+        dtype: compute precision for scoring — ``"float64"`` (default)
+            or ``"float32"`` (opt-in; roughly halves GEMM memory
+            traffic at the cost of last-ULP score agreement).
+        cache_budget_bytes: optional bound on the scoring working set;
+            oversized similarity blocks are computed in document
+            panels (see :class:`~repro.serving.engine.BatchQueryEngine`).
     """
 
     def __init__(self, model: LSIModel, *, vocabulary=None,
                  drift_threshold: "float | None" = 0.1,
-                 cache_capacity: int = 256):
-        self._writer = IndexWriter(model,
-                                   drift_threshold=drift_threshold)
+                 cache_capacity: int = 256,
+                 dtype: str = "float64",
+                 cache_budget_bytes: "int | None" = None):
+        self._dtype = _resolve_dtype(dtype)
+        if cache_budget_bytes is not None:
+            cache_budget_bytes = check_non_negative_int(
+                cache_budget_bytes, "cache_budget_bytes")
+        self._cache_budget = cache_budget_bytes
+        self._writer: "IndexWriter | None" = IndexWriter(
+            model, drift_threshold=drift_threshold)
+        self._bundle: "IndexBundle | None" = None
         self._cache = LRUResultCache(cache_capacity)
         self._vocabulary = (tuple(getattr(vocabulary, "terms",
                                           vocabulary))
@@ -81,7 +112,9 @@ class ServedIndex:
     @classmethod
     def fit(cls, matrix, rank, *, engine: str = "lanczos", seed=None,
             vocabulary=None, drift_threshold: "float | None" = 0.1,
-            cache_capacity: int = 256, **engine_kwargs) -> "ServedIndex":
+            cache_capacity: int = 256, dtype: str = "float64",
+            cache_budget_bytes: "int | None" = None,
+            **engine_kwargs) -> "ServedIndex":
         """Fit rank-``rank`` LSI on a term–document matrix and serve it.
 
         Arguments mirror :meth:`repro.core.lsi.LSIModel.fit` plus the
@@ -91,7 +124,8 @@ class ServedIndex:
                              **engine_kwargs)
         return cls(model, vocabulary=vocabulary,
                    drift_threshold=drift_threshold,
-                   cache_capacity=cache_capacity)
+                   cache_capacity=cache_capacity, dtype=dtype,
+                   cache_budget_bytes=cache_budget_bytes)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -99,28 +133,57 @@ class ServedIndex:
 
     @property
     def model(self) -> LSIModel:
-        """The LSI model currently backing the index."""
-        return self._writer.model
+        """The LSI model currently backing the index.
+
+        On an mmap-loaded index this materialises the writer (see
+        :meth:`load`).
+        """
+        return self._ensure_writer().model
+
+    def _lazy_bundle(self) -> IndexBundle:
+        """The backing bundle of a not-yet-materialised mmap load."""
+        bundle = self._bundle
+        assert bundle is not None, "index has neither writer nor bundle"
+        return bundle
 
     @property
     def rank(self) -> int:
         """The LSI dimension ``k``."""
-        return self._writer.model.rank
+        if self._writer is not None:
+            return self._writer.model.rank
+        return self._lazy_bundle().svd.rank
 
     @property
     def n_terms(self) -> int:
         """Term-space dimensionality queries must have."""
-        return self._writer.model.n_terms
+        if self._writer is not None:
+            return self._writer.model.n_terms
+        return int(self._lazy_bundle().svd.u.shape[0])
 
     @property
     def n_documents(self) -> int:
         """Total stored documents (scores are indexed ``0..m-1``)."""
-        return self._writer.n_documents
+        if self._writer is not None:
+            return self._writer.n_documents
+        return self._lazy_bundle().n_documents
 
     @property
     def n_active(self) -> int:
         """Documents eligible to appear in rankings."""
-        return self._writer.n_active
+        if self._writer is not None:
+            return self._writer.n_active
+        bundle = self._lazy_bundle()
+        return bundle.n_documents - len(bundle.tombstones)
+
+    @property
+    def dtype(self) -> str:
+        """Compute precision this index scores in."""
+        return self._dtype
+
+    @property
+    def mmapped(self) -> bool:
+        """Whether the index still serves from read-only mapped arrays."""
+        return self._writer is None
 
     @property
     def vocabulary(self) -> "tuple | None":
@@ -135,28 +198,64 @@ class ServedIndex:
     @property
     def drift(self) -> float:
         """Current fold-in drift (see :mod:`repro.serving.writer`)."""
-        return self._writer.drift
+        if self._writer is not None:
+            return self._writer.drift
+        bundle = self._lazy_bundle()
+        unabsorbed = bundle.unabsorbed_energy
+        denominator = unabsorbed + bundle.svd.captured_energy()
+        if denominator <= 0:
+            return 0.0
+        return unabsorbed / denominator
 
     @property
     def needs_refit(self) -> bool:
         """Whether drift has crossed the configured threshold."""
-        return self._writer.needs_refit
+        if self._writer is not None:
+            return self._writer.needs_refit
+        threshold = self._lazy_bundle().drift_threshold
+        return threshold is not None and self.drift >= threshold
 
     def drift_report(self) -> DriftReport:
-        """The writer's frozen drift accounting."""
-        return self._writer.drift_report()
+        """The frozen drift accounting (cheap even on mmap loads)."""
+        if self._writer is not None:
+            return self._writer.drift_report()
+        bundle = self._lazy_bundle()
+        return DriftReport(
+            drift=self.drift,
+            threshold=bundle.drift_threshold,
+            needs_refit=self.needs_refit,
+            unabsorbed_energy=bundle.unabsorbed_energy,
+            captured_energy=bundle.svd.captured_energy(),
+            baseline_residual_energy=bundle.svd.residual_energy(),
+            fold_ins_since_refit=bundle.stats.fold_ins_since_refit,
+            deletes_since_refit=bundle.stats.deletes_since_refit)
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
 
     def _engine(self) -> BatchQueryEngine:
-        """The query engine for the current generation (lazily built)."""
+        """The query engine for the current generation (lazily built).
+
+        On an mmap-loaded index the engine is built zero-copy from the
+        bundle's pre-normalised factors — no document page is read
+        until a GEMM touches it.
+        """
         if self._engine_generation != self._generation:
-            self._engine_cache = BatchQueryEngine(
-                self._writer.model.term_basis,
-                self._writer.document_vectors(),
-                tombstones=self._writer.tombstones)
+            if self._writer is None:
+                bundle = self._lazy_bundle()
+                self._engine_cache = BatchQueryEngine.from_precomputed(
+                    bundle.svd.u, bundle.doc_unit, bundle.doc_norms,
+                    tombstones=bundle.tombstones,
+                    dtype=self._dtype,
+                    cache_budget_bytes=self._cache_budget)
+            else:
+                self._engine_cache = BatchQueryEngine(
+                    self._writer.model.term_basis,
+                    self._writer.document_vectors(),
+                    tombstones=self._writer.tombstones,
+                    dtype=self._dtype,
+                    cache_budget_bytes=self._cache_budget)
             self._engine_generation = self._generation
         assert self._engine_cache is not None
         return self._engine_cache
@@ -192,7 +291,7 @@ class ServedIndex:
         engine = self._engine()
         batch = engine._as_batch(queries)
         top_k = min(check_top_k(top_k, self.n_documents),
-                    self._writer.n_active)
+                    self.n_active)
         self._batches_served += 1
         self._queries_served += batch.n_queries
 
@@ -219,26 +318,59 @@ class ServedIndex:
     # Updates
     # ------------------------------------------------------------------
 
+    def _ensure_writer(self) -> IndexWriter:
+        """Materialise the mutable writer from a lazily-loaded bundle.
+
+        Mutation (and :attr:`model` access) needs real, writable
+        arrays; this copies the mapped factors into memory exactly
+        once and detaches the index from the bundle files entirely —
+        required so a later :meth:`save` over the *same* directory
+        never writes a file it is concurrently mapping.
+        """
+        writer = self._writer
+        if writer is None:
+            bundle = self._lazy_bundle()
+            svd = SVDResult(np.array(bundle.svd.u),
+                            np.array(bundle.svd.singular_values),
+                            np.array(bundle.svd.vt),
+                            bundle.svd.frobenius_norm_sq)
+            writer = IndexWriter.from_state(
+                LSIModel(svd),
+                np.array(bundle.doc_vectors, dtype=np.float64),
+                n_original=bundle.n_original,
+                tombstones=bundle.tombstones,
+                unabsorbed_energy=bundle.unabsorbed_energy,
+                drift_threshold=bundle.drift_threshold,
+                fold_ins=bundle.stats.fold_ins_since_refit,
+                deletes=bundle.stats.deletes_since_refit,
+                copy=False)
+            self._writer = writer
+            self._bundle = None
+            self._engine_cache = None
+            self._engine_generation = -1
+        return writer
+
     def add_documents(self, columns) -> np.ndarray:
         """Fold new documents in; returns their assigned ids.
 
         Bumps the index generation, so cached rankings for the previous
         corpus can never be served against the new one.
         """
-        ids = self._writer.add_documents(columns)
+        ids = self._ensure_writer().add_documents(columns)
         self._bump()
         return ids
 
     def remove_documents(self, doc_ids) -> None:
         """Tombstone documents; they stop appearing in rankings."""
-        self._writer.remove_documents(doc_ids)
+        self._ensure_writer().remove_documents(doc_ids)
         self._bump()
 
     def refit(self, matrix, *, rank=None, engine: str = "lanczos",
               seed=None, **engine_kwargs) -> LSIModel:
         """Re-run the SVD on an authoritative matrix and reset drift."""
-        model = self._writer.refit(matrix, rank=rank, engine=engine,
-                                   seed=seed, **engine_kwargs)
+        model = self._ensure_writer().refit(
+            matrix, rank=rank, engine=engine, seed=seed,
+            **engine_kwargs)
         self._bump()
         return model
 
@@ -258,6 +390,15 @@ class ServedIndex:
         its persisted totals as the new baseline.
         """
         base = self._base_stats
+        if self._writer is not None:
+            fold_ins = self._writer.fold_ins_since_refit
+            deletes = self._writer.deletes_since_refit
+            refits = base.refits + self._writer.refits
+        else:
+            saved = self._lazy_bundle().stats
+            fold_ins = saved.fold_ins_since_refit
+            deletes = saved.deletes_since_refit
+            refits = base.refits
         return ServingStats(
             queries_served=base.queries_served + self._queries_served,
             batches_served=base.batches_served + self._batches_served,
@@ -265,47 +406,84 @@ class ServedIndex:
             cache_misses=base.cache_misses + self._cache.misses,
             cache_evictions=base.cache_evictions
             + self._cache.evictions,
-            fold_ins_since_refit=self._writer.fold_ins_since_refit,
-            deletes_since_refit=self._writer.deletes_since_refit,
-            refits=base.refits + self._writer.refits,
-            drift=self._writer.drift,
-            refit_recommended=self._writer.needs_refit)
+            fold_ins_since_refit=fold_ins,
+            deletes_since_refit=deletes,
+            refits=refits,
+            drift=self.drift,
+            refit_recommended=self.needs_refit,
+            dtype=self._dtype)
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
     def save(self, path) -> Path:
-        """Persist the index as a bundle directory; returns the path."""
+        """Persist the index as a bundle directory; returns the path.
+
+        Saving an mmap-loaded index materialises it first (see
+        :meth:`_ensure_writer`) so the write never races its own
+        source mapping.
+        """
+        writer = self._ensure_writer()
         bundle = IndexBundle(
-            svd=self._writer.model.svd,
-            doc_vectors=self._writer.document_vectors(),
-            n_original=self._writer.n_original,
-            tombstones=self._writer.tombstones,
-            unabsorbed_energy=self._writer.unabsorbed_energy,
-            drift_threshold=self._writer.drift_threshold,
+            svd=writer.model.svd,
+            doc_vectors=writer.document_vectors(),
+            n_original=writer.n_original,
+            tombstones=writer.tombstones,
+            unabsorbed_energy=writer.unabsorbed_energy,
+            drift_threshold=writer.drift_threshold,
             stats=self.stats(),
-            vocabulary=self._vocabulary)
+            vocabulary=self._vocabulary,
+            compute_dtype=self._dtype)
         return write_bundle(path, bundle)
 
     @classmethod
-    def load(cls, path, *, cache_capacity: int = 256) -> "ServedIndex":
-        """Load a bundle saved by :meth:`save` (or any schema-1 bundle).
+    def load(cls, path, *, cache_capacity: int = 256,
+             mmap: bool = False, dtype: "str | None" = None,
+             cache_budget_bytes: "int | None" = None) -> "ServedIndex":
+        """Load a bundle saved by :meth:`save` (or any older schema).
 
         The restored index reproduces the saved index's rankings
         exactly and continues its counters and drift accounting.
+
+        Args:
+            path: the bundle directory.
+            cache_capacity: LRU result-cache size for the new index.
+            mmap: map the large arrays read-only instead of loading
+                them — the O(manifest) cold start.  Serving works
+                directly off the mapped, pre-normalised factors;
+                the first mutation (or :attr:`model` access, or
+                :meth:`save`) materialises the index in memory.
+                Legacy (schema ≤ 2) bundles fall back to eager
+                loading.
+            dtype: compute precision for the loaded index; ``None``
+                (default) keeps the precision the bundle was saved
+                with (``compute_dtype`` in the manifest).
+            cache_budget_bytes: scoring working-set bound (see the
+                constructor).
         """
-        bundle = read_bundle(path)
+        bundle = read_bundle(path, mmap=mmap)
         index = cls.__new__(cls)
-        model = LSIModel(bundle.svd)
-        index._writer = IndexWriter.from_state(
-            model, bundle.doc_vectors,
-            n_original=bundle.n_original,
-            tombstones=bundle.tombstones,
-            unabsorbed_energy=bundle.unabsorbed_energy,
-            drift_threshold=bundle.drift_threshold,
-            fold_ins=bundle.stats.fold_ins_since_refit,
-            deletes=bundle.stats.deletes_since_refit)
+        index._dtype = _resolve_dtype(
+            bundle.compute_dtype if dtype is None else dtype)
+        if cache_budget_bytes is not None:
+            cache_budget_bytes = check_non_negative_int(
+                cache_budget_bytes, "cache_budget_bytes")
+        index._cache_budget = cache_budget_bytes
+        if bundle.mmapped and bundle.doc_unit is not None:
+            index._writer = None
+            index._bundle = bundle
+        else:
+            index._writer = IndexWriter.from_state(
+                LSIModel(bundle.svd), bundle.doc_vectors,
+                n_original=bundle.n_original,
+                tombstones=bundle.tombstones,
+                unabsorbed_energy=bundle.unabsorbed_energy,
+                drift_threshold=bundle.drift_threshold,
+                fold_ins=bundle.stats.fold_ins_since_refit,
+                deletes=bundle.stats.deletes_since_refit,
+                copy=False)
+            index._bundle = None
         index._cache = LRUResultCache(cache_capacity)
         index._vocabulary = bundle.vocabulary
         index._generation = 0
@@ -326,7 +504,7 @@ class ServedIndex:
     def __repr__(self) -> str:
         return (f"ServedIndex(k={self.rank}, n={self.n_terms}, "
                 f"m={self.n_documents}, active={self.n_active}, "
-                f"drift={self.drift:.4f}, "
+                f"dtype={self._dtype}, drift={self.drift:.4f}, "
                 f"version={self.index_version!r})")
 
 

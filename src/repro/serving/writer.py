@@ -303,8 +303,15 @@ class IndexWriter:
                    unabsorbed_energy: float = 0.0,
                    drift_threshold: "float | None" = 0.1,
                    fold_ins: int = 0, deletes: int = 0,
-                   refits: int = 0) -> "IndexWriter":
-        """Rebuild a writer from persisted bundle state."""
+                   refits: int = 0, copy: bool = True) -> "IndexWriter":
+        """Rebuild a writer from persisted bundle state.
+
+        ``copy=False`` adopts ``doc_vectors`` without duplicating it —
+        the bundle loader passes freshly-read float64 arrays that
+        nothing else aliases, and copying them would double the load's
+        peak RSS.  Callers keeping a reference must not pass
+        ``copy=False``.
+        """
         writer = cls(model, drift_threshold=drift_threshold)
         doc_vectors = np.asarray(doc_vectors, dtype=np.float64)
         if doc_vectors.ndim != 2 \
@@ -312,7 +319,8 @@ class IndexWriter:
             raise ValidationError(
                 f"doc_vectors must be (rank, m); got "
                 f"{doc_vectors.shape} for rank {model.rank}")
-        writer._doc_vectors = doc_vectors.copy()
+        writer._doc_vectors = doc_vectors.copy() if copy \
+            else doc_vectors
         writer._n_original = min(int(n_original),
                                  doc_vectors.shape[1])
         writer._tombstones = {int(d) for d in tombstones}

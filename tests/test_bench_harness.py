@@ -64,10 +64,23 @@ class TestRegistry:
         assert modules == {path.stem for path in scripts}
 
     def test_every_spec_has_smoke_and_full_sizes(self):
+        # smoke and full are mandatory tiers; the serving benches add
+        # an optional scale tier on top (ROADMAP: serving at scale).
         registry = discover()
         assert len(registry) >= 16
         for spec in registry.specs():
-            assert set(spec.sizes) == {"smoke", "full"}, spec.name
+            assert {"smoke", "full"} <= set(spec.sizes), spec.name
+            assert set(spec.sizes) <= {"smoke", "full", "scale"}, \
+                spec.name
+
+    def test_scale_tier_covers_serving_benches(self):
+        registry = discover()
+        scale = registry.variants(size="scale")
+        names = {v.spec.name for v in scale}
+        assert {"serving_batched_queries", "serving_float32_agreement",
+                "serving_mmap_coldstart",
+                "serving_blocked_gemm"} <= names
+        assert all("serving" in v.spec.tags for v in scale)
 
     def test_variant_id_and_tags_include_size(self):
         registry = discover()
@@ -413,3 +426,154 @@ class TestCommittedBaseline:
     def test_baseline_passes_against_itself(self):
         document = load_report(self.BASELINE)
         assert compare_reports(document, document).ok()
+
+
+class TestScaleBaseline:
+    BASELINE = BENCH_DIR / "baselines" / "scale.json"
+
+    def test_baseline_covers_every_scale_variant(self):
+        document = load_report(self.BASELINE)
+        recorded = {entry["benchmark"]
+                    for entry in document["results"]}
+        registered = {v.id for v in
+                      discover().variants(size="scale")}
+        assert recorded == registered
+        assert all(entry["status"] == "ok"
+                   for entry in document["results"])
+
+    def test_baseline_passes_against_itself(self):
+        document = load_report(self.BASELINE)
+        assert compare_reports(document, document).ok()
+
+    def test_gated_serving_claims_hold_in_baseline(self):
+        # The PR's acceptance claims, pinned to the committed report:
+        # float32 agrees and is fast enough, mmap cold start is small
+        # and bit-identical.
+        document = load_report(self.BASELINE)
+        metrics = {entry["benchmark"]: entry["metrics"]
+                   for entry in document["results"]}
+        agreement = metrics["serving_float32_agreement[scale]"]
+        assert agreement["float32_top10_agreement"] >= 0.99
+        assert agreement["float32_agreement_ok"] == 1.0
+        assert agreement["float32_speedup_ok"] == 1.0
+        coldstart = metrics["serving_mmap_coldstart[scale]"]
+        assert coldstart["mmap_rankings_exact"] == 1.0
+        assert coldstart["mmap_rss_ratio"] < 0.25
+        assert coldstart["mmap_rss_under_quarter"] == 1.0
+
+
+class TestMarkdownSummary:
+    def _report(self):
+        def fn(params, seed):
+            return {"float32_top10_agreement": 1.0,
+                    "float32_agreement_ok": True,
+                    "queries_per_second": 1234.5}
+
+        spec = make_spec(fn, "served",
+                         time_metrics=("queries_per_second",))
+        outcome = run_variant(only_variant(spec))
+        return build_report([outcome])
+
+    def test_claims_and_timings_split_into_tables(self):
+        from harness.summary import render_markdown_summary
+
+        text = render_markdown_summary(self._report())
+        assert "### Claims & agreement" in text
+        assert "| served[smoke] | float32_agreement_ok | ✅ |" in text
+        assert "### Timing & throughput (not gated)" in text
+        assert "queries_per_second" in text
+
+    def test_continuous_agreement_not_rendered_as_claim(self):
+        from harness.summary import render_markdown_summary
+
+        text = render_markdown_summary(self._report())
+        assert "| served[smoke] | float32_top10_agreement | 1 |" \
+            in text
+
+    def test_baseline_column_shows_delta(self):
+        from harness.summary import render_markdown_summary
+
+        current = self._report()
+        baseline = json.loads(json.dumps(current))
+        baseline["results"][0]["metrics"]["queries_per_second"] = 1000.0
+        text = render_markdown_summary(current, baseline)
+        assert "(+23.4%)" in text
+
+    def test_broken_benchmarks_listed(self):
+        from harness.summary import render_markdown_summary
+
+        def fn(params, seed):
+            raise RuntimeError("boom")
+
+        outcome = run_variant(only_variant(make_spec(fn, "broken")))
+        text = render_markdown_summary(build_report([outcome]))
+        assert "### Broken" in text
+        assert "broken[smoke]" in text
+
+    def test_empty_report_renders_placeholder(self):
+        from harness.summary import render_markdown_summary
+
+        text = render_markdown_summary(build_report([]))
+        assert "no results to summarise" in text
+
+    def test_summary_cli_roundtrip(self, tmp_path, capsys):
+        path = write_report(self._report(), tmp_path)
+        assert harness_main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "## Bench summary" in out
+        assert harness_main(["summary",
+                             str(tmp_path / "nope.json")]) == 2
+
+
+class TestFixtureDiskCache:
+    def test_disk_cache_roundtrips_matrix(self, tmp_path, monkeypatch):
+        from harness import fixtures
+
+        monkeypatch.setenv(fixtures.CACHE_ENV, str(tmp_path))
+        fixtures.clear_caches()
+        first = fixtures.separable_matrix(60, 4, 40, 3)
+        cached_files = list(tmp_path.glob("separable-matrix-*.npz"))
+        assert len(cached_files) == 1
+        fixtures.clear_caches()  # drop lru so the disk layer answers
+        second = fixtures.separable_matrix(60, 4, 40, 3)
+        assert second.shape == first.shape
+        assert (second.indptr == first.indptr).all()
+        assert (second.data == first.data).all()
+        fixtures.clear_caches()
+
+    def test_cache_disabled_without_env(self, tmp_path, monkeypatch):
+        from harness import fixtures
+
+        monkeypatch.delenv(fixtures.CACHE_ENV, raising=False)
+        fixtures.clear_caches()
+        fixtures.separable_matrix(60, 4, 40, 3)
+        assert not list(tmp_path.glob("*.npz"))
+        fixtures.clear_caches()
+
+    def test_fingerprint_keys_cache_filenames(self, tmp_path,
+                                              monkeypatch):
+        from harness import fixtures
+
+        monkeypatch.setenv(fixtures.CACHE_ENV, str(tmp_path))
+        fixtures.clear_caches()
+        factors = fixtures.synthetic_index_factors(64, 8, 32, 5)
+        name = next(tmp_path.glob("index-factors-*.npz")).name
+        assert fixtures.fixture_fingerprint() in name
+        fixtures.clear_caches()
+        again = fixtures.synthetic_index_factors(64, 8, 32, 5)
+        assert (again.u == factors.u).all()
+        assert (again.singular_values
+                == factors.singular_values).all()
+        fixtures.clear_caches()
+
+    def test_synthetic_factors_are_wellformed(self):
+        from harness import fixtures
+
+        factors = fixtures.synthetic_index_factors(64, 8, 32, 5)
+        assert factors.u.shape == (64, 8)
+        assert factors.vt.shape == (8, 32)
+        gram = factors.u.T @ factors.u
+        assert abs(gram - __import__("numpy").eye(8)).max() < 1e-10
+        sv = factors.singular_values
+        assert (sv[:-1] >= sv[1:]).all()
+        assert factors.frobenius_norm_sq > float((sv * sv).sum())

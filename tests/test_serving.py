@@ -368,7 +368,9 @@ class TestBundleRoundTrip:
         manifest = read_manifest(path, verify_arrays=True)
         assert manifest["format"] == BUNDLE_FORMAT
         assert set(environment_fingerprint()) <= set(manifest["env"])
-        assert manifest["checksums"][ARRAYS_NAME].startswith("sha256:")
+        for name in ("u.npy", "vt.npy", "doc_vectors.npy",
+                     "doc_unit.npy", "doc_norms.npy"):
+            assert manifest["checksums"][name].startswith("sha256:")
 
 
 class TestBundleRejection:
@@ -378,7 +380,7 @@ class TestBundleRejection:
 
     def test_corrupted_arrays_detected(self, served, tmp_path):
         path = served.save(tmp_path / "b")
-        arrays = path / ARRAYS_NAME
+        arrays = path / "doc_vectors.npy"
         blob = bytearray(arrays.read_bytes())
         blob[len(blob) // 2] ^= 0xFF
         arrays.write_bytes(bytes(blob))
@@ -425,16 +427,17 @@ class TestBundleRejection:
                     "unabsorbed_energy", "drift_threshold"):
             manifest.pop(key, None)
         (path / MANIFEST_NAME).write_text(json.dumps(manifest))
-        # v1 bundles carried only the factors.
-        arrays = np.load(path / ARRAYS_NAME)
-        v1 = {name: arrays[name]
+        # v1 bundles carried only the factors, in a single npz.
+        v1 = {name: np.load(path / f"{name}.npy")
               for name in ("u", "singular_values", "vt",
                            "frobenius_norm_sq")}
+        for stale in path.glob("*.npy"):
+            stale.unlink()
         with open(path / ARRAYS_NAME, "wb") as handle:
             np.savez(handle, **v1)
-        checksum = manifest["checksums"][ARRAYS_NAME] = \
-            "sha256:" + __import__("hashlib").sha256(
-                (path / ARRAYS_NAME).read_bytes()).hexdigest()
+        checksum = manifest["checksums"] = {
+            ARRAYS_NAME: "sha256:" + __import__("hashlib").sha256(
+                (path / ARRAYS_NAME).read_bytes()).hexdigest()}
         assert checksum
         (path / MANIFEST_NAME).write_text(json.dumps(manifest))
         loaded = ServedIndex.load(path)
@@ -542,7 +545,7 @@ class TestServeStatsCLI:
         from repro.cli import main
 
         path = served.save(tmp_path / "b")
-        arrays = path / ARRAYS_NAME
+        arrays = path / "u.npy"
         blob = bytearray(arrays.read_bytes())
         blob[-1] ^= 0xFF
         arrays.write_bytes(bytes(blob))

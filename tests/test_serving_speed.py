@@ -1,0 +1,365 @@
+"""Tests for the raw-speed serving paths: float32, mmap, blocked GEMM.
+
+The speed features are opt-in and every one carries a correctness
+contract this file pins down:
+
+- float32 compute is *measured* against float64 (top-k agreement,
+  bounded score delta), never assumed equivalent;
+- mmap-loaded indexes rank bit-identically to eager loads, and a
+  mutation transparently materialises the writer;
+- blocked (panelled) scoring is opt-in because BLAS kernel selection
+  makes it non-bitwise — rankings must still agree at top-k;
+- the bundle remembers its compute dtype (sticky across load).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.lsi import LSIModel
+from repro.errors import ValidationError
+from repro.serving import (
+    COMPUTE_DTYPES,
+    BatchQueryEngine,
+    ServedIndex,
+    ServingStats,
+    ranking_overlap,
+    read_bundle,
+    read_manifest,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def dense_matrix(rng):
+    matrix = rng.random((60, 45))
+    matrix[matrix < 0.4] = 0.0
+    return matrix
+
+
+@pytest.fixture
+def model(dense_matrix):
+    return LSIModel.fit(dense_matrix, 6, engine="exact")
+
+
+@pytest.fixture
+def queries(rng):
+    return rng.random((60, 10))
+
+
+class TestRankingOverlap:
+    def test_identical_rankings_score_one(self):
+        ranks = np.array([[0, 1, 2], [3, 4, 5]])
+        assert ranking_overlap(ranks, ranks) == 1.0
+
+    def test_disjoint_rankings_score_zero(self):
+        a = np.array([[0, 1, 2]])
+        b = np.array([[3, 4, 5]])
+        assert ranking_overlap(a, b) == 0.0
+
+    def test_partial_overlap_is_mean_fraction(self):
+        a = np.array([[0, 1, 2], [0, 1, 2]])
+        b = np.array([[0, 1, 9], [7, 8, 9]])
+        assert ranking_overlap(a, b) == pytest.approx(1.0 / 3.0)
+
+    def test_order_within_topk_does_not_matter(self):
+        a = np.array([[0, 1, 2]])
+        b = np.array([[2, 0, 1]])
+        assert ranking_overlap(a, b) == 1.0
+
+    def test_shape_mismatch_raises(self):
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            ranking_overlap(np.zeros((2, 3), dtype=int),
+                            np.zeros((2, 4), dtype=int))
+
+    def test_empty_is_vacuously_one(self):
+        empty = np.zeros((0, 5), dtype=int)
+        assert ranking_overlap(empty, empty) == 1.0
+
+
+class TestFloat32Engine:
+    def test_unknown_dtype_rejected(self, model):
+        with pytest.raises(ValidationError):
+            BatchQueryEngine(model.svd.u, model.document_vectors(),
+                             dtype="float16")
+
+    def test_dtype_names_exported(self):
+        assert COMPUTE_DTYPES == ("float64", "float32")
+
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_topk_agreement_across_seeds(self, dense_matrix, seed):
+        # Property: over random models and query blocks, float32
+        # rankings agree with float64 at top-5 and scores stay within
+        # single-precision slack.  Agreement is measured, not assumed.
+        local = np.random.default_rng(seed)
+        matrix = local.random((80, 64))
+        model = LSIModel.fit(matrix, 8, engine="exact")
+        queries = local.random((80, 16))
+        e64 = BatchQueryEngine(model.svd.u, model.document_vectors())
+        e32 = BatchQueryEngine(model.svd.u, model.document_vectors(),
+                               dtype="float32")
+        overlap = ranking_overlap(e64.rank_batch(queries, top_k=5),
+                                  e32.rank_batch(queries, top_k=5))
+        assert overlap >= 0.95
+        delta = np.abs(
+            e64.score_batch(queries)
+            - e32.score_batch(queries).astype(np.float64)).max()
+        assert delta < 1e-4
+
+    def test_float32_scores_have_float32_dtype(self, model, queries):
+        engine = BatchQueryEngine(model.svd.u,
+                                  model.document_vectors(),
+                                  dtype="float32")
+        assert engine.dtype == "float32"
+        assert engine.score_batch(queries).dtype == np.float32
+
+    def test_float64_path_unchanged_by_default(self, model, queries):
+        engine = BatchQueryEngine(model.svd.u,
+                                  model.document_vectors())
+        assert engine.dtype == "float64"
+        assert engine.score_batch(queries).dtype == np.float64
+
+    def test_scratch_reuse_does_not_leak_between_batches(
+            self, model, queries):
+        # Same engine, different batches: preallocated scratch must
+        # not let one batch's scores contaminate the next.
+        engine = BatchQueryEngine(model.svd.u,
+                                  model.document_vectors(),
+                                  dtype="float32")
+        first = engine.score_batch(queries).copy()
+        engine.score_batch(queries[:, ::-1].copy())
+        again = engine.score_batch(queries)
+        assert np.array_equal(first, again)
+
+    def test_varying_batch_width_reallocates(self, model, queries):
+        engine = BatchQueryEngine(model.svd.u,
+                                  model.document_vectors())
+        wide = engine.score_batch(queries)
+        narrow = engine.score_batch(queries[:, :3])
+        assert wide.shape[0] == queries.shape[1]
+        assert narrow.shape[0] == 3
+        assert np.array_equal(narrow, wide[:3])
+
+
+class TestBlockedGemm:
+    def test_budget_produces_agreeing_rankings(self, model, queries):
+        default = BatchQueryEngine(model.svd.u,
+                                   model.document_vectors())
+        budgeted = BatchQueryEngine(model.svd.u,
+                                    model.document_vectors(),
+                                    cache_budget_bytes=2048)
+        overlap = ranking_overlap(
+            default.rank_batch(queries, top_k=10),
+            budgeted.rank_batch(queries, top_k=10))
+        assert overlap >= 0.99
+
+    def test_no_budget_is_bitwise_default(self, model, queries):
+        a = BatchQueryEngine(model.svd.u, model.document_vectors())
+        b = BatchQueryEngine(model.svd.u, model.document_vectors(),
+                             cache_budget_bytes=None)
+        assert np.array_equal(a.score_batch(queries),
+                              b.score_batch(queries))
+
+    def test_tiny_budget_clamps_to_one_column(self, model, queries):
+        engine = BatchQueryEngine(model.svd.u,
+                                  model.document_vectors(),
+                                  cache_budget_bytes=1)
+        scores = engine.score_batch(queries)
+        assert np.isfinite(scores).all()
+
+
+class TestDtypeStickiness:
+    def test_bundle_records_compute_dtype(self, model, tmp_path):
+        index = ServedIndex(model, dtype="float32")
+        path = index.save(tmp_path / "b")
+        manifest = read_manifest(path)
+        assert manifest["compute_dtype"] == "float32"
+
+    def test_load_inherits_bundle_dtype(self, model, tmp_path):
+        path = ServedIndex(model, dtype="float32").save(tmp_path / "b")
+        loaded = ServedIndex.load(path)
+        assert loaded.dtype == "float32"
+
+    def test_load_dtype_override_wins(self, model, tmp_path):
+        path = ServedIndex(model, dtype="float32").save(tmp_path / "b")
+        loaded = ServedIndex.load(path, dtype="float64")
+        assert loaded.dtype == "float64"
+
+    def test_legacy_manifest_defaults_float64(self, model, tmp_path):
+        path = ServedIndex(model).save(tmp_path / "b")
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["compute_dtype"]
+        manifest_path.write_text(json.dumps(manifest))
+        assert ServedIndex.load(path).dtype == "float64"
+
+    def test_stats_carry_dtype(self, model, queries, tmp_path):
+        index = ServedIndex(model, dtype="float32")
+        index.rank_batch(queries, top_k=3)
+        assert index.stats().dtype == "float32"
+        path = index.save(tmp_path / "b")
+        assert ServedIndex.load(path).stats().dtype == "float32"
+
+    def test_stats_from_dict_defaults_dtype(self):
+        stats = ServingStats.from_dict({"queries_served": 2})
+        assert stats.dtype == "float64"
+
+    def test_serve_stats_cli_prints_dtype(self, model, tmp_path,
+                                          capsys):
+        from repro.cli import main
+
+        path = ServedIndex(model, dtype="float32").save(tmp_path / "b")
+        assert main(["serve-stats", str(path)]) == 0
+        assert "float32" in capsys.readouterr().out
+
+
+class TestMmapLoad:
+    def test_mmap_rankings_bit_identical_to_eager(self, model,
+                                                  queries, tmp_path):
+        path = ServedIndex(model).save(tmp_path / "b")
+        eager = ServedIndex.load(path)
+        lazy = ServedIndex.load(path, mmap=True)
+        assert lazy.mmapped and not eager.mmapped
+        assert np.array_equal(eager.rank_batch(queries, top_k=7),
+                              lazy.rank_batch(queries, top_k=7))
+        assert np.array_equal(
+            eager.rank_batch(queries, top_k=model.n_documents),
+            lazy.rank_batch(queries, top_k=model.n_documents))
+
+    def test_mmap_bundle_arrays_are_readonly_maps(self, model,
+                                                  tmp_path):
+        path = ServedIndex(model).save(tmp_path / "b")
+        bundle = read_bundle(path, mmap=True)
+        assert isinstance(bundle.svd.u, np.memmap)
+        assert not bundle.svd.u.flags.writeable
+        assert bundle.doc_unit is not None
+        assert isinstance(bundle.doc_unit, np.memmap)
+
+    def test_mmap_properties_work_without_materialising(self, model,
+                                                        tmp_path):
+        path = ServedIndex(model).save(tmp_path / "b")
+        lazy = ServedIndex.load(path, mmap=True)
+        assert lazy.rank == model.rank
+        assert lazy.n_documents == model.n_documents
+        assert 0.0 <= lazy.drift <= 1.0
+        assert lazy.mmapped  # still lazy after metadata reads
+
+    def test_mutation_materialises_then_behaves(self, model, rng,
+                                                tmp_path):
+        path = ServedIndex(model).save(tmp_path / "b")
+        lazy = ServedIndex.load(path, mmap=True)
+        lazy.add_documents(rng.random((model.n_terms, 2)))
+        assert not lazy.mmapped
+        assert lazy.n_documents == model.n_documents + 2
+
+    def test_materialised_index_saves_over_own_bundle(self, model,
+                                                      rng, tmp_path):
+        # Saving over the same directory the mmap reads from must not
+        # corrupt anything: _ensure_writer detaches from the mapped
+        # files before the writer truncates them.
+        path = ServedIndex(model).save(tmp_path / "b")
+        lazy = ServedIndex.load(path, mmap=True)
+        lazy.add_documents(rng.random((model.n_terms, 1)))
+        lazy.save(path)
+        reloaded = ServedIndex.load(path)
+        assert reloaded.n_documents == model.n_documents + 1
+
+    def test_mmap_float32_casts_at_engine_build(self, model, queries,
+                                                tmp_path):
+        path = ServedIndex(model).save(tmp_path / "b")
+        lazy = ServedIndex.load(path, mmap=True, dtype="float32")
+        assert lazy.dtype == "float32"
+        ranked = lazy.rank_batch(queries, top_k=5)
+        assert ranked.shape == (queries.shape[1], 5)
+        eager32 = ServedIndex.load(path, dtype="float32")
+        assert np.array_equal(ranked,
+                              eager32.rank_batch(queries, top_k=5))
+
+    def test_mmap_on_legacy_npz_falls_back_to_eager(self, model,
+                                                    tmp_path):
+        # npz members cannot be memory-mapped; a v1/v2 bundle loads
+        # eagerly even when mmap was requested.
+        import hashlib
+
+        from repro.serving.bundle import ARRAYS_NAME
+
+        path = ServedIndex(model).save(tmp_path / "b")
+        arrays = {}
+        for npy in path.glob("*.npy"):
+            arrays[npy.stem] = np.load(npy, allow_pickle=False)
+            npy.unlink()
+        legacy = {name: arrays[name]
+                  for name in ("u", "singular_values", "vt",
+                               "frobenius_norm_sq", "doc_vectors",
+                               "tombstones")}
+        np.savez(path / ARRAYS_NAME, **legacy)
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = 2
+        manifest["checksums"] = {ARRAYS_NAME: "sha256:" + hashlib.sha256(
+            (path / ARRAYS_NAME).read_bytes()).hexdigest()}
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = ServedIndex.load(path, mmap=True)
+        assert not loaded.mmapped
+        assert loaded.n_documents == model.n_documents
+
+
+class TestColdStartRss:
+    def test_mmap_peak_rss_well_below_eager(self, tmp_path):
+        # Regression guard for the O(manifest) cold start: on a
+        # moderate bundle (~37 MB of arrays) the mmap child's peak RSS
+        # must stay under half the eager child's.  The scale bench
+        # gates the real < 25% claim; half is the looser, noise-proof
+        # floor a unit test can assert.  Fresh subprocesses because
+        # peak RSS is a process-lifetime high-water mark, and VmHWM
+        # (not ru_maxrss) because the rusage counter survives
+        # fork+exec and would report the parent's peak.
+        rng = np.random.default_rng(0)
+        basis, _ = np.linalg.qr(rng.standard_normal((512, 32)))
+        from repro.linalg.svd import SVDResult
+
+        singular = np.sort(rng.uniform(1.0, 10.0, 32))[::-1].copy()
+        vt = rng.standard_normal((32, 50_000)) / np.sqrt(32.0)
+        frob = float(np.sum(singular**2) * 1.25)
+        model = LSIModel(SVDResult(np.ascontiguousarray(basis),
+                                   singular, vt, frob))
+        path = ServedIndex(model).save(tmp_path / "b")
+
+        child = r"""
+import resource, sys
+from repro.serving import ServedIndex
+
+
+def peak_rss_kb():
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+index = ServedIndex.load(sys.argv[1], mmap=(sys.argv[2] == "mmap"))
+print(peak_rss_kb())
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        rss = {}
+        for mode in ("eager", "mmap"):
+            proc = subprocess.run(
+                [sys.executable, "-c", child, str(path), mode],
+                capture_output=True, text=True, env=env)
+            assert proc.returncode == 0, proc.stderr
+            rss[mode] = int(proc.stdout.strip())
+        assert rss["mmap"] < 0.5 * rss["eager"], rss
