@@ -1,6 +1,6 @@
-"""Bench S1–S6: the serving layer.
+"""Bench S1–S8: the serving layer.
 
-Six families:
+Eight families:
 
 - ``serving_batched_queries`` — the tentpole perf claim: ranking a
   query block through :class:`~repro.serving.engine.BatchQueryEngine`'s
@@ -20,7 +20,18 @@ Six families:
   in-memory rankings exactly, plus wall-clock for both directions;
 - ``serving_foldin_drift`` — fold document batches into an index fitted
   on a subset and check the drift metric is monotone non-decreasing and
-  crosses a low refit threshold.
+  crosses a low refit threshold;
+- ``serving_sharded_throughput`` — the sharded fan-out claim: ranking
+  the same query block through a :class:`~repro.serving.sharded.
+  ShardedIndex` at 1/2/4 shards, recording queries/sec plus single-query
+  p50/p99 latency per shard count, and gating *merge exactness* — the
+  sharded ranking bit-equal to the single-index one — as a measured 0/1
+  claim (column-subset GEMMs can round ±1 ULP, so exactness is
+  verified on the actual corpus, never assumed);
+- ``serving_microbatch_dispatch`` — the micro-batching dispatcher:
+  single-query submissions coalesced into batches under
+  ``max_batch``/``max_wait_ms``, recording throughput, mean flush
+  size, and exactness against direct ranking.
 
 The ``scale`` sizes serve from :func:`harness.fixtures.
 synthetic_index_factors` instead of fitting LSI — at 100k documents
@@ -31,6 +42,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -39,7 +51,8 @@ from harness import benchmark
 from harness.fixtures import separable_matrix, synthetic_index_factors
 
 from repro.core.lsi import LSIModel
-from repro.serving import BatchQueryEngine, ServedIndex, ranking_overlap
+from repro.serving import BatchQueryEngine, MicroBatchDispatcher, \
+    ServedIndex, ServingConfig, ShardedIndex, ranking_overlap
 from repro.utils.rng import as_generator
 from repro.utils.timing import measure
 
@@ -189,7 +202,7 @@ import hashlib, json, resource, sys, time
 
 import numpy as np
 
-from repro.serving import ServedIndex
+from repro.serving import ServedIndex, ServingConfig
 
 
 def peak_rss_kb():
@@ -205,7 +218,8 @@ def peak_rss_kb():
 
 path, mode, n_queries, top_k, seed = sys.argv[1:6]
 start = time.perf_counter()
-index = ServedIndex.load(path, mmap=(mode == "mmap"))
+index = ServedIndex.load(
+    path, config=ServingConfig(mmap=(mode == "mmap")))
 load_seconds = time.perf_counter() - start
 rss_after_load_kb = peak_rss_kb()
 rng = np.random.default_rng(int(seed))
@@ -380,7 +394,8 @@ def bench_serving_foldin_drift(params, seed):
                               params["n_documents"], seed)
     fitted_part = matrix.select_columns(np.arange(n_fit))
     index = ServedIndex.fit(fitted_part, params["rank"], seed=seed,
-                            drift_threshold=0.01)
+                            config=ServingConfig(
+                                drift_threshold=0.01))
 
     drifts = [index.drift]
     for batch in range(params["n_batches"]):
@@ -397,4 +412,123 @@ def bench_serving_foldin_drift(params, seed):
         "drift_monotone": bool(monotone),
         "refit_recommended": bool(index.needs_refit),
         "n_folded": index.n_documents - n_fit,
+    }
+
+
+def _latency_percentiles(index, queries, *, top_k, probes):
+    """p50/p99 single-query latency (ms) over ``probes`` calls."""
+    latencies = []
+    for i in range(probes):
+        column = queries[:, i % queries.shape[1]]
+        start = time.perf_counter()
+        index.rank_documents(column, top_k=top_k)
+        latencies.append(time.perf_counter() - start)
+    samples = np.asarray(latencies) * 1e3
+    return (float(np.percentile(samples, 50)),
+            float(np.percentile(samples, 99)))
+
+
+@benchmark(name="serving_sharded_throughput",
+           tags=("serving", "perf"),
+           sizes={"smoke": {"n_terms": 400, "n_topics": 8,
+                            "n_documents": 400, "rank": 8,
+                            "n_queries": 64, "latency_probes": 12},
+                  "full": {"n_terms": 1500, "n_topics": 12,
+                           "n_documents": 1200, "rank": 12,
+                           "n_queries": 256, "latency_probes": 24},
+                  "scale": {"n_terms": 4096, "rank": 96,
+                            "n_documents": 100_000, "n_queries": 256,
+                            "chunk": 128, "synthetic": True,
+                            "latency_probes": 32, "repeats": 2}},
+           time_metrics=("qps_1shard", "qps_2shard", "qps_4shard",
+                         "p50_ms_1shard", "p99_ms_1shard",
+                         "p50_ms_2shard", "p99_ms_2shard",
+                         "p50_ms_4shard", "p99_ms_4shard",
+                         "single_seconds"))
+def bench_serving_sharded_throughput(params, seed):
+    """S7: sharded fan-out throughput + gated merge exactness.
+
+    The exactness booleans are the claim the docs lean on: per-shard
+    GEMMs may round a score ±1 ULP relative to the single GEMM, so
+    "sharded ranking == single-index ranking" is measured on the
+    actual corpus at every shard count and gated against the committed
+    baseline, never assumed from the merge algebra alone.
+    """
+    model = _serving_model(params, seed)
+    single = ServedIndex(model)
+    queries = _query_block(params["n_terms"], params["n_queries"],
+                           seed + 1)
+    top_k = 10
+    chunk = params.get("chunk", queries.shape[1])
+    repeats = params.get("repeats", 3)
+    probes = params["latency_probes"]
+
+    def rank_all(index):
+        return _rank_chunked(index, queries, top_k=top_k, chunk=chunk)
+
+    reference = measure(lambda: rank_all(single), warmup=1,
+                        repeats=repeats)
+    metrics = {"single_seconds": reference.mean_seconds,
+               "n_queries": queries.shape[1]}
+    config = ServingConfig(pool="thread", cache_capacity=0)
+    for n_shards in (1, 2, 4):
+        sharded = ShardedIndex.shard(model, n_shards, config=config)
+        timed = measure(lambda: rank_all(sharded), warmup=1,
+                        repeats=repeats)
+        p50, p99 = _latency_percentiles(sharded, queries,
+                                        top_k=top_k, probes=probes)
+        label = f"{n_shards}shard"
+        metrics[f"qps_{label}"] = queries.shape[1] \
+            / max(timed.mean_seconds, 1e-12)
+        metrics[f"p50_ms_{label}"] = p50
+        metrics[f"p99_ms_{label}"] = p99
+        metrics[f"merge_exact_{label}"] = \
+            bool(np.array_equal(reference.result, timed.result))
+        sharded.close()
+    metrics["sharded_speedup_4shard"] = reference.mean_seconds \
+        / max(queries.shape[1] / metrics["qps_4shard"], 1e-12)
+    return metrics
+
+
+@benchmark(name="serving_microbatch_dispatch", tags=("serving",),
+           sizes={"smoke": {"n_terms": 400, "n_topics": 8,
+                            "n_documents": 400, "rank": 8,
+                            "n_queries": 96, "max_batch": 16,
+                            "max_wait_ms": 2.0},
+                  "full": {"n_terms": 1500, "n_topics": 12,
+                           "n_documents": 1200, "rank": 12,
+                           "n_queries": 256, "max_batch": 32,
+                           "max_wait_ms": 2.0}})
+def bench_serving_microbatch_dispatch(params, seed):
+    """S8: the dispatcher coalesces singles into exact batched ranks."""
+    model = _serving_model(params, seed)
+    index = ServedIndex(model)
+    queries = _query_block(params["n_terms"], params["n_queries"],
+                           seed + 1)
+    top_k = 10
+    config = ServingConfig(max_batch=params["max_batch"],
+                           max_wait_ms=params["max_wait_ms"])
+
+    start = time.perf_counter()
+    with MicroBatchDispatcher(index, config=config) as dispatcher:
+        futures = [dispatcher.submit(queries[:, i], top_k=top_k)
+                   for i in range(queries.shape[1])]
+        results = [future.result() for future in futures]
+    elapsed = time.perf_counter() - start
+    stats = dispatcher.stats()
+
+    exact = all(
+        np.array_equal(results[i],
+                       index.rank_documents(queries[:, i],
+                                            top_k=top_k))
+        for i in range(queries.shape[1]))
+    return {
+        "dispatch_seconds": elapsed,
+        "dispatch_qps": queries.shape[1] / max(elapsed, 1e-12),
+        "batches_flushed": stats.batches,
+        "mean_flush_size": stats.completed / max(stats.batches, 1),
+        "size_flushes": stats.size_flushes,
+        "timeout_flushes": stats.timeout_flushes,
+        "coalesced": stats.coalesced,
+        "dispatch_exact": bool(exact),
     }

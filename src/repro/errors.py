@@ -15,6 +15,7 @@ from __future__ import annotations
 
 __all__ = [
     "ConvergenceError",
+    "DispatcherClosedError",
     "DistributionError",
     "EmptyCorpusError",
     "NotFittedError",
@@ -67,6 +68,14 @@ class PersistenceError(ReproError):
 
     Raised by :mod:`repro.serving.bundle` when a bundle fails its format,
     schema-version, checksum, or shape-consistency checks on load.
+    """
+
+
+class DispatcherClosedError(ReproError, RuntimeError):
+    """A query was submitted to a micro-batching dispatcher after close.
+
+    Subclasses :class:`RuntimeError` (like :class:`NotFittedError`)
+    because it reports object state, not a malformed argument.
     """
 
 

@@ -56,10 +56,13 @@ __all__ = [
     "ARRAYS_NAME",
     "BUNDLE_FORMAT",
     "BUNDLE_SCHEMA_VERSION",
+    "ChecksumMismatch",
     "IndexBundle",
+    "checksum_failures",
     "environment_fingerprint",
     "read_bundle",
     "read_manifest",
+    "sha256_file",
     "write_bundle",
 ]
 
@@ -102,13 +105,44 @@ def environment_fingerprint() -> dict:
     }
 
 
-def _sha256_file(path: Path) -> str:
+def sha256_file(path: Path) -> str:
     """``sha256:<hex>`` digest of a file's bytes."""
     digest = hashlib.sha256()
     with open(path, "rb") as handle:
         for block in iter(lambda: handle.read(1 << 20), b""):
             digest.update(block)
     return f"sha256:{digest.hexdigest()}"
+
+
+# Backwards-compatible private alias (pre-sharding internal name).
+_sha256_file = sha256_file
+
+
+@dataclass(frozen=True)
+class ChecksumMismatch:
+    """One array file that failed bundle checksum verification.
+
+    Attributes:
+        name: the file name inside the bundle directory.
+        expected: the digest recorded in the manifest (``None`` when
+            the manifest records no checksum for the file).
+        actual: the recomputed digest (``None`` when the file is
+            missing on disk).
+    """
+
+    name: str
+    expected: "str | None"
+    actual: "str | None"
+
+    def describe(self) -> str:
+        """A one-line human-readable account of the failure."""
+        if self.actual is None:
+            return f"{self.name}: missing (expected {self.expected})"
+        if self.expected is None:
+            return (f"{self.name}: no recorded checksum "
+                    f"(actual {self.actual})")
+        return (f"{self.name}: expected {self.expected}, "
+                f"actual {self.actual}")
 
 
 @dataclass(frozen=True)
@@ -353,28 +387,53 @@ def read_manifest(path, *, verify_arrays: bool = False) -> dict:
     return manifest
 
 
-def _verify_checksums(directory: Path, manifest: dict) -> None:
-    """Recompute the array payload digests and compare to the manifest."""
+def checksum_failures(directory, manifest: dict
+                      ) -> "list[ChecksumMismatch]":
+    """Every array file whose digest disagrees with the manifest.
+
+    Checks *all* recorded files instead of stopping at the first
+    problem, so a corruption report (``repro serve-stats --verify``)
+    names each damaged file with its expected and actual digests.
+
+    Args:
+        directory: the bundle directory.
+        manifest: its parsed manifest (see :func:`read_manifest`).
+
+    Returns:
+        One :class:`ChecksumMismatch` per failing file (empty when the
+        payload is intact), in manifest array order.
+    """
+    directory = Path(directory)
     recorded = manifest.get("checksums") or {}
     if manifest.get("schema_version") in (1, 2):
         names = [ARRAYS_NAME]
     else:
         names = [f"{name}.npy" for name in _V3_ARRAYS]
+    failures = []
     for name in names:
         array_path = directory / name
-        if not array_path.is_file():
-            raise PersistenceError(
-                f"bundle {directory} has no {name}")
         expected = recorded.get(name)
-        if expected is None:
-            raise PersistenceError(
-                f"bundle {directory} manifest records no checksum for "
-                f"{name}")
-        actual = _sha256_file(array_path)
-        if actual != expected:
-            raise PersistenceError(
-                f"bundle {directory} is corrupted: {name} checksum "
-                f"{actual} does not match recorded {expected}")
+        if not array_path.is_file():
+            failures.append(ChecksumMismatch(name, expected, None))
+            continue
+        actual = sha256_file(array_path)
+        if expected is None or actual != expected:
+            failures.append(ChecksumMismatch(name, expected, actual))
+    return failures
+
+
+def _verify_checksums(directory: Path, manifest: dict) -> None:
+    """Recompute the array payload digests and compare to the manifest.
+
+    Raises one :class:`~repro.errors.PersistenceError` listing *every*
+    mismatching file individually, not just the first.
+    """
+    failures = checksum_failures(directory, manifest)
+    if failures:
+        details = "; ".join(f.describe() for f in failures)
+        raise PersistenceError(
+            f"bundle {directory} failed checksum verification for "
+            f"{len(failures)} file(s): {details}")
 
 
 def _load_npz_arrays(directory: Path) -> dict:

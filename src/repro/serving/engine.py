@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
+from typing import NamedTuple
 
 import numpy as np
 
@@ -46,6 +47,7 @@ from repro.utils.validation import check_non_negative_int, check_top_k, \
 
 __all__ = [
     "BatchQueryEngine",
+    "CacheKey",
     "COMPUTE_DTYPES",
     "LRUResultCache",
     "QueryBatch",
@@ -172,12 +174,49 @@ class QueryBatch:
                 f"n_queries={self.n_queries})")
 
 
-class LRUResultCache:
-    """A bounded least-recently-used cache of ranking arrays.
+class CacheKey(NamedTuple):
+    """The canonical result-cache key for one (query, cutoff) lookup.
 
-    Keys are ``(index_version, query_hash, top_k)`` tuples; values are
-    the ranked-id arrays.  ``capacity=0`` disables caching (every
-    lookup misses, nothing is stored).
+    Every serving layer used to re-derive the ad-hoc
+    ``(generation, sha256(query), top_k)`` tuple by hand;
+    :class:`CacheKey` is that tuple promoted to a named, shared type so
+    :class:`~repro.serving.index.ServedIndex`, the per-shard caches of
+    :class:`~repro.serving.sharded.ShardedIndex`, and the
+    micro-batching dispatcher all key one implementation.
+
+    Attributes:
+        generation: the index (or shard) generation the entry was
+            computed against — mutations bump it, so stale rankings
+            are unreachable by construction.
+        query_hash: SHA-256 of the query column's bytes
+            (:meth:`QueryBatch.query_hash`).
+        top_k: the effective cutoff the ranking was computed at.
+        kind: result flavour — ``"rank"`` for plain id rankings,
+            ``"scored"`` for ``(ids, scores)`` pairs — so the two
+            never alias.
+    """
+
+    generation: int
+    query_hash: str
+    top_k: int
+    kind: str = "rank"
+
+    @classmethod
+    def for_query(cls, generation: int, batch: "QueryBatch", i: int,
+                  top_k: int, *, kind: str = "rank") -> "CacheKey":
+        """The key for query ``i`` of ``batch`` at one generation."""
+        return cls(int(generation), batch.query_hash(i), int(top_k),
+                   kind)
+
+
+class LRUResultCache:
+    """A bounded least-recently-used cache of ranking results.
+
+    Keys are :class:`CacheKey` values (build them with
+    :meth:`key_for`); values are ranked-id arrays or tuples of arrays
+    (e.g. ``(ids, scores)``), copied on the way in and out.
+    ``capacity=0`` disables caching (every lookup misses, nothing is
+    stored).
 
     The cache is thread-safe: ``get``/``put``/``clear`` hold one lock,
     because an LRU lookup is read-*and-reorder* (``move_to_end``) and
@@ -188,7 +227,7 @@ class LRUResultCache:
 
     def __init__(self, capacity: int = 256):
         self.capacity = check_non_negative_int(capacity, "capacity")
-        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
         self._lock = threading.Lock()
         #: Lookups answered from the cache.
         self.hits = 0
@@ -197,8 +236,18 @@ class LRUResultCache:
         #: Entries dropped to respect ``capacity``.
         self.evictions = 0
 
-    def get(self, key) -> "np.ndarray | None":
-        """The cached ranking for ``key`` (a copy), or ``None``."""
+    #: The shared cache-key constructor (see :class:`CacheKey`).
+    key_for = staticmethod(CacheKey.for_query)
+
+    @staticmethod
+    def _copy_entry(entry):
+        """Defensive copy of a cached value (array or array tuple)."""
+        if isinstance(entry, tuple):
+            return tuple(np.asarray(part).copy() for part in entry)
+        return np.asarray(entry).copy()
+
+    def get(self, key):
+        """The cached result for ``key`` (a copy), or ``None``."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -206,13 +255,13 @@ class LRUResultCache:
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return entry.copy()
+            return self._copy_entry(entry)
 
-    def put(self, key, ranking: np.ndarray) -> None:
-        """Store a ranking, evicting the least-recently-used overflow."""
+    def put(self, key, ranking) -> None:
+        """Store a result, evicting the least-recently-used overflow."""
         if self.capacity == 0:
             return
-        entry = np.asarray(ranking).copy()
+        entry = self._copy_entry(ranking)
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
@@ -496,6 +545,28 @@ class BatchQueryEngine:
         for row in range(batch.n_queries):
             out[row] = stable_top_k(scores[row], top_k)
         return out
+
+    def rank_batch_scored(self, queries, *, top_k=None
+                          ) -> "tuple[np.ndarray, np.ndarray]":
+        """Ranked ids *and their scores* per query.
+
+        Same semantics as :meth:`rank_batch`, plus the cosine score of
+        every returned id as a second ``(q, top_k_eff)`` array in the
+        engine's compute dtype.  This is the shard fan-out primitive:
+        merging per-shard top-k into a global ranking needs the scores
+        to re-run the ``stable_top_k`` tie policy across shards.
+        """
+        batch = self._as_batch(queries)
+        top_k = min(check_top_k(top_k, self._n_docs), self.n_active)
+        sims = self._score_into(batch)
+        if self._tombstones:
+            sims[:, self._dead] = -np.inf
+        ids = np.empty((batch.n_queries, top_k), dtype=np.int64)
+        scores = np.empty((batch.n_queries, top_k), dtype=self._dtype)
+        for row in range(batch.n_queries):
+            ids[row] = stable_top_k(sims[row], top_k)
+            scores[row] = sims[row, ids[row]]
+        return ids, scores
 
     def rank_documents(self, query_vector, *, top_k=None) -> np.ndarray:
         """Ranked ids for one query (the batched kernel, q = 1)."""

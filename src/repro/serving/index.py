@@ -12,11 +12,13 @@ unchanged, and adds what production traffic needs:
   drift tracking and a refit recommendation;
 - ``save`` / ``load`` — checksummed, schema-versioned bundles
   (:mod:`repro.serving.bundle`) that reproduce in-memory rankings
-  exactly, with an ``mmap=True`` cold-start path that maps the large
+  exactly, with a memory-mapped cold-start path that maps the large
   factors read-only and defers all real I/O to the first query;
-- ``dtype="float32"`` — opt-in single-precision scoring (see
-  :class:`~repro.serving.engine.BatchQueryEngine`), sticky across
-  save/load via the bundle's ``compute_dtype``;
+- one :class:`~repro.serving.config.ServingConfig` carrying every
+  serving-time policy — compute precision, cache sizing, mmap
+  loading — shared verbatim with the sharded index and the
+  micro-batching dispatcher (the old per-call kwargs survive one
+  release behind a :class:`DeprecationWarning` shim);
 - ``stats`` — the :class:`~repro.serving.stats.ServingStats` counters
   behind ``repro serve-stats``.
 """
@@ -32,12 +34,12 @@ from repro.core.lsi import LSIModel
 from repro.errors import ValidationError
 from repro.linalg.svd import SVDResult
 from repro.serving.bundle import IndexBundle, read_bundle, write_bundle
+from repro.serving.config import ServingConfig, resolve_config
 from repro.serving.engine import COMPUTE_DTYPES, BatchQueryEngine, \
     LRUResultCache, QueryBatch
 from repro.serving.stats import ServingStats
 from repro.serving.writer import DriftReport, IndexWriter
-from repro.utils.validation import check_non_negative_int, check_top_k, \
-    check_vector
+from repro.utils.validation import check_top_k, check_vector
 
 if TYPE_CHECKING:
     from repro.core.folding import FoldingIndex
@@ -45,6 +47,10 @@ if TYPE_CHECKING:
     from repro.ir.bm25 import BM25Model
     from repro.ir.retriever import Retriever
     from repro.ir.vsm import VectorSpaceModel
+    # Type-only: no runtime cycle with the sharded module.
+    from repro.serving.sharded import (  # reprolint: disable=R007
+        ShardedIndex,
+    )
 
 __all__ = ["ServedIndex"]
 
@@ -70,30 +76,26 @@ class ServedIndex:
     Args:
         model: a fitted :class:`~repro.core.lsi.LSIModel`.
         vocabulary: optional term strings persisted with the index.
-        drift_threshold: drift level past which a refit is recommended.
-        cache_capacity: LRU result-cache size (0 disables caching).
-        dtype: compute precision for scoring — ``"float64"`` (default)
-            or ``"float32"`` (opt-in; roughly halves GEMM memory
-            traffic at the cost of last-ULP score agreement).
-        cache_budget_bytes: optional bound on the scoring working set;
-            oversized similarity blocks are computed in document
-            panels (see :class:`~repro.serving.engine.BatchQueryEngine`).
+        config: the :class:`~repro.serving.config.ServingConfig`
+            governing precision, caching, and drift policy (``None``
+            = all defaults).
+        **legacy: the pre-``ServingConfig`` kwargs
+            (``drift_threshold=``, ``cache_capacity=``, ``dtype=``,
+            ``cache_budget_bytes=``), accepted for one more release
+            behind a :class:`DeprecationWarning`; unknown names raise
+            eagerly with the valid fields listed.
     """
 
     def __init__(self, model: LSIModel, *, vocabulary=None,
-                 drift_threshold: "float | None" = 0.1,
-                 cache_capacity: int = 256,
-                 dtype: str = "float64",
-                 cache_budget_bytes: "int | None" = None):
-        self._dtype = _resolve_dtype(dtype)
-        if cache_budget_bytes is not None:
-            cache_budget_bytes = check_non_negative_int(
-                cache_budget_bytes, "cache_budget_bytes")
-        self._cache_budget = cache_budget_bytes
+                 config: "ServingConfig | None" = None, **legacy):
+        config = resolve_config(config, legacy, where="ServedIndex")
+        self._config = config
+        self._dtype = _resolve_dtype(config.dtype or "float64")
+        self._cache_budget = config.cache_budget_bytes
         self._writer: "IndexWriter | None" = IndexWriter(
-            model, drift_threshold=drift_threshold)
+            model, drift_threshold=config.drift_threshold)
         self._bundle: "IndexBundle | None" = None
-        self._cache = LRUResultCache(cache_capacity)
+        self._cache = LRUResultCache(config.cache_capacity)
         self._vocabulary = (tuple(getattr(vocabulary, "terms",
                                           vocabulary))
                             if vocabulary is not None else None)
@@ -111,21 +113,71 @@ class ServedIndex:
 
     @classmethod
     def fit(cls, matrix, rank, *, engine: str = "lanczos", seed=None,
-            vocabulary=None, drift_threshold: "float | None" = 0.1,
-            cache_capacity: int = 256, dtype: str = "float64",
-            cache_budget_bytes: "int | None" = None,
+            vocabulary=None, config: "ServingConfig | None" = None,
             **engine_kwargs) -> "ServedIndex":
         """Fit rank-``rank`` LSI on a term–document matrix and serve it.
 
         Arguments mirror :meth:`repro.core.lsi.LSIModel.fit` plus the
         serving knobs of the constructor.
+
+        Args:
+            matrix: the term–document matrix to factor.
+            rank: the LSI dimension ``k``.
+            engine: SVD engine name.
+            seed: RNG seed for iterative engines.
+            vocabulary: optional term strings persisted with the index.
+            config: serving policy (see the constructor).
+            **engine_kwargs: engine tuning forwarded to
+                :meth:`repro.core.lsi.LSIModel.fit`; legacy serving
+                kwargs (``dtype=``, ...) are also still recognised
+                here, with the constructor's deprecation shim.
         """
+        legacy = {name: engine_kwargs.pop(name)
+                  for name in ServingConfig.field_names()
+                  if name in engine_kwargs}
+        config = resolve_config(config, legacy, where="ServedIndex.fit")
         model = LSIModel.fit(matrix, rank, engine=engine, seed=seed,
                              **engine_kwargs)
-        return cls(model, vocabulary=vocabulary,
-                   drift_threshold=drift_threshold,
-                   cache_capacity=cache_capacity, dtype=dtype,
-                   cache_budget_bytes=cache_budget_bytes)
+        return cls(model, vocabulary=vocabulary, config=config)
+
+    @classmethod
+    def from_writer(cls, writer: IndexWriter, *, vocabulary=None,
+                    config: "ServingConfig | None" = None
+                    ) -> "ServedIndex":
+        """Serve an existing :class:`~repro.serving.writer.IndexWriter`.
+
+        This is the shard construction path: the sharded index builds
+        one writer per document partition (same model, a column subset
+        of the store) and wraps each in a full ``ServedIndex`` so every
+        shard gets the engine, cache, and drift machinery for free.
+        The writer is adopted, not copied — the caller must hand over
+        ownership.
+
+        Args:
+            writer: the writer to serve (its ``drift_threshold`` wins
+                over ``config.drift_threshold``).
+            vocabulary: optional term strings persisted with the index.
+            config: serving policy (see the constructor).
+        """
+        config = config if config is not None else ServingConfig()
+        index = cls.__new__(cls)
+        index._config = config
+        index._dtype = _resolve_dtype(config.dtype or "float64")
+        index._cache_budget = config.cache_budget_bytes
+        index._writer = writer
+        index._bundle = None
+        index._cache = LRUResultCache(config.cache_capacity)
+        index._vocabulary = (tuple(getattr(vocabulary, "terms",
+                                           vocabulary))
+                             if vocabulary is not None else None)
+        index._generation = 0
+        index._engine_cache = None
+        index._engine_generation = -1
+        index._base_version = "unsaved"
+        index._queries_served = 0
+        index._batches_served = 0
+        index._base_stats = ServingStats()
+        return index
 
     # ------------------------------------------------------------------
     # Inspection
@@ -181,9 +233,27 @@ class ServedIndex:
         return self._dtype
 
     @property
+    def config(self) -> ServingConfig:
+        """The serving policy this index was built with."""
+        return self._config
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter — bumped so stale cache keys die."""
+        return self._generation
+
+    @property
     def mmapped(self) -> bool:
         """Whether the index still serves from read-only mapped arrays."""
         return self._writer is None
+
+    @property
+    def tombstones(self) -> tuple:
+        """Deleted document ids, ascending (cheap on mmap loads)."""
+        if self._writer is not None:
+            return self._writer.tombstones
+        return tuple(sorted(int(d)
+                            for d in self._lazy_bundle().tombstones))
 
     @property
     def vocabulary(self) -> "tuple | None":
@@ -299,7 +369,8 @@ class ServedIndex:
         missing = []
         keys = []
         for i in range(batch.n_queries):
-            key = (self._generation, batch.query_hash(i), top_k)
+            key = self._cache.key_for(self._generation, batch, i,
+                                      top_k)
             keys.append(key)
             cached = self._cache.get(key)
             if cached is None:
@@ -313,6 +384,49 @@ class ServedIndex:
                 out[i] = computed[row]
                 self._cache.put(keys[i], computed[row])
         return out
+
+    def rank_batch_scored(self, queries, *, top_k=None
+                          ) -> "tuple[np.ndarray, np.ndarray]":
+        """Ranked ids and their scores for a query block.
+
+        The shard fan-out entry point: identical ranking semantics to
+        :meth:`rank_batch`, plus each returned id's cosine score (in
+        the compute dtype) so a sharded merge can re-run the global
+        tie policy.  Results are cached per query under a
+        ``kind="scored"`` :class:`~repro.serving.engine.CacheKey`, so
+        repeated fan-outs on an unchanged shard skip BLAS entirely.
+        """
+        engine = self._engine()
+        batch = engine._as_batch(queries)
+        top_k = min(check_top_k(top_k, self.n_documents),
+                    self.n_active)
+        self._batches_served += 1
+        self._queries_served += batch.n_queries
+
+        ids = np.empty((batch.n_queries, top_k), dtype=np.int64)
+        scores = np.empty((batch.n_queries, top_k),
+                          dtype=self._dtype)
+        missing = []
+        keys = []
+        for i in range(batch.n_queries):
+            key = self._cache.key_for(self._generation, batch, i,
+                                      top_k, kind="scored")
+            keys.append(key)
+            cached = self._cache.get(key)
+            if cached is None:
+                missing.append(i)
+            else:
+                ids[i], scores[i] = cached
+        if missing:
+            sub = QueryBatch(batch.matrix[:, missing])
+            sub_ids, sub_scores = engine.rank_batch_scored(
+                sub, top_k=top_k)
+            for row, i in enumerate(missing):
+                ids[i] = sub_ids[row]
+                scores[i] = sub_scores[row]
+                self._cache.put(keys[i], (sub_ids[row],
+                                          sub_scores[row]))
+        return ids, scores
 
     # ------------------------------------------------------------------
     # Updates
@@ -438,9 +552,8 @@ class ServedIndex:
         return write_bundle(path, bundle)
 
     @classmethod
-    def load(cls, path, *, cache_capacity: int = 256,
-             mmap: bool = False, dtype: "str | None" = None,
-             cache_budget_bytes: "int | None" = None) -> "ServedIndex":
+    def load(cls, path, *, config: "ServingConfig | None" = None,
+             **legacy) -> "ServedIndex":
         """Load a bundle saved by :meth:`save` (or any older schema).
 
         The restored index reproduces the saved index's rankings
@@ -448,28 +561,32 @@ class ServedIndex:
 
         Args:
             path: the bundle directory.
-            cache_capacity: LRU result-cache size for the new index.
-            mmap: map the large arrays read-only instead of loading
-                them — the O(manifest) cold start.  Serving works
-                directly off the mapped, pre-normalised factors;
-                the first mutation (or :attr:`model` access, or
-                :meth:`save`) materialises the index in memory.
-                Legacy (schema ≤ 2) bundles fall back to eager
-                loading.
-            dtype: compute precision for the loaded index; ``None``
-                (default) keeps the precision the bundle was saved
-                with (``compute_dtype`` in the manifest).
-            cache_budget_bytes: scoring working-set bound (see the
-                constructor).
+            config: serving policy for the loaded index.
+                ``config.mmap=True`` maps the large arrays read-only
+                instead of loading them — the O(manifest) cold start:
+                serving works directly off the mapped, pre-normalised
+                factors; the first mutation (or :attr:`model` access,
+                or :meth:`save`) materialises the index in memory;
+                legacy (schema ≤ 2) bundles fall back to eager
+                loading.  ``config.dtype=None`` (default) keeps the
+                precision the bundle was saved with
+                (``compute_dtype`` in the manifest); the bundle's
+                persisted ``drift_threshold`` always wins over the
+                config's.
+            **legacy: the pre-``ServingConfig`` kwargs
+                (``cache_capacity=``, ``mmap=``, ``dtype=``,
+                ``cache_budget_bytes=``), accepted for one more
+                release behind a :class:`DeprecationWarning`.
         """
-        bundle = read_bundle(path, mmap=mmap)
+        config = resolve_config(config, legacy,
+                                where="ServedIndex.load")
+        bundle = read_bundle(path, mmap=config.mmap)
         index = cls.__new__(cls)
+        index._config = config
         index._dtype = _resolve_dtype(
-            bundle.compute_dtype if dtype is None else dtype)
-        if cache_budget_bytes is not None:
-            cache_budget_bytes = check_non_negative_int(
-                cache_budget_bytes, "cache_budget_bytes")
-        index._cache_budget = cache_budget_bytes
+            config.dtype if config.dtype is not None
+            else bundle.compute_dtype)
+        index._cache_budget = config.cache_budget_bytes
         if bundle.mmapped and bundle.doc_unit is not None:
             index._writer = None
             index._bundle = bundle
@@ -484,7 +601,7 @@ class ServedIndex:
                 deletes=bundle.stats.deletes_since_refit,
                 copy=False)
             index._bundle = None
-        index._cache = LRUResultCache(cache_capacity)
+        index._cache = LRUResultCache(config.cache_capacity)
         index._vocabulary = bundle.vocabulary
         index._generation = 0
         index._engine_cache = None
@@ -515,6 +632,7 @@ def _retriever_conformance(
         folding: "FoldingIndex",
         two_step: "TwoStepLSI",
         served: "ServedIndex",
+        sharded: "ShardedIndex",
 ) -> "tuple[Retriever, ...]":
     """Static proof that every engine satisfies ``Retriever``.
 
@@ -523,4 +641,4 @@ def _retriever_conformance(
     here (not in :mod:`repro.ir.retriever`) because the serving layer
     already imports every backend, keeping the import graph acyclic.
     """
-    return (lsi, vsm, bm25, folding, two_step, served)
+    return (lsi, vsm, bm25, folding, two_step, served, sharded)

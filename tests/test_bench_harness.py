@@ -460,6 +460,9 @@ class TestScaleBaseline:
         assert coldstart["mmap_rankings_exact"] == 1.0
         assert coldstart["mmap_rss_ratio"] < 0.25
         assert coldstart["mmap_rss_under_quarter"] == 1.0
+        sharded = metrics["serving_sharded_throughput[scale]"]
+        for n_shards in (1, 2, 4):
+            assert sharded[f"merge_exact_{n_shards}shard"] == 1.0
 
 
 class TestMarkdownSummary:

@@ -20,6 +20,7 @@ from repro.serving import (
     LRUResultCache,
     QueryBatch,
     ServedIndex,
+    ServingConfig,
     ServingStats,
     environment_fingerprint,
     read_bundle,
@@ -506,7 +507,9 @@ class TestServedIndex:
         assert ranked.shape[0] == served.n_active
 
     def test_refit_restores_health(self, served, dense_matrix, rng):
-        served = ServedIndex(served.model, drift_threshold=1e-6)
+        served = ServedIndex(
+            served.model,
+            config=ServingConfig(drift_threshold=1e-6))
         served.add_documents(rng.random((served.n_terms, 4)))
         assert served.needs_refit
         served.refit(dense_matrix, engine="exact")
@@ -550,7 +553,10 @@ class TestServeStatsCLI:
         blob[-1] ^= 0xFF
         arrays.write_bytes(bytes(blob))
         assert main(["serve-stats", str(path), "--verify"]) == 2
-        assert "corrupted" in capsys.readouterr().err
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "u.npy" in captured.err
+        assert "expected" in captured.err
 
     def test_non_bundle_path_errors(self, tmp_path, capsys):
         from repro.cli import main

@@ -27,6 +27,7 @@ from repro.serving import (
     COMPUTE_DTYPES,
     BatchQueryEngine,
     ServedIndex,
+    ServingConfig,
     ServingStats,
     ranking_overlap,
     read_bundle,
@@ -178,19 +179,25 @@ class TestBlockedGemm:
 
 class TestDtypeStickiness:
     def test_bundle_records_compute_dtype(self, model, tmp_path):
-        index = ServedIndex(model, dtype="float32")
+        index = ServedIndex(model,
+                            config=ServingConfig(dtype="float32"))
         path = index.save(tmp_path / "b")
         manifest = read_manifest(path)
         assert manifest["compute_dtype"] == "float32"
 
     def test_load_inherits_bundle_dtype(self, model, tmp_path):
-        path = ServedIndex(model, dtype="float32").save(tmp_path / "b")
+        float32 = ServedIndex(
+            model, config=ServingConfig(dtype="float32"))
+        path = float32.save(tmp_path / "b")
         loaded = ServedIndex.load(path)
         assert loaded.dtype == "float32"
 
     def test_load_dtype_override_wins(self, model, tmp_path):
-        path = ServedIndex(model, dtype="float32").save(tmp_path / "b")
-        loaded = ServedIndex.load(path, dtype="float64")
+        float32 = ServedIndex(
+            model, config=ServingConfig(dtype="float32"))
+        path = float32.save(tmp_path / "b")
+        loaded = ServedIndex.load(
+            path, config=ServingConfig(dtype="float64"))
         assert loaded.dtype == "float64"
 
     def test_legacy_manifest_defaults_float64(self, model, tmp_path):
@@ -202,7 +209,8 @@ class TestDtypeStickiness:
         assert ServedIndex.load(path).dtype == "float64"
 
     def test_stats_carry_dtype(self, model, queries, tmp_path):
-        index = ServedIndex(model, dtype="float32")
+        index = ServedIndex(model,
+                            config=ServingConfig(dtype="float32"))
         index.rank_batch(queries, top_k=3)
         assert index.stats().dtype == "float32"
         path = index.save(tmp_path / "b")
@@ -216,7 +224,9 @@ class TestDtypeStickiness:
                                           capsys):
         from repro.cli import main
 
-        path = ServedIndex(model, dtype="float32").save(tmp_path / "b")
+        float32 = ServedIndex(
+            model, config=ServingConfig(dtype="float32"))
+        path = float32.save(tmp_path / "b")
         assert main(["serve-stats", str(path)]) == 0
         assert "float32" in capsys.readouterr().out
 
@@ -226,7 +236,8 @@ class TestMmapLoad:
                                                   queries, tmp_path):
         path = ServedIndex(model).save(tmp_path / "b")
         eager = ServedIndex.load(path)
-        lazy = ServedIndex.load(path, mmap=True)
+        lazy = ServedIndex.load(path,
+                                config=ServingConfig(mmap=True))
         assert lazy.mmapped and not eager.mmapped
         assert np.array_equal(eager.rank_batch(queries, top_k=7),
                               lazy.rank_batch(queries, top_k=7))
@@ -246,7 +257,8 @@ class TestMmapLoad:
     def test_mmap_properties_work_without_materialising(self, model,
                                                         tmp_path):
         path = ServedIndex(model).save(tmp_path / "b")
-        lazy = ServedIndex.load(path, mmap=True)
+        lazy = ServedIndex.load(path,
+                                config=ServingConfig(mmap=True))
         assert lazy.rank == model.rank
         assert lazy.n_documents == model.n_documents
         assert 0.0 <= lazy.drift <= 1.0
@@ -255,7 +267,8 @@ class TestMmapLoad:
     def test_mutation_materialises_then_behaves(self, model, rng,
                                                 tmp_path):
         path = ServedIndex(model).save(tmp_path / "b")
-        lazy = ServedIndex.load(path, mmap=True)
+        lazy = ServedIndex.load(path,
+                                config=ServingConfig(mmap=True))
         lazy.add_documents(rng.random((model.n_terms, 2)))
         assert not lazy.mmapped
         assert lazy.n_documents == model.n_documents + 2
@@ -266,7 +279,8 @@ class TestMmapLoad:
         # corrupt anything: _ensure_writer detaches from the mapped
         # files before the writer truncates them.
         path = ServedIndex(model).save(tmp_path / "b")
-        lazy = ServedIndex.load(path, mmap=True)
+        lazy = ServedIndex.load(path,
+                                config=ServingConfig(mmap=True))
         lazy.add_documents(rng.random((model.n_terms, 1)))
         lazy.save(path)
         reloaded = ServedIndex.load(path)
@@ -275,11 +289,13 @@ class TestMmapLoad:
     def test_mmap_float32_casts_at_engine_build(self, model, queries,
                                                 tmp_path):
         path = ServedIndex(model).save(tmp_path / "b")
-        lazy = ServedIndex.load(path, mmap=True, dtype="float32")
+        lazy = ServedIndex.load(
+            path, config=ServingConfig(mmap=True, dtype="float32"))
         assert lazy.dtype == "float32"
         ranked = lazy.rank_batch(queries, top_k=5)
         assert ranked.shape == (queries.shape[1], 5)
-        eager32 = ServedIndex.load(path, dtype="float32")
+        eager32 = ServedIndex.load(
+            path, config=ServingConfig(dtype="float32"))
         assert np.array_equal(ranked,
                               eager32.rank_batch(queries, top_k=5))
 
@@ -307,7 +323,8 @@ class TestMmapLoad:
         manifest["checksums"] = {ARRAYS_NAME: "sha256:" + hashlib.sha256(
             (path / ARRAYS_NAME).read_bytes()).hexdigest()}
         manifest_path.write_text(json.dumps(manifest))
-        loaded = ServedIndex.load(path, mmap=True)
+        loaded = ServedIndex.load(path,
+                                config=ServingConfig(mmap=True))
         assert not loaded.mmapped
         assert loaded.n_documents == model.n_documents
 
@@ -335,7 +352,7 @@ class TestColdStartRss:
 
         child = r"""
 import resource, sys
-from repro.serving import ServedIndex
+from repro.serving import ServedIndex, ServingConfig
 
 
 def peak_rss_kb():
@@ -349,7 +366,8 @@ def peak_rss_kb():
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
-index = ServedIndex.load(sys.argv[1], mmap=(sys.argv[2] == "mmap"))
+index = ServedIndex.load(
+    sys.argv[1], config=ServingConfig(mmap=(sys.argv[2] == "mmap")))
 print(peak_rss_kb())
 """
         env = dict(os.environ)
