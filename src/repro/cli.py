@@ -10,8 +10,9 @@ Commands:
   Markdown report (all of them by default);
 - ``info`` — version and experiment inventory summary;
 - ``lint [paths...] [--format {text,json,sarif,github}]
-  [--select Rxxx,...] [--fix [--check]] [--cache] [--jobs N]`` — run
-  the repo's static-analysis engine (reprolint) over the source tree;
+  [--select Rxxx,...] [--fix [--check]] [--cache] [--jobs N]
+  [--changed [REF]] [--explain Rxxx]`` — run the repo's
+  static-analysis engine (reprolint) over the source tree;
 - ``bench [...]`` — the unified benchmark harness: run registered
   benchmarks into schema-versioned ``BENCH_*.json`` reports,
   ``bench list`` the registry, ``bench compare`` two reports as a
@@ -215,6 +216,12 @@ def _command_lint(args) -> int:
         argv += ["--config", args.config]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.explain:
+        argv += ["--explain", args.explain]
+    if args.changed is not None:
+        argv.append("--changed")
+        if args.changed != "HEAD":
+            argv.append(args.changed)
     if args.fix:
         argv.append("--fix")
     if args.check:
@@ -523,6 +530,15 @@ def build_parser() -> argparse.ArgumentParser:
                              help="explicit pyproject.toml to read")
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="print the rule catalogue and exit")
+    lint_parser.add_argument("--explain", default=None,
+                             metavar="Rxxx",
+                             help="print one rule's catalogue entry "
+                                  "and exit")
+    lint_parser.add_argument("--changed", nargs="?", const="HEAD",
+                             default=None, metavar="REF",
+                             help="lint only files changed vs REF "
+                                  "plus their reverse dependencies "
+                                  "(implies --cache)")
     lint_parser.add_argument("--fix", action="store_true",
                              help="apply the safe autofixes before "
                                   "linting")

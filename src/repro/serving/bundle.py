@@ -292,6 +292,12 @@ def write_bundle(path, bundle: IndexBundle) -> Path:
 
     Returns the bundle directory.  Overwrites an existing bundle at the
     same path; refuses to write into a path occupied by a file.
+
+    Raises:
+        PersistenceError: if ``path`` exists and is not a directory.
+        ShapeError: if the bundle's document factors are not the 2-D
+            blocks normalisation expects.
+        ValidationError: if the factors carry non-finite entries.
     """
     directory = Path(path)
     if directory.exists() and not directory.is_dir():

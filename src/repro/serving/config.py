@@ -163,6 +163,10 @@ def resolve_config(config: "ServingConfig | None", legacy: dict, *,
 
     Returns:
         The effective :class:`ServingConfig`.
+
+    Raises:
+        ValidationError: on unknown legacy kwargs, or when ``config=``
+            is mixed with legacy kwargs.
     """
     if not legacy:
         return config if config is not None else ServingConfig()

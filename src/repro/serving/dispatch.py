@@ -150,6 +150,12 @@ class MicroBatchDispatcher:
             query_vector: a 1-D term-space query.
             top_k: cutoff policy, normalised exactly as the index
                 normalises it (``None`` = all).
+
+        Raises:
+            ValidationError: if the query is not a finite 1-D vector
+                in the index's term space, or ``top_k`` is not a
+                usable cutoff.
+            DispatcherClosedError: if :meth:`close` already ran.
         """
         query = check_vector(query_vector, "query_vector")
         if query.shape[0] != self._index.n_terms:

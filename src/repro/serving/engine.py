@@ -93,6 +93,9 @@ def ranking_overlap(rankings_a, rankings_b) -> float:
     sensitive to any document entering or leaving the cutoff.
 
     Returns 1.0 for two empty blocks of matching shape.
+
+    Raises:
+        ShapeError: if the blocks are not 2-D with matching shapes.
     """
     a = np.asarray(rankings_a)
     b = np.asarray(rankings_b)
@@ -130,7 +133,13 @@ class QueryBatch:
 
     @classmethod
     def from_vectors(cls, vectors) -> "QueryBatch":
-        """Stack 1-D term-space query vectors into a batch."""
+        """Stack 1-D term-space query vectors into a batch.
+
+        Raises:
+            ValidationError: on an empty sequence or a non-finite
+                query vector.
+            ShapeError: when the vectors disagree on term-space size.
+        """
         columns = [check_vector(v, f"vectors[{i}]")
                    for i, v in enumerate(vectors)]
         if not columns:
@@ -376,6 +385,11 @@ class BatchQueryEngine:
             dtype: compute precision (see the constructor).
             cache_budget_bytes: similarity working-set bound (see the
                 constructor).
+
+        Raises:
+            ShapeError: when the factor shapes disagree on the LSI
+                rank or the document count.
+            ValidationError: on an unsupported compute dtype.
         """
         engine = cls.__new__(cls)
         engine._dtype = _check_compute_dtype(dtype)

@@ -103,6 +103,10 @@ def shard_document_ids(n_documents: int, n_shards: int,
     Returns:
         One ascending ``int64`` id array per shard; the arrays are
         disjoint and cover the id space exactly.
+
+    Raises:
+        ValidationError: on a negative document count, a non-positive
+            shard count, or an unknown assignment policy.
     """
     check_non_negative_int(n_documents, "n_documents")
     check_positive_int(n_shards, "n_shards")
@@ -403,6 +407,11 @@ class ShardedIndex:
                 shard.
             config: serving policy for the shards and the fan-out.
             **legacy: deprecated kwarg form of ``config`` fields.
+
+        Raises:
+            ValidationError: on a non-positive ``n_shards``, an
+                unknown assignment policy, an unsupported source
+                type, or bad config/legacy kwargs.
         """
         config = resolve_config(config, legacy,
                                 where="ShardedIndex.shard")
@@ -589,18 +598,27 @@ class ShardedIndex:
         return batch
 
     def _thread_pool(self) -> Executor:
-        """The fan-out thread pool, (re)built to the current width."""
+        """The fan-out thread pool, (re)built to the current width.
+
+        The stale pool (on a width change) is detached under the lock
+        but shut down after releasing it: ``shutdown(wait=True)`` joins
+        worker threads, and joining while holding ``_pool_lock`` would
+        stall every concurrent query behind the drain.
+        """
+        stale = None
         with self._pool_lock:
             width = self._config.max_workers or self.n_shards
             if self._executor is None \
                     or self._executor_width != width:
-                if self._executor is not None:
-                    self._executor.shutdown(wait=True)
+                stale = self._executor
                 self._executor = ThreadPoolExecutor(
                     max_workers=width,
                     thread_name_prefix="repro-shard")
                 self._executor_width = width
-            return self._executor
+            executor = self._executor
+        if stale is not None:
+            stale.shutdown(wait=True)
+        return executor
 
     def _proc_pool(self) -> Executor:
         """The process fan-out pool (disk-backed shards only)."""
@@ -780,7 +798,12 @@ class ShardedIndex:
         return assigned
 
     def remove_documents(self, doc_ids) -> None:
-        """Tombstone global ids; they stop appearing in rankings."""
+        """Tombstone global ids; they stop appearing in rankings.
+
+        Raises:
+            ValidationError: if an id is unknown, retired, or already
+                deleted.
+        """
         ids = [int(d) for d in np.atleast_1d(np.asarray(doc_ids))]
         per_shard: "dict[int, list[int]]" = {}
         tombstoned: "dict[int, set[int]]" = {}
@@ -823,6 +846,10 @@ class ShardedIndex:
         score 0, and never appear in rankings again — the same
         contract as tombstoning each of the shard's documents, minus
         the drift accounting (the shard is gone, not masked).
+
+        Raises:
+            ValidationError: on an out-of-range index, or when only
+                one shard remains.
         """
         if not 0 <= int(shard_index) < self.n_shards:
             raise ValidationError(
@@ -861,6 +888,10 @@ class ShardedIndex:
         re-saving over the same directory leaves stale ``shard-*``
         directories behind; loaders only read what the manifest
         records.
+
+        Raises:
+            PersistenceError: if ``path`` (or a shard bundle path
+                under it) exists and is not a directory.
         """
         directory = Path(path)
         if directory.exists() and not directory.is_dir():
@@ -923,6 +954,11 @@ class ShardedIndex:
             path: the sharded-index directory.
             config: serving policy for the shards and the fan-out.
             **legacy: deprecated kwarg form of ``config`` fields.
+
+        Raises:
+            PersistenceError: on a missing/malformed manifest, an
+                unsupported schema, or a checksum mismatch.
+            ValidationError: on bad config/legacy kwargs.
         """
         config = resolve_config(config, legacy,
                                 where="ShardedIndex.load")
@@ -977,15 +1013,21 @@ class ShardedIndex:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the fan-out pools down (idempotent)."""
+        """Shut the fan-out pools down (idempotent).
+
+        Pools are detached under ``_pool_lock`` and drained after
+        releasing it: ``shutdown(wait=True)`` blocks on in-flight
+        shard work, and holding the lock through that drain would
+        deadlock any worker (or concurrent caller) that needs it.
+        """
         with self._pool_lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
-                self._executor_width = 0
-            if self._process_pool is not None:
-                self._process_pool.shutdown(wait=True)
-                self._process_pool = None
+            executor, self._executor = self._executor, None
+            self._executor_width = 0
+            process_pool, self._process_pool = self._process_pool, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if process_pool is not None:
+            process_pool.shutdown(wait=True)
 
     def __enter__(self) -> "ShardedIndex":
         return self

@@ -183,7 +183,10 @@ class IndexWriter:
         Deleted ids keep their positions (so ids stay stable) but stop
         appearing in rankings; their in-subspace energy joins the drift
         numerator because the basis still encodes mass that no longer
-        exists.  Deleting an already-deleted or out-of-range id raises.
+        exists.
+
+        Raises:
+            ValidationError: on an out-of-range or already-deleted id.
         """
         ids = [int(d) for d in np.atleast_1d(np.asarray(doc_ids))]
         for doc_id in ids:
@@ -275,6 +278,13 @@ class IndexWriter:
 
         Returns:
             The freshly fitted model (also installed in the writer).
+
+        Raises:
+            ValidationError: when the refit matrix's term space does
+                not match the served one, or the fit parameters are
+                invalid.
+            ConvergenceError: when an iterative SVD engine fails to
+                converge on the new corpus.
         """
         rank = self._model.rank if rank is None else rank
         model = LSIModel.fit(matrix, rank, engine=engine, seed=seed,
@@ -311,6 +321,10 @@ class IndexWriter:
         nothing else aliases, and copying them would double the load's
         peak RSS.  Callers keeping a reference must not pass
         ``copy=False``.
+
+        Raises:
+            ValidationError: when ``doc_vectors`` is not a
+                ``(rank, m)`` block matching the model's rank.
         """
         writer = cls(model, drift_threshold=drift_threshold)
         doc_vectors = np.asarray(doc_vectors, dtype=np.float64)

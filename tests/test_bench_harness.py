@@ -427,6 +427,26 @@ class TestCommittedBaseline:
         document = load_report(self.BASELINE)
         assert compare_reports(document, document).ok()
 
+    def test_interprocedural_claims_hold_in_baseline(self):
+        # The interprocedural-lint acceptance claims, pinned to the
+        # committed report: warm runs replay every record, the clean
+        # chain stays clean, each mutation probe yields exactly one
+        # finding, and editing only a callee re-concludes its caller.
+        document = load_report(self.BASELINE)
+        metrics = {entry["benchmark"]: entry["metrics"]
+                   for entry in document["results"]}
+        interproc = metrics["reprolint_interprocedural[smoke]"]
+        assert interproc["interproc_warm_replays"] == 1.0
+        assert interproc["interproc_findings_stable"] == 1.0
+        assert interproc["tree_clean"] == 1.0
+        assert interproc["r113_probe_exact_one"] == 1.0
+        assert interproc["r120_probe_exact_one"] == 1.0
+        assert interproc["callee_edit_flips_caller"] == 1.0
+        assert interproc["callgraph_edges"] >= 20.0
+        cache = metrics["reprolint_incremental_cache[smoke]"]
+        assert cache["cache_fully_warm"] == 1.0
+        assert cache["violations_stable"] == 1.0
+
 
 class TestScaleBaseline:
     BASELINE = BENCH_DIR / "baselines" / "scale.json"

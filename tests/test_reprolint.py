@@ -360,7 +360,8 @@ class TestConfigLoading:
         assert config.select == ("R001", "R002", "R003", "R004",
                                  "R005", "R006", "R007",
                                  "R100", "R101", "R102",
-                                 "R110", "R111", "R112")
+                                 "R110", "R111", "R112",
+                                 "R113", "R120")
         assert config.r001_allow == ()
 
 
@@ -429,7 +430,7 @@ class TestReprolintCli:
         assert reprolint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for code in ("R100", "R101", "R102",
-                     "R110", "R111", "R112"):
+                     "R110", "R111", "R112", "R113", "R120"):
             assert code in out
 
     def test_cache_flag_round_trips(self, tmp_path, capsys):

@@ -44,15 +44,33 @@ R112   Concurrency safety: module-level mutable state or shared
        Generators reachable from pool workers, non-picklable
        submissions to process pools, and unsynchronized cache
        classes (scoped via ``r112-scope``).
+R113   Lock/blocking discipline (interprocedural): blocking calls
+       reached — directly or through the call graph — while a
+       ``threading`` lock is held, inconsistent lock-acquisition
+       order across functions, and workers submitted under a lock
+       they themselves acquire (scoped via ``r113-scope``).
+R120   Exception-contract flow (interprocedural): transitively
+       raised taxonomy exceptions missing from ``Raises:``
+       docstrings, public APIs raising builtins outside the
+       ``repro.errors`` taxonomy, and provably unreachable
+       ``except`` clauses (scoped via ``r120-scope``).
 =====  ==============================================================
+
+The interprocedural families run on a project call graph assembled
+from per-function effect summaries (returned shapes/dtypes, raised
+exceptions, locks held, blocking calls) that travel with the cached
+per-file records; the same graph upgrades R100/R110 to flag shape and
+dtype conflicts across call boundaries.
 
 Violations are suppressed per line with ``# reprolint: disable=Rxxx``
 and configured through the ``[tool.reprolint]`` table of
 ``pyproject.toml``.  Run as ``python -m tools.reprolint src/repro`` or
 through the packaged CLI as ``repro lint``.  ``--fix`` applies the
 safe, idempotent autofixes (R003/R005/R006/R100/R110/R111);
-``--cache`` enables the content-hash incremental cache; ``--format
-sarif``/``github`` target CI surfaces.
+``--cache`` enables the content-hash incremental cache; ``--changed
+[REF]`` lints only the files changed vs REF plus their summary-level
+reverse dependencies; ``--explain Rxxx`` prints one rule's catalogue
+entry; ``--format sarif``/``github`` target CI surfaces.
 """
 
 from tools.reprolint.config import Config, load_config

@@ -15,9 +15,9 @@ from pathlib import Path
 from tools.reprolint.cache import default_cache_path
 from tools.reprolint.config import (ALL_RULE_CODES, ConfigError,
                                     load_config)
-from tools.reprolint.engine import lint_paths
+from tools.reprolint.engine import lint_paths, resolve_changed
 from tools.reprolint.fixes import fix_paths
-from tools.reprolint.registry import RULES
+from tools.reprolint.registry import CATALOGUE, RULES
 from tools.reprolint.reporters import (render_github, render_json,
                                        render_sarif, render_text)
 
@@ -56,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "[tool.reprolint] from")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--explain", default=None, metavar="Rxxx",
+                        help="print one rule's catalogue entry "
+                             "(description, example finding, fix "
+                             "guidance) and exit")
+    parser.add_argument("--changed", nargs="?", const="HEAD",
+                        default=None, metavar="REF",
+                        help="lint only files changed vs REF "
+                             "(git diff --name-only; default HEAD) "
+                             "plus their summary-dependent reverse "
+                             "dependencies from the cache; implies "
+                             "--cache")
     parser.add_argument("--fix", action="store_true",
                         help="apply the safe autofixes (R003/R005/"
                              "R006/R100/R110/R111) before linting")
@@ -90,6 +101,41 @@ def _parse_select(raw) -> "list | None":
     return codes
 
 
+def _explain(code: str) -> int:
+    """Print one rule's catalogue entry; exit 2 on unknown codes."""
+    code = code.upper()
+    entry = CATALOGUE.get(code)
+    if entry is None:
+        print(f"reprolint: no catalogue entry for {code!r}; known "
+              f"codes are {', '.join(sorted(CATALOGUE))}",
+              file=sys.stderr)
+        return 2
+    print(f"{code}  {RULES.get(code, '')}")
+    print()
+    print(entry["description"])
+    print()
+    print(f"Example finding:\n  {entry['example']}")
+    print()
+    print(f"How to fix:\n  {entry['fix']}")
+    return 0
+
+
+def _git_changed(root, ref: str) -> "list | None":
+    """Root-relative paths changed vs ``ref``, or None when git fails."""
+    import subprocess
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            cwd=str(root), capture_output=True, text=True,
+            timeout=30, check=False)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return [line.strip() for line in proc.stdout.splitlines()
+            if line.strip()]
+
+
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
@@ -98,6 +144,8 @@ def main(argv=None) -> int:
         for code in sorted(RULES):
             print(f"{code}  {RULES[code]}")
         return 0
+    if args.explain is not None:
+        return _explain(args.explain)
     try:
         select = _parse_select(args.select)
         config = load_config(args.config)
@@ -126,8 +174,21 @@ def main(argv=None) -> int:
             print("reprolint: tree is fix-clean")
             return 0
     cache = None
-    if args.cache or args.cache_file:
+    if args.cache or args.cache_file or args.changed:
         cache = args.cache_file or default_cache_path(config.root)
+    if args.changed is not None:
+        changed = _git_changed(config.root, args.changed)
+        if changed is None:
+            print(f"reprolint: cannot resolve changed files vs "
+                  f"{args.changed!r} (not a git checkout?)",
+                  file=sys.stderr)
+            return 2
+        paths = resolve_changed(paths, changed, config, select,
+                                cache=cache)
+        if not paths:
+            print("clean: 0 file(s) checked (no lintable changes "
+                  f"vs {args.changed})")
+            return 0
     result = lint_paths(paths, config=config, select=select,
                         cache=cache, jobs=args.jobs)
     print(_RENDERERS[args.format](result))

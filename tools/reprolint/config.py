@@ -14,6 +14,8 @@ The table is intentionally small::
     r110-scope = ["src/repro/core", "src/repro/linalg"]
     r111-scope = ["src/repro/serving", "src/repro/linalg/dense.py"]
     r112-scope = []                    # empty scope = everywhere
+    r113-scope = []                    # lock/blocking discipline
+    r120-scope = ["src/repro/serving"] # exception-contract flow
 
 Keys may be spelled with dashes or underscores.  Path entries are
 interpreted relative to the project root (the directory holding
@@ -39,11 +41,13 @@ __all__ = ["Config", "ConfigError", "find_pyproject", "load_config"]
 
 #: Every rule code reprolint knows about, in catalogue order.
 ALL_RULE_CODES = ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                  "R100", "R101", "R102", "R110", "R111", "R112")
+                  "R100", "R101", "R102", "R110", "R111", "R112",
+                  "R113", "R120")
 
 _LIST_KEYS = ("select", "exclude", "r001_allow", "r004_allow",
               "r006_exempt", "r100_scope", "r101_allow", "r102_exempt",
-              "r110_scope", "r111_scope", "r112_scope")
+              "r110_scope", "r111_scope", "r112_scope", "r113_scope",
+              "r120_scope")
 
 
 class ConfigError(ValueError):
@@ -79,6 +83,10 @@ class Config:
     r111_scope: tuple = ()
     #: Paths where R112 concurrency checks run (empty = everywhere).
     r112_scope: tuple = ()
+    #: Paths where R113 lock/blocking discipline runs (empty = everywhere).
+    r113_scope: tuple = ()
+    #: Paths where R120 exception-contract flow runs (empty = everywhere).
+    r120_scope: tuple = ()
 
     def relative(self, path) -> str:
         """``path`` as a posix string relative to the project root."""

@@ -43,6 +43,7 @@ __all__ = [
     "extract_contracts",
     "parse_api_doc",
     "parse_docstring_args",
+    "parse_docstring_raises",
 ]
 
 #: ``Args:``-style section headers that terminate an Args block.
@@ -93,6 +94,51 @@ def parse_docstring_args(docstring: "str | None") -> list:
         if match:
             names.append(match["name"])
     return names
+
+
+#: One documented exception: ``Name:`` / ``pkg.Name:`` /
+#: ``:class:`~pkg.Name`:`` — anything up to the entry's colon.
+_RAISE_ENTRY = re.compile(r"^(?P<ref>[~`:\w.]+)\s*:")
+
+
+def parse_docstring_raises(docstring: "str | None") -> tuple:
+    """``(has_section, names)`` from a Google-style ``Raises:`` section.
+
+    ``names`` keeps the bare class name of each documented entry
+    (``repro.errors.ShapeError`` and ``:class:`~...ShapeError``` both
+    yield ``ShapeError``), deduplicated in order of appearance —
+    exactly what the R120 exception-contract pass compares transitive
+    raise sets against.
+    """
+    if not docstring:
+        return False, []
+    has_section = False
+    names: list = []
+    in_raises = False
+    entry_indent = None
+    for line in docstring.splitlines():
+        stripped = line.strip()
+        if _SECTION.match(stripped):
+            in_raises = stripped.split(":")[0] == "Raises"
+            has_section = has_section or in_raises
+            entry_indent = None
+            continue
+        if not in_raises or not stripped:
+            continue
+        indent = len(line) - len(line.lstrip())
+        if entry_indent is None:
+            entry_indent = indent
+        if indent > entry_indent:
+            continue  # continuation line of the previous entry
+        if indent < entry_indent:
+            in_raises = False
+            continue
+        match = _RAISE_ENTRY.match(stripped)
+        if match:
+            name = re.sub(r"\W", "", match["ref"].split(".")[-1])
+            if name and name not in names:
+                names.append(name)
+    return has_section, names
 
 
 def _parameter_names(args: ast.arguments) -> list:

@@ -9,9 +9,10 @@ table + import records + contract summary).  The engine then:
    (``cache=``) and analyses the rest — serially or across processes
    (``jobs=``);
 3. runs the project-level passes over the *assembled* records every
-   run: R007 import cycles (resolved against the current module set)
-   and R102 docs/API.md contract sync — which is how a change in one
-   file invalidates conclusions about files that did not change;
+   run: R007 import cycles (resolved against the current module set),
+   R102 docs/API.md contract sync, and the interprocedural call-graph
+   checks (R113/R120 plus call-site R100/R110) — which is how a change
+   in one file invalidates conclusions about files that did not change;
 4. dedupes shadowed findings (R101 subsumes R001 on the same line),
    filters per-line ``# reprolint: disable=Rxxx`` suppressions, and
    reports.
@@ -30,6 +31,8 @@ from pathlib import Path
 from tools.reprolint.cache import (FileRecord, content_hash,
                                    engine_fingerprint, load_cache,
                                    store_cache)
+from tools.reprolint.callgraph import (check_interprocedural,
+                                       module_dependencies)
 from tools.reprolint.config import Config
 from tools.reprolint.contracts import (check_api_docs, extract_contracts,
                                        parse_api_doc)
@@ -37,9 +40,14 @@ from tools.reprolint.cycles import (check_cycles, extract_import_records,
                                     module_name_for)
 from tools.reprolint.registry import FILE_RULES
 from tools.reprolint.rules import ModuleContext
+from tools.reprolint.summaries import extract_summaries
 from tools.reprolint.violations import Violation
 
-__all__ = ["LintResult", "Violation", "lint_paths"]
+__all__ = ["LintResult", "Violation", "lint_paths", "resolve_changed"]
+
+#: Rule families that consume the assembled call graph; any of them
+#: being enabled triggers the interprocedural project pass.
+_INTERPROC_RULES = frozenset({"R100", "R110", "R113", "R120"})
 
 #: ``# reprolint: disable=R001,R004`` (codes optional: bare ``disable``
 #: silences every rule on that line).  Trailing prose is ignored so a
@@ -131,10 +139,11 @@ def _build_record(rel, abspath, source, digest, config, enabled,
             violations=(Violation(path=rel, line=line, col=0,
                                   rule="E999",
                                   message=f"cannot lint file: {error}"),),
-            suppressions=suppressions, imports=(), contracts=None)
+            suppressions=suppressions, imports=(), contracts=None,
+            summaries=None)
+    module_name = module_name_for(rel, package_roots)
     ctx = ModuleContext(path=rel, abspath=Path(abspath), tree=tree,
-                        config=config,
-                        module_name=module_name_for(rel, package_roots))
+                        config=config, module_name=module_name)
     violations = []
     for rule in FILE_RULES:
         if rule.code in enabled:
@@ -145,7 +154,8 @@ def _build_record(rel, abspath, source, digest, config, enabled,
         suppressions=suppressions,
         imports=tuple(extract_import_records(tree)),
         contracts=extract_contracts(tree) if ctx.is_public_module
-        else None)
+        else None,
+        summaries=extract_summaries(tree, module_name))
 
 
 def _record_task(task, config, enabled, package_roots) -> FileRecord:
@@ -267,6 +277,9 @@ def lint_paths(paths, config: "Config | None" = None, select=None, *,
     if "R102" in enabled and records:
         violations.extend(
             _doc_sync_violations(records, package_roots, config))
+    if enabled & _INTERPROC_RULES and records:
+        violations.extend(check_interprocedural(
+            records, package_roots, config, enabled))
 
     violations = _dedupe_shadowed(violations)
     suppressions = {rel: record.suppression_table()
@@ -281,9 +294,55 @@ def lint_paths(paths, config: "Config | None" = None, select=None, *,
         surviving.append(violation)
 
     if cache is not None:
+        # Merge records left over from a previous run (files outside
+        # this run's targets, e.g. under ``--changed``) so a partial
+        # run never evicts the rest of the warm cache; a stale merged
+        # entry is harmless — the hash check rejects it next time.
+        stored = dict(cached)
+        stored.update(records)
         store_cache(cache, fingerprint,
-                    {rel: record for rel, record in records.items()
+                    {rel: record for rel, record in stored.items()
                      if record.content_hash})
     return LintResult(violations=tuple(surviving),
                       files_checked=len(files), cache_hits=hits,
                       cache_misses=len(tasks))
+
+
+def resolve_changed(paths, changed, config: "Config | None" = None,
+                    select=None, *, cache) -> list:
+    """Target files for a ``--changed`` run, as a sorted path list.
+
+    ``changed`` is an iterable of root-relative paths (typically from
+    ``git diff --name-only``).  The returned subset of the discovered
+    targets covers every changed file plus its transitive reverse
+    summary-dependencies — the callers whose interprocedural
+    conclusions a callee edit can flip, resolved from the cached
+    records' call references.  With no usable cache the reverse edges
+    are unknowable, so the full target list comes back (fail open: a
+    too-large run is always correct).
+    """
+    config = config if config is not None else Config()
+    enabled = frozenset(config.select)
+    if select is not None:
+        enabled &= {code.upper() for code in select}
+    files = list(_iter_python_files(paths, config))
+    by_rel = {config.relative(path): path for path in files}
+    changed_rels = {str(Path(entry).as_posix()) for entry in changed}
+    cached = load_cache(cache, engine_fingerprint(config, enabled))
+    if not cached:
+        return sorted(files)
+    package_roots = _package_roots(files, config)
+    dependencies = module_dependencies(cached, package_roots)
+    reverse: dict = {}
+    for source, targets in dependencies.items():
+        for target in targets:
+            reverse.setdefault(target, set()).add(source)
+    affected = set()
+    queue = [rel for rel in changed_rels if rel in by_rel]
+    while queue:
+        rel = queue.pop()
+        if rel in affected:
+            continue
+        affected.add(rel)
+        queue.extend(reverse.get(rel, ()))
+    return sorted(by_rel[rel] for rel in affected)

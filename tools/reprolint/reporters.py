@@ -15,7 +15,8 @@ _SARIF_LEVELS = {
     "R004": "error", "R005": "warning", "R006": "warning",
     "R007": "error", "R100": "error", "R101": "error",
     "R102": "warning", "R110": "error", "R111": "warning",
-    "R112": "error", "E999": "error",
+    "R112": "error", "R113": "error", "R120": "warning",
+    "E999": "error",
 }
 
 
@@ -54,17 +55,25 @@ def render_sarif(result) -> str:
     result with a physical location.  Rule metadata is included for
     every rule that actually fired so the document stays small.
     """
-    from tools.reprolint.registry import RULES
+    from tools.reprolint.registry import CATALOGUE, RULES
 
     fired = sorted({violation.rule
                     for violation in result.violations})
-    rules = [{
-        "id": code,
-        "shortDescription": {
-            "text": RULES.get(code, "file cannot be linted")},
-        "defaultConfiguration": {
-            "level": _SARIF_LEVELS.get(code, "warning")},
-    } for code in fired]
+    rules = []
+    for code in fired:
+        entry = {
+            "id": code,
+            "shortDescription": {
+                "text": RULES.get(code, "file cannot be linted")},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(code, "warning")},
+        }
+        catalogue = CATALOGUE.get(code)
+        if catalogue is not None:
+            entry["fullDescription"] = {
+                "text": catalogue["description"]}
+            entry["help"] = {"text": catalogue["fix"]}
+        rules.append(entry)
     results = [{
         "ruleId": violation.rule,
         "level": _SARIF_LEVELS.get(violation.rule, "warning"),
