@@ -295,6 +295,49 @@ def _print_serving_counters(stats, threshold) -> None:
           f"refits={stats.refits}")
 
 
+def _print_writer_state(manifest, stats) -> None:
+    """The writer drift-state block of the ``serve-stats`` report.
+
+    Bundles saved mid-write (folded/tombstoned documents not yet
+    absorbed by a refit) get their pending state spelled out: how many
+    documents each refit mode would absorb, the energy split behind
+    the drift number, and the remaining headroom to the configured
+    ``drift_threshold``.
+    """
+    n_documents = int(manifest.get("n_documents") or 0)
+    n_original = int(manifest.get("n_original") or n_documents)
+    folded = max(0, n_documents - n_original)
+    tombstoned = int(manifest.get("n_tombstoned") or 0)
+    unabsorbed = float(manifest.get("unabsorbed_energy") or 0.0)
+    captured = manifest.get("captured_energy")
+    threshold = manifest.get("drift_threshold")
+
+    print(f"writer state      fold-ins pending={folded} "
+          f"tombstoned={tombstoned}")
+    if captured is not None:
+        print(f"  energy          unabsorbed={unabsorbed:.6g} "
+              f"captured={float(captured):.6g}")
+    if threshold is None:
+        print("  refit policy    disabled (no drift threshold)")
+    else:
+        headroom = float(threshold) - stats.drift
+        state = "CROSSED — refit recommended" if headroom <= 0 \
+            else f"headroom {headroom:.6f}"
+        print(f"  refit policy    drift {stats.drift:.6f} of "
+              f"threshold {threshold} ({state})")
+    if folded > 0:
+        print("  refit path      full refit(matrix) — bundles do not "
+              "persist the term-space fold buffer the incremental "
+              "merge needs")
+    elif tombstoned > 0:
+        print("  refit path      full refit(matrix) — tombstoned "
+              "mass only leaves the basis on a from-scratch "
+              "decomposition")
+    else:
+        print("  refit path      none pending (incremental refit() "
+              "would be a no-op)")
+
+
 def _report_verification(failures, n_checked: int) -> int:
     """Print the ``--verify`` outcome; returns the exit code."""
     if failures:
@@ -449,6 +492,7 @@ def _command_serve_stats(args) -> int:
           f"{manifest.get('compute_dtype', stats.dtype)}")
     threshold = manifest.get("drift_threshold")
     _print_serving_counters(stats, threshold)
+    _print_writer_state(manifest, stats)
     if args.verify:
         n_checked = len(manifest.get("checksums") or {})
         return _report_verification(failures, n_checked)

@@ -67,6 +67,72 @@ class LSIModel:
                             **engine_kwargs)
         return cls(svd)
 
+    @classmethod
+    def fit_streamed(cls, blocks, rank, *, engine: str = "lanczos",
+                     seed=None, block_size: "int | None" = None,
+                     oversample: int = 8, polish_iterations: int = 0,
+                     **engine_kwargs) -> "LSIModel":
+        """Fit rank-``rank`` LSI from a stream of column blocks.
+
+        The out-of-core fitting path: blocks are factored one at a
+        time by a direct engine and folded together with the
+        :mod:`repro.linalg.incremental` merge, so peak memory is one
+        block plus the ``(n + m) × k`` factors — the full
+        term–document matrix is never materialised.
+
+        Args:
+            blocks: an iterable of column blocks (dense arrays or
+                :class:`~repro.linalg.sparse.CSRMatrix`, e.g. from
+                :func:`~repro.corpus.io.corpus_column_blocks`), or a
+                single in-memory matrix to be chunked via
+                :func:`~repro.linalg.incremental.iter_column_blocks`.
+            rank: the LSI dimension ``k``.
+            engine: per-block SVD engine (any direct engine).
+            seed: RNG seed for iterative engines.
+            block_size: chunk width for a matrix input, and the
+                re-chunk width for oversized stream blocks (``None``
+                keeps stream blocks as produced; a matrix input
+                defaults to 256-column chunks).
+            oversample: working-rank headroom carried through merges.
+            polish_iterations: power-iteration polish rounds after the
+                merge — only valid for a (re-readable) matrix input; a
+                one-shot block stream cannot be polished.
+            **engine_kwargs: per-block engine tuning.
+
+        Raises:
+            ValidationError: when ``polish_iterations > 0`` with a
+                one-shot block stream, or on invalid fit parameters.
+            EmptyCorpusError: when the stream yields no blocks.
+            ConvergenceError: when a per-block engine fails to
+                converge.
+        """
+        from repro.linalg.incremental import block_updates, \
+            iter_column_blocks, polish
+        from repro.linalg.sparse import CSRMatrix
+
+        is_matrix = isinstance(blocks, (CSRMatrix, np.ndarray))
+        if is_matrix:
+            width = 256 if block_size is None else block_size
+            stream = iter_column_blocks(blocks, width)
+        else:
+            if polish_iterations > 0:
+                raise ValidationError(
+                    "polish_iterations requires a re-readable matrix "
+                    "input; a one-shot block stream cannot be "
+                    "re-scanned (pass the matrix itself, or polish "
+                    "later with repro.linalg.incremental.polish)")
+            stream = blocks
+        partial = block_updates(
+            stream, rank,
+            block_size=None if is_matrix else block_size,
+            engine=engine, oversample=oversample, seed=seed,
+            keep_vt=True, **engine_kwargs)
+        if is_matrix and polish_iterations > 0:
+            partial = polish(partial, blocks,
+                             iterations=polish_iterations)
+            partial = partial.truncate(min(rank, partial.rank))
+        return cls(partial.to_svd_result())
+
     # ------------------------------------------------------------------
     # Representation
     # ------------------------------------------------------------------

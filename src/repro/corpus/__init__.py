@@ -26,6 +26,8 @@ synonymy analysis.
 from repro.corpus.corpus import Corpus
 from repro.corpus.document import Document
 from repro.corpus.io import (
+    corpus_column_blocks,
+    iter_column_blocks,
     load_corpus,
     load_matrix,
     save_corpus,
@@ -71,8 +73,10 @@ __all__ = [
     "apply_weighting",
     "build_separable_model",
     "build_zipfian_separable_model",
+    "corpus_column_blocks",
     "generate_corpus",
     "generate_document",
+    "iter_column_blocks",
     "load_corpus",
     "load_matrix",
     "merge_matrix_terms",

@@ -9,6 +9,14 @@ benchmark harness benefits from fixed on-disk inputs.  Two formats:
   labels, lengths) as ``.npz`` arrays; the generating model is *not*
   persisted (models are cheap to rebuild from their parameters, and
   factor distributions may hold arbitrary code).
+
+On top of the whole-matrix loads sits the streaming ingestion path for
+:mod:`repro.linalg.incremental`: :func:`iter_column_blocks` (re-exported
+from the linalg layer) chunks an already-loaded matrix into fixed-width
+column blocks with a final ragged block, and :func:`corpus_column_blocks`
+builds those blocks *directly from the documents* — the full
+term–document matrix is never materialised, which is what lets
+``fit_streamed`` index corpora larger than memory.
 """
 
 from __future__ import annotations
@@ -21,9 +29,25 @@ from repro.errors import ValidationError
 from repro.corpus.corpus import Corpus
 from repro.corpus.document import Document
 from repro.corpus.model import DocumentFactors
+from repro.corpus.weighting import apply_weighting
+from repro.linalg.incremental import iter_column_blocks
 from repro.linalg.sparse import CSRMatrix
+from repro.utils.validation import check_positive_int
 
-__all__ = ["load_corpus", "load_matrix", "save_corpus", "save_matrix"]
+__all__ = [
+    "COLUMN_LOCAL_WEIGHTINGS",
+    "corpus_column_blocks",
+    "iter_column_blocks",
+    "load_corpus",
+    "load_matrix",
+    "save_corpus",
+    "save_matrix",
+]
+
+#: Weighting schemes computable one column at a time — the only ones a
+#: streaming ingest can apply exactly (``tfidf``/``log_entropy`` need
+#: global document frequencies, i.e. a full pass over the corpus).
+COLUMN_LOCAL_WEIGHTINGS = ("count", "binary", "tf", "log_tf")
 
 #: Format tag written into every archive, checked on load.
 _MATRIX_FORMAT = "repro-csr-v1"
@@ -55,6 +79,52 @@ def load_matrix(path) -> CSRMatrix:
         shape = tuple(int(x) for x in archive["shape"])
         return CSRMatrix(shape, archive["indptr"], archive["indices"],
                          archive["data"])
+
+
+def corpus_column_blocks(corpus: Corpus, block_size: int, *,
+                         weighting: str = "count"):
+    """Stream a corpus as fixed-width term–document column blocks.
+
+    The streaming twin of
+    :meth:`~repro.corpus.corpus.Corpus.term_document_matrix`: each
+    yielded block is the CSR sub-matrix of ``block_size`` consecutive
+    documents (the last block ragged), built straight from the
+    documents' term counts — the full ``n × m`` matrix never exists.
+    Feeding the blocks to
+    :func:`~repro.linalg.incremental.block_updates` (or
+    ``LSIModel.fit_streamed``) indexes the corpus in
+    O(block + factors) memory.
+
+    Args:
+        corpus: the :class:`~repro.corpus.corpus.Corpus` to stream.
+        block_size: documents per block (positive).
+        weighting: a column-local scheme from
+            :data:`COLUMN_LOCAL_WEIGHTINGS`; the global schemes
+            (``tfidf``, ``log_entropy``) need document frequencies
+            from a full pass and are rejected.
+
+    Yields:
+        :class:`~repro.linalg.sparse.CSRMatrix` blocks of shape
+        ``(universe_size, ≤ block_size)``, in document order.
+
+    Raises:
+        ValidationError: on a non-positive ``block_size``, an unknown
+            weighting, or a global (non-column-local) one.
+    """
+    if not isinstance(corpus, Corpus):
+        raise ValidationError("corpus_column_blocks expects a Corpus")
+    block_size = check_positive_int(block_size, "block_size")
+    if weighting not in COLUMN_LOCAL_WEIGHTINGS:
+        raise ValidationError(
+            f"weighting {weighting!r} is not column-local; streaming "
+            f"ingestion supports {COLUMN_LOCAL_WEIGHTINGS}")
+    documents = list(corpus)
+    for start in range(0, len(documents), block_size):
+        chunk = documents[start:start + block_size]
+        block = CSRMatrix.from_columns(
+            corpus.universe_size,
+            [doc.term_counts for doc in chunk])
+        yield apply_weighting(block, weighting)
 
 
 def save_corpus(corpus: Corpus, path) -> Path:

@@ -15,6 +15,9 @@ This package is the computational foundation of the reproduction:
   container and the engine front-end :func:`~repro.linalg.svd.truncated_svd`.
 - :mod:`repro.linalg.perturbation` — sin-Θ subspace distances, Procrustes
   alignment, and the Stewart/Lemma-1 machinery behind Theorems 2–3.
+- :mod:`repro.linalg.incremental` — streaming, out-of-core SVD: mergeable
+  :class:`~repro.linalg.incremental.PartialSVD` block factorisations with
+  an explicit merge error bound, behind ``truncated_svd(engine="incremental")``.
 """
 
 from repro.linalg.dense import (
@@ -24,6 +27,14 @@ from repro.linalg.dense import (
     orthonormalize_columns,
     principal_angles,
     project_onto_basis,
+)
+from repro.linalg.incremental import (
+    PartialSVD,
+    block_updates,
+    incremental_svd,
+    iter_column_blocks,
+    merge,
+    polish,
 )
 from repro.linalg.lanczos import lanczos_svd
 from repro.linalg.perturbation import (
@@ -51,17 +62,23 @@ from repro.linalg.svd import (
 
 __all__ = [
     "CSRMatrix",
+    "PartialSVD",
     "SVDResult",
     "adaptive_rank_svd",
     "align_bases",
+    "block_updates",
     "cosine_similarity_matrix",
     "dominant_eigenpair",
     "exact_svd",
     "gram_matrix",
+    "incremental_svd",
+    "iter_column_blocks",
     "lanczos_svd",
     "low_rank_residual",
+    "merge",
     "normalize_columns",
     "orthonormalize_columns",
+    "polish",
     "principal_angles",
     "project_onto_basis",
     "randomized_range_finder",

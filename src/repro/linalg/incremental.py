@@ -1,0 +1,570 @@
+"""Streaming, out-of-core SVD via mergeable partial factorisations.
+
+The paper's guarantees are statements about the rank-``k`` spectral
+structure of a corpus, but :func:`~repro.linalg.svd.truncated_svd` can
+only obtain that structure by holding the whole term–document matrix in
+RAM.  This module removes that constraint with the one-pass merge
+algorithm popularised by gensim's LSI: decompose fixed-width *column
+blocks* independently (each small enough to fit in memory), then fold
+the per-block factors together with an orthogonal merge whose cost
+depends only on the retained rank — never on the number of documents
+already absorbed.
+
+The merge of ``A₁ ≈ U₁·S₁·V₁ᵀ`` and ``A₂ ≈ U₂·S₂·V₂ᵀ`` for the column
+concatenation ``[A₁ A₂]`` is exact on the inputs' approximants:
+
+1. project: ``C = U₁ᵀ·U₂``;
+2. orthogonalise the out-of-subspace part rank-revealingly:
+   ``Q·R ≈ U₂ − U₁·C`` with the ``j ≤ k₂`` directions not already in
+   ``span(U₁)`` (detected by SVD, so heavily-overlapping or
+   ``k₁+k₂ > n`` merges stay orthonormal);
+3. small SVD of the ``(k₁+j) × (k₁+k₂)`` middle matrix
+   ``K = [[S₁, C·S₂], [0, R·S₂]] = Uₖ·Sₖ·Vₖᵀ``;
+4. rotate: ``U = [U₁ Q]·Uₖ``, ``S = Sₖ``,
+   ``Vᵀ = Vₖᵀ·diag(V₁ᵀ, V₂ᵀ)``, truncated back to the working rank.
+
+Because ``[U₁ Q]`` has orthonormal columns and ``[C; R]`` satisfies
+``CᵀC + RᵀR = I``, step 3 conserves energy exactly
+(``‖K‖_F² = ‖S₁‖² + ‖S₂‖²``), so every Frobenius unit lost is lost in
+an explicit truncation whose discarded tail is added to a running
+triangle-inequality error bound (:attr:`PartialSVD.error_bound`).
+
+:class:`PartialSVD` is the mergeable value type, :func:`merge` the
+pairwise combiner, :func:`block_updates` the streaming driver (blocks
+are decomposed by the existing ``lanczos``/``randomized`` engines), and
+:func:`incremental_svd` the in-memory front-end behind
+``truncated_svd(engine="incremental")``.  :func:`polish` optionally
+runs power iterations against a re-readable matrix, which both improves
+the factors and collapses the accumulated bound back to the exact
+Pythagorean residual.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConvergenceError, EmptyCorpusError, \
+    ValidationError
+from repro.linalg.operator import as_operator
+from repro.linalg.sparse import CSRMatrix
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_non_negative_int, \
+    check_positive_int
+
+__all__ = [
+    "PartialSVD",
+    "block_updates",
+    "incremental_svd",
+    "iter_column_blocks",
+    "merge",
+    "polish",
+]
+
+
+def iter_column_blocks(matrix, block_size: int):
+    """Yield fixed-width column blocks of ``matrix``, last one ragged.
+
+    Every block but the last has exactly ``block_size`` columns; the
+    final block carries the ``n_columns % block_size`` remainder (when
+    nonzero).  Dense inputs yield views (no copy); CSR inputs are
+    transposed once and sliced in O(nnz) total, not O(nnz) per block.
+
+    Args:
+        matrix: dense ``(n, m)`` array or
+            :class:`~repro.linalg.sparse.CSRMatrix`.
+        block_size: positive width of each yielded block.
+
+    Yields:
+        Column blocks of the same type as the input (dense ndarray or
+        :class:`~repro.linalg.sparse.CSRMatrix`), in column order.
+    """
+    block_size = check_positive_int(block_size, "block_size")
+    if isinstance(matrix, CSRMatrix):
+        yield from _iter_csr_blocks(matrix, block_size)
+        return
+    dense = np.asarray(matrix)
+    if dense.ndim != 2:
+        raise ValidationError(
+            f"matrix must be 2-D, got shape {dense.shape}")
+    for start in range(0, dense.shape[1], block_size):
+        yield dense[:, start:start + block_size]
+
+
+def _iter_csr_blocks(matrix: CSRMatrix, block_size: int):
+    """CSR column blocks via one transpose + indptr slicing."""
+    transposed = matrix.transpose()   # rows become documents
+    n_terms, n_columns = matrix.shape
+    for start in range(0, n_columns, block_size):
+        stop = min(start + block_size, n_columns)
+        lo = int(transposed.indptr[start])
+        hi = int(transposed.indptr[stop])
+        counts = np.diff(transposed.indptr[start:stop + 1])
+        rows = transposed.indices[lo:hi]
+        cols = np.repeat(np.arange(stop - start, dtype=np.int64),
+                         counts)
+        yield CSRMatrix.from_triplets(
+            n_terms, stop - start, rows, cols,
+            transposed.data[lo:hi])
+
+
+@dataclass(frozen=True)
+class PartialSVD:
+    """A mergeable partial factorisation ``A ≈ U·S·Vᵀ`` of a column stream.
+
+    The streaming counterpart of :class:`~repro.linalg.svd.SVDResult`:
+    the same orthonormal-``U`` / descending-``S`` invariants, plus the
+    bookkeeping a merge tree needs — how many columns have been
+    absorbed, their total energy, and an explicit upper bound on the
+    Frobenius error accumulated by every truncation on the way here.
+
+    Attributes:
+        u: ``(n, k)`` orthonormal left factor.
+        singular_values: length-``k`` singular values, descending.
+        vt: optional ``(k, m)`` right-factor cursor over the columns
+            absorbed so far; ``None`` when the stream's document
+            coordinates are not needed (term-basis-only updates).
+        n_columns: number of matrix columns absorbed so far.
+        frobenius_norm_sq: ``‖A‖_F²`` of *all* absorbed columns.
+        error_bound: triangle-inequality bound on
+            ``‖A − U·S·Vᵀ‖_F`` — the sum of each block fit's
+            Pythagorean residual plus ``sqrt(Σ discarded σ²)`` of every
+            merge/truncate on the path to this value.
+        merges: number of pairwise merges folded into this value.
+    """
+
+    u: np.ndarray
+    singular_values: np.ndarray
+    vt: "np.ndarray | None"
+    n_columns: int
+    frobenius_norm_sq: float
+    error_bound: float = 0.0
+    merges: int = 0
+
+    def __post_init__(self):
+        if self.u.ndim != 2:
+            raise ValidationError("u must be 2-D")
+        k = self.singular_values.shape[0]
+        if self.u.shape[1] != k:
+            raise ValidationError(
+                f"inconsistent ranks: u has {self.u.shape[1]} columns "
+                f"but there are {k} singular values")
+        if np.any(np.diff(self.singular_values) > 1e-9):
+            raise ValidationError(
+                "singular values must be non-increasing")
+        if np.any(self.singular_values < -1e-12):
+            raise ValidationError(
+                "singular values must be non-negative")
+        if self.vt is not None:
+            if self.vt.ndim != 2 or self.vt.shape[0] != k:
+                raise ValidationError(
+                    f"vt must be (k, m) with k={k}; got "
+                    f"{self.vt.shape}")
+            if self.vt.shape[1] != self.n_columns:
+                raise ValidationError(
+                    f"vt covers {self.vt.shape[1]} columns but "
+                    f"n_columns={self.n_columns}")
+        if self.n_columns < 0:
+            raise ValidationError("n_columns must be non-negative")
+        if self.frobenius_norm_sq < 0 or self.error_bound < 0:
+            raise ValidationError(
+                "energies and error bounds must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_block(cls, block, rank: int, *, engine: str = "lanczos",
+                   seed: SeedLike = None, keep_vt: bool = True,
+                   **engine_kwargs) -> "PartialSVD":
+        """Factor one column block into a mergeable partial SVD.
+
+        Args:
+            block: dense ``(n, b)`` array or
+                :class:`~repro.linalg.sparse.CSRMatrix` column block.
+            rank: triplets to retain, clamped to ``min(n, b)`` so
+                ragged final blocks never over-ask.
+            engine: any non-incremental
+                :func:`~repro.linalg.svd.truncated_svd` engine.
+            seed: RNG seed forwarded to iterative engines.
+            keep_vt: retain the block's right factor so the merged
+                result carries document coordinates.
+            **engine_kwargs: engine tuning, validated like
+                :func:`~repro.linalg.svd.truncated_svd`.
+
+        Returns:
+            A :class:`PartialSVD` over the block's columns whose
+            ``error_bound`` is the block fit's Pythagorean residual.
+            Blocks whose numerical rank is below the (oversampled)
+            working rank make iterative engines break down; those
+            blocks silently fall back to the ``exact`` engine, which
+            is cheap precisely because the block is small.
+        """
+        from repro.linalg.svd import truncated_svd
+
+        if engine == "incremental":
+            raise ValidationError(
+                "from_block cannot recurse into the incremental "
+                "engine; pick a direct engine (lanczos, randomized, "
+                "subspace, exact)")
+        op = as_operator(block)
+        rank = min(check_positive_int(rank, "rank"), min(op.shape))
+        try:
+            result = truncated_svd(op, rank, engine=engine, seed=seed,
+                                   **engine_kwargs)
+        except ConvergenceError:
+            result = truncated_svd(op, rank, engine="exact")
+        return cls(u=result.u,
+                   singular_values=result.singular_values,
+                   vt=result.vt if keep_vt else None,
+                   n_columns=int(op.shape[1]),
+                   frobenius_norm_sq=result.frobenius_norm_sq,
+                   error_bound=result.residual_norm())
+
+    @classmethod
+    def from_svd_result(cls, result, *,
+                        keep_vt: bool = True) -> "PartialSVD":
+        """Lift an :class:`~repro.linalg.svd.SVDResult` into the merge
+        algebra (its Pythagorean residual becomes the initial bound)."""
+        return cls(u=result.u,
+                   singular_values=result.singular_values,
+                   vt=result.vt if keep_vt else None,
+                   n_columns=int(result.vt.shape[1]),
+                   frobenius_norm_sq=result.frobenius_norm_sq,
+                   error_bound=result.residual_norm())
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Number of retained singular triplets ``k``."""
+        return int(self.singular_values.shape[0])
+
+    @property
+    def n_terms(self) -> int:
+        """Row dimension ``n`` shared by every merged block."""
+        return int(self.u.shape[0])
+
+    def captured_energy(self) -> float:
+        """``Σ σᵢ²`` over retained triplets (:func:`math.fsum`-stable).
+
+        Monotone non-decreasing under :func:`merge` as long as the
+        merge keeps at least ``max(k₁, k₂)`` triplets: the middle
+        matrix ``K`` contains ``[S₁; 0]`` and an orthonormal multiple
+        of ``S₂`` as column sub-blocks, so its leading singular values
+        dominate both inputs'.
+        """
+        return math.fsum(float(s) * float(s)
+                         for s in self.singular_values)
+
+    def residual_energy(self) -> float:
+        """``‖A‖_F² − Σ σᵢ²`` — energy of the stream not represented."""
+        return max(0.0, self.frobenius_norm_sq - self.captured_energy())
+
+    def energy_fraction(self) -> float:
+        """Fraction of the absorbed columns' energy retained."""
+        if self.frobenius_norm_sq == 0:
+            return 1.0
+        return min(1.0, self.captured_energy() / self.frobenius_norm_sq)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def truncate(self, rank: int) -> "PartialSVD":
+        """Keep the leading ``rank`` triplets, growing the error bound.
+
+        The discarded tail adds ``sqrt(Σ dropped σᵢ²)`` to
+        :attr:`error_bound` — the exact Frobenius cost of the cut.
+        """
+        rank = check_positive_int(rank, "rank")
+        if rank >= self.rank:
+            return self
+        dropped = math.fsum(
+            float(s) * float(s) for s in self.singular_values[rank:])
+        return replace(
+            self,
+            u=self.u[:, :rank].copy(),
+            singular_values=self.singular_values[:rank].copy(),
+            vt=None if self.vt is None else self.vt[:rank].copy(),
+            error_bound=self.error_bound + math.sqrt(max(0.0, dropped)))
+
+    def to_svd_result(self):
+        """Convert to an :class:`~repro.linalg.svd.SVDResult`.
+
+        Raises:
+            ValidationError: when the right-factor cursor was dropped
+                (``vt is None``) — an ``SVDResult`` needs document
+                coordinates.
+        """
+        from repro.linalg.svd import SVDResult
+
+        if self.vt is None:
+            raise ValidationError(
+                "this PartialSVD dropped its vt cursor "
+                "(keep_vt=False); cannot build an SVDResult")
+        return SVDResult(self.u, self.singular_values, self.vt,
+                         self.frobenius_norm_sq)
+
+    def __repr__(self) -> str:
+        return (f"PartialSVD(k={self.rank}, n={self.n_terms}, "
+                f"columns={self.n_columns}, merges={self.merges}, "
+                f"energy={self.energy_fraction():.3f})")
+
+
+def merge(a: PartialSVD, b: PartialSVD, *,
+          rank: "int | None" = None) -> PartialSVD:
+    """Merge two partial SVDs of column-disjoint blocks ``[A B]``.
+
+    The stacked-factor QR/small-SVD merge from the module docstring:
+    exact on the inputs' rank-``k`` approximants, with any truncation
+    to ``rank`` accounted into the result's ``error_bound``.  The
+    operation is associative up to a rotation of the retained subspace
+    (and exactly energy-conserving before truncation), so a merge tree
+    of any shape over the same blocks spans the same space.
+
+    Args:
+        a: left partial factorisation (its columns come first).
+        b: right partial factorisation.
+        rank: triplets to keep (default: all ``k₁ + k₂``).  Keeping at
+            least ``max(k₁, k₂)`` preserves the monotonicity of
+            ``captured_energy``.
+
+    Returns:
+        The merged :class:`PartialSVD` over ``a``'s then ``b``'s
+        columns; carries a ``vt`` cursor iff both inputs do.
+
+    Raises:
+        ValidationError: when the inputs' term dimensions differ or
+            exactly one of them dropped its ``vt`` cursor.
+    """
+    if a.n_terms != b.n_terms:
+        raise ValidationError(
+            f"cannot merge partial SVDs over different term spaces "
+            f"({a.n_terms} vs {b.n_terms} rows)")
+    if (a.vt is None) != (b.vt is None):
+        raise ValidationError(
+            "cannot merge a PartialSVD with a vt cursor into one "
+            "without (keep_vt must match)")
+    k1, k2 = a.rank, b.rank
+
+    projection = a.u.T @ b.u                       # (k1, k2)
+    residual = b.u - a.u @ projection
+    # Second Gram–Schmidt pass: keeps the new directions numerically
+    # orthogonal to span(U₁) even when the overlap is large.
+    residual -= a.u @ (a.u.T @ residual)
+    # The residual is rank-deficient whenever span(U₂) overlaps
+    # span(U₁) (always when k₁ + k₂ > n), so its numerical rank is
+    # detected with an SVD rather than trusted from an unpivoted QR.
+    q, res_sv, _ = np.linalg.svd(residual, full_matrices=False)
+    tol = max(residual.shape) * np.finfo(np.float64).eps \
+        * (float(res_sv[0]) if res_sv.size else 0.0)
+    j = int(np.sum(res_sv > tol))
+    q = q[:, :j]                                   # (n, j), q ⟂ U₁
+    r = q.T @ residual                             # (j, k2)
+
+    middle = np.zeros((k1 + j, k1 + k2))
+    middle[:k1, :k1] = np.diag(a.singular_values)
+    middle[:k1, k1:] = projection * b.singular_values
+    middle[k1:, k1:] = r * b.singular_values
+    u_mid, s_mid, vt_mid = np.linalg.svd(middle, full_matrices=False)
+
+    keep = k1 + j if rank is None else \
+        min(check_positive_int(rank, "rank"), k1 + j)
+    # Everything lost here is either an explicit truncation tail or
+    # the (tolerance-sized) null directions dropped above; charging
+    # the full energy deficit covers both.
+    retained = math.fsum(float(s) * float(s) for s in s_mid[:keep])
+    dropped = max(0.0, a.captured_energy() + b.captured_energy()
+                  - retained)
+
+    u_new = np.hstack([a.u, q]) @ u_mid[:, :keep]
+    if a.vt is None:
+        vt_new = None
+    else:
+        vt_new = np.hstack([vt_mid[:keep, :k1] @ a.vt,
+                            vt_mid[:keep, k1:] @ b.vt])
+    return PartialSVD(
+        u=u_new,
+        singular_values=s_mid[:keep],
+        vt=vt_new,
+        n_columns=a.n_columns + b.n_columns,
+        frobenius_norm_sq=a.frobenius_norm_sq + b.frobenius_norm_sq,
+        error_bound=a.error_bound + b.error_bound
+        + math.sqrt(dropped),
+        merges=a.merges + b.merges + 1)
+
+
+def block_updates(stream, rank: int, *,
+                  block_size: "int | None" = None,
+                  engine: str = "lanczos",
+                  oversample: int = 8,
+                  seed: SeedLike = None,
+                  keep_vt: bool = True,
+                  **engine_kwargs) -> PartialSVD:
+    """Consume a stream of column blocks into one partial SVD.
+
+    Each block is factored at the working rank ``rank + oversample``
+    by a direct engine and merged left-to-right; the final result is
+    truncated to ``rank``.  Peak memory is one block plus the factors —
+    the stream is never concatenated.
+
+    Args:
+        stream: iterable of column blocks (dense arrays or
+            :class:`~repro.linalg.sparse.CSRMatrix`), all with the
+            same number of rows.
+        rank: triplets to retain in the final result (clamped down
+            when the stream has fewer columns).
+        block_size: when given, re-chunk oversized incoming blocks to
+            this width via :func:`iter_column_blocks` before factoring
+            (narrow blocks are processed as-is).
+        engine: per-block SVD engine (``lanczos``, ``randomized``,
+            ``subspace``, ``exact``).
+        oversample: extra working-rank headroom carried through the
+            merges; more headroom means less truncation error.
+        seed: RNG seed forwarded to each block's engine.
+        keep_vt: carry the document-coordinate cursor through the
+            merges (required to build an ``SVDResult``).
+        **engine_kwargs: per-block engine tuning.
+
+    Returns:
+        The accumulated :class:`PartialSVD` over every streamed column.
+
+    Raises:
+        EmptyCorpusError: when the stream yields no blocks.
+        ValidationError: on inconsistent block row counts or invalid
+            parameters.
+    """
+    rank = check_positive_int(rank, "rank")
+    oversample = check_non_negative_int(oversample, "oversample")
+    work_rank = rank + oversample
+    accumulated: "PartialSVD | None" = None
+    for block in _rechunked(stream, block_size):
+        part = PartialSVD.from_block(block, work_rank, engine=engine,
+                                     seed=seed, keep_vt=keep_vt,
+                                     **engine_kwargs)
+        if accumulated is None:
+            accumulated = part
+        elif part.n_terms != accumulated.n_terms:
+            raise ValidationError(
+                f"stream block has {part.n_terms} rows; previous "
+                f"blocks had {accumulated.n_terms}")
+        else:
+            accumulated = merge(accumulated, part, rank=work_rank)
+    if accumulated is None:
+        raise EmptyCorpusError("block_updates received an empty stream")
+    return accumulated.truncate(min(rank, accumulated.rank))
+
+
+def _rechunked(stream, block_size: "int | None"):
+    """Pass blocks through, splitting any wider than ``block_size``."""
+    if block_size is None:
+        yield from stream
+        return
+    for block in stream:
+        yield from iter_column_blocks(block, block_size)
+
+
+def polish(partial: PartialSVD, matrix, *,
+           iterations: int = 1) -> PartialSVD:
+    """Power-iteration polish against a re-readable matrix.
+
+    Runs ``iterations`` rounds of orthonormalised power iteration from
+    the current left factor, then a Rayleigh–Ritz projection
+    (small SVD of ``UᵀA``).  Because the polished approximant is an
+    orthogonal projection of ``A``, the accumulated triangle-inequality
+    ``error_bound`` collapses to the *exact* Pythagorean residual —
+    polishing both improves the factors and tightens the bound.  Only
+    available when the stream is re-readable (an in-memory matrix or
+    an mmap); one-shot streams cannot be polished.
+
+    Args:
+        partial: the factorisation to polish (its ``vt`` is recomputed,
+            so ``keep_vt=False`` inputs regain a cursor).
+        matrix: the full matrix the stream was drawn from, dense or
+            :class:`~repro.linalg.sparse.CSRMatrix`.
+        iterations: power-iteration rounds before the final projection
+            (0 = projection only, which already tightens the bound).
+
+    Returns:
+        The polished :class:`PartialSVD` with an exact residual bound.
+
+    Raises:
+        ValidationError: when ``matrix``'s shape does not match the
+            columns the partial SVD absorbed.
+    """
+    iterations = check_non_negative_int(iterations, "iterations")
+    op = as_operator(matrix)
+    if op.shape[0] != partial.n_terms \
+            or op.shape[1] != partial.n_columns:
+        raise ValidationError(
+            f"polish matrix has shape {op.shape}; the partial SVD "
+            f"absorbed ({partial.n_terms}, {partial.n_columns})")
+    basis = partial.u
+    for _ in range(iterations):
+        right = np.linalg.qr(op.rmatmat(basis))[0]   # (m, k)
+        basis = np.linalg.qr(op.matmat(right))[0]    # (n, k)
+    projected = op.rmatmat(basis).T                  # (k, m) = UᵀA
+    u_small, s_new, vt_new = np.linalg.svd(projected,
+                                           full_matrices=False)
+    u_new = basis @ u_small
+    captured = math.fsum(float(s) * float(s) for s in s_new)
+    residual = max(0.0, partial.frobenius_norm_sq - captured)
+    return PartialSVD(
+        u=u_new,
+        singular_values=s_new,
+        vt=vt_new,
+        n_columns=partial.n_columns,
+        frobenius_norm_sq=partial.frobenius_norm_sq,
+        error_bound=math.sqrt(residual),
+        merges=partial.merges)
+
+
+def incremental_svd(matrix, rank: int, *,
+                    block_size: int = 256,
+                    oversample: int = 8,
+                    polish_iterations: int = 0,
+                    inner_engine: str = "lanczos",
+                    seed: SeedLike = None,
+                    **engine_kwargs):
+    """Blocked incremental SVD of an in-memory matrix.
+
+    The convenience front-end behind
+    ``truncated_svd(engine="incremental")``: chunk the matrix into
+    ``block_size``-column blocks, run :func:`block_updates`, optionally
+    :func:`polish` against the matrix (possible here because it *is*
+    re-readable), and return a standard
+    :class:`~repro.linalg.svd.SVDResult`.  For streams that never fit
+    in memory, drive :func:`block_updates` directly.
+
+    Args:
+        matrix: dense ``(n, m)`` array or
+            :class:`~repro.linalg.sparse.CSRMatrix`.
+        rank: triplets to retain.
+        block_size: column width of each decomposed block.
+        oversample: working-rank headroom carried through merges.
+        polish_iterations: power-iteration rounds after the merge
+            (0 disables polishing entirely).
+        inner_engine: per-block engine.
+        seed: RNG seed forwarded to per-block engines.
+        **engine_kwargs: per-block engine tuning.
+
+    Returns:
+        :class:`~repro.linalg.svd.SVDResult` with ``rank`` triplets.
+    """
+    op = as_operator(matrix)
+    source = matrix if isinstance(matrix, CSRMatrix) else op.to_dense()
+    partial = block_updates(
+        iter_column_blocks(source, block_size), rank,
+        engine=inner_engine, oversample=oversample, seed=seed,
+        keep_vt=True, **engine_kwargs)
+    if polish_iterations > 0:
+        partial = polish(partial, source,
+                         iterations=polish_iterations)
+        partial = partial.truncate(min(rank, partial.rank))
+    return partial.to_svd_result()

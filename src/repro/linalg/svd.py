@@ -12,7 +12,11 @@ dispatches to one of three engines:
   (:mod:`repro.linalg.randomized`), the modern descendant of the
   paper's §5 random-projection idea;
 - ``"exact"`` — dense LAPACK SVD, used as ground truth in tests and for
-  matrices small enough that densifying is free.
+  matrices small enough that densifying is free;
+- ``"incremental"`` — blocked mergeable-SVD streaming decomposition
+  (:mod:`repro.linalg.incremental`), the in-memory front-end of the
+  out-of-core path (column blocks factored independently and merged
+  in constant space).
 
 The engines all return an :class:`SVDResult`, which also carries the
 Eckart–Young residual bookkeeping the paper's Theorem 1 and Theorem 5 are
@@ -42,7 +46,7 @@ __all__ = [
 ]
 
 #: Names of the available SVD engines.
-ENGINES = ("lanczos", "subspace", "randomized", "exact")
+ENGINES = ("lanczos", "subspace", "randomized", "exact", "incremental")
 
 #: Engine name → tuning options its ``**engine_kwargs`` accepts.
 _ENGINE_OPTIONS = {
@@ -50,6 +54,8 @@ _ENGINE_OPTIONS = {
     "subspace": ("oversample", "max_iter", "tol"),
     "randomized": ("oversample", "power_iterations"),
     "exact": (),
+    "incremental": ("block_size", "oversample", "polish_iterations",
+                    "inner_engine"),
 }
 
 
@@ -186,7 +192,8 @@ def truncated_svd(matrix, rank, *, engine: str = "lanczos",
         matrix: ``n × m`` dense array or
             :class:`~repro.linalg.sparse.CSRMatrix`.
         rank: number of singular triplets to retain (the LSI ``k``).
-        engine: one of ``"lanczos"``, ``"subspace"``, ``"exact"``.
+        engine: one of :data:`ENGINES` (``"lanczos"``, ``"subspace"``,
+            ``"randomized"``, ``"exact"``, ``"incremental"``).
         seed: RNG seed forwarded to iterative engines.
         **engine_kwargs: engine-specific tuning (e.g. ``extra_steps`` for
             Lanczos, ``oversample`` for subspace iteration); unknown
@@ -203,6 +210,11 @@ def truncated_svd(matrix, rank, *, engine: str = "lanczos",
 
     if engine == "exact":
         return exact_svd(op).truncate(rank)
+    if engine == "incremental":
+        from repro.linalg.incremental import incremental_svd
+
+        return incremental_svd(matrix, rank, seed=seed,
+                               **engine_kwargs)
     if engine == "lanczos":
         from repro.linalg.lanczos import lanczos_svd
 

@@ -272,6 +272,7 @@ class IndexBundle:
             "n_original": int(self.n_original),
             "n_tombstoned": len(self.tombstones),
             "unabsorbed_energy": float(self.unabsorbed_energy),
+            "captured_energy": float(self.svd.captured_energy()),
             "drift_threshold": self.drift_threshold,
             "compute_dtype": self.compute_dtype,
             "stats": self.stats.as_dict(),

@@ -69,6 +69,15 @@ class ServingConfig:
         max_wait_ms: longest a queued query may wait for co-riders
             before the dispatcher flushes anyway (0 = flush on every
             submit).
+        stream_block_size: column width of the blocks the streaming
+            fit (``ServedIndex.fit_streamed``) and the incremental
+            ``refit()`` merge decompose at a time — the knob that
+            bounds out-of-core peak memory.
+        stream_oversample: working-rank headroom carried through the
+            incremental merges (more headroom, less truncation error).
+        stream_polish: power-iteration polish rounds after a streamed
+            fit of a re-readable matrix (0 disables; one-shot block
+            streams cannot be polished).
     """
 
     dtype: "str | None" = None
@@ -80,6 +89,9 @@ class ServingConfig:
     max_workers: "int | None" = None
     max_batch: int = 32
     max_wait_ms: float = 2.0
+    stream_block_size: int = 256
+    stream_oversample: int = 8
+    stream_polish: int = 0
 
     def __post_init__(self):
         if self.dtype is not None:
@@ -109,6 +121,10 @@ class ServingConfig:
             raise ValidationError(
                 f"ServingConfig.max_wait_ms must be a non-negative "
                 f"number, got {self.max_wait_ms!r}")
+        check_positive_int(self.stream_block_size, "stream_block_size")
+        check_non_negative_int(self.stream_oversample,
+                               "stream_oversample")
+        check_non_negative_int(self.stream_polish, "stream_polish")
 
     @classmethod
     def field_names(cls) -> "tuple[str, ...]":

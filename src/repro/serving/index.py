@@ -141,6 +141,57 @@ class ServedIndex:
         return cls(model, vocabulary=vocabulary, config=config)
 
     @classmethod
+    def fit_streamed(cls, blocks, rank, *, engine: str = "lanczos",
+                     seed=None, vocabulary=None,
+                     config: "ServingConfig | None" = None,
+                     **engine_kwargs) -> "ServedIndex":
+        """Fit an index from a stream of column blocks, out-of-core.
+
+        The streaming twin of :meth:`fit`: blocks are decomposed and
+        merged one at a time
+        (:meth:`repro.core.lsi.LSIModel.fit_streamed`), so the full
+        term–document matrix is never materialised and peak memory is
+        one block plus the factors.  The config's ``stream_*`` knobs
+        control the chunk width, the merge working-rank headroom, and
+        the optional polish of re-readable matrix inputs.
+
+        Args:
+            blocks: iterable of column blocks (e.g. from
+                :func:`~repro.corpus.io.corpus_column_blocks`) or a
+                single in-memory matrix to chunk.
+            rank: the LSI dimension ``k``.
+            engine: per-block SVD engine.
+            seed: RNG seed for iterative engines.
+            vocabulary: optional term strings persisted with the
+                index.
+            config: serving policy; ``stream_block_size``,
+                ``stream_oversample``, and ``stream_polish`` govern
+                the incremental fit.
+            **engine_kwargs: per-block engine tuning (legacy serving
+                kwargs are also still recognised, with the
+                constructor's deprecation shim).
+
+        Raises:
+            ValidationError: when ``config.stream_polish > 0`` with a
+                one-shot block stream, or on invalid fit parameters.
+            EmptyCorpusError: when the stream yields no blocks.
+            ConvergenceError: when a per-block engine fails to
+                converge.
+        """
+        legacy = {name: engine_kwargs.pop(name)
+                  for name in ServingConfig.field_names()
+                  if name in engine_kwargs}
+        config = resolve_config(config, legacy,
+                                where="ServedIndex.fit_streamed")
+        model = LSIModel.fit_streamed(
+            blocks, rank, engine=engine, seed=seed,
+            block_size=config.stream_block_size,
+            oversample=config.stream_oversample,
+            polish_iterations=config.stream_polish,
+            **engine_kwargs)
+        return cls(model, vocabulary=vocabulary, config=config)
+
+    @classmethod
     def from_writer(cls, writer: IndexWriter, *, vocabulary=None,
                     config: "ServingConfig | None" = None
                     ) -> "ServedIndex":
@@ -479,11 +530,33 @@ class ServedIndex:
         self._ensure_writer().remove_documents(doc_ids)
         self._bump()
 
-    def refit(self, matrix, *, rank=None, engine: str = "lanczos",
-              seed=None, **engine_kwargs) -> LSIModel:
-        """Re-run the SVD on an authoritative matrix and reset drift."""
+    def refit(self, matrix=None, *, full: bool = False, rank=None,
+              engine: str = "lanczos", seed=None,
+              **engine_kwargs) -> LSIModel:
+        """Absorb accumulated updates into the factors.
+
+        ``refit()`` with no matrix merges the buffered fold-in block
+        into the basis incrementally (no from-scratch SVD; the
+        config's ``stream_block_size``/``stream_oversample`` steer the
+        merge); ``refit(matrix)`` re-decomposes from scratch and also
+        purges tombstoned mass — see
+        :meth:`repro.serving.writer.IndexWriter.refit`.
+
+        Raises:
+            ValidationError: when ``full=True`` without a matrix, the
+                incremental fold buffer is unavailable (e.g. after a
+                bundle load), the matrix's term space mismatches, or
+                fit parameters are invalid.
+            ConvergenceError: when an iterative SVD engine fails to
+                converge.
+        """
+        if matrix is None and not full:
+            engine_kwargs.setdefault(
+                "block_size", self._config.stream_block_size)
+            engine_kwargs.setdefault(
+                "oversample", self._config.stream_oversample)
         model = self._ensure_writer().refit(
-            matrix, rank=rank, engine=engine, seed=seed,
+            matrix, full=full, rank=rank, engine=engine, seed=seed,
             **engine_kwargs)
         self._bump()
         return model

@@ -18,8 +18,19 @@ The numerator only grows between refits, so drift is monotone
 non-decreasing in update operations (a perfectly in-subspace fold-in
 adds exactly 0, which Lemma 1 says is the right answer: in-model
 arrivals barely perturb the basis).  Crossing ``drift_threshold`` flips
-:attr:`IndexWriter.needs_refit`; :meth:`IndexWriter.refit` re-runs the
-SVD and resets the accounting.
+:attr:`IndexWriter.needs_refit`.
+
+:meth:`IndexWriter.refit` absorbs the accumulated updates.  Since the
+incremental-SVD subsystem (:mod:`repro.linalg.incremental`) the default
+is *not* a from-scratch decomposition: the writer buffers the folded
+term-space columns and, on ``refit()``, merges their block SVDs into
+the current factors — cost proportional to the fold-in block, not the
+corpus.  A from-scratch decomposition is still available as
+``refit(matrix)`` / ``refit(matrix, full=True)`` and remains the only
+way to *purge* tombstoned mass from the basis (an incremental merge
+can add subspace directions but never subtracts the deleted columns'
+contribution, so deleted energy stays in the drift numerator until a
+full refit).
 """
 
 from __future__ import annotations
@@ -30,6 +41,8 @@ import numpy as np
 
 from repro.core.lsi import LSIModel
 from repro.errors import ValidationError
+from repro.linalg.incremental import PartialSVD, iter_column_blocks, \
+    merge
 from repro.linalg.sparse import CSRMatrix
 from repro.utils.validation import check_fraction
 
@@ -101,7 +114,15 @@ class IndexWriter:
         self._doc_vectors = model.document_vectors()   # (k, m0)
         self._n_original = model.n_documents
         self._tombstones: "set[int]" = set()
-        self._unabsorbed_energy = 0.0
+        # Drift numerator, split so an incremental refit can clear
+        # exactly the mass it absorbs: fold-in (out-of-subspace) energy
+        # goes away when the fold block is merged into the basis;
+        # deleted (and bundle-carried) energy only a full refit clears.
+        self._fold_energy = 0.0
+        self._deleted_energy = 0.0
+        # Term-space fold-in columns retained verbatim so refit() can
+        # merge their block SVDs into the factors (see refit()).
+        self._fold_buffer: "list[np.ndarray | CSRMatrix]" = []
         self._fold_ins = 0
         self._deletes = 0
         self._refits = 0
@@ -163,16 +184,33 @@ class IndexWriter:
                 columns.
 
         Each column's out-of-subspace energy is added to the drift
-        numerator, so drift never decreases on an add.
+        numerator, so drift never decreases on an add.  The columns
+        themselves are buffered (term space, verbatim) so the next
+        ``refit()`` can absorb them into the basis incrementally; the
+        buffer costs O(nnz of the folds since the last refit) and is
+        dropped on every refit (or via :meth:`discard_fold_buffer`).
+
+        Raises:
+            ValidationError: if ``columns`` is dense but not 2-D.
         """
-        projected = self._model.project_documents(columns)  # (k, p)
-        total = _column_sq_norms(columns)
+        if isinstance(columns, CSRMatrix):
+            stored: "np.ndarray | CSRMatrix" = columns
+        else:
+            dense = np.asarray(columns, dtype=np.float64)
+            if dense.ndim != 2:
+                raise ValidationError(
+                    f"document columns must be 2-D (n_terms, p), got "
+                    f"shape {dense.shape}")
+            stored = dense.copy()
+        projected = self._model.project_documents(stored)  # (k, p)
+        total = _column_sq_norms(stored)
         captured = np.sum(projected * projected, axis=0)
-        self._unabsorbed_energy += float(
+        self._fold_energy += float(
             np.sum(np.maximum(total - captured, 0.0)))
         first = self.n_documents
         self._doc_vectors = np.concatenate(
             [self._doc_vectors, projected], axis=1)
+        self._fold_buffer.append(stored)
         self._fold_ins += projected.shape[1]
         return np.arange(first, first + projected.shape[1],
                          dtype=np.int64)
@@ -199,7 +237,7 @@ class IndexWriter:
                     f"document {doc_id} is already deleted")
         for doc_id in ids:
             vector = self._doc_vectors[:, doc_id]
-            self._unabsorbed_energy += float(vector @ vector)
+            self._deleted_energy += float(vector @ vector)
             self._tombstones.add(doc_id)
         self._deletes += len(ids)
 
@@ -211,15 +249,42 @@ class IndexWriter:
     def drift(self) -> float:
         """``unabsorbed / (unabsorbed + captured)`` in ``[0, 1)``."""
         captured = self._model.svd.captured_energy()
-        denominator = self._unabsorbed_energy + captured
+        unabsorbed = self.unabsorbed_energy
+        denominator = unabsorbed + captured
         if denominator <= 0:
             return 0.0
-        return self._unabsorbed_energy / denominator
+        return unabsorbed / denominator
 
     @property
     def unabsorbed_energy(self) -> float:
         """Accumulated out-of-subspace + deleted energy since refit."""
-        return self._unabsorbed_energy
+        return self._fold_energy + self._deleted_energy
+
+    @property
+    def pending_columns(self) -> int:
+        """Fold-in columns buffered for the next incremental refit."""
+        return sum(int(block.shape[1]) for block in self._fold_buffer)
+
+    @property
+    def can_refit_incrementally(self) -> bool:
+        """Whether ``refit()`` (no matrix) can run.
+
+        True when the fold buffer covers every folded document —
+        which it always does for an in-process writer, but not after
+        loading a bundle that was saved with unabsorbed fold-ins
+        (term-space columns are not persisted), or after
+        :meth:`discard_fold_buffer`.
+        """
+        return self.pending_columns == self.n_folded
+
+    def discard_fold_buffer(self) -> None:
+        """Drop the buffered fold-in columns to reclaim memory.
+
+        After this, drift accounting still works but ``refit()`` must
+        be given the corpus matrix (full refit) until the next refit
+        resets the fold state.
+        """
+        self._fold_buffer.clear()
 
     @property
     def fold_ins_since_refit(self) -> int:
@@ -249,7 +314,7 @@ class IndexWriter:
             drift=self.drift,
             threshold=self.drift_threshold,
             needs_refit=self.needs_refit,
-            unabsorbed_energy=self._unabsorbed_energy,
+            unabsorbed_energy=self.unabsorbed_energy,
             captured_energy=svd.captured_energy(),
             baseline_residual_energy=svd.residual_energy(),
             fold_ins_since_refit=self._fold_ins,
@@ -259,33 +324,73 @@ class IndexWriter:
     # Refit
     # ------------------------------------------------------------------
 
-    def refit(self, matrix, *, rank=None, engine: str = "lanczos",
-              seed=None, **engine_kwargs) -> LSIModel:
-        """Re-run the SVD on an authoritative corpus matrix.
+    def refit(self, matrix=None, *, full: bool = False, rank=None,
+              engine: str = "lanczos", seed=None,
+              block_size: "int | None" = None, oversample: int = 8,
+              **engine_kwargs) -> LSIModel:
+        """Absorb the accumulated updates into the factors.
 
-        The caller supplies the matrix (original − deleted + folded
-        documents, in whatever column order it wants ids assigned);
-        the writer replaces its model and document store, clears
-        tombstones, and resets the drift accounting.
+        Two modes:
+
+        - **Incremental (default)** — ``refit()`` with no matrix
+          merges the buffered fold-in columns' block SVDs into the
+          current factors via :func:`repro.linalg.incremental.merge`.
+          No from-scratch decomposition runs; cost scales with the
+          fold block, not the corpus.  Fold-in drift is absorbed;
+          tombstones (and their deleted energy) survive, because a
+          merge can only *add* subspace mass — purging deletions
+          needs the full mode.
+        - **Full** — ``refit(matrix)`` (or ``full=True`` with a
+          matrix) re-runs the SVD on an authoritative corpus matrix:
+          the writer replaces its model and document store, clears
+          tombstones, and resets all drift accounting, exactly as
+          before the incremental subsystem existed.
 
         Args:
-            matrix: the ``n_terms × m_new`` corpus to refit on.
+            matrix: the ``n_terms × m_new`` corpus for a full refit;
+                ``None`` selects the incremental merge.
+            full: explicitly request the full mode (requires
+                ``matrix``); passing a matrix implies it.
             rank: LSI rank (defaults to the current model's rank).
-            engine: SVD engine name.
+            engine: SVD engine for the full fit, or the per-block
+                engine of the incremental merge.
             seed: RNG seed for iterative engines.
+            block_size: incremental mode only — re-chunk width for
+                buffered fold blocks (``None`` merges them as
+                buffered).
+            oversample: incremental mode only — working-rank headroom
+                carried through the merges.
             **engine_kwargs: engine tuning, validated like
                 :func:`~repro.linalg.svd.truncated_svd`.
 
         Returns:
-            The freshly fitted model (also installed in the writer).
+            The refreshed model (also installed in the writer).
 
         Raises:
-            ValidationError: when the refit matrix's term space does
-                not match the served one, or the fit parameters are
-                invalid.
+            ValidationError: when ``full=True`` without a matrix;
+                when the incremental mode's fold buffer does not
+                cover the folded documents (bundle loads drop the
+                buffer — supply the matrix instead); when the refit
+                matrix's term space does not match the served one;
+                or on invalid fit parameters.
             ConvergenceError: when an iterative SVD engine fails to
-                converge on the new corpus.
+                converge.
         """
+        if matrix is not None:
+            return self._refit_full(matrix, rank=rank, engine=engine,
+                                    seed=seed, **engine_kwargs)
+        if full:
+            raise ValidationError(
+                "refit(full=True) needs the corpus matrix; pass "
+                "refit(matrix) to re-decompose from scratch")
+        return self._refit_incremental(
+            rank=rank, engine=engine, seed=seed,
+            block_size=block_size, oversample=oversample,
+            **engine_kwargs)
+
+    def _refit_full(self, matrix, *, rank, engine, seed,
+                    **engine_kwargs) -> LSIModel:
+        """From-scratch decomposition; resets every accounting bucket."""
         rank = self._model.rank if rank is None else rank
         model = LSIModel.fit(matrix, rank, engine=engine, seed=seed,
                              **engine_kwargs)
@@ -297,9 +402,46 @@ class IndexWriter:
         self._doc_vectors = model.document_vectors()
         self._n_original = model.n_documents
         self._tombstones.clear()
-        self._unabsorbed_energy = 0.0
+        self._fold_energy = 0.0
+        self._deleted_energy = 0.0
+        self._fold_buffer.clear()
         self._fold_ins = 0
         self._deletes = 0
+        self._refits += 1
+        return model
+
+    def _refit_incremental(self, *, rank, engine, seed, block_size,
+                           oversample, **engine_kwargs) -> LSIModel:
+        """Merge the buffered fold block into the current factors."""
+        if not self.can_refit_incrementally:
+            raise ValidationError(
+                f"incremental refit needs the term-space fold "
+                f"columns, but the buffer holds "
+                f"{self.pending_columns} of {self.n_folded} folded "
+                f"documents (bundles do not persist the buffer); "
+                f"pass refit(matrix) for a full refit")
+        rank = self._model.rank if rank is None else int(rank)
+        work_rank = max(rank, self._model.rank) + int(oversample)
+        partial = PartialSVD.from_svd_result(self._model.svd)
+        for buffered in self._fold_buffer:
+            blocks = [buffered] if block_size is None else \
+                iter_column_blocks(buffered, block_size)
+            for block in blocks:
+                part = PartialSVD.from_block(
+                    block, work_rank, engine=engine, seed=seed,
+                    keep_vt=True, **engine_kwargs)
+                partial = merge(partial, part, rank=work_rank)
+        partial = partial.truncate(min(rank, partial.rank))
+        model = LSIModel(partial.to_svd_result())
+        self._model = model
+        self._doc_vectors = model.document_vectors()
+        self._n_original = model.n_documents
+        # Fold mass is now in the basis; deleted mass is not — a merge
+        # never subtracts, so tombstones and their energy survive
+        # until a full refit purges them.
+        self._fold_energy = 0.0
+        self._fold_buffer.clear()
+        self._fold_ins = 0
         self._refits += 1
         return model
 
@@ -322,6 +464,12 @@ class IndexWriter:
         peak RSS.  Callers keeping a reference must not pass
         ``copy=False``.
 
+        Bundles do not persist the term-space fold buffer, so the
+        restored ``unabsorbed_energy`` lands in the non-fold bucket
+        (only a full refit clears it) and a restored writer with
+        unabsorbed fold-ins reports
+        ``can_refit_incrementally == False`` until its next refit.
+
         Raises:
             ValidationError: when ``doc_vectors`` is not a
                 ``(rank, m)`` block matching the model's rank.
@@ -338,7 +486,7 @@ class IndexWriter:
         writer._n_original = min(int(n_original),
                                  doc_vectors.shape[1])
         writer._tombstones = {int(d) for d in tombstones}
-        writer._unabsorbed_energy = float(unabsorbed_energy)
+        writer._deleted_energy = float(unabsorbed_energy)
         writer._fold_ins = int(fold_ins)
         writer._deletes = int(deletes)
         writer._refits = int(refits)

@@ -59,7 +59,7 @@ class TestRegistry:
     def test_discover_finds_every_bench_script(self):
         registry = discover()
         scripts = sorted(BENCH_DIR.glob("bench_*.py"))
-        assert len(scripts) == 18
+        assert len(scripts) == 19
         modules = {spec.module for spec in registry.specs()}
         assert modules == {path.stem for path in scripts}
 
@@ -447,6 +447,28 @@ class TestCommittedBaseline:
         assert cache["cache_fully_warm"] == 1.0
         assert cache["violations_stable"] == 1.0
 
+    def test_incremental_claims_hold_in_baseline(self):
+        # The streaming-SVD acceptance claims, pinned to the committed
+        # report: the merge's triangle-inequality bound dominates the
+        # true residual, streamed fitting agrees with the exact SVD at
+        # top-10 >= 0.99, the streamed path stays under half the eager
+        # path's subprocess peak RSS, and the incremental refit ranks
+        # like a full refit.
+        document = load_report(self.BASELINE)
+        metrics = {entry["benchmark"]: entry["metrics"]
+                   for entry in document["results"]}
+        merge = metrics["incremental_merge_throughput[smoke]"]
+        assert merge["bound_valid"] == 1.0
+        streamed = metrics["incremental_streamed_agreement[smoke]"]
+        assert streamed["streamed_top10_agreement"] >= 0.99
+        assert streamed["streamed_agreement_ok"] == 1.0
+        capped = metrics["incremental_memory_cap[smoke]"]
+        assert capped["rss_ratio"] < 0.5
+        assert capped["streamed_rss_under_half"] == 1.0
+        assert capped["streamed_agreement_ok"] == 1.0
+        refit = metrics["incremental_refit[smoke]"]
+        assert refit["refit_agreement_ok"] == 1.0
+
 
 class TestScaleBaseline:
     BASELINE = BENCH_DIR / "baselines" / "scale.json"
@@ -483,6 +505,10 @@ class TestScaleBaseline:
         sharded = metrics["serving_sharded_throughput[scale]"]
         for n_shards in (1, 2, 4):
             assert sharded[f"merge_exact_{n_shards}shard"] == 1.0
+        capped = metrics["incremental_memory_cap[scale]"]
+        assert capped["rss_ratio"] < 0.5
+        assert capped["streamed_rss_under_half"] == 1.0
+        assert capped["streamed_agreement_ok"] == 1.0
 
 
 class TestMarkdownSummary:

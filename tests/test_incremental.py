@@ -1,0 +1,673 @@
+"""Tests for the streaming/out-of-core SVD subsystem.
+
+Covers the mergeable :class:`PartialSVD` algebra (associativity up to
+a rotation, energy monotonicity, error-bound validity — the hypothesis
+properties the merge math promises), the block iterators, the
+``engine="incremental"`` dispatch, ``fit_streamed`` on models and
+served indexes, the writer's incremental ``refit()`` path, the
+``serve-stats`` writer-state report, and a subprocess peak-RSS check
+that the streamed path actually stays out-of-core.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import Corpus, Document, corpus_column_blocks
+from repro.core.lsi import LSIModel
+from repro.errors import EmptyCorpusError, ValidationError
+from repro.linalg import sin_theta_distance, truncated_svd
+from repro.linalg.incremental import (
+    PartialSVD,
+    block_updates,
+    incremental_svd,
+    iter_column_blocks,
+    merge,
+    polish,
+)
+from repro.linalg.sparse import CSRMatrix
+from repro.linalg.svd import exact_svd
+from repro.serving import IndexWriter, ServedIndex, ServingConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def low_rank_matrix(rng, n, m, rank, noise=0.01):
+    """A planted rank-``rank`` matrix plus small dense noise."""
+    left = rng.standard_normal((n, rank))
+    right = rng.standard_normal((rank, m))
+    return left @ right + noise * rng.standard_normal((n, m))
+
+
+def score_batch(model, queries):
+    """Score a ``(n_terms, q)`` query block: ``(n_docs, q)`` cosines."""
+    return np.stack([model.score(queries[:, j])
+                     for j in range(queries.shape[1])], axis=1)
+
+
+def top_k_overlap(a_scores, b_scores, k):
+    """Mean top-``k`` set overlap between two score matrices."""
+    a_top = np.argsort(-a_scores, axis=0)[:k]
+    b_top = np.argsort(-b_scores, axis=0)[:k]
+    overlaps = [
+        len(set(a_top[:, j]) & set(b_top[:, j])) / k
+        for j in range(a_scores.shape[1])
+    ]
+    return float(np.mean(overlaps))
+
+
+# ---------------------------------------------------------------------------
+# Block iterators
+# ---------------------------------------------------------------------------
+
+class TestIterColumnBlocks:
+    def test_dense_widths_and_reassembly(self, rng):
+        matrix = rng.standard_normal((17, 300))
+        blocks = list(iter_column_blocks(matrix, 64))
+        assert [b.shape[1] for b in blocks] == [64, 64, 64, 64, 44]
+        assert all(b.shape[0] == 17 for b in blocks)
+        assert np.array_equal(np.hstack(blocks), matrix)
+
+    def test_dense_blocks_are_views(self, rng):
+        matrix = rng.standard_normal((5, 20))
+        block = next(iter_column_blocks(matrix, 8))
+        assert block.base is matrix
+
+    def test_csr_reassembly_exact(self, rng):
+        dense = rng.standard_normal((23, 97))
+        dense[dense < 0.7] = 0.0
+        sparse = CSRMatrix.from_dense(dense)
+        blocks = list(iter_column_blocks(sparse, 10))
+        assert all(isinstance(b, CSRMatrix) for b in blocks)
+        assert [b.shape[1] for b in blocks] == [10] * 9 + [7]
+        rebuilt = np.hstack([b.to_dense() for b in blocks])
+        assert np.array_equal(rebuilt, dense)
+
+    def test_oversized_block_size_yields_single_block(self, rng):
+        matrix = rng.standard_normal((4, 9))
+        blocks = list(iter_column_blocks(matrix, 100))
+        assert len(blocks) == 1
+        assert np.array_equal(blocks[0], matrix)
+
+    def test_invalid_inputs_raise(self, rng):
+        with pytest.raises(ValidationError):
+            list(iter_column_blocks(rng.standard_normal((4, 4)), 0))
+        with pytest.raises(ValidationError):
+            list(iter_column_blocks(np.ones(5), 2))
+
+
+class TestCorpusColumnBlocks:
+    @pytest.fixture
+    def corpus(self, rng):
+        docs = []
+        for _ in range(37):
+            terms = rng.choice(50, size=rng.integers(1, 8),
+                               replace=False)
+            docs.append(Document(
+                {int(t): int(rng.integers(1, 5)) for t in terms},
+                universe_size=50))
+        return Corpus(docs)
+
+    @pytest.mark.parametrize("weighting",
+                             ["count", "binary", "tf", "log_tf"])
+    def test_blocks_match_full_matrix(self, corpus, weighting):
+        full = corpus.term_document_matrix(
+            weighting=weighting).to_dense()
+        blocks = list(corpus_column_blocks(corpus, 10,
+                                           weighting=weighting))
+        assert [b.shape[1] for b in blocks] == [10, 10, 10, 7]
+        rebuilt = np.hstack([b.to_dense() for b in blocks])
+        assert np.allclose(rebuilt, full)
+
+    def test_global_weighting_rejected(self, corpus):
+        with pytest.raises(ValidationError, match="column-local"):
+            list(corpus_column_blocks(corpus, 10, weighting="tfidf"))
+
+    def test_non_corpus_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            list(corpus_column_blocks(rng.random((4, 4)), 2))
+
+
+# ---------------------------------------------------------------------------
+# PartialSVD value type
+# ---------------------------------------------------------------------------
+
+class TestPartialSVD:
+    def test_from_block_accounting(self, rng):
+        block = rng.standard_normal((30, 12))
+        part = PartialSVD.from_block(block, 5, engine="exact")
+        assert part.rank == 5 and part.n_terms == 30
+        assert part.n_columns == 12 and part.merges == 0
+        assert part.frobenius_norm_sq == pytest.approx(
+            float(np.sum(block * block)))
+        # Pythagorean: bound of a direct fit IS the exact residual.
+        exact = exact_svd(block)
+        tail = float(np.sum(exact.singular_values[5:] ** 2))
+        assert part.error_bound == pytest.approx(np.sqrt(tail),
+                                                 rel=1e-8)
+        assert part.residual_energy() == pytest.approx(tail, rel=1e-8)
+        assert 0.0 < part.energy_fraction() <= 1.0
+
+    def test_rank_clamped_to_block_shape(self, rng):
+        part = PartialSVD.from_block(rng.standard_normal((30, 3)), 10,
+                                     engine="exact")
+        assert part.rank == 3
+
+    def test_from_block_rejects_incremental_engine(self, rng):
+        with pytest.raises(ValidationError, match="recurse"):
+            PartialSVD.from_block(rng.standard_normal((6, 6)), 2,
+                                  engine="incremental")
+
+    def test_truncate_grows_bound_and_is_idempotent(self, rng):
+        part = PartialSVD.from_block(rng.standard_normal((20, 15)), 8,
+                                     engine="exact")
+        cut = part.truncate(5)
+        assert cut.rank == 5
+        dropped = float(np.sum(part.singular_values[5:] ** 2))
+        assert cut.error_bound == pytest.approx(
+            part.error_bound + np.sqrt(dropped))
+        assert cut.truncate(5) is cut
+        assert part.truncate(8) is part
+
+    def test_to_svd_result_requires_vt(self, rng):
+        part = PartialSVD.from_block(rng.standard_normal((10, 6)), 3,
+                                     engine="exact", keep_vt=False)
+        assert part.vt is None
+        with pytest.raises(ValidationError, match="vt"):
+            part.to_svd_result()
+
+    def test_invariant_violations_raise(self, rng):
+        u, _ = np.linalg.qr(rng.standard_normal((8, 3)))
+        good = np.array([3.0, 2.0, 1.0])
+        vt = rng.standard_normal((3, 5))
+        with pytest.raises(ValidationError, match="non-increasing"):
+            PartialSVD(u, good[::-1].copy(), vt, 5, 20.0)
+        with pytest.raises(ValidationError, match="ranks"):
+            PartialSVD(u, good[:2], vt, 5, 20.0)
+        with pytest.raises(ValidationError, match="covers"):
+            PartialSVD(u, good, vt, 4, 20.0)
+        with pytest.raises(ValidationError, match="non-negative"):
+            PartialSVD(u, good, vt, 5, -1.0)
+
+
+# ---------------------------------------------------------------------------
+# Merge algebra — hypothesis properties
+# ---------------------------------------------------------------------------
+
+@st.composite
+def block_triples(draw):
+    """Three column-disjoint blocks over one term space."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(6, 20))
+    widths = [draw(st.integers(2, 10)) for _ in range(3)]
+    rank = draw(st.integers(1, 4))
+    rng = np.random.default_rng(seed)
+    blocks = [rng.standard_normal((n, w)) for w in widths]
+    return blocks, rank
+
+
+class TestMergeProperties:
+    @given(block_triples())
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associative_up_to_rotation(self, case):
+        blocks, rank = case
+        parts = [PartialSVD.from_block(b, rank, engine="exact")
+                 for b in blocks]
+        left = merge(merge(parts[0], parts[1]), parts[2])
+        right = merge(parts[0], merge(parts[1], parts[2]))
+        # Same spectrum and, away from tolerance-sized directions,
+        # the same retained subspace up to rotation.  The rank-
+        # revealing merge may keep different numbers of ~null
+        # directions per association order, so compare only the
+        # leading triplets with clearly nonzero singular values.
+        k = min(left.rank, right.rank)
+        assert np.allclose(left.singular_values[:k],
+                           right.singular_values[:k], atol=1e-7)
+        top = max(left.singular_values[0], right.singular_values[0],
+                  1e-12)
+        solid = int(min(np.sum(left.singular_values > 1e-6 * top),
+                        np.sum(right.singular_values > 1e-6 * top)))
+        if solid:
+            assert sin_theta_distance(left.u[:, :solid],
+                                      right.u[:, :solid]) < 1e-6
+        assert left.captured_energy() == pytest.approx(
+            right.captured_energy(), rel=1e-9, abs=1e-9)
+
+    @given(block_triples())
+    @settings(max_examples=40, deadline=None)
+    def test_captured_energy_monotone_across_merges(self, case):
+        blocks, rank = case
+        parts = [PartialSVD.from_block(b, rank, engine="exact")
+                 for b in blocks]
+        accumulated = parts[0]
+        for part in parts[1:]:
+            # keep >= max(k1, k2): monotonicity is guaranteed.
+            keep = max(accumulated.rank, part.rank)
+            grown = merge(accumulated, part, rank=keep)
+            tol = 1e-9 * (1.0 + accumulated.captured_energy())
+            assert grown.captured_energy() >= \
+                accumulated.captured_energy() - tol
+            assert grown.captured_energy() >= \
+                part.captured_energy() - tol
+            accumulated = grown
+
+    @given(block_triples())
+    @settings(max_examples=40, deadline=None)
+    def test_error_bound_dominates_true_residual(self, case):
+        blocks, rank = case
+        full = np.hstack(blocks)
+        accumulated = block_updates(iter(blocks), rank, engine="exact",
+                                    oversample=2)
+        approx = (accumulated.u * accumulated.singular_values) \
+            @ accumulated.vt
+        actual = float(np.linalg.norm(full - approx))
+        assert accumulated.error_bound >= actual - 1e-8
+        # Energy conservation: frobenius bookkeeping is exact.
+        assert accumulated.frobenius_norm_sq == pytest.approx(
+            float(np.sum(full * full)), rel=1e-9)
+
+
+class TestMergeValidation:
+    def test_mismatched_term_spaces_raise(self, rng):
+        a = PartialSVD.from_block(rng.standard_normal((8, 4)), 2,
+                                  engine="exact")
+        b = PartialSVD.from_block(rng.standard_normal((9, 4)), 2,
+                                  engine="exact")
+        with pytest.raises(ValidationError, match="term spaces"):
+            merge(a, b)
+
+    def test_mismatched_vt_presence_raises(self, rng):
+        block = rng.standard_normal((8, 4))
+        a = PartialSVD.from_block(block, 2, engine="exact")
+        b = PartialSVD.from_block(block, 2, engine="exact",
+                                  keep_vt=False)
+        with pytest.raises(ValidationError, match="keep_vt"):
+            merge(a, b)
+
+    def test_merge_exact_on_disjoint_subspaces(self):
+        # Two exactly low-rank blocks in orthogonal subspaces merge
+        # losslessly: the spectrum is the union of the inputs'.
+        a_block = np.zeros((6, 3))
+        a_block[0, 0], a_block[1, 1] = 4.0, 2.0
+        b_block = np.zeros((6, 3))
+        b_block[2, 0], b_block[3, 1] = 3.0, 1.0
+        a = PartialSVD.from_block(a_block, 2, engine="exact")
+        b = PartialSVD.from_block(b_block, 2, engine="exact")
+        merged = merge(a, b)
+        assert np.allclose(merged.singular_values, [4.0, 3.0, 2.0, 1.0])
+        assert merged.error_bound == pytest.approx(0.0, abs=1e-9)
+        assert merged.n_columns == 6 and merged.merges == 1
+
+
+# ---------------------------------------------------------------------------
+# block_updates / polish / incremental engine
+# ---------------------------------------------------------------------------
+
+class TestBlockUpdates:
+    def test_empty_stream_raises(self):
+        with pytest.raises(EmptyCorpusError):
+            block_updates(iter([]), 3)
+
+    def test_inconsistent_rows_raise(self, rng):
+        blocks = [rng.standard_normal((8, 4)),
+                  rng.standard_normal((9, 4))]
+        with pytest.raises(ValidationError, match="rows"):
+            block_updates(iter(blocks), 2, engine="exact")
+
+    def test_rechunking_oversized_blocks(self, rng):
+        matrix = low_rank_matrix(rng, 20, 90, 4)
+        direct = block_updates(iter_column_blocks(matrix, 16), 4,
+                               engine="exact")
+        rechunked = block_updates(iter([matrix]), 4, engine="exact",
+                                  block_size=16)
+        assert rechunked.n_columns == 90
+        assert np.allclose(direct.singular_values,
+                           rechunked.singular_values, atol=1e-8)
+
+    def test_streamed_recovers_planted_spectrum(self, rng):
+        matrix = low_rank_matrix(rng, 40, 200, 5, noise=0.001)
+        streamed = block_updates(iter_column_blocks(matrix, 32), 5,
+                                 engine="exact", oversample=8)
+        exact = truncated_svd(matrix, 5, engine="exact")
+        assert np.allclose(streamed.singular_values,
+                           exact.singular_values, rtol=1e-3)
+        assert sin_theta_distance(streamed.u, exact.u) < 1e-2
+        assert streamed.energy_fraction() > 0.999
+
+
+class TestPolish:
+    def test_polish_tightens_bound_and_residual(self, rng):
+        matrix = low_rank_matrix(rng, 30, 120, 4, noise=0.05)
+        rough = block_updates(iter_column_blocks(matrix, 16), 4,
+                              engine="exact", oversample=2)
+        polished = polish(rough, matrix, iterations=2)
+        # The polished bound is the exact Pythagorean residual, which
+        # the triangle-inequality accumulation can only overestimate.
+        assert polished.error_bound <= rough.error_bound + 1e-9
+        approx = (polished.u * polished.singular_values) @ polished.vt
+        actual = float(np.linalg.norm(matrix - approx))
+        assert polished.error_bound == pytest.approx(actual, rel=1e-6,
+                                                     abs=1e-8)
+
+    def test_polish_shape_mismatch_raises(self, rng):
+        rough = PartialSVD.from_block(rng.standard_normal((10, 8)), 3,
+                                      engine="exact")
+        with pytest.raises(ValidationError, match="shape"):
+            polish(rough, rng.standard_normal((10, 9)))
+
+
+class TestIncrementalEngine:
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_matches_exact_on_low_rank(self, rng, sparse):
+        matrix = low_rank_matrix(rng, 50, 300, 6, noise=0.0)
+        source = CSRMatrix.from_dense(matrix) if sparse else matrix
+        result = truncated_svd(source, 6, engine="incremental",
+                               block_size=64, seed=0)
+        exact = truncated_svd(matrix, 6, engine="exact")
+        assert np.allclose(result.singular_values,
+                           exact.singular_values, rtol=1e-6)
+        assert sin_theta_distance(result.u, exact.u) < 1e-6
+
+    def test_polish_option_threads_through(self, rng):
+        matrix = low_rank_matrix(rng, 40, 150, 5)
+        result = incremental_svd(matrix, 5, block_size=32,
+                                 polish_iterations=1, seed=0)
+        exact = truncated_svd(matrix, 5, engine="exact")
+        assert result.residual_norm() <= \
+            exact.residual_norm() * (1 + 1e-6) + 1e-8
+
+    def test_unknown_option_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            truncated_svd(rng.random((10, 10)), 2,
+                          engine="incremental", bogus=1)
+
+
+# ---------------------------------------------------------------------------
+# fit_streamed — model and served index
+# ---------------------------------------------------------------------------
+
+class TestFitStreamed:
+    def test_stream_matches_eager_rankings(self, rng):
+        matrix = low_rank_matrix(rng, 60, 400, 8, noise=0.01)
+        eager = LSIModel.fit(matrix, 8, engine="exact")
+        streamed = LSIModel.fit_streamed(
+            iter_column_blocks(matrix, 64), 8, engine="exact",
+            oversample=16)
+        queries = rng.random((60, 12))
+        overlap = top_k_overlap(score_batch(eager, queries),
+                                score_batch(streamed, queries), 10)
+        assert overlap >= 0.99
+        assert streamed.n_documents == 400
+
+    def test_matrix_input_is_chunked(self, rng):
+        matrix = low_rank_matrix(rng, 30, 100, 4)
+        model = LSIModel.fit_streamed(matrix, 4, engine="exact",
+                                      block_size=25)
+        assert model.rank == 4 and model.n_documents == 100
+
+    def test_polish_on_one_shot_stream_raises(self, rng):
+        blocks = [rng.random((10, 5)) for _ in range(3)]
+        with pytest.raises(ValidationError, match="re-readable"):
+            LSIModel.fit_streamed(iter(blocks), 2,
+                                  polish_iterations=1)
+
+    def test_polish_on_matrix_input_allowed(self, rng):
+        matrix = low_rank_matrix(rng, 25, 80, 3)
+        model = LSIModel.fit_streamed(matrix, 3, engine="exact",
+                                      polish_iterations=1)
+        assert model.rank == 3
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(EmptyCorpusError):
+            LSIModel.fit_streamed(iter([]), 3)
+
+    def test_served_index_fit_streamed(self, rng):
+        matrix = low_rank_matrix(rng, 40, 150, 5)
+        config = ServingConfig(stream_block_size=32,
+                               stream_oversample=12)
+        index = ServedIndex.fit_streamed(
+            iter_column_blocks(matrix, 32), 5, engine="exact",
+            config=config)
+        assert index.n_documents == 150 and index.rank == 5
+        eager = LSIModel.fit(matrix, 5, engine="exact")
+        queries = rng.random((40, 6))
+        assert top_k_overlap(score_batch(eager, queries),
+                             score_batch(index.model, queries),
+                             10) >= 0.95
+
+    def test_corpus_stream_end_to_end(self, rng):
+        docs = []
+        for _ in range(60):
+            terms = rng.choice(30, size=rng.integers(2, 9),
+                               replace=False)
+            docs.append(Document(
+                {int(t): int(rng.integers(1, 4)) for t in terms},
+                universe_size=30))
+        corpus = Corpus(docs)
+        # oversample=26 lifts the working rank to the term-universe
+        # size, so the merge is lossless and the streamed model must
+        # agree with the eager one in full.
+        streamed = LSIModel.fit_streamed(
+            corpus_column_blocks(corpus, 16, weighting="log_tf"), 4,
+            engine="exact", oversample=26)
+        full = corpus.term_document_matrix(weighting="log_tf")
+        eager = LSIModel.fit(full, 4, engine="exact")
+        queries = rng.random((30, 8))
+        assert top_k_overlap(score_batch(eager, queries),
+                             score_batch(streamed, queries),
+                             10) >= 0.99
+
+    def test_stream_config_knobs_validate(self):
+        with pytest.raises(ValidationError):
+            ServingConfig(stream_block_size=0)
+        with pytest.raises(ValidationError):
+            ServingConfig(stream_oversample=-1)
+        with pytest.raises(ValidationError):
+            ServingConfig(stream_polish=-2)
+
+
+# ---------------------------------------------------------------------------
+# Incremental refit
+# ---------------------------------------------------------------------------
+
+class TestIncrementalRefit:
+    @pytest.fixture
+    def matrix(self, rng):
+        return low_rank_matrix(rng, 50, 200, 6, noise=0.02)
+
+    @pytest.fixture
+    def writer(self, matrix):
+        model = LSIModel.fit(matrix, 6, engine="exact")
+        return IndexWriter(model, drift_threshold=1e-9)
+
+    def test_incremental_refit_absorbs_folds(self, writer, matrix,
+                                             rng):
+        new_docs = low_rank_matrix(rng, 50, 30, 6, noise=0.02)
+        writer.add_documents(new_docs)
+        assert writer.can_refit_incrementally
+        assert writer.pending_columns == 30
+        before_drift = writer.drift
+        assert before_drift > 0.0
+        model = writer.refit(oversample=16)
+        assert writer.refits == 1
+        assert writer.fold_ins_since_refit == 0
+        assert writer.pending_columns == 0
+        assert writer.drift == pytest.approx(0.0, abs=1e-12)
+        assert model.n_documents == 230
+        # Agreement with a full refit over the concatenated corpus.
+        full = LSIModel.fit(np.hstack([matrix, new_docs]), 6,
+                            engine="exact")
+        queries = rng.random((50, 10))
+        assert top_k_overlap(score_batch(full, queries),
+                             score_batch(model, queries), 10) >= 0.9
+
+    def test_incremental_refit_keeps_tombstones(self, writer, rng):
+        writer.add_documents(rng.random((50, 4)))
+        writer.remove_documents([0, 3])
+        delete_drift_energy = writer.unabsorbed_energy
+        writer.refit(oversample=16)
+        assert writer.tombstones == (0, 3)
+        assert writer.deletes_since_refit == 2
+        # Fold energy cleared; deleted mass still unabsorbed.
+        assert 0.0 < writer.unabsorbed_energy <= delete_drift_energy
+
+    def test_full_refit_purges_everything(self, writer, matrix, rng):
+        writer.add_documents(rng.random((50, 4)))
+        writer.remove_documents([1])
+        writer.refit(matrix)
+        assert writer.tombstones == ()
+        assert writer.unabsorbed_energy == 0.0
+        assert writer.pending_columns == 0
+
+    def test_full_true_without_matrix_raises(self, writer):
+        with pytest.raises(ValidationError, match="full=True"):
+            writer.refit(full=True)
+
+    def test_refit_after_discarded_buffer_raises(self, writer, rng):
+        writer.add_documents(rng.random((50, 3)))
+        writer.discard_fold_buffer()
+        assert not writer.can_refit_incrementally
+        with pytest.raises(ValidationError, match="buffer"):
+            writer.refit()
+
+    def test_refit_after_bundle_reload_raises(self, writer, matrix,
+                                              rng, tmp_path):
+        index = ServedIndex.from_writer(writer)
+        index.add_documents(rng.random((50, 3)))
+        loaded = ServedIndex.load(index.save(tmp_path / "b"))
+        # The fold buffer is not persisted: a loaded bundle with
+        # pre-save folds must demand a full refit.
+        with pytest.raises(ValidationError, match="full refit"):
+            loaded.refit()
+
+    def test_served_index_refit_threads_config(self, matrix, rng):
+        model = LSIModel.fit(matrix, 6, engine="exact")
+        index = ServedIndex(
+            model, config=ServingConfig(stream_block_size=8,
+                                        stream_oversample=16))
+        index.add_documents(low_rank_matrix(rng, 50, 20, 6))
+        refitted = index.refit()
+        assert refitted.n_documents == 220
+        assert index.n_documents == 220
+
+    def test_incremental_refit_without_folds_is_noop_model(
+            self, writer):
+        model = writer.refit()
+        assert model.n_documents == writer.n_documents
+        assert writer.refits == 1
+
+
+# ---------------------------------------------------------------------------
+# serve-stats writer state
+# ---------------------------------------------------------------------------
+
+class TestServeStatsWriterState:
+    def _mid_write_bundle(self, rng, tmp_path):
+        matrix = low_rank_matrix(rng, 30, 80, 4)
+        index = ServedIndex.fit(matrix, 4, engine="exact",
+                                config=ServingConfig(
+                                    drift_threshold=0.5))
+        index.add_documents(rng.random((30, 6)))
+        index.remove_documents([2])
+        return index.save(tmp_path / "bundle")
+
+    def test_text_report_shows_writer_state(self, rng, tmp_path,
+                                            capsys):
+        from repro.cli import main
+
+        path = self._mid_write_bundle(rng, tmp_path)
+        assert main(["serve-stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "writer state" in out
+        assert "fold-ins pending=6" in out
+        assert "tombstoned=1" in out
+        assert "unabsorbed=" in out and "captured=" in out
+        assert "full refit(matrix)" in out
+        assert "threshold 0.5" in out
+
+    def test_clean_bundle_reports_no_pending(self, rng, tmp_path,
+                                             capsys):
+        from repro.cli import main
+
+        matrix = low_rank_matrix(rng, 20, 40, 3)
+        path = ServedIndex.fit(matrix, 3,
+                               engine="exact").save(tmp_path / "b")
+        assert main(["serve-stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "none pending" in out
+
+    def test_json_manifest_carries_captured_energy(self, rng,
+                                                   tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._mid_write_bundle(rng, tmp_path)
+        assert main(["serve-stats", str(path), "--json"]) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["captured_energy"] > 0.0
+        assert manifest["unabsorbed_energy"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Out-of-core memory behaviour (subprocess peak RSS)
+# ---------------------------------------------------------------------------
+
+class TestStreamedPeakRss:
+    def test_streamed_fit_peak_rss_well_below_eager(self):
+        # The tentpole claim at unit-test scale: fitting from a block
+        # stream must never materialise the matrix, so its peak RSS
+        # stays well under the eager fit's.  The scale bench gates the
+        # real < 0.5x claim on a 10x corpus; this asserts the same
+        # inequality on a ~160 MB synthetic one.  Fresh subprocesses
+        # because peak RSS is a process high-water mark.
+        child = r"""
+import resource, sys
+import numpy as np
+from repro.core.lsi import LSIModel
+
+
+def peak_rss_kb():
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+N_TERMS, N_DOCS, BLOCK, RANK = 1024, 20480, 256, 8
+
+
+def blocks():
+    for start in range(0, N_DOCS, BLOCK):
+        rng = np.random.default_rng(start)
+        yield rng.standard_normal((N_TERMS, BLOCK))
+
+
+if sys.argv[1] == "eager":
+    full = np.hstack(list(blocks()))
+    LSIModel.fit(full, RANK, engine="lanczos", seed=0)
+else:
+    LSIModel.fit_streamed(blocks(), RANK, engine="lanczos", seed=0,
+                          oversample=8)
+print(peak_rss_kb())
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep \
+            + env.get("PYTHONPATH", "")
+        rss = {}
+        for mode in ("eager", "streamed"):
+            proc = subprocess.run(
+                [sys.executable, "-c", child, mode],
+                capture_output=True, text=True, env=env)
+            assert proc.returncode == 0, proc.stderr
+            rss[mode] = int(proc.stdout.strip())
+        assert rss["streamed"] < 0.5 * rss["eager"], rss
